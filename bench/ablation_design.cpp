@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Ablation studies of the design choices DESIGN.md calls out. Not a
+ * paper figure — this quantifies *why* MergePath-SpMM is built the way
+ * it is, on the same GPU model as Figures 2-7:
+ *
+ *  1. Commit discipline: the identical merge-path schedule executed
+ *     with (a) selective atomics (the paper's Algorithm 2),
+ *     (b) all-atomic commits (no complete-row tracking), and
+ *     (c) the SpMV-style serial fix-up. Isolates the contribution of
+ *     partial/complete row tracking.
+ *  2. Small-graph thread floor: the Sec. III-C minimum-thread rule
+ *     (1024) on vs. off for the small graphs.
+ *  3. Skew robustness: row-splitting vs GNNAdvisor vs MergePath-SpMM
+ *     as the maximum degree of a fixed-size graph grows from uniform
+ *     to one extreme evil row.
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "mps/core/policy.h"
+#include "mps/sparse/generate.h"
+#include "mps/sparse/reorder.h"
+#include "mps/util/cli.h"
+#include "mps/util/table.h"
+
+using namespace mps;
+
+namespace {
+
+void
+commit_discipline_ablation(const GpuConfig &gpu, bool csv)
+{
+    std::printf("== Ablation 1: commit discipline "
+                "(same merge-path schedule) ==\n");
+    Table table({"graph", "selective_us", "all_atomic_us",
+                 "serial_fixup_us", "selective_gain_vs_all_atomic",
+                 "selective_gain_vs_serial"});
+    for (const char *name : {"Citeseer", "Pubmed", "email-Euall",
+                             "com-Amazon"}) {
+        CsrMatrix a = make_dataset(name);
+        index_t cost = default_merge_path_cost(16);
+        double selective =
+            simulate_gpu(build_mergepath_workload(a, 16, cost, gpu), gpu)
+                .microseconds;
+        double all_atomic =
+            simulate_gpu(
+                build_mergepath_all_atomic_workload(a, 16, cost, gpu),
+                gpu)
+                .microseconds;
+        double serial =
+            bench::model_kernel_us(a, 16, "mergepath_serial", gpu);
+        table.new_row();
+        table.add(name);
+        table.add(selective, 2);
+        table.add(all_atomic, 2);
+        table.add(serial, 2);
+        table.add(all_atomic / selective, 2);
+        table.add(serial / selective, 2);
+    }
+    table.print(csv);
+    std::printf("\n");
+}
+
+void
+thread_floor_ablation(const GpuConfig &gpu, bool csv)
+{
+    std::printf("== Ablation 2: Sec. III-C minimum-thread floor ==\n");
+    Table table({"graph", "floor_1024_us", "no_floor_us",
+                 "no_floor_threads", "gain"});
+    for (const char *name : {"Cora", "Citeseer", "Pubmed"}) {
+        CsrMatrix a = make_dataset(name);
+        const index_t dim = 16;
+        index_t cost = default_merge_path_cost(dim);
+
+        double with_floor =
+            simulate_gpu(build_mergepath_workload(a, dim, cost, gpu),
+                         gpu)
+                .microseconds;
+        double without_floor =
+            simulate_gpu(build_mergepath_workload(a, dim, cost, gpu, {},
+                                                  /*min_threads=*/0),
+                         gpu)
+                .microseconds;
+        SimdPolicy no_floor;
+        no_floor.lanes = gpu.lanes;
+        no_floor.min_threads = 0;
+        LaunchConfig launch = make_launch_config(a.rows(), a.nnz(), dim,
+                                                 cost, no_floor);
+        table.new_row();
+        table.add(name);
+        table.add(with_floor, 2);
+        table.add(without_floor, 2);
+        table.add_int(launch.num_threads);
+        table.add(without_floor / with_floor, 2);
+    }
+    table.print(csv);
+    std::printf("\n");
+}
+
+void
+skew_robustness_ablation(const GpuConfig &gpu, bool csv)
+{
+    std::printf("== Ablation 3: robustness to degree skew "
+                "(50k nodes, 600k nnz, dim 16) ==\n");
+    Table table({"max_degree", "row_split_us", "gnnadvisor_us",
+                 "mergepath_us", "mergepath_gain_vs_row_split"});
+    for (index_t max_deg : {12, 64, 512, 4096, 25000}) {
+        PowerLawParams p;
+        p.nodes = 50000;
+        p.target_nnz = 600000;
+        p.max_degree = max_deg;
+        p.seed = 77;
+        CsrMatrix a = power_law_graph(p);
+        double rs = bench::model_kernel_us(a, 16, "row_split", gpu);
+        double ga = bench::model_kernel_us(a, 16, "gnnadvisor", gpu);
+        double mp = bench::model_kernel_us(a, 16, "mergepath", gpu);
+        table.new_row();
+        table.add_int(max_deg);
+        table.add(rs, 2);
+        table.add(ga, 2);
+        table.add(mp, 2);
+        table.add(rs / mp, 2);
+    }
+    table.print(csv);
+    std::printf(
+        "\nRow-splitting degrades with skew; the merge-path schedule's"
+        "\ncompletion time is insensitive to the evil row by design.\n");
+}
+
+void
+reordering_ablation(const GpuConfig &gpu, bool csv)
+{
+    std::printf("== Ablation 4: does reordering rescue row-splitting?"
+                " ==\n");
+    Table table({"graph", "row_split_us", "rs_degsorted_us",
+                 "rs_bfs_us", "mergepath_us"});
+    for (const char *name : {"Nell", "As-caida", "Wiki-Vote"}) {
+        CsrMatrix a = make_dataset(name);
+        CsrMatrix sorted =
+            permute_symmetric(a, degree_sort_permutation(a, true));
+        CsrMatrix bfs = permute_symmetric(a, bfs_permutation(a));
+        table.new_row();
+        table.add(name);
+        table.add(bench::model_kernel_us(a, 16, "row_split", gpu), 2);
+        table.add(bench::model_kernel_us(sorted, 16, "row_split", gpu),
+                  2);
+        table.add(bench::model_kernel_us(bfs, 16, "row_split", gpu), 2);
+        table.add(bench::model_kernel_us(a, 16, "mergepath", gpu), 2);
+    }
+    table.print(csv);
+    std::printf(
+        "\nRelabeling moves the evil rows around but some chunk still"
+        "\nowns them; only the nnz-level decomposition removes the"
+        " straggler.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("design-choice ablations (GPU model)");
+    flags.add_bool("csv", false, "emit CSV instead of aligned text");
+    flags.parse(argc, argv);
+    GpuConfig gpu = GpuConfig::rtx6000();
+    bool csv = flags.get_bool("csv");
+    commit_discipline_ablation(gpu, csv);
+    thread_floor_ablation(gpu, csv);
+    skew_robustness_ablation(gpu, csv);
+    reordering_ablation(gpu, csv);
+    return 0;
+}

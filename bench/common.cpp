@@ -1,0 +1,107 @@
+#include "common.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mps/core/policy.h"
+#include "mps/util/log.h"
+
+namespace mps::bench {
+
+namespace {
+
+/** Tuned merge-path-serial baseline: pick the best thread count. */
+GpuKernelResult
+best_serial_fixup(const CsrMatrix &a, index_t dim,
+                  const GpuConfig &config)
+{
+    GpuKernelResult best;
+    best.cycles = -1.0;
+    for (index_t threads : {64, 128, 256, 512, 1024, 2048, 4096}) {
+        KernelWorkload w =
+            build_mergepath_serial_workload(a, dim, threads, config);
+        GpuKernelResult r = simulate_gpu(w, config);
+        if (best.cycles < 0.0 || r.cycles < best.cycles)
+            best = r;
+    }
+    return best;
+}
+
+} // namespace
+
+GpuKernelResult
+model_kernel(const CsrMatrix &a, index_t dim, const std::string &kernel,
+             const GpuConfig &config, const ModelOptions &options)
+{
+    if (kernel == "mergepath") {
+        index_t cost = options.cost > 0 ? options.cost
+                                        : default_merge_path_cost(dim);
+        return simulate_gpu(build_mergepath_workload(a, dim, cost, config),
+                            config);
+    }
+    if (kernel == "gnnadvisor") {
+        return simulate_gpu(
+            build_gnnadvisor_workload(a, dim, options.ng_size,
+                                      GnnAdvisorVariant::kBaseline,
+                                      config),
+            config);
+    }
+    if (kernel == "gnnadvisor_opt") {
+        return simulate_gpu(
+            build_gnnadvisor_workload(a, dim, options.ng_size,
+                                      GnnAdvisorVariant::kOpt, config),
+            config);
+    }
+    if (kernel == "row_split") {
+        return simulate_gpu(build_rowsplit_workload(a, dim, 0, config),
+                            config);
+    }
+    if (kernel == "mergepath_serial")
+        return best_serial_fixup(a, dim, config);
+    if (kernel == "cusparse") {
+        return simulate_gpu(build_cusparse_workload(a, dim, config),
+                            config);
+    }
+    fatal("unknown SIMT kernel '" + kernel + "'");
+}
+
+double
+model_kernel_us(const CsrMatrix &a, index_t dim, const std::string &kernel,
+                const GpuConfig &config, const ModelOptions &options)
+{
+    return model_kernel(a, dim, kernel, config, options).microseconds;
+}
+
+std::vector<DatasetSpec>
+select_graphs(const std::string &selector)
+{
+    const auto &all = all_dataset_specs();
+    std::vector<DatasetSpec> out;
+    if (selector == "all") {
+        out = all;
+    } else if (selector == "type1") {
+        for (const auto &s : all) {
+            if (s.type == GraphType::kPowerLaw)
+                out.push_back(s);
+        }
+    } else if (selector == "type2") {
+        for (const auto &s : all) {
+            if (s.type == GraphType::kStructured)
+                out.push_back(s);
+        }
+    } else if (selector == "small") {
+        for (const auto &s : all) {
+            if (s.nnz <= 1500000)
+                out.push_back(s);
+        }
+    } else {
+        std::stringstream ss(selector);
+        std::string name;
+        while (std::getline(ss, name, ','))
+            out.push_back(find_dataset_spec(name));
+    }
+    MPS_CHECK(!out.empty(), "graph selector matched nothing: ", selector);
+    return out;
+}
+
+} // namespace mps::bench

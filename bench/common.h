@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the figure benches: modelling a named kernel on
+ * the SIMT GPU, graph-list selection, and tuned-baseline sweeps.
+ */
+#ifndef MPS_BENCH_COMMON_H
+#define MPS_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "mps/simt/codegen.h"
+#include "mps/simt/gpu_model.h"
+#include "mps/sparse/datasets.h"
+
+namespace mps::bench {
+
+/** Options for model_kernel_us(). */
+struct ModelOptions
+{
+    /** Merge-path cost; 0 = the tuned default for the dimension. */
+    index_t cost = 0;
+    /** Neighbor-group size; 0 = average degree. */
+    index_t ng_size = 0;
+};
+
+/**
+ * Model one A x XW kernel on the RTX 6000 model and return its time in
+ * microseconds. Kernel names: "mergepath", "gnnadvisor",
+ * "gnnadvisor_opt", "row_split", "mergepath_serial" (thread count
+ * swept and the best configuration reported, mirroring a tuned
+ * baseline), "cusparse".
+ */
+double model_kernel_us(const CsrMatrix &a, index_t dim,
+                       const std::string &kernel,
+                       const GpuConfig &config,
+                       const ModelOptions &options = {});
+
+/** Full result variant of model_kernel_us for breakdown output. */
+GpuKernelResult model_kernel(const CsrMatrix &a, index_t dim,
+                             const std::string &kernel,
+                             const GpuConfig &config,
+                             const ModelOptions &options = {});
+
+/**
+ * Resolve a --graphs flag value to dataset specs: "all", "type1",
+ * "type2", a comma-separated name list, or "small" (nnz <= 1.5M).
+ */
+std::vector<DatasetSpec> select_graphs(const std::string &selector);
+
+} // namespace mps::bench
+
+#endif // MPS_BENCH_COMMON_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 1: power-law degree distributions of real-world graphs.
+ *
+ * Prints, for each selected graph, the log2-binned histogram of
+ * non-zeros per row plus the summary statistics that drive the paper's
+ * load-imbalance story (max vs. average degree, share of non-zeros in
+ * the top 1% of rows).
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "mps/sparse/degree_stats.h"
+#include "mps/util/cli.h"
+#include "mps/util/table.h"
+
+using namespace mps;
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags(
+        "Figure 1: degree distributions of the evaluation graphs");
+    flags.add_string("graphs", "Wiki-Vote,Nell,soc-BlogCatalog,artist",
+                     "graph selector (all|type1|type2|small|name,...)");
+    flags.add_bool("csv", false, "emit CSV instead of aligned text");
+    flags.add_bool("histograms", true, "print per-graph histograms");
+    flags.parse(argc, argv);
+
+    auto specs = bench::select_graphs(flags.get_string("graphs"));
+    Table table({"graph", "nodes", "nnz", "avg_deg", "max_deg",
+                 "deg_cv", "top1%_nnz_share"});
+    for (const auto &spec : specs) {
+        CsrMatrix a = make_dataset(spec);
+        DegreeStats s = compute_degree_stats(a);
+        table.new_row();
+        table.add(spec.name);
+        table.add_int(a.rows());
+        table.add_int(a.nnz());
+        table.add(s.avg_degree, 1);
+        table.add_int(s.max_degree);
+        table.add(s.degree_cv, 2);
+        table.add(s.top1pct_nnz_share, 3);
+        if (flags.get_bool("histograms") && !flags.get_bool("csv")) {
+            std::printf("== %s: non-zeros-per-row histogram ==\n%s\n",
+                        spec.name.c_str(),
+                        degree_histogram(a).to_string().c_str());
+        }
+    }
+    table.print(flags.get_bool("csv"));
+    std::printf(
+        "\nFig.1 takeaway: power-law graphs concentrate a large share of"
+        "\nnon-zeros in a few evil rows (high max/avg, high CV), which is"
+        "\nwhat breaks row-wise load balancing.\n");
+    return 0;
+}

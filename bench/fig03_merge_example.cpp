@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Figure 3: the paper's worked example of distributing a 10-row,
+ * 16-non-zero adjacency matrix over four threads with merge-path.
+ *
+ * Prints each thread's diagonal range, start/end coordinates, the
+ * resolved partial/complete row assignment, and the per-thread merge
+ * items — demonstrating the equitable split (no thread exceeds the
+ * merge-path cost of ceil(26/4) = 7) no matter how skewed the rows.
+ */
+#include <cstdio>
+
+#include "mps/core/schedule.h"
+#include "mps/util/cli.h"
+#include "mps/util/table.h"
+
+using namespace mps;
+
+namespace {
+
+/** "(r,n)" without triggering gcc-12's -Wrestrict false positive. */
+std::string
+coord(index_t r, index_t n)
+{
+    std::string s = "(";
+    s += std::to_string(r);
+    s += ",";
+    s += std::to_string(n);
+    s += ")";
+    return s;
+}
+
+std::string
+range(const std::string &prefix, index_t row, index_t begin, index_t end)
+{
+    std::string s = prefix;
+    s += std::to_string(row);
+    s += " nnz[";
+    s += std::to_string(begin);
+    s += ",";
+    s += std::to_string(end);
+    s += ")";
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("Figure 3: merge-path walk-through example");
+    flags.add_int("threads", 4, "number of threads");
+    flags.add_bool("csv", false, "emit CSV instead of aligned text");
+    flags.parse(argc, argv);
+
+    // A 10-row matrix with 16 non-zeros; row 0 is the heavy one
+    // (8 nnz), matching the situation Figure 3 illustrates.
+    std::vector<index_t> row_ptr{0, 8, 9, 11, 12, 12, 13, 14, 14, 15, 16};
+    std::vector<index_t> col_idx(16);
+    for (index_t k = 0; k < 16; ++k)
+        col_idx[static_cast<size_t>(k)] = k % 10;
+    std::vector<value_t> values(16, 1.0f);
+    CsrMatrix a(10, 10, row_ptr, col_idx, values);
+
+    index_t threads = static_cast<index_t>(flags.get_int("threads"));
+    MergePathSchedule sched = MergePathSchedule::build(a, threads);
+    sched.validate(a);
+
+    std::printf("matrix: %d rows, %d non-zeros -> merge path length %d,"
+                " cost per thread %lld\n\n",
+                a.rows(), a.nnz(), a.rows() + a.nnz(),
+                static_cast<long long>(sched.items_per_thread()));
+
+    Table table({"thread", "start(row,nz)", "end(row,nz)", "items",
+                 "partial_head", "complete_rows", "partial_tail"});
+    for (index_t t = 0; t < sched.num_threads(); ++t) {
+        const ThreadWork &w = sched.work(t);
+        ResolvedWork r = sched.resolve(t, a);
+        table.new_row();
+        table.add_int(t);
+        table.add(coord(w.start.row, w.start.nz));
+        table.add(coord(w.end.row, w.end.nz));
+        table.add_int((w.end.row - w.start.row) +
+                      (w.end.nz - w.start.nz));
+        if (r.has_head() && r.head_atomic) {
+            table.add(range("row ", r.head_row, r.head_begin,
+                            r.head_end));
+        } else if (r.has_head()) {
+            std::string whole = "row ";
+            whole += std::to_string(r.head_row);
+            whole += " (whole)";
+            table.add(whole);
+        } else {
+            table.add("-");
+        }
+        table.add(coord(r.first_complete_row, r.last_complete_row));
+        if (r.has_tail()) {
+            table.add(range("row ", r.tail_row, r.tail_begin,
+                            r.tail_end));
+        } else {
+            table.add("-");
+        }
+    }
+    table.print(flags.get_bool("csv"));
+
+    ScheduleCensus census = sched.census(a);
+    std::printf("\n%lld atomic commits on %lld split rows, %lld plain"
+                " row writes.\nThe heavy row 0 is shared by multiple"
+                " threads (partial head/tail entries),\nwhile every"
+                " thread still holds at most %lld merge items.\n",
+                static_cast<long long>(census.atomic_commits),
+                static_cast<long long>(census.split_rows),
+                static_cast<long long>(census.plain_row_writes),
+                static_cast<long long>(sched.items_per_thread()));
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 4: speedup of cuSPARSE, GNNAdvisor-opt and MergePath-SpMM
+ * over the GNNAdvisor baseline at the default dimension size of 16,
+ * across all 23 evaluation graphs, with geometric means.
+ *
+ * Paper reference points: MergePath-SpMM 1.85x geomean over GNNAdvisor
+ * and ~1.31x over GNNAdvisor-opt; GNNAdvisor-opt 1.41x over
+ * GNNAdvisor; cuSPARSE loses on Type I (power-law) and wins on Type II
+ * (structured) graphs.
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "mps/util/cli.h"
+#include "mps/util/stats.h"
+#include "mps/util/table.h"
+
+using namespace mps;
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("Figure 4: speedups over GNNAdvisor at dim 16");
+    flags.add_string("graphs", "all", "graph selector");
+    flags.add_int("dim", 16, "dense dimension size");
+    flags.add_int("cost", 0, "merge-path cost (0 = tuned default)");
+    flags.add_bool("csv", false, "emit CSV instead of aligned text");
+    flags.parse(argc, argv);
+
+    const index_t dim = static_cast<index_t>(flags.get_int("dim"));
+    GpuConfig gpu = GpuConfig::rtx6000();
+    bench::ModelOptions mp_opts;
+    mp_opts.cost = static_cast<index_t>(flags.get_int("cost"));
+
+    auto specs = bench::select_graphs(flags.get_string("graphs"));
+    Table table({"type", "graph", "cusparse", "gnnadvisor_opt",
+                 "mergepath_spmm"});
+    std::vector<double> sp_cus, sp_opt, sp_mp;
+    std::vector<double> sp_mp_type1, sp_mp_type2;
+
+    for (const auto &spec : specs) {
+        CsrMatrix a = make_dataset(spec);
+        double base = bench::model_kernel_us(a, dim, "gnnadvisor", gpu);
+        double cus = bench::model_kernel_us(a, dim, "cusparse", gpu);
+        double opt =
+            bench::model_kernel_us(a, dim, "gnnadvisor_opt", gpu);
+        double mp =
+            bench::model_kernel_us(a, dim, "mergepath", gpu, mp_opts);
+
+        sp_cus.push_back(base / cus);
+        sp_opt.push_back(base / opt);
+        sp_mp.push_back(base / mp);
+        (spec.type == GraphType::kPowerLaw ? sp_mp_type1 : sp_mp_type2)
+            .push_back(base / mp);
+
+        table.new_row();
+        table.add(spec.type == GraphType::kPowerLaw ? "I" : "II");
+        table.add(spec.name);
+        table.add(base / cus, 2);
+        table.add(base / opt, 2);
+        table.add(base / mp, 2);
+    }
+    table.print(flags.get_bool("csv"));
+
+    std::printf("\ngeomean speedups over GNNAdvisor (dim %d):\n",
+                static_cast<int>(dim));
+    std::printf("  cuSPARSE        %.2fx\n", geomean(sp_cus));
+    std::printf("  GNNAdvisor-opt  %.2fx   (paper: 1.41x)\n",
+                geomean(sp_opt));
+    std::printf("  MergePath-SpMM  %.2fx   (paper: 1.85x)\n",
+                geomean(sp_mp));
+    std::printf("  MergePath-SpMM vs GNNAdvisor-opt: %.2fx (paper: 1.31x)\n",
+                geomean(sp_mp) / geomean(sp_opt));
+    if (!sp_mp_type1.empty() && !sp_mp_type2.empty()) {
+        std::printf("  MergePath-SpMM geomean: Type I %.2fx, Type II %.2fx\n",
+                    geomean(sp_mp_type1), geomean(sp_mp_type2));
+    }
+    return 0;
+}

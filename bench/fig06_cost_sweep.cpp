@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 6: merge-path cost sensitivity. For each dimension size the
+ * cost is swept from 2 to 50; performance is the geomean across the
+ * selected graphs, normalized to cost 2, and the best-performing cost
+ * is reported.
+ *
+ * Paper reference best costs: d=2 -> 50, d=4 -> 15, d=8 -> 15,
+ * d=16 -> 20, d=32 -> 30, d=64 -> 35, d=128 -> 50.
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "mps/util/cli.h"
+#include "mps/util/stats.h"
+#include "mps/util/table.h"
+
+using namespace mps;
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("Figure 6: merge-path cost sweep per dimension");
+    flags.add_string("graphs", "small",
+                     "graph selector (default: nnz <= 1.5M)");
+    flags.add_bool("csv", false, "emit CSV instead of aligned text");
+    flags.parse(argc, argv);
+
+    GpuConfig gpu = GpuConfig::rtx6000();
+    const index_t dims[] = {2, 4, 8, 16, 32, 64, 128};
+    const index_t costs[] = {2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
+    const index_t paper_best[] = {50, 15, 15, 20, 30, 35, 50};
+
+    auto specs = bench::select_graphs(flags.get_string("graphs"));
+    std::vector<CsrMatrix> graphs;
+    graphs.reserve(specs.size());
+    for (const auto &spec : specs)
+        graphs.push_back(make_dataset(spec));
+
+    std::vector<std::string> headers{"dim"};
+    for (index_t c : costs) {
+        std::string h = "c";
+        h += std::to_string(c);
+        headers.push_back(h);
+    }
+    headers.push_back("best_cost");
+    headers.push_back("paper_best");
+    Table table(headers);
+
+    for (size_t di = 0; di < std::size(dims); ++di) {
+        index_t dim = dims[di];
+        std::vector<double> normalized;
+        double best_perf = 0.0;
+        index_t best_cost = costs[0];
+        double base = 0.0;
+        table.new_row();
+        table.add_int(dim);
+        for (index_t cost : costs) {
+            std::vector<double> times;
+            for (const CsrMatrix &a : graphs) {
+                bench::ModelOptions opts;
+                opts.cost = cost;
+                times.push_back(
+                    bench::model_kernel_us(a, dim, "mergepath", gpu,
+                                           opts));
+            }
+            double t = geomean(times);
+            if (cost == costs[0])
+                base = t;
+            double perf = base / t; // higher is better, 1.0 at cost 2
+            table.add(perf, 3);
+            if (perf > best_perf) {
+                best_perf = perf;
+                best_cost = cost;
+            }
+        }
+        table.add_int(best_cost);
+        table.add_int(paper_best[di]);
+    }
+    table.print(flags.get_bool("csv"));
+    std::printf(
+        "\nCells: performance normalized to cost=2 (geomean over %zu"
+        " graphs).\n",
+        graphs.size());
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 7: speedup at different dimension sizes, normalized to
+ * GNNAdvisor at dimension 128 (per graph, then geomean).
+ *
+ * Paper reference: GNNAdvisor saturates at ~2x below dim 32 (it cannot
+ * pack lanes); GNNAdvisor-opt reaches ~9x at dim 2; MergePath-SpMM
+ * reaches ~27.6x at dim 2 and leads at every dimension.
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "mps/util/cli.h"
+#include "mps/util/stats.h"
+#include "mps/util/table.h"
+
+using namespace mps;
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("Figure 7: dimension-size scaling");
+    flags.add_string("graphs", "all", "graph selector");
+    flags.add_bool("csv", false, "emit CSV instead of aligned text");
+    flags.parse(argc, argv);
+
+    GpuConfig gpu = GpuConfig::rtx6000();
+    const index_t dims[] = {128, 64, 32, 16, 8, 4, 2};
+    const char *kernels[] = {"gnnadvisor", "gnnadvisor_opt", "mergepath"};
+
+    auto specs = bench::select_graphs(flags.get_string("graphs"));
+    // speedups[kernel][dim] = geomean over graphs of base128 / time.
+    Table table({"dim", "gnnadvisor", "gnnadvisor_opt",
+                 "mergepath_spmm"});
+
+    // Per-graph baseline: GNNAdvisor at dim 128.
+    std::vector<CsrMatrix> graphs;
+    std::vector<double> base128;
+    for (const auto &spec : specs) {
+        graphs.push_back(make_dataset(spec));
+        base128.push_back(bench::model_kernel_us(graphs.back(), 128,
+                                                 "gnnadvisor", gpu));
+    }
+
+    for (index_t dim : dims) {
+        table.new_row();
+        table.add_int(dim);
+        for (const char *kernel : kernels) {
+            std::vector<double> speedups;
+            for (size_t g = 0; g < graphs.size(); ++g) {
+                double t =
+                    bench::model_kernel_us(graphs[g], dim, kernel, gpu);
+                speedups.push_back(base128[g] / t);
+            }
+            table.add(geomean(speedups), 2);
+        }
+    }
+    table.print(flags.get_bool("csv"));
+    std::printf(
+        "\nAll values normalized to GNNAdvisor at dim 128 (geomean over"
+        " %zu graphs).\nPaper reference at dim 2: GNNAdvisor ~2x,"
+        " GNNAdvisor-opt ~9x, MergePath-SpMM ~27.6x.\n",
+        graphs.size());
+    return 0;
+}

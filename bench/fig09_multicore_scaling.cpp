@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 9 + Table I: MergePath-SpMM and GNNAdvisor completion times
+ * on the simulated large multicore at increasing core counts (64 to
+ * 1024), normalized to each kernel's own 64-core run, with the
+ * compute / memory-stall breakdown. Threads map one-to-one onto cores;
+ * per-core cache capacity and total DRAM bandwidth follow the paper's
+ * scaling methodology.
+ *
+ * Paper reference: GNNAdvisor stops scaling on evil-row graphs (Cora,
+ * Nell); MergePath-SpMM scales to 1024 cores on everything except
+ * Cora (whose merge-path cost drops below ~25 at 1024 cores and stops
+ * at 512); MergePath-SpMM is ~2x faster than GNNAdvisor at 1024
+ * cores; memory stalls scale worse than compute.
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "mps/multicore/tracegen.h"
+#include "mps/util/cli.h"
+#include "mps/util/table.h"
+
+using namespace mps;
+
+namespace {
+
+void
+print_table1(const MulticoreConfig &c)
+{
+    std::printf("Table I configuration (1024-core baseline):\n");
+    std::printf("  cores                 %d in-order @ %.0f GHz\n",
+                c.num_cores, c.clock_ghz);
+    std::printf("  L1 per core           %lld KB, %d-way, %d cycle\n",
+                static_cast<long long>(c.l1_bytes / 1024), c.l1_assoc,
+                c.l1_latency);
+    std::printf("  L2 slice per core     %lld KB (%lld MB total)\n",
+                static_cast<long long>(c.l2_slice_bytes / 1024),
+                static_cast<long long>(c.l2_slice_bytes * c.num_cores /
+                                       (1024 * 1024)));
+    std::printf("  directory             MESI, Limited-%d (ACKwise)\n",
+                c.directory_pointers);
+    std::printf("  mesh                  2-D, X-Y routing, %d-cycle hops,"
+                " %d-bit flits\n",
+                c.hop_cycles, c.flit_bits);
+    std::printf("  memory controllers    %d, %.0f GB/s total, %.0f ns\n\n",
+                c.num_mem_controllers, c.dram_total_gbps,
+                c.dram_latency_ns);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("Figure 9: multicore scaling 64 -> 1024 cores");
+    flags.add_string(
+        "graphs", "Cora,Pubmed,Nell,com-Amazon,Twitter-partial",
+        "graph selector");
+    flags.add_int("dim", 16, "dense dimension size");
+    flags.add_bool("csv", false, "emit CSV instead of aligned text");
+    flags.add_bool("print-config", true, "print the Table I machine");
+    flags.parse(argc, argv);
+
+    const index_t dim = static_cast<index_t>(flags.get_int("dim"));
+    MulticoreConfig base = MulticoreConfig::table1();
+    if (flags.get_bool("print-config"))
+        print_table1(base);
+
+    const int core_counts[] = {64, 128, 256, 512, 1024};
+    const char *kernels[] = {"gnnadvisor", "mergepath"};
+
+    auto specs = bench::select_graphs(flags.get_string("graphs"));
+    Table table({"graph", "kernel", "cores", "cycles", "norm_to_64",
+                 "compute_%", "memory_%", "speedup_vs_gnnadvisor"});
+    for (const auto &spec : specs) {
+        CsrMatrix a = make_dataset(spec);
+        double base64[2] = {0.0, 0.0};
+        double gnnadvisor_cycles[std::size(core_counts)] = {};
+        for (int k = 0; k < 2; ++k) {
+            for (size_t ci = 0; ci < std::size(core_counts); ++ci) {
+                MulticoreConfig cfg = base.scaled_to(core_counts[ci]);
+                MulticoreResult r =
+                    run_spmm_on_multicore(a, dim, cfg, kernels[k]);
+                if (ci == 0)
+                    base64[k] = r.completion_cycles;
+                if (k == 0)
+                    gnnadvisor_cycles[ci] = r.completion_cycles;
+                double busy =
+                    r.avg_compute_cycles + r.avg_memory_cycles;
+                table.new_row();
+                table.add(spec.name);
+                table.add(kernels[k]);
+                table.add_int(core_counts[ci]);
+                table.add(r.completion_cycles, 0);
+                table.add(r.completion_cycles / base64[k], 3);
+                table.add(100.0 * r.avg_compute_cycles /
+                              std::max(busy, 1.0),
+                          1);
+                table.add(100.0 * r.avg_memory_cycles /
+                              std::max(busy, 1.0),
+                          1);
+                table.add(k == 0 ? 1.0
+                                 : gnnadvisor_cycles[ci] /
+                                       r.completion_cycles,
+                          2);
+            }
+        }
+    }
+    table.print(flags.get_bool("csv"));
+    std::printf(
+        "\nnorm_to_64 < 1 means the kernel scales beyond 64 cores (lower"
+        " is better).\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Wall-clock microbenchmarks (google-benchmark) of the portable CPU
+ * kernel implementations: schedule construction, every SpMM kernel on
+ * power-law and structured inputs, and a 2-layer GCN inference.
+ * These measure the real multithreaded code paths; the paper's GPU
+ * figures come from the fig* benches (SIMT model).
+ */
+#include <benchmark/benchmark.h>
+
+#include "mps/core/schedule.h"
+#include "mps/core/spmm.h"
+#include "mps/gcn/model.h"
+#include "mps/kernels/registry.h"
+#include "mps/sparse/datasets.h"
+#include "mps/sparse/generate.h"
+#include "mps/util/rng.h"
+#include "mps/util/thread_pool.h"
+
+namespace {
+
+using namespace mps;
+
+const CsrMatrix &
+powerlaw_graph()
+{
+    static CsrMatrix a = make_dataset("Citeseer");
+    return a;
+}
+
+const CsrMatrix &
+structured_graph_input()
+{
+    static CsrMatrix a = [] {
+        StructuredParams p;
+        p.nodes = 20000;
+        p.target_nnz = 42000;
+        p.max_degree = 6;
+        p.seed = 3;
+        return structured_graph(p);
+    }();
+    return a;
+}
+
+DenseMatrix
+dense_input(index_t rows, index_t dim)
+{
+    DenseMatrix b(rows, dim);
+    Pcg32 rng(7);
+    b.fill_random(rng);
+    return b;
+}
+
+void
+BM_ScheduleBuild(benchmark::State &state)
+{
+    const CsrMatrix &a = powerlaw_graph();
+    index_t threads = static_cast<index_t>(state.range(0));
+    for (auto _ : state) {
+        MergePathSchedule s = MergePathSchedule::build(a, threads);
+        benchmark::DoNotOptimize(s.num_threads());
+    }
+    state.SetItemsProcessed(state.iterations() * threads);
+}
+BENCHMARK(BM_ScheduleBuild)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_SpmmKernel(benchmark::State &state, const std::string &kernel_name,
+              bool structured)
+{
+    const CsrMatrix &a =
+        structured ? structured_graph_input() : powerlaw_graph();
+    const index_t dim = 16;
+    DenseMatrix b = dense_input(a.cols(), dim);
+    DenseMatrix c(a.rows(), dim);
+    ThreadPool pool(4);
+    auto kernel = make_spmm_kernel(kernel_name);
+    kernel->prepare(a, dim);
+    for (auto _ : state) {
+        kernel->run(a, b, c, pool);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * a.nnz() * dim);
+}
+
+#define MPS_SPMM_BENCH(name)                                             \
+    void BM_Spmm_##name##_PowerLaw(benchmark::State &s)                  \
+    {                                                                    \
+        BM_SpmmKernel(s, #name, false);                                  \
+    }                                                                    \
+    BENCHMARK(BM_Spmm_##name##_PowerLaw);                                \
+    void BM_Spmm_##name##_Structured(benchmark::State &s)                \
+    {                                                                    \
+        BM_SpmmKernel(s, #name, true);                                   \
+    }                                                                    \
+    BENCHMARK(BM_Spmm_##name##_Structured)
+
+MPS_SPMM_BENCH(reference);
+MPS_SPMM_BENCH(row_split);
+MPS_SPMM_BENCH(column_split);
+MPS_SPMM_BENCH(gnnadvisor);
+MPS_SPMM_BENCH(mergepath_serial);
+MPS_SPMM_BENCH(mergepath);
+MPS_SPMM_BENCH(adaptive);
+
+void
+BM_GcnTwoLayerInference(benchmark::State &state)
+{
+    CsrMatrix a = make_dataset("Citeseer");
+    a.normalize_gcn();
+    DenseMatrix x = dense_input(a.rows(), 64);
+    ThreadPool pool(4);
+    GcnModel model = GcnModel::two_layer(64, 16, 8, 1, "mergepath");
+    for (auto _ : state) {
+        DenseMatrix out = model.infer(a, x, pool);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_GcnTwoLayerInference);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * 2-layer GCN inference on a citation-style graph — the paper's
+ * motivating application. Demonstrates the full pipeline
+ * sigma(A x (X x W)) per layer, the choice of aggregation kernel, and
+ * the online vs. offline scheduling modes of Figure 8.
+ *
+ *   ./gcn_inference [--graph=Cora] [--features=64] [--hidden=16]
+ *                   [--classes=7] [--kernel=mergepath] [--runs=5]
+ */
+#include <cstdio>
+
+#include "mps/gcn/model.h"
+#include "mps/kernels/registry.h"
+#include "mps/sparse/datasets.h"
+#include "mps/util/cli.h"
+#include "mps/util/rng.h"
+#include "mps/util/thread_pool.h"
+
+using namespace mps;
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("2-layer GCN inference");
+    flags.add_string("graph", "Cora", "Table II dataset name");
+    flags.add_int("features", 64, "input feature width");
+    flags.add_int("hidden", 16, "hidden dimension");
+    flags.add_int("classes", 7, "output classes");
+    flags.add_string("kernel", "mergepath", "aggregation SpMM kernel");
+    flags.add_int("runs", 5, "inference repetitions per mode");
+    flags.parse(argc, argv);
+
+    // GCN-normalized adjacency matrix of the citation graph.
+    CsrMatrix a = make_dataset(flags.get_string("graph"),
+                               ValueMode::kGcnNormalized);
+    std::printf("graph %s: %d nodes, %d edges\n",
+                flags.get_string("graph").c_str(), a.rows(), a.nnz());
+
+    const index_t features = static_cast<index_t>(flags.get_int("features"));
+    DenseMatrix x(a.rows(), features);
+    Pcg32 rng(3);
+    x.fill_random(rng, 0.0f, 1.0f);
+
+    ThreadPool pool;
+    const int runs = static_cast<int>(flags.get_int("runs"));
+    for (ScheduleMode mode : {ScheduleMode::kOffline,
+                              ScheduleMode::kOnline}) {
+        GcnModel model = GcnModel::two_layer(
+            features, static_cast<index_t>(flags.get_int("hidden")),
+            static_cast<index_t>(flags.get_int("classes")), 1,
+            flags.get_string("kernel"), mode);
+        double schedule_total = 0.0, compute_total = 0.0;
+        DenseMatrix out;
+        for (int r = 0; r < runs; ++r) {
+            InferenceStats stats;
+            out = model.infer(a, x, pool, &stats);
+            schedule_total += stats.schedule_seconds;
+            compute_total += stats.compute_seconds;
+        }
+        std::printf(
+            "%-8s %d inferences: schedule %.3f ms, compute %.3f ms "
+            "(overhead %.1f%%)\n",
+            mode == ScheduleMode::kOffline ? "offline" : "online", runs,
+            schedule_total * 1e3, compute_total * 1e3,
+            100.0 * schedule_total / (schedule_total + compute_total));
+        // Show a few logits so the output is visibly real.
+        std::printf("  node 0 logits:");
+        for (index_t c2 = 0; c2 < out.cols(); ++c2)
+            std::printf(" %+.3f", out(0, c2));
+        std::printf("\n");
+    }
+    std::printf("\nOffline reuses the merge-path schedule across"
+                " inferences; online rebuilds it each time (an evolving"
+                " graph), costing only a small fraction of the inference"
+                " (paper Fig. 8: ~2%%).\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Kernel explorer: run every SpMM strategy on one graph, verify all
+ * results agree with the sequential reference, measure host
+ * wall-clock, and show the modelled RTX 6000 execution time from the
+ * SIMT model side by side.
+ *
+ *   ./kernel_explorer [--graph=Wiki-Vote] [--dim=16] [--shrink=1]
+ */
+#include <cstdio>
+#include <string>
+
+#include "mps/core/policy.h"
+#include "mps/core/spmm.h"
+#include "mps/kernels/registry.h"
+#include "mps/simt/codegen.h"
+#include "mps/simt/gpu_model.h"
+#include "mps/sparse/datasets.h"
+#include "mps/sparse/degree_stats.h"
+#include "mps/util/cli.h"
+#include "mps/util/rng.h"
+#include "mps/util/table.h"
+#include "mps/util/thread_pool.h"
+#include "mps/util/timer.h"
+
+using namespace mps;
+
+namespace {
+
+/** Modelled GPU time for the registry kernel names. */
+double
+gpu_model_us(const CsrMatrix &a, index_t dim, const std::string &name)
+{
+    GpuConfig gpu = GpuConfig::rtx6000();
+    KernelWorkload w;
+    if (name == "mergepath") {
+        w = build_mergepath_workload(a, dim,
+                                     default_merge_path_cost(dim), gpu);
+    } else if (name == "gnnadvisor") {
+        w = build_gnnadvisor_workload(a, dim, 0,
+                                      GnnAdvisorVariant::kBaseline, gpu);
+    } else if (name == "row_split") {
+        w = build_rowsplit_workload(a, dim, 0, gpu);
+    } else if (name == "mergepath_serial") {
+        w = build_mergepath_serial_workload(a, dim, 1024, gpu);
+    } else if (name == "adaptive") {
+        w = build_cusparse_workload(a, dim, gpu);
+    } else {
+        return 0.0; // reference kernel: host-only
+    }
+    return simulate_gpu(w, gpu).microseconds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("SpMM kernel explorer");
+    flags.add_string("graph", "Wiki-Vote", "Table II dataset name");
+    flags.add_int("dim", 16, "dense dimension size");
+    flags.add_int("shrink", 1, "downscale factor for quick runs");
+    flags.add_bool("csv", false, "emit CSV instead of aligned text");
+    flags.parse(argc, argv);
+
+    const auto &spec = find_dataset_spec(flags.get_string("graph"));
+    index_t shrink = static_cast<index_t>(flags.get_int("shrink"));
+    CsrMatrix a = shrink > 1 ? make_scaled_dataset(spec, shrink)
+                             : make_dataset(spec);
+    const index_t dim = static_cast<index_t>(flags.get_int("dim"));
+    std::printf("graph %s%s: %d nodes, %d nnz, %s\n", spec.name.c_str(),
+                shrink > 1 ? " (scaled)" : "", a.rows(), a.nnz(),
+                to_string(compute_degree_stats(a)).c_str());
+
+    Pcg32 rng(11);
+    DenseMatrix b(a.cols(), dim);
+    b.fill_random(rng);
+    DenseMatrix gold(a.rows(), dim);
+    reference_spmm(a, b, gold);
+
+    ThreadPool pool;
+    Table table({"kernel", "host_ms", "gpu_model_us", "correct"});
+    for (const std::string &name : spmm_kernel_names()) {
+        auto kernel = make_spmm_kernel(name);
+        kernel->prepare(a, dim);
+        DenseMatrix c(a.rows(), dim);
+        Timer timer;
+        kernel->run(a, b, c, pool);
+        double host_ms = timer.elapsed_seconds() * 1e3;
+        bool ok = c.approx_equal(gold, 1e-3, 1e-3);
+
+        table.new_row();
+        table.add(name);
+        table.add(host_ms, 3);
+        double us = gpu_model_us(a, dim, name);
+        if (us > 0.0)
+            table.add(us, 2);
+        else
+            table.add("-");
+        table.add(ok ? "ok" : "MISMATCH");
+    }
+    table.print(flags.get_bool("csv"));
+    return 0;
+}

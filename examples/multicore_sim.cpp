@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Run one SpMM on the simulated Table I multicore and print the
+ * scaling curve — a small interactive version of the Figure 9
+ * experiment.
+ *
+ *   ./multicore_sim [--graph=Pubmed] [--dim=16] [--shrink=4]
+ *                   [--kernel=mergepath]
+ */
+#include <cstdio>
+
+#include "mps/multicore/tracegen.h"
+#include "mps/sparse/datasets.h"
+#include "mps/util/cli.h"
+#include "mps/util/table.h"
+
+using namespace mps;
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("multicore scaling demo");
+    flags.add_string("graph", "Pubmed", "Table II dataset name");
+    flags.add_int("dim", 16, "dense dimension size");
+    flags.add_int("shrink", 4, "downscale factor for quick runs");
+    flags.add_string("kernel", "mergepath",
+                     "kernel: mergepath | gnnadvisor");
+    flags.add_bool("csv", false, "emit CSV instead of aligned text");
+    flags.parse(argc, argv);
+
+    const auto &spec = find_dataset_spec(flags.get_string("graph"));
+    index_t shrink = static_cast<index_t>(flags.get_int("shrink"));
+    CsrMatrix a = shrink > 1 ? make_scaled_dataset(spec, shrink)
+                             : make_dataset(spec);
+    const index_t dim = static_cast<index_t>(flags.get_int("dim"));
+    std::printf("graph %s%s: %d nodes, %d nnz; kernel %s, dim %d\n",
+                spec.name.c_str(), shrink > 1 ? " (scaled)" : "",
+                a.rows(), a.nnz(), flags.get_string("kernel").c_str(),
+                static_cast<int>(dim));
+
+    MulticoreConfig base = MulticoreConfig::table1();
+    Table table({"cores", "cycles", "speedup_vs_64", "compute_%",
+                 "memory_%", "l1_miss", "dram_lines", "invalidations"});
+    double base_cycles = 0.0;
+    for (int cores : {64, 128, 256, 512, 1024}) {
+        MulticoreConfig cfg = base.scaled_to(cores);
+        MulticoreResult r = run_spmm_on_multicore(
+            a, dim, cfg, flags.get_string("kernel"));
+        if (cores == 64)
+            base_cycles = r.completion_cycles;
+        double busy = r.avg_compute_cycles + r.avg_memory_cycles;
+        table.new_row();
+        table.add_int(cores);
+        table.add(r.completion_cycles, 0);
+        table.add(base_cycles / r.completion_cycles, 2);
+        table.add(100.0 * r.avg_compute_cycles / std::max(busy, 1.0), 1);
+        table.add(100.0 * r.avg_memory_cycles / std::max(busy, 1.0), 1);
+        table.add_int(r.total_l1_misses);
+        table.add_int(r.total_dram_lines);
+        table.add_int(r.total_invalidations);
+    }
+    table.print(flags.get_bool("csv"));
+    return 0;
+}

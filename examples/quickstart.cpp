@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: build a sparse matrix, compute C = A * B with
+ * MergePath-SpMM, and inspect the load-balanced schedule.
+ *
+ *   ./quickstart [--nodes=N] [--nnz=M] [--max-degree=D] [--dim=K]
+ *                [--threads=T]
+ */
+#include <cstdio>
+
+#include "mps/core/spmm.h"
+#include "mps/sparse/degree_stats.h"
+#include "mps/sparse/generate.h"
+#include "mps/util/cli.h"
+#include "mps/util/rng.h"
+#include "mps/util/thread_pool.h"
+
+using namespace mps;
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("MergePath-SpMM quickstart");
+    flags.add_int("nodes", 10000, "graph nodes");
+    flags.add_int("nnz", 60000, "graph non-zeros");
+    flags.add_int("max-degree", 2000, "maximum row degree (evil row)");
+    flags.add_int("dim", 16, "dense dimension size");
+    flags.add_int("threads", 256, "merge-path threads");
+    flags.parse(argc, argv);
+
+    // 1. A power-law graph: most rows are short, a few are evil.
+    PowerLawParams params;
+    params.nodes = static_cast<index_t>(flags.get_int("nodes"));
+    params.target_nnz = static_cast<index_t>(flags.get_int("nnz"));
+    params.max_degree = static_cast<index_t>(flags.get_int("max-degree"));
+    params.seed = 42;
+    CsrMatrix a = power_law_graph(params);
+    std::printf("graph: %d nodes, %d non-zeros, %s\n", a.rows(), a.nnz(),
+                to_string(compute_degree_stats(a)).c_str());
+
+    // 2. A dense input matrix (e.g. the XW product of a GCN layer).
+    const index_t dim = static_cast<index_t>(flags.get_int("dim"));
+    DenseMatrix b(a.cols(), dim);
+    Pcg32 rng(7);
+    b.fill_random(rng);
+
+    // 3. The merge-path schedule: every thread gets an equal share of
+    //    rows + non-zeros, no matter how skewed the rows are.
+    index_t threads = static_cast<index_t>(flags.get_int("threads"));
+    MergePathSchedule schedule = MergePathSchedule::build(a, threads);
+    ScheduleCensus census = schedule.census(a);
+    std::printf("schedule: %d threads x <=%lld merge items; "
+                "%lld atomic commits, %lld plain row writes, "
+                "%lld split rows\n",
+                schedule.num_threads(),
+                static_cast<long long>(schedule.items_per_thread()),
+                static_cast<long long>(census.atomic_commits),
+                static_cast<long long>(census.plain_row_writes),
+                static_cast<long long>(census.split_rows));
+
+    // 4. Run the kernel and verify against the sequential reference.
+    ThreadPool pool;
+    DenseMatrix c(a.rows(), dim), gold(a.rows(), dim);
+    mergepath_spmm_parallel(a, b, c, schedule, pool);
+    reference_spmm(a, b, gold);
+    std::printf("max |difference| vs reference: %.3g -> %s\n",
+                c.max_abs_diff(gold),
+                c.approx_equal(gold, 1e-3, 1e-4) ? "OK" : "MISMATCH");
+    return c.approx_equal(gold, 1e-3, 1e-4) ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+#include "mps/accel/awb_gcn.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+AwbGcnResult
+simulate_awb_gcn(const CsrMatrix &a, index_t dim, const AwbGcnConfig &config)
+{
+    MPS_CHECK(config.num_pes >= 1, "AWB-GCN needs at least one PE");
+    MPS_CHECK(config.max_pes_per_row >= 1, "max_pes_per_row must be >= 1");
+    AwbGcnResult r;
+
+    const size_t pes = static_cast<size_t>(config.num_pes);
+    const double total_macs =
+        static_cast<double>(a.nnz()) * static_cast<double>(dim);
+    r.ideal_load = total_macs /
+                   (static_cast<double>(pes) * config.macs_per_pe_cycle);
+
+    // Initial static distribution: rows round-robin over PEs. Track per
+    // PE both its load and the hardware floor below which the tuner
+    // cannot push it (heaviest resident row divided by the maximum PE
+    // gang size).
+    std::vector<double> load(pes, 0.0);
+    std::vector<double> floor_load(pes, 0.0);
+    for (index_t row = 0; row < a.rows(); ++row) {
+        size_t pe = static_cast<size_t>(row) % pes;
+        double work = static_cast<double>(a.degree(row)) * dim /
+                      config.macs_per_pe_cycle;
+        load[pe] += work;
+        floor_load[pe] =
+            std::max(floor_load[pe], work / config.max_pes_per_row);
+    }
+
+    // Auto-tuner: every round the hardware detects the most overloaded
+    // PEs and migrates their excess (down to their floor) toward the
+    // least loaded PEs, one adjustment at a time.
+    int64_t adjustments = 0;
+    bool balanced = false;
+    for (int round = 0; round < config.autotune_rounds && !balanced;
+         ++round) {
+        for (int move = 0; move < config.moves_per_round; ++move) {
+            size_t hot = 0, cold = 0;
+            for (size_t p = 1; p < pes; ++p) {
+                if (load[p] > load[hot])
+                    hot = p;
+                if (load[p] < load[cold])
+                    cold = p;
+            }
+            double target = std::max(r.ideal_load, floor_load[hot]);
+            double excess = load[hot] - target;
+            if (excess <= r.ideal_load * 0.05) {
+                balanced = true; // good enough; the tuner goes idle
+                break;
+            }
+            double give = std::min(excess, (load[hot] - load[cold]) / 2);
+            load[hot] -= give;
+            load[cold] += give;
+            ++adjustments;
+        }
+    }
+    r.balanced_load = *std::max_element(load.begin(), load.end());
+    r.adjustments = adjustments;
+    r.utilization =
+        r.balanced_load > 0.0 ? r.ideal_load / r.balanced_load : 1.0;
+
+    // Off-chip streaming: CSR metadata plus the dense XW input and C
+    // output matrices.
+    double bytes = static_cast<double>(a.nnz()) * 8.0 +
+                   (static_cast<double>(a.rows()) + 1) * 4.0 +
+                   2.0 * static_cast<double>(a.rows()) * dim * 4.0;
+    r.memory_bound = bytes / config.dram_bytes_per_cycle;
+
+    r.cycles = std::max(r.balanced_load, r.memory_bound) +
+               static_cast<double>(adjustments) *
+                   config.cycles_per_adjustment +
+               config.fixed_overhead_cycles;
+    r.microseconds = r.cycles / (config.clock_ghz * 1e3);
+    return r;
+}
+
+} // namespace mps

@@ -1,0 +1,41 @@
+#include "mps/accel/hygcn.h"
+
+#include <algorithm>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+HyGcnResult
+simulate_hygcn(const CsrMatrix &a, index_t in_features, index_t out_dim,
+               const HyGcnConfig &config)
+{
+    MPS_CHECK(in_features >= 1 && out_dim >= 1,
+              "feature widths must be positive");
+    MPS_CHECK(config.gather_efficiency > 0.0 &&
+                  config.gather_efficiency <= 1.0,
+              "gather efficiency must be in (0, 1]");
+
+    HyGcnResult r;
+    // Combination first (X x W), streamed into aggregation (A x XW):
+    // both engines run concurrently once the pipeline fills, so the
+    // layer takes as long as the busier engine.
+    double comb_macs = static_cast<double>(a.rows()) * in_features *
+                       out_dim;
+    double agg_macs = static_cast<double>(a.nnz()) * out_dim;
+
+    r.comb_cycles = comb_macs / config.comb_macs_per_cycle;
+    r.agg_cycles = agg_macs / (config.agg_macs_per_cycle *
+                               config.gather_efficiency);
+
+    double span = std::max(r.agg_cycles, r.comb_cycles);
+    r.cycles = span + config.fixed_overhead_cycles;
+    r.microseconds = r.cycles / (config.clock_ghz * 1e3);
+    if (span > 0.0) {
+        r.agg_utilization = r.agg_cycles / span;
+        r.comb_utilization = r.comb_cycles / span;
+    }
+    return r;
+}
+
+} // namespace mps

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cycle-approximate model of the AWB-GCN hardware accelerator
+ * (Geng et al., MICRO'20), the paper's Figure 2 comparison point.
+ *
+ * AWB-GCN is a row-wise SpMM engine of 4096 multiply-accumulate
+ * processing elements at 330 MHz with a hardware auto-tuner that
+ * detects "evil rows" at runtime and spreads their work over multiple
+ * PEs. The model reproduces its two defining behaviours:
+ *
+ *  - on small graphs it fully exploits its fixed parallelism and wins
+ *    against GPU kernels that cannot spawn enough useful warps;
+ *  - on large graphs its parallelism is capped at 4096 PEs (and a
+ *    330 MHz clock), so massively parallel GPU kernels pass it.
+ *
+ * The auto-tuner is simulated as iterative rebalancing rounds: each
+ * round detects overloaded PEs and migrates half of the heaviest row's
+ * remaining work to the most idle PE, charging a per-adjustment
+ * latency, exactly in the spirit of the published design.
+ */
+#ifndef MPS_ACCEL_AWB_GCN_H
+#define MPS_ACCEL_AWB_GCN_H
+
+#include <cstdint>
+
+#include "mps/sparse/csr_matrix.h"
+
+namespace mps {
+
+/** AWB-GCN hardware parameters (defaults from the paper). */
+struct AwbGcnConfig
+{
+    /** Multiply-accumulate processing elements. */
+    int num_pes = 4096;
+    /** Accelerator clock in GHz. */
+    double clock_ghz = 0.33;
+    /** Auto-tuner rebalancing rounds. */
+    int autotune_rounds = 8;
+    /** Work migrations the tuner performs per round. */
+    int moves_per_round = 32;
+    /**
+     * Maximum processing elements the tuner can gang onto one evil
+     * row (the distribution-smoothing network has finite fan-out); a
+     * row's work can never be spread thinner than this.
+     */
+    int max_pes_per_row = 16;
+    /**
+     * Cycles charged per tuner adjustment. The tuner runs concurrently
+     * with execution, so only a small rerouting bubble is exposed.
+     */
+    double cycles_per_adjustment = 2.0;
+    /** MACs one PE retires per cycle. */
+    double macs_per_pe_cycle = 1.0;
+    /** Fixed pipeline fill/drain overhead in cycles. */
+    double fixed_overhead_cycles = 600.0;
+    /**
+     * Off-chip bandwidth in bytes per accelerator cycle (512 B/cycle
+     * at 330 MHz is ~169 GB/s, an FPGA-HBM-class figure). Streaming
+     * the XW and C matrices bounds the big-graph cases.
+     */
+    double dram_bytes_per_cycle = 512.0;
+};
+
+/** Modelled execution of one A x XW kernel on AWB-GCN. */
+struct AwbGcnResult
+{
+    double cycles = 0.0;
+    double microseconds = 0.0;
+    /** Max-over-PEs load after auto-tuning (cycles). */
+    double balanced_load = 0.0;
+    /** Ideal perfectly-balanced load (cycles). */
+    double ideal_load = 0.0;
+    /** PE utilization achieved after tuning, in (0, 1]. */
+    double utilization = 0.0;
+    /** Total tuner adjustments performed. */
+    int64_t adjustments = 0;
+    /** Off-chip streaming bound in cycles (CSR + XW + C traffic). */
+    double memory_bound = 0.0;
+};
+
+/**
+ * Model the A x XW SpMM of matrix @p a with dense dimension @p dim on
+ * the AWB-GCN accelerator @p config.
+ */
+AwbGcnResult simulate_awb_gcn(const CsrMatrix &a, index_t dim,
+                              const AwbGcnConfig &config = {});
+
+} // namespace mps
+
+#endif // MPS_ACCEL_AWB_GCN_H

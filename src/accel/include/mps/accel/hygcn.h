@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Model of a HyGCN-style hybrid GCN accelerator (Yan et al.,
+ * HPCA'20): two specialized engines — an aggregation engine of SIMD
+ * gather cores for the sparse A x X phase and a systolic combination
+ * engine for the dense X x W phase — executing a layer as a pipeline.
+ *
+ * The paper's Section I uses this design point to motivate the unified
+ * SpMM approach: because the aggregation/combination work ratio is a
+ * property of the input graph (average degree vs. feature width), one
+ * of the two fixed engines is under-utilized on any given input. The
+ * model exposes exactly that utilization gap; bench/accel_comparison
+ * tabulates it against the unified AWB-GCN array.
+ */
+#ifndef MPS_ACCEL_HYGCN_H
+#define MPS_ACCEL_HYGCN_H
+
+#include "mps/sparse/csr_matrix.h"
+
+namespace mps {
+
+/** Hybrid accelerator parameters (HyGCN-like defaults). */
+struct HyGcnConfig
+{
+    /** Aggregation engine MACs per cycle (SIMD gather cores). */
+    double agg_macs_per_cycle = 512.0;
+    /** Combination engine MACs per cycle (systolic array). */
+    double comb_macs_per_cycle = 4096.0;
+    /** Accelerator clock in GHz. */
+    double clock_ghz = 1.0;
+    /** Pipeline fill/flush overhead in cycles. */
+    double fixed_overhead_cycles = 2000.0;
+    /**
+     * Gather efficiency of the aggregation engine on irregular
+     * inputs in (0, 1]: random column accesses keep SIMD lanes
+     * partially idle.
+     */
+    double gather_efficiency = 0.6;
+};
+
+/** Modelled execution of one full GCN layer on the hybrid design. */
+struct HyGcnResult
+{
+    double cycles = 0.0;
+    double microseconds = 0.0;
+    /** Busy cycles of the aggregation engine. */
+    double agg_cycles = 0.0;
+    /** Busy cycles of the combination engine. */
+    double comb_cycles = 0.0;
+    /** agg_cycles / total (excluding overhead), in (0, 1]. */
+    double agg_utilization = 0.0;
+    /** comb_cycles / total (excluding overhead), in (0, 1]. */
+    double comb_utilization = 0.0;
+};
+
+/**
+ * Model one GCN layer A x (X x W) on the hybrid accelerator:
+ * aggregation work = nnz(A) * out_dim MACs on the gather engine,
+ * combination work = nodes * in_features * out_dim MACs on the
+ * systolic engine, overlapped as a pipeline whose length is set by the
+ * slower engine.
+ *
+ * @param a           adjacency matrix
+ * @param in_features feature width entering the layer (f)
+ * @param out_dim     hidden width leaving the layer (d)
+ */
+HyGcnResult simulate_hygcn(const CsrMatrix &a, index_t in_features,
+                           index_t out_dim,
+                           const HyGcnConfig &config = {});
+
+} // namespace mps
+
+#endif // MPS_ACCEL_HYGCN_H

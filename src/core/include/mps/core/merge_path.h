@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Merge-path 2-D diagonal search (Merrill & Garland, PPoPP'16).
+ *
+ * The merge path treats SpMM scheduling as merging two sorted lists:
+ * the CSR row-end offsets (list A, one item per row) and the natural
+ * numbers 0..nnz-1 (list B, one item per non-zero). Splitting the merge
+ * at equally spaced diagonals gives every thread the same number of
+ * row-transitions + non-zeros, which bounds per-thread work regardless
+ * of how skewed the row lengths are ("evil rows").
+ */
+#ifndef MPS_CORE_MERGE_PATH_H
+#define MPS_CORE_MERGE_PATH_H
+
+#include <cstdint>
+
+#include "mps/sparse/types.h"
+
+namespace mps {
+
+/**
+ * A point on the merge path: @p row rows consumed, @p nz non-zeros
+ * consumed (row + nz equals the diagonal the point lies on).
+ */
+struct MergeCoordinate
+{
+    index_t row;
+    index_t nz;
+
+    bool operator==(const MergeCoordinate &) const = default;
+};
+
+/**
+ * Locate where the merge path crosses @p diagonal.
+ *
+ * @param diagonal     the diagonal to search, in [0, num_rows + nnz]
+ * @param row_end_offsets pointer to row_ptr[1..num_rows] (CSR row ends)
+ * @param num_rows     number of rows of the sparse matrix
+ * @param nnz          number of non-zeros of the sparse matrix
+ * @return the unique (row, nz) with row + nz == diagonal such that all
+ *         row-end items before @p row merge-precede all nnz items from
+ *         @p nz onward. O(log(min(diagonal, num_rows))) comparisons.
+ */
+MergeCoordinate merge_path_search(int64_t diagonal,
+                                  const index_t *row_end_offsets,
+                                  index_t num_rows, index_t nnz);
+
+} // namespace mps
+
+#endif // MPS_CORE_MERGE_PATH_H

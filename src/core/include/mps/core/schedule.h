@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The MergePath-SpMM schedule: per-thread merge-path coordinates plus the
+ * partial/complete row tracking that is the paper's core contribution
+ * (Section III-B). Rows split across threads are committed with one
+ * atomic vector update per contributing thread; rows fully owned by a
+ * single thread are written with plain stores.
+ */
+#ifndef MPS_CORE_SCHEDULE_H
+#define MPS_CORE_SCHEDULE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mps/core/merge_path.h"
+#include "mps/sparse/csr_matrix.h"
+
+namespace mps {
+
+/**
+ * One thread's share of the merge path, [start, end) in merge items.
+ * start.row / start.nz and end.row / end.nz correspond to Algorithm 2's
+ * (start_row, start_nz) and (end_row, end_nz); partialness is derived
+ * from the coordinates instead of the paper's 0-sentinel so that nnz
+ * id 0 needs no special casing.
+ */
+struct ThreadWork
+{
+    MergeCoordinate start;
+    MergeCoordinate end;
+
+    /** Thread has no merge items at all. */
+    bool empty() const {
+        return start.row == end.row && start.nz == end.nz;
+    }
+};
+
+/**
+ * Per-thread classification of the work in a ThreadWork, resolved
+ * against the matrix's row pointers. This is what both the portable
+ * kernels and the GPU warp-program generators execute.
+ */
+struct ResolvedWork
+{
+    /** Head contribution: row @p head_row, nnz [head_begin, head_end). */
+    index_t head_row = 0;
+    index_t head_begin = 0;
+    index_t head_end = 0;
+    /** True when the head contribution must be committed atomically. */
+    bool head_atomic = false;
+
+    /** Fully-owned rows [first_complete_row, last_complete_row). */
+    index_t first_complete_row = 0;
+    index_t last_complete_row = 0;
+
+    /** Tail contribution: row @p tail_row, nnz [tail_begin, tail_end). */
+    index_t tail_row = 0;
+    index_t tail_begin = 0;
+    index_t tail_end = 0;
+    bool tail_atomic = false;
+
+    bool has_head() const { return head_end > head_begin; }
+    bool has_tail() const { return tail_end > tail_begin; }
+};
+
+/** Aggregate write-type statistics for Figure 5. */
+struct ScheduleCensus
+{
+    /** Threads with zero merge items. */
+    int64_t empty_threads = 0;
+    /** One-atomic-vector-commit events (partial row contributions). */
+    int64_t atomic_commits = 0;
+    /** Plain (non-atomic) full-row writes. */
+    int64_t plain_row_writes = 0;
+    /** Distinct rows written by more than one thread. */
+    int64_t split_rows = 0;
+    /** Non-zeros processed under an atomic commit. */
+    int64_t atomic_nnz = 0;
+    /** Non-zeros processed under plain row writes. */
+    int64_t plain_nnz = 0;
+    /** Largest number of non-zeros assigned to any single thread. */
+    int64_t max_nnz_per_thread = 0;
+    /** Largest number of merge items assigned to any single thread. */
+    int64_t max_items_per_thread = 0;
+
+    /** Fraction of output-write events that are atomic. */
+    double atomic_write_fraction() const {
+        int64_t total = atomic_commits + plain_row_writes;
+        return total == 0 ? 0.0
+                          : static_cast<double>(atomic_commits) / total;
+    }
+};
+
+/**
+ * Load-balanced assignment of a CSR matrix's rows + non-zeros to a fixed
+ * number of threads via the merge-path decomposition. Building a
+ * schedule costs one O(log) diagonal search per thread and nothing else:
+ * no preprocessing, reordering, or CSR format extension.
+ */
+class MergePathSchedule
+{
+  public:
+    /** Build for an explicit thread count (>= 1). */
+    static MergePathSchedule build(const CsrMatrix &a, index_t num_threads);
+
+    /**
+     * Build from a target merge-path cost (items per thread). The thread
+     * count is ceil((rows + nnz) / cost), raised to @p min_threads when
+     * the computed count is lower (Section III-C's small-graph rule; the
+     * cost is implicitly reduced). Pass min_threads = 0 to disable.
+     */
+    static MergePathSchedule build_with_cost(const CsrMatrix &a,
+                                             index_t cost,
+                                             index_t min_threads = 0);
+
+    /**
+     * Reassemble a schedule from stored parts (deserialization). The
+     * caller should validate() against the matrix it was built for.
+     */
+    static MergePathSchedule from_parts(std::vector<ThreadWork> work,
+                                        int64_t items_per_thread);
+
+    index_t num_threads() const {
+        return static_cast<index_t>(work_.size());
+    }
+
+    /** Merge items per thread the construction actually used. */
+    int64_t items_per_thread() const { return items_per_thread_; }
+
+    const std::vector<ThreadWork> &work() const { return work_; }
+
+    const ThreadWork &work(index_t thread) const {
+        return work_[static_cast<size_t>(thread)];
+    }
+
+    /**
+     * Resolve thread @p t's coordinates into head/complete/tail ranges
+     * with atomicity decisions, per Algorithm 2.
+     */
+    ResolvedWork resolve(index_t t, const CsrMatrix &a) const;
+
+    /** Compute Figure-5-style write statistics for this schedule. */
+    ScheduleCensus census(const CsrMatrix &a) const;
+
+    /**
+     * Panics unless the schedule is a partition: thread ranges are
+     * contiguous, cover [0, rows + nnz) exactly, and every thread holds
+     * at most items_per_thread() merge items.
+     */
+    void validate(const CsrMatrix &a) const;
+
+  private:
+    std::vector<ThreadWork> work_;
+    int64_t items_per_thread_ = 0;
+};
+
+} // namespace mps
+
+#endif // MPS_CORE_SCHEDULE_H

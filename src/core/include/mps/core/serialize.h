@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Binary serialization for CSR matrices and merge-path schedules.
+ *
+ * The paper's offline setting computes the schedule once and reuses it
+ * "as long as the sparse input matrix is not swapped out"; these
+ * helpers extend reuse across process lifetimes: a service can persist
+ * the graph and its tuned schedule and skip both graph parsing and
+ * scheduling at startup. Fixed little-endian layout with magic +
+ * version headers; fatal() on malformed input.
+ */
+#ifndef MPS_CORE_SERIALIZE_H
+#define MPS_CORE_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "mps/core/schedule.h"
+#include "mps/sparse/csr_matrix.h"
+
+namespace mps {
+
+/** Write @p m in the binary CSR container format. */
+void write_csr_binary(std::ostream &out, const CsrMatrix &m);
+
+/** Read a binary CSR container; fatal() on format errors. */
+CsrMatrix read_csr_binary(std::istream &in);
+
+/** File-path convenience wrappers. */
+void write_csr_binary_file(const std::string &path, const CsrMatrix &m);
+CsrMatrix read_csr_binary_file(const std::string &path);
+
+/** Write @p sched in the binary schedule format. */
+void write_schedule_binary(std::ostream &out,
+                           const MergePathSchedule &sched);
+
+/**
+ * Read a binary schedule. Call sched.validate(a) afterwards to confirm
+ * it belongs to the matrix at hand.
+ */
+MergePathSchedule read_schedule_binary(std::istream &in);
+
+} // namespace mps
+
+#endif // MPS_CORE_SERIALIZE_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * MergePath-SpMM kernels (Algorithm 2): C = A * B with A sparse (CSR)
+ * and B, C dense row-major. Thread-local accumulation buffers hold the
+ * partial-row sums; each split row receives exactly one atomic vector
+ * commit per contributing thread, complete rows are plain stores.
+ */
+#ifndef MPS_CORE_SPMM_H
+#define MPS_CORE_SPMM_H
+
+#include "mps/core/schedule.h"
+#include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/dense_matrix.h"
+
+namespace mps {
+
+class ThreadPool;
+
+/**
+ * Execute MergePath-SpMM single-threaded, processing the schedule's
+ * thread shares one after another. Bit-identical to what the parallel
+ * version computes modulo floating-point commit order; used as the
+ * deterministic reference for the schedule logic.
+ *
+ * @param a     sparse input, rows x cols CSR
+ * @param b     dense input, a.cols() x d
+ * @param c     dense output, a.rows() x d (overwritten)
+ * @param sched merge-path schedule built for @p a
+ */
+void mergepath_spmm_sequential(const CsrMatrix &a, const DenseMatrix &b,
+                               DenseMatrix &c,
+                               const MergePathSchedule &sched);
+
+/**
+ * Execute MergePath-SpMM on @p pool, one task per schedule thread.
+ * Split-row commits use atomic floating-point adds; complete rows use
+ * plain stores, exactly as in the paper.
+ */
+void mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
+                             DenseMatrix &c,
+                             const MergePathSchedule &sched,
+                             ThreadPool &pool);
+
+/**
+ * Convenience: build a schedule with the tuned default cost for
+ * b.cols() (no minimum-thread floor on the CPU; one merge-path thread
+ * per pool worker times 16 for dynamic balance) and run in parallel.
+ */
+void mergepath_spmm(const CsrMatrix &a, const DenseMatrix &b,
+                    DenseMatrix &c, ThreadPool &pool);
+
+/** Plain row-by-row sequential SpMM: the gold reference for tests. */
+void reference_spmm(const CsrMatrix &a, const DenseMatrix &b,
+                    DenseMatrix &c);
+
+} // namespace mps
+
+#endif // MPS_CORE_SPMM_H

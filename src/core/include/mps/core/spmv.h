@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Merge-path SpMV (Merrill & Garland, PPoPP'16): the original
+ * algorithm MergePath-SpMM generalizes.
+ *
+ * y = A * x with x a vector. Each thread processes its merge-path
+ * share; complete rows are written directly and the partial last row's
+ * running total is saved as a (row, value) carry. A sequential fix-up
+ * folds the carries — a single scalar add per thread, which is why the
+ * serial phase is tolerable for SpMV but not for SpMM (where each
+ * carry is a d-wide vector, see Section III of the paper).
+ */
+#ifndef MPS_CORE_SPMV_H
+#define MPS_CORE_SPMV_H
+
+#include <vector>
+
+#include "mps/core/schedule.h"
+#include "mps/sparse/csr_matrix.h"
+
+namespace mps {
+
+class ThreadPool;
+
+/** Sequential reference y = A * x. */
+void reference_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
+                    std::vector<value_t> &y);
+
+/**
+ * Merge-path SpMV with the serial carry fix-up, parallel over @p pool.
+ * @param a     square or rectangular CSR matrix
+ * @param x     input vector of length a.cols()
+ * @param y     output vector of length a.rows() (overwritten)
+ * @param sched merge-path schedule built for @p a
+ */
+void mergepath_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
+                    std::vector<value_t> &y,
+                    const MergePathSchedule &sched, ThreadPool &pool);
+
+} // namespace mps
+
+#endif // MPS_CORE_SPMV_H

@@ -1,0 +1,35 @@
+#include "mps/core/merge_path.h"
+
+#include <algorithm>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+MergeCoordinate
+merge_path_search(int64_t diagonal, const index_t *row_end_offsets,
+                  index_t num_rows, index_t nnz)
+{
+    MPS_CHECK(diagonal >= 0 &&
+                  diagonal <= static_cast<int64_t>(num_rows) + nnz,
+              "diagonal out of range: ", diagonal);
+
+    // Binary search along the diagonal for the first row index whose
+    // row-end offset exceeds the non-zero index paired with it. Items of
+    // list A (row ends) win ties, matching the CUB reference: a row's
+    // trailing boundary is consumed before the first non-zero of the
+    // next row at the same diagonal.
+    int64_t x_min = std::max<int64_t>(diagonal - nnz, 0);
+    int64_t x_max = std::min<int64_t>(diagonal, num_rows);
+    while (x_min < x_max) {
+        int64_t pivot = x_min + (x_max - x_min) / 2;
+        if (row_end_offsets[pivot] <= diagonal - pivot - 1)
+            x_min = pivot + 1;
+        else
+            x_max = pivot;
+    }
+    return {static_cast<index_t>(x_min),
+            static_cast<index_t>(diagonal - x_min)};
+}
+
+} // namespace mps

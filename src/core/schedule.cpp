@@ -1,0 +1,231 @@
+#include "mps/core/schedule.h"
+
+#include <algorithm>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+MergePathSchedule
+MergePathSchedule::build(const CsrMatrix &a, index_t num_threads)
+{
+    MPS_CHECK(num_threads >= 1, "need at least one thread");
+    int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
+
+    MergePathSchedule sched;
+    sched.items_per_thread_ =
+        (total + num_threads - 1) / std::max<int64_t>(num_threads, 1);
+    if (sched.items_per_thread_ == 0)
+        sched.items_per_thread_ = 1;
+
+    // One search per thread boundary; adjacent threads share coordinates
+    // so the schedule is a partition by construction.
+    const index_t *row_ends =
+        a.rows() > 0 ? a.row_ptr().data() + 1 : nullptr;
+    std::vector<MergeCoordinate> bounds(
+        static_cast<size_t>(num_threads) + 1);
+    for (index_t t = 0; t <= num_threads; ++t) {
+        int64_t diagonal =
+            std::min<int64_t>(static_cast<int64_t>(t) *
+                                  sched.items_per_thread_,
+                              total);
+        bounds[static_cast<size_t>(t)] =
+            merge_path_search(diagonal, row_ends, a.rows(), a.nnz());
+    }
+    sched.work_.resize(static_cast<size_t>(num_threads));
+    for (index_t t = 0; t < num_threads; ++t) {
+        sched.work_[static_cast<size_t>(t)] = {
+            bounds[static_cast<size_t>(t)],
+            bounds[static_cast<size_t>(t) + 1]};
+    }
+    return sched;
+}
+
+MergePathSchedule
+MergePathSchedule::build_with_cost(const CsrMatrix &a, index_t cost,
+                                   index_t min_threads)
+{
+    MPS_CHECK(cost >= 1, "merge-path cost must be >= 1");
+    int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
+    int64_t threads = (total + cost - 1) / cost;
+    if (threads < 1)
+        threads = 1;
+    // Small-graph rule (Sec. III-C): guarantee a minimum amount of
+    // parallelism by lowering the effective cost.
+    if (min_threads > 0 && threads < min_threads)
+        threads = min_threads;
+    return build(a, static_cast<index_t>(threads));
+}
+
+MergePathSchedule
+MergePathSchedule::from_parts(std::vector<ThreadWork> work,
+                              int64_t items_per_thread)
+{
+    MPS_CHECK(!work.empty(), "schedule needs at least one thread");
+    MPS_CHECK(items_per_thread >= 1, "items_per_thread must be >= 1");
+    MergePathSchedule sched;
+    sched.work_ = std::move(work);
+    sched.items_per_thread_ = items_per_thread;
+    return sched;
+}
+
+ResolvedWork
+MergePathSchedule::resolve(index_t t, const CsrMatrix &a) const
+{
+    const ThreadWork &w = work_[static_cast<size_t>(t)];
+    const auto &rp = a.row_ptr();
+    ResolvedWork r;
+    if (w.empty())
+        return r;
+
+    const index_t sx = w.start.row, sy = w.start.nz;
+    const index_t ex = w.end.row, ey = w.end.nz;
+
+    if (sx == ex) {
+        // Only one row touched and no row boundary consumed: the whole
+        // contribution is nnz [sy, ey) of row sx. It needs an atomic
+        // commit unless this thread owns the entire row.
+        r.head_row = sx;
+        r.head_begin = sy;
+        r.head_end = ey;
+        r.head_atomic = sy > rp[sx] || ey < rp[static_cast<size_t>(sx) + 1];
+        return r;
+    }
+
+    // Head: the remainder of row sx (partial when the thread starts
+    // mid-row; the preceding thread supplied the missing prefix).
+    if (sy > rp[sx]) {
+        if (sy < rp[static_cast<size_t>(sx) + 1]) {
+            r.head_row = sx;
+            r.head_begin = sy;
+            r.head_end = rp[static_cast<size_t>(sx) + 1];
+            r.head_atomic = true;
+        }
+        r.first_complete_row = sx + 1;
+    } else {
+        r.first_complete_row = sx;
+    }
+    r.last_complete_row = ex;
+
+    // Tail: the prefix [rp[ex], ey) of row ex. If ey lands exactly on the
+    // row's end, this thread computed the whole row alone (the next
+    // thread's share starts with the row-boundary item), so the row is
+    // promoted to a plain complete row.
+    if (ex < a.rows() && ey > rp[ex]) {
+        if (ey < rp[static_cast<size_t>(ex) + 1]) {
+            r.tail_row = ex;
+            r.tail_begin = rp[ex];
+            r.tail_end = ey;
+            r.tail_atomic = true;
+        } else {
+            r.last_complete_row = ex + 1;
+        }
+    }
+    return r;
+}
+
+ScheduleCensus
+MergePathSchedule::census(const CsrMatrix &a) const
+{
+    ScheduleCensus c;
+    const auto &rp = a.row_ptr();
+    std::vector<index_t> atomic_rows;
+
+    for (index_t t = 0; t < num_threads(); ++t) {
+        const ThreadWork &w = work_[static_cast<size_t>(t)];
+        if (w.empty()) {
+            ++c.empty_threads;
+            continue;
+        }
+        int64_t nnz_t = w.end.nz - w.start.nz;
+        int64_t items_t = (w.end.row - w.start.row) + nnz_t;
+        c.max_nnz_per_thread = std::max(c.max_nnz_per_thread, nnz_t);
+        c.max_items_per_thread = std::max(c.max_items_per_thread, items_t);
+
+        ResolvedWork r = resolve(t, a);
+        if (r.has_head()) {
+            int64_t len = r.head_end - r.head_begin;
+            if (r.head_atomic) {
+                ++c.atomic_commits;
+                c.atomic_nnz += len;
+                atomic_rows.push_back(r.head_row);
+            } else {
+                ++c.plain_row_writes;
+                c.plain_nnz += len;
+            }
+        }
+        if (r.last_complete_row > r.first_complete_row) {
+            c.plain_row_writes +=
+                r.last_complete_row - r.first_complete_row;
+            c.plain_nnz += rp[r.last_complete_row] -
+                           rp[r.first_complete_row];
+        }
+        if (r.has_tail()) {
+            ++c.atomic_commits;
+            c.atomic_nnz += r.tail_end - r.tail_begin;
+            atomic_rows.push_back(r.tail_row);
+        }
+    }
+
+    std::sort(atomic_rows.begin(), atomic_rows.end());
+    atomic_rows.erase(std::unique(atomic_rows.begin(), atomic_rows.end()),
+                      atomic_rows.end());
+    c.split_rows = static_cast<int64_t>(atomic_rows.size());
+    return c;
+}
+
+void
+MergePathSchedule::validate(const CsrMatrix &a) const
+{
+    MPS_CHECK(!work_.empty(), "schedule has no threads");
+    int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
+
+    MPS_CHECK(work_.front().start.row == 0 && work_.front().start.nz == 0,
+              "schedule must start at the origin");
+    MPS_CHECK(work_.back().end.row == a.rows() &&
+                  work_.back().end.nz == a.nnz(),
+              "schedule must end at (rows, nnz)");
+
+    int64_t covered = 0;
+    for (size_t t = 0; t < work_.size(); ++t) {
+        const ThreadWork &w = work_[t];
+        MPS_CHECK(w.end.row >= w.start.row && w.end.nz >= w.start.nz,
+                  "thread ", t, " has a backwards range");
+        int64_t items = (w.end.row - w.start.row) +
+                        (w.end.nz - w.start.nz);
+        MPS_CHECK(items <= items_per_thread_, "thread ", t,
+                  " exceeds the merge-path cost: ", items, " > ",
+                  items_per_thread_);
+        if (t + 1 < work_.size()) {
+            MPS_CHECK(w.end == work_[t + 1].start,
+                      "thread ranges must be contiguous at thread ", t);
+        }
+        covered += items;
+    }
+    MPS_CHECK(covered == total, "schedule covers ", covered,
+              " merge items, expected ", total);
+
+    // Every nnz range must lie inside its row per the CSR row pointers.
+    const auto &rp = a.row_ptr();
+    for (size_t t = 0; t < work_.size(); ++t) {
+        const ThreadWork &w = work_[t];
+        if (w.empty())
+            continue;
+        MPS_CHECK(w.start.row <= a.rows() && w.end.row <= a.rows(),
+                  "thread ", t, " row out of range");
+        if (w.start.row < a.rows()) {
+            MPS_CHECK(w.start.nz >= rp[w.start.row] &&
+                          w.start.nz <=
+                              rp[static_cast<size_t>(w.start.row) + 1],
+                      "thread ", t, " start nz not within start row");
+        }
+        if (w.end.row < a.rows()) {
+            MPS_CHECK(w.end.nz >= rp[w.end.row] &&
+                          w.end.nz <=
+                              rp[static_cast<size_t>(w.end.row) + 1],
+                      "thread ", t, " end nz not within end row");
+        }
+    }
+}
+
+} // namespace mps

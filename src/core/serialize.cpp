@@ -1,0 +1,149 @@
+#include "mps/core/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+namespace {
+
+constexpr char kCsrMagic[8] = {'M', 'P', 'S', 'C', 'S', 'R', '0', '1'};
+constexpr char kSchedMagic[8] = {'M', 'P', 'S', 'S', 'C', 'H', '0', '1'};
+
+template <typename T>
+void
+write_pod(std::ostream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+read_pod(std::istream &in, const char *what)
+{
+    T v{};
+    in.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!in)
+        fatal(std::string("binary read failed at ") + what);
+    return v;
+}
+
+template <typename T>
+void
+write_array(std::ostream &out, const std::vector<T> &xs)
+{
+    write_pod<int64_t>(out, static_cast<int64_t>(xs.size()));
+    out.write(reinterpret_cast<const char *>(xs.data()),
+              static_cast<std::streamsize>(xs.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+read_array(std::istream &in, const char *what, int64_t max_len)
+{
+    int64_t len = read_pod<int64_t>(in, what);
+    if (len < 0 || len > max_len)
+        fatal(std::string("implausible array length in ") + what);
+    std::vector<T> xs(static_cast<size_t>(len));
+    in.read(reinterpret_cast<char *>(xs.data()),
+            static_cast<std::streamsize>(xs.size() * sizeof(T)));
+    if (!in)
+        fatal(std::string("binary read failed at ") + what);
+    return xs;
+}
+
+void
+expect_magic(std::istream &in, const char (&magic)[8], const char *what)
+{
+    char got[8];
+    in.read(got, 8);
+    if (!in || std::memcmp(got, magic, 8) != 0)
+        fatal(std::string("bad magic for ") + what);
+}
+
+} // namespace
+
+void
+write_csr_binary(std::ostream &out, const CsrMatrix &m)
+{
+    out.write(kCsrMagic, 8);
+    write_pod<int32_t>(out, m.rows());
+    write_pod<int32_t>(out, m.cols());
+    write_array(out, m.row_ptr());
+    write_array(out, m.col_idx());
+    write_array(out, m.values());
+    MPS_CHECK(out.good(), "binary CSR write failed");
+}
+
+CsrMatrix
+read_csr_binary(std::istream &in)
+{
+    expect_magic(in, kCsrMagic, "CSR container");
+    int32_t rows = read_pod<int32_t>(in, "rows");
+    int32_t cols = read_pod<int32_t>(in, "cols");
+    if (rows < 0 || cols < 0)
+        fatal("binary CSR: negative dimensions");
+    const int64_t kMax = int64_t{1} << 33;
+    auto row_ptr = read_array<index_t>(in, "row_ptr", kMax);
+    auto col_idx = read_array<index_t>(in, "col_idx", kMax);
+    auto values = read_array<value_t>(in, "values", kMax);
+    // CsrMatrix's constructor validates all structural invariants.
+    return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
+}
+
+void
+write_csr_binary_file(const std::string &path, const CsrMatrix &m)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open for writing: " + path);
+    write_csr_binary(out, m);
+}
+
+CsrMatrix
+read_csr_binary_file(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open for reading: " + path);
+    return read_csr_binary(in);
+}
+
+void
+write_schedule_binary(std::ostream &out, const MergePathSchedule &sched)
+{
+    out.write(kSchedMagic, 8);
+    write_pod<int64_t>(out, sched.items_per_thread());
+    write_pod<int64_t>(out, static_cast<int64_t>(sched.num_threads()));
+    for (const ThreadWork &w : sched.work()) {
+        write_pod<index_t>(out, w.start.row);
+        write_pod<index_t>(out, w.start.nz);
+        write_pod<index_t>(out, w.end.row);
+        write_pod<index_t>(out, w.end.nz);
+    }
+    MPS_CHECK(out.good(), "binary schedule write failed");
+}
+
+MergePathSchedule
+read_schedule_binary(std::istream &in)
+{
+    expect_magic(in, kSchedMagic, "schedule container");
+    int64_t items = read_pod<int64_t>(in, "items_per_thread");
+    int64_t threads = read_pod<int64_t>(in, "num_threads");
+    if (items < 1 || threads < 1 || threads > (int64_t{1} << 31))
+        fatal("binary schedule: implausible header");
+    std::vector<ThreadWork> work(static_cast<size_t>(threads));
+    for (auto &w : work) {
+        w.start.row = read_pod<index_t>(in, "start.row");
+        w.start.nz = read_pod<index_t>(in, "start.nz");
+        w.end.row = read_pod<index_t>(in, "end.row");
+        w.end.nz = read_pod<index_t>(in, "end.nz");
+    }
+    return MergePathSchedule::from_parts(std::move(work), items);
+}
+
+} // namespace mps

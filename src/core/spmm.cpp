@@ -1,0 +1,155 @@
+#include "mps/core/spmm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "mps/util/log.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+
+namespace {
+
+/** Atomic a += v on a plain float slot (relaxed; adds commute). */
+inline void
+atomic_add(value_t &slot, value_t v)
+{
+    std::atomic_ref<value_t> ref(slot);
+    value_t old = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(old, old + v,
+                                      std::memory_order_relaxed)) {
+    }
+}
+
+/** Accumulate rows [begin, end) of A's nnz into the local buffer. */
+inline void
+accumulate_range(const CsrMatrix &a, const DenseMatrix &b, index_t nz_begin,
+                 index_t nz_end, value_t *acc, index_t dim)
+{
+    const index_t *cols = a.col_idx().data();
+    const value_t *vals = a.values().data();
+    for (index_t d = 0; d < dim; ++d)
+        acc[d] = 0.0f;
+    for (index_t k = nz_begin; k < nz_end; ++k) {
+        const value_t av = vals[k];
+        const value_t *brow = b.row(cols[k]);
+        for (index_t d = 0; d < dim; ++d)
+            acc[d] += av * brow[d];
+    }
+}
+
+/** Commit the local buffer to output row @p row, atomically or not. */
+inline void
+commit(DenseMatrix &c, index_t row, const value_t *acc, index_t dim,
+       bool atomic)
+{
+    value_t *crow = c.row(row);
+    if (atomic) {
+        for (index_t d = 0; d < dim; ++d)
+            atomic_add(crow[d], acc[d]);
+    } else {
+        for (index_t d = 0; d < dim; ++d)
+            crow[d] += acc[d];
+    }
+}
+
+/**
+ * Execute one thread's share of Algorithm 2. @p acc is a caller-owned
+ * scratch buffer of at least dim elements (the paper's T[0,:]/T[1,:]
+ * thread-local storage; one buffer suffices because the commits are
+ * sequential within a thread).
+ */
+void
+run_thread_work(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+                const MergePathSchedule &sched, index_t t, value_t *acc)
+{
+    const index_t dim = b.cols();
+    ResolvedWork w = sched.resolve(t, a);
+
+    if (w.has_head()) {
+        accumulate_range(a, b, w.head_begin, w.head_end, acc, dim);
+        commit(c, w.head_row, acc, dim, w.head_atomic);
+    }
+    for (index_t row = w.first_complete_row; row < w.last_complete_row;
+         ++row) {
+        accumulate_range(a, b, a.row_begin(row), a.row_end(row), acc, dim);
+        commit(c, row, acc, dim, /*atomic=*/false);
+    }
+    if (w.has_tail()) {
+        accumulate_range(a, b, w.tail_begin, w.tail_end, acc, dim);
+        commit(c, w.tail_row, acc, dim, w.tail_atomic);
+    }
+}
+
+void
+check_shapes(const CsrMatrix &a, const DenseMatrix &b, const DenseMatrix &c)
+{
+    MPS_CHECK(b.rows() == a.cols(), "B rows (", b.rows(),
+              ") must equal A cols (", a.cols(), ")");
+    MPS_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+              "C must be A.rows x B.cols");
+}
+
+} // namespace
+
+void
+mergepath_spmm_sequential(const CsrMatrix &a, const DenseMatrix &b,
+                          DenseMatrix &c, const MergePathSchedule &sched)
+{
+    check_shapes(a, b, c);
+    c.fill(0.0f);
+    std::vector<value_t> acc(static_cast<size_t>(b.cols()));
+    for (index_t t = 0; t < sched.num_threads(); ++t)
+        run_thread_work(a, b, c, sched, t, acc.data());
+}
+
+void
+mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
+                        DenseMatrix &c, const MergePathSchedule &sched,
+                        ThreadPool &pool)
+{
+    check_shapes(a, b, c);
+    c.fill(0.0f);
+    const index_t dim = b.cols();
+    pool.parallel_for(
+        static_cast<uint64_t>(sched.num_threads()),
+        [&](uint64_t t) {
+            // Small per-task scratch; allocation cost is irrelevant next
+            // to the row accumulations and keeps the task re-entrant.
+            std::vector<value_t> acc(static_cast<size_t>(dim));
+            run_thread_work(a, b, c, sched, static_cast<index_t>(t),
+                            acc.data());
+        },
+        /*grain=*/8);
+}
+
+void
+mergepath_spmm(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+               ThreadPool &pool)
+{
+    index_t threads = static_cast<index_t>(pool.size()) * 16;
+    threads = std::max<index_t>(threads, 1);
+    MergePathSchedule sched = MergePathSchedule::build(a, threads);
+    mergepath_spmm_parallel(a, b, c, sched, pool);
+}
+
+void
+reference_spmm(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c)
+{
+    check_shapes(a, b, c);
+    const index_t dim = b.cols();
+    for (index_t r = 0; r < a.rows(); ++r) {
+        value_t *crow = c.row(r);
+        for (index_t d = 0; d < dim; ++d)
+            crow[d] = 0.0f;
+        for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+            const value_t av = a.values()[k];
+            const value_t *brow = b.row(a.col_idx()[k]);
+            for (index_t d = 0; d < dim; ++d)
+                crow[d] += av * brow[d];
+        }
+    }
+}
+
+} // namespace mps

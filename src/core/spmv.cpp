@@ -1,0 +1,80 @@
+#include "mps/core/spmv.h"
+
+#include <algorithm>
+
+#include "mps/util/log.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+
+void
+reference_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
+               std::vector<value_t> &y)
+{
+    MPS_CHECK(x.size() == static_cast<size_t>(a.cols()),
+              "x length must equal A cols");
+    y.assign(static_cast<size_t>(a.rows()), 0.0f);
+    for (index_t r = 0; r < a.rows(); ++r) {
+        value_t sum = 0.0f;
+        for (index_t k = a.row_begin(r); k < a.row_end(r); ++k)
+            sum += a.values()[k] * x[static_cast<size_t>(a.col_idx()[k])];
+        y[static_cast<size_t>(r)] = sum;
+    }
+}
+
+void
+mergepath_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
+               std::vector<value_t> &y, const MergePathSchedule &sched,
+               ThreadPool &pool)
+{
+    MPS_CHECK(x.size() == static_cast<size_t>(a.cols()),
+              "x length must equal A cols");
+    y.assign(static_cast<size_t>(a.rows()), 0.0f);
+    const index_t threads = sched.num_threads();
+
+    // Two scalar carry slots per thread (partial head and tail rows).
+    std::vector<index_t> carry_rows(static_cast<size_t>(threads) * 2, -1);
+    std::vector<value_t> carry_vals(static_cast<size_t>(threads) * 2,
+                                    0.0f);
+
+    pool.parallel_for(static_cast<uint64_t>(threads), [&](uint64_t ti) {
+        index_t t = static_cast<index_t>(ti);
+        ResolvedWork w = sched.resolve(t, a);
+        auto row_sum = [&](index_t begin, index_t end) {
+            value_t sum = 0.0f;
+            for (index_t k = begin; k < end; ++k) {
+                sum += a.values()[k] *
+                       x[static_cast<size_t>(a.col_idx()[k])];
+            }
+            return sum;
+        };
+        if (w.has_head()) {
+            value_t sum = row_sum(w.head_begin, w.head_end);
+            if (w.head_atomic) {
+                size_t slot = static_cast<size_t>(t) * 2;
+                carry_rows[slot] = w.head_row;
+                carry_vals[slot] = sum;
+            } else {
+                y[static_cast<size_t>(w.head_row)] = sum;
+            }
+        }
+        for (index_t r = w.first_complete_row; r < w.last_complete_row;
+             ++r) {
+            y[static_cast<size_t>(r)] =
+                row_sum(a.row_begin(r), a.row_end(r));
+        }
+        if (w.has_tail()) {
+            size_t slot = static_cast<size_t>(t) * 2 + 1;
+            carry_rows[slot] = w.tail_row;
+            carry_vals[slot] = row_sum(w.tail_begin, w.tail_end);
+        }
+    });
+
+    // Serial fix-up: one scalar add per carry.
+    for (size_t slot = 0; slot < carry_rows.size(); ++slot) {
+        if (carry_rows[slot] >= 0)
+            y[static_cast<size_t>(carry_rows[slot])] += carry_vals[slot];
+    }
+}
+
+} // namespace mps

@@ -1,0 +1,41 @@
+#include "mps/gcn/activation.h"
+
+#include <cmath>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+void
+apply_activation(DenseMatrix &m, Activation act)
+{
+    const size_t count =
+        static_cast<size_t>(m.rows()) * static_cast<size_t>(m.cols());
+    value_t *data = m.data();
+    switch (act) {
+      case Activation::kNone:
+        break;
+      case Activation::kRelu:
+        for (size_t i = 0; i < count; ++i)
+            data[i] = data[i] > 0.0f ? data[i] : 0.0f;
+        break;
+      case Activation::kSigmoid:
+        for (size_t i = 0; i < count; ++i)
+            data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+        break;
+    }
+}
+
+Activation
+parse_activation(const std::string &name)
+{
+    if (name == "none")
+        return Activation::kNone;
+    if (name == "relu")
+        return Activation::kRelu;
+    if (name == "sigmoid")
+        return Activation::kSigmoid;
+    fatal("unknown activation '" + name + "' (none|relu|sigmoid)");
+}
+
+} // namespace mps

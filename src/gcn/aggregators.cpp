@@ -1,0 +1,194 @@
+#include "mps/gcn/aggregators.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "mps/util/log.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+
+namespace {
+
+void
+check_shapes(const CsrMatrix &a, const DenseMatrix &h,
+             const DenseMatrix &out)
+{
+    MPS_CHECK(a.rows() == a.cols(), "aggregation needs a square matrix");
+    MPS_CHECK(h.rows() == a.cols(), "h rows must equal graph nodes");
+    MPS_CHECK(out.rows() == a.rows() && out.cols() == h.cols(),
+              "out must be nodes x h.cols()");
+}
+
+/** Atomic slot = slot + v. */
+inline void
+atomic_add(value_t &slot, value_t v)
+{
+    std::atomic_ref<value_t> ref(slot);
+    value_t old = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(old, old + v,
+                                      std::memory_order_relaxed)) {
+    }
+}
+
+/** Atomic slot = max(slot, v). */
+inline void
+atomic_max(value_t &slot, value_t v)
+{
+    std::atomic_ref<value_t> ref(slot);
+    value_t old = ref.load(std::memory_order_relaxed);
+    while (old < v && !ref.compare_exchange_weak(
+                          old, v, std::memory_order_relaxed)) {
+    }
+}
+
+/**
+ * Generic merge-path aggregation skeleton: kMax reduces with max and
+ * commits with atomic_max; kSum reduces with + and commits with
+ * atomic_add. Values of A are ignored (structural aggregation).
+ */
+enum class Reduce { kSum, kMax };
+
+void
+aggregate_generic(const CsrMatrix &a, const DenseMatrix &h,
+                  DenseMatrix &out, const MergePathSchedule &sched,
+                  ThreadPool &pool, Reduce reduce)
+{
+    check_shapes(a, h, out);
+    const index_t dim = h.cols();
+    const value_t identity =
+        reduce == Reduce::kMax ? std::numeric_limits<value_t>::lowest()
+                               : 0.0f;
+    out.fill(identity);
+
+    pool.parallel_for(
+        static_cast<uint64_t>(sched.num_threads()),
+        [&](uint64_t ti) {
+            index_t t = static_cast<index_t>(ti);
+            ResolvedWork w = sched.resolve(t, a);
+            std::vector<value_t> acc(static_cast<size_t>(dim));
+
+            auto accumulate = [&](index_t begin, index_t end) {
+                std::fill(acc.begin(), acc.end(), identity);
+                for (index_t k = begin; k < end; ++k) {
+                    const value_t *hrow = h.row(a.col_idx()[k]);
+                    if (reduce == Reduce::kSum) {
+                        for (index_t d = 0; d < dim; ++d)
+                            acc[static_cast<size_t>(d)] += hrow[d];
+                    } else {
+                        for (index_t d = 0; d < dim; ++d) {
+                            acc[static_cast<size_t>(d)] = std::max(
+                                acc[static_cast<size_t>(d)], hrow[d]);
+                        }
+                    }
+                }
+            };
+            auto commit = [&](index_t row, bool atomic) {
+                value_t *orow = out.row(row);
+                for (index_t d = 0; d < dim; ++d) {
+                    value_t v = acc[static_cast<size_t>(d)];
+                    if (reduce == Reduce::kSum) {
+                        if (atomic)
+                            atomic_add(orow[d], v);
+                        else
+                            orow[d] += v;
+                    } else {
+                        if (atomic)
+                            atomic_max(orow[d], v);
+                        else
+                            orow[d] = std::max(orow[d], v);
+                    }
+                }
+            };
+
+            if (w.has_head()) {
+                accumulate(w.head_begin, w.head_end);
+                commit(w.head_row, w.head_atomic);
+            }
+            for (index_t r = w.first_complete_row;
+                 r < w.last_complete_row; ++r) {
+                accumulate(a.row_begin(r), a.row_end(r));
+                commit(r, false);
+            }
+            if (w.has_tail()) {
+                accumulate(w.tail_begin, w.tail_end);
+                commit(w.tail_row, w.tail_atomic);
+            }
+        },
+        /*grain=*/8);
+}
+
+} // namespace
+
+void
+aggregate_sum(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
+              const MergePathSchedule &sched, ThreadPool &pool)
+{
+    aggregate_generic(a, h, out, sched, pool, Reduce::kSum);
+}
+
+void
+aggregate_mean(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
+               const MergePathSchedule &sched, ThreadPool &pool)
+{
+    aggregate_sum(a, h, out, sched, pool);
+    const index_t dim = h.cols();
+    pool.parallel_for(
+        static_cast<uint64_t>(a.rows()),
+        [&](uint64_t r) {
+            index_t row = static_cast<index_t>(r);
+            value_t inv =
+                1.0f / std::max<value_t>(
+                           static_cast<value_t>(a.degree(row)), 1.0f);
+            value_t *orow = out.row(row);
+            for (index_t d = 0; d < dim; ++d)
+                orow[d] *= inv;
+        },
+        /*grain=*/256);
+}
+
+void
+aggregate_max(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
+              const MergePathSchedule &sched, ThreadPool &pool)
+{
+    aggregate_generic(a, h, out, sched, pool, Reduce::kMax);
+    // Isolated nodes have no neighbors: define their max as 0.
+    const index_t dim = h.cols();
+    const value_t lowest = std::numeric_limits<value_t>::lowest();
+    pool.parallel_for(
+        static_cast<uint64_t>(a.rows()),
+        [&](uint64_t r) {
+            index_t row = static_cast<index_t>(r);
+            if (a.degree(row) > 0)
+                return;
+            value_t *orow = out.row(row);
+            for (index_t d = 0; d < dim; ++d) {
+                if (orow[d] == lowest)
+                    orow[d] = 0.0f;
+            }
+        },
+        /*grain=*/256);
+}
+
+void
+aggregate_gin(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
+              const MergePathSchedule &sched, ThreadPool &pool, float eps)
+{
+    aggregate_sum(a, h, out, sched, pool);
+    const index_t dim = h.cols();
+    const value_t self = 1.0f + eps;
+    pool.parallel_for(
+        static_cast<uint64_t>(a.rows()),
+        [&](uint64_t r) {
+            index_t row = static_cast<index_t>(r);
+            value_t *orow = out.row(row);
+            const value_t *hrow = h.row(row);
+            for (index_t d = 0; d < dim; ++d)
+                orow[d] += self * hrow[d];
+        },
+        /*grain=*/256);
+}
+
+} // namespace mps

@@ -1,0 +1,114 @@
+#include "mps/gcn/gat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "mps/core/spmm.h"
+#include "mps/gcn/gemm.h"
+#include "mps/util/log.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+
+CsrMatrix
+edge_softmax(const CsrMatrix &structure,
+             const std::vector<value_t> &scores, ThreadPool &pool)
+{
+    MPS_CHECK(scores.size() == static_cast<size_t>(structure.nnz()),
+              "one score per edge required");
+    std::vector<value_t> values(scores.begin(), scores.end());
+    pool.parallel_for(
+        static_cast<uint64_t>(structure.rows()),
+        [&](uint64_t r) {
+            index_t row = static_cast<index_t>(r);
+            index_t begin = structure.row_begin(row);
+            index_t end = structure.row_end(row);
+            if (begin == end)
+                return;
+            value_t peak = values[static_cast<size_t>(begin)];
+            for (index_t k = begin + 1; k < end; ++k)
+                peak = std::max(peak, values[static_cast<size_t>(k)]);
+            double sum = 0.0;
+            for (index_t k = begin; k < end; ++k) {
+                double e = std::exp(static_cast<double>(
+                    values[static_cast<size_t>(k)] - peak));
+                values[static_cast<size_t>(k)] =
+                    static_cast<value_t>(e);
+                sum += e;
+            }
+            value_t inv = static_cast<value_t>(1.0 / sum);
+            for (index_t k = begin; k < end; ++k)
+                values[static_cast<size_t>(k)] *= inv;
+        },
+        /*grain=*/128);
+    return CsrMatrix(structure.rows(), structure.cols(),
+                     structure.row_ptr(), structure.col_idx(),
+                     std::move(values));
+}
+
+GatLayer::GatLayer(DenseMatrix w, std::vector<value_t> a_src,
+                   std::vector<value_t> a_dst, float slope,
+                   Activation act)
+    : w_(std::move(w)), a_src_(std::move(a_src)),
+      a_dst_(std::move(a_dst)), slope_(slope), act_(act)
+{
+    MPS_CHECK(a_src_.size() == static_cast<size_t>(w_.cols()) &&
+                  a_dst_.size() == static_cast<size_t>(w_.cols()),
+              "attention vectors must have length out_features");
+}
+
+void
+GatLayer::forward(const CsrMatrix &a, const DenseMatrix &h,
+                  const MergePathSchedule &sched, DenseMatrix &out,
+                  ThreadPool &pool) const
+{
+    MPS_CHECK(h.cols() == in_features(), "feature width mismatch");
+    MPS_CHECK(out.rows() == a.rows() && out.cols() == out_features(),
+              "out must be nodes x out_features");
+
+    // 1. Project: HW = H * W.
+    DenseMatrix hw(a.rows(), out_features());
+    dense_gemm(h, w_, hw, pool);
+
+    // 2. Per-node attention halves: s_src[i] = HW[i] . a_src etc.
+    std::vector<value_t> s_src(static_cast<size_t>(a.rows()));
+    std::vector<value_t> s_dst(static_cast<size_t>(a.rows()));
+    pool.parallel_for(
+        static_cast<uint64_t>(a.rows()),
+        [&](uint64_t r) {
+            const value_t *row = hw.row(static_cast<index_t>(r));
+            value_t src = 0.0f, dst = 0.0f;
+            for (index_t d = 0; d < out_features(); ++d) {
+                src += row[d] * a_src_[static_cast<size_t>(d)];
+                dst += row[d] * a_dst_[static_cast<size_t>(d)];
+            }
+            s_src[r] = src;
+            s_dst[r] = dst;
+        },
+        /*grain=*/256);
+
+    // 3. Edge scores with LeakyReLU, then row-wise softmax.
+    std::vector<value_t> scores(static_cast<size_t>(a.nnz()));
+    pool.parallel_for(
+        static_cast<uint64_t>(a.rows()),
+        [&](uint64_t r) {
+            index_t row = static_cast<index_t>(r);
+            for (index_t k = a.row_begin(row); k < a.row_end(row); ++k) {
+                value_t e =
+                    s_src[static_cast<size_t>(row)] +
+                    s_dst[static_cast<size_t>(a.col_idx()[k])];
+                scores[static_cast<size_t>(k)] =
+                    e > 0.0f ? e : slope_ * e;
+            }
+        },
+        /*grain=*/128);
+    attention_ = edge_softmax(a, scores, pool);
+
+    // 4. Weighted aggregation: the merge-path SpMM on the attention
+    //    matrix (same structure as A, so the schedule is reusable).
+    mergepath_spmm_parallel(attention_, hw, out, sched, pool);
+    apply_activation(out, act_);
+}
+
+} // namespace mps

@@ -1,0 +1,72 @@
+#include "mps/gcn/gemm.h"
+
+#include <algorithm>
+
+#include "mps/util/log.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+
+namespace {
+
+void
+check_gemm_shapes(const DenseMatrix &x, const DenseMatrix &w,
+                  const DenseMatrix &out)
+{
+    MPS_CHECK(x.cols() == w.rows(), "GEMM inner dimensions differ: ",
+              x.cols(), " vs ", w.rows());
+    MPS_CHECK(out.rows() == x.rows() && out.cols() == w.cols(),
+              "GEMM output must be ", x.rows(), "x", w.cols());
+}
+
+/** Compute rows [row_begin, row_end) of out = x * w (ikj order). */
+void
+gemm_rows(const DenseMatrix &x, const DenseMatrix &w, DenseMatrix &out,
+          index_t row_begin, index_t row_end)
+{
+    const index_t f = x.cols();
+    const index_t d = w.cols();
+    for (index_t i = row_begin; i < row_end; ++i) {
+        value_t *orow = out.row(i);
+        for (index_t j = 0; j < d; ++j)
+            orow[j] = 0.0f;
+        const value_t *xrow = x.row(i);
+        for (index_t k = 0; k < f; ++k) {
+            const value_t xv = xrow[k];
+            if (xv == 0.0f)
+                continue; // feature matrices are moderately sparse
+            const value_t *wrow = w.row(k);
+            for (index_t j = 0; j < d; ++j)
+                orow[j] += xv * wrow[j];
+        }
+    }
+}
+
+} // namespace
+
+void
+dense_gemm(const DenseMatrix &x, const DenseMatrix &w, DenseMatrix &out,
+           ThreadPool &pool)
+{
+    check_gemm_shapes(x, w, out);
+    if (x.rows() == 0)
+        return;
+    const index_t chunk_rows = 64;
+    const uint64_t chunks =
+        (static_cast<uint64_t>(x.rows()) + chunk_rows - 1) / chunk_rows;
+    pool.parallel_for(chunks, [&](uint64_t c) {
+        index_t begin = static_cast<index_t>(c) * chunk_rows;
+        index_t end = std::min<index_t>(begin + chunk_rows, x.rows());
+        gemm_rows(x, w, out, begin, end);
+    });
+}
+
+void
+reference_gemm(const DenseMatrix &x, const DenseMatrix &w,
+               DenseMatrix &out)
+{
+    check_gemm_shapes(x, w, out);
+    gemm_rows(x, w, out, 0, x.rows());
+}
+
+} // namespace mps

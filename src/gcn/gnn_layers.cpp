@@ -1,0 +1,70 @@
+#include "mps/gcn/gnn_layers.h"
+
+#include <cstddef>
+#include <utility>
+
+#include "mps/gcn/aggregators.h"
+#include "mps/gcn/gemm.h"
+#include "mps/util/log.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+
+SageLayer::SageLayer(DenseMatrix w_self, DenseMatrix w_neigh,
+                     Activation act)
+    : w_self_(std::move(w_self)), w_neigh_(std::move(w_neigh)), act_(act)
+{
+    MPS_CHECK(w_self_.rows() == w_neigh_.rows() &&
+                  w_self_.cols() == w_neigh_.cols(),
+              "SAGE weight matrices must have identical shapes");
+}
+
+void
+SageLayer::forward(const CsrMatrix &a, const DenseMatrix &h,
+                   const MergePathSchedule &sched, DenseMatrix &out,
+                   ThreadPool &pool) const
+{
+    MPS_CHECK(h.cols() == in_features(), "feature width mismatch");
+    MPS_CHECK(out.rows() == a.rows() && out.cols() == out_features(),
+              "out must be nodes x out_features");
+
+    DenseMatrix mean(a.rows(), h.cols());
+    aggregate_mean(a, h, mean, sched, pool);
+
+    DenseMatrix self_part(a.rows(), out_features());
+    dense_gemm(h, w_self_, self_part, pool);
+    DenseMatrix neigh_part(a.rows(), out_features());
+    dense_gemm(mean, w_neigh_, neigh_part, pool);
+
+    const size_t count = static_cast<size_t>(out.rows()) *
+                         static_cast<size_t>(out.cols());
+    value_t *o = out.data();
+    const value_t *s = self_part.data();
+    const value_t *n = neigh_part.data();
+    for (size_t i = 0; i < count; ++i)
+        o[i] = s[i] + n[i];
+    apply_activation(out, act_);
+}
+
+GinLayer::GinLayer(DenseMatrix w, float eps, Activation act)
+    : w_(std::move(w)), eps_(eps), act_(act)
+{
+    MPS_CHECK(w_.rows() > 0 && w_.cols() > 0, "GIN weights empty");
+}
+
+void
+GinLayer::forward(const CsrMatrix &a, const DenseMatrix &h,
+                  const MergePathSchedule &sched, DenseMatrix &out,
+                  ThreadPool &pool) const
+{
+    MPS_CHECK(h.cols() == in_features(), "feature width mismatch");
+    MPS_CHECK(out.rows() == a.rows() && out.cols() == out_features(),
+              "out must be nodes x out_features");
+
+    DenseMatrix aggregated(a.rows(), h.cols());
+    aggregate_gin(a, h, aggregated, sched, pool, eps_);
+    dense_gemm(aggregated, w_, out, pool);
+    apply_activation(out, act_);
+}
+
+} // namespace mps

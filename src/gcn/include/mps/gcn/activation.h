@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Element-wise activations for GCN layers (the sigma in
+ * sigma(A x X^(l) x W^(l))).
+ */
+#ifndef MPS_GCN_ACTIVATION_H
+#define MPS_GCN_ACTIVATION_H
+
+#include <string>
+
+#include "mps/sparse/dense_matrix.h"
+
+namespace mps {
+
+/** Supported non-linearities. */
+enum class Activation {
+    kNone,    ///< identity (final layer before softmax/loss)
+    kRelu,    ///< max(0, x)
+    kSigmoid, ///< 1 / (1 + e^-x)
+};
+
+/** Apply @p act in place over every element of @p m. */
+void apply_activation(DenseMatrix &m, Activation act);
+
+/** Parse "none" / "relu" / "sigmoid"; fatal() otherwise. */
+Activation parse_activation(const std::string &name);
+
+} // namespace mps
+
+#endif // MPS_GCN_ACTIVATION_H

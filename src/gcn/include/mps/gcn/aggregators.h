@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Neighbor aggregation variants beyond GCN's weighted sum, all driven
+ * by the same merge-path schedule so every GNN family the paper's
+ * introduction cites (GCN, GraphSAGE, GIN) exercises the
+ * load-balanced SpMM machinery:
+ *
+ *   - sum:  out[i] = sum_{j in N(i)} h[j]         (structure only)
+ *   - mean: out[i] = sum / max(deg(i), 1)          (GraphSAGE)
+ *   - max:  out[i] = elementwise max over N(i)     (GraphSAGE-pool)
+ *   - GIN:  out[i] = (1 + eps) * h[i] + sum        (GIN)
+ *
+ * Split rows commit atomically (add or CAS-max), complete rows use
+ * plain stores — exactly the Algorithm 2 discipline.
+ */
+#ifndef MPS_GCN_AGGREGATORS_H
+#define MPS_GCN_AGGREGATORS_H
+
+#include "mps/core/schedule.h"
+#include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/dense_matrix.h"
+
+namespace mps {
+
+class ThreadPool;
+
+/**
+ * out[i] = sum of h rows over i's neighbors (adjacency values are
+ * ignored: pure structural aggregation). out must be a.rows() x
+ * h.cols(); overwritten.
+ */
+void aggregate_sum(const CsrMatrix &a, const DenseMatrix &h,
+                   DenseMatrix &out, const MergePathSchedule &sched,
+                   ThreadPool &pool);
+
+/** Mean aggregation: sum / max(degree, 1) (GraphSAGE-mean). */
+void aggregate_mean(const CsrMatrix &a, const DenseMatrix &h,
+                    DenseMatrix &out, const MergePathSchedule &sched,
+                    ThreadPool &pool);
+
+/**
+ * Element-wise max over neighbors (GraphSAGE-pool). Rows with no
+ * neighbors produce 0. Split rows merge with atomic compare-and-swap
+ * max.
+ */
+void aggregate_max(const CsrMatrix &a, const DenseMatrix &h,
+                   DenseMatrix &out, const MergePathSchedule &sched,
+                   ThreadPool &pool);
+
+/**
+ * GIN aggregation: out[i] = (1 + eps) * h[i] + sum over neighbors.
+ */
+void aggregate_gin(const CsrMatrix &a, const DenseMatrix &h,
+                   DenseMatrix &out, const MergePathSchedule &sched,
+                   ThreadPool &pool, float eps = 0.0f);
+
+} // namespace mps
+
+#endif // MPS_GCN_AGGREGATORS_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Single-head Graph Attention (GAT, Velickovic et al.) layer — the
+ * attention-based GNN family from the paper's introduction.
+ *
+ * The attention coefficients live on the edges of A, so after the
+ * edge-softmax the aggregation is exactly a value-weighted SpMM: the
+ * attention matrix inherits A's sparsity structure (including its evil
+ * rows), and the merge-path kernel executes it load-balanced with no
+ * changes.
+ */
+#ifndef MPS_GCN_GAT_H
+#define MPS_GCN_GAT_H
+
+#include <vector>
+
+#include "mps/core/schedule.h"
+#include "mps/gcn/activation.h"
+#include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/dense_matrix.h"
+
+namespace mps {
+
+class ThreadPool;
+
+/**
+ * Row-wise softmax over edge scores: for every row i of @p structure,
+ * values[k in row i] = exp(scores[k] - row max) / row sum. Rows with
+ * no edges are untouched. Returns the attention matrix (same
+ * structure, new values).
+ */
+CsrMatrix edge_softmax(const CsrMatrix &structure,
+                       const std::vector<value_t> &scores,
+                       ThreadPool &pool);
+
+/** Single-head GAT layer. */
+class GatLayer
+{
+  public:
+    /**
+     * @param w      f x d projection
+     * @param a_src  length-d attention vector for the destination node
+     * @param a_dst  length-d attention vector for the neighbor node
+     * @param slope  LeakyReLU negative slope for the edge scores
+     * @param act    output non-linearity
+     */
+    GatLayer(DenseMatrix w, std::vector<value_t> a_src,
+             std::vector<value_t> a_dst, float slope, Activation act);
+
+    index_t in_features() const { return w_.rows(); }
+    index_t out_features() const { return w_.cols(); }
+
+    /**
+     * Forward pass: project, score edges, softmax per row, aggregate
+     * with a merge-path weighted SpMM using @p sched.
+     * @p out must be a.rows() x out_features().
+     */
+    void forward(const CsrMatrix &a, const DenseMatrix &h,
+                 const MergePathSchedule &sched, DenseMatrix &out,
+                 ThreadPool &pool) const;
+
+    /** The attention matrix from the last forward (for inspection). */
+    const CsrMatrix &last_attention() const { return attention_; }
+
+  private:
+    DenseMatrix w_;
+    std::vector<value_t> a_src_;
+    std::vector<value_t> a_dst_;
+    float slope_;
+    Activation act_;
+    mutable CsrMatrix attention_;
+};
+
+} // namespace mps
+
+#endif // MPS_GCN_GAT_H

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Dense GEMM for the combination phase of a GCN layer: XW = X * W with
+ * X (n x f) the node-feature matrix and W (f x d) the trained weights.
+ * The paper's accelerators fold this into the same SpMM engine; here a
+ * straightforward blocked dense kernel suffices because the A * (XW)
+ * SpMM dominates and is the object of study.
+ */
+#ifndef MPS_GCN_GEMM_H
+#define MPS_GCN_GEMM_H
+
+#include "mps/sparse/dense_matrix.h"
+
+namespace mps {
+
+class ThreadPool;
+
+/**
+ * out = x * w. Shapes: x is n x f, w is f x d, out must be n x d.
+ * Row-parallel over @p pool with a cache-blocked inner loop.
+ */
+void dense_gemm(const DenseMatrix &x, const DenseMatrix &w,
+                DenseMatrix &out, ThreadPool &pool);
+
+/** Sequential reference GEMM for tests. */
+void reference_gemm(const DenseMatrix &x, const DenseMatrix &w,
+                    DenseMatrix &out);
+
+} // namespace mps
+
+#endif // MPS_GCN_GEMM_H

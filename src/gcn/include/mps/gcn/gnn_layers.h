@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GraphSAGE and GIN layers built on the merge-path aggregators — the
+ * other GNN families the paper's introduction cites. Both reuse the
+ * load-balanced aggregation schedule, demonstrating that
+ * MergePath-SpMM is not GCN-specific.
+ */
+#ifndef MPS_GCN_GNN_LAYERS_H
+#define MPS_GCN_GNN_LAYERS_H
+
+#include "mps/core/schedule.h"
+#include "mps/gcn/activation.h"
+#include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/dense_matrix.h"
+
+namespace mps {
+
+class ThreadPool;
+
+/**
+ * GraphSAGE layer (mean aggregator):
+ *   out = act( H * W_self + mean_{j in N(i)} H[j] * W_neigh )
+ */
+class SageLayer
+{
+  public:
+    /** Both weight matrices are f x d. */
+    SageLayer(DenseMatrix w_self, DenseMatrix w_neigh, Activation act);
+
+    index_t in_features() const { return w_self_.rows(); }
+    index_t out_features() const { return w_self_.cols(); }
+
+    /**
+     * Forward pass using @p sched (a merge-path schedule for @p a).
+     * @p out must be a.rows() x out_features(); overwritten.
+     */
+    void forward(const CsrMatrix &a, const DenseMatrix &h,
+                 const MergePathSchedule &sched, DenseMatrix &out,
+                 ThreadPool &pool) const;
+
+  private:
+    DenseMatrix w_self_;
+    DenseMatrix w_neigh_;
+    Activation act_;
+};
+
+/**
+ * GIN layer:
+ *   out = act( ((1 + eps) * H[i] + sum_{j in N(i)} H[j]) * W )
+ */
+class GinLayer
+{
+  public:
+    GinLayer(DenseMatrix w, float eps, Activation act);
+
+    index_t in_features() const { return w_.rows(); }
+    index_t out_features() const { return w_.cols(); }
+    float eps() const { return eps_; }
+
+    /** Forward pass; @p out must be a.rows() x out_features(). */
+    void forward(const CsrMatrix &a, const DenseMatrix &h,
+                 const MergePathSchedule &sched, DenseMatrix &out,
+                 ThreadPool &pool) const;
+
+  private:
+    DenseMatrix w_;
+    float eps_;
+    Activation act_;
+};
+
+} // namespace mps
+
+#endif // MPS_GCN_GNN_LAYERS_H

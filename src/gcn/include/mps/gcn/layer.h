@@ -1,0 +1,64 @@
+/**
+ * @file
+ * One graph-convolution layer: out = sigma(A * (X * W)), computed in
+ * the accelerator-standard order A x (X x W) — dense GEMM for the
+ * combination, then the sparse-times-dense SpMM this library is about
+ * for the aggregation.
+ */
+#ifndef MPS_GCN_LAYER_H
+#define MPS_GCN_LAYER_H
+
+#include <memory>
+
+#include "mps/gcn/activation.h"
+#include "mps/kernels/spmm_kernel.h"
+#include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/dense_matrix.h"
+
+namespace mps {
+
+class ThreadPool;
+
+/** A single GCN layer with its trained weights. */
+class GcnLayer
+{
+  public:
+    /**
+     * @param weights f x d weight matrix (copied)
+     * @param act     non-linearity applied to the aggregation output
+     */
+    GcnLayer(DenseMatrix weights, Activation act);
+
+    index_t in_features() const { return weights_.rows(); }
+    index_t out_features() const { return weights_.cols(); }
+    const DenseMatrix &weights() const { return weights_; }
+    Activation activation() const { return act_; }
+
+    /**
+     * Forward pass: out = sigma(A * (x * W)) using @p kernel for the
+     * aggregation SpMM. The kernel must already be prepared for
+     * (a, out_features()); preparation policy (online/offline) is the
+     * model's responsibility.
+     *
+     * @param a      n x n normalized adjacency matrix
+     * @param x      n x in_features() node features
+     * @param kernel prepared aggregation kernel
+     * @param out    n x out_features() output (overwritten)
+     * @param pool   worker pool for GEMM + SpMM
+     */
+    void forward(const CsrMatrix &a, const DenseMatrix &x,
+                 const SpmmKernel &kernel, DenseMatrix &out,
+                 ThreadPool &pool) const;
+
+  private:
+    DenseMatrix weights_;
+    Activation act_;
+};
+
+/** Deterministic Glorot-style random weights for examples and tests. */
+DenseMatrix random_layer_weights(index_t in_features, index_t out_features,
+                                 uint64_t seed);
+
+} // namespace mps
+
+#endif // MPS_GCN_LAYER_H

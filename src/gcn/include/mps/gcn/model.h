@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Multi-layer GCN inference with online vs. offline scheduling.
+ *
+ * Offline: the aggregation kernel's schedule is computed once per graph
+ * and reused across inferences (the default; GNNAdvisor pre-processes
+ * its neighbor partitions the same way). Online: the schedule is
+ * recomputed on every inference, modelling an evolving graph — the
+ * setting of the paper's Figure 8, which shows the merge-path schedule
+ * costs only ~2% of a 2-layer inference.
+ */
+#ifndef MPS_GCN_MODEL_H
+#define MPS_GCN_MODEL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mps/gcn/layer.h"
+
+namespace mps {
+
+/** When the aggregation schedule is (re)built. */
+enum class ScheduleMode {
+    kOffline, ///< prepare once per graph, reuse across inferences
+    kOnline,  ///< prepare on every inference
+};
+
+/** Host-side timing breakdown of one inference. */
+struct InferenceStats
+{
+    double schedule_seconds = 0.0; ///< kernel prepare() time
+    double compute_seconds = 0.0;  ///< GEMM + SpMM + activation time
+    double total_seconds() const {
+        return schedule_seconds + compute_seconds;
+    }
+    double overhead_fraction() const {
+        double t = total_seconds();
+        return t == 0.0 ? 0.0 : schedule_seconds / t;
+    }
+};
+
+/** A stack of GCN layers sharing one aggregation kernel. */
+class GcnModel
+{
+  public:
+    /**
+     * @param kernel_name aggregation SpMM kernel (registry name)
+     * @param mode        schedule construction policy
+     */
+    explicit GcnModel(const std::string &kernel_name = "mergepath",
+                      ScheduleMode mode = ScheduleMode::kOffline);
+
+    /** Append a layer; widths must chain (checked at inference). */
+    void add_layer(GcnLayer layer);
+
+    /**
+     * Build a standard 2-layer GCN: f -> hidden (ReLU) -> classes
+     * (identity), with deterministic random weights.
+     */
+    static GcnModel two_layer(index_t in_features, index_t hidden,
+                              index_t classes, uint64_t seed,
+                              const std::string &kernel_name = "mergepath",
+                              ScheduleMode mode = ScheduleMode::kOffline);
+
+    size_t num_layers() const { return layers_.size(); }
+    const GcnLayer &layer(size_t i) const { return layers_[i]; }
+    ScheduleMode mode() const { return mode_; }
+
+    /**
+     * Run inference on graph @p a with input features @p x; returns the
+     * final layer's output. In offline mode the first call against a
+     * graph prepares the kernel and later calls reuse the schedule; a
+     * different graph (detected by shape/nnz) triggers re-preparation.
+     *
+     * @param stats optional out-param receiving the timing breakdown
+     */
+    DenseMatrix infer(const CsrMatrix &a, const DenseMatrix &x,
+                      ThreadPool &pool, InferenceStats *stats = nullptr);
+
+  private:
+    void prepare_all(const CsrMatrix &a);
+
+    std::vector<GcnLayer> layers_;
+    // One kernel instance per layer (each layer has its own dimension,
+    // hence its own schedule).
+    std::vector<std::unique_ptr<SpmmKernel>> kernels_;
+    std::string kernel_name_;
+    ScheduleMode mode_;
+    // Offline-cache identity of the last prepared graph.
+    index_t prepared_rows_ = -1;
+    index_t prepared_nnz_ = -1;
+};
+
+} // namespace mps
+
+#endif // MPS_GCN_MODEL_H

@@ -1,0 +1,50 @@
+#include "mps/gcn/layer.h"
+
+#include <cmath>
+#include <utility>
+
+#include "mps/gcn/gemm.h"
+#include "mps/util/log.h"
+#include "mps/util/rng.h"
+
+namespace mps {
+
+GcnLayer::GcnLayer(DenseMatrix weights, Activation act)
+    : weights_(std::move(weights)), act_(act)
+{
+    MPS_CHECK(weights_.rows() > 0 && weights_.cols() > 0,
+              "layer weights must be non-empty");
+}
+
+void
+GcnLayer::forward(const CsrMatrix &a, const DenseMatrix &x,
+                  const SpmmKernel &kernel, DenseMatrix &out,
+                  ThreadPool &pool) const
+{
+    MPS_CHECK(a.rows() == a.cols(), "adjacency matrix must be square");
+    MPS_CHECK(x.rows() == a.rows(), "feature rows must match graph nodes");
+    MPS_CHECK(x.cols() == in_features(), "feature width must match W rows");
+    MPS_CHECK(out.rows() == a.rows() && out.cols() == out_features(),
+              "output must be n x out_features");
+
+    DenseMatrix xw(x.rows(), out_features());
+    dense_gemm(x, weights_, xw, pool);
+    kernel.run(a, xw, out, pool);
+    apply_activation(out, act_);
+}
+
+DenseMatrix
+random_layer_weights(index_t in_features, index_t out_features,
+                     uint64_t seed)
+{
+    DenseMatrix w(in_features, out_features);
+    uint64_t state = seed ^ 0x6c0f;
+    Pcg32 rng(splitmix64(state), splitmix64(state));
+    // Glorot/Xavier uniform bound.
+    float bound = std::sqrt(6.0f / static_cast<float>(in_features +
+                                                      out_features));
+    w.fill_random(rng, -bound, bound);
+    return w;
+}
+
+} // namespace mps

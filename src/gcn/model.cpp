@@ -1,0 +1,87 @@
+#include "mps/gcn/model.h"
+
+#include <utility>
+
+#include "mps/kernels/registry.h"
+#include "mps/util/log.h"
+#include "mps/util/timer.h"
+
+namespace mps {
+
+GcnModel::GcnModel(const std::string &kernel_name, ScheduleMode mode)
+    : kernel_name_(kernel_name), mode_(mode)
+{
+}
+
+void
+GcnModel::add_layer(GcnLayer layer)
+{
+    if (!layers_.empty()) {
+        MPS_CHECK(layers_.back().out_features() == layer.in_features(),
+                  "layer widths must chain: previous out ",
+                  layers_.back().out_features(), ", next in ",
+                  layer.in_features());
+    }
+    layers_.push_back(std::move(layer));
+    kernels_.push_back(make_spmm_kernel(kernel_name_));
+    prepared_rows_ = -1; // invalidate the offline cache
+    prepared_nnz_ = -1;
+}
+
+GcnModel
+GcnModel::two_layer(index_t in_features, index_t hidden, index_t classes,
+                    uint64_t seed, const std::string &kernel_name,
+                    ScheduleMode mode)
+{
+    GcnModel model(kernel_name, mode);
+    model.add_layer(GcnLayer(random_layer_weights(in_features, hidden,
+                                                  seed),
+                             Activation::kRelu));
+    model.add_layer(GcnLayer(random_layer_weights(hidden, classes,
+                                                  seed + 1),
+                             Activation::kNone));
+    return model;
+}
+
+void
+GcnModel::prepare_all(const CsrMatrix &a)
+{
+    for (size_t i = 0; i < layers_.size(); ++i)
+        kernels_[i]->prepare(a, layers_[i].out_features());
+    prepared_rows_ = a.rows();
+    prepared_nnz_ = a.nnz();
+}
+
+DenseMatrix
+GcnModel::infer(const CsrMatrix &a, const DenseMatrix &x, ThreadPool &pool,
+                InferenceStats *stats)
+{
+    MPS_CHECK(!layers_.empty(), "model has no layers");
+    MPS_CHECK(x.cols() == layers_.front().in_features(),
+              "input feature width mismatch");
+
+    InferenceStats local;
+    bool need_prepare =
+        mode_ == ScheduleMode::kOnline ||
+        prepared_rows_ != a.rows() || prepared_nnz_ != a.nnz();
+    if (need_prepare) {
+        Timer timer;
+        prepare_all(a);
+        local.schedule_seconds = timer.elapsed_seconds();
+    }
+
+    Timer timer;
+    DenseMatrix current = x;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        DenseMatrix next(a.rows(), layers_[i].out_features());
+        layers_[i].forward(a, current, *kernels_[i], next, pool);
+        current = std::move(next);
+    }
+    local.compute_seconds = timer.elapsed_seconds();
+
+    if (stats != nullptr)
+        *stats = local;
+    return current;
+}
+
+} // namespace mps

@@ -1,0 +1,67 @@
+#include "mps/kernels/adaptive.h"
+
+#include <algorithm>
+
+#include "mps/core/spmm.h"
+#include "mps/sparse/degree_stats.h"
+#include "mps/util/log.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+
+void
+AdaptiveSpmm::prepare(const CsrMatrix &a, index_t dim)
+{
+    (void)dim;
+    DegreeStats stats = compute_degree_stats(a);
+    // Skew shows up either as degree variance or as an extreme maximum
+    // relative to the average (evil rows in an otherwise flat graph).
+    bool skewed = stats.degree_cv > cv_threshold_ ||
+                  (stats.avg_degree > 0.0 &&
+                   stats.max_degree > 15.0 * stats.avg_degree);
+    strategy_ = skewed ? AdaptiveStrategy::kMergePath
+                       : AdaptiveStrategy::kRowSplit;
+    if (strategy_ == AdaptiveStrategy::kMergePath) {
+        int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
+        index_t threads = static_cast<index_t>(
+            std::max<int64_t>(1, std::min<int64_t>(total, 4096)));
+        schedule_ = MergePathSchedule::build(a, threads);
+    }
+}
+
+void
+AdaptiveSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+                  ThreadPool &pool) const
+{
+    MPS_CHECK(b.rows() == a.cols() && c.rows() == a.rows() &&
+                  c.cols() == b.cols(),
+              "shape mismatch in adaptive SpMM");
+    if (strategy_ == AdaptiveStrategy::kMergePath) {
+        mergepath_spmm_parallel(a, b, c, schedule_, pool);
+        return;
+    }
+
+    // Static row-splitting, vectorizable inner loops, coarse chunks.
+    const index_t dim = b.cols();
+    index_t chunks = std::min<index_t>(
+        std::max<index_t>(a.rows(), 1),
+        static_cast<index_t>(pool.size()) * 4);
+    const index_t rows_per_chunk = (a.rows() + chunks - 1) / chunks;
+    pool.parallel_for(static_cast<uint64_t>(chunks), [&](uint64_t chunk) {
+        index_t begin = static_cast<index_t>(chunk) * rows_per_chunk;
+        index_t end = std::min<index_t>(begin + rows_per_chunk, a.rows());
+        for (index_t r = begin; r < end; ++r) {
+            value_t *crow = c.row(r);
+            for (index_t d = 0; d < dim; ++d)
+                crow[d] = 0.0f;
+            for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+                const value_t av = a.values()[k];
+                const value_t *brow = b.row(a.col_idx()[k]);
+                for (index_t d = 0; d < dim; ++d)
+                    crow[d] += av * brow[d];
+            }
+        }
+    });
+}
+
+} // namespace mps

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Column-splitting (outer-product dataflow) SpMM: the column-wise
+ * alternative the paper's Section II contrasts with row-wise
+ * strategies (and one of the dataflows cuSPARSE picks from).
+ *
+ * C += A[:, j] (outer) B[j, :] for every column j: the dense row
+ * B[j, :] is loaded once per column (maximal reuse of the dense
+ * input), but the partial products scatter over arbitrary output rows,
+ * so every write is atomic — the mirror image of row-splitting's
+ * trade-off.
+ */
+#ifndef MPS_KERNELS_COLUMN_SPLIT_H
+#define MPS_KERNELS_COLUMN_SPLIT_H
+
+#include "mps/kernels/spmm_kernel.h"
+
+namespace mps {
+
+/** Outer-product SpMM over columns of A (via A^T), all-atomic. */
+class ColumnSplitSpmm final : public SpmmKernel
+{
+  public:
+    std::string name() const override { return "column_split"; }
+    void prepare(const CsrMatrix &a, index_t dim) override;
+    void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+             ThreadPool &pool) const override;
+
+  private:
+    CsrMatrix a_transposed_; // CSC view of A: rows are A's columns
+};
+
+} // namespace mps
+
+#endif // MPS_KERNELS_COLUMN_SPLIT_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SpmmKernel adapter for the paper's MergePath-SpMM (Algorithm 2),
+ * wiring the core schedule + kernel into the common registry interface.
+ */
+#ifndef MPS_KERNELS_MERGEPATH_KERNEL_H
+#define MPS_KERNELS_MERGEPATH_KERNEL_H
+
+#include "mps/core/policy.h"
+#include "mps/core/schedule.h"
+#include "mps/kernels/spmm_kernel.h"
+
+namespace mps {
+
+/** The proposed kernel: merge-path schedule + selective atomics. */
+class MergePathSpmm final : public SpmmKernel
+{
+  public:
+    /**
+     * @param cost merge-path cost; 0 = the paper's tuned default for
+     *        the prepared dimension (Figure 6 table).
+     * @param min_threads small-graph thread floor (Sec. III-C);
+     *        defaults to the paper's 1024.
+     */
+    explicit MergePathSpmm(index_t cost = 0, index_t min_threads = 1024)
+        : cost_(cost), min_threads_(min_threads)
+    {
+    }
+
+    std::string name() const override { return "mergepath"; }
+    void prepare(const CsrMatrix &a, index_t dim) override;
+    void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+             ThreadPool &pool) const override;
+
+    /** Schedule built by prepare() (consumed by the SIMT codegen). */
+    const MergePathSchedule &schedule() const { return schedule_; }
+
+    /** Cost resolved by prepare(). */
+    index_t cost() const { return prepared_cost_; }
+
+  private:
+    index_t cost_;
+    index_t min_threads_;
+    index_t prepared_cost_ = 0;
+    MergePathSchedule schedule_;
+};
+
+} // namespace mps
+
+#endif // MPS_KERNELS_MERGEPATH_KERNEL_H

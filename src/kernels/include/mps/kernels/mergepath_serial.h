@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Merge-path SpMM with the original SpMV-style serial fix-up phase
+ * (Merrill & Garland). The parallel phase writes complete rows with
+ * plain stores and saves each thread's partial-row sums into per-thread
+ * carry slots; a sequential epilogue then folds every carry into the
+ * output. For SpMV the epilogue is one scalar add per thread; for SpMM
+ * it is a d-wide vector add per carry, executed serially — the
+ * bottleneck Figure 2 of the paper demonstrates and MergePath-SpMM
+ * removes.
+ */
+#ifndef MPS_KERNELS_MERGEPATH_SERIAL_H
+#define MPS_KERNELS_MERGEPATH_SERIAL_H
+
+#include "mps/core/schedule.h"
+#include "mps/kernels/spmm_kernel.h"
+
+namespace mps {
+
+/** Merge-path decomposition + serial carry fix-up. */
+class MergePathSerialFixupSpmm final : public SpmmKernel
+{
+  public:
+    /**
+     * @param num_threads logical merge-path threads; 0 = 8 per pool
+     *        worker at prepare time (resolved against the global pool
+     *        size heuristically in run()).
+     */
+    explicit MergePathSerialFixupSpmm(index_t num_threads = 0)
+        : num_threads_(num_threads)
+    {
+    }
+
+    std::string name() const override { return "mergepath_serial"; }
+    void prepare(const CsrMatrix &a, index_t dim) override;
+    void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+             ThreadPool &pool) const override;
+
+    /** Schedule built by prepare() (consumed by the SIMT codegen). */
+    const MergePathSchedule &schedule() const { return schedule_; }
+
+    /** Number of carry (serial fix-up) vector adds in the last run. */
+    int64_t serial_carries() const { return serial_carries_; }
+
+  private:
+    index_t num_threads_;
+    MergePathSchedule schedule_;
+    mutable int64_t serial_carries_ = 0;
+};
+
+} // namespace mps
+
+#endif // MPS_KERNELS_MERGEPATH_SERIAL_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GNNAdvisor-style nnz-splitting SpMM.
+ *
+ * Rows are partitioned into "neighbor groups" of at most ng_size
+ * non-zeros each (GNNAdvisor's CSR extension); one group maps to one
+ * warp/task. Because a row can span many groups, no task knows whether
+ * it owns its output row — every output update is performed atomically,
+ * the indiscriminate-synchronization behaviour the paper improves on.
+ */
+#ifndef MPS_KERNELS_NNZ_SPLIT_H
+#define MPS_KERNELS_NNZ_SPLIT_H
+
+#include <vector>
+
+#include "mps/kernels/spmm_kernel.h"
+
+namespace mps {
+
+/** One neighbor group: a slice of a single row's non-zeros. */
+struct NeighborGroup
+{
+    index_t row;
+    index_t begin; ///< first nnz index (into col_idx / values)
+    index_t end;   ///< one past the last nnz index
+};
+
+/**
+ * Partition every row of @p a into neighbor groups of at most
+ * @p ng_size non-zeros (GNNAdvisor preprocessing). ng_size must be
+ * >= 1. Empty rows produce no groups.
+ */
+std::vector<NeighborGroup> build_neighbor_groups(const CsrMatrix &a,
+                                                 index_t ng_size);
+
+/**
+ * GNNAdvisor's default neighbor-group size: the average degree of the
+ * graph, rounded, minimum 1.
+ */
+index_t default_neighbor_group_size(const CsrMatrix &a);
+
+/** Neighbor-group (nnz-splitting) SpMM with all-atomic output updates. */
+class NnzSplitSpmm final : public SpmmKernel
+{
+  public:
+    /** @param ng_size group size; 0 = the graph's average degree. */
+    explicit NnzSplitSpmm(index_t ng_size = 0) : ng_size_(ng_size) {}
+
+    std::string name() const override { return "gnnadvisor"; }
+    void prepare(const CsrMatrix &a, index_t dim) override;
+    void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+             ThreadPool &pool) const override;
+
+    /** Groups built by prepare() (consumed by the SIMT warp codegen). */
+    const std::vector<NeighborGroup> &groups() const { return groups_; }
+
+    /** Group size resolved by prepare(). */
+    index_t group_size() const { return prepared_ng_size_; }
+
+  private:
+    index_t ng_size_;
+    index_t prepared_ng_size_ = 0;
+    std::vector<NeighborGroup> groups_;
+};
+
+} // namespace mps
+
+#endif // MPS_KERNELS_NNZ_SPLIT_H

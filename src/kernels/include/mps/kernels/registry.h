@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Kernel registry: create any SpMM kernel by name. Used by the examples
+ * and benches so users can switch strategies from the command line.
+ */
+#ifndef MPS_KERNELS_REGISTRY_H
+#define MPS_KERNELS_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mps/kernels/spmm_kernel.h"
+
+namespace mps {
+
+/** Names accepted by make_spmm_kernel(), in documentation order. */
+std::vector<std::string> spmm_kernel_names();
+
+/**
+ * Instantiate a kernel with default parameters:
+ * "mergepath", "gnnadvisor", "row_split", "mergepath_serial",
+ * "adaptive", or "reference". fatal() on unknown names.
+ */
+std::unique_ptr<SpmmKernel> make_spmm_kernel(const std::string &name);
+
+} // namespace mps
+
+#endif // MPS_KERNELS_REGISTRY_H

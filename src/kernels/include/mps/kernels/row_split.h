@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Row-splitting SpMM: the strategy used by the GCN hardware accelerators
+ * (AWB-GCN et al. before auto-tuning). Rows are divided into contiguous
+ * chunks of equal row count; each chunk is processed by one thread, so
+ * no output synchronization is needed — but power-law degree skew makes
+ * the chunk holding the evil rows the straggler.
+ */
+#ifndef MPS_KERNELS_ROW_SPLIT_H
+#define MPS_KERNELS_ROW_SPLIT_H
+
+#include "mps/kernels/spmm_kernel.h"
+
+namespace mps {
+
+/** Static contiguous row partitioning, no atomics. */
+class RowSplitSpmm final : public SpmmKernel
+{
+  public:
+    /**
+     * @param num_chunks number of row chunks (logical threads);
+     *        0 = one chunk per pool worker at run time.
+     */
+    explicit RowSplitSpmm(index_t num_chunks = 0)
+        : num_chunks_(num_chunks)
+    {
+    }
+
+    std::string name() const override { return "row_split"; }
+    void prepare(const CsrMatrix &a, index_t dim) override;
+    void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+             ThreadPool &pool) const override;
+
+    /** Chunk count used after prepare() (for models and tests). */
+    index_t chunks() const { return prepared_chunks_; }
+
+  private:
+    index_t num_chunks_;
+    index_t prepared_chunks_ = 0;
+};
+
+} // namespace mps
+
+#endif // MPS_KERNELS_ROW_SPLIT_H

@@ -1,0 +1,24 @@
+#include "mps/kernels/mergepath_kernel.h"
+
+#include "mps/core/spmm.h"
+#include "mps/util/log.h"
+
+namespace mps {
+
+void
+MergePathSpmm::prepare(const CsrMatrix &a, index_t dim)
+{
+    prepared_cost_ = cost_ > 0 ? cost_ : default_merge_path_cost(dim);
+    schedule_ = MergePathSchedule::build_with_cost(a, prepared_cost_,
+                                                   min_threads_);
+}
+
+void
+MergePathSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
+                   DenseMatrix &c, ThreadPool &pool) const
+{
+    MPS_CHECK(schedule_.num_threads() >= 1, "prepare() was not called");
+    mergepath_spmm_parallel(a, b, c, schedule_, pool);
+}
+
+} // namespace mps

@@ -1,0 +1,105 @@
+#include "mps/kernels/mergepath_serial.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "mps/util/log.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+
+void
+MergePathSerialFixupSpmm::prepare(const CsrMatrix &a, index_t dim)
+{
+    (void)dim;
+    index_t threads = num_threads_;
+    if (threads <= 0) {
+        // Default comparable to the MergePath-SpMM kernel's default.
+        int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
+        threads = static_cast<index_t>(
+            std::max<int64_t>(1, std::min<int64_t>(total, 1024)));
+    }
+    schedule_ = MergePathSchedule::build(a, threads);
+}
+
+void
+MergePathSerialFixupSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
+                              DenseMatrix &c, ThreadPool &pool) const
+{
+    MPS_CHECK(b.rows() == a.cols() && c.rows() == a.rows() &&
+                  c.cols() == b.cols(),
+              "shape mismatch in mergepath_serial SpMM");
+    MPS_CHECK(schedule_.num_threads() >= 1, "prepare() was not called");
+
+    c.fill(0.0f);
+    const index_t dim = b.cols();
+    const index_t threads = schedule_.num_threads();
+
+    // Carry slots: up to two partial rows (head and tail) per thread.
+    std::vector<index_t> carry_rows(static_cast<size_t>(threads) * 2, -1);
+    std::vector<value_t> carry_vals(
+        static_cast<size_t>(threads) * 2 * static_cast<size_t>(dim), 0.0f);
+
+    pool.parallel_for(static_cast<uint64_t>(threads), [&](uint64_t ti) {
+        index_t t = static_cast<index_t>(ti);
+        ResolvedWork w = schedule_.resolve(t, a);
+        std::vector<value_t> acc(static_cast<size_t>(dim));
+        auto accumulate = [&](index_t begin, index_t end) {
+            std::fill(acc.begin(), acc.end(), 0.0f);
+            for (index_t k = begin; k < end; ++k) {
+                const value_t av = a.values()[k];
+                const value_t *brow = b.row(a.col_idx()[k]);
+                for (index_t d = 0; d < dim; ++d)
+                    acc[static_cast<size_t>(d)] += av * brow[d];
+            }
+        };
+
+        // Partial rows go to carry slots instead of the output; they
+        // are folded in sequentially after the parallel phase.
+        if (w.has_head()) {
+            accumulate(w.head_begin, w.head_end);
+            if (w.head_atomic) {
+                size_t slot = static_cast<size_t>(t) * 2;
+                carry_rows[slot] = w.head_row;
+                std::copy(acc.begin(), acc.end(),
+                          carry_vals.begin() +
+                              static_cast<size_t>(slot) * dim);
+            } else {
+                value_t *crow = c.row(w.head_row);
+                for (index_t d = 0; d < dim; ++d)
+                    crow[d] += acc[static_cast<size_t>(d)];
+            }
+        }
+        for (index_t r = w.first_complete_row; r < w.last_complete_row;
+             ++r) {
+            accumulate(a.row_begin(r), a.row_end(r));
+            value_t *crow = c.row(r);
+            for (index_t d = 0; d < dim; ++d)
+                crow[d] += acc[static_cast<size_t>(d)];
+        }
+        if (w.has_tail()) {
+            accumulate(w.tail_begin, w.tail_end);
+            size_t slot = static_cast<size_t>(t) * 2 + 1;
+            carry_rows[slot] = w.tail_row;
+            std::copy(acc.begin(), acc.end(),
+                      carry_vals.begin() + static_cast<size_t>(slot) * dim);
+        }
+    });
+
+    // Serial fix-up: fold carries in thread order. This phase is what
+    // MergePath-SpMM replaces with per-thread atomic commits.
+    int64_t carries = 0;
+    for (size_t slot = 0; slot < carry_rows.size(); ++slot) {
+        index_t row = carry_rows[slot];
+        if (row < 0)
+            continue;
+        ++carries;
+        value_t *crow = c.row(row);
+        const value_t *acc = carry_vals.data() + slot * dim;
+        for (index_t d = 0; d < dim; ++d)
+            crow[d] += acc[d];
+    }
+    serial_carries_ = carries;
+}
+
+} // namespace mps

@@ -1,0 +1,93 @@
+#include "mps/kernels/nnz_split.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "mps/util/log.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+
+std::vector<NeighborGroup>
+build_neighbor_groups(const CsrMatrix &a, index_t ng_size)
+{
+    MPS_CHECK(ng_size >= 1, "neighbor group size must be >= 1");
+    std::vector<NeighborGroup> groups;
+    groups.reserve(static_cast<size_t>(a.nnz() / ng_size) + a.rows());
+    for (index_t r = 0; r < a.rows(); ++r) {
+        for (index_t k = a.row_begin(r); k < a.row_end(r); k += ng_size) {
+            groups.push_back(
+                {r, k, std::min<index_t>(k + ng_size, a.row_end(r))});
+        }
+    }
+    return groups;
+}
+
+index_t
+default_neighbor_group_size(const CsrMatrix &a)
+{
+    if (a.rows() == 0 || a.nnz() == 0)
+        return 1;
+    double avg = static_cast<double>(a.nnz()) / a.rows();
+    return std::max<index_t>(1, static_cast<index_t>(std::llround(avg)));
+}
+
+void
+NnzSplitSpmm::prepare(const CsrMatrix &a, index_t dim)
+{
+    (void)dim;
+    prepared_ng_size_ =
+        ng_size_ > 0 ? ng_size_ : default_neighbor_group_size(a);
+    groups_ = build_neighbor_groups(a, prepared_ng_size_);
+}
+
+namespace {
+
+/** Atomic a += v on a plain float slot. */
+inline void
+atomic_add(value_t &slot, value_t v)
+{
+    std::atomic_ref<value_t> ref(slot);
+    value_t old = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(old, old + v,
+                                      std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+void
+NnzSplitSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+                  ThreadPool &pool) const
+{
+    MPS_CHECK(b.rows() == a.cols() && c.rows() == a.rows() &&
+                  c.cols() == b.cols(),
+              "shape mismatch in gnnadvisor SpMM");
+    MPS_CHECK(prepared_ng_size_ >= 1, "prepare() was not called");
+
+    c.fill(0.0f);
+    const index_t dim = b.cols();
+    pool.parallel_for(
+        groups_.size(),
+        [&](uint64_t g) {
+            const NeighborGroup &group = groups_[g];
+            // Group-local accumulation, then one atomic commit per
+            // element — the group never knows whether other groups share
+            // its row, so the commit is always atomic.
+            std::vector<value_t> acc(static_cast<size_t>(dim), 0.0f);
+            for (index_t k = group.begin; k < group.end; ++k) {
+                const value_t av = a.values()[k];
+                const value_t *brow = b.row(a.col_idx()[k]);
+                for (index_t d = 0; d < dim; ++d)
+                    acc[static_cast<size_t>(d)] += av * brow[d];
+            }
+            value_t *crow = c.row(group.row);
+            for (index_t d = 0; d < dim; ++d)
+                atomic_add(crow[d], acc[static_cast<size_t>(d)]);
+        },
+        /*grain=*/16);
+}
+
+} // namespace mps

@@ -1,0 +1,71 @@
+#include "mps/kernels/registry.h"
+
+#include "mps/core/spmm.h"
+#include "mps/kernels/adaptive.h"
+#include "mps/kernels/column_split.h"
+#include "mps/kernels/mergepath_kernel.h"
+#include "mps/kernels/mergepath_serial.h"
+#include "mps/kernels/nnz_split.h"
+#include "mps/kernels/row_split.h"
+#include "mps/util/log.h"
+
+namespace mps {
+
+namespace {
+
+/** Sequential gold kernel exposed through the registry. */
+class ReferenceSpmmKernel final : public SpmmKernel
+{
+  public:
+    std::string name() const override { return "reference"; }
+
+    void
+    prepare(const CsrMatrix &a, index_t dim) override
+    {
+        (void)a;
+        (void)dim;
+    }
+
+    void
+    run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+        ThreadPool &pool) const override
+    {
+        (void)pool;
+        reference_spmm(a, b, c);
+    }
+};
+
+} // namespace
+
+std::vector<std::string>
+spmm_kernel_names()
+{
+    return {"mergepath",        "gnnadvisor", "row_split",
+            "column_split",     "adaptive",   "mergepath_serial",
+            "reference"};
+}
+
+std::unique_ptr<SpmmKernel>
+make_spmm_kernel(const std::string &name)
+{
+    if (name == "mergepath")
+        return std::make_unique<MergePathSpmm>();
+    if (name == "gnnadvisor")
+        return std::make_unique<NnzSplitSpmm>();
+    if (name == "row_split")
+        return std::make_unique<RowSplitSpmm>();
+    if (name == "column_split")
+        return std::make_unique<ColumnSplitSpmm>();
+    if (name == "adaptive")
+        return std::make_unique<AdaptiveSpmm>();
+    if (name == "mergepath_serial")
+        return std::make_unique<MergePathSerialFixupSpmm>();
+    if (name == "reference")
+        return std::make_unique<ReferenceSpmmKernel>();
+    std::string known;
+    for (const auto &k : spmm_kernel_names())
+        known += " " + k;
+    fatal("unknown SpMM kernel '" + name + "'; known kernels:" + known);
+}
+
+} // namespace mps

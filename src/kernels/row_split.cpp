@@ -1,0 +1,52 @@
+#include "mps/kernels/row_split.h"
+
+#include <algorithm>
+
+#include "mps/util/log.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+
+void
+RowSplitSpmm::prepare(const CsrMatrix &a, index_t dim)
+{
+    (void)dim;
+    prepared_chunks_ = num_chunks_;
+    if (prepared_chunks_ <= 0)
+        prepared_chunks_ = 0; // resolved against the pool in run()
+    if (prepared_chunks_ > a.rows())
+        prepared_chunks_ = std::max<index_t>(a.rows(), 1);
+}
+
+void
+RowSplitSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+                  ThreadPool &pool) const
+{
+    MPS_CHECK(b.rows() == a.cols() && c.rows() == a.rows() &&
+                  c.cols() == b.cols(),
+              "shape mismatch in row_split SpMM");
+    index_t chunks = prepared_chunks_;
+    if (chunks == 0)
+        chunks = std::min<index_t>(std::max<index_t>(a.rows(), 1),
+                                   static_cast<index_t>(pool.size()) * 8);
+
+    const index_t dim = b.cols();
+    const index_t rows_per_chunk = (a.rows() + chunks - 1) / chunks;
+    pool.parallel_for(static_cast<uint64_t>(chunks), [&](uint64_t chunk) {
+        index_t begin = static_cast<index_t>(chunk) * rows_per_chunk;
+        index_t end = std::min<index_t>(begin + rows_per_chunk, a.rows());
+        for (index_t r = begin; r < end; ++r) {
+            value_t *crow = c.row(r);
+            for (index_t d = 0; d < dim; ++d)
+                crow[d] = 0.0f;
+            for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+                const value_t av = a.values()[k];
+                const value_t *brow = b.row(a.col_idx()[k]);
+                for (index_t d = 0; d < dim; ++d)
+                    crow[d] += av * brow[d];
+            }
+        }
+    });
+}
+
+} // namespace mps

@@ -1,0 +1,138 @@
+#include "mps/multicore/cache.h"
+
+#include <algorithm>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+namespace {
+
+int
+log2_exact(int64_t v)
+{
+    MPS_CHECK(v > 0 && (v & (v - 1)) == 0, "value must be a power of two: ",
+              v);
+    int shift = 0;
+    while ((int64_t{1} << shift) < v)
+        ++shift;
+    return shift;
+}
+
+} // namespace
+
+CacheArray::CacheArray(int64_t capacity_bytes, int assoc, int line_bytes)
+{
+    MPS_CHECK(capacity_bytes > 0 && assoc > 0 && line_bytes > 0,
+              "bad cache geometry");
+    line_shift_ = log2_exact(line_bytes);
+    int64_t lines = capacity_bytes / line_bytes;
+    MPS_CHECK(lines > 0, "cache smaller than one line");
+    assoc_ = static_cast<int>(std::min<int64_t>(assoc, lines));
+    num_sets_ = static_cast<size_t>(lines / assoc_);
+    MPS_CHECK(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0,
+              "set count must be a power of two, got ", num_sets_);
+    ways_.assign(num_sets_ * static_cast<size_t>(assoc_), Way{});
+}
+
+size_t
+CacheArray::set_index(uint64_t addr) const
+{
+    return static_cast<size_t>((addr >> line_shift_) &
+                               (num_sets_ - 1));
+}
+
+uint64_t
+CacheArray::tag_of(uint64_t addr) const
+{
+    return addr >> line_shift_;
+}
+
+CacheArray::Way *
+CacheArray::find(uint64_t addr)
+{
+    size_t base = set_index(addr) * static_cast<size_t>(assoc_);
+    uint64_t tag = tag_of(addr);
+    for (int w = 0; w < assoc_; ++w) {
+        Way &way = ways_[base + static_cast<size_t>(w)];
+        if (way.state != LineState::kInvalid && way.tag == tag)
+            return &way;
+    }
+    return nullptr;
+}
+
+const CacheArray::Way *
+CacheArray::find(uint64_t addr) const
+{
+    return const_cast<CacheArray *>(this)->find(addr);
+}
+
+LineState
+CacheArray::lookup(uint64_t addr) const
+{
+    const Way *way = find(addr);
+    if (way == nullptr) {
+        ++misses_;
+        return LineState::kInvalid;
+    }
+    ++hits_;
+    return way->state;
+}
+
+void
+CacheArray::set_state(uint64_t addr, LineState state)
+{
+    Way *way = find(addr);
+    MPS_CHECK(way != nullptr, "set_state on absent line");
+    way->state = state;
+}
+
+void
+CacheArray::touch(uint64_t addr)
+{
+    Way *way = find(addr);
+    if (way != nullptr)
+        way->lru = ++clock_;
+}
+
+CacheFillResult
+CacheArray::fill(uint64_t addr, LineState state)
+{
+    CacheFillResult result;
+    Way *way = find(addr);
+    if (way != nullptr) {
+        way->state = state;
+        way->lru = ++clock_;
+        return result;
+    }
+    size_t base = set_index(addr) * static_cast<size_t>(assoc_);
+    Way *victim = &ways_[base];
+    for (int w = 0; w < assoc_; ++w) {
+        Way &candidate = ways_[base + static_cast<size_t>(w)];
+        if (candidate.state == LineState::kInvalid) {
+            victim = &candidate;
+            break;
+        }
+        if (candidate.lru < victim->lru)
+            victim = &candidate;
+    }
+    if (victim->state != LineState::kInvalid) {
+        result.evicted = true;
+        result.evicted_addr = victim->tag << line_shift_;
+        result.evicted_dirty = victim->state == LineState::kModified;
+    }
+    victim->tag = tag_of(addr);
+    victim->state = state;
+    victim->lru = ++clock_;
+    return result;
+}
+
+void
+CacheArray::invalidate(uint64_t addr)
+{
+    Way *way = find(addr);
+    if (way != nullptr)
+        way->state = LineState::kInvalid;
+}
+
+} // namespace mps

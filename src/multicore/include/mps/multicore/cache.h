@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Set-associative cache tag array with LRU replacement and per-line
+ * coherence state, used for both the private L1s and the shared L2
+ * slices of the multicore model.
+ */
+#ifndef MPS_MULTICORE_CACHE_H
+#define MPS_MULTICORE_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mps {
+
+/** Coherence state of a cached line (MESI with E folded into M). */
+enum class LineState : uint8_t {
+    kInvalid = 0,
+    kShared,
+    kModified,
+};
+
+/** Result of a cache lookup/fill. */
+struct CacheFillResult
+{
+    /** A valid line was evicted to make room. */
+    bool evicted = false;
+    /** Address of the evicted line (line-aligned). */
+    uint64_t evicted_addr = 0;
+    /** The evicted line was dirty (kModified). */
+    bool evicted_dirty = false;
+};
+
+/**
+ * Tag array: capacity/line_size lines, LRU within each set. The cache
+ * stores no data, only tags + state (timing model).
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param capacity_bytes total capacity
+     * @param assoc ways per set (clamped to the line count)
+     * @param line_bytes line size (power of two)
+     */
+    CacheArray(int64_t capacity_bytes, int assoc, int line_bytes);
+
+    /** State of @p addr's line, kInvalid when absent. */
+    LineState lookup(uint64_t addr) const;
+
+    /** Set the state of a present line; panics when absent. */
+    void set_state(uint64_t addr, LineState state);
+
+    /** Touch for LRU (on hits). */
+    void touch(uint64_t addr);
+
+    /**
+     * Insert @p addr with @p state, evicting the set's LRU victim if
+     * needed. Touching an already-present line just updates its state.
+     */
+    CacheFillResult fill(uint64_t addr, LineState state);
+
+    /** Drop a line (invalidation); no-op when absent. */
+    void invalidate(uint64_t addr);
+
+    int64_t hits() const { return hits_; }
+    int64_t misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        LineState state = LineState::kInvalid;
+        uint64_t lru = 0;
+    };
+
+    size_t set_index(uint64_t addr) const;
+    uint64_t tag_of(uint64_t addr) const;
+    Way *find(uint64_t addr);
+    const Way *find(uint64_t addr) const;
+
+    int line_shift_;
+    size_t num_sets_;
+    int assoc_;
+    std::vector<Way> ways_; // num_sets * assoc
+    uint64_t clock_ = 0;
+    mutable int64_t hits_ = 0;
+    mutable int64_t misses_ = 0;
+};
+
+} // namespace mps
+
+#endif // MPS_MULTICORE_CACHE_H

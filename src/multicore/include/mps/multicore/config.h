@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Configuration of the simulated large-core-count multicore (Table I of
+ * the paper): single-threaded in-order cores at 1 GHz, private L1s, a
+ * shared L2 physically distributed as one slice per core, an
+ * invalidation-based MESI directory with Limited-4 sharer pointers, a
+ * 2-D electrical mesh with X-Y routing and link contention, and
+ * distributed memory controllers at the chip boundary.
+ *
+ * scaled_to() implements the paper's scaling methodology: when the core
+ * count shrinks, per-core cache capacity grows to keep the total
+ * on-chip capacity constant, and the controller count shrinks while
+ * total DRAM bandwidth stays constant.
+ */
+#ifndef MPS_MULTICORE_CONFIG_H
+#define MPS_MULTICORE_CONFIG_H
+
+#include <cstdint>
+
+namespace mps {
+
+/** Table I machine description. */
+struct MulticoreConfig
+{
+    /** Cores (must be a perfect square for the mesh). */
+    int num_cores = 1024;
+    /** Core clock in GHz (cycles below are core cycles). */
+    double clock_ghz = 1.0;
+
+    /** Private L1 data cache capacity per core (bytes). */
+    int64_t l1_bytes = 4 * 1024;
+    int l1_assoc = 4;
+    int l1_latency = 1;
+
+    /** Shared L2 slice capacity per core (bytes); 8 MB total at 1024. */
+    int64_t l2_slice_bytes = 8 * 1024;
+    int l2_assoc = 8;
+    int l2_latency = 6;
+
+    /** Cache line size (bytes). */
+    int line_bytes = 64;
+
+    /** Directory sharer pointers before forced eviction (Limited-4). */
+    int directory_pointers = 4;
+    /** Directory/L2 slice lookup occupancy per request (cycles). */
+    int directory_occupancy = 2;
+
+    /** Mesh hop latency: 1 router + 1 link cycle. */
+    int hop_cycles = 2;
+    /** Link width in bits (64-bit flits). */
+    int flit_bits = 64;
+    /** Control message size in flits (header only). */
+    int control_flits = 1;
+
+    /** Memory controllers at the chip boundary. */
+    int num_mem_controllers = 32;
+    /** Total DRAM bandwidth (GB/s), split across the controllers. */
+    double dram_total_gbps = 320.0;
+    /** DRAM access latency (ns). */
+    double dram_latency_ns = 100.0;
+
+    /** SIMD lanes per core: four 16-bit operations per cycle. */
+    int simd_lanes = 4;
+    /** Bytes of a dense matrix element (16-bit values). */
+    int value_bytes = 2;
+
+    /** DRAM latency in core cycles. */
+    double dram_latency_cycles() const {
+        return dram_latency_ns * clock_ghz;
+    }
+
+    /**
+     * Cycles one controller needs to transfer a cache line, derived
+     * from its share of the total bandwidth.
+     */
+    double dram_line_service_cycles() const {
+        double per_ctrl_bytes_per_cycle =
+            dram_total_gbps / clock_ghz / num_mem_controllers;
+        return line_bytes / per_ctrl_bytes_per_cycle;
+    }
+
+    /**
+     * The Table I machine rescaled to @p cores: total cache capacity
+     * and total DRAM bandwidth stay constant (per-core caches grow,
+     * controllers shrink proportionally, minimum 2).
+     */
+    MulticoreConfig scaled_to(int cores) const;
+
+    /** The paper's 1024-core configuration. */
+    static MulticoreConfig table1() { return {}; }
+};
+
+} // namespace mps
+
+#endif // MPS_MULTICORE_CONFIG_H

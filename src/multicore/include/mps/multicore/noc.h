@@ -1,0 +1,74 @@
+/**
+ * @file
+ * 2-D electrical mesh with X-Y dimension-ordered routing, per Table I:
+ * 2-cycle hops (1 router + 1 link), 64-bit flits, infinite input
+ * buffers, and link contention only — a link carries one flit per
+ * cycle, so messages queue on busy links.
+ */
+#ifndef MPS_MULTICORE_NOC_H
+#define MPS_MULTICORE_NOC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mps/multicore/config.h"
+
+namespace mps {
+
+/** Mesh network timing model with link reservations. */
+class MeshNoc
+{
+  public:
+    /**
+     * @param num_cores must be a power of two; the mesh is the most
+     * square width x height factorization (e.g. 128 cores -> 16 x 8).
+     */
+    MeshNoc(int num_cores, const MulticoreConfig &config);
+
+    /**
+     * Route a @p flits-flit message from @p src to @p dst, injecting at
+     * time @p now. Each traversed link is a fluid queue: it drains one
+     * flit per cycle, a message waits behind the link's current
+     * backlog and then adds its own flits to it. The backlog decays
+     * with simulated time, so a reply scheduled into the future does
+     * not hard-block earlier messages (the event loop resolves whole
+     * transactions at once), while sustained over-subscription still
+     * produces queueing delay. Returns the head-flit arrival time plus
+     * tail serialization at the destination.
+     */
+    double route(int src, int dst, int flits, double now);
+
+    /** Manhattan hop distance between two cores. */
+    int distance(int src, int dst) const;
+
+    /** Total flit-cycles of link occupancy so far (traffic stat). */
+    double link_occupancy() const { return occupancy_; }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    /** Mesh diameter in hops (for broadcast-latency estimates). */
+    int diameter() const { return width_ - 1 + height_ - 1; }
+
+  private:
+    // Link array layout: for each node, 4 outgoing directions
+    // (+x, -x, +y, -y); off-mesh directions are simply unused.
+    size_t link_index(int node, int dir) const;
+
+    /** Fluid-queue state of one link (drains 1 flit per cycle). */
+    struct Link
+    {
+        double anchor = 0.0;  ///< time the backlog was last updated
+        double backlog = 0.0; ///< flits still queued at anchor
+    };
+
+    int width_;
+    int height_;
+    int hop_cycles_;
+    std::vector<Link> links_;
+    double occupancy_ = 0.0;
+};
+
+} // namespace mps
+
+#endif // MPS_MULTICORE_NOC_H

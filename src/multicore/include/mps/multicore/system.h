@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The Table I multicore timing model.
+ *
+ * Discrete-event, trace-driven simulation: every core is a
+ * single-issue in-order machine with one outstanding memory request
+ * (so a core is fully described by the time it becomes ready again),
+ * and the event loop advances the globally earliest core. Memory
+ * requests traverse: private L1 -> home directory/L2 slice (selected
+ * by line interleaving) over the mesh -> owner core or boundary memory
+ * controller. The directory implements invalidation-based MESI with
+ * Limited-4 sharer pointers (E is folded into M; pointer overflow
+ * evicts a sharer, as in the limited-directory literature).
+ */
+#ifndef MPS_MULTICORE_SYSTEM_H
+#define MPS_MULTICORE_SYSTEM_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mps/multicore/cache.h"
+#include "mps/multicore/config.h"
+#include "mps/multicore/noc.h"
+#include "mps/multicore/trace.h"
+
+namespace mps {
+
+/** Per-core outcome counters. */
+struct CoreStats
+{
+    double compute_cycles = 0.0;
+    double memory_cycles = 0.0;
+    double finish_time = 0.0;
+    int64_t loads = 0;
+    int64_t stores = 0;
+    int64_t atomics = 0;
+    int64_t l1_hits = 0;
+    int64_t l1_misses = 0;
+};
+
+/** Aggregate simulation outcome. */
+struct MulticoreResult
+{
+    /** Parallel completion time: the last core's finish (cycles). */
+    double completion_cycles = 0.0;
+    /** Mean per-core cycles spent computing. */
+    double avg_compute_cycles = 0.0;
+    /** Mean per-core cycles stalled on memory. */
+    double avg_memory_cycles = 0.0;
+    int64_t total_l1_misses = 0;
+    int64_t total_dram_lines = 0;
+    int64_t total_invalidations = 0;
+    /** Sharing misses: requests served by another core's dirty copy. */
+    int64_t total_forwards = 0;
+    std::vector<CoreStats> cores;
+};
+
+/** The simulated machine. */
+class MulticoreSystem
+{
+  public:
+    explicit MulticoreSystem(const MulticoreConfig &config);
+
+    /**
+     * Run one trace source per core to completion (sources.size() must
+     * equal the configured core count) and return the timing outcome.
+     */
+    MulticoreResult run(std::vector<std::unique_ptr<TraceSource>> sources);
+
+    const MulticoreConfig &config() const { return config_; }
+
+  private:
+    /**
+     * Directory record for one line's L1 copies. Sharers are tracked
+     * with up to directory_pointers precise pointers (Limited-4 /
+     * ACKwise-style): when the pointer set overflows, the entry falls
+     * into broadcast mode — reads proceed untracked and a later write
+     * invalidates by broadcast.
+     */
+    struct DirEntry
+    {
+        LineState state = LineState::kInvalid; // kInvalid = no L1 copy
+        int32_t owner = -1;                    // valid when kModified
+        bool broadcast = false;                // pointer overflow mode
+        std::array<int32_t, 8> sharers{};
+        int num_sharers = 0;
+
+        bool has_sharer(int core) const;
+        void add_sharer(int core);
+        void remove_sharer(int core);
+    };
+
+    uint64_t line_of(uint64_t addr) const;
+    int home_of(uint64_t line) const;
+    int controller_core(uint64_t line) const;
+
+    /** Serialize at a directory slice; returns post-occupancy time. */
+    double directory_occupy(int home, double t);
+
+    /** DRAM access issued from @p home at @p t; returns data-ready. */
+    double dram_access(int home, uint64_t line, double t);
+
+    /** Handle an L1 fill's eviction (writeback + directory update). */
+    void handle_l1_eviction(int core, const CacheFillResult &fill,
+                            double now);
+
+    /**
+     * Process one memory operation for @p core at @p now; returns its
+     * total latency in cycles.
+     */
+    double access(int core, uint64_t addr, TraceOpKind kind, double now);
+
+    MulticoreConfig config_;
+    MeshNoc noc_;
+    std::vector<CacheArray> l1_;
+    std::vector<CacheArray> l2_;
+    std::vector<double> dir_free_;
+    std::vector<double> ctrl_free_;
+    std::unordered_map<uint64_t, DirEntry> directory_;
+    MulticoreResult stats_;
+};
+
+} // namespace mps
+
+#endif // MPS_MULTICORE_SYSTEM_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-core instruction/memory traces for the multicore simulator.
+ *
+ * The timing model is trace-driven: each core consumes a stream of
+ * TraceOps produced lazily by a TraceSource (one per core). The trace
+ * generators in tracegen.h replay the *actual* kernel schedules
+ * (merge-path ThreadWork, GNNAdvisor neighbor groups) against a
+ * synthetic address map, so the simulated machine sees exactly the
+ * sharing and reuse pattern of the real kernels.
+ */
+#ifndef MPS_MULTICORE_TRACE_H
+#define MPS_MULTICORE_TRACE_H
+
+#include <cstdint>
+
+namespace mps {
+
+/** Kind of one trace operation. */
+enum class TraceOpKind : uint8_t {
+    kCompute,   ///< busy for `cycles` core cycles (SIMD MACs, control)
+    kLoad,      ///< read `addr`
+    kStore,     ///< write `addr` (requires exclusive ownership)
+    kAtomicRmw, ///< atomic read-modify-write of `addr`
+};
+
+/** One operation of a core's instruction stream. */
+struct TraceOp
+{
+    TraceOpKind kind;
+    uint32_t cycles;  ///< for kCompute
+    uint64_t addr;    ///< for memory ops (byte address)
+};
+
+/** Lazily generated per-core operation stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next operation into @p op.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(TraceOp &op) = 0;
+};
+
+} // namespace mps
+
+#endif // MPS_MULTICORE_TRACE_H

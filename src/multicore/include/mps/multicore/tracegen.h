@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Trace generators that replay the SpMM kernels on the multicore model.
+ *
+ * Each core executes one logical thread (the paper's one-to-one
+ * mapping). The generators walk the same work assignment the portable
+ * kernels use — the merge-path ThreadWork resolution for
+ * MergePath-SpMM, contiguous neighbor-group chunks for GNNAdvisor —
+ * and emit loads/stores/atomics against a synthetic address map, plus
+ * SIMD compute ops (four 16-bit lanes per Table I).
+ */
+#ifndef MPS_MULTICORE_TRACEGEN_H
+#define MPS_MULTICORE_TRACEGEN_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mps/multicore/config.h"
+#include "mps/multicore/system.h"
+#include "mps/multicore/trace.h"
+#include "mps/sparse/csr_matrix.h"
+
+namespace mps {
+
+/** Synthetic physical layout of one SpMM's operands. */
+struct SpmmAddressMap
+{
+    uint64_t row_ptr_base = 0;
+    uint64_t col_idx_base = 0;
+    uint64_t values_base = 0;
+    uint64_t xw_base = 0;
+    uint64_t c_base = 0;
+    index_t dim = 0;
+    int value_bytes = 2;
+
+    uint64_t row_ptr_addr(index_t i) const {
+        return row_ptr_base + static_cast<uint64_t>(i) * 4;
+    }
+    uint64_t col_addr(index_t k) const {
+        return col_idx_base + static_cast<uint64_t>(k) * 4;
+    }
+    uint64_t val_addr(index_t k) const {
+        return values_base +
+               static_cast<uint64_t>(k) * static_cast<uint64_t>(value_bytes);
+    }
+    uint64_t xw_row_addr(index_t row) const {
+        return xw_base + static_cast<uint64_t>(row) * dim * value_bytes;
+    }
+    uint64_t c_row_addr(index_t row) const {
+        return c_base + static_cast<uint64_t>(row) * dim * value_bytes;
+    }
+
+    /** Lay out the operands of @p a x (n x dim) with line-aligned bases. */
+    static SpmmAddressMap create(const CsrMatrix &a, index_t dim,
+                                 int value_bytes, int line_bytes);
+};
+
+/**
+ * A contiguous run of one row's non-zeros assigned to a core, with its
+ * output-commit discipline.
+ */
+struct WorkSegment
+{
+    index_t row;
+    index_t begin; ///< first nnz index
+    index_t end;   ///< one past the last nnz index
+    bool atomic;   ///< commit with an atomic RMW instead of a store
+};
+
+/**
+ * TraceSource that executes a list of WorkSegments: per segment it
+ * loads the row bounds, streams column/value/XW data for every
+ * non-zero with SIMD compute ops, and commits the output row.
+ */
+class SegmentTraceSource final : public TraceSource
+{
+  public:
+    SegmentTraceSource(const CsrMatrix &a, const SpmmAddressMap &map,
+                       const MulticoreConfig &config,
+                       std::vector<WorkSegment> segments);
+
+    bool next(TraceOp &op) override;
+
+  private:
+    void refill();
+    void push_line_ops(uint64_t addr, uint64_t bytes, TraceOpKind kind);
+
+    const CsrMatrix &a_;
+    SpmmAddressMap map_;
+    int line_bytes_;
+    uint32_t compute_per_nnz_;
+    std::vector<WorkSegment> segments_;
+
+    size_t seg_idx_ = 0;
+    index_t k_ = 0;
+    bool seg_started_ = false;
+
+    std::vector<TraceOp> pending_;
+    size_t pending_pos_ = 0;
+};
+
+/**
+ * One MergePath-SpMM trace per core (threads == cores, Figure 9
+ * methodology): the merge-path cost scales with the graph size and
+ * core count; split rows commit atomically, complete rows with plain
+ * stores.
+ */
+std::vector<std::unique_ptr<TraceSource>> make_mergepath_trace_sources(
+    const CsrMatrix &a, const SpmmAddressMap &map,
+    const MulticoreConfig &config);
+
+/**
+ * One GNNAdvisor trace per core: neighbor groups (size = average
+ * degree unless @p ng_size > 0) distributed in contiguous chunks;
+ * every commit is atomic.
+ */
+std::vector<std::unique_ptr<TraceSource>> make_gnnadvisor_trace_sources(
+    const CsrMatrix &a, const SpmmAddressMap &map,
+    const MulticoreConfig &config, index_t ng_size = 0);
+
+/**
+ * Convenience runner: build the traces for @p kernel_name ("mergepath"
+ * or "gnnadvisor"), instantiate the machine and simulate one A x XW
+ * kernel at dense dimension @p dim.
+ */
+MulticoreResult run_spmm_on_multicore(const CsrMatrix &a, index_t dim,
+                                      const MulticoreConfig &config,
+                                      const std::string &kernel_name);
+
+} // namespace mps
+
+#endif // MPS_MULTICORE_TRACEGEN_H

@@ -1,0 +1,95 @@
+#include "mps/multicore/noc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+MeshNoc::MeshNoc(int num_cores, const MulticoreConfig &config)
+    : hop_cycles_(config.hop_cycles)
+{
+    MPS_CHECK(num_cores >= 1 && (num_cores & (num_cores - 1)) == 0,
+              "mesh needs a power-of-two core count, got ", num_cores);
+    // Most-square factorization: 64 -> 8x8, 128 -> 16x8, 512 -> 32x16.
+    width_ = 1;
+    while (width_ * width_ < num_cores)
+        width_ *= 2;
+    height_ = num_cores / width_;
+    MPS_CHECK(width_ * height_ == num_cores, "mesh factorization bug");
+    links_.assign(static_cast<size_t>(num_cores) * 4, Link{});
+}
+
+size_t
+MeshNoc::link_index(int node, int dir) const
+{
+    return static_cast<size_t>(node) * 4 + static_cast<size_t>(dir);
+}
+
+int
+MeshNoc::distance(int src, int dst) const
+{
+    int sx = src % width_, sy = src / width_;
+    int dx = dst % width_, dy = dst / width_;
+    return std::abs(sx - dx) + std::abs(sy - dy);
+}
+
+double
+MeshNoc::route(int src, int dst, int flits, double now)
+{
+    if (src == dst)
+        return now; // local slice: no network traversal
+    int x = src % width_, y = src / width_;
+    const int dx = dst % width_, dy = dst / width_;
+    double t = now;
+
+    auto traverse = [&](int node, int dir) {
+        Link &link = links_[link_index(node, dir)];
+        occupancy_ += flits;
+        double depart;
+        if (t >= link.anchor) {
+            // Decay the queued flits at one per cycle up to the
+            // injection time, wait behind what remains, then append.
+            link.backlog =
+                std::max(0.0, link.backlog - (t - link.anchor));
+            link.anchor = t;
+            depart = t + link.backlog;
+            link.backlog += flits;
+        } else {
+            // A message timestamped before the link's anchor (the
+            // anchor was advanced by a future-scheduled reply of an
+            // already-resolved transaction): let it pass using the
+            // earlier slack, but still account its bandwidth.
+            depart = t;
+            link.backlog += flits;
+        }
+        t = depart + hop_cycles_;
+    };
+
+    // X first, then Y (dimension-ordered, deadlock free).
+    while (x != dx) {
+        int node = y * width_ + x;
+        if (x < dx) {
+            traverse(node, 0); // +x
+            ++x;
+        } else {
+            traverse(node, 1); // -x
+            --x;
+        }
+    }
+    while (y != dy) {
+        int node = y * width_ + x;
+        if (y < dy) {
+            traverse(node, 2); // +y
+            ++y;
+        } else {
+            traverse(node, 3); // -y
+            --y;
+        }
+    }
+    // Tail flits drain behind the head at the destination.
+    return t + (flits - 1);
+}
+
+} // namespace mps

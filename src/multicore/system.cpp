@@ -1,0 +1,394 @@
+#include "mps/multicore/system.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+MulticoreConfig
+MulticoreConfig::scaled_to(int cores) const
+{
+    MPS_CHECK(cores >= 1 && cores <= num_cores,
+              "can only scale down from the base configuration");
+    MulticoreConfig c = *this;
+    int factor = num_cores / cores;
+    MPS_CHECK(factor * cores == num_cores,
+              "core count must divide the base core count");
+    c.num_cores = cores;
+    // Keep total on-chip cache capacity constant.
+    c.l1_bytes = l1_bytes * factor;
+    c.l2_slice_bytes = l2_slice_bytes * factor;
+    // Fewer controllers, same total DRAM bandwidth.
+    c.num_mem_controllers =
+        std::max(2, num_mem_controllers * cores / num_cores);
+    return c;
+}
+
+bool
+MulticoreSystem::DirEntry::has_sharer(int core) const
+{
+    for (int i = 0; i < num_sharers; ++i) {
+        if (sharers[static_cast<size_t>(i)] == core)
+            return true;
+    }
+    return false;
+}
+
+void
+MulticoreSystem::DirEntry::add_sharer(int core)
+{
+    if (!has_sharer(core) &&
+        num_sharers < static_cast<int>(sharers.size())) {
+        sharers[static_cast<size_t>(num_sharers++)] = core;
+    }
+}
+
+void
+MulticoreSystem::DirEntry::remove_sharer(int core)
+{
+    for (int i = 0; i < num_sharers; ++i) {
+        if (sharers[static_cast<size_t>(i)] == core) {
+            sharers[static_cast<size_t>(i)] =
+                sharers[static_cast<size_t>(num_sharers - 1)];
+            --num_sharers;
+            return;
+        }
+    }
+}
+
+MulticoreSystem::MulticoreSystem(const MulticoreConfig &config)
+    : config_(config), noc_(config.num_cores, config)
+{
+    MPS_CHECK(config.directory_pointers >= 1 &&
+                  config.directory_pointers <= 8,
+              "directory pointers must be in [1, 8]");
+    l1_.reserve(static_cast<size_t>(config.num_cores));
+    l2_.reserve(static_cast<size_t>(config.num_cores));
+    for (int c = 0; c < config.num_cores; ++c) {
+        l1_.emplace_back(config.l1_bytes, config.l1_assoc,
+                         config.line_bytes);
+        l2_.emplace_back(config.l2_slice_bytes, config.l2_assoc,
+                         config.line_bytes);
+    }
+    dir_free_.assign(static_cast<size_t>(config.num_cores), 0.0);
+    ctrl_free_.assign(static_cast<size_t>(config.num_mem_controllers),
+                      0.0);
+    stats_.cores.assign(static_cast<size_t>(config.num_cores),
+                        CoreStats{});
+}
+
+uint64_t
+MulticoreSystem::line_of(uint64_t addr) const
+{
+    return addr / static_cast<uint64_t>(config_.line_bytes);
+}
+
+int
+MulticoreSystem::home_of(uint64_t line) const
+{
+    return static_cast<int>(line %
+                            static_cast<uint64_t>(config_.num_cores));
+}
+
+int
+MulticoreSystem::controller_core(uint64_t line) const
+{
+    // Controllers sit on the top and bottom mesh edges, spread evenly.
+    int ctrl = static_cast<int>(
+        line % static_cast<uint64_t>(config_.num_mem_controllers));
+    int width = noc_.width();
+    int height = noc_.height();
+    int half = std::max(1, config_.num_mem_controllers / 2);
+    if (ctrl < half) {
+        int x = std::min(width - 1, ctrl * width / half);
+        return x; // top row (y = 0)
+    }
+    int x = std::min(width - 1, (ctrl - half) * width / half);
+    return (height - 1) * width + x; // bottom row
+}
+
+double
+MulticoreSystem::directory_occupy(int home, double t)
+{
+    double depart = std::max(t, dir_free_[static_cast<size_t>(home)]);
+    dir_free_[static_cast<size_t>(home)] =
+        depart + config_.directory_occupancy;
+    return depart + config_.directory_occupancy;
+}
+
+double
+MulticoreSystem::dram_access(int home, uint64_t line, double t)
+{
+    int ctrl = static_cast<int>(
+        line % static_cast<uint64_t>(config_.num_mem_controllers));
+    int ctrl_core = controller_core(line);
+    double at_ctrl =
+        noc_.route(home, ctrl_core, config_.control_flits, t);
+    double depart =
+        std::max(at_ctrl, ctrl_free_[static_cast<size_t>(ctrl)]);
+    ctrl_free_[static_cast<size_t>(ctrl)] =
+        depart + config_.dram_line_service_cycles();
+    double ready = depart + config_.dram_latency_cycles();
+    ++stats_.total_dram_lines;
+    int data_flits = config_.control_flits +
+                     config_.line_bytes * 8 / config_.flit_bits;
+    return noc_.route(ctrl_core, home, data_flits, ready);
+}
+
+void
+MulticoreSystem::handle_l1_eviction(int core, const CacheFillResult &fill,
+                                    double now)
+{
+    if (!fill.evicted)
+        return;
+    uint64_t line = line_of(fill.evicted_addr);
+    int home = home_of(line);
+    auto it = directory_.find(line);
+    if (fill.evicted_dirty) {
+        // Writeback travels to the home slice off the critical path;
+        // the L2 slice becomes the holder of the only copy.
+        int data_flits = config_.control_flits +
+                         config_.line_bytes * 8 / config_.flit_bits;
+        noc_.route(core, home, data_flits, now);
+        l2_[static_cast<size_t>(home)].fill(fill.evicted_addr,
+                                            LineState::kShared);
+        if (it != directory_.end()) {
+            it->second.state = LineState::kInvalid;
+            it->second.owner = -1;
+            it->second.num_sharers = 0;
+            it->second.broadcast = false;
+        }
+    } else if (it != directory_.end()) {
+        // Clean (shared) eviction: drop the pointer if present; a
+        // stale pointer would only cause a harmless spurious inval.
+        it->second.remove_sharer(core);
+        if (it->second.num_sharers == 0 &&
+            it->second.state == LineState::kShared) {
+            it->second.state = LineState::kInvalid;
+        }
+    }
+}
+
+double
+MulticoreSystem::access(int core, uint64_t addr, TraceOpKind kind,
+                        double now)
+{
+    CacheArray &l1 = l1_[static_cast<size_t>(core)];
+    const bool is_write = kind != TraceOpKind::kLoad;
+    const double rmw_cycles = kind == TraceOpKind::kAtomicRmw ? 2.0 : 0.0;
+    const uint64_t line = line_of(addr);
+    const uint64_t line_addr =
+        line * static_cast<uint64_t>(config_.line_bytes);
+    const int data_flits = config_.control_flits +
+                           config_.line_bytes * 8 / config_.flit_bits;
+
+    LineState l1_state = l1.lookup(addr);
+    if (l1_state == LineState::kModified ||
+        (l1_state == LineState::kShared && !is_write)) {
+        ++stats_.cores[static_cast<size_t>(core)].l1_hits;
+        l1.touch(addr);
+        return config_.l1_latency + rmw_cycles;
+    }
+    ++stats_.cores[static_cast<size_t>(core)].l1_misses;
+
+    const int home = home_of(line);
+    // Request message to the home directory slice.
+    double t = noc_.route(core, home, config_.control_flits,
+                          now + config_.l1_latency);
+    t = directory_occupy(home, t) + config_.l2_latency;
+
+    DirEntry &entry = directory_[line];
+    CacheArray &l2 = l2_[static_cast<size_t>(home)];
+    double data_ready;
+
+    if (entry.state == LineState::kModified && entry.owner != core) {
+        // Dirty in another L1: forward; the owner supplies the data.
+        int owner = entry.owner;
+        double at_owner =
+            noc_.route(home, owner, config_.control_flits, t) +
+            config_.l1_latency;
+        data_ready = noc_.route(owner, core, data_flits, at_owner);
+        ++stats_.total_forwards;
+        CacheArray &owner_l1 = l1_[static_cast<size_t>(owner)];
+        if (is_write) {
+            owner_l1.invalidate(line_addr);
+            ++stats_.total_invalidations;
+            entry.owner = core;
+            entry.num_sharers = 0; // stays kModified, new owner
+        } else {
+            // Downgrade the owner to shared; the writeback refreshes
+            // the home L2 slice off the critical path.
+            if (owner_l1.lookup(line_addr) != LineState::kInvalid)
+                owner_l1.set_state(line_addr, LineState::kShared);
+            noc_.route(owner, home, data_flits, at_owner);
+            l2.fill(line_addr, LineState::kShared);
+            entry.state = LineState::kShared;
+            entry.owner = -1;
+            entry.num_sharers = 0;
+            entry.add_sharer(owner);
+        }
+    } else {
+        double inval_done = t;
+        if (is_write && entry.state == LineState::kShared) {
+            if (entry.broadcast) {
+                // ACKwise overflow mode: invalidate by broadcast. The
+                // latency is a worst-case round trip across the mesh
+                // plus acknowledgement aggregation; copies are dropped
+                // everywhere without per-sharer messages.
+                int dropped = 0;
+                for (int c = 0; c < config_.num_cores; ++c) {
+                    if (c == core)
+                        continue;
+                    CacheArray &other = l1_[static_cast<size_t>(c)];
+                    if (other.lookup(line_addr) != LineState::kInvalid) {
+                        other.invalidate(line_addr);
+                        ++dropped;
+                    }
+                }
+                stats_.total_invalidations += dropped;
+                int diameter = noc_.diameter();
+                inval_done = t +
+                             2.0 * diameter * config_.hop_cycles +
+                             dropped; // ack serialization at the root
+                entry.broadcast = false;
+            } else {
+                // Precise pointers: invalidate every other sharer; the
+                // write completes when the slowest acknowledgement
+                // reaches the requester.
+                for (int i = 0; i < entry.num_sharers; ++i) {
+                    int sharer = entry.sharers[static_cast<size_t>(i)];
+                    if (sharer == core)
+                        continue;
+                    double at_sharer = noc_.route(
+                        home, sharer, config_.control_flits, t);
+                    l1_[static_cast<size_t>(sharer)].invalidate(
+                        line_addr);
+                    ++stats_.total_invalidations;
+                    double ack =
+                        noc_.route(sharer, core, config_.control_flits,
+                                   at_sharer);
+                    inval_done = std::max(inval_done, ack);
+                }
+            }
+            entry.num_sharers = 0;
+        }
+        // Data comes from the home slice, or DRAM below it. A writer
+        // upgrading an existing shared copy needs no data transfer.
+        double data_at_home = t;
+        bool need_data = !(is_write && l1_state == LineState::kShared);
+        if (need_data && l2.lookup(line_addr) == LineState::kInvalid) {
+            data_at_home = dram_access(home, line, t);
+            l2.fill(line_addr, LineState::kShared);
+        } else if (need_data) {
+            l2.touch(line_addr);
+        }
+        double reply = noc_.route(
+            home, core, need_data ? data_flits : config_.control_flits,
+            data_at_home);
+        data_ready = std::max(reply, inval_done);
+    }
+
+    // Update the directory for the requester and fill its L1.
+    if (is_write) {
+        entry.state = LineState::kModified;
+        entry.owner = core;
+        entry.num_sharers = 0;
+        entry.broadcast = false;
+    } else {
+        if (entry.state != LineState::kModified) {
+            entry.state = LineState::kShared;
+            if (!entry.broadcast && !entry.has_sharer(core)) {
+                if (entry.num_sharers >= config_.directory_pointers) {
+                    // Limited-4 pointer overflow: switch the entry to
+                    // ACKwise broadcast mode (no copies are dropped; a
+                    // later write pays a broadcast invalidation).
+                    entry.broadcast = true;
+                } else {
+                    entry.add_sharer(core);
+                }
+            }
+        }
+    }
+    CacheFillResult fill = l1.fill(
+        line_addr,
+        is_write ? LineState::kModified : LineState::kShared);
+    handle_l1_eviction(core, fill, data_ready);
+
+    return (data_ready - now) + config_.l1_latency + rmw_cycles;
+}
+
+MulticoreResult
+MulticoreSystem::run(std::vector<std::unique_ptr<TraceSource>> sources)
+{
+    MPS_CHECK(static_cast<int>(sources.size()) == config_.num_cores,
+              "need exactly one trace source per core, got ",
+              sources.size());
+
+    using Event = std::pair<double, int>; // (ready time, core)
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        queue;
+    std::vector<double> core_time(static_cast<size_t>(config_.num_cores),
+                                  0.0);
+    for (int c = 0; c < config_.num_cores; ++c)
+        queue.emplace(0.0, c);
+
+    TraceOp op;
+    while (!queue.empty()) {
+        auto [now, core] = queue.top();
+        queue.pop();
+        CoreStats &cs = stats_.cores[static_cast<size_t>(core)];
+        // Run this core for as long as it stays the globally earliest
+        // one: bursts of compute and L1 hits advance without paying a
+        // queue round trip, while global event order is preserved.
+        bool finished = false;
+        for (;;) {
+            if (!sources[static_cast<size_t>(core)]->next(op)) {
+                cs.finish_time = now;
+                finished = true;
+                break;
+            }
+            switch (op.kind) {
+              case TraceOpKind::kCompute:
+                now += op.cycles;
+                cs.compute_cycles += op.cycles;
+                break;
+              case TraceOpKind::kLoad:
+              case TraceOpKind::kStore:
+              case TraceOpKind::kAtomicRmw: {
+                double latency = access(core, op.addr, op.kind, now);
+                now += latency;
+                cs.memory_cycles += latency;
+                if (op.kind == TraceOpKind::kLoad)
+                    ++cs.loads;
+                else if (op.kind == TraceOpKind::kStore)
+                    ++cs.stores;
+                else
+                    ++cs.atomics;
+                break;
+              }
+            }
+            if (!queue.empty() && now > queue.top().first)
+                break;
+        }
+        if (!finished) {
+            core_time[static_cast<size_t>(core)] = now;
+            queue.emplace(now, core);
+        }
+    }
+
+    double sum_compute = 0.0, sum_memory = 0.0;
+    for (const CoreStats &cs : stats_.cores) {
+        stats_.completion_cycles =
+            std::max(stats_.completion_cycles, cs.finish_time);
+        sum_compute += cs.compute_cycles;
+        sum_memory += cs.memory_cycles;
+        stats_.total_l1_misses += cs.l1_misses;
+    }
+    stats_.avg_compute_cycles = sum_compute / config_.num_cores;
+    stats_.avg_memory_cycles = sum_memory / config_.num_cores;
+    return stats_;
+}
+
+} // namespace mps

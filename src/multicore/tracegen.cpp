@@ -1,0 +1,215 @@
+#include "mps/multicore/tracegen.h"
+
+#include <algorithm>
+
+#include "mps/core/schedule.h"
+#include "mps/kernels/nnz_split.h"
+#include "mps/util/log.h"
+
+namespace mps {
+
+namespace {
+
+/** Round @p v up to a multiple of @p align. */
+uint64_t
+align_up(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) / align * align;
+}
+
+} // namespace
+
+SpmmAddressMap
+SpmmAddressMap::create(const CsrMatrix &a, index_t dim, int value_bytes,
+                       int line_bytes)
+{
+    SpmmAddressMap m;
+    m.dim = dim;
+    m.value_bytes = value_bytes;
+    const uint64_t gap = 1 << 20; // keep regions visually distinct
+    uint64_t cursor = gap;
+    m.row_ptr_base = cursor;
+    cursor += align_up((static_cast<uint64_t>(a.rows()) + 1) * 4,
+                       static_cast<uint64_t>(line_bytes)) + gap;
+    m.col_idx_base = cursor;
+    cursor += align_up(static_cast<uint64_t>(a.nnz()) * 4,
+                       static_cast<uint64_t>(line_bytes)) + gap;
+    m.values_base = cursor;
+    cursor += align_up(static_cast<uint64_t>(a.nnz()) * value_bytes,
+                       static_cast<uint64_t>(line_bytes)) + gap;
+    m.xw_base = cursor;
+    cursor += align_up(static_cast<uint64_t>(a.cols()) * dim * value_bytes,
+                       static_cast<uint64_t>(line_bytes)) + gap;
+    m.c_base = cursor;
+    return m;
+}
+
+SegmentTraceSource::SegmentTraceSource(const CsrMatrix &a,
+                                       const SpmmAddressMap &map,
+                                       const MulticoreConfig &config,
+                                       std::vector<WorkSegment> segments)
+    : a_(a), map_(map), line_bytes_(config.line_bytes),
+      segments_(std::move(segments))
+{
+    // One vector MAC group per non-zero: dim elements over the SIMD
+    // lanes, plus one cycle of loop/address arithmetic.
+    compute_per_nnz_ = static_cast<uint32_t>(
+        (map.dim + config.simd_lanes - 1) / config.simd_lanes + 1);
+}
+
+void
+SegmentTraceSource::push_line_ops(uint64_t addr, uint64_t bytes,
+                                  TraceOpKind kind)
+{
+    uint64_t line = static_cast<uint64_t>(line_bytes_);
+    uint64_t first = addr / line * line;
+    uint64_t last = (addr + bytes - 1) / line * line;
+    for (uint64_t l = first; l <= last; l += line)
+        pending_.push_back({kind, 0, l});
+}
+
+void
+SegmentTraceSource::refill()
+{
+    pending_.clear();
+    pending_pos_ = 0;
+    while (pending_.empty()) {
+        if (seg_idx_ >= segments_.size())
+            return; // exhausted
+        const WorkSegment &seg = segments_[seg_idx_];
+        if (!seg_started_) {
+            seg_started_ = true;
+            k_ = seg.begin;
+            // Row bounds (merge-path / group metadata reads).
+            push_line_ops(map_.row_ptr_addr(seg.row), 8,
+                          TraceOpKind::kLoad);
+            continue;
+        }
+        if (k_ < seg.end) {
+            // One non-zero: column index, A value, the XW row, then
+            // the SIMD multiply-accumulate into registers.
+            push_line_ops(map_.col_addr(k_), 4, TraceOpKind::kLoad);
+            push_line_ops(map_.val_addr(k_),
+                          static_cast<uint64_t>(map_.value_bytes),
+                          TraceOpKind::kLoad);
+            index_t col = a_.col_idx()[k_];
+            push_line_ops(map_.xw_row_addr(col),
+                          static_cast<uint64_t>(map_.dim) *
+                              map_.value_bytes,
+                          TraceOpKind::kLoad);
+            pending_.push_back(
+                {TraceOpKind::kCompute, compute_per_nnz_, 0});
+            ++k_;
+            continue;
+        }
+        // Commit the output row and move to the next segment.
+        pending_.push_back({TraceOpKind::kCompute, 2, 0});
+        push_line_ops(map_.c_row_addr(seg.row),
+                      static_cast<uint64_t>(map_.dim) * map_.value_bytes,
+                      seg.atomic ? TraceOpKind::kAtomicRmw
+                                 : TraceOpKind::kStore);
+        ++seg_idx_;
+        seg_started_ = false;
+    }
+}
+
+bool
+SegmentTraceSource::next(TraceOp &op)
+{
+    if (pending_pos_ >= pending_.size()) {
+        refill();
+        if (pending_.empty())
+            return false;
+    }
+    op = pending_[pending_pos_++];
+    return true;
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+make_mergepath_trace_sources(const CsrMatrix &a, const SpmmAddressMap &map,
+                             const MulticoreConfig &config)
+{
+    MergePathSchedule sched =
+        MergePathSchedule::build(a, config.num_cores);
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    sources.reserve(static_cast<size_t>(config.num_cores));
+    for (int core = 0; core < config.num_cores; ++core) {
+        ResolvedWork w = sched.resolve(static_cast<index_t>(core), a);
+        std::vector<WorkSegment> segments;
+        if (w.has_head()) {
+            segments.push_back(
+                {w.head_row, w.head_begin, w.head_end, w.head_atomic});
+        }
+        for (index_t r = w.first_complete_row; r < w.last_complete_row;
+             ++r) {
+            segments.push_back({r, a.row_begin(r), a.row_end(r), false});
+        }
+        if (w.has_tail()) {
+            segments.push_back(
+                {w.tail_row, w.tail_begin, w.tail_end, w.tail_atomic});
+        }
+        sources.push_back(std::make_unique<SegmentTraceSource>(
+            a, map, config, std::move(segments)));
+    }
+    return sources;
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+make_gnnadvisor_trace_sources(const CsrMatrix &a, const SpmmAddressMap &map,
+                              const MulticoreConfig &config,
+                              index_t ng_size)
+{
+    if (ng_size <= 0)
+        ng_size = default_neighbor_group_size(a);
+    std::vector<NeighborGroup> groups = build_neighbor_groups(a, ng_size);
+
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    sources.reserve(static_cast<size_t>(config.num_cores));
+    // Block-cyclic distribution: small contiguous blocks of groups go
+    // to successive cores — the multicore analogue of consecutive GPU
+    // warp blocks landing on different SMs. An evil row's many groups
+    // therefore spread over many cores, whose atomic commits to the
+    // shared output row serialize through the coherence protocol (the
+    // Figure 9 pathology for GNNAdvisor on Cora and Nell), while short
+    // neighboring rows mostly stay on one core.
+    const size_t block = 8;
+    const size_t stride = block * static_cast<size_t>(config.num_cores);
+    for (int core = 0; core < config.num_cores; ++core) {
+        std::vector<WorkSegment> segments;
+        for (size_t base = static_cast<size_t>(core) * block;
+             base < groups.size(); base += stride) {
+            size_t end = std::min(base + block, groups.size());
+            for (size_t g = base; g < end; ++g) {
+                // Every group commits atomically: the group cannot
+                // know whether other groups share its row.
+                segments.push_back({groups[g].row, groups[g].begin,
+                                    groups[g].end, true});
+            }
+        }
+        sources.push_back(std::make_unique<SegmentTraceSource>(
+            a, map, config, std::move(segments)));
+    }
+    return sources;
+}
+
+MulticoreResult
+run_spmm_on_multicore(const CsrMatrix &a, index_t dim,
+                      const MulticoreConfig &config,
+                      const std::string &kernel_name)
+{
+    SpmmAddressMap map = SpmmAddressMap::create(
+        a, dim, config.value_bytes, config.line_bytes);
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    if (kernel_name == "mergepath") {
+        sources = make_mergepath_trace_sources(a, map, config);
+    } else if (kernel_name == "gnnadvisor") {
+        sources = make_gnnadvisor_trace_sources(a, map, config);
+    } else {
+        fatal("multicore runner knows 'mergepath' and 'gnnadvisor', got '" +
+              kernel_name + "'");
+    }
+    MulticoreSystem system(config);
+    return system.run(std::move(sources));
+}
+
+} // namespace mps

@@ -1,0 +1,486 @@
+#include "mps/simt/codegen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mps/core/policy.h"
+#include "mps/core/schedule.h"
+#include "mps/kernels/nnz_split.h"
+#include "mps/sparse/degree_stats.h"
+#include "mps/util/log.h"
+
+namespace mps {
+
+namespace {
+
+/** Compulsory DRAM footprint of one SpMM: CSR + XW + C. */
+double
+spmm_dram_bytes(const CsrMatrix &a, index_t dim,
+                const SpmmCostParams &params)
+{
+    double csr = (static_cast<double>(a.rows()) + 1) * 4.0 +
+                 static_cast<double>(a.nnz()) * params.meta_bytes_per_nnz;
+    double xw = static_cast<double>(a.cols()) * dim * params.value_bytes;
+    double c = static_cast<double>(a.rows()) * dim * params.value_bytes;
+    return csr + xw + c;
+}
+
+/** Per-logical-thread work derived from a merge-path schedule. */
+struct ThreadStats
+{
+    double nnz = 0.0;
+    double plain_rows = 0.0;
+    double commits = 0.0; // atomic vector commits (0..2)
+    index_t commit_rows[2] = {-1, -1};
+};
+
+ThreadStats
+merge_thread_stats(const MergePathSchedule &sched, index_t t,
+                   const CsrMatrix &a)
+{
+    ThreadStats s;
+    const ThreadWork &w = sched.work(t);
+    if (w.empty())
+        return s;
+    s.nnz = static_cast<double>(w.end.nz - w.start.nz);
+    ResolvedWork r = sched.resolve(t, a);
+    if (r.has_head()) {
+        if (r.head_atomic) {
+            s.commit_rows[static_cast<int>(s.commits)] = r.head_row;
+            s.commits += 1.0;
+        } else {
+            s.plain_rows += 1.0;
+        }
+    }
+    s.plain_rows += r.last_complete_row - r.first_complete_row;
+    if (r.has_tail()) {
+        s.commit_rows[static_cast<int>(s.commits)] = r.tail_row;
+        s.commits += 1.0;
+    }
+    return s;
+}
+
+/** Accumulates row-commit counts and converts them to contention. */
+class CommitCensus
+{
+  public:
+    explicit CommitCensus(index_t rows)
+        : counts_(static_cast<size_t>(rows), 0)
+    {
+    }
+
+    void
+    add(index_t row)
+    {
+        if (row >= 0)
+            ++counts_[static_cast<size_t>(row)];
+    }
+
+    double
+    max_row_commits() const
+    {
+        int64_t best = 0;
+        for (int64_t c : counts_)
+            best = std::max(best, c);
+        return static_cast<double>(best);
+    }
+
+    double
+    total() const
+    {
+        int64_t sum = 0;
+        for (int64_t c : counts_)
+            sum += c;
+        return static_cast<double>(sum);
+    }
+
+  private:
+    std::vector<int64_t> counts_;
+};
+
+/**
+ * Emit the warps of one merge-path-scheduled kernel (shared by
+ * MergePath-SpMM and the serial-fix-up baseline; the latter passes
+ * atomic = false and collects carries separately).
+ */
+void
+emit_merge_warps(const CsrMatrix &a, const MergePathSchedule &sched,
+                 index_t dim, bool atomic_commits, const GpuConfig &config,
+                 const SpmmCostParams &params, KernelWorkload &out,
+                 CommitCensus &census, double *carries,
+                 bool force_all_atomic = false)
+{
+    const index_t lanes = config.lanes;
+    const index_t threads = sched.num_threads();
+
+    // Ablation mode: pretend the kernel does not track complete rows —
+    // every row write becomes an atomic commit.
+    auto fetch_stats = [&](index_t t) {
+        ThreadStats s = merge_thread_stats(sched, t, a);
+        if (force_all_atomic && s.plain_rows > 0) {
+            ResolvedWork r = sched.resolve(t, a);
+            for (index_t row = r.first_complete_row;
+                 row < r.last_complete_row; ++row) {
+                census.add(row);
+            }
+            s.commits += s.plain_rows;
+            s.plain_rows = 0;
+        }
+        return s;
+    };
+
+    auto thread_issue = [&](const ThreadStats &s) {
+        double commit_issue =
+            atomic_commits ? params.commit_cycles : params.row_write_cycles;
+        return s.nnz * params.cycles_per_nnz +
+               s.plain_rows * params.row_write_cycles +
+               s.commits * commit_issue;
+    };
+    auto thread_stalls = [&](const ThreadStats &s) {
+        return s.nnz * params.stalls_per_nnz;
+    };
+    // Dense bytes a thread moves for a slice of width ds: XW reads for
+    // every nnz, plain stores for complete rows, and atomic commits at
+    // their read-modify-write bandwidth cost.
+    double commit_mult =
+        atomic_commits ? params.atomic_txn_multiplier : 1.0;
+    auto thread_dense_bytes = [&](const ThreadStats &s, double ds) {
+        return (s.nnz + s.plain_rows + s.commits * commit_mult) * ds *
+               params.value_bytes;
+    };
+
+    if (dim < lanes) {
+        // Pack floor(lanes/dim) logical threads per warp; lockstep
+        // execution makes the warp as slow as its slowest thread while
+        // memory traffic adds up.
+        index_t per_warp = std::max<index_t>(1, lanes / dim);
+        for (index_t base = 0; base < threads; base += per_warp) {
+            WarpProgram w;
+            index_t in_warp =
+                std::min<index_t>(base + per_warp, threads) - base;
+            double mem_bytes = 0.0;
+            for (index_t t = base;
+                 t < std::min<index_t>(base + per_warp, threads); ++t) {
+                ThreadStats s = fetch_stats(t);
+                w.issue_cycles = std::max(w.issue_cycles, thread_issue(s));
+                w.dep_stalls = std::max(w.dep_stalls, thread_stalls(s));
+                if (atomic_commits) {
+                    w.atomic_commits =
+                        std::max(w.atomic_commits, s.commits);
+                    census.add(s.commit_rows[0]);
+                    census.add(s.commit_rows[1]);
+                } else if (carries != nullptr) {
+                    *carries += s.commits;
+                }
+                mem_bytes += s.nnz * params.meta_bytes_per_nnz +
+                             thread_dense_bytes(s, dim);
+            }
+            // Divergence between the packed threads (different branch
+            // mixes and row lengths) serializes part of the warp.
+            w.issue_cycles +=
+                in_warp * params.packed_thread_overhead_cycles;
+            w.mem_txns = mem_bytes / config.l2_txn_bytes;
+            out.warps.push_back(w);
+        }
+        return;
+    }
+
+    // dim >= lanes: replicate each thread over ceil(dim/lanes) warps,
+    // each owning a lanes-wide dimension slice. CSR metadata loads are
+    // duplicated per replica.
+    index_t slices = (dim + lanes - 1) / lanes;
+    for (index_t t = 0; t < threads; ++t) {
+        ThreadStats s = fetch_stats(t);
+        if (atomic_commits) {
+            census.add(s.commit_rows[0]);
+            census.add(s.commit_rows[1]);
+        } else if (carries != nullptr) {
+            *carries += s.commits;
+        }
+        for (index_t slice = 0; slice < slices; ++slice) {
+            double ds = std::min<double>(lanes, dim - slice * lanes);
+            WarpProgram w;
+            w.issue_cycles = thread_issue(s);
+            w.dep_stalls = thread_stalls(s);
+            w.atomic_commits = atomic_commits ? s.commits : 0.0;
+            w.mem_txns = (s.nnz * params.meta_bytes_per_nnz +
+                          thread_dense_bytes(s, ds)) /
+                         config.l2_txn_bytes;
+            out.warps.push_back(w);
+        }
+    }
+}
+
+} // namespace
+
+KernelWorkload
+build_mergepath_workload(const CsrMatrix &a, index_t dim, index_t cost,
+                         const GpuConfig &config,
+                         const SpmmCostParams &params, index_t min_threads)
+{
+    SimdPolicy policy;
+    policy.lanes = config.lanes;
+    policy.min_threads = min_threads;
+    LaunchConfig launch =
+        make_launch_config(a.rows(), a.nnz(), dim, cost, policy);
+    MergePathSchedule sched =
+        MergePathSchedule::build(a, launch.num_threads);
+
+    KernelWorkload out;
+    out.name = "mergepath";
+    out.dram_bytes = spmm_dram_bytes(a, dim, params);
+    CommitCensus census(a.rows());
+    emit_merge_warps(a, sched, dim, /*atomic_commits=*/true, config,
+                     params, out, census, nullptr);
+    out.max_row_commits = census.max_row_commits();
+    out.total_commits = census.total();
+    return out;
+}
+
+KernelWorkload
+build_mergepath_all_atomic_workload(const CsrMatrix &a, index_t dim,
+                                    index_t cost, const GpuConfig &config,
+                                    const SpmmCostParams &params)
+{
+    SimdPolicy policy;
+    policy.lanes = config.lanes;
+    LaunchConfig launch =
+        make_launch_config(a.rows(), a.nnz(), dim, cost, policy);
+    MergePathSchedule sched =
+        MergePathSchedule::build(a, launch.num_threads);
+
+    KernelWorkload out;
+    out.name = "mergepath_all_atomic";
+    out.dram_bytes = spmm_dram_bytes(a, dim, params);
+    CommitCensus census(a.rows());
+    emit_merge_warps(a, sched, dim, /*atomic_commits=*/true, config,
+                     params, out, census, nullptr,
+                     /*force_all_atomic=*/true);
+    out.max_row_commits = census.max_row_commits();
+    out.total_commits = census.total();
+    return out;
+}
+
+KernelWorkload
+build_gnnadvisor_workload(const CsrMatrix &a, index_t dim, index_t ng_size,
+                          GnnAdvisorVariant variant,
+                          const GpuConfig &config,
+                          const SpmmCostParams &params)
+{
+    if (ng_size <= 0)
+        ng_size = default_neighbor_group_size(a);
+    std::vector<NeighborGroup> groups = build_neighbor_groups(a, ng_size);
+
+    KernelWorkload out;
+    out.name = variant == GnnAdvisorVariant::kOpt ? "gnnadvisor_opt"
+                                                  : "gnnadvisor";
+    out.dram_bytes = spmm_dram_bytes(a, dim, params);
+    CommitCensus census(a.rows());
+
+    const index_t lanes = config.lanes;
+    // Serialized dimension chunks when d > lanes (GNNAdvisor packs all
+    // lanes and loops over the remaining dimensions in the same warp).
+    double dchunks = std::max<double>(
+        1.0, std::ceil(static_cast<double>(dim) / lanes));
+
+    auto group_issue = [&](const NeighborGroup &g) {
+        double n = static_cast<double>(g.end - g.begin);
+        return (n * params.cycles_per_nnz + params.commit_cycles) *
+               dchunks;
+    };
+    auto group_stalls = [&](const NeighborGroup &g) {
+        double n = static_cast<double>(g.end - g.begin);
+        return n * params.stalls_per_nnz * dchunks;
+    };
+    auto group_bytes = [&](const NeighborGroup &g) {
+        double n = static_cast<double>(g.end - g.begin);
+        return n * (params.meta_bytes_per_nnz +
+                    dim * params.value_bytes) +
+               dim * params.value_bytes * params.atomic_txn_multiplier;
+    };
+
+    index_t groups_per_warp = 1;
+    if (variant == GnnAdvisorVariant::kOpt && dim < lanes)
+        groups_per_warp = std::max<index_t>(1, lanes / dim);
+
+    for (size_t base = 0; base < groups.size();
+         base += static_cast<size_t>(groups_per_warp)) {
+        WarpProgram w;
+        double mem_bytes = 0.0;
+        size_t end =
+            std::min(base + static_cast<size_t>(groups_per_warp),
+                     groups.size());
+        for (size_t g = base; g < end; ++g) {
+            w.issue_cycles =
+                std::max(w.issue_cycles, group_issue(groups[g]));
+            w.dep_stalls = std::max(w.dep_stalls, group_stalls(groups[g]));
+            mem_bytes += group_bytes(groups[g]);
+            census.add(groups[g].row);
+        }
+        // One atomic commit round-trip per dimension chunk; packed
+        // groups commit concurrently on disjoint lane sets.
+        w.atomic_commits = dchunks;
+        w.mem_txns = mem_bytes / config.l2_txn_bytes;
+        out.warps.push_back(w);
+    }
+    out.max_row_commits = census.max_row_commits();
+    out.total_commits = census.total();
+    return out;
+}
+
+KernelWorkload
+build_rowsplit_workload(const CsrMatrix &a, index_t dim,
+                        index_t num_chunks, const GpuConfig &config,
+                        const SpmmCostParams &params)
+{
+    if (num_chunks <= 0) {
+        num_chunks = static_cast<index_t>(config.num_sms) *
+                     config.max_resident_warps_per_sm;
+    }
+    num_chunks = std::max<index_t>(
+        1, std::min<index_t>(num_chunks, std::max<index_t>(a.rows(), 1)));
+
+    KernelWorkload out;
+    out.name = "row_split";
+    out.dram_bytes = spmm_dram_bytes(a, dim, params);
+
+    const index_t lanes = config.lanes;
+    double dchunks = std::max<double>(
+        1.0, std::ceil(static_cast<double>(dim) / lanes));
+    index_t rows_per_chunk = (a.rows() + num_chunks - 1) / num_chunks;
+
+    for (index_t c = 0; c < num_chunks; ++c) {
+        index_t begin = c * rows_per_chunk;
+        index_t end = std::min<index_t>(begin + rows_per_chunk, a.rows());
+        if (begin >= end)
+            break;
+        double nnz_c = static_cast<double>(a.row_ptr()[end] -
+                                           a.row_ptr()[begin]);
+        double rows_c = static_cast<double>(end - begin);
+        WarpProgram w;
+        w.issue_cycles = (nnz_c * params.cycles_per_nnz +
+                          rows_c * params.row_write_cycles) *
+                         dchunks;
+        w.dep_stalls = nnz_c * params.stalls_per_nnz * dchunks;
+        w.mem_txns = (nnz_c * (params.meta_bytes_per_nnz +
+                               dim * params.value_bytes) +
+                      rows_c * dim * params.value_bytes) /
+                     config.l2_txn_bytes;
+        out.warps.push_back(w);
+    }
+    return out;
+}
+
+KernelWorkload
+build_mergepath_serial_workload(const CsrMatrix &a, index_t dim,
+                                index_t num_threads,
+                                const GpuConfig &config,
+                                const SpmmCostParams &params)
+{
+    MPS_CHECK(num_threads >= 1, "need at least one thread");
+    MergePathSchedule sched = MergePathSchedule::build(a, num_threads);
+
+    KernelWorkload out;
+    out.name = "mergepath_serial";
+    out.dram_bytes = spmm_dram_bytes(a, dim, params);
+    CommitCensus census(a.rows());
+    double carries = 0.0;
+    emit_merge_warps(a, sched, dim, /*atomic_commits=*/false, config,
+                     params, out, census, &carries);
+
+    // Sequential fix-up: each carry re-reads the carry vector and the
+    // output row and adds them element by element — one dependent
+    // memory round-trip plus d-wide vector work, fully serialized.
+    double per_carry =
+        config.mem_latency_cycles +
+        static_cast<double>(dim) * params.value_bytes * 2.0 /
+            config.l2_txn_bytes +
+        params.row_write_cycles;
+    out.serial_tail_cycles = carries * per_carry;
+    return out;
+}
+
+KernelWorkload
+build_cusparse_workload(const CsrMatrix &a, index_t dim,
+                        const GpuConfig &config,
+                        const SpmmCostParams &params)
+{
+    DegreeStats stats = compute_degree_stats(a);
+    bool skewed = stats.degree_cv > 0.7 ||
+                  (stats.avg_degree > 0.0 &&
+                   stats.max_degree > 15.0 * stats.avg_degree);
+    if (!skewed) {
+        // Structured input: the library's tuned vector-row kernel with
+        // fine chunks, streamlined inner loop and banded-reuse credit.
+        SpmmCostParams tuned = params;
+        tuned.cycles_per_nnz = params.cycles_per_nnz * 0.7;
+        tuned.stalls_per_nnz = params.stalls_per_nnz * 0.5;
+        index_t chunks = static_cast<index_t>(config.num_sms) *
+                         config.max_resident_warps_per_sm * 4;
+        KernelWorkload out =
+            build_rowsplit_workload(a, dim, chunks, config, tuned);
+        out.name = "cusparse";
+        for (auto &w : out.warps) {
+            // Banded column access keeps most XW reads in cache, and
+            // the library packs multiple short rows into a warp when
+            // the dimension leaves lanes idle.
+            w.mem_txns *= 0.6;
+            if (dim < config.lanes)
+                w.issue_cycles *= 0.55;
+        }
+        return out;
+    }
+    // Skewed input: generic merge-based kernel; correct balance but a
+    // library-generic inner loop — fp32 gather-scatter without the
+    // GNN frameworks' fused neighbor access or fp16 packing, hence
+    // roughly twice the per-element cost (this is where GNNAdvisor
+    // and MergePath-SpMM beat the library in the paper's Figure 4).
+    SpmmCostParams generic = params;
+    generic.cycles_per_nnz = params.cycles_per_nnz * 2.2;
+    generic.stalls_per_nnz = params.stalls_per_nnz * 2.0;
+    KernelWorkload out =
+        build_mergepath_workload(a, dim, 32, config, generic);
+    out.name = "cusparse";
+    for (auto &w : out.warps)
+        w.mem_txns *= 1.5; // fp32 + untuned access granularity
+    return out;
+}
+
+KernelWorkload
+build_schedule_build_workload(const CsrMatrix &a, index_t dim,
+                              index_t cost, const GpuConfig &config,
+                              const SpmmCostParams &params)
+{
+    SimdPolicy policy;
+    policy.lanes = config.lanes;
+    LaunchConfig launch =
+        make_launch_config(a.rows(), a.nnz(), dim, cost, policy);
+
+    KernelWorkload out;
+    out.name = "schedule_build";
+    // Row-pointer array is the only input the searches touch.
+    out.dram_bytes = (static_cast<double>(a.rows()) + 1) * 4.0;
+
+    double iters =
+        std::ceil(std::log2(static_cast<double>(a.rows()) + 2.0)) + 1.0;
+    index_t threads = launch.num_threads;
+    index_t per_warp = config.lanes; // one searcher per lane
+    for (index_t base = 0; base < threads; base += per_warp) {
+        index_t in_warp = std::min<index_t>(per_warp, threads - base);
+        WarpProgram w;
+        // Two diagonal searches per thread; lockstep across the warp.
+        // The row-pointer array is hot in cache (every thread searches
+        // it), so only a fraction of the dependent search steps pay
+        // full memory latency.
+        w.issue_cycles = 2.0 * iters * 4.0 + 12.0;
+        w.dep_stalls = 2.0 * iters * 0.25;
+        w.mem_txns = in_warp *
+                     (2.0 * iters * 4.0 + 16.0) / config.l2_txn_bytes;
+        out.warps.push_back(w);
+    }
+    (void)params;
+    return out;
+}
+
+} // namespace mps

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Warp-program generators ("codegen") for the GPU model.
+ *
+ * Each builder walks the same schedule object the corresponding
+ * portable kernel executes (merge-path ThreadWork, GNNAdvisor neighbor
+ * groups, row chunks) and lowers it into per-warp issue/memory/stall
+ * aggregates, applying the paper's SIMD mapping rules:
+ *
+ *   d == lanes : one logical thread per warp;
+ *   d >  lanes : a thread is replicated over ceil(d/lanes) warps, each
+ *                owning a 32-dim slice (meta loads are duplicated);
+ *   d <  lanes : several threads are packed into one warp (GNNAdvisor
+ *                baseline deliberately does NOT pack — it wastes the
+ *                idle lanes, which is what GNNAdvisor-opt fixes).
+ */
+#ifndef MPS_SIMT_CODEGEN_H
+#define MPS_SIMT_CODEGEN_H
+
+#include "mps/simt/gpu_config.h"
+#include "mps/simt/workload.h"
+#include "mps/sparse/csr_matrix.h"
+
+namespace mps {
+
+/** Per-operation cost constants shared by the builders. */
+struct SpmmCostParams
+{
+    /** Issue cycles per non-zero (FMA + addressing + loop control). */
+    double cycles_per_nnz = 3.0;
+    /** Issue cycles to write one complete output row slice. */
+    double row_write_cycles = 6.0;
+    /** Issue cycles for one atomic commit (flag checks + issue). */
+    double commit_cycles = 8.0;
+    /** Dependent global-load waits per non-zero (XW row fetch). */
+    double stalls_per_nnz = 1.0;
+    /** Bytes of CSR metadata per non-zero (column index + value). */
+    double meta_bytes_per_nnz = 8.0;
+    /** Bytes per dense element. */
+    double value_bytes = 4.0;
+    /**
+     * L2 bandwidth cost multiplier of an atomic commit relative to a
+     * plain store of the same bytes: an atomic is a read-modify-write
+     * at the L2 atomic unit (plus retries under contention).
+     */
+    double atomic_txn_multiplier = 4.0;
+    /**
+     * Divergence/bookkeeping issue cycles per logical thread packed
+     * into a warp (d < lanes): packed threads take different branches
+     * (partial vs. complete rows, different row lengths), and the warp
+     * serializes the divergent stretches. This is why the paper's
+     * dimension-2 configuration (16 threads per warp) favors a high
+     * merge-path cost: fewer warps means less total divergence.
+     */
+    double packed_thread_overhead_cycles = 6.0;
+};
+
+/**
+ * MergePath-SpMM (Algorithm 2) with the Sec. III-C launch policy.
+ * @param min_threads small-graph thread floor (default: the paper's
+ *        1024; pass 0 to disable — used by the ablation bench).
+ */
+KernelWorkload build_mergepath_workload(const CsrMatrix &a, index_t dim,
+                                        index_t cost,
+                                        const GpuConfig &config,
+                                        const SpmmCostParams &params = {},
+                                        index_t min_threads = 1024);
+
+/**
+ * Ablation variant of MergePath-SpMM: the identical merge-path
+ * schedule but with selective atomics disabled — every output row is
+ * committed atomically, as if the kernel did not track complete rows.
+ * Isolates the contribution of the paper's partial/complete row
+ * tracking.
+ */
+KernelWorkload build_mergepath_all_atomic_workload(
+    const CsrMatrix &a, index_t dim, index_t cost, const GpuConfig &config,
+    const SpmmCostParams &params = {});
+
+/** GNNAdvisor lane-packing variant. */
+enum class GnnAdvisorVariant {
+    kBaseline, ///< one neighbor group per warp, idle lanes when d < 32
+    kOpt,      ///< multiple neighbor groups packed per warp (paper ext.)
+};
+
+/**
+ * GNNAdvisor nnz-splitting: one warp (or warp share) per neighbor
+ * group, every output update atomic. ng_size = 0 selects the paper's
+ * default (average degree).
+ */
+KernelWorkload build_gnnadvisor_workload(const CsrMatrix &a, index_t dim,
+                                         index_t ng_size,
+                                         GnnAdvisorVariant variant,
+                                         const GpuConfig &config,
+                                         const SpmmCostParams &params = {});
+
+/**
+ * Row-splitting: contiguous equal-row chunks, one per warp, no
+ * atomics. num_chunks = 0 selects one chunk per resident warp.
+ */
+KernelWorkload build_rowsplit_workload(const CsrMatrix &a, index_t dim,
+                                       index_t num_chunks,
+                                       const GpuConfig &config,
+                                       const SpmmCostParams &params = {});
+
+/**
+ * Merge-path with the SpMV-style serial fix-up: identical parallel
+ * phase to MergePath-SpMM but partial rows are carried to a strictly
+ * sequential epilogue (workload.serial_tail_cycles).
+ */
+KernelWorkload build_mergepath_serial_workload(
+    const CsrMatrix &a, index_t dim, index_t num_threads,
+    const GpuConfig &config, const SpmmCostParams &params = {});
+
+/**
+ * cuSPARSE stand-in: shape-based kernel selection. Near-uniform inputs
+ * take a tuned vector-row kernel with banded-locality credit; skewed
+ * inputs take a generic merge-based kernel with library overhead.
+ */
+KernelWorkload build_cusparse_workload(const CsrMatrix &a, index_t dim,
+                                       const GpuConfig &config,
+                                       const SpmmCostParams &params = {});
+
+/**
+ * The merge-path schedule-construction kernel itself (two diagonal
+ * binary searches per thread), for the online-execution overhead
+ * experiment (Figure 8).
+ */
+KernelWorkload build_schedule_build_workload(
+    const CsrMatrix &a, index_t dim, index_t cost, const GpuConfig &config,
+    const SpmmCostParams &params = {});
+
+} // namespace mps
+
+#endif // MPS_SIMT_CODEGEN_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parameters of the modelled SIMT GPU.
+ *
+ * Defaults describe the paper's NVidia Quadro RTX 6000: 72 SMs, 32-lane
+ * warps, 4608 CUDA cores at 1.44 GHz, 672 GB/s of DRAM bandwidth. The
+ * latency/throughput constants are calibrated so the model reproduces
+ * the paper's relative results (who wins, by what factor, where the
+ * crossovers fall) — see EXPERIMENTS.md; absolute microseconds are not
+ * the goal of a throughput model.
+ */
+#ifndef MPS_SIMT_GPU_CONFIG_H
+#define MPS_SIMT_GPU_CONFIG_H
+
+namespace mps {
+
+/** Machine model of a throughput-oriented SIMT processor. */
+struct GpuConfig
+{
+    /** Streaming multiprocessors. */
+    int num_sms = 72;
+    /** SIMD lanes per warp. */
+    int lanes = 32;
+    /** Warps concurrently resident per SM (latency-hiding window). */
+    int max_resident_warps_per_sm = 32;
+    /** Core clock in GHz. */
+    double clock_ghz = 1.44;
+
+    /** Average global-load latency (cycles) when missing in L1. */
+    double mem_latency_cycles = 380.0;
+    /**
+     * Outstanding loads a single warp overlaps (memory-level
+     * parallelism from loop unrolling / independent iterations);
+     * divides the exposed dependent-stall latency.
+     */
+    double memory_parallelism = 6.0;
+    /** Round-trip latency of one atomic commit to L2 (cycles). */
+    double atomic_latency_cycles = 400.0;
+    /** Serialization cost per conflicting atomic at one address. */
+    double atomic_service_cycles = 24.0;
+    /** Bytes per L2 transaction (sector). */
+    double l2_txn_bytes = 32.0;
+    /** L2 transactions one SM can issue per cycle. */
+    double sm_l2_txns_per_cycle = 1.0;
+    /** DRAM bandwidth in bytes per core cycle (672 GB/s / 1.44 GHz). */
+    double dram_bw_bytes_per_cycle = 466.0;
+    /** Fraction of L2 transactions that miss to DRAM. */
+    double l2_miss_fraction = 0.10;
+    /** Fixed kernel launch + drain overhead (cycles). */
+    double kernel_launch_cycles = 8000.0;
+
+    /** The paper's evaluation GPU. */
+    static GpuConfig rtx6000() { return {}; }
+
+    /** Convert core cycles to microseconds. */
+    double cycles_to_us(double cycles) const {
+        return cycles / (clock_ghz * 1e3);
+    }
+};
+
+} // namespace mps
+
+#endif // MPS_SIMT_GPU_CONFIG_H

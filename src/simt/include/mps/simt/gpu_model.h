@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic SIMT GPU throughput model.
+ *
+ * Warps are distributed round-robin over SMs. Per SM the completion
+ * time is bounded by four mechanisms, and the model takes the binding
+ * one:
+ *   - issue:   total instruction-issue cycles (single issue port);
+ *   - memory:  total L2 transactions at the SM's L2 bandwidth;
+ *   - latency: the summed dependent-stall chains divided by the number
+ *              of resident warps (multithreading hides latency only up
+ *              to the residency window) — this is the term that rewards
+ *              GNNAdvisor's "spawn many warps" strategy;
+ *   - straggler: no SM finishes before its longest single warp chain —
+ *              this is the term that punishes row-splitting's evil-row
+ *              chunks.
+ * Kernel time additionally respects DRAM bandwidth, per-row atomic
+ * serialization (the cost MergePath-SpMM minimizes) and any serial
+ * tail (the merge-path SpMV fix-up), plus launch overhead.
+ */
+#ifndef MPS_SIMT_GPU_MODEL_H
+#define MPS_SIMT_GPU_MODEL_H
+
+#include <string>
+
+#include "mps/simt/gpu_config.h"
+#include "mps/simt/workload.h"
+
+namespace mps {
+
+/** Result of modelling one kernel launch. */
+struct GpuKernelResult
+{
+    double cycles = 0.0;       ///< total modelled cycles
+    double microseconds = 0.0; ///< cycles converted at the core clock
+
+    // Component bounds (cycles), for analysis output.
+    double issue_bound = 0.0;
+    double mem_bound = 0.0;
+    double latency_bound = 0.0;
+    double straggler_bound = 0.0;
+    double dram_bound = 0.0;
+    double atomic_serial = 0.0;
+    double serial_tail = 0.0;
+
+    /** Name of the binding constraint (for bench breakdowns). */
+    std::string limiter;
+    int64_t num_warps = 0;
+};
+
+/** Model the execution of @p workload on @p config. */
+GpuKernelResult simulate_gpu(const KernelWorkload &workload,
+                             const GpuConfig &config);
+
+} // namespace mps
+
+#endif // MPS_SIMT_GPU_MODEL_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Warp-level workload description consumed by the GPU model.
+ *
+ * A kernel is summarized as one WarpProgram per launched warp plus
+ * kernel-global quantities (atomic contention, compulsory DRAM traffic,
+ * a serial tail for the merge-path fix-up baseline). The codegen
+ * routines in codegen.h derive these programs from the *actual*
+ * schedules the portable kernels execute, so the model and the real
+ * kernels share one source of truth for work assignment.
+ */
+#ifndef MPS_SIMT_WORKLOAD_H
+#define MPS_SIMT_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mps {
+
+/** Aggregate execution profile of one warp. */
+struct WarpProgram
+{
+    /** Instruction-issue cycles (ALU + control, warp-wide). */
+    double issue_cycles = 0.0;
+    /** L2 transactions generated (loads + stores, all lanes). */
+    double mem_txns = 0.0;
+    /** Dependent memory waits on the warp's critical path. */
+    double dep_stalls = 0.0;
+    /** Atomic commits (each a round-trip to the L2 atomic unit). */
+    double atomic_commits = 0.0;
+};
+
+/** A full kernel launch for the GPU model. */
+struct KernelWorkload
+{
+    std::string name;
+    std::vector<WarpProgram> warps;
+    /**
+     * Largest number of atomic commits targeting any single output
+     * row: the hot-line serialization bound at the atomic unit.
+     */
+    double max_row_commits = 0.0;
+    /** Total atomic commits across the kernel. */
+    double total_commits = 0.0;
+    /**
+     * Compulsory DRAM footprint in bytes (matrix + vector operand
+     * sizes). Informational: reported alongside results, not enforced
+     * as a time floor (see gpu_model.cpp).
+     */
+    double dram_bytes = 0.0;
+    /**
+     * Cycles of strictly sequential post-processing (the merge-path
+     * SpMV serial fix-up); charged after the parallel phase.
+     */
+    double serial_tail_cycles = 0.0;
+};
+
+} // namespace mps
+
+#endif // MPS_SIMT_WORKLOAD_H

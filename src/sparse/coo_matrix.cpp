@@ -1,0 +1,38 @@
+#include "mps/sparse/coo_matrix.h"
+
+#include <algorithm>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+void
+CooMatrix::add(index_t row, index_t col, value_t value)
+{
+    MPS_CHECK(row >= 0 && row < rows_, "COO row out of range: ", row);
+    MPS_CHECK(col >= 0 && col < cols_, "COO col out of range: ", col);
+    entries_.push_back({row, col, value});
+}
+
+void
+CooMatrix::sort_and_merge()
+{
+    std::sort(entries_.begin(), entries_.end(),
+              [](const CooEntry &a, const CooEntry &b) {
+                  if (a.row != b.row)
+                      return a.row < b.row;
+                  return a.col < b.col;
+              });
+    size_t out = 0;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+            entries_[out - 1].col == entries_[i].col) {
+            entries_[out - 1].value += entries_[i].value;
+        } else {
+            entries_[out++] = entries_[i];
+        }
+    }
+    entries_.resize(out);
+}
+
+} // namespace mps

@@ -1,0 +1,115 @@
+#include "mps/sparse/csr_matrix.h"
+
+#include <cmath>
+#include <utility>
+
+#include "mps/sparse/coo_matrix.h"
+#include "mps/util/log.h"
+
+namespace mps {
+
+CsrMatrix::CsrMatrix(index_t rows, index_t cols,
+                     std::vector<index_t> row_ptr,
+                     std::vector<index_t> col_idx,
+                     std::vector<value_t> values)
+    : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)), values_(std::move(values))
+{
+    validate();
+}
+
+CsrMatrix
+CsrMatrix::from_coo(CooMatrix coo)
+{
+    coo.sort_and_merge();
+    CsrMatrix csr;
+    csr.rows_ = coo.rows();
+    csr.cols_ = coo.cols();
+    csr.row_ptr_.assign(static_cast<size_t>(coo.rows()) + 1, 0);
+    csr.col_idx_.reserve(coo.entries().size());
+    csr.values_.reserve(coo.entries().size());
+    for (const auto &e : coo.entries())
+        ++csr.row_ptr_[static_cast<size_t>(e.row) + 1];
+    for (size_t r = 1; r < csr.row_ptr_.size(); ++r)
+        csr.row_ptr_[r] += csr.row_ptr_[r - 1];
+    for (const auto &e : coo.entries()) {
+        csr.col_idx_.push_back(e.col);
+        csr.values_.push_back(e.value);
+    }
+    csr.validate();
+    return csr;
+}
+
+CsrMatrix
+CsrMatrix::transposed() const
+{
+    CsrMatrix t;
+    t.rows_ = cols_;
+    t.cols_ = rows_;
+    t.row_ptr_.assign(static_cast<size_t>(cols_) + 1, 0);
+    t.col_idx_.resize(col_idx_.size());
+    t.values_.resize(values_.size());
+    for (index_t c : col_idx_)
+        ++t.row_ptr_[static_cast<size_t>(c) + 1];
+    for (size_t r = 1; r < t.row_ptr_.size(); ++r)
+        t.row_ptr_[r] += t.row_ptr_[r - 1];
+    std::vector<index_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+    for (index_t r = 0; r < rows_; ++r) {
+        for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+            index_t c = col_idx_[k];
+            index_t pos = cursor[c]++;
+            t.col_idx_[pos] = r;
+            t.values_[pos] = values_[k];
+        }
+    }
+    t.validate();
+    return t;
+}
+
+CooMatrix
+CsrMatrix::to_coo() const
+{
+    CooMatrix coo(rows_, cols_);
+    coo.reserve(col_idx_.size());
+    for (index_t r = 0; r < rows_; ++r) {
+        for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+            coo.add(r, col_idx_[k], values_[k]);
+    }
+    return coo;
+}
+
+void
+CsrMatrix::normalize_gcn()
+{
+    MPS_CHECK(rows_ == cols_, "GCN normalization needs a square matrix");
+    std::vector<value_t> inv_sqrt(static_cast<size_t>(rows_));
+    for (index_t r = 0; r < rows_; ++r) {
+        inv_sqrt[r] = 1.0f /
+            std::sqrt(static_cast<value_t>(degree(r)) + 1.0f);
+    }
+    for (index_t r = 0; r < rows_; ++r) {
+        for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+            values_[k] = inv_sqrt[r] * inv_sqrt[col_idx_[k]];
+    }
+}
+
+void
+CsrMatrix::validate() const
+{
+    MPS_CHECK(rows_ >= 0 && cols_ >= 0, "negative dimensions");
+    MPS_CHECK(row_ptr_.size() == static_cast<size_t>(rows_) + 1,
+              "row_ptr length must be rows+1");
+    MPS_CHECK(row_ptr_.front() == 0, "row_ptr[0] must be 0");
+    MPS_CHECK(row_ptr_.back() == static_cast<index_t>(col_idx_.size()),
+              "row_ptr[rows] must equal nnz");
+    MPS_CHECK(col_idx_.size() == values_.size(),
+              "col_idx / values length mismatch");
+    for (size_t r = 0; r + 1 < row_ptr_.size(); ++r) {
+        MPS_CHECK(row_ptr_[r] <= row_ptr_[r + 1],
+                  "row_ptr must be non-decreasing at row ", r);
+    }
+    for (index_t c : col_idx_)
+        MPS_CHECK(c >= 0 && c < cols_, "column index out of range: ", c);
+}
+
+} // namespace mps

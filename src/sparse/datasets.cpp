@@ -1,0 +1,126 @@
+#include "mps/sparse/datasets.h"
+
+#include <algorithm>
+
+#include "mps/util/log.h"
+#include "mps/util/rng.h"
+
+namespace mps {
+
+namespace {
+
+/** Stable 64-bit hash of a dataset name, used as the generator seed. */
+uint64_t
+name_seed(const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::vector<DatasetSpec>
+build_registry()
+{
+    using GT = GraphType;
+    return {
+        // Type I: power-law graphs, ordered by increasing nnz as in the
+        // paper's Table II.
+        {"Cora",            GT::kPowerLaw,     2708,   10556,  3.9,  168},
+        {"Citeseer",        GT::kPowerLaw,     3327,    9228,  2.8,   99},
+        {"Pubmed",          GT::kPowerLaw,    19717,   99203,  5.1,  171},
+        {"Oregon-1",        GT::kPowerLaw,    11492,   46818,  4.1, 2389},
+        {"As-caida",        GT::kPowerLaw,    31379,  106762,  3.4, 2628},
+        {"Wiki-Vote",       GT::kPowerLaw,     8297,  103689, 12.5,  893},
+        {"email-Enron",     GT::kPowerLaw,    36692,  367662, 10.0, 1383},
+        {"email-Euall",     GT::kPowerLaw,   265214,  420045,  1.6,  930},
+        {"Nell",            GT::kPowerLaw,    65755,  251550,  3.8, 4549},
+        {"PPI",             GT::kPowerLaw,    56944,  818716, 14.4,  429},
+        {"soc-SlashDot811", GT::kPowerLaw,    77357,  905468, 11.7, 2508},
+        {"artist",          GT::kPowerLaw,    50515, 1638396, 32.4, 1469},
+        {"com-Amazon",      GT::kPowerLaw,   334863, 1851744,  5.5,  549},
+        {"coAuthorsDBLP",   GT::kPowerLaw,   299067, 1955352,  6.5,  336},
+        {"soc-BlogCatalog", GT::kPowerLaw,    88784, 2093195, 23.6, 2538},
+        {"amazon0601",      GT::kPowerLaw,   410236, 4878874, 11.9, 2760},
+        {"amazon0505",      GT::kPowerLaw,   403394, 5478357, 13.6, 2760},
+        // Type II: structured graphs.
+        {"PROTEINS_full",   GT::kStructured,  43466,  162088,  3.7,   25},
+        {"Twitter-partial", GT::kStructured, 580768, 1435116,  2.5,   12},
+        {"DD",              GT::kStructured, 334925, 1686092,  5.0,   19},
+        {"Yeast",           GT::kStructured, 1710902, 3636546, 2.1,    6},
+        {"OVCAR-8H",        GT::kStructured, 1889542, 3946402, 2.1,    5},
+        {"SW-620H",         GT::kStructured, 1888584, 3944206, 2.1,    5},
+    };
+}
+
+} // namespace
+
+const std::vector<DatasetSpec> &
+all_dataset_specs()
+{
+    static const std::vector<DatasetSpec> registry = build_registry();
+    return registry;
+}
+
+const DatasetSpec &
+find_dataset_spec(const std::string &name)
+{
+    for (const auto &spec : all_dataset_specs()) {
+        if (spec.name == name)
+            return spec;
+    }
+    std::string known;
+    for (const auto &spec : all_dataset_specs())
+        known += " " + spec.name;
+    fatal("unknown dataset '" + name + "'; known datasets:" + known);
+}
+
+CsrMatrix
+make_dataset(const DatasetSpec &spec, ValueMode value_mode)
+{
+    if (spec.type == GraphType::kPowerLaw) {
+        PowerLawParams p;
+        p.nodes = spec.nodes;
+        p.target_nnz = spec.nnz;
+        p.max_degree = spec.max_degree;
+        p.seed = name_seed(spec.name);
+        p.value_mode = value_mode;
+        return power_law_graph(p);
+    }
+    StructuredParams p;
+    p.nodes = spec.nodes;
+    p.target_nnz = spec.nnz;
+    p.max_degree = spec.max_degree;
+    p.seed = name_seed(spec.name);
+    p.value_mode = value_mode;
+    return structured_graph(p);
+}
+
+CsrMatrix
+make_dataset(const std::string &name, ValueMode value_mode)
+{
+    return make_dataset(find_dataset_spec(name), value_mode);
+}
+
+CsrMatrix
+make_scaled_dataset(const DatasetSpec &spec, index_t shrink_factor,
+                    ValueMode value_mode)
+{
+    MPS_CHECK(shrink_factor >= 1, "shrink_factor must be >= 1");
+    DatasetSpec small = spec;
+    small.nodes = std::max<index_t>(16, spec.nodes / shrink_factor);
+    small.nnz = std::max<index_t>(small.nodes,
+                                  spec.nnz / shrink_factor);
+    small.max_degree = std::clamp<index_t>(
+        spec.max_degree, 1, std::min(small.nodes, small.nnz));
+    // Re-check feasibility after clamping.
+    if (static_cast<int64_t>(small.nnz) >
+        static_cast<int64_t>(small.nodes) * small.max_degree) {
+        small.nnz = small.nodes * small.max_degree;
+    }
+    return make_dataset(small, value_mode);
+}
+
+} // namespace mps

@@ -1,0 +1,62 @@
+#include "mps/sparse/degree_stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "mps/sparse/csr_matrix.h"
+
+namespace mps {
+
+DegreeStats
+compute_degree_stats(const CsrMatrix &m)
+{
+    DegreeStats s;
+    if (m.rows() == 0)
+        return s;
+
+    std::vector<double> degrees(static_cast<size_t>(m.rows()));
+    index_t empty = 0;
+    s.min_degree = m.degree(0);
+    for (index_t r = 0; r < m.rows(); ++r) {
+        index_t d = m.degree(r);
+        degrees[static_cast<size_t>(r)] = d;
+        s.min_degree = std::min(s.min_degree, d);
+        s.max_degree = std::max(s.max_degree, d);
+        if (d == 0)
+            ++empty;
+    }
+    s.avg_degree = static_cast<double>(m.nnz()) / m.rows();
+    s.degree_cv = coefficient_of_variation(degrees);
+    s.empty_row_fraction = static_cast<double>(empty) / m.rows();
+
+    std::sort(degrees.begin(), degrees.end(), std::greater<double>());
+    size_t top = std::max<size_t>(1, degrees.size() / 100);
+    double top_nnz = 0.0;
+    for (size_t i = 0; i < top; ++i)
+        top_nnz += degrees[i];
+    s.top1pct_nnz_share = m.nnz() > 0 ? top_nnz / m.nnz() : 0.0;
+    return s;
+}
+
+Log2Histogram
+degree_histogram(const CsrMatrix &m)
+{
+    Log2Histogram h;
+    for (index_t r = 0; r < m.rows(); ++r)
+        h.add(static_cast<uint64_t>(m.degree(r)));
+    return h;
+}
+
+std::string
+to_string(const DegreeStats &s)
+{
+    std::ostringstream os;
+    os << "deg[min=" << s.min_degree << " max=" << s.max_degree
+       << " avg=" << s.avg_degree << " cv=" << s.degree_cv
+       << " empty=" << s.empty_row_fraction
+       << " top1%share=" << s.top1pct_nnz_share << "]";
+    return os.str();
+}
+
+} // namespace mps

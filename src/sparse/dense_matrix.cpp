@@ -1,0 +1,62 @@
+#include "mps/sparse/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mps/util/log.h"
+#include "mps/util/rng.h"
+
+namespace mps {
+
+DenseMatrix::DenseMatrix(index_t rows, index_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f)
+{
+    MPS_CHECK(rows >= 0 && cols >= 0, "negative matrix dimension");
+}
+
+void
+DenseMatrix::fill(value_t v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+DenseMatrix::fill_random(Pcg32 &rng, value_t lo, value_t hi)
+{
+    for (auto &x : data_)
+        x = rng.next_float(lo, hi);
+}
+
+double
+DenseMatrix::max_abs_diff(const DenseMatrix &other) const
+{
+    MPS_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "shape mismatch in max_abs_diff");
+    double worst = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i) {
+        worst = std::max(
+            worst, std::abs(static_cast<double>(data_[i]) -
+                            static_cast<double>(other.data_[i])));
+    }
+    return worst;
+}
+
+bool
+DenseMatrix::approx_equal(const DenseMatrix &other, double abs_tol,
+                          double rel_tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    for (size_t i = 0; i < data_.size(); ++i) {
+        double a = data_[i];
+        double b = other.data_[i];
+        double diff = std::abs(a - b);
+        double scale = std::max(std::abs(a), std::abs(b));
+        if (diff > abs_tol && diff > rel_tol * scale)
+            return false;
+    }
+    return true;
+}
+
+} // namespace mps

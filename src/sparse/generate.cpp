@@ -1,0 +1,318 @@
+#include "mps/sparse/generate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "mps/sparse/coo_matrix.h"
+#include "mps/util/log.h"
+#include "mps/util/rng.h"
+
+namespace mps {
+
+namespace {
+
+/**
+ * Sample @p count distinct column indices from [lo, hi) into @p out
+ * (appended, sorted). Requires hi - lo >= count.
+ */
+void
+sample_distinct_columns(Pcg32 &rng, index_t lo, index_t hi, index_t count,
+                        std::vector<index_t> &out)
+{
+    MPS_CHECK(hi - lo >= count, "column window too small: [", lo, ",", hi,
+              ") for ", count, " samples");
+    size_t base = out.size();
+    out.reserve(base + static_cast<size_t>(count));
+    index_t range = hi - lo;
+    while (static_cast<index_t>(out.size() - base) < count) {
+        index_t need = count - static_cast<index_t>(out.size() - base);
+        for (index_t i = 0; i < need; ++i)
+            out.push_back(lo + static_cast<index_t>(
+                              rng.next_below(static_cast<uint32_t>(range))));
+        std::sort(out.begin() + base, out.end());
+        out.erase(std::unique(out.begin() + base, out.end()), out.end());
+    }
+}
+
+/** Build a CSR adjacency matrix from a per-row degree sequence. */
+CsrMatrix
+csr_from_degrees(index_t n, const std::vector<index_t> &degrees,
+                 Pcg32 &rng, bool banded, index_t band_halfwidth)
+{
+    std::vector<index_t> row_ptr(static_cast<size_t>(n) + 1, 0);
+    for (index_t r = 0; r < n; ++r)
+        row_ptr[static_cast<size_t>(r) + 1] =
+            row_ptr[static_cast<size_t>(r)] + degrees[static_cast<size_t>(r)];
+    index_t nnz = row_ptr.back();
+
+    std::vector<index_t> col_idx;
+    col_idx.reserve(static_cast<size_t>(nnz));
+    for (index_t r = 0; r < n; ++r) {
+        index_t d = degrees[static_cast<size_t>(r)];
+        if (d == 0)
+            continue;
+        index_t lo = 0, hi = n;
+        if (banded) {
+            lo = std::max<index_t>(0, r - band_halfwidth);
+            hi = std::min<index_t>(n, r + band_halfwidth + 1);
+            if (hi - lo < d) {
+                lo = 0;
+                hi = n;
+            }
+        }
+        sample_distinct_columns(rng, lo, hi, d, col_idx);
+    }
+    MPS_CHECK(static_cast<index_t>(col_idx.size()) == nnz,
+              "degree bookkeeping error");
+    std::vector<value_t> values(static_cast<size_t>(nnz), 1.0f);
+    return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
+}
+
+/** Sum of clamp(round(max_deg * (i+1)^-alpha), 0, max_deg) over ranks. */
+int64_t
+power_law_sum(index_t n, index_t max_deg, double alpha)
+{
+    int64_t sum = 0;
+    for (index_t i = 0; i < n; ++i) {
+        double raw = max_deg * std::pow(static_cast<double>(i) + 1.0,
+                                        -alpha);
+        int64_t d = std::llround(raw);
+        d = std::clamp<int64_t>(d, 0, max_deg);
+        sum += d;
+    }
+    return sum;
+}
+
+/**
+ * Rank-based truncated power-law degree sequence summing exactly to
+ * @p target with maximum element exactly @p max_deg.
+ */
+std::vector<index_t>
+power_law_degrees(index_t n, index_t target, index_t max_deg, Pcg32 &rng)
+{
+    // Bisect the exponent: the sum is monotone non-increasing in alpha.
+    double lo = 0.0, hi = 16.0;
+    for (int iter = 0; iter < 64; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (power_law_sum(n, max_deg, mid) > target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    double alpha = hi;
+    std::vector<index_t> degrees(static_cast<size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+        double raw = max_deg * std::pow(static_cast<double>(i) + 1.0,
+                                        -alpha);
+        degrees[static_cast<size_t>(i)] = static_cast<index_t>(
+            std::clamp<int64_t>(std::llround(raw), 0, max_deg));
+    }
+    degrees[0] = max_deg;
+
+    // Distribute the residual over random ranks (rank 0 stays pinned to
+    // max_deg so the published maximum is preserved exactly).
+    int64_t sum = 0;
+    for (index_t d : degrees)
+        sum += d;
+    int64_t diff = target - sum;
+    while (diff != 0) {
+        uint32_t i = 1 + rng.next_below(static_cast<uint32_t>(n - 1));
+        if (diff > 0 && degrees[i] < max_deg) {
+            ++degrees[i];
+            --diff;
+        } else if (diff < 0 && degrees[i] > 0) {
+            --degrees[i];
+            ++diff;
+        }
+    }
+    return degrees;
+}
+
+/** Fisher-Yates shuffle with the library RNG (deterministic). */
+template <typename T>
+void
+shuffle(std::vector<T> &xs, Pcg32 &rng)
+{
+    for (size_t i = xs.size(); i > 1; --i) {
+        size_t j = rng.next_below(static_cast<uint32_t>(i));
+        std::swap(xs[i - 1], xs[j]);
+    }
+}
+
+void
+check_feasible(index_t nodes, index_t target_nnz, index_t max_degree)
+{
+    MPS_CHECK(nodes > 0, "graph needs at least one node");
+    MPS_CHECK(max_degree >= 0 && max_degree <= nodes,
+              "max_degree must be in [0, nodes]");
+    MPS_CHECK(target_nnz >= max_degree,
+              "target_nnz must be >= max_degree");
+    MPS_CHECK(static_cast<int64_t>(target_nnz) <=
+                  static_cast<int64_t>(nodes) * max_degree,
+              "target_nnz exceeds nodes * max_degree");
+}
+
+} // namespace
+
+CsrMatrix
+power_law_graph(const PowerLawParams &params)
+{
+    check_feasible(params.nodes, params.target_nnz, params.max_degree);
+    uint64_t seed_state = params.seed;
+    Pcg32 rng(splitmix64(seed_state), splitmix64(seed_state));
+
+    std::vector<index_t> degrees;
+    if (params.nodes == 1) {
+        degrees.assign(1, params.target_nnz);
+    } else {
+        degrees = power_law_degrees(params.nodes, params.target_nnz,
+                                    params.max_degree, rng);
+        shuffle(degrees, rng);
+    }
+    CsrMatrix m = csr_from_degrees(params.nodes, degrees, rng,
+                                   /*banded=*/false, 0);
+    assign_values(m, params.value_mode, splitmix64(seed_state));
+    return m;
+}
+
+CsrMatrix
+structured_graph(const StructuredParams &params)
+{
+    check_feasible(params.nodes, params.target_nnz, params.max_degree);
+    uint64_t seed_state = params.seed ^ 0x5741c0de;
+    Pcg32 rng(splitmix64(seed_state), splitmix64(seed_state));
+
+    index_t n = params.nodes;
+    int64_t target = params.target_nnz;
+    index_t base = static_cast<index_t>(target / n);
+    index_t rem = static_cast<index_t>(target % n);
+
+    std::vector<index_t> degrees(static_cast<size_t>(n), base);
+    // Spread the remainder as +1 over a random prefix of a permutation.
+    std::vector<index_t> order(static_cast<size_t>(n));
+    for (index_t i = 0; i < n; ++i)
+        order[static_cast<size_t>(i)] = i;
+    shuffle(order, rng);
+    for (index_t i = 0; i < rem; ++i)
+        ++degrees[static_cast<size_t>(order[static_cast<size_t>(i)])];
+
+    // Pin the published maximum exactly: raise one row to max_degree and
+    // take the excess away from other rows (never below zero).
+    index_t boosted = order.back();
+    int64_t excess = params.max_degree -
+                     degrees[static_cast<size_t>(boosted)];
+    degrees[static_cast<size_t>(boosted)] = params.max_degree;
+    size_t cursor = 0;
+    while (excess > 0) {
+        index_t victim = order[cursor % order.size()];
+        ++cursor;
+        if (victim == boosted)
+            continue;
+        if (degrees[static_cast<size_t>(victim)] > 0) {
+            --degrees[static_cast<size_t>(victim)];
+            --excess;
+        }
+    }
+
+    index_t band = std::max<index_t>(params.max_degree * 4, 64);
+    CsrMatrix m = csr_from_degrees(n, degrees, rng, /*banded=*/true, band);
+    assign_values(m, params.value_mode, splitmix64(seed_state));
+    return m;
+}
+
+CsrMatrix
+erdos_renyi_graph(index_t nodes, index_t nnz, uint64_t seed,
+                  ValueMode value_mode)
+{
+    MPS_CHECK(nodes > 0, "graph needs at least one node");
+    MPS_CHECK(static_cast<int64_t>(nnz) <=
+                  static_cast<int64_t>(nodes) * nodes,
+              "nnz exceeds nodes^2");
+    uint64_t seed_state = seed ^ 0xe4d05;
+    Pcg32 rng(splitmix64(seed_state), splitmix64(seed_state));
+
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(static_cast<size_t>(nnz) * 2);
+    CooMatrix coo(nodes, nodes);
+    coo.reserve(static_cast<size_t>(nnz));
+    while (static_cast<index_t>(seen.size()) < nnz) {
+        index_t r = static_cast<index_t>(
+            rng.next_below(static_cast<uint32_t>(nodes)));
+        index_t c = static_cast<index_t>(
+            rng.next_below(static_cast<uint32_t>(nodes)));
+        uint64_t key = (static_cast<uint64_t>(r) << 32) |
+                       static_cast<uint32_t>(c);
+        if (seen.insert(key).second)
+            coo.add(r, c, 1.0f);
+    }
+    CsrMatrix m = CsrMatrix::from_coo(std::move(coo));
+    assign_values(m, value_mode, splitmix64(seed_state));
+    return m;
+}
+
+CsrMatrix
+rmat_graph(const RmatParams &params)
+{
+    MPS_CHECK(params.scale >= 1 && params.scale <= 30,
+              "rmat scale out of range");
+    double d = 1.0 - params.a - params.b - params.c;
+    MPS_CHECK(params.a >= 0 && params.b >= 0 && params.c >= 0 && d >= 0,
+              "rmat quadrant probabilities must be a valid distribution");
+
+    uint64_t seed_state = params.seed ^ 0x52a47;
+    Pcg32 rng(splitmix64(seed_state), splitmix64(seed_state));
+
+    index_t n = static_cast<index_t>(1) << params.scale;
+    int64_t edges = static_cast<int64_t>(params.edge_factor) * n;
+    CooMatrix coo(n, n);
+    coo.reserve(static_cast<size_t>(edges));
+    for (int64_t e = 0; e < edges; ++e) {
+        index_t r = 0, c = 0;
+        for (int bit = 0; bit < params.scale; ++bit) {
+            double u = rng.next_double();
+            r <<= 1;
+            c <<= 1;
+            if (u < params.a) {
+                // top-left: nothing to add
+            } else if (u < params.a + params.b) {
+                c |= 1;
+            } else if (u < params.a + params.b + params.c) {
+                r |= 1;
+            } else {
+                r |= 1;
+                c |= 1;
+            }
+        }
+        coo.add(r, c, 1.0f);
+    }
+    coo.sort_and_merge();
+    CsrMatrix m = CsrMatrix::from_coo(std::move(coo));
+    assign_values(m, params.value_mode, splitmix64(seed_state));
+    return m;
+}
+
+void
+assign_values(CsrMatrix &m, ValueMode mode, uint64_t seed)
+{
+    switch (mode) {
+      case ValueMode::kOnes:
+        std::fill(m.values().begin(), m.values().end(), 1.0f);
+        break;
+      case ValueMode::kRandom: {
+        uint64_t seed_state = seed ^ 0xfa17;
+        Pcg32 rng(splitmix64(seed_state), splitmix64(seed_state));
+        for (auto &v : m.values())
+            v = rng.next_float(0.001f, 1.0f);
+        break;
+      }
+      case ValueMode::kGcnNormalized:
+        std::fill(m.values().begin(), m.values().end(), 1.0f);
+        m.normalize_gcn();
+        break;
+    }
+}
+
+} // namespace mps

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Coordinate-format sparse matrix: the construction / interchange format.
+ * Graph loaders and generators build COO; kernels consume CSR.
+ */
+#ifndef MPS_SPARSE_COO_MATRIX_H
+#define MPS_SPARSE_COO_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "mps/sparse/types.h"
+
+namespace mps {
+
+/** One non-zero element. */
+struct CooEntry
+{
+    index_t row;
+    index_t col;
+    value_t value;
+};
+
+/** Sparse matrix in coordinate (triplet) format. */
+class CooMatrix
+{
+  public:
+    CooMatrix() = default;
+
+    /** Empty rows x cols matrix. */
+    CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {}
+
+    index_t rows() const { return rows_; }
+    index_t cols() const { return cols_; }
+    index_t nnz() const { return static_cast<index_t>(entries_.size()); }
+
+    const std::vector<CooEntry> &entries() const { return entries_; }
+    std::vector<CooEntry> &entries() { return entries_; }
+
+    /** Append one non-zero; panics on out-of-range coordinates. */
+    void add(index_t row, index_t col, value_t value);
+
+    /** Reserve storage for @p n entries. */
+    void reserve(size_t n) { entries_.reserve(n); }
+
+    /**
+     * Sort entries by (row, col) and merge duplicates by summing their
+     * values. Entries whose merged value is exactly zero are kept (they
+     * are structural non-zeros for the graph algorithms).
+     */
+    void sort_and_merge();
+
+  private:
+    index_t rows_ = 0;
+    index_t cols_ = 0;
+    std::vector<CooEntry> entries_;
+};
+
+} // namespace mps
+
+#endif // MPS_SPARSE_COO_MATRIX_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Compressed sparse row matrix: the format every SpMM kernel in this
+ * library consumes, and the format whose row-pointer array the merge-path
+ * decomposition binary-searches. No extensions are needed — that is one of
+ * the paper's selling points versus GNNAdvisor's neighbor-group metadata.
+ */
+#ifndef MPS_SPARSE_CSR_MATRIX_H
+#define MPS_SPARSE_CSR_MATRIX_H
+
+#include <vector>
+
+#include "mps/sparse/types.h"
+
+namespace mps {
+
+class CooMatrix;
+
+/** Sparse matrix in CSR format with value_t values. */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /**
+     * Build directly from arrays (validated): row_ptr must be
+     * non-decreasing of length rows+1 with row_ptr[0] == 0 and
+     * row_ptr[rows] == col_idx.size(); all column indices in range.
+     */
+    CsrMatrix(index_t rows, index_t cols, std::vector<index_t> row_ptr,
+              std::vector<index_t> col_idx, std::vector<value_t> values);
+
+    /** Convert from COO; entries are sorted and duplicates merged. */
+    static CsrMatrix from_coo(CooMatrix coo);
+
+    index_t rows() const { return rows_; }
+    index_t cols() const { return cols_; }
+    index_t nnz() const { return static_cast<index_t>(col_idx_.size()); }
+
+    const std::vector<index_t> &row_ptr() const { return row_ptr_; }
+    const std::vector<index_t> &col_idx() const { return col_idx_; }
+    const std::vector<value_t> &values() const { return values_; }
+    std::vector<value_t> &values() { return values_; }
+
+    /** Number of non-zeros in row r. */
+    index_t degree(index_t r) const {
+        return row_ptr_[r + 1] - row_ptr_[r];
+    }
+
+    /** First non-zero index of row r (into col_idx / values). */
+    index_t row_begin(index_t r) const { return row_ptr_[r]; }
+
+    /** One-past-last non-zero index of row r. */
+    index_t row_end(index_t r) const { return row_ptr_[r + 1]; }
+
+    /** Transposed copy (CSR of A^T). */
+    CsrMatrix transposed() const;
+
+    /** Convert back to COO (sorted by row, col). */
+    CooMatrix to_coo() const;
+
+    /**
+     * Replace all values with symmetric-normalized weights
+     * 1 / sqrt((deg(i)+1) * (deg(j)+1)) as used for GCN adjacency
+     * matrices (self-loop-smoothed degrees).
+     */
+    void normalize_gcn();
+
+    /** Panics if any CSR structural invariant is violated. */
+    void validate() const;
+
+  private:
+    index_t rows_ = 0;
+    index_t cols_ = 0;
+    std::vector<index_t> row_ptr_;
+    std::vector<index_t> col_idx_;
+    std::vector<value_t> values_;
+};
+
+} // namespace mps
+
+#endif // MPS_SPARSE_CSR_MATRIX_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Registry of the paper's Table II evaluation graphs.
+ *
+ * Each entry records the published node count, non-zero count, average
+ * degree and maximum degree. make_dataset() materializes the graph with
+ * the matching synthetic generator (power-law for Type I, structured for
+ * Type II) using a per-name deterministic seed, so every bench and test
+ * sees the same matrices.
+ */
+#ifndef MPS_SPARSE_DATASETS_H
+#define MPS_SPARSE_DATASETS_H
+
+#include <string>
+#include <vector>
+
+#include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/generate.h"
+
+namespace mps {
+
+/** Table II graph category. */
+enum class GraphType {
+    kPowerLaw,   ///< Type I: heavy-tailed degree distribution
+    kStructured, ///< Type II: near-uniform degree distribution
+};
+
+/** One Table II row. */
+struct DatasetSpec
+{
+    std::string name;
+    GraphType type;
+    index_t nodes;
+    index_t nnz;
+    double avg_degree; ///< as published (nnz / nodes, rounded)
+    index_t max_degree;
+};
+
+/** All 23 Table II entries, in the paper's order. */
+const std::vector<DatasetSpec> &all_dataset_specs();
+
+/** Find a spec by (case-sensitive) name; fatal() when unknown. */
+const DatasetSpec &find_dataset_spec(const std::string &name);
+
+/**
+ * Materialize a Table II graph with the matching generator. The result
+ * has exactly spec.nodes rows/cols, exactly spec.nnz non-zeros and
+ * exactly spec.max_degree as its largest row degree.
+ */
+CsrMatrix make_dataset(const DatasetSpec &spec,
+                       ValueMode value_mode = ValueMode::kRandom);
+
+/** Convenience overload by name. */
+CsrMatrix make_dataset(const std::string &name,
+                       ValueMode value_mode = ValueMode::kRandom);
+
+/**
+ * A reduced-size stand-in of a Table II graph for unit tests and quick
+ * runs: node and nnz counts divided by @p shrink_factor (minimums apply),
+ * max degree clamped accordingly, same type and seed derivation.
+ */
+CsrMatrix make_scaled_dataset(const DatasetSpec &spec, index_t shrink_factor,
+                              ValueMode value_mode = ValueMode::kRandom);
+
+} // namespace mps
+
+#endif // MPS_SPARSE_DATASETS_H

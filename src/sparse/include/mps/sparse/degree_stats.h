@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Row-degree statistics of a sparse matrix: the quantities Table II and
+ * Figure 1 of the paper report, and the signals the adaptive (cuSPARSE
+ * stand-in) kernel selector uses to classify inputs.
+ */
+#ifndef MPS_SPARSE_DEGREE_STATS_H
+#define MPS_SPARSE_DEGREE_STATS_H
+
+#include <string>
+
+#include "mps/sparse/types.h"
+#include "mps/util/stats.h"
+
+namespace mps {
+
+class CsrMatrix;
+
+/** Summary of the row-degree (non-zeros per row) distribution. */
+struct DegreeStats
+{
+    index_t min_degree = 0;
+    index_t max_degree = 0;
+    double avg_degree = 0.0;
+    /** Coefficient of variation of row degrees (load-imbalance proxy). */
+    double degree_cv = 0.0;
+    /** Fraction of rows with zero non-zeros. */
+    double empty_row_fraction = 0.0;
+    /**
+     * Fraction of all non-zeros living in the top 1% highest-degree rows;
+     * a direct "evil row" concentration measure.
+     */
+    double top1pct_nnz_share = 0.0;
+};
+
+/** Compute degree statistics of @p m. */
+DegreeStats compute_degree_stats(const CsrMatrix &m);
+
+/** Power-of-two degree histogram of @p m (Figure 1 material). */
+Log2Histogram degree_histogram(const CsrMatrix &m);
+
+/** One-line rendering for logs and benches. */
+std::string to_string(const DegreeStats &s);
+
+} // namespace mps
+
+#endif // MPS_SPARSE_DEGREE_STATS_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Row-major dense matrix used for the XW input and the C output of the
+ * SpMM kernels, the weight matrices of the GCN layers, and the dense
+ * reference results in the tests.
+ */
+#ifndef MPS_SPARSE_DENSE_MATRIX_H
+#define MPS_SPARSE_DENSE_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "mps/sparse/types.h"
+
+namespace mps {
+
+class Pcg32;
+
+/** Row-major dense matrix of value_t. */
+class DenseMatrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    DenseMatrix() = default;
+
+    /** rows x cols matrix, zero-initialized. */
+    DenseMatrix(index_t rows, index_t cols);
+
+    index_t rows() const { return rows_; }
+    index_t cols() const { return cols_; }
+
+    /** Element access (no bounds check in release paths). */
+    value_t &operator()(index_t r, index_t c) {
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+    value_t operator()(index_t r, index_t c) const {
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+
+    /** Pointer to the first element of row r. */
+    value_t *row(index_t r) {
+        return data_.data() + static_cast<size_t>(r) * cols_;
+    }
+    const value_t *row(index_t r) const {
+        return data_.data() + static_cast<size_t>(r) * cols_;
+    }
+
+    value_t *data() { return data_.data(); }
+    const value_t *data() const { return data_.data(); }
+
+    /** Set every element to @p v. */
+    void fill(value_t v);
+
+    /** Fill with uniform values in [lo, hi) from @p rng. */
+    void fill_random(Pcg32 &rng, value_t lo = -1.0f, value_t hi = 1.0f);
+
+    /** Largest absolute element-wise difference to @p other. */
+    double max_abs_diff(const DenseMatrix &other) const;
+
+    /**
+     * True when shapes match and every element differs by at most
+     * @p abs_tol absolutely or @p rel_tol relative to the larger
+     * magnitude.
+     */
+    bool approx_equal(const DenseMatrix &other, double abs_tol = 1e-4,
+                      double rel_tol = 1e-4) const;
+
+  private:
+    index_t rows_ = 0;
+    index_t cols_ = 0;
+    std::vector<value_t> data_;
+};
+
+} // namespace mps
+
+#endif // MPS_SPARSE_DENSE_MATRIX_H

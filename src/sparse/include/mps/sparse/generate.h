@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic synthetic graph generators.
+ *
+ * The paper evaluates on 23 real graphs (Table II). This library cannot
+ * ship those datasets, so each is reproduced by a generator that matches
+ * the published (#nodes, #non-zeros, max degree) exactly and the average
+ * degree by construction. Two families cover the paper's two types:
+ *
+ *  - power_law_graph(): rank-based truncated power-law degree sequence
+ *    (rank 0 = the published max degree, exponent calibrated so the total
+ *    hits the published nnz), randomly permuted over node ids, uniform
+ *    random neighbor choice. Reproduces the "evil row" structure that
+ *    drives the paper's load-imbalance results (Type I).
+ *
+ *  - structured_graph(): near-uniform degrees with a banded (diagonal-
+ *    local) neighbor choice, mimicking the molecule/protein meshes of
+ *    Type II (low degree variance, good locality).
+ *
+ * Plus Erdos-Renyi and R-MAT generators for tests and extra studies.
+ * All generators are pure functions of their parameters and seed.
+ */
+#ifndef MPS_SPARSE_GENERATE_H
+#define MPS_SPARSE_GENERATE_H
+
+#include <cstdint>
+
+#include "mps/sparse/csr_matrix.h"
+
+namespace mps {
+
+/** How to fill the values of generated non-zeros. */
+enum class ValueMode {
+    kOnes,          ///< every value = 1 (pure structure)
+    kRandom,        ///< uniform in (0, 1]
+    kGcnNormalized, ///< symmetric GCN normalization of a 0/1 structure
+};
+
+/** Parameters for power_law_graph(). */
+struct PowerLawParams
+{
+    index_t nodes = 0;
+    /** Exact number of non-zeros the generated matrix will have. */
+    index_t target_nnz = 0;
+    /** Exact maximum row degree. */
+    index_t max_degree = 0;
+    uint64_t seed = 1;
+    ValueMode value_mode = ValueMode::kRandom;
+};
+
+/**
+ * Generate a square power-law graph adjacency matrix matching the
+ * requested node count, non-zero count (exactly) and maximum degree
+ * (exactly). Panics on infeasible parameter combinations
+ * (target_nnz > nodes * max_degree or max_degree > nodes or
+ * max_degree > target_nnz).
+ */
+CsrMatrix power_law_graph(const PowerLawParams &params);
+
+/** Parameters for structured_graph(). */
+struct StructuredParams
+{
+    index_t nodes = 0;
+    /** Exact number of non-zeros. */
+    index_t target_nnz = 0;
+    /** Exact maximum row degree (small for structured graphs). */
+    index_t max_degree = 0;
+    uint64_t seed = 1;
+    ValueMode value_mode = ValueMode::kRandom;
+};
+
+/**
+ * Generate a square structured (low-variance, banded) adjacency matrix
+ * with the requested node count, exact non-zero count and exact maximum
+ * degree. Same feasibility requirements as power_law_graph().
+ */
+CsrMatrix structured_graph(const StructuredParams &params);
+
+/**
+ * Erdos-Renyi G(n, m): exactly @p nnz distinct uniform random non-zeros
+ * in an n x n matrix.
+ */
+CsrMatrix erdos_renyi_graph(index_t nodes, index_t nnz, uint64_t seed,
+                            ValueMode value_mode = ValueMode::kRandom);
+
+/** Parameters for rmat_graph(). */
+struct RmatParams
+{
+    /** Matrix dimension is 2^scale. */
+    int scale = 10;
+    /** Edges generated = edge_factor * 2^scale (before deduplication). */
+    int edge_factor = 8;
+    double a = 0.57, b = 0.19, c = 0.19; ///< quadrant probs (d = 1-a-b-c)
+    uint64_t seed = 1;
+    ValueMode value_mode = ValueMode::kRandom;
+};
+
+/**
+ * Kronecker / R-MAT generator (Graph500-style). The non-zero count is
+ * approximate: duplicate edges are merged.
+ */
+CsrMatrix rmat_graph(const RmatParams &params);
+
+/** Re-fill the values of @p m according to @p mode (deterministic). */
+void assign_values(CsrMatrix &m, ValueMode mode, uint64_t seed);
+
+} // namespace mps
+
+#endif // MPS_SPARSE_GENERATE_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Matrix / graph file IO: MatrixMarket coordinate files (the format the
+ * University of Florida / SuiteSparse collection distributes, which the
+ * paper's Table II graphs come from) and plain whitespace edge lists.
+ * Users with the real datasets can load them; the bundled experiments use
+ * the synthetic dataset registry instead.
+ */
+#ifndef MPS_SPARSE_IO_H
+#define MPS_SPARSE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "mps/sparse/coo_matrix.h"
+
+namespace mps {
+
+/**
+ * Parse a MatrixMarket "matrix coordinate" stream. Supports real /
+ * integer / pattern fields and general / symmetric symmetry (symmetric
+ * inputs are expanded to both triangles). fatal() on malformed input.
+ */
+CooMatrix read_matrix_market(std::istream &in);
+
+/** Load a MatrixMarket file by path. */
+CooMatrix read_matrix_market_file(const std::string &path);
+
+/** Write @p m as a MatrixMarket "matrix coordinate real general" file. */
+void write_matrix_market(std::ostream &out, const CooMatrix &m);
+
+/**
+ * Parse a whitespace edge list ("u v" or "u v weight" per line, '#' or
+ * '%' comments). Node ids may be arbitrary non-negative integers; the
+ * matrix is sized by the largest id + 1. When @p undirected, each edge is
+ * added in both directions.
+ */
+CooMatrix read_edge_list(std::istream &in, bool undirected = false);
+
+/** Load an edge-list file by path. */
+CooMatrix read_edge_list_file(const std::string &path,
+                              bool undirected = false);
+
+} // namespace mps
+
+#endif // MPS_SPARSE_IO_H

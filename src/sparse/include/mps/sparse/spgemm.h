@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sparse x sparse matrix multiplication (SpGEMM), Gustavson's row-wise
+ * algorithm.
+ *
+ * Background substrate: the first kernel of a GCN layer multiplies the
+ * moderately sparse feature matrix X with the dense weight matrix W;
+ * HyGCN-style accelerators instead pair a SpGEMM engine (A x X, both
+ * sparse) with a dense engine — the design whose inter-engine
+ * imbalance motivates the paper's unified-SpMM approach. This module
+ * provides the SpGEMM kernel so that pipeline can be built and
+ * compared, plus sparse-times-dense helpers for sparse feature
+ * matrices.
+ */
+#ifndef MPS_SPARSE_SPGEMM_H
+#define MPS_SPARSE_SPGEMM_H
+
+#include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/dense_matrix.h"
+
+namespace mps {
+
+class ThreadPool;
+
+/**
+ * C = A * B with both inputs sparse CSR (Gustavson row-wise: for each
+ * row i of A, accumulate scaled rows of B into a sparse accumulator).
+ * Output rows are sorted by column. Single-threaded.
+ */
+CsrMatrix spgemm(const CsrMatrix &a, const CsrMatrix &b);
+
+/**
+ * Parallel SpGEMM: rows of A are processed in dynamic chunks on
+ * @p pool (row-splitting is safe here — each output row is exclusive —
+ * but inherits the same evil-row imbalance the paper studies).
+ */
+CsrMatrix spgemm_parallel(const CsrMatrix &a, const CsrMatrix &b,
+                          ThreadPool &pool);
+
+/**
+ * out = X * W with X sparse (n x f CSR) and W dense (f x d): the
+ * combination kernel of a GCN layer when node features are kept
+ * sparse. Row-parallel on @p pool, no synchronization needed.
+ */
+void sparse_dense_matmul(const CsrMatrix &x, const DenseMatrix &w,
+                         DenseMatrix &out, ThreadPool &pool);
+
+/**
+ * Drop explicit zeros and entries with |value| < @p threshold from
+ * @p m (useful after SpGEMM chains and for sparsifying features).
+ */
+CsrMatrix prune(const CsrMatrix &m, value_t threshold = 0.0f);
+
+/** Convert a dense matrix to CSR, keeping entries with |v| > thresh. */
+CsrMatrix sparsify(const DenseMatrix &dense, value_t threshold = 0.0f);
+
+/** Convert a CSR matrix to dense (for tests and small problems). */
+DenseMatrix densify(const CsrMatrix &m);
+
+} // namespace mps
+
+#endif // MPS_SPARSE_SPGEMM_H

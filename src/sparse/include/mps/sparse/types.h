@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Element and index types shared by all matrix containers and kernels.
+ */
+#ifndef MPS_SPARSE_TYPES_H
+#define MPS_SPARSE_TYPES_H
+
+#include <cstdint>
+
+namespace mps {
+
+/**
+ * Index type for rows, columns and non-zero positions. 32-bit signed
+ * covers every graph in the paper's Table II (max 5.5M non-zeros) with
+ * room to spare and matches the CSR layout that GPU kernels use.
+ */
+using index_t = int32_t;
+
+/** Value type of matrix elements. */
+using value_t = float;
+
+} // namespace mps
+
+#endif // MPS_SPARSE_TYPES_H

@@ -1,0 +1,163 @@
+#include "mps/sparse/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+namespace {
+
+/** Case-insensitive token comparison for MatrixMarket headers. */
+bool
+token_is(const std::string &token, const char *expect)
+{
+    std::string lower = token;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return lower == expect;
+}
+
+/** Next line that is neither empty nor a comment; false at EOF. */
+bool
+next_content_line(std::istream &in, std::string &line)
+{
+    while (std::getline(in, line)) {
+        size_t pos = line.find_first_not_of(" \t\r");
+        if (pos == std::string::npos)
+            continue;
+        if (line[pos] == '%' || line[pos] == '#')
+            continue;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+CooMatrix
+read_matrix_market(std::istream &in)
+{
+    std::string header;
+    if (!std::getline(in, header))
+        fatal("MatrixMarket: empty input");
+
+    std::istringstream hs(header);
+    std::string banner, object, format, field, symmetry;
+    hs >> banner >> object >> format >> field >> symmetry;
+    if (banner != "%%MatrixMarket" || !token_is(object, "matrix"))
+        fatal("MatrixMarket: bad banner line: " + header);
+    if (!token_is(format, "coordinate"))
+        fatal("MatrixMarket: only 'coordinate' format is supported");
+    bool pattern = token_is(field, "pattern");
+    if (!pattern && !token_is(field, "real") &&
+        !token_is(field, "integer")) {
+        fatal("MatrixMarket: unsupported field type: " + field);
+    }
+    bool symmetric = token_is(symmetry, "symmetric");
+    if (!symmetric && !token_is(symmetry, "general"))
+        fatal("MatrixMarket: unsupported symmetry: " + symmetry);
+
+    std::string line;
+    if (!next_content_line(in, line))
+        fatal("MatrixMarket: missing size line");
+    std::istringstream ss(line);
+    long long rows = 0, cols = 0, nnz = 0;
+    ss >> rows >> cols >> nnz;
+    if (ss.fail() || rows < 0 || cols < 0 || nnz < 0)
+        fatal("MatrixMarket: bad size line: " + line);
+
+    CooMatrix m(static_cast<index_t>(rows), static_cast<index_t>(cols));
+    m.reserve(static_cast<size_t>(symmetric ? 2 * nnz : nnz));
+    for (long long i = 0; i < nnz; ++i) {
+        if (!next_content_line(in, line))
+            fatal("MatrixMarket: truncated entry list");
+        std::istringstream es(line);
+        long long r = 0, c = 0;
+        double v = 1.0;
+        es >> r >> c;
+        if (!pattern)
+            es >> v;
+        if (es.fail())
+            fatal("MatrixMarket: bad entry line: " + line);
+        // MatrixMarket coordinates are 1-based.
+        index_t ri = static_cast<index_t>(r - 1);
+        index_t ci = static_cast<index_t>(c - 1);
+        m.add(ri, ci, static_cast<value_t>(v));
+        if (symmetric && ri != ci)
+            m.add(ci, ri, static_cast<value_t>(v));
+    }
+    return m;
+}
+
+CooMatrix
+read_matrix_market_file(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open MatrixMarket file: " + path);
+    return read_matrix_market(in);
+}
+
+void
+write_matrix_market(std::ostream &out, const CooMatrix &m)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    for (const auto &e : m.entries())
+        out << e.row + 1 << " " << e.col + 1 << " " << e.value << "\n";
+}
+
+CooMatrix
+read_edge_list(std::istream &in, bool undirected)
+{
+    struct RawEdge
+    {
+        long long u, v;
+        double w;
+    };
+    std::vector<RawEdge> edges;
+    long long max_id = -1;
+    std::string line;
+    while (next_content_line(in, line)) {
+        std::istringstream es(line);
+        long long u = 0, v = 0;
+        double w = 1.0;
+        es >> u >> v;
+        if (es.fail())
+            fatal("edge list: bad line: " + line);
+        es >> w;
+        if (es.fail())
+            w = 1.0;
+        if (u < 0 || v < 0)
+            fatal("edge list: negative node id in line: " + line);
+        edges.push_back({u, v, w});
+        max_id = std::max({max_id, u, v});
+    }
+    index_t n = static_cast<index_t>(max_id + 1);
+    CooMatrix m(n, n);
+    m.reserve(edges.size() * (undirected ? 2 : 1));
+    for (const auto &e : edges) {
+        m.add(static_cast<index_t>(e.u), static_cast<index_t>(e.v),
+              static_cast<value_t>(e.w));
+        if (undirected && e.u != e.v) {
+            m.add(static_cast<index_t>(e.v), static_cast<index_t>(e.u),
+                  static_cast<value_t>(e.w));
+        }
+    }
+    return m;
+}
+
+CooMatrix
+read_edge_list_file(const std::string &path, bool undirected)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open edge list file: " + path);
+    return read_edge_list(in, undirected);
+}
+
+} // namespace mps

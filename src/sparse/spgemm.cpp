@@ -1,0 +1,241 @@
+#include "mps/sparse/spgemm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mps/util/log.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+
+namespace {
+
+/**
+ * Dense-scratch sparse accumulator (SPA) for one output row: values
+ * indexed by column, with an occupancy list for sparse reset.
+ */
+class SparseAccumulator
+{
+  public:
+    explicit SparseAccumulator(index_t cols)
+        : values_(static_cast<size_t>(cols), 0.0f),
+          occupied_(static_cast<size_t>(cols), false)
+    {
+    }
+
+    void
+    add(index_t col, value_t v)
+    {
+        if (!occupied_[static_cast<size_t>(col)]) {
+            occupied_[static_cast<size_t>(col)] = true;
+            cols_.push_back(col);
+        }
+        values_[static_cast<size_t>(col)] += v;
+    }
+
+    /** Append the accumulated row (sorted by column) and reset. */
+    void
+    flush(std::vector<index_t> &out_cols, std::vector<value_t> &out_vals)
+    {
+        std::sort(cols_.begin(), cols_.end());
+        for (index_t c : cols_) {
+            out_cols.push_back(c);
+            out_vals.push_back(values_[static_cast<size_t>(c)]);
+            values_[static_cast<size_t>(c)] = 0.0f;
+            occupied_[static_cast<size_t>(c)] = false;
+        }
+        cols_.clear();
+    }
+
+  private:
+    std::vector<value_t> values_;
+    std::vector<bool> occupied_;
+    std::vector<index_t> cols_;
+};
+
+/** Compute rows [begin, end) of A*B into per-row col/val buffers. */
+void
+spgemm_rows(const CsrMatrix &a, const CsrMatrix &b, index_t begin,
+            index_t end, SparseAccumulator &spa,
+            std::vector<index_t> &cols, std::vector<value_t> &vals,
+            std::vector<index_t> &row_sizes)
+{
+    for (index_t i = begin; i < end; ++i) {
+        size_t before = cols.size();
+        for (index_t k = a.row_begin(i); k < a.row_end(i); ++k) {
+            index_t j = a.col_idx()[k];
+            value_t av = a.values()[k];
+            for (index_t l = b.row_begin(j); l < b.row_end(j); ++l)
+                spa.add(b.col_idx()[l], av * b.values()[l]);
+        }
+        spa.flush(cols, vals);
+        row_sizes[static_cast<size_t>(i)] =
+            static_cast<index_t>(cols.size() - before);
+    }
+}
+
+CsrMatrix
+assemble(index_t rows, index_t cols_dim,
+         const std::vector<index_t> &row_sizes,
+         std::vector<std::vector<index_t>> &chunk_cols,
+         std::vector<std::vector<value_t>> &chunk_vals,
+         const std::vector<index_t> &chunk_first_row,
+         const std::vector<index_t> &chunk_last_row)
+{
+    std::vector<index_t> row_ptr(static_cast<size_t>(rows) + 1, 0);
+    for (index_t r = 0; r < rows; ++r)
+        row_ptr[static_cast<size_t>(r) + 1] =
+            row_ptr[static_cast<size_t>(r)] +
+            row_sizes[static_cast<size_t>(r)];
+
+    std::vector<index_t> col_idx(static_cast<size_t>(row_ptr.back()));
+    std::vector<value_t> values(static_cast<size_t>(row_ptr.back()));
+    for (size_t c = 0; c < chunk_cols.size(); ++c) {
+        if (chunk_first_row[c] > chunk_last_row[c])
+            continue;
+        size_t dst = static_cast<size_t>(row_ptr[chunk_first_row[c]]);
+        std::copy(chunk_cols[c].begin(), chunk_cols[c].end(),
+                  col_idx.begin() + static_cast<long>(dst));
+        std::copy(chunk_vals[c].begin(), chunk_vals[c].end(),
+                  values.begin() + static_cast<long>(dst));
+    }
+    return CsrMatrix(rows, cols_dim, std::move(row_ptr),
+                     std::move(col_idx), std::move(values));
+}
+
+} // namespace
+
+CsrMatrix
+spgemm(const CsrMatrix &a, const CsrMatrix &b)
+{
+    MPS_CHECK(a.cols() == b.rows(), "SpGEMM inner dimensions differ: ",
+              a.cols(), " vs ", b.rows());
+    SparseAccumulator spa(b.cols());
+    std::vector<index_t> cols;
+    std::vector<value_t> vals;
+    std::vector<index_t> row_sizes(static_cast<size_t>(a.rows()), 0);
+    spgemm_rows(a, b, 0, a.rows(), spa, cols, vals, row_sizes);
+
+    std::vector<index_t> row_ptr(static_cast<size_t>(a.rows()) + 1, 0);
+    for (index_t r = 0; r < a.rows(); ++r)
+        row_ptr[static_cast<size_t>(r) + 1] =
+            row_ptr[static_cast<size_t>(r)] +
+            row_sizes[static_cast<size_t>(r)];
+    return CsrMatrix(a.rows(), b.cols(), std::move(row_ptr),
+                     std::move(cols), std::move(vals));
+}
+
+CsrMatrix
+spgemm_parallel(const CsrMatrix &a, const CsrMatrix &b, ThreadPool &pool)
+{
+    MPS_CHECK(a.cols() == b.rows(), "SpGEMM inner dimensions differ: ",
+              a.cols(), " vs ", b.rows());
+    if (a.rows() == 0)
+        return CsrMatrix(0, b.cols(), {0}, {}, {});
+
+    const index_t chunk_rows = 256;
+    const size_t chunks =
+        (static_cast<size_t>(a.rows()) + chunk_rows - 1) / chunk_rows;
+    std::vector<std::vector<index_t>> chunk_cols(chunks);
+    std::vector<std::vector<value_t>> chunk_vals(chunks);
+    std::vector<index_t> chunk_first(chunks), chunk_last(chunks);
+    std::vector<index_t> row_sizes(static_cast<size_t>(a.rows()), 0);
+
+    pool.parallel_for(chunks, [&](uint64_t c) {
+        index_t begin = static_cast<index_t>(c) * chunk_rows;
+        index_t end = std::min<index_t>(begin + chunk_rows, a.rows());
+        chunk_first[c] = begin;
+        chunk_last[c] = end - 1;
+        SparseAccumulator spa(b.cols());
+        spgemm_rows(a, b, begin, end, spa, chunk_cols[c], chunk_vals[c],
+                    row_sizes);
+    });
+    return assemble(a.rows(), b.cols(), row_sizes, chunk_cols,
+                    chunk_vals, chunk_first, chunk_last);
+}
+
+void
+sparse_dense_matmul(const CsrMatrix &x, const DenseMatrix &w,
+                    DenseMatrix &out, ThreadPool &pool)
+{
+    MPS_CHECK(x.cols() == w.rows(), "inner dimensions differ: ", x.cols(),
+              " vs ", w.rows());
+    MPS_CHECK(out.rows() == x.rows() && out.cols() == w.cols(),
+              "output must be ", x.rows(), "x", w.cols());
+    const index_t dim = w.cols();
+    const index_t chunk_rows = 128;
+    const uint64_t chunks =
+        (static_cast<uint64_t>(x.rows()) + chunk_rows - 1) / chunk_rows;
+    pool.parallel_for(chunks, [&](uint64_t c) {
+        index_t begin = static_cast<index_t>(c) * chunk_rows;
+        index_t end = std::min<index_t>(begin + chunk_rows, x.rows());
+        for (index_t r = begin; r < end; ++r) {
+            value_t *orow = out.row(r);
+            for (index_t d = 0; d < dim; ++d)
+                orow[d] = 0.0f;
+            for (index_t k = x.row_begin(r); k < x.row_end(r); ++k) {
+                const value_t xv = x.values()[k];
+                const value_t *wrow = w.row(x.col_idx()[k]);
+                for (index_t d = 0; d < dim; ++d)
+                    orow[d] += xv * wrow[d];
+            }
+        }
+    });
+}
+
+CsrMatrix
+prune(const CsrMatrix &m, value_t threshold)
+{
+    std::vector<index_t> row_ptr(static_cast<size_t>(m.rows()) + 1, 0);
+    std::vector<index_t> cols;
+    std::vector<value_t> vals;
+    cols.reserve(static_cast<size_t>(m.nnz()));
+    vals.reserve(static_cast<size_t>(m.nnz()));
+    for (index_t r = 0; r < m.rows(); ++r) {
+        for (index_t k = m.row_begin(r); k < m.row_end(r); ++k) {
+            if (std::abs(m.values()[k]) > threshold) {
+                cols.push_back(m.col_idx()[k]);
+                vals.push_back(m.values()[k]);
+            }
+        }
+        row_ptr[static_cast<size_t>(r) + 1] =
+            static_cast<index_t>(cols.size());
+    }
+    return CsrMatrix(m.rows(), m.cols(), std::move(row_ptr),
+                     std::move(cols), std::move(vals));
+}
+
+CsrMatrix
+sparsify(const DenseMatrix &dense, value_t threshold)
+{
+    std::vector<index_t> row_ptr(static_cast<size_t>(dense.rows()) + 1,
+                                 0);
+    std::vector<index_t> cols;
+    std::vector<value_t> vals;
+    for (index_t r = 0; r < dense.rows(); ++r) {
+        for (index_t c = 0; c < dense.cols(); ++c) {
+            if (std::abs(dense(r, c)) > threshold) {
+                cols.push_back(c);
+                vals.push_back(dense(r, c));
+            }
+        }
+        row_ptr[static_cast<size_t>(r) + 1] =
+            static_cast<index_t>(cols.size());
+    }
+    return CsrMatrix(dense.rows(), dense.cols(), std::move(row_ptr),
+                     std::move(cols), std::move(vals));
+}
+
+DenseMatrix
+densify(const CsrMatrix &m)
+{
+    DenseMatrix dense(m.rows(), m.cols());
+    for (index_t r = 0; r < m.rows(); ++r) {
+        for (index_t k = m.row_begin(r); k < m.row_end(r); ++k)
+            dense(r, m.col_idx()[k]) += m.values()[k];
+    }
+    return dense;
+}
+
+} // namespace mps

@@ -1,0 +1,193 @@
+#include "mps/util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+FlagParser::FlagParser(std::string description)
+    : description_(std::move(description))
+{
+    add_bool("help", false, "print this help text and exit");
+}
+
+void
+FlagParser::add_int(const std::string &name, int64_t def,
+                    const std::string &help)
+{
+    Flag f;
+    f.type = Type::kInt;
+    f.help = help;
+    f.int_val = def;
+    flags_[name] = std::move(f);
+}
+
+void
+FlagParser::add_double(const std::string &name, double def,
+                       const std::string &help)
+{
+    Flag f;
+    f.type = Type::kDouble;
+    f.help = help;
+    f.double_val = def;
+    flags_[name] = std::move(f);
+}
+
+void
+FlagParser::add_string(const std::string &name, const std::string &def,
+                       const std::string &help)
+{
+    Flag f;
+    f.type = Type::kString;
+    f.help = help;
+    f.string_val = def;
+    flags_[name] = std::move(f);
+}
+
+void
+FlagParser::add_bool(const std::string &name, bool def,
+                     const std::string &help)
+{
+    Flag f;
+    f.type = Type::kBool;
+    f.help = help;
+    f.bool_val = def;
+    flags_[name] = std::move(f);
+}
+
+void
+FlagParser::set_from_string(Flag &flag, const std::string &name,
+                            const std::string &value)
+{
+    try {
+        switch (flag.type) {
+          case Type::kInt:
+            flag.int_val = std::stoll(value);
+            break;
+          case Type::kDouble:
+            flag.double_val = std::stod(value);
+            break;
+          case Type::kString:
+            flag.string_val = value;
+            break;
+          case Type::kBool:
+            if (value == "true" || value == "1") {
+                flag.bool_val = true;
+            } else if (value == "false" || value == "0") {
+                flag.bool_val = false;
+            } else {
+                fatal("flag --" + name + ": bad bool value '" + value + "'");
+            }
+            break;
+        }
+    } catch (const std::exception &) {
+        fatal("flag --" + name + ": bad value '" + value + "'");
+    }
+}
+
+void
+FlagParser::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string name = body;
+        std::string value;
+        bool has_value = false;
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+            has_value = true;
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end())
+            fatal("unknown flag --" + name + "\n" + usage(argv[0]));
+        Flag &flag = it->second;
+        if (!has_value) {
+            if (flag.type == Type::kBool) {
+                flag.bool_val = true;
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+                set_from_string(flag, name, value);
+            } else {
+                fatal("flag --" + name + " expects a value");
+            }
+        } else {
+            set_from_string(flag, name, value);
+        }
+    }
+    if (get_bool("help")) {
+        std::printf("%s", usage(argv[0]).c_str());
+        std::exit(0);
+    }
+}
+
+const FlagParser::Flag &
+FlagParser::find(const std::string &name, Type type) const
+{
+    auto it = flags_.find(name);
+    MPS_CHECK(it != flags_.end(), "flag not registered: ", name);
+    MPS_CHECK(it->second.type == type, "flag type mismatch: ", name);
+    return it->second;
+}
+
+int64_t
+FlagParser::get_int(const std::string &name) const
+{
+    return find(name, Type::kInt).int_val;
+}
+
+double
+FlagParser::get_double(const std::string &name) const
+{
+    return find(name, Type::kDouble).double_val;
+}
+
+const std::string &
+FlagParser::get_string(const std::string &name) const
+{
+    return find(name, Type::kString).string_val;
+}
+
+bool
+FlagParser::get_bool(const std::string &name) const
+{
+    return find(name, Type::kBool).bool_val;
+}
+
+std::string
+FlagParser::usage(const std::string &prog) const
+{
+    std::ostringstream os;
+    os << description_ << "\n\nusage: " << prog << " [flags]\n";
+    for (const auto &[name, flag] : flags_) {
+        os << "  --" << name;
+        switch (flag.type) {
+          case Type::kInt:
+            os << "=<int>      (default " << flag.int_val << ")";
+            break;
+          case Type::kDouble:
+            os << "=<float>    (default " << flag.double_val << ")";
+            break;
+          case Type::kString:
+            os << "=<string>   (default '" << flag.string_val << "')";
+            break;
+          case Type::kBool:
+            os << "             (default "
+               << (flag.bool_val ? "true" : "false") << ")";
+            break;
+        }
+        os << "\n      " << flag.help << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mps

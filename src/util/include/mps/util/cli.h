@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the bench/example binaries.
+ *
+ * Flags take the form --name=value or --name value; bools may be given as
+ * a bare --name. Unknown flags are fatal so typos never silently change an
+ * experiment.
+ */
+#ifndef MPS_UTIL_CLI_H
+#define MPS_UTIL_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mps {
+
+/** Declarative flag registry + parser. */
+class FlagParser
+{
+  public:
+    /** @param description one-line program description shown in --help. */
+    explicit FlagParser(std::string description);
+
+    /** Register an int64 flag with a default value and help text. */
+    void add_int(const std::string &name, int64_t def,
+                 const std::string &help);
+
+    /** Register a double flag. */
+    void add_double(const std::string &name, double def,
+                    const std::string &help);
+
+    /** Register a string flag. */
+    void add_string(const std::string &name, const std::string &def,
+                    const std::string &help);
+
+    /** Register a bool flag (default false unless stated). */
+    void add_bool(const std::string &name, bool def,
+                  const std::string &help);
+
+    /**
+     * Parse argv. Exits(0) after printing usage when --help is present;
+     * fatal() on unknown flags or malformed values.
+     */
+    void parse(int argc, char **argv);
+
+    int64_t get_int(const std::string &name) const;
+    double get_double(const std::string &name) const;
+    const std::string &get_string(const std::string &name) const;
+    bool get_bool(const std::string &name) const;
+
+    /** Positional (non-flag) arguments, in order. */
+    const std::vector<std::string> &positional() const {
+        return positional_;
+    }
+
+    /** Render usage text. */
+    std::string usage(const std::string &prog) const;
+
+  private:
+    enum class Type { kInt, kDouble, kString, kBool };
+    struct Flag
+    {
+        Type type;
+        std::string help;
+        int64_t int_val = 0;
+        double double_val = 0.0;
+        std::string string_val;
+        bool bool_val = false;
+    };
+
+    const Flag &find(const std::string &name, Type type) const;
+    void set_from_string(Flag &flag, const std::string &name,
+                         const std::string &value);
+
+    std::string description_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace mps
+
+#endif // MPS_UTIL_CLI_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Lightweight logging, panic and fatal-error helpers.
+ *
+ * Semantics follow the gem5 convention:
+ *  - panic():  an internal invariant was violated (a bug in this library);
+ *              aborts so a debugger or core dump can capture the state.
+ *  - fatal():  the caller/user supplied an impossible configuration; exits
+ *              with a non-zero status after printing the message.
+ *  - warn()/inform(): advisory messages that never stop execution.
+ */
+#ifndef MPS_UTIL_LOG_H
+#define MPS_UTIL_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace mps {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kSilent = 4,
+};
+
+/** Set the global minimum level that is actually printed. */
+void set_log_level(LogLevel level);
+
+/** Current global minimum level. */
+LogLevel log_level();
+
+/** Emit one log line (used by the convenience wrappers below). */
+void log_message(LogLevel level, const std::string &msg);
+
+/** Advisory message about normal operation. */
+void inform(const std::string &msg);
+
+/** Advisory message about suspicious-but-survivable conditions. */
+void warn(const std::string &msg);
+
+/** Internal invariant violated: print and abort(). */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Unrecoverable user/configuration error: print and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+namespace detail {
+
+/** Builds a message from stream-style arguments. */
+template <typename... Args>
+std::string
+format_parts(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Check an internal invariant; panics with file/line context on failure.
+ * Active in all build types (unlike assert()).
+ */
+#define MPS_CHECK(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::mps::panic(::mps::detail::format_parts(                        \
+                __FILE__, ":", __LINE__, ": check failed: ", #cond, ": ",    \
+                ##__VA_ARGS__));                                             \
+        }                                                                    \
+    } while (0)
+
+} // namespace mps
+
+#endif // MPS_UTIL_LOG_H

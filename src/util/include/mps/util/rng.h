@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generators.
+ *
+ * All stochastic behaviour in the library (graph generation, test inputs)
+ * goes through these generators so every experiment is reproducible from a
+ * seed. SplitMix64 is used for seeding / hashing; Pcg32 is the workhorse
+ * stream generator.
+ */
+#ifndef MPS_UTIL_RNG_H
+#define MPS_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace mps {
+
+/** Mix a 64-bit value (SplitMix64 finalizer); good seed expander. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * PCG32 (O'Neill): small, fast, statistically solid 32-bit generator with
+ * 64-bit state and stream selection. Deterministic across platforms.
+ */
+class Pcg32
+{
+  public:
+    /** Construct from a seed and an optional independent stream id. */
+    explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                   uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (stream << 1) | 1u;
+        next_u32();
+        state_ += seed;
+        next_u32();
+    }
+
+    /** Next raw 32-bit value. */
+    uint32_t
+    next_u32()
+    {
+        uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        uint32_t xorshifted =
+            static_cast<uint32_t>(((old >> 18) ^ old) >> 27);
+        uint32_t rot = static_cast<uint32_t>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31));
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next_u64()
+    {
+        return (static_cast<uint64_t>(next_u32()) << 32) | next_u32();
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. Unbiased. */
+    uint32_t
+    next_below(uint32_t bound)
+    {
+        // Lemire-style rejection via threshold.
+        uint32_t threshold = (~bound + 1u) % bound;
+        for (;;) {
+            uint32_t r = next_u32();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    next_double()
+    {
+        return (next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    next_float(float lo, float hi)
+    {
+        return lo + static_cast<float>(next_double()) * (hi - lo);
+    }
+
+  private:
+    uint64_t state_;
+    uint64_t inc_;
+};
+
+} // namespace mps
+
+#endif // MPS_UTIL_RNG_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small statistics helpers shared by the generators, models and benches:
+ * summary statistics (mean / geomean / stddev / coefficient of variation /
+ * percentiles) and a logarithmically-binned histogram used for degree
+ * distributions (Figure 1 of the paper).
+ */
+#ifndef MPS_UTIL_STATS_H
+#define MPS_UTIL_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mps {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; all inputs must be > 0; 0 for an empty input. */
+double geomean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than 2 samples. */
+double stddev(const std::vector<double> &xs);
+
+/** Coefficient of variation (stddev / mean); 0 when mean is 0. */
+double coefficient_of_variation(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100].
+ * The input does not need to be sorted. Panics on empty input.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Histogram with power-of-two bins: bin k counts values in [2^k, 2^(k+1)),
+ * with a dedicated bin for zero. Used to show the heavy tail of graph
+ * degree distributions.
+ */
+class Log2Histogram
+{
+  public:
+    /** Add one observation. */
+    void add(uint64_t value);
+
+    /** Number of observations equal to zero. */
+    uint64_t zero_count() const { return zeros_; }
+
+    /** Count in bin k, i.e. values in [2^k, 2^(k+1)). */
+    uint64_t bin_count(int k) const;
+
+    /** Index of the highest non-empty bin; -1 when all zero/empty. */
+    int max_bin() const;
+
+    /** Total number of observations. */
+    uint64_t total() const { return total_; }
+
+    /** Render as "bin-range count" lines for console output. */
+    std::string to_string() const;
+
+  private:
+    std::vector<uint64_t> bins_;
+    uint64_t zeros_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace mps
+
+#endif // MPS_UTIL_STATS_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Console table / CSV writer used by every figure bench so the regenerated
+ * tables and series look like the paper's rows and can also be ingested by
+ * plotting scripts (--csv mode).
+ */
+#ifndef MPS_UTIL_TABLE_H
+#define MPS_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace mps {
+
+/** Aligned text table with an optional CSV rendering. */
+class Table
+{
+  public:
+    /** @param headers column titles, fixed for the table's lifetime. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add_* calls fill it left to right. */
+    void new_row();
+
+    /** Append a string cell to the current row. */
+    void add(const std::string &cell);
+
+    /** Append a formatted double cell (fixed, @p precision digits). */
+    void add(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    void add_int(long long value);
+
+    /** Number of completed or in-progress rows. */
+    size_t num_rows() const { return rows_.size(); }
+
+    /** Render with padded columns and a separator under the header. */
+    std::string to_text() const;
+
+    /** Render as CSV (header row first). */
+    std::string to_csv() const;
+
+    /** Print to stdout in text or CSV form. */
+    void print(bool csv = false) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for ad-hoc output). */
+std::string format_double(double value, int precision = 3);
+
+} // namespace mps
+
+#endif // MPS_UTIL_TABLE_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Monotonic wall-clock timer for host-side measurements (e.g. schedule
+ * construction cost in the online-execution experiment, Figure 8).
+ */
+#ifndef MPS_UTIL_TIMER_H
+#define MPS_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace mps {
+
+/** Steady-clock stopwatch; starts on construction. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction / last reset. */
+    double
+    elapsed_seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Microseconds elapsed since construction / last reset. */
+    double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace mps
+
+#endif // MPS_UTIL_TIMER_H

@@ -1,0 +1,77 @@
+#include "mps/util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace mps {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char *
+level_tag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo:  return "info";
+      case LogLevel::kWarn:  return "warn";
+      case LogLevel::kError: return "error";
+      case LogLevel::kSilent: return "silent";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+log_level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+log_message(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(log_level()))
+        return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[mps:%s] %s\n", level_tag(level), msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    log_message(LogLevel::kInfo, msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    log_message(LogLevel::kWarn, msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "[mps:panic] %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "[mps:fatal] %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace mps

@@ -1,0 +1,117 @@
+#include "mps/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        MPS_CHECK(x > 0.0, "geomean requires positive inputs, got ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+coefficient_of_variation(const std::vector<double> &xs)
+{
+    double m = mean(xs);
+    if (m == 0.0)
+        return 0.0;
+    return stddev(xs) / m;
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    MPS_CHECK(!xs.empty(), "percentile of empty vector");
+    MPS_CHECK(p >= 0.0 && p <= 100.0, "percentile p out of range: ", p);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+void
+Log2Histogram::add(uint64_t value)
+{
+    ++total_;
+    if (value == 0) {
+        ++zeros_;
+        return;
+    }
+    int k = 63 - __builtin_clzll(value);
+    if (bins_.size() <= static_cast<size_t>(k))
+        bins_.resize(static_cast<size_t>(k) + 1, 0);
+    ++bins_[static_cast<size_t>(k)];
+}
+
+uint64_t
+Log2Histogram::bin_count(int k) const
+{
+    if (k < 0 || static_cast<size_t>(k) >= bins_.size())
+        return 0;
+    return bins_[static_cast<size_t>(k)];
+}
+
+int
+Log2Histogram::max_bin() const
+{
+    for (int k = static_cast<int>(bins_.size()) - 1; k >= 0; --k) {
+        if (bins_[static_cast<size_t>(k)] != 0)
+            return k;
+    }
+    return -1;
+}
+
+std::string
+Log2Histogram::to_string() const
+{
+    std::ostringstream os;
+    if (zeros_ != 0)
+        os << "[0]        " << zeros_ << "\n";
+    for (int k = 0; k <= max_bin(); ++k) {
+        uint64_t lo = 1ULL << k;
+        uint64_t hi = (1ULL << (k + 1)) - 1;
+        os << "[" << lo << ", " << hi << "]  " << bin_count(k) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mps

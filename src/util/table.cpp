@@ -1,0 +1,117 @@
+#include "mps/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+std::string
+format_double(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    MPS_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::new_row()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::add(const std::string &cell)
+{
+    MPS_CHECK(!rows_.empty(), "call new_row() before add()");
+    MPS_CHECK(rows_.back().size() < headers_.size(),
+              "row has more cells than headers");
+    rows_.back().push_back(cell);
+}
+
+void
+Table::add(double value, int precision)
+{
+    add(format_double(value, precision));
+}
+
+void
+Table::add_int(long long value)
+{
+    add(std::to_string(value));
+}
+
+std::string
+Table::to_text() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            std::string cell = c < cells.size() ? cells[c] : "";
+            os << cell;
+            if (c + 1 < headers_.size())
+                os << std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+Table::to_csv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream os;
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << quote(headers_[c]);
+    os << "\n";
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < headers_.size(); ++c)
+            os << (c ? "," : "") << (c < row.size() ? quote(row[c]) : "");
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+Table::print(bool csv) const
+{
+    std::string out = csv ? to_csv() : to_text();
+    std::fputs(out.c_str(), stdout);
+}
+
+} // namespace mps

@@ -1,0 +1,96 @@
+#include "mps/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max(2u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    uint64_t seen_epoch = 0;
+    for (;;) {
+        const std::function<void(uint64_t)> *fn = nullptr;
+        uint64_t n = 0;
+        uint64_t grain = 1;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return shutdown_ || job_epoch_ != seen_epoch;
+            });
+            if (shutdown_)
+                return;
+            seen_epoch = job_epoch_;
+            fn = job_fn_;
+            n = job_n_;
+            grain = job_grain_;
+        }
+        for (;;) {
+            uint64_t begin = next_index_.fetch_add(
+                grain, std::memory_order_relaxed);
+            if (begin >= n)
+                break;
+            uint64_t end = std::min(begin + grain, n);
+            for (uint64_t i = begin; i < end; ++i)
+                (*fn)(i);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--active_workers_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallel_for(uint64_t n,
+                         const std::function<void(uint64_t)> &fn,
+                         uint64_t grain)
+{
+    if (n == 0)
+        return;
+    MPS_CHECK(grain >= 1, "grain must be >= 1");
+    std::unique_lock<std::mutex> lock(mutex_);
+    MPS_CHECK(job_fn_ == nullptr, "nested parallel_for is not supported");
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_grain_ = grain;
+    next_index_.store(0, std::memory_order_relaxed);
+    active_workers_ = static_cast<unsigned>(workers_.size());
+    ++job_epoch_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    job_fn_ = nullptr;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace mps

@@ -1,0 +1,81 @@
+/** Tests for the AWB-GCN accelerator model. */
+#include <gtest/gtest.h>
+
+#include "mps/accel/awb_gcn.h"
+#include "mps/sparse/datasets.h"
+#include "mps/sparse/generate.h"
+
+namespace mps {
+namespace {
+
+TEST(AwbGcn, UniformGraphReachesNearIdealUtilization)
+{
+    CsrMatrix a = erdos_renyi_graph(20000, 100000, 3);
+    AwbGcnResult r = simulate_awb_gcn(a, 16);
+    EXPECT_GT(r.utilization, 0.6); // default (bounded) tuner budget
+    EXPECT_NEAR(r.ideal_load, 100000.0 * 16 / 4096, 1e-6);
+    EXPECT_GE(r.balanced_load, r.ideal_load);
+
+    // A generous tuner budget converges close to the ideal balance.
+    AwbGcnConfig generous;
+    generous.autotune_rounds = 64;
+    generous.moves_per_round = 64;
+    AwbGcnResult tuned = simulate_awb_gcn(a, 16, generous);
+    EXPECT_GT(tuned.utilization, 0.85);
+}
+
+TEST(AwbGcn, AutoTunerImprovesOverStaticAssignment)
+{
+    CsrMatrix a = make_dataset("Nell");
+    AwbGcnConfig with;
+    AwbGcnConfig without = with;
+    without.autotune_rounds = 0;
+    AwbGcnResult tuned = simulate_awb_gcn(a, 16, with);
+    AwbGcnResult untuned = simulate_awb_gcn(a, 16, without);
+    EXPECT_LT(tuned.balanced_load, untuned.balanced_load);
+    EXPECT_GT(tuned.adjustments, 0);
+    EXPECT_EQ(untuned.adjustments, 0);
+}
+
+TEST(AwbGcn, EvilRowFloorLimitsBalance)
+{
+    // One row dominates: even a perfect tuner cannot spread a single
+    // row over more than max_pes_per_row PEs.
+    CsrMatrix a = make_dataset("Nell"); // max degree 4549
+    AwbGcnConfig cfg;
+    AwbGcnResult r = simulate_awb_gcn(a, 16, cfg);
+    double floor = 4549.0 * 16 / cfg.max_pes_per_row;
+    EXPECT_GE(r.balanced_load, floor * 0.999);
+    EXPECT_LT(r.utilization, 0.5) << "Nell must stay under-utilized";
+}
+
+TEST(AwbGcn, CyclesScaleWithDimension)
+{
+    CsrMatrix a = make_dataset("Cora");
+    AwbGcnResult d16 = simulate_awb_gcn(a, 16);
+    AwbGcnResult d64 = simulate_awb_gcn(a, 64);
+    EXPECT_GT(d64.balanced_load, d16.balanced_load * 3.5);
+}
+
+TEST(AwbGcn, MicrosecondsUseAcceleratorClock)
+{
+    CsrMatrix a = make_dataset("Citeseer");
+    AwbGcnConfig cfg;
+    AwbGcnResult r = simulate_awb_gcn(a, 16, cfg);
+    EXPECT_NEAR(r.microseconds, r.cycles / (cfg.clock_ghz * 1e3), 1e-9);
+    EXPECT_GT(r.microseconds, 0.0);
+}
+
+TEST(AwbGcn, EmptyGraph)
+{
+    CsrMatrix a(10, 10, std::vector<index_t>(11, 0), {}, {});
+    AwbGcnResult r = simulate_awb_gcn(a, 16);
+    EXPECT_DOUBLE_EQ(r.balanced_load, 0.0);
+    AwbGcnConfig cfg;
+    // Only the fixed overhead plus a few cycles of (empty) operand
+    // streaming remain.
+    EXPECT_NEAR(r.cycles, cfg.fixed_overhead_cycles, 10.0);
+}
+
+} // namespace
+} // namespace mps

@@ -1,0 +1,241 @@
+/** Tests for the GNN aggregators and the SAGE/GIN layers. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mps/core/spmv.h"
+#include "mps/gcn/aggregators.h"
+#include "mps/gcn/gemm.h"
+#include "mps/gcn/gnn_layers.h"
+#include "mps/gcn/layer.h"
+#include "mps/sparse/generate.h"
+#include "mps/util/rng.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+namespace {
+
+/** Naive reference aggregators for differential testing. */
+void
+naive_sum(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out)
+{
+    out.fill(0.0f);
+    for (index_t r = 0; r < a.rows(); ++r) {
+        for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+            const value_t *hrow = h.row(a.col_idx()[k]);
+            for (index_t d = 0; d < h.cols(); ++d)
+                out(r, d) += hrow[d];
+        }
+    }
+}
+
+void
+naive_max(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out)
+{
+    for (index_t r = 0; r < a.rows(); ++r) {
+        for (index_t d = 0; d < h.cols(); ++d) {
+            value_t best = 0.0f;
+            bool any = false;
+            for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+                value_t v = h(a.col_idx()[k], d);
+                best = any ? std::max(best, v) : v;
+                any = true;
+            }
+            out(r, d) = any ? best : 0.0f;
+        }
+    }
+}
+
+struct Fixture
+{
+    CsrMatrix a;
+    DenseMatrix h;
+    MergePathSchedule sched;
+    ThreadPool pool{4};
+
+    explicit Fixture(uint64_t seed = 3, index_t threads = 97)
+    {
+        PowerLawParams p;
+        p.nodes = 250;
+        p.target_nnz = 1500;
+        p.max_degree = 200;
+        p.seed = seed;
+        a = power_law_graph(p);
+        h = DenseMatrix(a.rows(), 8);
+        Pcg32 rng(seed);
+        h.fill_random(rng);
+        sched = MergePathSchedule::build(a, threads);
+    }
+};
+
+TEST(Aggregators, SumMatchesNaive)
+{
+    Fixture f;
+    DenseMatrix expect(f.a.rows(), 8), got(f.a.rows(), 8);
+    naive_sum(f.a, f.h, expect);
+    aggregate_sum(f.a, f.h, got, f.sched, f.pool);
+    EXPECT_TRUE(got.approx_equal(expect, 1e-3, 1e-4));
+}
+
+TEST(Aggregators, MeanDividesByDegree)
+{
+    Fixture f;
+    DenseMatrix sum(f.a.rows(), 8), mean(f.a.rows(), 8);
+    naive_sum(f.a, f.h, sum);
+    aggregate_mean(f.a, f.h, mean, f.sched, f.pool);
+    for (index_t r = 0; r < f.a.rows(); ++r) {
+        value_t inv = 1.0f / std::max<value_t>(f.a.degree(r), 1.0f);
+        for (index_t d = 0; d < 8; ++d)
+            ASSERT_NEAR(mean(r, d), sum(r, d) * inv, 1e-3)
+                << "row " << r;
+    }
+}
+
+TEST(Aggregators, MaxMatchesNaiveIncludingSplitRows)
+{
+    // Many threads on a small graph forces split rows through the
+    // atomic-max commit path.
+    Fixture f(5, 700);
+    DenseMatrix expect(f.a.rows(), 8), got(f.a.rows(), 8);
+    naive_max(f.a, f.h, expect);
+    aggregate_max(f.a, f.h, got, f.sched, f.pool);
+    EXPECT_TRUE(got.approx_equal(expect, 1e-4, 1e-5));
+}
+
+TEST(Aggregators, MaxHandlesEmptyRows)
+{
+    CsrMatrix a(3, 3, {0, 1, 1, 2}, {2, 0}, {1.0f, 1.0f});
+    DenseMatrix h(3, 2);
+    h(0, 0) = -5.0f;
+    h(2, 1) = -1.0f;
+    MergePathSchedule sched = MergePathSchedule::build(a, 2);
+    ThreadPool pool(2);
+    DenseMatrix out(3, 2);
+    aggregate_max(a, h, out, sched, pool);
+    // Row 1 has no neighbors: defined as 0.
+    EXPECT_FLOAT_EQ(out(1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out(1, 1), 0.0f);
+    // Row 0's only neighbor is node 2 (negative values preserved).
+    EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out(0, 1), -1.0f);
+}
+
+TEST(Aggregators, GinAddsScaledSelf)
+{
+    Fixture f;
+    const float eps = 0.25f;
+    DenseMatrix sum(f.a.rows(), 8), gin(f.a.rows(), 8);
+    naive_sum(f.a, f.h, sum);
+    aggregate_gin(f.a, f.h, gin, f.sched, f.pool, eps);
+    for (index_t r = 0; r < f.a.rows(); ++r) {
+        for (index_t d = 0; d < 8; ++d) {
+            ASSERT_NEAR(gin(r, d),
+                        sum(r, d) + (1.0f + eps) * f.h(r, d), 2e-3);
+        }
+    }
+}
+
+TEST(Aggregators, ParallelRepeatable)
+{
+    Fixture f(7, 500);
+    DenseMatrix first(f.a.rows(), 8);
+    aggregate_sum(f.a, f.h, first, f.sched, f.pool);
+    for (int run = 0; run < 3; ++run) {
+        DenseMatrix again(f.a.rows(), 8);
+        aggregate_sum(f.a, f.h, again, f.sched, f.pool);
+        ASSERT_TRUE(again.approx_equal(first, 1e-3, 1e-4));
+    }
+}
+
+TEST(SageLayer, MatchesManualComposition)
+{
+    Fixture f;
+    DenseMatrix w_self = random_layer_weights(8, 6, 1);
+    DenseMatrix w_neigh = random_layer_weights(8, 6, 2);
+    SageLayer layer(w_self, w_neigh, Activation::kRelu);
+    EXPECT_EQ(layer.in_features(), 8);
+    EXPECT_EQ(layer.out_features(), 6);
+
+    DenseMatrix out(f.a.rows(), 6);
+    layer.forward(f.a, f.h, f.sched, out, f.pool);
+
+    DenseMatrix mean(f.a.rows(), 8);
+    aggregate_mean(f.a, f.h, mean, f.sched, f.pool);
+    DenseMatrix p1(f.a.rows(), 6), p2(f.a.rows(), 6);
+    reference_gemm(f.h, w_self, p1);
+    reference_gemm(mean, w_neigh, p2);
+    DenseMatrix expect(f.a.rows(), 6);
+    for (index_t r = 0; r < f.a.rows(); ++r) {
+        for (index_t d = 0; d < 6; ++d)
+            expect(r, d) = std::max(0.0f, p1(r, d) + p2(r, d));
+    }
+    EXPECT_TRUE(out.approx_equal(expect, 1e-3, 1e-3));
+}
+
+TEST(GinLayer, MatchesManualComposition)
+{
+    Fixture f;
+    DenseMatrix w = random_layer_weights(8, 5, 3);
+    GinLayer layer(w, 0.1f, Activation::kNone);
+    DenseMatrix out(f.a.rows(), 5);
+    layer.forward(f.a, f.h, f.sched, out, f.pool);
+
+    DenseMatrix agg(f.a.rows(), 8);
+    aggregate_gin(f.a, f.h, agg, f.sched, f.pool, 0.1f);
+    DenseMatrix expect(f.a.rows(), 5);
+    reference_gemm(agg, w, expect);
+    EXPECT_TRUE(out.approx_equal(expect, 1e-3, 1e-3));
+}
+
+TEST(SageLayerDeathTest, MismatchedWeights)
+{
+    EXPECT_DEATH(SageLayer(random_layer_weights(8, 6, 1),
+                           random_layer_weights(8, 4, 2),
+                           Activation::kNone),
+                 "identical shapes");
+}
+
+TEST(Spmv, MergePathMatchesReference)
+{
+    PowerLawParams p;
+    p.nodes = 400;
+    p.target_nnz = 2500;
+    p.max_degree = 350;
+    p.seed = 9;
+    CsrMatrix a = power_law_graph(p);
+    std::vector<value_t> x(static_cast<size_t>(a.cols()));
+    Pcg32 rng(4);
+    for (auto &v : x)
+        v = rng.next_float(-1.0f, 1.0f);
+
+    std::vector<value_t> expect;
+    reference_spmv(a, x, expect);
+
+    ThreadPool pool(4);
+    for (index_t threads : {1, 13, 200, 1500}) {
+        MergePathSchedule sched = MergePathSchedule::build(a, threads);
+        std::vector<value_t> got;
+        mergepath_spmv(a, x, got, sched, pool);
+        ASSERT_EQ(got.size(), expect.size());
+        for (size_t i = 0; i < got.size(); ++i)
+            ASSERT_NEAR(got[i], expect[i], 1e-3) << "threads " << threads;
+    }
+}
+
+TEST(Spmv, EmptyRowsYieldZero)
+{
+    CsrMatrix a(4, 4, {0, 0, 2, 2, 2}, {0, 3}, {2.0f, 3.0f});
+    std::vector<value_t> x{1.0f, 1.0f, 1.0f, 1.0f};
+    std::vector<value_t> y;
+    ThreadPool pool(2);
+    MergePathSchedule sched = MergePathSchedule::build(a, 3);
+    mergepath_spmv(a, x, y, sched, pool);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 5.0f);
+    EXPECT_FLOAT_EQ(y[2], 0.0f);
+    EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+} // namespace
+} // namespace mps

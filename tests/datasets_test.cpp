@@ -1,0 +1,133 @@
+/** Tests for the Table II dataset registry. */
+#include <gtest/gtest.h>
+
+#include "mps/sparse/datasets.h"
+#include "mps/sparse/degree_stats.h"
+
+namespace mps {
+namespace {
+
+TEST(Datasets, RegistryHasAll23TableIIGraphs)
+{
+    const auto &specs = all_dataset_specs();
+    ASSERT_EQ(specs.size(), 23u);
+    int power_law = 0, structured = 0;
+    for (const auto &s : specs) {
+        (s.type == GraphType::kPowerLaw ? power_law : structured) += 1;
+    }
+    EXPECT_EQ(power_law, 17);
+    EXPECT_EQ(structured, 6);
+}
+
+TEST(Datasets, SpecsMatchPaperNumbers)
+{
+    const auto &cora = find_dataset_spec("Cora");
+    EXPECT_EQ(cora.nodes, 2708);
+    EXPECT_EQ(cora.nnz, 10556);
+    EXPECT_EQ(cora.max_degree, 168);
+
+    const auto &nell = find_dataset_spec("Nell");
+    EXPECT_EQ(nell.nodes, 65755);
+    EXPECT_EQ(nell.nnz, 251550);
+    EXPECT_EQ(nell.max_degree, 4549);
+
+    const auto &yeast = find_dataset_spec("Yeast");
+    EXPECT_EQ(yeast.type, GraphType::kStructured);
+    EXPECT_EQ(yeast.nodes, 1710902);
+}
+
+TEST(Datasets, AvgDegreeConsistentWithCounts)
+{
+    for (const auto &s : all_dataset_specs()) {
+        double avg = static_cast<double>(s.nnz) / s.nodes;
+        // Published averages are rounded to one decimal (Pubmed's true
+        // ratio is 5.03, printed as 5.1).
+        EXPECT_NEAR(avg, s.avg_degree, 0.08)
+            << s.name << ": published avg degree inconsistent";
+    }
+}
+
+TEST(DatasetsDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(find_dataset_spec("NotAGraph"),
+                testing::ExitedWithCode(1), "unknown dataset");
+}
+
+TEST(Datasets, CoraGeneratesWithExactPublishedStats)
+{
+    CsrMatrix m = make_dataset("Cora");
+    m.validate();
+    const auto &spec = find_dataset_spec("Cora");
+    EXPECT_EQ(m.rows(), spec.nodes);
+    EXPECT_EQ(m.nnz(), spec.nnz);
+    DegreeStats s = compute_degree_stats(m);
+    EXPECT_EQ(s.max_degree, spec.max_degree);
+}
+
+TEST(Datasets, CiteseerGeneratesWithExactPublishedStats)
+{
+    CsrMatrix m = make_dataset("Citeseer");
+    const auto &spec = find_dataset_spec("Citeseer");
+    EXPECT_EQ(m.rows(), spec.nodes);
+    EXPECT_EQ(m.nnz(), spec.nnz);
+    EXPECT_EQ(compute_degree_stats(m).max_degree, spec.max_degree);
+}
+
+TEST(Datasets, StructuredProteinsMatchesStats)
+{
+    CsrMatrix m = make_dataset("PROTEINS_full");
+    const auto &spec = find_dataset_spec("PROTEINS_full");
+    EXPECT_EQ(m.rows(), spec.nodes);
+    EXPECT_EQ(m.nnz(), spec.nnz);
+    DegreeStats s = compute_degree_stats(m);
+    EXPECT_EQ(s.max_degree, spec.max_degree);
+    EXPECT_LT(s.degree_cv, 0.6);
+}
+
+TEST(Datasets, GenerationIsDeterministicPerName)
+{
+    CsrMatrix a = make_dataset("Wiki-Vote");
+    CsrMatrix b = make_dataset("Wiki-Vote");
+    EXPECT_EQ(a.row_ptr(), b.row_ptr());
+    EXPECT_EQ(a.col_idx(), b.col_idx());
+}
+
+TEST(Datasets, DifferentNamesDiffer)
+{
+    CsrMatrix a = make_dataset("Cora");
+    CsrMatrix b = make_dataset("Citeseer");
+    EXPECT_NE(a.nnz(), b.nnz());
+}
+
+/** Scaled stand-ins must be feasible and preserve the graph family. */
+class ScaledDatasetTest : public testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ScaledDatasetTest, ScaledVersionIsValidAndTyped)
+{
+    const auto &spec = all_dataset_specs()[GetParam()];
+    CsrMatrix m = make_scaled_dataset(spec, 64);
+    m.validate();
+    EXPECT_GE(m.rows(), 16);
+    EXPECT_LE(m.rows(), spec.nodes);
+    DegreeStats s = compute_degree_stats(m);
+    if (spec.type == GraphType::kPowerLaw && m.rows() > 1000) {
+        EXPECT_GT(s.degree_cv, 0.5) << spec.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, ScaledDatasetTest,
+                         testing::Range<size_t>(0, 23),
+                         [](const testing::TestParamInfo<size_t> &p) {
+                             std::string n =
+                                 all_dataset_specs()[p.param].name;
+                             for (char &c : n) {
+                                 if (!isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+} // namespace
+} // namespace mps

@@ -1,0 +1,253 @@
+/** Tests for GEMM, activations, GCN layers and the model. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mps/gcn/activation.h"
+#include "mps/gcn/gemm.h"
+#include "mps/gcn/layer.h"
+#include "mps/gcn/model.h"
+#include "mps/core/spmm.h"
+#include "mps/kernels/registry.h"
+#include "mps/sparse/generate.h"
+#include "mps/util/rng.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+namespace {
+
+DenseMatrix
+random_dense(index_t rows, index_t cols, uint64_t seed)
+{
+    DenseMatrix m(rows, cols);
+    Pcg32 rng(seed);
+    m.fill_random(rng);
+    return m;
+}
+
+TEST(Gemm, HandExample)
+{
+    DenseMatrix x(2, 3), w(3, 2), out(2, 2);
+    // x = [1 2 3; 4 5 6], w = [1 0; 0 1; 1 1]
+    x(0, 0) = 1; x(0, 1) = 2; x(0, 2) = 3;
+    x(1, 0) = 4; x(1, 1) = 5; x(1, 2) = 6;
+    w(0, 0) = 1; w(1, 1) = 1; w(2, 0) = 1; w(2, 1) = 1;
+    reference_gemm(x, w, out);
+    EXPECT_FLOAT_EQ(out(0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(out(0, 1), 5.0f);
+    EXPECT_FLOAT_EQ(out(1, 0), 10.0f);
+    EXPECT_FLOAT_EQ(out(1, 1), 11.0f);
+}
+
+TEST(Gemm, ParallelMatchesReference)
+{
+    ThreadPool pool(4);
+    DenseMatrix x = random_dense(301, 47, 1);
+    DenseMatrix w = random_dense(47, 19, 2);
+    DenseMatrix expect(301, 19), got(301, 19);
+    reference_gemm(x, w, expect);
+    dense_gemm(x, w, got, pool);
+    EXPECT_TRUE(got.approx_equal(expect, 1e-4, 1e-5));
+}
+
+TEST(Gemm, SkipsZeroFeatures)
+{
+    // A zero X must give a zero product even with garbage in out.
+    ThreadPool pool(2);
+    DenseMatrix x(10, 4); // zero-initialized
+    DenseMatrix w = random_dense(4, 3, 3);
+    DenseMatrix out(10, 3);
+    out.fill(7.0f);
+    dense_gemm(x, w, out, pool);
+    for (index_t r = 0; r < 10; ++r) {
+        for (index_t c = 0; c < 3; ++c)
+            ASSERT_FLOAT_EQ(out(r, c), 0.0f);
+    }
+}
+
+TEST(GemmDeathTest, ShapeMismatch)
+{
+    DenseMatrix x(2, 3), w(4, 2), out(2, 2);
+    EXPECT_DEATH(reference_gemm(x, w, out), "inner dimensions");
+}
+
+TEST(Activation, Relu)
+{
+    DenseMatrix m(1, 4);
+    m(0, 0) = -2.0f;
+    m(0, 1) = 0.0f;
+    m(0, 2) = 3.0f;
+    m(0, 3) = -0.5f;
+    apply_activation(m, Activation::kRelu);
+    EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(m(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(m(0, 2), 3.0f);
+    EXPECT_FLOAT_EQ(m(0, 3), 0.0f);
+}
+
+TEST(Activation, Sigmoid)
+{
+    DenseMatrix m(1, 2);
+    m(0, 0) = 0.0f;
+    m(0, 1) = 100.0f;
+    apply_activation(m, Activation::kSigmoid);
+    EXPECT_FLOAT_EQ(m(0, 0), 0.5f);
+    EXPECT_NEAR(m(0, 1), 1.0f, 1e-6);
+}
+
+TEST(Activation, NoneIsIdentity)
+{
+    DenseMatrix m = random_dense(3, 3, 5);
+    DenseMatrix copy = m;
+    apply_activation(m, Activation::kNone);
+    EXPECT_DOUBLE_EQ(m.max_abs_diff(copy), 0.0);
+}
+
+TEST(Activation, Parse)
+{
+    EXPECT_EQ(parse_activation("relu"), Activation::kRelu);
+    EXPECT_EQ(parse_activation("none"), Activation::kNone);
+    EXPECT_EQ(parse_activation("sigmoid"), Activation::kSigmoid);
+    EXPECT_EXIT(parse_activation("tanh"), testing::ExitedWithCode(1),
+                "unknown activation");
+}
+
+TEST(GcnLayer, ForwardMatchesManualPipeline)
+{
+    ThreadPool pool(4);
+    CsrMatrix a = erdos_renyi_graph(120, 600, 7);
+    a.normalize_gcn();
+    DenseMatrix x = random_dense(120, 32, 8);
+    DenseMatrix w = random_dense(32, 16, 9);
+
+    GcnLayer layer(w, Activation::kRelu);
+    auto kernel = make_spmm_kernel("mergepath");
+    kernel->prepare(a, 16);
+    DenseMatrix out(120, 16);
+    layer.forward(a, x, *kernel, out, pool);
+
+    // Manual: relu(A * (X * W)) with reference kernels.
+    DenseMatrix xw(120, 16), expect(120, 16);
+    reference_gemm(x, w, xw);
+    reference_spmm(a, xw, expect);
+    apply_activation(expect, Activation::kRelu);
+    EXPECT_TRUE(out.approx_equal(expect, 1e-3, 1e-4));
+}
+
+TEST(GcnLayer, RandomWeightsDeterministicAndBounded)
+{
+    DenseMatrix w1 = random_layer_weights(64, 16, 3);
+    DenseMatrix w2 = random_layer_weights(64, 16, 3);
+    EXPECT_DOUBLE_EQ(w1.max_abs_diff(w2), 0.0);
+    float bound = std::sqrt(6.0f / (64 + 16));
+    for (index_t r = 0; r < 64; ++r) {
+        for (index_t c = 0; c < 16; ++c)
+            ASSERT_LE(std::abs(w1(r, c)), bound);
+    }
+}
+
+TEST(GcnModel, TwoLayerShapesAndDeterminism)
+{
+    ThreadPool pool(4);
+    CsrMatrix a = erdos_renyi_graph(200, 1200, 11);
+    a.normalize_gcn();
+    DenseMatrix x = random_dense(200, 48, 12);
+
+    GcnModel model = GcnModel::two_layer(48, 16, 7, 1);
+    ASSERT_EQ(model.num_layers(), 2u);
+    DenseMatrix out1 = model.infer(a, x, pool);
+    EXPECT_EQ(out1.rows(), 200);
+    EXPECT_EQ(out1.cols(), 7);
+
+    GcnModel model2 = GcnModel::two_layer(48, 16, 7, 1);
+    DenseMatrix out2 = model2.infer(a, x, pool);
+    EXPECT_TRUE(out1.approx_equal(out2, 1e-3, 1e-4));
+}
+
+TEST(GcnModel, AllKernelsProduceSameInference)
+{
+    ThreadPool pool(4);
+    PowerLawParams p;
+    p.nodes = 150;
+    p.target_nnz = 900;
+    p.max_degree = 100;
+    p.seed = 13;
+    CsrMatrix a = power_law_graph(p);
+    a.normalize_gcn();
+    DenseMatrix x = random_dense(150, 24, 14);
+
+    GcnModel gold = GcnModel::two_layer(24, 16, 5, 2, "reference");
+    DenseMatrix expect = gold.infer(a, x, pool);
+    for (const std::string name :
+         {"mergepath", "gnnadvisor", "row_split", "adaptive",
+          "mergepath_serial"}) {
+        GcnModel model = GcnModel::two_layer(24, 16, 5, 2, name);
+        DenseMatrix out = model.infer(a, x, pool);
+        EXPECT_TRUE(out.approx_equal(expect, 1e-3, 1e-3)) << name;
+    }
+}
+
+TEST(GcnModel, OfflineReusesScheduleOnlineRebuilds)
+{
+    ThreadPool pool(2);
+    CsrMatrix a = erdos_renyi_graph(400, 2400, 15);
+    DenseMatrix x = random_dense(400, 16, 16);
+
+    GcnModel offline = GcnModel::two_layer(16, 16, 4, 3, "mergepath",
+                                           ScheduleMode::kOffline);
+    InferenceStats s1, s2;
+    offline.infer(a, x, pool, &s1);
+    offline.infer(a, x, pool, &s2);
+    EXPECT_GT(s1.schedule_seconds, 0.0);
+    EXPECT_EQ(s2.schedule_seconds, 0.0); // cached
+
+    GcnModel online = GcnModel::two_layer(16, 16, 4, 3, "mergepath",
+                                          ScheduleMode::kOnline);
+    InferenceStats o1, o2;
+    online.infer(a, x, pool, &o1);
+    online.infer(a, x, pool, &o2);
+    EXPECT_GT(o1.schedule_seconds, 0.0);
+    EXPECT_GT(o2.schedule_seconds, 0.0); // rebuilt every inference
+}
+
+TEST(GcnModel, NewGraphInvalidatesOfflineCache)
+{
+    ThreadPool pool(2);
+    CsrMatrix a1 = erdos_renyi_graph(100, 500, 17);
+    CsrMatrix a2 = erdos_renyi_graph(130, 700, 18);
+    DenseMatrix x1 = random_dense(100, 8, 19);
+    DenseMatrix x2 = random_dense(130, 8, 19);
+
+    GcnModel model = GcnModel::two_layer(8, 8, 3, 4, "mergepath",
+                                         ScheduleMode::kOffline);
+    InferenceStats s;
+    model.infer(a1, x1, pool, &s);
+    EXPECT_GT(s.schedule_seconds, 0.0);
+    model.infer(a2, x2, pool, &s);
+    EXPECT_GT(s.schedule_seconds, 0.0) << "cache must be invalidated";
+    model.infer(a2, x2, pool, &s);
+    EXPECT_EQ(s.schedule_seconds, 0.0);
+}
+
+TEST(GcnModelDeathTest, MismatchedLayerWidths)
+{
+    GcnModel model("reference");
+    model.add_layer(GcnLayer(random_layer_weights(8, 16, 1),
+                             Activation::kRelu));
+    EXPECT_DEATH(model.add_layer(GcnLayer(random_layer_weights(8, 4, 2),
+                                          Activation::kNone)),
+                 "chain");
+}
+
+TEST(InferenceStats, OverheadFraction)
+{
+    InferenceStats s;
+    s.schedule_seconds = 0.02;
+    s.compute_seconds = 0.98;
+    EXPECT_NEAR(s.overhead_fraction(), 0.02, 1e-12);
+    InferenceStats zero;
+    EXPECT_DOUBLE_EQ(zero.overhead_fraction(), 0.0);
+}
+
+} // namespace
+} // namespace mps

@@ -1,0 +1,204 @@
+/** Tests for the synthetic graph generators. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mps/sparse/degree_stats.h"
+#include "mps/sparse/generate.h"
+
+namespace mps {
+namespace {
+
+/** Every row's columns must be distinct and in range. */
+void
+expect_valid_adjacency(const CsrMatrix &m)
+{
+    for (index_t r = 0; r < m.rows(); ++r) {
+        std::set<index_t> seen;
+        for (index_t k = m.row_begin(r); k < m.row_end(r); ++k) {
+            index_t c = m.col_idx()[k];
+            ASSERT_GE(c, 0);
+            ASSERT_LT(c, m.cols());
+            ASSERT_TRUE(seen.insert(c).second)
+                << "duplicate column " << c << " in row " << r;
+        }
+    }
+}
+
+TEST(PowerLawGraph, ExactCounts)
+{
+    PowerLawParams p;
+    p.nodes = 2000;
+    p.target_nnz = 9000;
+    p.max_degree = 150;
+    p.seed = 7;
+    CsrMatrix m = power_law_graph(p);
+    m.validate();
+    EXPECT_EQ(m.rows(), 2000);
+    EXPECT_EQ(m.nnz(), 9000);
+    DegreeStats s = compute_degree_stats(m);
+    EXPECT_EQ(s.max_degree, 150);
+    expect_valid_adjacency(m);
+}
+
+TEST(PowerLawGraph, HeavyTailShape)
+{
+    PowerLawParams p;
+    p.nodes = 5000;
+    p.target_nnz = 20000;
+    p.max_degree = 1000;
+    p.seed = 3;
+    CsrMatrix m = power_law_graph(p);
+    DegreeStats s = compute_degree_stats(m);
+    // Power-law: the top 1% of rows hold far more than 1% of non-zeros,
+    // and the degree CV is large.
+    EXPECT_GT(s.top1pct_nnz_share, 0.10);
+    EXPECT_GT(s.degree_cv, 1.0);
+}
+
+TEST(PowerLawGraph, Deterministic)
+{
+    PowerLawParams p;
+    p.nodes = 500;
+    p.target_nnz = 2500;
+    p.max_degree = 60;
+    p.seed = 11;
+    CsrMatrix a = power_law_graph(p);
+    CsrMatrix b = power_law_graph(p);
+    EXPECT_EQ(a.row_ptr(), b.row_ptr());
+    EXPECT_EQ(a.col_idx(), b.col_idx());
+    EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(PowerLawGraph, SeedChangesStructure)
+{
+    PowerLawParams p;
+    p.nodes = 500;
+    p.target_nnz = 2500;
+    p.max_degree = 60;
+    p.seed = 11;
+    CsrMatrix a = power_law_graph(p);
+    p.seed = 12;
+    CsrMatrix b = power_law_graph(p);
+    EXPECT_NE(a.col_idx(), b.col_idx());
+}
+
+TEST(PowerLawGraphDeathTest, InfeasibleParameters)
+{
+    PowerLawParams p;
+    p.nodes = 10;
+    p.target_nnz = 200; // > nodes * max_degree
+    p.max_degree = 5;
+    EXPECT_DEATH(power_law_graph(p), "exceeds");
+}
+
+TEST(StructuredGraph, ExactCountsAndLowVariance)
+{
+    StructuredParams p;
+    p.nodes = 3000;
+    p.target_nnz = 6300; // avg 2.1 like Yeast
+    p.max_degree = 6;
+    p.seed = 5;
+    CsrMatrix m = structured_graph(p);
+    m.validate();
+    EXPECT_EQ(m.nnz(), 6300);
+    DegreeStats s = compute_degree_stats(m);
+    EXPECT_EQ(s.max_degree, 6);
+    EXPECT_LT(s.degree_cv, 0.5); // structured: near-uniform degrees
+    expect_valid_adjacency(m);
+}
+
+TEST(StructuredGraph, BandedLocality)
+{
+    StructuredParams p;
+    p.nodes = 10000;
+    p.target_nnz = 30000;
+    p.max_degree = 12;
+    p.seed = 9;
+    CsrMatrix m = structured_graph(p);
+    // Columns should be concentrated near the diagonal.
+    int64_t near = 0;
+    for (index_t r = 0; r < m.rows(); ++r) {
+        for (index_t k = m.row_begin(r); k < m.row_end(r); ++k) {
+            if (std::abs(m.col_idx()[k] - r) <= 200)
+                ++near;
+        }
+    }
+    EXPECT_GT(static_cast<double>(near) / m.nnz(), 0.95);
+}
+
+TEST(ErdosRenyi, ExactNnzAndDistinct)
+{
+    CsrMatrix m = erdos_renyi_graph(300, 2000, 17);
+    m.validate();
+    EXPECT_EQ(m.rows(), 300);
+    EXPECT_EQ(m.nnz(), 2000);
+    expect_valid_adjacency(m);
+}
+
+TEST(ErdosRenyi, DenseLimitWorks)
+{
+    CsrMatrix m = erdos_renyi_graph(8, 64, 2);
+    EXPECT_EQ(m.nnz(), 64); // complete 8x8 including diagonal
+}
+
+TEST(Rmat, ValidAndSkewed)
+{
+    RmatParams p;
+    p.scale = 10;
+    p.edge_factor = 8;
+    p.seed = 21;
+    CsrMatrix m = rmat_graph(p);
+    m.validate();
+    EXPECT_EQ(m.rows(), 1024);
+    EXPECT_GT(m.nnz(), 1024 * 4); // most duplicates survive at this size
+    DegreeStats s = compute_degree_stats(m);
+    EXPECT_GT(s.degree_cv, 0.8); // R-MAT is skewed
+}
+
+TEST(AssignValues, Modes)
+{
+    CsrMatrix m = erdos_renyi_graph(50, 200, 1);
+    assign_values(m, ValueMode::kOnes, 0);
+    for (value_t v : m.values())
+        ASSERT_FLOAT_EQ(v, 1.0f);
+
+    assign_values(m, ValueMode::kRandom, 99);
+    bool any_not_one = false;
+    for (value_t v : m.values()) {
+        ASSERT_GT(v, 0.0f);
+        ASSERT_LE(v, 1.0f);
+        any_not_one |= v != 1.0f;
+    }
+    EXPECT_TRUE(any_not_one);
+
+    assign_values(m, ValueMode::kGcnNormalized, 0);
+    for (value_t v : m.values()) {
+        ASSERT_GT(v, 0.0f);
+        ASSERT_LE(v, 1.0f);
+    }
+}
+
+TEST(PowerLawGraph, SingleNodeEdgeCase)
+{
+    PowerLawParams p;
+    p.nodes = 1;
+    p.target_nnz = 1;
+    p.max_degree = 1;
+    CsrMatrix m = power_law_graph(p);
+    EXPECT_EQ(m.nnz(), 1);
+    EXPECT_EQ(m.col_idx()[0], 0);
+}
+
+TEST(PowerLawGraph, ZeroMaxDegreeMeansEmpty)
+{
+    PowerLawParams p;
+    p.nodes = 4;
+    p.target_nnz = 0;
+    p.max_degree = 0;
+    CsrMatrix m = power_law_graph(p);
+    EXPECT_EQ(m.nnz(), 0);
+}
+
+} // namespace
+} // namespace mps

@@ -1,0 +1,69 @@
+/** Tests for the HyGCN-style hybrid accelerator model. */
+#include <gtest/gtest.h>
+
+#include "mps/accel/hygcn.h"
+#include "mps/sparse/generate.h"
+
+namespace mps {
+namespace {
+
+TEST(HyGcn, PipelineTakesTheSlowerEngine)
+{
+    CsrMatrix a = erdos_renyi_graph(10000, 50000, 1);
+    HyGcnConfig cfg;
+    HyGcnResult r = simulate_hygcn(a, 64, 16, cfg);
+    double agg = 50000.0 * 16 /
+                 (cfg.agg_macs_per_cycle * cfg.gather_efficiency);
+    double comb = 10000.0 * 64 * 16 / cfg.comb_macs_per_cycle;
+    EXPECT_NEAR(r.agg_cycles, agg, 1e-6);
+    EXPECT_NEAR(r.comb_cycles, comb, 1e-6);
+    EXPECT_NEAR(r.cycles, std::max(agg, comb) +
+                              cfg.fixed_overhead_cycles, 1e-6);
+}
+
+TEST(HyGcn, UtilizationComplementarity)
+{
+    CsrMatrix a = erdos_renyi_graph(5000, 25000, 2);
+    HyGcnResult r = simulate_hygcn(a, 64, 16);
+    // Exactly one engine saturates; the other idles below 100%.
+    double hi = std::max(r.agg_utilization, r.comb_utilization);
+    double lo = std::min(r.agg_utilization, r.comb_utilization);
+    EXPECT_NEAR(hi, 1.0, 1e-9);
+    EXPECT_LT(lo, 1.0);
+}
+
+TEST(HyGcn, WorkRatioDecidesTheIdleEngine)
+{
+    // Dense-ish graph (high degree): aggregation dominates.
+    CsrMatrix dense_graph = erdos_renyi_graph(2000, 200000, 3);
+    HyGcnResult heavy_agg = simulate_hygcn(dense_graph, 16, 16);
+    EXPECT_GT(heavy_agg.agg_cycles, heavy_agg.comb_cycles);
+    EXPECT_LT(heavy_agg.comb_utilization, 0.5);
+
+    // Sparse graph with wide features: combination dominates.
+    CsrMatrix sparse_graph = erdos_renyi_graph(2000, 4000, 4);
+    HyGcnResult heavy_comb = simulate_hygcn(sparse_graph, 512, 16);
+    EXPECT_GT(heavy_comb.comb_cycles, heavy_comb.agg_cycles);
+    EXPECT_LT(heavy_comb.agg_utilization, 0.5);
+}
+
+TEST(HyGcn, ScalesWithOutputDim)
+{
+    CsrMatrix a = erdos_renyi_graph(3000, 15000, 5);
+    HyGcnResult d16 = simulate_hygcn(a, 64, 16);
+    HyGcnResult d64 = simulate_hygcn(a, 64, 64);
+    EXPECT_NEAR(d64.agg_cycles / d16.agg_cycles, 4.0, 1e-9);
+    EXPECT_NEAR(d64.comb_cycles / d16.comb_cycles, 4.0, 1e-9);
+}
+
+TEST(HyGcnDeathTest, RejectsBadConfig)
+{
+    CsrMatrix a = erdos_renyi_graph(10, 20, 6);
+    HyGcnConfig cfg;
+    cfg.gather_efficiency = 0.0;
+    EXPECT_DEATH(simulate_hygcn(a, 8, 8, cfg), "gather efficiency");
+    EXPECT_DEATH(simulate_hygcn(a, 0, 8), "positive");
+}
+
+} // namespace
+} // namespace mps

@@ -1,0 +1,215 @@
+/**
+ * Cross-module integration tests: the schedule census, the SIMT
+ * codegen and the multicore trace generators must tell one consistent
+ * story, since they all consume the same schedule objects.
+ */
+#include <gtest/gtest.h>
+
+#include "mps/core/policy.h"
+#include "mps/core/schedule.h"
+#include "mps/core/spmm.h"
+#include "mps/gcn/model.h"
+#include "mps/multicore/tracegen.h"
+#include "mps/simt/codegen.h"
+#include "mps/simt/gpu_model.h"
+#include "mps/sparse/datasets.h"
+#include "mps/sparse/generate.h"
+#include "mps/util/rng.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+namespace {
+
+TEST(Integration, CodegenCommitCountMatchesScheduleCensus)
+{
+    CsrMatrix a = make_dataset("Cora");
+    const index_t dim = 16, cost = 20;
+    GpuConfig gpu = GpuConfig::rtx6000();
+
+    // The SIMT workload's total atomic commits must equal the
+    // schedule census's count for the same launch configuration.
+    SimdPolicy policy;
+    policy.lanes = gpu.lanes;
+    LaunchConfig launch =
+        make_launch_config(a.rows(), a.nnz(), dim, cost, policy);
+    MergePathSchedule sched =
+        MergePathSchedule::build(a, launch.num_threads);
+    ScheduleCensus census = sched.census(a);
+
+    KernelWorkload w = build_mergepath_workload(a, dim, cost, gpu);
+    EXPECT_DOUBLE_EQ(w.total_commits,
+                     static_cast<double>(census.atomic_commits));
+}
+
+TEST(Integration, MulticoreAtomicCountMatchesScheduleCensus)
+{
+    CsrMatrix a = erdos_renyi_graph(400, 2400, 7);
+    MulticoreConfig cfg = MulticoreConfig::table1().scaled_to(64);
+    MergePathSchedule sched = MergePathSchedule::build(a, 64);
+    ScheduleCensus census = sched.census(a);
+
+    MulticoreResult r = run_spmm_on_multicore(a, 16, cfg, "mergepath");
+    int64_t atomics = 0, stores = 0;
+    for (const auto &c : r.cores) {
+        atomics += c.atomics;
+        stores += c.stores;
+    }
+    // d=16 at 2 bytes -> a 32-byte row commit = one line op, so op
+    // counts equal commit/row-write counts.
+    EXPECT_EQ(atomics, census.atomic_commits);
+    EXPECT_EQ(stores, census.plain_row_writes);
+}
+
+TEST(Integration, StridedGnnAdvisorSpreadsEvilRowAcrossCores)
+{
+    // One evil row: under the cyclic distribution its groups must be
+    // processed by many different cores (the Figure 9 pathology).
+    PowerLawParams p;
+    p.nodes = 600;
+    p.target_nnz = 3000;
+    p.max_degree = 500;
+    p.seed = 17;
+    CsrMatrix a = power_law_graph(p);
+    MulticoreConfig cfg = MulticoreConfig::table1().scaled_to(64);
+    SpmmAddressMap map =
+        SpmmAddressMap::create(a, 16, cfg.value_bytes, cfg.line_bytes);
+    auto sources = make_gnnadvisor_trace_sources(a, map, cfg);
+
+    // Find the evil row and its output line.
+    index_t evil = 0;
+    for (index_t r = 1; r < a.rows(); ++r) {
+        if (a.degree(r) > a.degree(evil))
+            evil = r;
+    }
+    uint64_t lo = map.c_row_addr(evil) / cfg.line_bytes;
+    uint64_t hi = (map.c_row_addr(evil) + 16 * cfg.value_bytes - 1) /
+                  cfg.line_bytes;
+    int cores_touching = 0;
+    TraceOp op;
+    for (auto &src : sources) {
+        bool touches = false;
+        while (src->next(op)) {
+            if (op.kind == TraceOpKind::kAtomicRmw &&
+                op.addr / cfg.line_bytes >= lo &&
+                op.addr / cfg.line_bytes <= hi) {
+                touches = true;
+            }
+        }
+        cores_touching += touches;
+    }
+    EXPECT_GE(cores_touching, 8)
+        << "evil row groups must spread over many cores";
+}
+
+TEST(Integration, SimtModelPrefersMergePathOnLowDegreeGraphs)
+{
+    // email-Euall-like shape: many short rows. The model must show a
+    // clear MergePath-SpMM advantage over GNNAdvisor (paper Fig. 4).
+    PowerLawParams p;
+    p.nodes = 60000;
+    p.target_nnz = 95000;
+    p.max_degree = 900;
+    p.seed = 23;
+    CsrMatrix a = power_law_graph(p);
+    GpuConfig gpu = GpuConfig::rtx6000();
+
+    double ga = simulate_gpu(
+                    build_gnnadvisor_workload(
+                        a, 16, 0, GnnAdvisorVariant::kBaseline, gpu),
+                    gpu)
+                    .microseconds;
+    double mp =
+        simulate_gpu(build_mergepath_workload(a, 16, 20, gpu), gpu)
+            .microseconds;
+    EXPECT_GT(ga / mp, 1.3);
+}
+
+TEST(Integration, SimtModelKernelOrderingOnStructuredGraphs)
+{
+    // Structured graph: cuSPARSE (adaptive row kernel) must beat the
+    // all-atomic GNNAdvisor (paper Fig. 4 Type II story).
+    StructuredParams p;
+    p.nodes = 50000;
+    p.target_nnz = 105000;
+    p.max_degree = 6;
+    p.seed = 29;
+    CsrMatrix a = structured_graph(p);
+    GpuConfig gpu = GpuConfig::rtx6000();
+
+    double ga = simulate_gpu(
+                    build_gnnadvisor_workload(
+                        a, 16, 0, GnnAdvisorVariant::kBaseline, gpu),
+                    gpu)
+                    .microseconds;
+    double cus =
+        simulate_gpu(build_cusparse_workload(a, 16, gpu), gpu)
+            .microseconds;
+    EXPECT_GT(ga / cus, 1.2);
+}
+
+TEST(Integration, DimensionPolicyRoundTrip)
+{
+    // The launch policy, schedule and kernel agree for every dimension
+    // class (smaller / equal / larger than the SIMD width).
+    CsrMatrix a = erdos_renyi_graph(500, 3000, 3);
+    ThreadPool pool(4);
+    Pcg32 rng(5);
+    for (index_t dim : {2, 8, 16, 32, 64, 128}) {
+        DenseMatrix b(a.cols(), dim);
+        b.fill_random(rng);
+        DenseMatrix gold(a.rows(), dim), got(a.rows(), dim);
+        reference_spmm(a, b, gold);
+
+        SimdPolicy policy;
+        LaunchConfig launch = make_launch_config(
+            a.rows(), a.nnz(), dim, default_merge_path_cost(dim),
+            policy);
+        MergePathSchedule sched =
+            MergePathSchedule::build(a, launch.num_threads);
+        sched.validate(a);
+        mergepath_spmm_parallel(a, b, got, sched, pool);
+        ASSERT_TRUE(got.approx_equal(gold, 1e-3, 1e-3)) << "dim " << dim;
+    }
+}
+
+TEST(Integration, GcnOnStructuredAndPowerLawAgree)
+{
+    // The same model weights on the same logical graph data must give
+    // identical predictions regardless of aggregation kernel, even
+    // when the adaptive kernel picks different strategies.
+    ThreadPool pool(4);
+    for (int family = 0; family < 2; ++family) {
+        CsrMatrix a;
+        if (family == 0) {
+            StructuredParams sp;
+            sp.nodes = 800;
+            sp.target_nnz = 1700;
+            sp.max_degree = 6;
+            sp.seed = 31;
+            a = structured_graph(sp);
+        } else {
+            PowerLawParams pp;
+            pp.nodes = 800;
+            pp.target_nnz = 4000;
+            pp.max_degree = 300;
+            pp.seed = 31;
+            a = power_law_graph(pp);
+        }
+        a.normalize_gcn();
+        DenseMatrix x(a.rows(), 24);
+        Pcg32 rng(9);
+        x.fill_random(rng);
+
+        GcnModel ref_model = GcnModel::two_layer(24, 12, 4, 5,
+                                                 "reference");
+        DenseMatrix expect = ref_model.infer(a, x, pool);
+        GcnModel ada_model = GcnModel::two_layer(24, 12, 4, 5,
+                                                 "adaptive");
+        DenseMatrix got = ada_model.infer(a, x, pool);
+        ASSERT_TRUE(got.approx_equal(expect, 1e-3, 1e-3))
+            << "family " << family;
+    }
+}
+
+} // namespace
+} // namespace mps

@@ -1,0 +1,152 @@
+/** Tests for the merge-path 2-D diagonal search. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mps/core/merge_path.h"
+#include "mps/sparse/generate.h"
+
+namespace mps {
+namespace {
+
+/**
+ * The paper's Figure 3 example: 10 rows, 16 non-zeros. Row end offsets
+ * chosen so row 0 holds 8 non-zeros (the "evil" head) as described in
+ * the walk-through (RP[1] = 8).
+ */
+struct Fig3
+{
+    // degrees: 8,1,2,1,0,1,1,0,1,1  -> 16 nnz over 10 rows
+    std::vector<index_t> row_ends{8, 9, 11, 12, 12, 13, 14, 14, 15, 16};
+    index_t rows = 10;
+    index_t nnz = 16;
+};
+
+TEST(MergePathSearch, OriginAndTerminus)
+{
+    Fig3 f;
+    MergeCoordinate start =
+        merge_path_search(0, f.row_ends.data(), f.rows, f.nnz);
+    EXPECT_EQ(start.row, 0);
+    EXPECT_EQ(start.nz, 0);
+
+    MergeCoordinate end = merge_path_search(f.rows + f.nnz,
+                                            f.row_ends.data(), f.rows,
+                                            f.nnz);
+    EXPECT_EQ(end.row, f.rows);
+    EXPECT_EQ(end.nz, f.nnz);
+}
+
+TEST(MergePathSearch, Figure3Thread2Start)
+{
+    // Thread 2 of 4 searches diagonal 7 (items-per-thread ceil(26/4)=7).
+    // Row 0 holds non-zeros [0, 8), so at diagonal 7 the path has
+    // consumed 7 of them and no row boundary yet: coordinate (0, 7).
+    // Thread 2 therefore starts mid-row ("partial start row"), exactly
+    // the situation the paper's walk-through describes (it processes
+    // non-zeros starting at index 7).
+    Fig3 f;
+    MergeCoordinate c =
+        merge_path_search(7, f.row_ends.data(), f.rows, f.nnz);
+    EXPECT_EQ(c.row, 0);
+    EXPECT_EQ(c.nz, 7);
+}
+
+TEST(MergePathSearch, RowBoundaryConsumedBeforeNextRowsNnz)
+{
+    // Degrees 6,5,...: at diagonal 7 the path has consumed all 6
+    // non-zeros of row 0 plus its boundary: coordinate (1, 6) — a
+    // complete-row start for the thread beginning there.
+    std::vector<index_t> ends{6, 11};
+    MergeCoordinate c = merge_path_search(7, ends.data(), 2, 11);
+    EXPECT_EQ(c.row, 1);
+    EXPECT_EQ(c.nz, 6);
+}
+
+TEST(MergePathSearch, CoordinateAlwaysOnDiagonal)
+{
+    Fig3 f;
+    for (int64_t d = 0; d <= f.rows + f.nnz; ++d) {
+        MergeCoordinate c =
+            merge_path_search(d, f.row_ends.data(), f.rows, f.nnz);
+        EXPECT_EQ(static_cast<int64_t>(c.row) + c.nz, d);
+    }
+}
+
+TEST(MergePathSearch, EmptyMatrix)
+{
+    MergeCoordinate c = merge_path_search(0, nullptr, 0, 0);
+    EXPECT_EQ(c.row, 0);
+    EXPECT_EQ(c.nz, 0);
+}
+
+TEST(MergePathSearch, AllRowsEmpty)
+{
+    std::vector<index_t> ends{0, 0, 0};
+    for (int64_t d = 0; d <= 3; ++d) {
+        MergeCoordinate c = merge_path_search(d, ends.data(), 3, 0);
+        // With no non-zeros every item is a row transition.
+        EXPECT_EQ(c.row, d);
+        EXPECT_EQ(c.nz, 0);
+    }
+}
+
+TEST(MergePathSearch, SingleRowAllNnz)
+{
+    std::vector<index_t> ends{5};
+    // Non-zeros are consumed before the final row transition.
+    for (int64_t d = 0; d <= 5; ++d) {
+        MergeCoordinate c = merge_path_search(d, ends.data(), 1, 5);
+        EXPECT_EQ(c.row, 0);
+        EXPECT_EQ(c.nz, d);
+    }
+    MergeCoordinate c = merge_path_search(6, ends.data(), 1, 5);
+    EXPECT_EQ(c.row, 1);
+    EXPECT_EQ(c.nz, 5);
+}
+
+/**
+ * Property sweep over random graphs: the returned coordinate must be a
+ * valid merge-path point (consumed nnz fits the consumed rows) and be
+ * monotone non-decreasing in the diagonal.
+ */
+class MergePathPropertyTest
+    : public testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(MergePathPropertyTest, ValidMonotonePoints)
+{
+    auto [nodes, nnz, seed] = GetParam();
+    CsrMatrix m = erdos_renyi_graph(nodes, nnz, seed);
+    const index_t *ends = m.row_ptr().data() + 1;
+    const auto &rp = m.row_ptr();
+
+    MergeCoordinate prev{0, 0};
+    for (int64_t d = 0; d <= m.rows() + m.nnz(); ++d) {
+        MergeCoordinate c = merge_path_search(d, ends, m.rows(), m.nnz());
+        ASSERT_EQ(static_cast<int64_t>(c.row) + c.nz, d);
+        ASSERT_GE(c.row, prev.row);
+        ASSERT_GE(c.nz, prev.nz);
+        // Point validity: all fully consumed rows end at or before the
+        // next nnz to consume; the current row has not ended yet.
+        if (c.row > 0) {
+            ASSERT_LE(rp[c.row], c.nz);
+        }
+        if (c.row < m.rows()) {
+            ASSERT_LE(c.nz, rp[static_cast<size_t>(c.row) + 1]);
+        }
+        prev = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, MergePathPropertyTest,
+    testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(7, 0, 2),
+                    std::make_tuple(13, 40, 3),
+                    std::make_tuple(50, 200, 4),
+                    std::make_tuple(97, 970, 5),
+                    std::make_tuple(128, 16, 6)));
+
+} // namespace
+} // namespace mps

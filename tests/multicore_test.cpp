@@ -1,0 +1,399 @@
+/** Tests for the Table I multicore model: caches, NoC, coherence. */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mps/multicore/cache.h"
+#include "mps/multicore/config.h"
+#include "mps/multicore/noc.h"
+#include "mps/multicore/system.h"
+#include "mps/multicore/tracegen.h"
+#include "mps/sparse/datasets.h"
+#include "mps/sparse/generate.h"
+
+namespace mps {
+namespace {
+
+/** Replays a pre-built vector of ops (for protocol-level tests). */
+class VectorTraceSource final : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<TraceOp> ops)
+        : ops_(std::move(ops))
+    {
+    }
+
+    bool
+    next(TraceOp &op) override
+    {
+        if (pos_ >= ops_.size())
+            return false;
+        op = ops_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<TraceOp> ops_;
+    size_t pos_ = 0;
+};
+
+MulticoreConfig
+tiny_config(int cores = 16)
+{
+    return MulticoreConfig::table1().scaled_to(cores);
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+idle_sources(int cores)
+{
+    std::vector<std::unique_ptr<TraceSource>> s;
+    for (int i = 0; i < cores; ++i)
+        s.push_back(std::make_unique<VectorTraceSource>(
+            std::vector<TraceOp>{}));
+    return s;
+}
+
+TEST(CacheArray, HitAfterFill)
+{
+    CacheArray cache(4096, 4, 64);
+    EXPECT_EQ(cache.lookup(0x100), LineState::kInvalid);
+    cache.fill(0x100, LineState::kShared);
+    EXPECT_EQ(cache.lookup(0x100), LineState::kShared);
+    EXPECT_EQ(cache.lookup(0x108), LineState::kShared); // same line
+    EXPECT_EQ(cache.lookup(0x140), LineState::kInvalid); // next line
+}
+
+TEST(CacheArray, LruEvictsOldest)
+{
+    // 4 sets x 2 ways of 64B lines = 512B cache.
+    CacheArray cache(512, 2, 64);
+    // Three lines mapping to set 0 (stride = sets * line = 256).
+    cache.fill(0x000, LineState::kShared);
+    cache.fill(0x100, LineState::kShared);
+    cache.touch(0x000); // make 0x100 the LRU way
+    CacheFillResult r = cache.fill(0x200, LineState::kShared);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evicted_addr, 0x100u);
+    EXPECT_FALSE(r.evicted_dirty);
+    EXPECT_EQ(cache.lookup(0x000), LineState::kShared);
+}
+
+TEST(CacheArray, DirtyEvictionReported)
+{
+    CacheArray cache(128, 1, 64); // 2 sets x 1 way
+    cache.fill(0x000, LineState::kModified);
+    CacheFillResult r = cache.fill(0x080, LineState::kShared); // set 0
+    EXPECT_TRUE(r.evicted);
+    EXPECT_TRUE(r.evicted_dirty);
+    EXPECT_EQ(r.evicted_addr, 0x0u);
+}
+
+TEST(CacheArray, InvalidateAndStateChange)
+{
+    CacheArray cache(4096, 4, 64);
+    cache.fill(0x40, LineState::kShared);
+    cache.set_state(0x40, LineState::kModified);
+    EXPECT_EQ(cache.lookup(0x40), LineState::kModified);
+    cache.invalidate(0x40);
+    EXPECT_EQ(cache.lookup(0x40), LineState::kInvalid);
+    cache.invalidate(0x40); // no-op on absent line
+}
+
+TEST(MeshNoc, DistanceAndBaseLatency)
+{
+    MulticoreConfig cfg = tiny_config(16); // 4x4 mesh
+    MeshNoc noc(16, cfg);
+    EXPECT_EQ(noc.distance(0, 0), 0);
+    EXPECT_EQ(noc.distance(0, 3), 3);  // along the top row
+    EXPECT_EQ(noc.distance(0, 15), 6); // opposite corner
+    // Uncontended single-flit message: hops * 2 cycles.
+    EXPECT_DOUBLE_EQ(noc.route(0, 3, 1, 0.0), 6.0);
+    // Local delivery is free.
+    EXPECT_DOUBLE_EQ(noc.route(5, 5, 9, 100.0), 100.0);
+}
+
+TEST(MeshNoc, LinkContentionSerializes)
+{
+    MulticoreConfig cfg = tiny_config(16);
+    MeshNoc noc(16, cfg);
+    // A link carries one flit per cycle. Saturate the first link's
+    // 64-cycle bandwidth window with 9-flit messages: the eighth
+    // message (flits 64..72) no longer fits and slips to the next
+    // window.
+    double first = noc.route(0, 1, 9, 0.0);
+    EXPECT_DOUBLE_EQ(first, 2.0 + 8.0);
+    double last = first;
+    for (int i = 0; i < 7; ++i)
+        last = noc.route(0, 1, 9, 0.0);
+    EXPECT_GE(last, 64.0);
+    EXPECT_GT(noc.link_occupancy(), 0.0);
+}
+
+TEST(MulticoreConfig, ScalingPreservesTotals)
+{
+    MulticoreConfig base = MulticoreConfig::table1();
+    MulticoreConfig small = base.scaled_to(64);
+    EXPECT_EQ(small.num_cores, 64);
+    EXPECT_EQ(small.l1_bytes * 64, base.l1_bytes * 1024);
+    EXPECT_EQ(small.l2_slice_bytes * 64, base.l2_slice_bytes * 1024);
+    EXPECT_EQ(small.num_mem_controllers, 2);
+    // Total bandwidth constant: per-controller service scales down.
+    double total_base = base.num_mem_controllers /
+                        base.dram_line_service_cycles();
+    double total_small = small.num_mem_controllers /
+                         small.dram_line_service_cycles();
+    EXPECT_NEAR(total_base, total_small, 1e-9);
+}
+
+TEST(MulticoreSystem, ColdMissThenHit)
+{
+    MulticoreConfig cfg = tiny_config(16);
+    auto sources = idle_sources(16);
+    std::vector<TraceOp> ops{
+        {TraceOpKind::kLoad, 0, 0x100000},
+        {TraceOpKind::kLoad, 0, 0x100008}, // same line: L1 hit
+    };
+    sources[0] = std::make_unique<VectorTraceSource>(ops);
+    MulticoreSystem sys(cfg);
+    MulticoreResult r = sys.run(std::move(sources));
+    const CoreStats &c0 = r.cores[0];
+    EXPECT_EQ(c0.l1_misses, 1);
+    EXPECT_EQ(c0.l1_hits, 1);
+    EXPECT_EQ(r.total_dram_lines, 1);
+    // Cold miss pays at least the DRAM latency; the hit costs 1 cycle.
+    EXPECT_GT(c0.memory_cycles, cfg.dram_latency_cycles());
+    EXPECT_LT(c0.memory_cycles,
+              cfg.dram_latency_cycles() + 200.0);
+}
+
+TEST(MulticoreSystem, DirtyForwardBetweenCores)
+{
+    MulticoreConfig cfg = tiny_config(16);
+    auto sources = idle_sources(16);
+    // Core 0 writes a line; core 1 then reads it: 3-hop forward.
+    sources[0] = std::make_unique<VectorTraceSource>(
+        std::vector<TraceOp>{{TraceOpKind::kStore, 0, 0x200000}});
+    sources[1] = std::make_unique<VectorTraceSource>(
+        std::vector<TraceOp>{{TraceOpKind::kCompute, 2000, 0},
+                             {TraceOpKind::kLoad, 0, 0x200000}});
+    MulticoreSystem sys(cfg);
+    MulticoreResult r = sys.run(std::move(sources));
+    EXPECT_EQ(r.total_forwards, 1);
+}
+
+TEST(MulticoreSystem, StoreInvalidatesSharers)
+{
+    MulticoreConfig cfg = tiny_config(16);
+    auto sources = idle_sources(16);
+    // Cores 1..3 read the line, then core 0 writes it.
+    for (int c = 1; c <= 3; ++c) {
+        sources[static_cast<size_t>(c)] =
+            std::make_unique<VectorTraceSource>(
+                std::vector<TraceOp>{{TraceOpKind::kLoad, 0, 0x300000}});
+    }
+    sources[0] = std::make_unique<VectorTraceSource>(
+        std::vector<TraceOp>{{TraceOpKind::kCompute, 5000, 0},
+                             {TraceOpKind::kStore, 0, 0x300000}});
+    MulticoreSystem sys(cfg);
+    MulticoreResult r = sys.run(std::move(sources));
+    EXPECT_GE(r.total_invalidations, 3);
+}
+
+TEST(MulticoreSystem, AtomicPingPongSerializes)
+{
+    MulticoreConfig cfg = tiny_config(16);
+    auto sources = idle_sources(16);
+    // Two cores take turns atomically updating the same line (compute
+    // between the atomics forces real interleaving): ownership must
+    // bounce (sharing misses), unlike private-line atomics.
+    std::vector<TraceOp> hammer, private_ops;
+    for (int i = 0; i < 20; ++i) {
+        hammer.push_back({TraceOpKind::kAtomicRmw, 0, 0x400000});
+        hammer.push_back({TraceOpKind::kCompute, 200, 0});
+        private_ops.push_back({TraceOpKind::kAtomicRmw, 0, 0x500000});
+        private_ops.push_back({TraceOpKind::kCompute, 200, 0});
+    }
+    sources[0] = std::make_unique<VectorTraceSource>(hammer);
+    sources[1] = std::make_unique<VectorTraceSource>(hammer);
+    sources[2] = std::make_unique<VectorTraceSource>(private_ops);
+
+    MulticoreSystem sys(cfg);
+    MulticoreResult r = sys.run(std::move(sources));
+    double contended = std::max(r.cores[0].memory_cycles,
+                                r.cores[1].memory_cycles);
+    double isolated = r.cores[2].memory_cycles;
+    EXPECT_GT(contended, isolated * 2.0);
+    EXPECT_GT(r.total_forwards + r.total_invalidations, 5);
+}
+
+TEST(MulticoreSystem, LimitedDirectoryBroadcastsOnOverflowWrite)
+{
+    MulticoreConfig cfg = tiny_config(16); // directory_pointers = 4
+    auto sources = idle_sources(16);
+    // Eight cores read the same line at staggered times: the pointer
+    // set overflows into broadcast mode WITHOUT dropping copies
+    // (read-shared data like the XW matrix must stay cached) ...
+    for (int c = 1; c <= 8; ++c) {
+        sources[static_cast<size_t>(c)] =
+            std::make_unique<VectorTraceSource>(std::vector<TraceOp>{
+                {TraceOpKind::kCompute,
+                 static_cast<uint32_t>(1000 * c), 0},
+                {TraceOpKind::kLoad, 0, 0x600000},
+                {TraceOpKind::kCompute, 50000, 0},
+                {TraceOpKind::kLoad, 0, 0x600000}});
+    }
+    // ... and a later writer invalidates every copy by broadcast.
+    sources[0] = std::make_unique<VectorTraceSource>(std::vector<TraceOp>{
+        {TraceOpKind::kCompute, 20000, 0},
+        {TraceOpKind::kStore, 0, 0x600000}});
+    MulticoreSystem sys(cfg);
+    MulticoreResult r = sys.run(std::move(sources));
+    // All 8 readers' copies die at the broadcast write...
+    EXPECT_GE(r.total_invalidations, 8);
+    // ...so their second read misses; first reads: 8 misses + 1 write.
+    EXPECT_GE(r.total_l1_misses, 17);
+}
+
+TEST(SegmentTraceSource, EmitsExpectedOpsForOneSegment)
+{
+    MulticoreConfig cfg = tiny_config(16);
+    CsrMatrix a = erdos_renyi_graph(32, 128, 5);
+    SpmmAddressMap map =
+        SpmmAddressMap::create(a, 16, cfg.value_bytes, cfg.line_bytes);
+    std::vector<WorkSegment> segs{
+        {0, a.row_begin(0), a.row_end(0), false}};
+    index_t nnz = a.degree(0);
+    SegmentTraceSource src(a, map, cfg, segs);
+
+    int loads = 0, stores = 0, atomics = 0;
+    uint32_t compute = 0;
+    TraceOp op;
+    while (src.next(op)) {
+        switch (op.kind) {
+          case TraceOpKind::kLoad: ++loads; break;
+          case TraceOpKind::kStore: ++stores; break;
+          case TraceOpKind::kAtomicRmw: ++atomics; break;
+          case TraceOpKind::kCompute: compute += op.cycles; break;
+        }
+    }
+    // Per nnz: col + value + xw-row loads (>= 3); plus row bounds.
+    EXPECT_GE(loads, 3 * nnz);
+    EXPECT_EQ(atomics, 0);
+    EXPECT_GE(stores, 1); // one 32-byte row commit = one line store
+    // d=16 over 4 lanes -> 5 cycles per nnz + 2 commit cycles.
+    EXPECT_EQ(compute, static_cast<uint32_t>(5 * nnz + 2));
+}
+
+TEST(SegmentTraceSource, AtomicSegmentUsesRmw)
+{
+    MulticoreConfig cfg = tiny_config(16);
+    CsrMatrix a = erdos_renyi_graph(32, 128, 6);
+    SpmmAddressMap map =
+        SpmmAddressMap::create(a, 16, cfg.value_bytes, cfg.line_bytes);
+    SegmentTraceSource src(a, map, cfg,
+                           {{3, a.row_begin(3), a.row_end(3), true}});
+    TraceOp op;
+    int atomics = 0;
+    while (src.next(op))
+        atomics += op.kind == TraceOpKind::kAtomicRmw;
+    EXPECT_GE(atomics, 1);
+}
+
+TEST(TraceGen, MergePathSourcesCoverAllNnz)
+{
+    MulticoreConfig cfg = tiny_config(16);
+    CsrMatrix a = erdos_renyi_graph(200, 1000, 7);
+    SpmmAddressMap map =
+        SpmmAddressMap::create(a, 16, cfg.value_bytes, cfg.line_bytes);
+    auto sources = make_mergepath_trace_sources(a, map, cfg);
+    ASSERT_EQ(sources.size(), 16u);
+
+    // Count column-index loads across all cores: one per non-zero.
+    int64_t col_loads = 0;
+    TraceOp op;
+    uint64_t col_lo = map.col_idx_base;
+    uint64_t col_hi = map.col_addr(a.nnz());
+    for (auto &src : sources) {
+        while (src->next(op)) {
+            if (op.kind == TraceOpKind::kLoad && op.addr >= col_lo &&
+                op.addr < col_hi) {
+                ++col_loads;
+            }
+        }
+    }
+    // Column loads are line-granular in the trace, but each non-zero
+    // emits one (possibly duplicate-line) load op.
+    EXPECT_EQ(col_loads, a.nnz());
+}
+
+TEST(TraceGen, GnnAdvisorAllCommitsAtomic)
+{
+    MulticoreConfig cfg = tiny_config(16);
+    CsrMatrix a = erdos_renyi_graph(100, 600, 8);
+    SpmmAddressMap map =
+        SpmmAddressMap::create(a, 16, cfg.value_bytes, cfg.line_bytes);
+    auto sources = make_gnnadvisor_trace_sources(a, map, cfg);
+    TraceOp op;
+    int64_t stores = 0, atomics = 0;
+    for (auto &src : sources) {
+        while (src->next(op)) {
+            stores += op.kind == TraceOpKind::kStore;
+            atomics += op.kind == TraceOpKind::kAtomicRmw;
+        }
+    }
+    EXPECT_EQ(stores, 0);
+    EXPECT_GT(atomics, 0);
+}
+
+TEST(Runner, MergePathUsesFewerAtomicsThanGnnAdvisor)
+{
+    MulticoreConfig cfg = tiny_config(16);
+    PowerLawParams p;
+    p.nodes = 500;
+    p.target_nnz = 3000;
+    p.max_degree = 300;
+    p.seed = 9;
+    CsrMatrix a = power_law_graph(p);
+
+    MulticoreResult mp = run_spmm_on_multicore(a, 16, cfg, "mergepath");
+    MulticoreResult ga = run_spmm_on_multicore(a, 16, cfg, "gnnadvisor");
+    int64_t mp_atomics = 0, ga_atomics = 0;
+    for (const auto &c : mp.cores)
+        mp_atomics += c.atomics;
+    for (const auto &c : ga.cores)
+        ga_atomics += c.atomics;
+    EXPECT_LT(mp_atomics, ga_atomics / 4);
+    EXPECT_GT(mp.completion_cycles, 0.0);
+    EXPECT_GT(ga.completion_cycles, 0.0);
+}
+
+TEST(Runner, ScalingUpCoresReducesCompletionTime)
+{
+    CsrMatrix a = make_scaled_dataset(find_dataset_spec("Pubmed"), 8);
+    MulticoreConfig c16 = tiny_config(16);
+    MulticoreConfig c64 = tiny_config(64);
+    MulticoreResult r16 = run_spmm_on_multicore(a, 16, c16, "mergepath");
+    MulticoreResult r64 = run_spmm_on_multicore(a, 16, c64, "mergepath");
+    EXPECT_LT(r64.completion_cycles, r16.completion_cycles * 0.6);
+}
+
+TEST(RunnerDeathTest, UnknownKernelIsFatal)
+{
+    CsrMatrix a = erdos_renyi_graph(20, 40, 1);
+    MulticoreConfig cfg = tiny_config(16);
+    EXPECT_EXIT(run_spmm_on_multicore(a, 16, cfg, "nope"),
+                testing::ExitedWithCode(1), "multicore runner");
+}
+
+TEST(Runner, Deterministic)
+{
+    CsrMatrix a = erdos_renyi_graph(150, 900, 11);
+    MulticoreConfig cfg = tiny_config(16);
+    MulticoreResult r1 = run_spmm_on_multicore(a, 16, cfg, "mergepath");
+    MulticoreResult r2 = run_spmm_on_multicore(a, 16, cfg, "mergepath");
+    EXPECT_DOUBLE_EQ(r1.completion_cycles, r2.completion_cycles);
+    EXPECT_EQ(r1.total_l1_misses, r2.total_l1_misses);
+}
+
+} // namespace
+} // namespace mps

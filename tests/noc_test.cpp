@@ -1,0 +1,101 @@
+/** Focused tests for the mesh NoC (incl. rectangular factorization). */
+#include <gtest/gtest.h>
+
+#include "mps/multicore/config.h"
+#include "mps/multicore/noc.h"
+
+namespace mps {
+namespace {
+
+MulticoreConfig
+cfg_for(int cores)
+{
+    return MulticoreConfig::table1().scaled_to(cores);
+}
+
+TEST(MeshFactorization, MostSquareShapes)
+{
+    struct Case
+    {
+        int cores, w, h;
+    };
+    for (const Case &c : {Case{64, 8, 8}, Case{128, 16, 8},
+                          Case{256, 16, 16}, Case{512, 32, 16},
+                          Case{1024, 32, 32}}) {
+        MeshNoc noc(c.cores, cfg_for(64));
+        EXPECT_EQ(noc.width(), c.w) << c.cores;
+        EXPECT_EQ(noc.height(), c.h) << c.cores;
+        EXPECT_EQ(noc.diameter(), c.w - 1 + c.h - 1) << c.cores;
+    }
+}
+
+TEST(MeshFactorizationDeathTest, RejectsNonPowerOfTwo)
+{
+    EXPECT_DEATH(MeshNoc(96, cfg_for(64)), "power-of-two");
+}
+
+TEST(MeshNoc, DistanceSymmetricAndTriangleBounded)
+{
+    MeshNoc noc(128, cfg_for(128)); // 16 x 8
+    for (int a = 0; a < 128; a += 13) {
+        for (int b = 0; b < 128; b += 17) {
+            ASSERT_EQ(noc.distance(a, b), noc.distance(b, a));
+            for (int c = 0; c < 128; c += 29) {
+                ASSERT_LE(noc.distance(a, c),
+                          noc.distance(a, b) + noc.distance(b, c));
+            }
+        }
+    }
+}
+
+TEST(MeshNoc, UncontendedLatencyIsHopsTimesHopCycles)
+{
+    MulticoreConfig cfg = cfg_for(64);
+    MeshNoc noc(64, cfg);
+    // Single-flit messages over fresh links.
+    for (auto [src, dst] : {std::pair{0, 63}, {5, 40}, {17, 17}}) {
+        double t = noc.route(src, dst, 1, 1000.0);
+        EXPECT_DOUBLE_EQ(t, 1000.0 +
+                                noc.distance(src, dst) * cfg.hop_cycles);
+    }
+}
+
+TEST(MeshNoc, TailFlitsSerializeAtDestination)
+{
+    MulticoreConfig cfg = cfg_for(64);
+    MeshNoc noc(64, cfg);
+    // A 9-flit message takes 8 extra cycles behind the head flit.
+    double one = noc.route(0, 1, 1, 0.0);
+    MeshNoc fresh(64, cfg);
+    double nine = fresh.route(0, 1, 9, 0.0);
+    EXPECT_DOUBLE_EQ(nine - one, 8.0);
+}
+
+TEST(MeshNoc, BacklogDecaysOverTime)
+{
+    MulticoreConfig cfg = cfg_for(64);
+    MeshNoc noc(64, cfg);
+    // Saturate the first link at t=0...
+    for (int i = 0; i < 20; ++i)
+        noc.route(0, 1, 9, 0.0);
+    double congested = noc.route(0, 1, 9, 0.0);
+    EXPECT_GT(congested, 100.0);
+    // ...but far in the future the backlog has drained.
+    double later = noc.route(0, 1, 9, 10000.0);
+    EXPECT_LT(later - 10000.0, 20.0);
+}
+
+TEST(MeshNoc, XYRoutingUsesDisjointLinksForDisjointRows)
+{
+    // Messages along different rows never share links: both see
+    // uncontended latency even when sent simultaneously.
+    MulticoreConfig cfg = cfg_for(64);
+    MeshNoc noc(64, cfg);
+    for (int i = 0; i < 30; ++i)
+        noc.route(0, 7, 9, 0.0); // row 0 traffic
+    double other_row = noc.route(8, 15, 1, 0.0); // row 1
+    EXPECT_DOUBLE_EQ(other_row, 7 * cfg.hop_cycles);
+}
+
+} // namespace
+} // namespace mps

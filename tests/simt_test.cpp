@@ -1,0 +1,272 @@
+/** Tests for the SIMT GPU model and the warp-program codegen. */
+#include <gtest/gtest.h>
+
+#include "mps/simt/codegen.h"
+#include "mps/simt/gpu_model.h"
+#include "mps/sparse/datasets.h"
+#include "mps/sparse/generate.h"
+
+namespace mps {
+namespace {
+
+KernelWorkload
+uniform_workload(int warps, double issue, double mem, double stalls,
+                 double commits = 0.0)
+{
+    KernelWorkload w;
+    w.name = "synthetic";
+    w.warps.assign(static_cast<size_t>(warps),
+                   {issue, mem, stalls, commits});
+    return w;
+}
+
+TEST(GpuModel, EmptyWorkloadCostsOnlyLaunch)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    KernelWorkload w;
+    GpuKernelResult r = simulate_gpu(w, cfg);
+    EXPECT_DOUBLE_EQ(r.cycles, cfg.kernel_launch_cycles);
+    EXPECT_EQ(r.num_warps, 0);
+}
+
+TEST(GpuModel, IssueBoundScalesWithWork)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    cfg.kernel_launch_cycles = 0;
+    // Plenty of warps, no memory: pure issue throughput.
+    GpuKernelResult r1 =
+        simulate_gpu(uniform_workload(72 * 64, 100, 0, 0), cfg);
+    GpuKernelResult r2 =
+        simulate_gpu(uniform_workload(72 * 64, 200, 0, 0), cfg);
+    EXPECT_NEAR(r2.cycles / r1.cycles, 2.0, 0.01);
+    EXPECT_EQ(r1.limiter, "issue");
+}
+
+TEST(GpuModel, MoreWarpsHideLatency)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    cfg.kernel_launch_cycles = 0;
+    // Same total stalls split over few vs. many warps: the many-warp
+    // version overlaps them (GNNAdvisor's strategy).
+    GpuKernelResult few =
+        simulate_gpu(uniform_workload(72, 10, 0, 64), cfg);
+    GpuKernelResult many =
+        simulate_gpu(uniform_workload(72 * 32, 10, 0, 2), cfg);
+    EXPECT_LT(many.cycles, few.cycles * 0.2);
+}
+
+TEST(GpuModel, ResidencyLimitsHiding)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    cfg.kernel_launch_cycles = 0;
+    // 64 warps per SM but only 32 resident: halving residency doubles
+    // the latency-bound time.
+    KernelWorkload w = uniform_workload(72 * 64, 1, 0, 8);
+    GpuKernelResult wide = simulate_gpu(w, cfg);
+    cfg.max_resident_warps_per_sm = 16;
+    GpuKernelResult narrow = simulate_gpu(w, cfg);
+    EXPECT_NEAR(narrow.cycles / wide.cycles, 2.0, 0.05);
+}
+
+TEST(GpuModel, StragglerBoundsImbalancedWork)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    cfg.kernel_launch_cycles = 0;
+    KernelWorkload w = uniform_workload(72 * 8, 10, 0, 0);
+    w.warps[0].dep_stalls = 1e5; // one evil chunk, stall-dominated
+    GpuKernelResult r = simulate_gpu(w, cfg);
+    double evil_chain = 10 + 1e5 * cfg.mem_latency_cycles /
+                                 cfg.memory_parallelism;
+    EXPECT_GE(r.cycles, evil_chain);
+    EXPECT_EQ(r.limiter, "straggler");
+}
+
+TEST(GpuModel, AtomicSerializationBound)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    cfg.kernel_launch_cycles = 0;
+    KernelWorkload w = uniform_workload(72 * 32, 5, 0, 0);
+    w.max_row_commits = 10000; // hot output row
+    GpuKernelResult r = simulate_gpu(w, cfg);
+    EXPECT_NEAR(r.atomic_serial, 10000 * cfg.atomic_service_cycles, 1e-9);
+    EXPECT_EQ(r.limiter, "atomic_serial");
+}
+
+TEST(GpuModel, SerialTailAdds)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    KernelWorkload w = uniform_workload(72, 10, 0, 0);
+    GpuKernelResult base = simulate_gpu(w, cfg);
+    w.serial_tail_cycles = 5000;
+    GpuKernelResult with_tail = simulate_gpu(w, cfg);
+    EXPECT_NEAR(with_tail.cycles - base.cycles, 5000, 1e-9);
+}
+
+TEST(GpuModel, DramBandwidthBound)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    cfg.kernel_launch_cycles = 0;
+    // Force DRAM to be the binding constraint: every transaction
+    // misses and the SM-to-L2 path is made effectively infinite.
+    cfg.l2_miss_fraction = 1.0;
+    cfg.sm_l2_txns_per_cycle = 1e9;
+    KernelWorkload w = uniform_workload(72 * 32, 1, 1000, 0);
+    GpuKernelResult r = simulate_gpu(w, cfg);
+    double expect_bytes = 72.0 * 32 * 1000 * cfg.l2_txn_bytes;
+    EXPECT_NEAR(r.dram_bound,
+                expect_bytes / cfg.dram_bw_bytes_per_cycle, 1.0);
+    EXPECT_EQ(r.limiter, "dram");
+}
+
+TEST(Codegen, MergePathWarpCountFollowsPolicy)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    CsrMatrix a = make_dataset("Cora");
+    // dim 16 packs 2 threads/warp; dim 64 replicates threads over 2
+    // warps: warp count quadruples between them for the same cost.
+    KernelWorkload w16 = build_mergepath_workload(a, 16, 20, cfg);
+    KernelWorkload w64 = build_mergepath_workload(a, 64, 20, cfg);
+    double ratio = static_cast<double>(w64.warps.size()) /
+                   static_cast<double>(w16.warps.size());
+    EXPECT_NEAR(ratio, 4.0, 0.1);
+}
+
+TEST(Codegen, MergePathCostTradesCommitsForWarps)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    CsrMatrix a = make_dataset("Pubmed");
+    KernelWorkload cheap = build_mergepath_workload(a, 16, 5, cfg);
+    KernelWorkload costly = build_mergepath_workload(a, 16, 50, cfg);
+    EXPECT_GT(cheap.warps.size(), costly.warps.size());
+    EXPECT_GT(cheap.total_commits, costly.total_commits);
+}
+
+TEST(Codegen, GnnAdvisorAllWritesAtomic)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    CsrMatrix a = make_dataset("Citeseer");
+    KernelWorkload w = build_gnnadvisor_workload(
+        a, 16, 0, GnnAdvisorVariant::kBaseline, cfg);
+    // One commit per neighbor group: as many commits as groups (all
+    // non-empty rows produce at least one).
+    EXPECT_GT(w.total_commits, 0.0);
+    double commit_sum = 0.0;
+    for (const auto &warp : w.warps)
+        commit_sum += warp.atomic_commits;
+    EXPECT_GT(commit_sum, 0.0);
+}
+
+TEST(Codegen, GnnAdvisorOptHalvesWarpsAtDim16)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    CsrMatrix a = make_dataset("Pubmed");
+    KernelWorkload base = build_gnnadvisor_workload(
+        a, 16, 0, GnnAdvisorVariant::kBaseline, cfg);
+    KernelWorkload opt = build_gnnadvisor_workload(
+        a, 16, 0, GnnAdvisorVariant::kOpt, cfg);
+    EXPECT_NEAR(static_cast<double>(base.warps.size()) / opt.warps.size(),
+                2.0, 0.05);
+}
+
+TEST(Codegen, GnnAdvisorOptSameAsBaselineAt32Plus)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    CsrMatrix a = make_dataset("Cora");
+    for (index_t dim : {32, 64}) {
+        KernelWorkload base = build_gnnadvisor_workload(
+            a, dim, 0, GnnAdvisorVariant::kBaseline, cfg);
+        KernelWorkload opt = build_gnnadvisor_workload(
+            a, dim, 0, GnnAdvisorVariant::kOpt, cfg);
+        EXPECT_EQ(base.warps.size(), opt.warps.size()) << dim;
+    }
+}
+
+TEST(Codegen, RowSplitHasNoAtomics)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    CsrMatrix a = make_dataset("Cora");
+    KernelWorkload w = build_rowsplit_workload(a, 16, 0, cfg);
+    EXPECT_DOUBLE_EQ(w.total_commits, 0.0);
+    EXPECT_DOUBLE_EQ(w.max_row_commits, 0.0);
+    for (const auto &warp : w.warps)
+        ASSERT_DOUBLE_EQ(warp.atomic_commits, 0.0);
+}
+
+TEST(Codegen, RowSplitEvilRowMakesStraggler)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    cfg.kernel_launch_cycles = 0;
+    CsrMatrix nell = make_scaled_dataset(find_dataset_spec("Nell"), 16);
+    CsrMatrix uniform = erdos_renyi_graph(nell.rows(), nell.nnz(), 3);
+    GpuKernelResult evil =
+        simulate_gpu(build_rowsplit_workload(nell, 16, 0, cfg), cfg);
+    GpuKernelResult flat =
+        simulate_gpu(build_rowsplit_workload(uniform, 16, 0, cfg), cfg);
+    // Same size, but the power-law graph's evil chunk dominates.
+    EXPECT_GT(evil.cycles, flat.cycles * 1.5);
+}
+
+TEST(Codegen, SerialFixupTailGrowsWithThreads)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    CsrMatrix a = make_dataset("Cora");
+    KernelWorkload few = build_mergepath_serial_workload(a, 16, 64, cfg);
+    KernelWorkload many =
+        build_mergepath_serial_workload(a, 16, 2048, cfg);
+    EXPECT_GT(many.serial_tail_cycles, few.serial_tail_cycles * 4);
+    EXPECT_DOUBLE_EQ(few.total_commits, 0.0); // no atomics in this one
+}
+
+TEST(Codegen, CusparsePicksPerShape)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    CsrMatrix structured = make_dataset("PROTEINS_full");
+    CsrMatrix skewed = make_dataset("Wiki-Vote");
+    KernelWorkload s = build_cusparse_workload(structured, 16, cfg);
+    KernelWorkload k = build_cusparse_workload(skewed, 16, cfg);
+    // Structured path has no atomics; skewed path (merge-based) does.
+    double s_commits = 0.0, k_commits = 0.0;
+    for (const auto &w : s.warps)
+        s_commits += w.atomic_commits;
+    for (const auto &w : k.warps)
+        k_commits += w.atomic_commits;
+    EXPECT_DOUBLE_EQ(s_commits, 0.0);
+    EXPECT_GT(k_commits, 0.0);
+}
+
+TEST(Codegen, ScheduleBuildIsTinyVsKernel)
+{
+    GpuConfig cfg = GpuConfig::rtx6000();
+    CsrMatrix a = make_dataset("Pubmed");
+    GpuKernelResult sched = simulate_gpu(
+        build_schedule_build_workload(a, 16, 20, cfg), cfg);
+    GpuKernelResult kernel =
+        simulate_gpu(build_mergepath_workload(a, 16, 20, cfg), cfg);
+    // Both pay the same launch overhead; the schedule body (two binary
+    // searches per thread) must be much cheaper than the SpMM body.
+    EXPECT_LT(sched.cycles - cfg.kernel_launch_cycles,
+              (kernel.cycles - cfg.kernel_launch_cycles) * 0.7);
+    EXPECT_LT(sched.cycles, kernel.cycles);
+}
+
+TEST(Codegen, WorkloadsCoverAllNnz)
+{
+    // Total issue cycles must scale with nnz for every builder: a
+    // sanity check that no generator drops work.
+    GpuConfig cfg = GpuConfig::rtx6000();
+    CsrMatrix a = make_dataset("Citeseer");
+    double nnz_cycles = 3.0 * a.nnz();
+    for (const KernelWorkload &w :
+         {build_mergepath_workload(a, 16, 20, cfg),
+          build_gnnadvisor_workload(a, 16, 0,
+                                    GnnAdvisorVariant::kBaseline, cfg),
+          build_rowsplit_workload(a, 16, 0, cfg)}) {
+        double issue = 0.0;
+        for (const auto &warp : w.warps)
+            issue += warp.issue_cycles;
+        EXPECT_GT(issue, nnz_cycles * 0.4) << w.name;
+    }
+}
+
+} // namespace
+} // namespace mps

@@ -1,0 +1,256 @@
+/** Tests for matrix containers, conversions and file IO. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mps/sparse/coo_matrix.h"
+#include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/degree_stats.h"
+#include "mps/sparse/dense_matrix.h"
+#include "mps/sparse/io.h"
+#include "mps/util/rng.h"
+
+namespace mps {
+namespace {
+
+CsrMatrix
+small_csr()
+{
+    // 4x5:
+    //   [ 1 0 2 0 0 ]
+    //   [ 0 0 0 0 0 ]
+    //   [ 0 3 0 4 5 ]
+    //   [ 6 0 0 0 0 ]
+    return CsrMatrix(4, 5, {0, 2, 2, 5, 6}, {0, 2, 1, 3, 4, 0},
+                     {1, 2, 3, 4, 5, 6});
+}
+
+TEST(DenseMatrix, ConstructionAndAccess)
+{
+    DenseMatrix m(3, 2);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 2);
+    EXPECT_FLOAT_EQ(m(2, 1), 0.0f);
+    m(1, 0) = 5.0f;
+    EXPECT_FLOAT_EQ(m.row(1)[0], 5.0f);
+}
+
+TEST(DenseMatrix, FillAndDiff)
+{
+    DenseMatrix a(2, 2), b(2, 2);
+    a.fill(1.0f);
+    b.fill(1.0f);
+    EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+    b(1, 1) = 1.5f;
+    EXPECT_NEAR(a.max_abs_diff(b), 0.5, 1e-7);
+    EXPECT_FALSE(a.approx_equal(b));
+    EXPECT_TRUE(a.approx_equal(b, 0.6, 0.0));
+}
+
+TEST(DenseMatrix, ApproxEqualUsesRelativeTolerance)
+{
+    DenseMatrix a(1, 1), b(1, 1);
+    a(0, 0) = 1000.0f;
+    b(0, 0) = 1000.05f;
+    EXPECT_TRUE(a.approx_equal(b, 1e-6, 1e-3));
+    EXPECT_FALSE(a.approx_equal(b, 1e-6, 1e-8));
+}
+
+TEST(DenseMatrix, RandomFillDeterministic)
+{
+    Pcg32 r1(9), r2(9);
+    DenseMatrix a(4, 4), b(4, 4);
+    a.fill_random(r1);
+    b.fill_random(r2);
+    EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+}
+
+TEST(CooMatrix, SortAndMergeSumsDuplicates)
+{
+    CooMatrix m(3, 3);
+    m.add(2, 1, 1.0f);
+    m.add(0, 0, 2.0f);
+    m.add(2, 1, 3.0f);
+    m.add(1, 2, 4.0f);
+    m.sort_and_merge();
+    ASSERT_EQ(m.nnz(), 3);
+    EXPECT_EQ(m.entries()[0].row, 0);
+    EXPECT_EQ(m.entries()[1].row, 1);
+    EXPECT_EQ(m.entries()[2].row, 2);
+    EXPECT_FLOAT_EQ(m.entries()[2].value, 4.0f);
+}
+
+TEST(CsrMatrix, BasicShapeAndDegrees)
+{
+    CsrMatrix m = small_csr();
+    EXPECT_EQ(m.rows(), 4);
+    EXPECT_EQ(m.cols(), 5);
+    EXPECT_EQ(m.nnz(), 6);
+    EXPECT_EQ(m.degree(0), 2);
+    EXPECT_EQ(m.degree(1), 0);
+    EXPECT_EQ(m.degree(2), 3);
+    EXPECT_EQ(m.row_begin(2), 2);
+    EXPECT_EQ(m.row_end(2), 5);
+}
+
+TEST(CsrMatrix, FromCooMatchesManualBuild)
+{
+    CooMatrix coo(4, 5);
+    coo.add(2, 3, 4.0f);
+    coo.add(0, 0, 1.0f);
+    coo.add(2, 1, 3.0f);
+    coo.add(0, 2, 2.0f);
+    coo.add(3, 0, 6.0f);
+    coo.add(2, 4, 5.0f);
+    CsrMatrix m = CsrMatrix::from_coo(std::move(coo));
+    CsrMatrix expect = small_csr();
+    EXPECT_EQ(m.row_ptr(), expect.row_ptr());
+    EXPECT_EQ(m.col_idx(), expect.col_idx());
+    EXPECT_EQ(m.values(), expect.values());
+}
+
+TEST(CsrMatrix, CooRoundTrip)
+{
+    CsrMatrix m = small_csr();
+    CsrMatrix back = CsrMatrix::from_coo(m.to_coo());
+    EXPECT_EQ(back.row_ptr(), m.row_ptr());
+    EXPECT_EQ(back.col_idx(), m.col_idx());
+    EXPECT_EQ(back.values(), m.values());
+}
+
+TEST(CsrMatrix, TransposeTwiceIsIdentity)
+{
+    CsrMatrix m = small_csr();
+    CsrMatrix tt = m.transposed().transposed();
+    EXPECT_EQ(tt.rows(), m.rows());
+    EXPECT_EQ(tt.cols(), m.cols());
+    EXPECT_EQ(tt.row_ptr(), m.row_ptr());
+    EXPECT_EQ(tt.col_idx(), m.col_idx());
+    EXPECT_EQ(tt.values(), m.values());
+}
+
+TEST(CsrMatrix, TransposeMovesEntries)
+{
+    CsrMatrix t = small_csr().transposed();
+    EXPECT_EQ(t.rows(), 5);
+    EXPECT_EQ(t.cols(), 4);
+    EXPECT_EQ(t.nnz(), 6);
+    // Entry (3, 0) = 6 becomes (0, 3).
+    bool found = false;
+    for (index_t k = t.row_begin(0); k < t.row_end(0); ++k) {
+        if (t.col_idx()[k] == 3) {
+            EXPECT_FLOAT_EQ(t.values()[k], 6.0f);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(CsrMatrix, NormalizeGcnSymmetricWeights)
+{
+    // 2-node cycle: both entries get 1/sqrt(2*2) = 0.5.
+    CsrMatrix m(2, 2, {0, 1, 2}, {1, 0}, {1.0f, 1.0f});
+    m.normalize_gcn();
+    EXPECT_FLOAT_EQ(m.values()[0], 0.5f);
+    EXPECT_FLOAT_EQ(m.values()[1], 0.5f);
+}
+
+TEST(CsrMatrixDeathTest, ValidateCatchesBadRowPtr)
+{
+    EXPECT_DEATH(CsrMatrix(2, 2, {0, 2, 1}, {0}, {1.0f}),
+                 "non-decreasing");
+}
+
+TEST(CsrMatrixDeathTest, ValidateCatchesBadColumn)
+{
+    EXPECT_DEATH(CsrMatrix(1, 2, {0, 1}, {5}, {1.0f}), "out of range");
+}
+
+TEST(DegreeStats, SmallMatrix)
+{
+    DegreeStats s = compute_degree_stats(small_csr());
+    EXPECT_EQ(s.min_degree, 0);
+    EXPECT_EQ(s.max_degree, 3);
+    EXPECT_NEAR(s.avg_degree, 1.5, 1e-12);
+    EXPECT_NEAR(s.empty_row_fraction, 0.25, 1e-12);
+    EXPECT_GT(s.degree_cv, 0.0);
+    EXPECT_FALSE(to_string(s).empty());
+}
+
+TEST(DegreeStats, HistogramCountsRows)
+{
+    Log2Histogram h = degree_histogram(small_csr());
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.zero_count(), 1u);
+}
+
+TEST(MatrixMarketIo, RoundTrip)
+{
+    CsrMatrix m = small_csr();
+    std::ostringstream out;
+    write_matrix_market(out, m.to_coo());
+    std::istringstream in(out.str());
+    CsrMatrix back = CsrMatrix::from_coo(read_matrix_market(in));
+    EXPECT_EQ(back.row_ptr(), m.row_ptr());
+    EXPECT_EQ(back.col_idx(), m.col_idx());
+    EXPECT_EQ(back.values(), m.values());
+}
+
+TEST(MatrixMarketIo, PatternAndComments)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "% a comment\n"
+        "3 3 2\n"
+        "1 2\n"
+        "3 1\n");
+    CooMatrix m = read_matrix_market(in);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.nnz(), 2);
+    EXPECT_FLOAT_EQ(m.entries()[0].value, 1.0f);
+}
+
+TEST(MatrixMarketIo, SymmetricExpansion)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 5.0\n"
+        "3 3 7.0\n");
+    CsrMatrix m = CsrMatrix::from_coo(read_matrix_market(in));
+    // Off-diagonal expands to both triangles; diagonal does not double.
+    EXPECT_EQ(m.nnz(), 3);
+    EXPECT_EQ(m.degree(0), 1);
+    EXPECT_EQ(m.degree(1), 1);
+    EXPECT_EQ(m.degree(2), 1);
+}
+
+TEST(MatrixMarketIoDeathTest, RejectsBadBanner)
+{
+    std::istringstream in("%%NotMatrixMarket x y z w\n1 1 0\n");
+    EXPECT_EXIT(read_matrix_market(in), testing::ExitedWithCode(1),
+                "banner");
+}
+
+TEST(EdgeListIo, DirectedAndWeighted)
+{
+    std::istringstream in(
+        "# comment line\n"
+        "0 1 2.5\n"
+        "4 2\n");
+    CsrMatrix m = CsrMatrix::from_coo(read_edge_list(in));
+    EXPECT_EQ(m.rows(), 5);
+    EXPECT_EQ(m.nnz(), 2);
+    EXPECT_FLOAT_EQ(m.values()[0], 2.5f);
+    EXPECT_FLOAT_EQ(m.values()[1], 1.0f);
+}
+
+TEST(EdgeListIo, UndirectedDoublesEdges)
+{
+    std::istringstream in("0 1\n1 2\n");
+    CooMatrix m = read_edge_list(in, /*undirected=*/true);
+    EXPECT_EQ(m.nnz(), 4);
+}
+
+} // namespace
+} // namespace mps

@@ -1,0 +1,147 @@
+/** Tests for the SpGEMM substrate and sparse-feature helpers. */
+#include <gtest/gtest.h>
+
+#include "mps/gcn/gemm.h"
+#include "mps/sparse/generate.h"
+#include "mps/sparse/spgemm.h"
+#include "mps/util/rng.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+namespace {
+
+TEST(Spgemm, HandExample)
+{
+    // A = [1 2; 0 3], B = [0 4; 5 0]  ->  A*B = [10 4; 15 0]
+    CsrMatrix a(2, 2, {0, 2, 3}, {0, 1, 1}, {1, 2, 3});
+    CsrMatrix b(2, 2, {0, 1, 2}, {1, 0}, {4, 5});
+    CsrMatrix c = spgemm(a, b);
+    DenseMatrix d = densify(c);
+    EXPECT_FLOAT_EQ(d(0, 0), 10.0f);
+    EXPECT_FLOAT_EQ(d(0, 1), 4.0f);
+    EXPECT_FLOAT_EQ(d(1, 0), 15.0f);
+    EXPECT_FLOAT_EQ(d(1, 1), 0.0f);
+    c.validate();
+}
+
+TEST(Spgemm, MatchesDenseReference)
+{
+    CsrMatrix a = erdos_renyi_graph(60, 300, 1);
+    CsrMatrix b = erdos_renyi_graph(60, 400, 2);
+    DenseMatrix da = densify(a), db = densify(b);
+    DenseMatrix expect(60, 60);
+    reference_gemm(da, db, expect);
+    DenseMatrix got = densify(spgemm(a, b));
+    EXPECT_TRUE(got.approx_equal(expect, 1e-3, 1e-4));
+}
+
+TEST(Spgemm, RectangularShapes)
+{
+    Pcg32 rng(3);
+    DenseMatrix da(7, 13), db(13, 5);
+    da.fill_random(rng);
+    db.fill_random(rng);
+    CsrMatrix a = sparsify(da, 0.5f);
+    CsrMatrix b = sparsify(db, 0.5f);
+    DenseMatrix expect(7, 5);
+    reference_gemm(densify(a), densify(b), expect);
+    CsrMatrix c = spgemm(a, b);
+    EXPECT_EQ(c.rows(), 7);
+    EXPECT_EQ(c.cols(), 5);
+    EXPECT_TRUE(densify(c).approx_equal(expect, 1e-3, 1e-4));
+}
+
+TEST(Spgemm, OutputColumnsSorted)
+{
+    CsrMatrix a = erdos_renyi_graph(40, 200, 5);
+    CsrMatrix c = spgemm(a, a);
+    for (index_t r = 0; r < c.rows(); ++r) {
+        for (index_t k = c.row_begin(r) + 1; k < c.row_end(r); ++k)
+            ASSERT_LT(c.col_idx()[k - 1], c.col_idx()[k]);
+    }
+}
+
+TEST(Spgemm, ParallelMatchesSequential)
+{
+    ThreadPool pool(4);
+    PowerLawParams p;
+    p.nodes = 700;
+    p.target_nnz = 4000;
+    p.max_degree = 400;
+    p.seed = 7;
+    CsrMatrix a = power_law_graph(p);
+    CsrMatrix seq = spgemm(a, a);
+    CsrMatrix par = spgemm_parallel(a, a, pool);
+    EXPECT_EQ(seq.row_ptr(), par.row_ptr());
+    EXPECT_EQ(seq.col_idx(), par.col_idx());
+    for (size_t i = 0; i < seq.values().size(); ++i)
+        ASSERT_NEAR(seq.values()[i], par.values()[i], 1e-4);
+}
+
+TEST(Spgemm, EmptyOperands)
+{
+    CsrMatrix empty(4, 4, {0, 0, 0, 0, 0}, {}, {});
+    CsrMatrix a = erdos_renyi_graph(4, 8, 9);
+    EXPECT_EQ(spgemm(empty, a).nnz(), 0);
+    EXPECT_EQ(spgemm(a, empty).nnz(), 0);
+}
+
+TEST(SpgemmDeathTest, DimensionMismatch)
+{
+    CsrMatrix a(2, 3, {0, 0, 0}, {}, {});
+    CsrMatrix b(2, 2, {0, 0, 0}, {}, {});
+    EXPECT_DEATH(spgemm(a, b), "inner dimensions");
+}
+
+TEST(SparseDense, MatchesDenseGemm)
+{
+    ThreadPool pool(3);
+    Pcg32 rng(5);
+    DenseMatrix dx(300, 40), w(40, 16);
+    dx.fill_random(rng);
+    w.fill_random(rng);
+    CsrMatrix x = sparsify(dx, 0.6f); // moderately sparse features
+    DenseMatrix expect(300, 16), got(300, 16);
+    reference_gemm(densify(x), w, expect);
+    sparse_dense_matmul(x, w, got, pool);
+    EXPECT_TRUE(got.approx_equal(expect, 1e-3, 1e-4));
+}
+
+TEST(Prune, RemovesSmallEntries)
+{
+    CsrMatrix m(2, 3, {0, 2, 3}, {0, 2, 1}, {0.05f, -2.0f, 0.0f});
+    CsrMatrix pruned = prune(m, 0.1f);
+    EXPECT_EQ(pruned.nnz(), 1);
+    EXPECT_FLOAT_EQ(pruned.values()[0], -2.0f);
+    EXPECT_EQ(pruned.rows(), 2);
+    EXPECT_EQ(pruned.cols(), 3);
+}
+
+TEST(SparsifyDensify, RoundTrip)
+{
+    Pcg32 rng(8);
+    DenseMatrix d(20, 30);
+    d.fill_random(rng);
+    CsrMatrix s = sparsify(d);
+    EXPECT_TRUE(densify(s).approx_equal(d, 1e-7, 1e-7));
+    // Thresholded version drops small entries.
+    CsrMatrix st = sparsify(d, 0.9f);
+    EXPECT_LT(st.nnz(), s.nnz());
+}
+
+TEST(Spgemm, TwoHopNeighborhoodInterpretation)
+{
+    // A^2 of an adjacency matrix counts 2-hop paths: verify on a
+    // 3-cycle, where every node reaches itself in 2 hops two ways...
+    // (directed cycle: exactly one 2-hop path i -> i+2).
+    CsrMatrix cycle(3, 3, {0, 1, 2, 3}, {1, 2, 0}, {1, 1, 1});
+    CsrMatrix two_hop = spgemm(cycle, cycle);
+    DenseMatrix d = densify(two_hop);
+    EXPECT_FLOAT_EQ(d(0, 2), 1.0f);
+    EXPECT_FLOAT_EQ(d(1, 0), 1.0f);
+    EXPECT_FLOAT_EQ(d(2, 1), 1.0f);
+    EXPECT_EQ(two_hop.nnz(), 3);
+}
+
+} // namespace
+} // namespace mps

@@ -1,0 +1,169 @@
+/** Tests for GCN training: loss, gradients, and end-to-end learning. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mps/gcn/training.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC)
+{
+    DenseMatrix logits(4, 5); // all zeros -> uniform distribution
+    std::vector<int32_t> labels{0, 1, 2, 3};
+    std::vector<bool> mask(4, true);
+    DenseMatrix grad(4, 5);
+    double loss = softmax_cross_entropy(logits, labels, mask, grad);
+    EXPECT_NEAR(loss, std::log(5.0), 1e-6);
+    // Gradient rows sum to zero; the true class entry is negative.
+    for (index_t r = 0; r < 4; ++r) {
+        double sum = 0.0;
+        for (index_t c = 0; c < 5; ++c)
+            sum += grad(r, c);
+        EXPECT_NEAR(sum, 0.0, 1e-6);
+        EXPECT_LT(grad(r, labels[static_cast<size_t>(r)]), 0.0f);
+    }
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectPredictionHasLowLoss)
+{
+    DenseMatrix logits(1, 3);
+    logits(0, 1) = 10.0f;
+    std::vector<int32_t> labels{1};
+    std::vector<bool> mask{true};
+    DenseMatrix grad(1, 3);
+    double loss = softmax_cross_entropy(logits, labels, mask, grad);
+    EXPECT_LT(loss, 1e-3);
+}
+
+TEST(SoftmaxCrossEntropy, MaskExcludesNodes)
+{
+    DenseMatrix logits(2, 2);
+    logits(0, 0) = 100.0f; // confident, correct
+    logits(1, 1) = -100.0f;
+    std::vector<int32_t> labels{0, 1};
+    std::vector<bool> mask{true, false};
+    DenseMatrix grad(2, 2);
+    double loss = softmax_cross_entropy(logits, labels, mask, grad);
+    EXPECT_LT(loss, 1e-3); // node 1's terrible logits are masked out
+    EXPECT_FLOAT_EQ(grad(1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(grad(1, 1), 0.0f);
+}
+
+TEST(SoftmaxCrossEntropy, NumericalGradientCheck)
+{
+    // Finite differences on a tiny instance.
+    DenseMatrix logits(2, 3);
+    logits(0, 0) = 0.3f;
+    logits(0, 1) = -0.7f;
+    logits(0, 2) = 1.1f;
+    logits(1, 0) = -0.2f;
+    logits(1, 1) = 0.5f;
+    logits(1, 2) = 0.0f;
+    std::vector<int32_t> labels{2, 0};
+    std::vector<bool> mask{true, true};
+    DenseMatrix grad(2, 3);
+    softmax_cross_entropy(logits, labels, mask, grad);
+
+    const double eps = 1e-3;
+    for (index_t r = 0; r < 2; ++r) {
+        for (index_t c = 0; c < 3; ++c) {
+            DenseMatrix plus = logits, minus = logits;
+            plus(r, c) += static_cast<value_t>(eps);
+            minus(r, c) -= static_cast<value_t>(eps);
+            DenseMatrix scratch(2, 3);
+            double lp =
+                softmax_cross_entropy(plus, labels, mask, scratch);
+            double lm =
+                softmax_cross_entropy(minus, labels, mask, scratch);
+            double numeric = (lp - lm) / (2 * eps);
+            ASSERT_NEAR(grad(r, c), numeric, 1e-3)
+                << "entry " << r << "," << c;
+        }
+    }
+}
+
+TEST(ArgmaxAccuracy, Basics)
+{
+    DenseMatrix logits(3, 2);
+    logits(0, 1) = 1.0f;
+    logits(1, 0) = 1.0f;
+    logits(2, 1) = 1.0f;
+    auto pred = argmax_rows(logits);
+    EXPECT_EQ(pred, (std::vector<int32_t>{1, 0, 1}));
+    std::vector<int32_t> labels{1, 1, 1};
+    std::vector<bool> all(3, true);
+    EXPECT_NEAR(accuracy(logits, labels, all), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ClassificationProblem, WellFormed)
+{
+    ClassificationProblem p =
+        make_classification_problem(600, 3, 12, 8, 42);
+    p.graph.validate();
+    EXPECT_EQ(p.graph.rows(), 600);
+    EXPECT_EQ(p.features.rows(), 600);
+    EXPECT_EQ(p.features.cols(), 12);
+    EXPECT_EQ(p.num_classes, 3);
+    int train = 0, both = 0;
+    for (size_t i = 0; i < p.train_mask.size(); ++i) {
+        train += p.train_mask[i];
+        both += p.train_mask[i] && p.test_mask[i];
+    }
+    EXPECT_GT(train, 100);
+    EXPECT_LT(train, 300);
+    EXPECT_EQ(both, 0); // disjoint split
+    for (int32_t label : p.labels) {
+        ASSERT_GE(label, 0);
+        ASSERT_LT(label, 3);
+    }
+}
+
+TEST(GcnTrainer, LossDecreasesAndLearns)
+{
+    ClassificationProblem p =
+        make_classification_problem(800, 4, 16, 10, 7);
+    ThreadPool pool(4);
+    GcnTrainer trainer(16, 16, 4, /*seed=*/1, /*lr=*/0.5f);
+
+    DenseMatrix before_logits =
+        trainer.predict(p.graph, p.features, pool);
+    double before_acc = accuracy(before_logits, p.labels, p.test_mask);
+
+    double first_loss = 0.0, last_loss = 0.0;
+    for (int epoch = 0; epoch < 60; ++epoch) {
+        double loss = trainer.step(p.graph, p.features, p.labels,
+                                   p.train_mask, pool);
+        if (epoch == 0)
+            first_loss = loss;
+        last_loss = loss;
+    }
+    EXPECT_LT(last_loss, first_loss * 0.5)
+        << "training must reduce the loss";
+
+    DenseMatrix after_logits = trainer.predict(p.graph, p.features, pool);
+    double after_acc = accuracy(after_logits, p.labels, p.test_mask);
+    EXPECT_GT(after_acc, 0.85) << "planted communities are learnable";
+    EXPECT_GT(after_acc, before_acc);
+}
+
+TEST(GcnTrainer, DeterministicAcrossRuns)
+{
+    ClassificationProblem p =
+        make_classification_problem(300, 3, 9, 6, 9);
+    ThreadPool pool(2);
+    GcnTrainer t1(9, 8, 3, 5, 0.2f), t2(9, 8, 3, 5, 0.2f);
+    for (int epoch = 0; epoch < 5; ++epoch) {
+        t1.step(p.graph, p.features, p.labels, p.train_mask, pool);
+        t2.step(p.graph, p.features, p.labels, p.train_mask, pool);
+    }
+    // Atomic commit order may perturb float sums slightly; weights
+    // must still agree tightly.
+    EXPECT_TRUE(t1.w1().approx_equal(t2.w1(), 1e-3, 1e-3));
+    EXPECT_TRUE(t1.w2().approx_equal(t2.w2(), 1e-3, 1e-3));
+}
+
+} // namespace
+} // namespace mps

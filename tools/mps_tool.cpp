@@ -1,0 +1,275 @@
+/**
+ * @file
+ * mps_tool — command-line front end for the MergePath-SpMM library.
+ *
+ *   mps_tool generate --dataset=Nell --out=nell.bin
+ *   mps_tool convert  --in=graph.mtx --out=graph.bin
+ *   mps_tool info     --in=graph.bin
+ *   mps_tool schedule --in=graph.bin --cost=20 --dim=16 [--out=s.bin]
+ *   mps_tool spmm     --in=graph.bin --kernel=mergepath --dim=16
+ *   mps_tool reorder  --in=graph.bin --method=bfs --out=relabeled.bin
+ *
+ * Containers: .bin (this library's binary CSR), .mtx (MatrixMarket),
+ * .el (edge list, read-only), or a Table II dataset name via
+ * --dataset.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "mps/core/policy.h"
+#include "mps/core/serialize.h"
+#include "mps/kernels/registry.h"
+#include "mps/sparse/datasets.h"
+#include "mps/sparse/degree_stats.h"
+#include "mps/sparse/io.h"
+#include "mps/sparse/reorder.h"
+#include "mps/util/cli.h"
+#include "mps/util/log.h"
+#include "mps/util/rng.h"
+#include "mps/util/thread_pool.h"
+#include "mps/util/timer.h"
+
+using namespace mps;
+
+namespace {
+
+bool
+ends_with(const std::string &s, const char *suffix)
+{
+    size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/** Load a matrix from --in / --dataset flags. */
+CsrMatrix
+load_matrix(const FlagParser &flags)
+{
+    const std::string &dataset = flags.get_string("dataset");
+    if (!dataset.empty())
+        return make_dataset(dataset);
+    const std::string &in = flags.get_string("in");
+    if (in.empty())
+        fatal("provide --in=<file> or --dataset=<name>");
+    if (ends_with(in, ".bin"))
+        return read_csr_binary_file(in);
+    if (ends_with(in, ".mtx"))
+        return CsrMatrix::from_coo(read_matrix_market_file(in));
+    if (ends_with(in, ".el"))
+        return CsrMatrix::from_coo(read_edge_list_file(in));
+    fatal("unknown input container (want .bin, .mtx or .el): " + in);
+}
+
+void
+store_matrix(const CsrMatrix &m, const std::string &out)
+{
+    if (ends_with(out, ".bin")) {
+        write_csr_binary_file(out, m);
+    } else if (ends_with(out, ".mtx")) {
+        std::ofstream f(out);
+        if (!f)
+            fatal("cannot open for writing: " + out);
+        write_matrix_market(f, m.to_coo());
+    } else {
+        fatal("unknown output container (want .bin or .mtx): " + out);
+    }
+    inform("wrote " + out);
+}
+
+void
+add_io_flags(FlagParser &flags)
+{
+    flags.add_string("in", "", "input matrix (.bin/.mtx/.el)");
+    flags.add_string("dataset", "", "Table II dataset name instead of --in");
+}
+
+int
+cmd_generate(int argc, char **argv)
+{
+    FlagParser flags("generate a registry dataset into a container");
+    flags.add_string("dataset", "Cora", "Table II dataset name");
+    flags.add_string("out", "graph.bin", "output file (.bin or .mtx)");
+    flags.parse(argc, argv);
+    CsrMatrix m = make_dataset(flags.get_string("dataset"));
+    store_matrix(m, flags.get_string("out"));
+    return 0;
+}
+
+int
+cmd_convert(int argc, char **argv)
+{
+    FlagParser flags("convert between matrix containers");
+    add_io_flags(flags);
+    flags.add_string("out", "", "output file (.bin or .mtx)");
+    flags.parse(argc, argv);
+    CsrMatrix m = load_matrix(flags);
+    if (flags.get_string("out").empty())
+        fatal("convert needs --out");
+    store_matrix(m, flags.get_string("out"));
+    return 0;
+}
+
+int
+cmd_info(int argc, char **argv)
+{
+    FlagParser flags("print matrix statistics");
+    add_io_flags(flags);
+    flags.add_bool("histogram", false, "print the degree histogram");
+    flags.parse(argc, argv);
+    CsrMatrix m = load_matrix(flags);
+    DegreeStats s = compute_degree_stats(m);
+    std::printf("%d x %d, %d non-zeros\n%s\n", m.rows(), m.cols(),
+                m.nnz(), to_string(s).c_str());
+    if (flags.get_bool("histogram"))
+        std::printf("%s", degree_histogram(m).to_string().c_str());
+    return 0;
+}
+
+int
+cmd_schedule(int argc, char **argv)
+{
+    FlagParser flags("build and inspect a merge-path schedule");
+    add_io_flags(flags);
+    flags.add_int("dim", 16, "dense dimension (for the tuned cost)");
+    flags.add_int("cost", 0, "merge-path cost (0 = tuned default)");
+    flags.add_int("threads", 0, "explicit thread count (overrides cost)");
+    flags.add_string("out", "", "optional schedule output (.bin)");
+    flags.parse(argc, argv);
+    CsrMatrix m = load_matrix(flags);
+
+    MergePathSchedule sched;
+    if (flags.get_int("threads") > 0) {
+        sched = MergePathSchedule::build(
+            m, static_cast<index_t>(flags.get_int("threads")));
+    } else {
+        index_t cost = static_cast<index_t>(flags.get_int("cost"));
+        if (cost <= 0) {
+            cost = default_merge_path_cost(
+                static_cast<index_t>(flags.get_int("dim")));
+        }
+        sched = MergePathSchedule::build_with_cost(m, cost, 1024);
+    }
+    sched.validate(m);
+    ScheduleCensus c = sched.census(m);
+    std::printf("threads %d, cost %lld\n", sched.num_threads(),
+                static_cast<long long>(sched.items_per_thread()));
+    std::printf("atomic commits %lld (%.1f%% of writes), plain rows %lld,"
+                " split rows %lld\n",
+                static_cast<long long>(c.atomic_commits),
+                100.0 * c.atomic_write_fraction(),
+                static_cast<long long>(c.plain_row_writes),
+                static_cast<long long>(c.split_rows));
+    const std::string &out = flags.get_string("out");
+    if (!out.empty()) {
+        std::ofstream f(out, std::ios::binary);
+        if (!f)
+            fatal("cannot open for writing: " + out);
+        write_schedule_binary(f, sched);
+        inform("wrote " + out);
+    }
+    return 0;
+}
+
+int
+cmd_spmm(int argc, char **argv)
+{
+    FlagParser flags("run one SpMM kernel and time it");
+    add_io_flags(flags);
+    flags.add_string("kernel", "mergepath", "registry kernel name");
+    flags.add_int("dim", 16, "dense dimension size");
+    flags.add_int("repeat", 5, "timed repetitions");
+    flags.parse(argc, argv);
+    CsrMatrix m = load_matrix(flags);
+    const index_t dim = static_cast<index_t>(flags.get_int("dim"));
+
+    Pcg32 rng(1);
+    DenseMatrix b(m.cols(), dim);
+    b.fill_random(rng);
+    DenseMatrix c(m.rows(), dim);
+    ThreadPool pool;
+    auto kernel = make_spmm_kernel(flags.get_string("kernel"));
+    Timer prep;
+    kernel->prepare(m, dim);
+    double prep_ms = prep.elapsed_seconds() * 1e3;
+
+    kernel->run(m, b, c, pool); // warm-up
+    Timer timer;
+    const int repeat = static_cast<int>(flags.get_int("repeat"));
+    for (int i = 0; i < repeat; ++i)
+        kernel->run(m, b, c, pool);
+    double ms = timer.elapsed_seconds() * 1e3 / repeat;
+
+    double checksum = 0.0;
+    for (index_t r = 0; r < c.rows(); ++r)
+        checksum += c(r, 0);
+    std::printf("%s: prepare %.3f ms, run %.3f ms avg over %d"
+                " (%.2f GFLOP/s), checksum %.6g\n",
+                kernel->name().c_str(), prep_ms, ms, repeat,
+                2.0 * m.nnz() * dim / (ms * 1e6), checksum);
+    return 0;
+}
+
+int
+cmd_reorder(int argc, char **argv)
+{
+    FlagParser flags("relabel a graph (degree sort or BFS)");
+    add_io_flags(flags);
+    flags.add_string("method", "bfs", "bfs | degree | degree-asc");
+    flags.add_string("out", "reordered.bin", "output file (.bin or .mtx)");
+    flags.parse(argc, argv);
+    CsrMatrix m = load_matrix(flags);
+    const std::string &method = flags.get_string("method");
+    std::vector<index_t> perm;
+    if (method == "bfs") {
+        perm = bfs_permutation(m);
+    } else if (method == "degree") {
+        perm = degree_sort_permutation(m, true);
+    } else if (method == "degree-asc") {
+        perm = degree_sort_permutation(m, false);
+    } else {
+        fatal("unknown method '" + method + "' (bfs|degree|degree-asc)");
+    }
+    store_matrix(permute_symmetric(m, perm), flags.get_string("out"));
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "mps_tool <command> [flags]   (each command supports --help)\n"
+        "  generate   materialize a Table II dataset\n"
+        "  convert    convert between .bin / .mtx / .el containers\n"
+        "  info       matrix statistics and degree histogram\n"
+        "  schedule   build + inspect + store a merge-path schedule\n"
+        "  spmm       run a kernel from the registry and time it\n"
+        "  reorder    relabel a graph (bfs | degree | degree-asc)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string cmd = argv[1];
+    // Shift the subcommand out of the argument list.
+    if (cmd == "generate")
+        return cmd_generate(argc - 1, argv + 1);
+    if (cmd == "convert")
+        return cmd_convert(argc - 1, argv + 1);
+    if (cmd == "info")
+        return cmd_info(argc - 1, argv + 1);
+    if (cmd == "schedule")
+        return cmd_schedule(argc - 1, argv + 1);
+    if (cmd == "spmm")
+        return cmd_spmm(argc - 1, argv + 1);
+    if (cmd == "reorder")
+        return cmd_reorder(argc - 1, argv + 1);
+    usage();
+    return cmd == "--help" || cmd == "help" ? 0 : 1;
+}
