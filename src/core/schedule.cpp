@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "mps/util/log.h"
+#include "mps/util/metrics.h"
+#include "mps/util/timer.h"
+#include "mps/util/trace.h"
 
 namespace mps {
 
@@ -10,6 +13,12 @@ MergePathSchedule
 MergePathSchedule::build(const CsrMatrix &a, index_t num_threads)
 {
     MPS_CHECK(num_threads >= 1, "need at least one thread");
+    // Schedule construction is the cost Figure 8 charges to online
+    // execution; surface it as a timing distribution + span.
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const bool instrumented = metrics.enabled();
+    ScopedSpan span("schedule.build", "schedule");
+    Timer timer;
     int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
 
     MergePathSchedule sched;
@@ -37,6 +46,10 @@ MergePathSchedule::build(const CsrMatrix &a, index_t num_threads)
         sched.work_[static_cast<size_t>(t)] = {
             bounds[static_cast<size_t>(t)],
             bounds[static_cast<size_t>(t) + 1]};
+    }
+    if (instrumented) {
+        metrics.counter_add("schedule.builds");
+        metrics.timer_record_ms("schedule.build_ms", timer.elapsed_ms());
     }
     return sched;
 }

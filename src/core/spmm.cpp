@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "mps/util/log.h"
+#include "mps/util/metrics.h"
 #include "mps/util/thread_pool.h"
+#include "mps/util/trace.h"
 
 namespace mps {
 
@@ -80,6 +82,33 @@ run_thread_work(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
         accumulate_range(a, b, w.tail_begin, w.tail_end, acc, dim);
         commit(c, w.tail_row, acc, dim, w.tail_atomic);
     }
+
+    // Per-thread write census (the runtime counterpart of Figure 5's
+    // atomic-vs-plain write distribution). Costs one relaxed atomic
+    // load when metrics are disabled.
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled()) {
+        int64_t atomics = 0, plains = 0, nnz = 0;
+        if (w.has_head()) {
+            (w.head_atomic ? atomics : plains) += 1;
+            nnz += w.head_end - w.head_begin;
+        }
+        if (w.last_complete_row > w.first_complete_row) {
+            plains += w.last_complete_row - w.first_complete_row;
+            nnz += a.row_begin(w.last_complete_row) -
+                   a.row_begin(w.first_complete_row);
+        }
+        if (w.has_tail()) {
+            (w.tail_atomic ? atomics : plains) += 1;
+            nnz += w.tail_end - w.tail_begin;
+        }
+        if (atomics > 0)
+            metrics.counter_add("spmm.mergepath.atomic_commits", atomics);
+        if (plains > 0)
+            metrics.counter_add("spmm.mergepath.plain_commits", plains);
+        if (nnz > 0)
+            metrics.counter_add("spmm.mergepath.nnz_processed", nnz);
+    }
 }
 
 void
@@ -110,6 +139,31 @@ mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
                         ThreadPool &pool)
 {
     check_shapes(a, b, c);
+    ScopedSpan span("spmm.mergepath", "kernel");
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled()) {
+        // Derived load-imbalance gauge: the largest thread share over
+        // the mean share. Merge-path guarantees this stays ~1.0; the
+        // row-split baselines have no such bound.
+        int64_t max_items = 0;
+        for (const ThreadWork &w : sched.work()) {
+            int64_t items =
+                (w.end.row - w.start.row) + (w.end.nz - w.start.nz);
+            max_items = std::max(max_items, items);
+        }
+        int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
+        double mean = sched.num_threads() == 0
+                          ? 0.0
+                          : static_cast<double>(total) /
+                                static_cast<double>(sched.num_threads());
+        metrics.gauge_set("spmm.mergepath.load_imbalance",
+                          mean == 0.0 ? 1.0
+                                      : static_cast<double>(max_items) /
+                                            mean);
+        metrics.gauge_set("spmm.mergepath.threads",
+                          static_cast<double>(sched.num_threads()));
+        metrics.counter_add("spmm.mergepath.runs");
+    }
     c.fill(0.0f);
     const index_t dim = b.cols();
     pool.parallel_for(

@@ -6,6 +6,7 @@
 #include "mps/gcn/gemm.h"
 #include "mps/util/log.h"
 #include "mps/util/rng.h"
+#include "mps/util/trace.h"
 
 namespace mps {
 
@@ -27,9 +28,16 @@ GcnLayer::forward(const CsrMatrix &a, const DenseMatrix &x,
     MPS_CHECK(out.rows() == a.rows() && out.cols() == out_features(),
               "output must be n x out_features");
 
+    ScopedSpan span("gcn.layer.forward", "gcn");
     DenseMatrix xw(x.rows(), out_features());
-    dense_gemm(x, weights_, xw, pool);
-    kernel.run(a, xw, out, pool);
+    {
+        ScopedSpan combine("gcn.layer.combine", "gcn");
+        dense_gemm(x, weights_, xw, pool);
+    }
+    {
+        ScopedSpan aggregate("gcn.layer.aggregate", "gcn");
+        kernel.run(a, xw, out, pool);
+    }
     apply_activation(out, act_);
 }
 

@@ -4,7 +4,9 @@
 
 #include "mps/kernels/registry.h"
 #include "mps/util/log.h"
+#include "mps/util/metrics.h"
 #include "mps/util/timer.h"
+#include "mps/util/trace.h"
 
 namespace mps {
 
@@ -60,24 +62,38 @@ GcnModel::infer(const CsrMatrix &a, const DenseMatrix &x, ThreadPool &pool,
     MPS_CHECK(x.cols() == layers_.front().in_features(),
               "input feature width mismatch");
 
+    ScopedSpan span("gcn.infer", "gcn");
+    MetricsRegistry &metrics = MetricsRegistry::global();
+
     InferenceStats local;
     bool need_prepare =
         mode_ == ScheduleMode::kOnline ||
         prepared_rows_ != a.rows() || prepared_nnz_ != a.nnz();
     if (need_prepare) {
+        ScopedSpan prepare_span("gcn.prepare", "gcn");
         Timer timer;
         prepare_all(a);
         local.schedule_seconds = timer.elapsed_seconds();
+        if (metrics.enabled()) {
+            metrics.timer_record_ms("gcn.prepare_ms",
+                                    local.schedule_seconds * 1e3);
+        }
     }
 
     Timer timer;
     DenseMatrix current = x;
     for (size_t i = 0; i < layers_.size(); ++i) {
+        ScopedSpan layer_span("gcn.layer" + std::to_string(i), "gcn");
         DenseMatrix next(a.rows(), layers_[i].out_features());
         layers_[i].forward(a, current, *kernels_[i], next, pool);
         current = std::move(next);
     }
     local.compute_seconds = timer.elapsed_seconds();
+    if (metrics.enabled()) {
+        metrics.counter_add("gcn.inferences");
+        metrics.timer_record_ms("gcn.infer_ms",
+                                local.compute_seconds * 1e3);
+    }
 
     if (stats != nullptr)
         *stats = local;

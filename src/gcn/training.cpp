@@ -9,8 +9,11 @@
 #include "mps/gcn/layer.h"
 #include "mps/sparse/coo_matrix.h"
 #include "mps/util/log.h"
+#include "mps/util/metrics.h"
 #include "mps/util/rng.h"
 #include "mps/util/thread_pool.h"
+#include "mps/util/timer.h"
+#include "mps/util/trace.h"
 
 namespace mps {
 
@@ -223,56 +226,73 @@ GcnTrainer::step(const CsrMatrix &a, const DenseMatrix &x,
     MPS_CHECK(a.rows() == a.cols(),
               "training expects a square (normalized) adjacency");
     MPS_CHECK(x.cols() == w1_.rows(), "feature width mismatch");
+    ScopedSpan span("train.step", "train");
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    Timer step_timer;
     ensure_schedule(a);
 
-    // ---- forward, keeping intermediates ----
-    DenseMatrix xw1(a.rows(), w1_.cols());
-    dense_gemm(x, w1_, xw1, pool);
     DenseMatrix z1(a.rows(), w1_.cols());
-    mergepath_spmm_parallel(a, xw1, z1, sched_, pool);
-    DenseMatrix h1 = z1;
-    apply_activation(h1, Activation::kRelu);
-
-    DenseMatrix hw2(a.rows(), w2_.cols());
-    dense_gemm(h1, w2_, hw2, pool);
     DenseMatrix logits(a.rows(), w2_.cols());
-    mergepath_spmm_parallel(a, hw2, logits, sched_, pool);
+    DenseMatrix h1;
+    {
+        // ---- forward, keeping intermediates ----
+        ScopedSpan forward_span("train.forward", "train");
+        DenseMatrix xw1(a.rows(), w1_.cols());
+        dense_gemm(x, w1_, xw1, pool);
+        mergepath_spmm_parallel(a, xw1, z1, sched_, pool);
+        h1 = z1;
+        apply_activation(h1, Activation::kRelu);
+
+        DenseMatrix hw2(a.rows(), w2_.cols());
+        dense_gemm(h1, w2_, hw2, pool);
+        mergepath_spmm_parallel(a, hw2, logits, sched_, pool);
+    }
 
     // ---- loss ----
     DenseMatrix g2(a.rows(), w2_.cols());
     double loss = softmax_cross_entropy(logits, labels, mask, g2);
 
-    // ---- backward ----
-    // Z2 = A * (H1 W2), A symmetric: d(H1 W2) = A * dZ2 — the same
-    // merge-path SpMM as the forward aggregation.
-    DenseMatrix d_hw2(a.rows(), w2_.cols());
-    mergepath_spmm_parallel(a, g2, d_hw2, sched_, pool);
-
-    DenseMatrix d_w2(w2_.rows(), w2_.cols());
-    gemm_at_b(h1, d_hw2, d_w2, pool);
-    DenseMatrix d_h1(a.rows(), w1_.cols());
-    gemm_a_bt(d_hw2, w2_, d_h1, pool);
-
-    // ReLU gate.
-    {
-        const size_t count = static_cast<size_t>(d_h1.rows()) *
-                             static_cast<size_t>(d_h1.cols());
-        value_t *g = d_h1.data();
-        const value_t *z = z1.data();
-        for (size_t i = 0; i < count; ++i) {
-            if (z[i] <= 0.0f)
-                g[i] = 0.0f;
-        }
-    }
-
-    DenseMatrix d_xw1(a.rows(), w1_.cols());
-    mergepath_spmm_parallel(a, d_h1, d_xw1, sched_, pool);
     DenseMatrix d_w1(w1_.rows(), w1_.cols());
-    gemm_at_b(x, d_xw1, d_w1, pool);
+    DenseMatrix d_w2(w2_.rows(), w2_.cols());
+    {
+        // ---- backward ----
+        // Z2 = A * (H1 W2), A symmetric: d(H1 W2) = A * dZ2 — the same
+        // merge-path SpMM as the forward aggregation.
+        ScopedSpan backward_span("train.backward", "train");
+        DenseMatrix d_hw2(a.rows(), w2_.cols());
+        mergepath_spmm_parallel(a, g2, d_hw2, sched_, pool);
+
+        gemm_at_b(h1, d_hw2, d_w2, pool);
+        DenseMatrix d_h1(a.rows(), w1_.cols());
+        gemm_a_bt(d_hw2, w2_, d_h1, pool);
+
+        // ReLU gate.
+        {
+            const size_t count = static_cast<size_t>(d_h1.rows()) *
+                                 static_cast<size_t>(d_h1.cols());
+            value_t *g = d_h1.data();
+            const value_t *z = z1.data();
+            for (size_t i = 0; i < count; ++i) {
+                if (z[i] <= 0.0f)
+                    g[i] = 0.0f;
+            }
+        }
+
+        DenseMatrix d_xw1(a.rows(), w1_.cols());
+        mergepath_spmm_parallel(a, d_h1, d_xw1, sched_, pool);
+        gemm_at_b(x, d_xw1, d_w1, pool);
+    }
 
     // ---- update ----
     sgd_update(w1_, d_w1, lr_);
     sgd_update(w2_, d_w2, lr_);
+
+    // Per-step (full-batch epoch) training stats.
+    if (metrics.enabled()) {
+        metrics.counter_add("train.steps");
+        metrics.timer_record_ms("train.step_ms", step_timer.elapsed_ms());
+        metrics.gauge_set("train.loss", loss);
+    }
     return loss;
 }
 

@@ -21,8 +21,25 @@ std::vector<std::string> spmm_kernel_names();
  * Instantiate a kernel with default parameters:
  * "mergepath", "gnnadvisor", "row_split", "mergepath_serial",
  * "adaptive", or "reference". fatal() on unknown names.
+ *
+ * Kernels are wrapped with observability instrumentation by default
+ * (prepare/run spans into the global TraceSession, prepare/run timing
+ * distributions and a run counter into the global MetricsRegistry —
+ * all no-ops while those are disabled). Pass instrument = false for a
+ * bare kernel.
  */
-std::unique_ptr<SpmmKernel> make_spmm_kernel(const std::string &name);
+std::unique_ptr<SpmmKernel> make_spmm_kernel(const std::string &name,
+                                             bool instrument = true);
+
+/**
+ * Wrap an arbitrary kernel with the same instrumentation
+ * make_spmm_kernel() applies: spans "prepare:<name>" / "run:<name>"
+ * and metrics "kernel.<name>.prepare_ms" / ".run_ms" / ".runs".
+ * name() forwards to the wrapped kernel, so the decorator is
+ * invisible to registry users.
+ */
+std::unique_ptr<SpmmKernel>
+instrument_spmm_kernel(std::unique_ptr<SpmmKernel> inner);
 
 } // namespace mps
 

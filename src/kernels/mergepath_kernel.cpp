@@ -2,6 +2,7 @@
 
 #include "mps/core/spmm.h"
 #include "mps/util/log.h"
+#include "mps/util/metrics.h"
 
 namespace mps {
 
@@ -11,6 +12,21 @@ MergePathSpmm::prepare(const CsrMatrix &a, index_t dim)
     prepared_cost_ = cost_ > 0 ? cost_ : default_merge_path_cost(dim);
     schedule_ = MergePathSchedule::build_with_cost(a, prepared_cost_,
                                                    min_threads_);
+
+    // Static schedule properties (Figure 5's write-distribution study),
+    // published as gauges: they describe the prepared schedule, not an
+    // accumulation over runs — the runtime counters in
+    // mergepath_spmm_parallel() cover the latter.
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled()) {
+        ScheduleCensus census = schedule_.census(a);
+        metrics.gauge_set("spmm.mergepath.split_rows",
+                          static_cast<double>(census.split_rows));
+        metrics.gauge_set("spmm.mergepath.atomic_write_fraction",
+                          census.atomic_write_fraction());
+        metrics.gauge_set("spmm.mergepath.cost",
+                          static_cast<double>(prepared_cost_));
+    }
 }
 
 void

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mps/util/log.h"
+#include "mps/util/metrics.h"
 #include "mps/util/thread_pool.h"
 
 namespace mps {
@@ -66,6 +67,14 @@ NnzSplitSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
                   c.cols() == b.cols(),
               "shape mismatch in gnnadvisor SpMM");
     MPS_CHECK(prepared_ng_size_ >= 1, "prepare() was not called");
+
+    // Every neighbor group ends in one atomic vector commit — the
+    // paper's motivating contrast with merge-path's selective atomics.
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled()) {
+        metrics.counter_add("spmm.gnnadvisor.atomic_commits",
+                            static_cast<int64_t>(groups_.size()));
+    }
 
     c.fill(0.0f);
     const index_t dim = b.cols();

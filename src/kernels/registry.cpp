@@ -8,6 +8,8 @@
 #include "mps/kernels/nnz_split.h"
 #include "mps/kernels/row_split.h"
 #include "mps/util/log.h"
+#include "mps/util/metrics.h"
+#include "mps/util/trace.h"
 
 namespace mps {
 
@@ -35,6 +37,53 @@ class ReferenceSpmmKernel final : public SpmmKernel
     }
 };
 
+/**
+ * Observability decorator: spans + timing metrics around prepare()/run()
+ * of any kernel. Metric/span names are precomputed so the per-call cost
+ * while disabled is a couple of relaxed atomic loads.
+ */
+class InstrumentedSpmmKernel final : public SpmmKernel
+{
+  public:
+    explicit InstrumentedSpmmKernel(std::unique_ptr<SpmmKernel> inner)
+        : inner_(std::move(inner)),
+          prepare_span_("prepare:" + inner_->name()),
+          run_span_("run:" + inner_->name()),
+          prepare_metric_("kernel." + inner_->name() + ".prepare_ms"),
+          run_metric_("kernel." + inner_->name() + ".run_ms"),
+          runs_counter_("kernel." + inner_->name() + ".runs")
+    {
+    }
+
+    std::string name() const override { return inner_->name(); }
+
+    void
+    prepare(const CsrMatrix &a, index_t dim) override
+    {
+        ScopedSpan span(prepare_span_, "kernel");
+        MetricTimer timer(prepare_metric_);
+        inner_->prepare(a, dim);
+    }
+
+    void
+    run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+        ThreadPool &pool) const override
+    {
+        ScopedSpan span(run_span_, "kernel");
+        MetricTimer timer(run_metric_);
+        MetricsRegistry::global().counter_add(runs_counter_);
+        inner_->run(a, b, c, pool);
+    }
+
+  private:
+    std::unique_ptr<SpmmKernel> inner_;
+    std::string prepare_span_;
+    std::string run_span_;
+    std::string prepare_metric_;
+    std::string run_metric_;
+    std::string runs_counter_;
+};
+
 } // namespace
 
 std::vector<std::string>
@@ -46,26 +95,40 @@ spmm_kernel_names()
 }
 
 std::unique_ptr<SpmmKernel>
-make_spmm_kernel(const std::string &name)
+instrument_spmm_kernel(std::unique_ptr<SpmmKernel> inner)
 {
+    MPS_CHECK(inner != nullptr, "cannot instrument a null kernel");
+    return std::make_unique<InstrumentedSpmmKernel>(std::move(inner));
+}
+
+std::unique_ptr<SpmmKernel>
+make_spmm_kernel(const std::string &name, bool instrument)
+{
+    std::unique_ptr<SpmmKernel> kernel;
     if (name == "mergepath")
-        return std::make_unique<MergePathSpmm>();
-    if (name == "gnnadvisor")
-        return std::make_unique<NnzSplitSpmm>();
-    if (name == "row_split")
-        return std::make_unique<RowSplitSpmm>();
-    if (name == "column_split")
-        return std::make_unique<ColumnSplitSpmm>();
-    if (name == "adaptive")
-        return std::make_unique<AdaptiveSpmm>();
-    if (name == "mergepath_serial")
-        return std::make_unique<MergePathSerialFixupSpmm>();
-    if (name == "reference")
-        return std::make_unique<ReferenceSpmmKernel>();
-    std::string known;
-    for (const auto &k : spmm_kernel_names())
-        known += " " + k;
-    fatal("unknown SpMM kernel '" + name + "'; known kernels:" + known);
+        kernel = std::make_unique<MergePathSpmm>();
+    else if (name == "gnnadvisor")
+        kernel = std::make_unique<NnzSplitSpmm>();
+    else if (name == "row_split")
+        kernel = std::make_unique<RowSplitSpmm>();
+    else if (name == "column_split")
+        kernel = std::make_unique<ColumnSplitSpmm>();
+    else if (name == "adaptive")
+        kernel = std::make_unique<AdaptiveSpmm>();
+    else if (name == "mergepath_serial")
+        kernel = std::make_unique<MergePathSerialFixupSpmm>();
+    else if (name == "reference")
+        kernel = std::make_unique<ReferenceSpmmKernel>();
+    if (kernel == nullptr) {
+        std::string known;
+        for (const auto &k : spmm_kernel_names())
+            known += " " + k;
+        fatal("unknown SpMM kernel '" + name + "'; known kernels:" +
+              known);
+    }
+    if (instrument)
+        kernel = instrument_spmm_kernel(std::move(kernel));
+    return kernel;
 }
 
 } // namespace mps

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by the observability exporters
+ * (metrics snapshots, Chrome trace files, mps_tool profile reports).
+ * Emits syntactically valid JSON only: strings are escaped, commas are
+ * inserted automatically, and non-finite doubles degrade to null.
+ */
+#ifndef MPS_UTIL_JSON_H
+#define MPS_UTIL_JSON_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mps {
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes). */
+std::string json_escape(const std::string &s);
+
+/**
+ * Builds one JSON document incrementally. Usage:
+ *
+ *   JsonWriter w;
+ *   w.begin_object();
+ *   w.key("answer").value(42);
+ *   w.key("list").begin_array().value(1.5).value("x").end_array();
+ *   w.end_object();
+ *   std::string doc = w.str();
+ *
+ * The writer panics on malformed call sequences (value without a key
+ * inside an object, unbalanced end calls) so exporter bugs surface in
+ * tests rather than as unparsable files.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &begin_object();
+    JsonWriter &end_object();
+    JsonWriter &begin_array();
+    JsonWriter &end_array();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double d);
+    JsonWriter &value(int64_t i);
+    JsonWriter &value(int i) { return value(static_cast<int64_t>(i)); }
+    JsonWriter &value(bool b);
+    JsonWriter &null();
+
+    /** The document so far. */
+    std::string str() const { return os_.str(); }
+
+  private:
+    enum class Scope { kObject, kArray };
+
+    void before_value();
+
+    std::ostringstream os_;
+    std::vector<Scope> scopes_;
+    std::vector<bool> first_in_scope_;
+    bool pending_key_ = false;
+};
+
+} // namespace mps
+
+#endif // MPS_UTIL_JSON_H

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Process-wide performance metrics: named counters, gauges and timing
+ * distributions, written from any thread and merged on read.
+ *
+ * Design goals, in order:
+ *  1. Near-zero cost when disabled — every mutator starts with one
+ *     relaxed atomic load and returns. Instrumentation can therefore be
+ *     left compiled into release hot paths (the mps_tool spmm loop, the
+ *     thread-pool worker loop) unconditionally.
+ *  2. No cross-thread contention when enabled — counters and timing
+ *     distributions live in per-thread shards. A thread's steady-state
+ *     increment touches only its own cache-resident cells with relaxed
+ *     atomics (wait-free); a shard's mutex is taken only to create a new
+ *     cell or by a reader enumerating the shard.
+ *  3. Machine-readable output — snapshot() merges the shards and the
+ *     JSON/CSV exporters emit exactly what the mps_tool profile report
+ *     and the bench trajectory files consume.
+ *
+ * Gauges are registry-global (a mutex-protected map): they are written
+ * rarely (once per schedule build / report), and "last write wins" is
+ * the semantics callers expect from them.
+ */
+#ifndef MPS_UTIL_METRICS_H
+#define MPS_UTIL_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mps/util/timer.h"
+
+namespace mps {
+
+/** What a named metric measures. */
+enum class MetricKind {
+    kCounter, ///< monotonically accumulated int64 (events, items)
+    kGauge,   ///< last-written double (ratios, sizes)
+    kTimer,   ///< distribution of millisecond durations
+};
+
+/** to_string for MetricKind ("counter" / "gauge" / "timer"). */
+const char *metric_kind_name(MetricKind kind);
+
+/** One merged metric as returned by MetricsRegistry::snapshot(). */
+struct MetricSnapshot
+{
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    /** Counter value, or number of timing samples. */
+    int64_t count = 0;
+    /** Gauge value, or total milliseconds across timing samples. */
+    double sum = 0.0;
+    /** Smallest / largest timing sample in milliseconds. */
+    double min = 0.0;
+    double max = 0.0;
+
+    /** Mean milliseconds per timing sample (0 when empty). */
+    double mean() const {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+};
+
+/**
+ * Registry of named metrics. Use MetricsRegistry::global() for the
+ * process-wide instance every built-in instrumentation point writes to;
+ * independent instances exist only so tests can exercise the merging
+ * logic in isolation.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Process-wide registry (never destroyed; safe during shutdown). */
+    static MetricsRegistry &global();
+
+    /** Turn collection on/off. Mutators are no-ops while disabled. */
+    void set_enabled(bool on) {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool enabled() const {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Add @p delta to counter @p name (created on first use). */
+    void counter_add(const std::string &name, int64_t delta = 1);
+
+    /** Set gauge @p name to @p value (last write wins). */
+    void gauge_set(const std::string &name, double value);
+
+    /** Record one @p ms duration sample into timer @p name. */
+    void timer_record_ms(const std::string &name, double ms);
+
+    /** Merge all shards into one sorted-by-name snapshot. */
+    std::vector<MetricSnapshot> snapshot() const;
+
+    /** Merged value of one counter (0 when absent). */
+    int64_t counter_value(const std::string &name) const;
+
+    /** Value of one gauge (0.0 when absent). */
+    double gauge_value(const std::string &name) const;
+
+    /** Merged view of one timer (zeroed snapshot when absent). */
+    MetricSnapshot timer_value(const std::string &name) const;
+
+    /**
+     * Zero every counter/timer cell and drop all gauges. Shards and
+     * cells stay allocated so cached handles in running threads remain
+     * valid (tests call this between cases).
+     */
+    void reset();
+
+    /**
+     * Append the merged snapshot as a JSON array of metric objects to
+     * an in-progress document (used by the mps_tool profile report).
+     */
+    void append_json_array(class JsonWriter &w) const;
+
+    /** {"metrics":[{name,kind,...}, ...]} document. */
+    std::string to_json() const;
+
+    /** name,kind,count,sum,min,max,mean header + one row per metric. */
+    std::string to_csv() const;
+
+    /** Write to_json() to @p path; false (with a warning) on I/O error. */
+    bool write_json_file(const std::string &path) const;
+
+  private:
+    friend struct MetricsTls;
+
+    /** One counter/timer slot; written only by the owning thread. */
+    struct Cell
+    {
+        MetricKind kind;
+        std::atomic<int64_t> count{0};
+        std::atomic<double> sum{0.0};
+        std::atomic<double> min{0.0};
+        std::atomic<double> max{0.0};
+
+        explicit Cell(MetricKind k) : kind(k) {}
+    };
+
+    /** Per-thread cell table. The mutex guards only the map's shape. */
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::map<std::string, std::unique_ptr<Cell>> cells;
+    };
+
+    Cell *cell(const std::string &name, MetricKind kind);
+
+    /** Unique forever; lets thread-local caches outlive registries. */
+    const uint64_t id_;
+
+    std::atomic<bool> enabled_{false};
+
+    mutable std::mutex shards_mutex_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    mutable std::mutex gauges_mutex_;
+    std::map<std::string, double> gauges_;
+};
+
+/**
+ * RAII timing sample: records the scope's wall time into timer
+ * @p name on destruction. Does not read the clock while the registry
+ * is disabled.
+ */
+class MetricTimer
+{
+  public:
+    explicit MetricTimer(std::string name,
+                         MetricsRegistry &registry =
+                             MetricsRegistry::global())
+        : name_(std::move(name)), registry_(registry),
+          armed_(registry.enabled())
+    {
+    }
+
+    ~MetricTimer()
+    {
+        if (armed_)
+            registry_.timer_record_ms(name_, timer_.elapsed_ms());
+    }
+
+    MetricTimer(const MetricTimer &) = delete;
+    MetricTimer &operator=(const MetricTimer &) = delete;
+
+  private:
+    std::string name_;
+    MetricsRegistry &registry_;
+    bool armed_;
+    Timer timer_;
+};
+
+} // namespace mps
+
+#endif // MPS_UTIL_METRICS_H

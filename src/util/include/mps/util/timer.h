@@ -26,8 +26,14 @@ class Timer
         return std::chrono::duration<double>(Clock::now() - start_).count();
     }
 
+    /** Milliseconds elapsed since construction / last reset. */
+    double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
     /** Microseconds elapsed since construction / last reset. */
     double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+    /** Nanoseconds elapsed since construction / last reset. */
+    double elapsed_ns() const { return elapsed_seconds() * 1e9; }
 
   private:
     using Clock = std::chrono::steady_clock;

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Scoped-span tracing with Chrome trace_event JSON export.
+ *
+ * A TraceSession collects begin/end (exported as complete, ph:"X")
+ * events per thread; the resulting file loads directly in
+ * chrome://tracing or https://ui.perfetto.dev. Spans are created with
+ * the RAII ScopedSpan, which costs one relaxed atomic load when no
+ * session is active, so instrumentation can stay in release hot paths.
+ *
+ * Like the metrics registry, the session keeps per-thread event
+ * buffers: recording a span never contends with other threads; the
+ * per-shard mutex is taken only on the first event of a thread and by
+ * the exporter.
+ */
+#ifndef MPS_UTIL_TRACE_H
+#define MPS_UTIL_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mps {
+
+/** One completed span, timestamps in microseconds since start(). */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    /** Small dense thread id assigned in first-event order. */
+    uint32_t tid = 0;
+};
+
+/**
+ * A recording session. Use TraceSession::global() — ScopedSpan always
+ * records there; independent instances exist for tests.
+ */
+class TraceSession
+{
+  public:
+    TraceSession();
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** Process-wide session (never destroyed; safe during shutdown). */
+    static TraceSession &global();
+
+    /** Drop prior events and begin recording (t = 0 is now). */
+    void start();
+
+    /** Stop recording; collected events stay available for export. */
+    void stop();
+
+    bool active() const {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    /** Microseconds since start() on the session's steady clock. */
+    double now_us() const;
+
+    /**
+     * Record one completed span. Recorded unconditionally — callers
+     * (ScopedSpan) latch active() at span begin, so a span straddling
+     * stop() is still exported complete.
+     */
+    void record_complete(std::string name, std::string category,
+                         double ts_us, double dur_us);
+
+    /** All events so far, merged across threads, sorted by ts. */
+    std::vector<TraceEvent> events() const;
+
+    /** Number of events recorded so far (merged across threads). */
+    size_t event_count() const;
+
+    /** Drop all recorded events (keeps the active flag unchanged). */
+    void clear();
+
+    /**
+     * {"traceEvents":[...],"displayTimeUnit":"ms"} in Chrome
+     * trace_event format (one ph:"X" entry per span).
+     */
+    std::string to_chrome_json() const;
+
+    /** Write to_chrome_json() to @p path; false on I/O error. */
+    bool write_chrome_json_file(const std::string &path) const;
+
+  private:
+    friend struct TraceTls;
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        uint32_t tid = 0;
+        std::vector<TraceEvent> events;
+    };
+
+    Shard *local_shard();
+
+    const uint64_t id_;
+    std::atomic<bool> active_{false};
+    std::chrono::steady_clock::time_point origin_;
+
+    mutable std::mutex shards_mutex_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/**
+ * RAII span recorded into TraceSession::global(). The span is kept if
+ * the session was active at construction (so a span straddling stop()
+ * is still exported complete).
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(std::string name, std::string category = "mps")
+        : active_(TraceSession::global().active())
+    {
+        if (active_) {
+            name_ = std::move(name);
+            category_ = std::move(category);
+            start_us_ = TraceSession::global().now_us();
+        }
+    }
+
+    /** Literal-name overload: no string is built while inactive. */
+    explicit ScopedSpan(const char *name, const char *category = "mps")
+        : active_(TraceSession::global().active())
+    {
+        if (active_) {
+            name_ = name;
+            category_ = category;
+            start_us_ = TraceSession::global().now_us();
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (active_) {
+            TraceSession &session = TraceSession::global();
+            session.record_complete(std::move(name_),
+                                    std::move(category_), start_us_,
+                                    session.now_us() - start_us_);
+        }
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    bool active_;
+    std::string name_;
+    std::string category_;
+    double start_us_ = 0.0;
+};
+
+} // namespace mps
+
+#endif // MPS_UTIL_TRACE_H

@@ -1,0 +1,162 @@
+#include "mps/util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::before_value()
+{
+    if (scopes_.empty()) {
+        MPS_CHECK(os_.tellp() == std::streampos(0),
+                  "JSON document already has a top-level value");
+        return;
+    }
+    if (scopes_.back() == Scope::kObject) {
+        MPS_CHECK(pending_key_, "object value emitted without a key");
+        pending_key_ = false;
+        return;
+    }
+    if (!first_in_scope_.back())
+        os_ << ',';
+    first_in_scope_.back() = false;
+}
+
+JsonWriter &
+JsonWriter::begin_object()
+{
+    before_value();
+    os_ << '{';
+    scopes_.push_back(Scope::kObject);
+    first_in_scope_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_object()
+{
+    MPS_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject,
+              "end_object outside an object");
+    MPS_CHECK(!pending_key_, "object closed with a dangling key");
+    os_ << '}';
+    scopes_.pop_back();
+    first_in_scope_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::begin_array()
+{
+    before_value();
+    os_ << '[';
+    scopes_.push_back(Scope::kArray);
+    first_in_scope_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_array()
+{
+    MPS_CHECK(!scopes_.empty() && scopes_.back() == Scope::kArray,
+              "end_array outside an array");
+    os_ << ']';
+    scopes_.pop_back();
+    first_in_scope_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    MPS_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject,
+              "key() outside an object");
+    MPS_CHECK(!pending_key_, "two keys in a row");
+    if (!first_in_scope_.back())
+        os_ << ',';
+    first_in_scope_.back() = false;
+    os_ << '"' << json_escape(name) << "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    before_value();
+    os_ << '"' << json_escape(s) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    if (!std::isfinite(d))
+        return null();
+    before_value();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", d);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t i)
+{
+    before_value();
+    os_ << i;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    before_value();
+    os_ << (b ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    before_value();
+    os_ << "null";
+    return *this;
+}
+
+} // namespace mps

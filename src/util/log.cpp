@@ -1,15 +1,45 @@
 #include "mps/util/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace mps {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+/**
+ * Initial level: the MPS_LOG_LEVEL environment variable when set to a
+ * known name (debug|info|warn|error|silent, case-sensitive) or digit,
+ * kInfo otherwise. set_log_level() overrides it at any time.
+ */
+LogLevel
+level_from_env()
+{
+    const char *env = std::getenv("MPS_LOG_LEVEL");
+    if (env == nullptr || env[0] == '\0')
+        return LogLevel::kInfo;
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0)
+        return LogLevel::kDebug;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0)
+        return LogLevel::kInfo;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0)
+        return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0)
+        return LogLevel::kError;
+    if (std::strcmp(env, "silent") == 0 || std::strcmp(env, "4") == 0)
+        return LogLevel::kSilent;
+    std::fprintf(stderr,
+                 "[mps:warn] unknown MPS_LOG_LEVEL '%s' "
+                 "(want debug|info|warn|error|silent); using info\n",
+                 env);
+    return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
 std::mutex g_mutex;
 
 const char *
@@ -23,6 +53,15 @@ level_tag(LogLevel level)
       case LogLevel::kSilent: return "silent";
     }
     return "?";
+}
+
+/** Monotonic seconds since the first log call (process-lifetime-ish). */
+double
+monotonic_seconds()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point origin = Clock::now();
+    return std::chrono::duration<double>(Clock::now() - origin).count();
 }
 
 } // namespace
@@ -44,8 +83,10 @@ log_message(LogLevel level, const std::string &msg)
 {
     if (static_cast<int>(level) < static_cast<int>(log_level()))
         return;
+    double t = monotonic_seconds();
     std::lock_guard<std::mutex> lock(g_mutex);
-    std::fprintf(stderr, "[mps:%s] %s\n", level_tag(level), msg.c_str());
+    std::fprintf(stderr, "[mps:%s +%.3fs] %s\n", level_tag(level), t,
+                 msg.c_str());
 }
 
 void
@@ -63,14 +104,16 @@ warn(const std::string &msg)
 void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "[mps:panic] %s\n", msg.c_str());
+    std::fprintf(stderr, "[mps:panic +%.3fs] %s\n", monotonic_seconds(),
+                 msg.c_str());
     std::abort();
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "[mps:fatal] %s\n", msg.c_str());
+    std::fprintf(stderr, "[mps:fatal +%.3fs] %s\n", monotonic_seconds(),
+                 msg.c_str());
     std::exit(1);
 }
 

@@ -1,0 +1,341 @@
+#include "mps/util/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_map>
+
+#include "mps/util/json.h"
+#include "mps/util/log.h"
+
+namespace mps {
+
+namespace {
+
+uint64_t
+next_registry_id()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+/**
+ * Per-thread lookup state. Each entry binds one registry (by its
+ * never-reused id) to this thread's shard in it, plus a name -> cell
+ * cache so steady-state increments bypass the shard mutex entirely.
+ * Entries for destroyed registries simply never match again.
+ */
+struct MetricsTls
+{
+    struct Entry
+    {
+        uint64_t registry_id;
+        MetricsRegistry::Shard *shard;
+        std::unordered_map<std::string, MetricsRegistry::Cell *> cache;
+    };
+
+    std::vector<Entry> entries;
+
+    static MetricsTls &
+    instance()
+    {
+        thread_local MetricsTls tls;
+        return tls;
+    }
+};
+
+const char *
+metric_kind_name(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::kCounter: return "counter";
+      case MetricKind::kGauge:   return "gauge";
+      case MetricKind::kTimer:   return "timer";
+    }
+    return "?";
+}
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Intentionally leaked: worker threads (e.g. the global ThreadPool)
+    // may record metrics during static destruction.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+MetricsRegistry::Cell *
+MetricsRegistry::cell(const std::string &name, MetricKind kind)
+{
+    MetricsTls &tls = MetricsTls::instance();
+    MetricsTls::Entry *entry = nullptr;
+    for (auto &e : tls.entries) {
+        if (e.registry_id == id_) {
+            entry = &e;
+            break;
+        }
+    }
+    if (entry == nullptr) {
+        auto shard = std::make_unique<Shard>();
+        Shard *raw = shard.get();
+        {
+            std::lock_guard<std::mutex> lock(shards_mutex_);
+            shards_.push_back(std::move(shard));
+        }
+        tls.entries.push_back({id_, raw, {}});
+        entry = &tls.entries.back();
+    }
+
+    auto it = entry->cache.find(name);
+    if (it != entry->cache.end())
+        return it->second;
+
+    Cell *c;
+    {
+        std::lock_guard<std::mutex> lock(entry->shard->mutex);
+        auto &slot = entry->shard->cells[name];
+        if (!slot)
+            slot = std::make_unique<Cell>(kind);
+        c = slot.get();
+    }
+    MPS_CHECK(c->kind == kind, "metric '", name,
+              "' used as both ", metric_kind_name(c->kind), " and ",
+              metric_kind_name(kind));
+    entry->cache.emplace(name, c);
+    return c;
+}
+
+void
+MetricsRegistry::counter_add(const std::string &name, int64_t delta)
+{
+    if (!enabled())
+        return;
+    cell(name, MetricKind::kCounter)
+        ->count.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::gauge_set(const std::string &name, double value)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(gauges_mutex_);
+    gauges_[name] = value;
+}
+
+void
+MetricsRegistry::timer_record_ms(const std::string &name, double ms)
+{
+    if (!enabled())
+        return;
+    Cell *c = cell(name, MetricKind::kTimer);
+    // Only this thread writes the cell; relaxed load/store suffices and
+    // keeps the path wait-free. Readers may observe a sample's count
+    // before its sum — fine for statistics.
+    int64_t n = c->count.load(std::memory_order_relaxed);
+    c->sum.store(c->sum.load(std::memory_order_relaxed) + ms,
+                 std::memory_order_relaxed);
+    if (n == 0) {
+        c->min.store(ms, std::memory_order_relaxed);
+        c->max.store(ms, std::memory_order_relaxed);
+    } else {
+        if (ms < c->min.load(std::memory_order_relaxed))
+            c->min.store(ms, std::memory_order_relaxed);
+        if (ms > c->max.load(std::memory_order_relaxed))
+            c->max.store(ms, std::memory_order_relaxed);
+    }
+    c->count.store(n + 1, std::memory_order_relaxed);
+}
+
+std::vector<MetricSnapshot>
+MetricsRegistry::snapshot() const
+{
+    std::map<std::string, MetricSnapshot> merged;
+
+    std::vector<Shard *> shards;
+    {
+        std::lock_guard<std::mutex> lock(shards_mutex_);
+        shards.reserve(shards_.size());
+        for (const auto &s : shards_)
+            shards.push_back(s.get());
+    }
+    for (Shard *shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const auto &[name, c] : shard->cells) {
+            int64_t n = c->count.load(std::memory_order_relaxed);
+            double sum = c->sum.load(std::memory_order_relaxed);
+            auto [it, inserted] = merged.try_emplace(name);
+            MetricSnapshot &snap = it->second;
+            if (inserted) {
+                snap.name = name;
+                snap.kind = c->kind;
+            }
+            if (c->kind == MetricKind::kTimer && n > 0) {
+                double lo = c->min.load(std::memory_order_relaxed);
+                double hi = c->max.load(std::memory_order_relaxed);
+                if (snap.count == 0) {
+                    snap.min = lo;
+                    snap.max = hi;
+                } else {
+                    snap.min = std::min(snap.min, lo);
+                    snap.max = std::max(snap.max, hi);
+                }
+            }
+            snap.count += n;
+            snap.sum += sum;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(gauges_mutex_);
+        for (const auto &[name, value] : gauges_) {
+            MetricSnapshot snap;
+            snap.name = name;
+            snap.kind = MetricKind::kGauge;
+            snap.count = 1;
+            snap.sum = value;
+            merged[name] = snap;
+        }
+    }
+
+    std::vector<MetricSnapshot> out;
+    out.reserve(merged.size());
+    for (auto &[name, snap] : merged)
+        out.push_back(std::move(snap));
+    return out;
+}
+
+int64_t
+MetricsRegistry::counter_value(const std::string &name) const
+{
+    for (const MetricSnapshot &s : snapshot()) {
+        if (s.name == name && s.kind == MetricKind::kCounter)
+            return s.count;
+    }
+    return 0;
+}
+
+double
+MetricsRegistry::gauge_value(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(gauges_mutex_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+MetricSnapshot
+MetricsRegistry::timer_value(const std::string &name) const
+{
+    for (const MetricSnapshot &s : snapshot()) {
+        if (s.name == name && s.kind == MetricKind::kTimer)
+            return s;
+    }
+    MetricSnapshot empty;
+    empty.name = name;
+    empty.kind = MetricKind::kTimer;
+    return empty;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(shards_mutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        for (const auto &[name, c] : shard->cells) {
+            (void)name;
+            c->count.store(0, std::memory_order_relaxed);
+            c->sum.store(0.0, std::memory_order_relaxed);
+            c->min.store(0.0, std::memory_order_relaxed);
+            c->max.store(0.0, std::memory_order_relaxed);
+        }
+    }
+    std::lock_guard<std::mutex> gauges_lock(gauges_mutex_);
+    gauges_.clear();
+}
+
+void
+MetricsRegistry::append_json_array(JsonWriter &w) const
+{
+    w.begin_array();
+    for (const MetricSnapshot &s : snapshot()) {
+        w.begin_object();
+        w.key("name").value(s.name);
+        w.key("kind").value(metric_kind_name(s.kind));
+        switch (s.kind) {
+          case MetricKind::kCounter:
+            w.key("value").value(s.count);
+            break;
+          case MetricKind::kGauge:
+            w.key("value").value(s.sum);
+            break;
+          case MetricKind::kTimer:
+            w.key("count").value(s.count);
+            w.key("total_ms").value(s.sum);
+            w.key("mean_ms").value(s.mean());
+            w.key("min_ms").value(s.min);
+            w.key("max_ms").value(s.max);
+            break;
+        }
+        w.end_object();
+    }
+    w.end_array();
+}
+
+std::string
+MetricsRegistry::to_json() const
+{
+    JsonWriter w;
+    w.begin_object().key("metrics");
+    append_json_array(w);
+    w.end_object();
+    return w.str();
+}
+
+std::string
+MetricsRegistry::to_csv() const
+{
+    std::string out = "name,kind,count,sum,min,max,mean\n";
+    char buf[160];
+    for (const MetricSnapshot &s : snapshot()) {
+        std::snprintf(buf, sizeof(buf),
+                      ",%s,%lld,%.9g,%.9g,%.9g,%.9g\n",
+                      metric_kind_name(s.kind),
+                      static_cast<long long>(s.count), s.sum, s.min,
+                      s.max, s.mean());
+        // Metric names contain no commas/quotes by convention, but
+        // escape defensively anyway.
+        std::string name = s.name;
+        if (name.find_first_of(",\"\n") != std::string::npos) {
+            std::string quoted = "\"";
+            for (char ch : name) {
+                if (ch == '"')
+                    quoted += '"';
+                quoted += ch;
+            }
+            quoted += '"';
+            name = quoted;
+        }
+        out += name;
+        out += buf;
+    }
+    return out;
+}
+
+bool
+MetricsRegistry::write_json_file(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("cannot open metrics output file: " + path);
+        return false;
+    }
+    f << to_json() << '\n';
+    return static_cast<bool>(f);
+}
+
+} // namespace mps

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 
 #include "mps/util/log.h"
+#include "mps/util/metrics.h"
+#include "mps/util/timer.h"
+#include "mps/util/trace.h"
 
 namespace mps {
 
@@ -32,22 +36,38 @@ void
 ThreadPool::worker_loop()
 {
     uint64_t seen_epoch = 0;
+    MetricsRegistry &metrics = MetricsRegistry::global();
     for (;;) {
         const std::function<void(uint64_t)> *fn = nullptr;
         uint64_t n = 0;
         uint64_t grain = 1;
         {
+            // Time spent blocked on the condition variable is this
+            // worker's idle share (observability: pool.idle_ms).
+            const bool instrumented = metrics.enabled();
+            std::optional<Timer> idle;
+            if (instrumented)
+                idle.emplace();
             std::unique_lock<std::mutex> lock(mutex_);
             work_cv_.wait(lock, [&] {
                 return shutdown_ || job_epoch_ != seen_epoch;
             });
             if (shutdown_)
                 return;
+            if (instrumented)
+                metrics.timer_record_ms("pool.idle_ms",
+                                        idle->elapsed_ms());
             seen_epoch = job_epoch_;
             fn = job_fn_;
             n = job_n_;
             grain = job_grain_;
         }
+        const bool instrumented = metrics.enabled();
+        std::optional<Timer> busy;
+        if (instrumented)
+            busy.emplace();
+        ScopedSpan span("pool.worker.job", "pool");
+        uint64_t executed = 0;
         for (;;) {
             uint64_t begin = next_index_.fetch_add(
                 grain, std::memory_order_relaxed);
@@ -56,6 +76,14 @@ ThreadPool::worker_loop()
             uint64_t end = std::min(begin + grain, n);
             for (uint64_t i = begin; i < end; ++i)
                 (*fn)(i);
+            executed += end - begin;
+        }
+        if (instrumented) {
+            metrics.timer_record_ms("pool.busy_ms", busy->elapsed_ms());
+            if (executed > 0) {
+                metrics.counter_add("pool.tasks_executed",
+                                    static_cast<int64_t>(executed));
+            }
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -73,6 +101,7 @@ ThreadPool::parallel_for(uint64_t n,
     if (n == 0)
         return;
     MPS_CHECK(grain >= 1, "grain must be >= 1");
+    ScopedSpan span("pool.parallel_for", "pool");
     std::unique_lock<std::mutex> lock(mutex_);
     MPS_CHECK(job_fn_ == nullptr, "nested parallel_for is not supported");
     job_fn_ = &fn;

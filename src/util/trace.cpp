@@ -1,0 +1,187 @@
+#include "mps/util/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "mps/util/json.h"
+#include "mps/util/log.h"
+
+namespace mps {
+
+namespace {
+
+uint64_t
+next_session_id()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+/** Per-thread session-id -> shard bindings (ids are never reused). */
+struct TraceTls
+{
+    struct Entry
+    {
+        uint64_t session_id;
+        TraceSession::Shard *shard;
+    };
+
+    std::vector<Entry> entries;
+
+    static TraceTls &
+    instance()
+    {
+        thread_local TraceTls tls;
+        return tls;
+    }
+};
+
+TraceSession::TraceSession()
+    : id_(next_session_id()), origin_(std::chrono::steady_clock::now())
+{
+}
+
+TraceSession::~TraceSession() = default;
+
+TraceSession &
+TraceSession::global()
+{
+    // Intentionally leaked, mirroring MetricsRegistry::global().
+    static TraceSession *session = new TraceSession();
+    return *session;
+}
+
+void
+TraceSession::start()
+{
+    clear();
+    origin_ = std::chrono::steady_clock::now();
+    active_.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceSession::stop()
+{
+    active_.store(false, std::memory_order_relaxed);
+}
+
+double
+TraceSession::now_us() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+}
+
+TraceSession::Shard *
+TraceSession::local_shard()
+{
+    TraceTls &tls = TraceTls::instance();
+    for (const auto &e : tls.entries) {
+        if (e.session_id == id_)
+            return e.shard;
+    }
+    auto shard = std::make_unique<Shard>();
+    Shard *raw = shard.get();
+    {
+        std::lock_guard<std::mutex> lock(shards_mutex_);
+        raw->tid = static_cast<uint32_t>(shards_.size());
+        shards_.push_back(std::move(shard));
+    }
+    tls.entries.push_back({id_, raw});
+    return raw;
+}
+
+void
+TraceSession::record_complete(std::string name, std::string category,
+                              double ts_us, double dur_us)
+{
+    Shard *shard = local_shard();
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.category = std::move(category);
+    ev.ts_us = ts_us;
+    ev.dur_us = dur_us;
+    ev.tid = shard->tid;
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent>
+TraceSession::events() const
+{
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(shards_mutex_);
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> shard_lock(shard->mutex);
+            out.insert(out.end(), shard->events.begin(),
+                       shard->events.end());
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.ts_us < b.ts_us;
+              });
+    return out;
+}
+
+size_t
+TraceSession::event_count() const
+{
+    size_t n = 0;
+    std::lock_guard<std::mutex> lock(shards_mutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        n += shard->events.size();
+    }
+    return n;
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lock(shards_mutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        shard->events.clear();
+    }
+}
+
+std::string
+TraceSession::to_chrome_json() const
+{
+    JsonWriter w;
+    w.begin_object().key("traceEvents").begin_array();
+    for (const TraceEvent &ev : events()) {
+        w.begin_object();
+        w.key("name").value(ev.name);
+        w.key("cat").value(ev.category);
+        w.key("ph").value("X");
+        w.key("ts").value(ev.ts_us);
+        w.key("dur").value(ev.dur_us);
+        w.key("pid").value(int64_t{1});
+        w.key("tid").value(static_cast<int64_t>(ev.tid));
+        w.end_object();
+    }
+    w.end_array();
+    w.key("displayTimeUnit").value("ms");
+    w.end_object();
+    return w.str();
+}
+
+bool
+TraceSession::write_chrome_json_file(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("cannot open trace output file: " + path);
+        return false;
+    }
+    f << to_chrome_json() << '\n';
+    return static_cast<bool>(f);
+}
+
+} // namespace mps

@@ -4,6 +4,7 @@
 #include <memory>
 #include <tuple>
 
+#include "mps/core/schedule.h"
 #include "mps/core/spmm.h"
 #include "mps/kernels/adaptive.h"
 #include "mps/kernels/mergepath_kernel.h"
@@ -13,6 +14,7 @@
 #include "mps/kernels/row_split.h"
 #include "mps/sparse/datasets.h"
 #include "mps/sparse/generate.h"
+#include "mps/util/metrics.h"
 #include "mps/util/rng.h"
 #include "mps/util/thread_pool.h"
 
@@ -233,6 +235,41 @@ TEST(Kernels, RepreparedForNewMatrix)
         reference_spmm(a2, b2, e2);
         ASSERT_TRUE(c2.approx_equal(e2, 1e-3, 1e-4)) << name;
     }
+}
+
+/**
+ * The paper's selective-atomics claim, checked through the metrics
+ * counters: a schedule that splits no row must commit every row with a
+ * plain store; only split rows may pay for atomics (Figure 5).
+ */
+TEST(Kernels, MergePathAtomicCounterZeroWithoutSplitRows)
+{
+    CsrMatrix a = erdos_renyi_graph(120, 600, 9);
+    DenseMatrix b = random_dense(a.cols(), 8, 2);
+    DenseMatrix c(a.rows(), 8);
+    ThreadPool pool(4);
+
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.reset();
+    metrics.set_enabled(true);
+
+    // One merge-path share covers everything: no row can be split.
+    MergePathSchedule whole = MergePathSchedule::build(a, 1);
+    mergepath_spmm_parallel(a, b, c, whole, pool);
+    EXPECT_EQ(metrics.counter_value("spmm.mergepath.atomic_commits"), 0);
+    EXPECT_EQ(metrics.counter_value("spmm.mergepath.plain_commits"),
+              static_cast<int64_t>(a.rows()));
+    EXPECT_EQ(metrics.counter_value("spmm.mergepath.nnz_processed"),
+              static_cast<int64_t>(a.nnz()));
+
+    // Far more shares than rows forces split rows -> atomic commits.
+    metrics.reset();
+    MergePathSchedule sliced = MergePathSchedule::build(a, 256);
+    mergepath_spmm_parallel(a, b, c, sliced, pool);
+    EXPECT_GT(metrics.counter_value("spmm.mergepath.atomic_commits"), 0);
+
+    metrics.set_enabled(false);
+    metrics.reset();
 }
 
 /** The Nell-like evil-row scenario stresses all-atomic updates. */

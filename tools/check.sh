@@ -1,0 +1,27 @@
+#!/bin/sh
+# Build and test the project twice: a plain Release configuration and
+# an ASan+UBSan one (-DMPS_SANITIZE=ON). Run from anywhere; build trees
+# land in build-release/ and build-asan/ next to the source tree.
+#
+#   tools/check.sh [extra ctest args...]
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "==> configure build-release"
+cmake -S "$root" -B "$root/build-release" -DCMAKE_BUILD_TYPE=Release
+echo "==> build build-release"
+cmake --build "$root/build-release" -j "$jobs"
+echo "==> ctest build-release"
+(cd "$root/build-release" && ctest --output-on-failure -j "$jobs" "$@")
+
+echo "==> configure build-asan"
+cmake -S "$root" -B "$root/build-asan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=ON
+echo "==> build build-asan"
+cmake --build "$root/build-asan" -j "$jobs"
+echo "==> ctest build-asan"
+(cd "$root/build-asan" && ctest --output-on-failure -j "$jobs" "$@")
+
+echo "==> all checks passed"

@@ -7,29 +7,38 @@
  *   mps_tool info     --in=graph.bin
  *   mps_tool schedule --in=graph.bin --cost=20 --dim=16 [--out=s.bin]
  *   mps_tool spmm     --in=graph.bin --kernel=mergepath --dim=16
+ *                     [--check] [--metrics-out=m.json] [--trace-out=t.json]
+ *   mps_tool profile  --dataset=Cora,Pubmed --kernel=mergepath,row_split
+ *                     --dim=16 [--out=report.json] [--trace-out=t.json]
  *   mps_tool reorder  --in=graph.bin --method=bfs --out=relabeled.bin
  *
  * Containers: .bin (this library's binary CSR), .mtx (MatrixMarket),
  * .el (edge list, read-only), or a Table II dataset name via
  * --dataset.
  */
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "mps/core/policy.h"
 #include "mps/core/serialize.h"
+#include "mps/core/spmm.h"
 #include "mps/kernels/registry.h"
 #include "mps/sparse/datasets.h"
 #include "mps/sparse/degree_stats.h"
 #include "mps/sparse/io.h"
 #include "mps/sparse/reorder.h"
 #include "mps/util/cli.h"
+#include "mps/util/json.h"
 #include "mps/util/log.h"
+#include "mps/util/metrics.h"
 #include "mps/util/rng.h"
 #include "mps/util/thread_pool.h"
 #include "mps/util/timer.h"
+#include "mps/util/trace.h"
 
 using namespace mps;
 
@@ -42,6 +51,19 @@ ends_with(const std::string &s, const char *suffix)
     return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+/** Load a matrix from a container file path. */
+CsrMatrix
+load_matrix_file(const std::string &in)
+{
+    if (ends_with(in, ".bin"))
+        return read_csr_binary_file(in);
+    if (ends_with(in, ".mtx"))
+        return CsrMatrix::from_coo(read_matrix_market_file(in));
+    if (ends_with(in, ".el"))
+        return CsrMatrix::from_coo(read_edge_list_file(in));
+    fatal("unknown input container (want .bin, .mtx or .el): " + in);
+}
+
 /** Load a matrix from --in / --dataset flags. */
 CsrMatrix
 load_matrix(const FlagParser &flags)
@@ -52,13 +74,7 @@ load_matrix(const FlagParser &flags)
     const std::string &in = flags.get_string("in");
     if (in.empty())
         fatal("provide --in=<file> or --dataset=<name>");
-    if (ends_with(in, ".bin"))
-        return read_csr_binary_file(in);
-    if (ends_with(in, ".mtx"))
-        return CsrMatrix::from_coo(read_matrix_market_file(in));
-    if (ends_with(in, ".el"))
-        return CsrMatrix::from_coo(read_edge_list_file(in));
-    fatal("unknown input container (want .bin, .mtx or .el): " + in);
+    return load_matrix_file(in);
 }
 
 void
@@ -171,6 +187,38 @@ cmd_schedule(int argc, char **argv)
     return 0;
 }
 
+/** Split a comma-separated flag value into its non-empty parts. */
+std::vector<std::string>
+split_list(const std::string &value)
+{
+    std::vector<std::string> parts;
+    size_t begin = 0;
+    while (begin <= value.size()) {
+        size_t comma = value.find(',', begin);
+        if (comma == std::string::npos)
+            comma = value.size();
+        if (comma > begin)
+            parts.push_back(value.substr(begin, comma - begin));
+        begin = comma + 1;
+    }
+    return parts;
+}
+
+/** Largest |c - gold| over all elements. */
+double
+max_abs_error(const DenseMatrix &c, const DenseMatrix &gold)
+{
+    double worst = 0.0;
+    for (index_t r = 0; r < c.rows(); ++r) {
+        for (index_t d = 0; d < c.cols(); ++d) {
+            double err = std::abs(static_cast<double>(c(r, d)) -
+                                  static_cast<double>(gold(r, d)));
+            worst = std::max(worst, err);
+        }
+    }
+    return worst;
+}
+
 int
 cmd_spmm(int argc, char **argv)
 {
@@ -179,9 +227,26 @@ cmd_spmm(int argc, char **argv)
     flags.add_string("kernel", "mergepath", "registry kernel name");
     flags.add_int("dim", 16, "dense dimension size");
     flags.add_int("repeat", 5, "timed repetitions");
+    flags.add_bool("check", false,
+                   "verify against reference_spmm and report "
+                   "max-abs-error");
+    flags.add_string("metrics-out", "",
+                     "collect metrics and write the JSON snapshot here");
+    flags.add_string("trace-out", "",
+                     "record spans and write Chrome trace JSON here");
     flags.parse(argc, argv);
     CsrMatrix m = load_matrix(flags);
     const index_t dim = static_cast<index_t>(flags.get_int("dim"));
+
+    const std::string &metrics_out = flags.get_string("metrics-out");
+    const std::string &trace_out = flags.get_string("trace-out");
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (!metrics_out.empty()) {
+        metrics.reset();
+        metrics.set_enabled(true);
+    }
+    if (!trace_out.empty())
+        TraceSession::global().start();
 
     Pcg32 rng(1);
     DenseMatrix b(m.cols(), dim);
@@ -191,14 +256,14 @@ cmd_spmm(int argc, char **argv)
     auto kernel = make_spmm_kernel(flags.get_string("kernel"));
     Timer prep;
     kernel->prepare(m, dim);
-    double prep_ms = prep.elapsed_seconds() * 1e3;
+    double prep_ms = prep.elapsed_ms();
 
     kernel->run(m, b, c, pool); // warm-up
     Timer timer;
     const int repeat = static_cast<int>(flags.get_int("repeat"));
     for (int i = 0; i < repeat; ++i)
         kernel->run(m, b, c, pool);
-    double ms = timer.elapsed_seconds() * 1e3 / repeat;
+    double ms = timer.elapsed_ms() / repeat;
 
     double checksum = 0.0;
     for (index_t r = 0; r < c.rows(); ++r)
@@ -207,6 +272,169 @@ cmd_spmm(int argc, char **argv)
                 " (%.2f GFLOP/s), checksum %.6g\n",
                 kernel->name().c_str(), prep_ms, ms, repeat,
                 2.0 * m.nnz() * dim / (ms * 1e6), checksum);
+
+    int status = 0;
+    if (flags.get_bool("check")) {
+        // A checksum can mask compensating errors; compare every
+        // element against the sequential gold kernel.
+        DenseMatrix gold(m.rows(), dim);
+        reference_spmm(m, b, gold);
+        double err = max_abs_error(c, gold);
+        bool ok = c.approx_equal(gold, 1e-3f, 1e-3f);
+        std::printf("check vs reference: max-abs-error %.3e (%s)\n", err,
+                    ok ? "ok" : "MISMATCH");
+        if (!ok)
+            status = 1;
+    }
+
+    if (!metrics_out.empty() && metrics.write_json_file(metrics_out))
+        inform("wrote " + metrics_out);
+    if (!trace_out.empty()) {
+        TraceSession::global().stop();
+        if (TraceSession::global().write_chrome_json_file(trace_out))
+            inform("wrote " + trace_out);
+    }
+    return status;
+}
+
+/**
+ * Profile a kernel x dataset sweep into one machine-readable JSON
+ * report (the format the BENCH_*.json trajectory entries consume).
+ */
+int
+cmd_profile(int argc, char **argv)
+{
+    FlagParser flags("profile a kernel x dataset sweep into one JSON"
+                     " report");
+    flags.add_string("dataset", "Cora",
+                     "comma-separated Table II dataset names");
+    flags.add_string("in", "",
+                     "profile one matrix file instead of --dataset");
+    flags.add_string("kernel", "mergepath",
+                     "comma-separated registry kernel names");
+    flags.add_int("dim", 16, "dense dimension size");
+    flags.add_int("repeat", 5, "timed repetitions per combination");
+    flags.add_string("out", "", "report path (default: stdout)");
+    flags.add_string("trace-out", "",
+                     "also record spans and write Chrome trace JSON");
+    flags.parse(argc, argv);
+
+    const index_t dim = static_cast<index_t>(flags.get_int("dim"));
+    const int repeat =
+        std::max(1, static_cast<int>(flags.get_int("repeat")));
+    std::vector<std::string> kernels =
+        split_list(flags.get_string("kernel"));
+    if (kernels.empty())
+        fatal("profile needs at least one --kernel name");
+
+    // Load every input up front so a typo fails before the sweep.
+    std::vector<std::pair<std::string, CsrMatrix>> inputs;
+    const std::string &in = flags.get_string("in");
+    if (!in.empty()) {
+        inputs.emplace_back(in, load_matrix_file(in));
+    } else {
+        for (const std::string &name :
+             split_list(flags.get_string("dataset")))
+            inputs.emplace_back(name, make_dataset(name));
+    }
+    if (inputs.empty())
+        fatal("profile needs --dataset or --in");
+
+    const std::string &trace_out = flags.get_string("trace-out");
+    if (!trace_out.empty())
+        TraceSession::global().start();
+
+    ThreadPool pool;
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    Pcg32 rng(1);
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("tool").value("mps_tool profile");
+    w.key("dim").value(static_cast<int64_t>(dim));
+    w.key("repeat").value(int64_t{repeat});
+    w.key("pool_threads").value(static_cast<int64_t>(pool.size()));
+    w.key("results").begin_array();
+
+    for (const auto &[input_name, m] : inputs) {
+        DenseMatrix b(m.cols(), dim);
+        b.fill_random(rng);
+        DenseMatrix c(m.rows(), dim);
+        for (const std::string &kernel_name : kernels) {
+            metrics.reset();
+            metrics.set_enabled(true);
+            auto kernel = make_spmm_kernel(kernel_name);
+
+            Timer prep;
+            kernel->prepare(m, dim);
+            double prep_ms = prep.elapsed_ms();
+
+            kernel->run(m, b, c, pool); // warm-up
+            Timer timer;
+            for (int i = 0; i < repeat; ++i)
+                kernel->run(m, b, c, pool);
+            double run_ms = timer.elapsed_ms() / repeat;
+            metrics.set_enabled(false);
+
+            // Counters accumulated over warm-up + repeats; normalize to
+            // one run via the decorator's run counter.
+            int64_t runs = metrics.counter_value("kernel." + kernel_name +
+                                                 ".runs");
+            if (runs <= 0)
+                runs = repeat + 1;
+            auto per_run = [runs](int64_t total) {
+                return static_cast<double>(total) /
+                       static_cast<double>(runs);
+            };
+
+            w.begin_object();
+            w.key("input").value(input_name);
+            w.key("kernel").value(kernel_name);
+            w.key("rows").value(static_cast<int64_t>(m.rows()));
+            w.key("cols").value(static_cast<int64_t>(m.cols()));
+            w.key("nnz").value(static_cast<int64_t>(m.nnz()));
+            w.key("prepare_ms").value(prep_ms);
+            w.key("run_ms").value(run_ms);
+            w.key("gflops").value(run_ms <= 0.0
+                                      ? 0.0
+                                      : 2.0 * m.nnz() * dim /
+                                            (run_ms * 1e6));
+            w.key("schedule_build_ms")
+                .value(metrics.timer_value("schedule.build_ms").sum);
+            w.key("atomic_commits")
+                .value(per_run(metrics.counter_value(
+                    "spmm." + kernel_name + ".atomic_commits")));
+            w.key("plain_commits")
+                .value(per_run(metrics.counter_value(
+                    "spmm." + kernel_name + ".plain_commits")));
+            w.key("split_rows")
+                .value(metrics.gauge_value("spmm." + kernel_name +
+                                           ".split_rows"));
+            w.key("load_imbalance")
+                .value(metrics.gauge_value("spmm." + kernel_name +
+                                           ".load_imbalance"));
+            w.key("metrics");
+            metrics.append_json_array(w);
+            w.end_object();
+        }
+    }
+    w.end_array().end_object();
+
+    const std::string &out = flags.get_string("out");
+    if (out.empty()) {
+        std::printf("%s\n", w.str().c_str());
+    } else {
+        std::ofstream f(out);
+        if (!f)
+            fatal("cannot open for writing: " + out);
+        f << w.str() << '\n';
+        inform("wrote " + out);
+    }
+    if (!trace_out.empty()) {
+        TraceSession::global().stop();
+        if (TraceSession::global().write_chrome_json_file(trace_out))
+            inform("wrote " + trace_out);
+    }
     return 0;
 }
 
@@ -244,6 +472,7 @@ usage()
         "  info       matrix statistics and degree histogram\n"
         "  schedule   build + inspect + store a merge-path schedule\n"
         "  spmm       run a kernel from the registry and time it\n"
+        "  profile    kernel x dataset sweep into one JSON report\n"
         "  reorder    relabel a graph (bfs | degree | degree-asc)\n");
 }
 
@@ -268,6 +497,8 @@ main(int argc, char **argv)
         return cmd_schedule(argc - 1, argv + 1);
     if (cmd == "spmm")
         return cmd_spmm(argc - 1, argv + 1);
+    if (cmd == "profile")
+        return cmd_profile(argc - 1, argv + 1);
     if (cmd == "reorder")
         return cmd_reorder(argc - 1, argv + 1);
     usage();
