@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Process-wide reuse of merge-path schedules.
+ *
+ * Building a MergePathSchedule costs one O(log) diagonal search per
+ * thread — cheap, but a serving system pays it on every SpMM of every
+ * layer of every request against the *same* adjacency matrix. The cache
+ * keys schedules on (graph fingerprint, thread count, merge-path cost)
+ * so each combination is built exactly once and shared read-only across
+ * layers, epochs and concurrent requests (a schedule is immutable after
+ * construction, so sharing needs no further synchronization).
+ *
+ * Consumers: the serve subsystem (one cache per Server, or an external
+ * one shared across a benchmark sweep), GcnModel / GcnTrainer (via
+ * ScheduleCache::global()), and MergePathSpmm::set_schedule_cache().
+ */
+#ifndef MPS_CORE_SCHEDULE_CACHE_H
+#define MPS_CORE_SCHEDULE_CACHE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "mps/core/schedule.h"
+#include "mps/sparse/csr_matrix.h"
+
+namespace mps {
+
+/**
+ * Cheap structural fingerprint of a CSR matrix: mixes shape, nnz and a
+ * bounded sample of row offsets / column indices. Two matrices with the
+ * same fingerprint are treated as the same graph for schedule reuse;
+ * schedules only depend on (row_ptr, nnz), so a rare collision between
+ * same-shape matrices still yields a *valid* schedule, merely one built
+ * for the colliding twin.
+ */
+uint64_t csr_fingerprint(const CsrMatrix &a);
+
+/** Keyed store of immutable merge-path schedules. Thread-safe. */
+class ScheduleCache
+{
+  public:
+    ScheduleCache() = default;
+
+    ScheduleCache(const ScheduleCache &) = delete;
+    ScheduleCache &operator=(const ScheduleCache &) = delete;
+
+    /** Process-wide cache (never destroyed; safe during shutdown). */
+    static ScheduleCache &global();
+
+    /**
+     * Schedule for @p a at an explicit thread count; built on first use
+     * (key cost = the items_per_thread the build derives).
+     */
+    std::shared_ptr<const MergePathSchedule>
+    get_or_build(const CsrMatrix &a, index_t num_threads);
+
+    /**
+     * Schedule for @p a from a target merge-path cost, applying the
+     * same small-graph minimum-thread rule as
+     * MergePathSchedule::build_with_cost(). The key includes both the
+     * requested cost and the thread count it resolves to.
+     */
+    std::shared_ptr<const MergePathSchedule>
+    get_or_build_with_cost(const CsrMatrix &a, index_t cost,
+                           index_t min_threads = 0);
+
+    /** Number of distinct (graph, threads, cost) entries held. */
+    size_t size() const;
+
+    /** Cache hits / misses since construction (or the last clear()). */
+    int64_t hits() const;
+    int64_t misses() const;
+
+    /** Drop every entry and zero the hit/miss counters. */
+    void clear();
+
+  private:
+    using Key = std::tuple<uint64_t, index_t, index_t>;
+
+    std::shared_ptr<const MergePathSchedule>
+    lookup(const CsrMatrix &a, const Key &key, index_t num_threads);
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_ptr<const MergePathSchedule>> entries_;
+    int64_t hits_ = 0;
+    int64_t misses_ = 0;
+};
+
+} // namespace mps
+
+#endif // MPS_CORE_SCHEDULE_CACHE_H

@@ -1,0 +1,146 @@
+#include "mps/core/schedule_cache.h"
+
+#include <algorithm>
+
+#include "mps/util/log.h"
+#include "mps/util/metrics.h"
+
+namespace mps {
+
+namespace {
+
+/** splitmix64 finalizer — good avalanche for cheap hash mixing. */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Threads that build_with_cost() would use for (a, cost, min_threads). */
+index_t
+threads_for_cost(const CsrMatrix &a, index_t cost, index_t min_threads)
+{
+    int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
+    int64_t threads = (total + cost - 1) / cost;
+    if (threads < 1)
+        threads = 1;
+    if (min_threads > 0 && threads < min_threads)
+        threads = min_threads;
+    return static_cast<index_t>(threads);
+}
+
+} // namespace
+
+uint64_t
+csr_fingerprint(const CsrMatrix &a)
+{
+    uint64_t h = mix64(static_cast<uint64_t>(a.rows()));
+    h ^= mix64(static_cast<uint64_t>(a.cols()) + 0x51ed2701);
+    h ^= mix64(static_cast<uint64_t>(a.nnz()) + 0xa5a5a5a5);
+    // Sample up to 64 evenly spaced entries of each structural array so
+    // the fingerprint stays O(1) on huge graphs yet separates matrices
+    // that agree on shape but not structure.
+    const auto sample = [&h](const std::vector<index_t> &xs) {
+        const size_t n = xs.size();
+        if (n == 0)
+            return;
+        const size_t step = std::max<size_t>(1, n / 64);
+        for (size_t i = 0; i < n; i += step)
+            h = mix64(h ^ (static_cast<uint64_t>(xs[i]) + i));
+    };
+    sample(a.row_ptr());
+    sample(a.col_idx());
+    return h;
+}
+
+ScheduleCache &
+ScheduleCache::global()
+{
+    static ScheduleCache *cache = new ScheduleCache();
+    return *cache;
+}
+
+std::shared_ptr<const MergePathSchedule>
+ScheduleCache::lookup(const CsrMatrix &a, const Key &key,
+                      index_t num_threads)
+{
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        ++hits_;
+        if (metrics.enabled())
+            metrics.counter_add("schedule.cache.hits");
+        return it->second;
+    }
+    // Build under the lock: construction is cheap relative to the SpMM
+    // it schedules, and serializing first-miss builds guarantees the
+    // "one build per key" invariant the metrics assert.
+    auto sched = std::make_shared<const MergePathSchedule>(
+        MergePathSchedule::build(a, num_threads));
+    entries_.emplace(key, sched);
+    ++misses_;
+    if (metrics.enabled()) {
+        metrics.counter_add("schedule.cache.misses");
+        metrics.gauge_set("schedule.cache.size",
+                          static_cast<double>(entries_.size()));
+    }
+    return sched;
+}
+
+std::shared_ptr<const MergePathSchedule>
+ScheduleCache::get_or_build(const CsrMatrix &a, index_t num_threads)
+{
+    MPS_CHECK(num_threads >= 1, "need at least one thread");
+    int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
+    index_t cost = static_cast<index_t>(
+        (total + num_threads - 1) / std::max<index_t>(num_threads, 1));
+    if (cost < 1)
+        cost = 1;
+    return lookup(a, Key{csr_fingerprint(a), num_threads, cost},
+                  num_threads);
+}
+
+std::shared_ptr<const MergePathSchedule>
+ScheduleCache::get_or_build_with_cost(const CsrMatrix &a, index_t cost,
+                                      index_t min_threads)
+{
+    MPS_CHECK(cost >= 1, "merge-path cost must be >= 1");
+    index_t threads = threads_for_cost(a, cost, min_threads);
+    return lookup(a, Key{csr_fingerprint(a), threads, cost}, threads);
+}
+
+size_t
+ScheduleCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+int64_t
+ScheduleCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+int64_t
+ScheduleCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void
+ScheduleCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace mps

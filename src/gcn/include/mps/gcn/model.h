@@ -20,6 +20,8 @@
 
 namespace mps {
 
+class ScheduleCache;
+
 /** When the aggregation schedule is (re)built. */
 enum class ScheduleMode {
     kOffline, ///< prepare once per graph, reuse across inferences
@@ -68,6 +70,14 @@ class GcnModel
     ScheduleMode mode() const { return mode_; }
 
     /**
+     * Share merge-path schedules through @p cache (default: the
+     * process-wide ScheduleCache). Layers with the same tuned cost then
+     * reuse one schedule, and online-mode re-preparation stops paying
+     * for rebuilds. Pass nullptr for private per-kernel schedules.
+     */
+    void set_schedule_cache(ScheduleCache *cache);
+
+    /**
      * Run inference on graph @p a with input features @p x; returns the
      * final layer's output. In offline mode the first call against a
      * graph prepares the kernel and later calls reuse the schedule; a
@@ -87,6 +97,7 @@ class GcnModel
     std::vector<std::unique_ptr<SpmmKernel>> kernels_;
     std::string kernel_name_;
     ScheduleMode mode_;
+    ScheduleCache *schedule_cache_; // nullptr = private per-kernel schedules
     // Offline-cache identity of the last prepared graph.
     index_t prepared_rows_ = -1;
     index_t prepared_nnz_ = -1;

@@ -15,10 +15,12 @@
 #define MPS_GCN_TRAINING_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mps/core/schedule.h"
+#include "mps/core/schedule_cache.h"
 #include "mps/sparse/csr_matrix.h"
 #include "mps/sparse/dense_matrix.h"
 
@@ -81,13 +83,21 @@ class GcnTrainer
     const DenseMatrix &w1() const { return w1_; }
     const DenseMatrix &w2() const { return w2_; }
 
+    /**
+     * Source of merge-path schedules (default: the process-wide
+     * ScheduleCache, so repeated epochs and co-located trainers share
+     * one schedule per graph).
+     */
+    void set_schedule_cache(ScheduleCache &cache);
+
   private:
     void ensure_schedule(const CsrMatrix &a);
 
     DenseMatrix w1_; // in_features x hidden
     DenseMatrix w2_; // hidden x classes
     float lr_;
-    MergePathSchedule sched_;
+    ScheduleCache *schedule_cache_;
+    std::shared_ptr<const MergePathSchedule> sched_;
     index_t sched_rows_ = -1;
     index_t sched_nnz_ = -1;
 };

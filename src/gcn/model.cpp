@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "mps/core/schedule_cache.h"
 #include "mps/kernels/registry.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
@@ -11,7 +12,8 @@
 namespace mps {
 
 GcnModel::GcnModel(const std::string &kernel_name, ScheduleMode mode)
-    : kernel_name_(kernel_name), mode_(mode)
+    : kernel_name_(kernel_name), mode_(mode),
+      schedule_cache_(&ScheduleCache::global())
 {
 }
 
@@ -26,7 +28,18 @@ GcnModel::add_layer(GcnLayer layer)
     }
     layers_.push_back(std::move(layer));
     kernels_.push_back(make_spmm_kernel(kernel_name_));
+    kernels_.back()->set_schedule_cache(schedule_cache_);
     prepared_rows_ = -1; // invalidate the offline cache
+    prepared_nnz_ = -1;
+}
+
+void
+GcnModel::set_schedule_cache(ScheduleCache *cache)
+{
+    schedule_cache_ = cache;
+    for (auto &kernel : kernels_)
+        kernel->set_schedule_cache(cache);
+    prepared_rows_ = -1; // schedules must be re-resolved from the cache
     prepared_nnz_ = -1;
 }
 

@@ -181,19 +181,28 @@ GcnTrainer::GcnTrainer(index_t in_features, index_t hidden,
                        index_t classes, uint64_t seed, float learning_rate)
     : w1_(random_layer_weights(in_features, hidden, seed)),
       w2_(random_layer_weights(hidden, classes, seed + 1)),
-      lr_(learning_rate)
+      lr_(learning_rate), schedule_cache_(&ScheduleCache::global())
 {
+}
+
+void
+GcnTrainer::set_schedule_cache(ScheduleCache &cache)
+{
+    schedule_cache_ = &cache;
+    sched_.reset();
+    sched_rows_ = -1; // re-resolve from the new cache on next use
+    sched_nnz_ = -1;
 }
 
 void
 GcnTrainer::ensure_schedule(const CsrMatrix &a)
 {
-    if (sched_rows_ == a.rows() && sched_nnz_ == a.nnz())
+    if (sched_ && sched_rows_ == a.rows() && sched_nnz_ == a.nnz())
         return;
     int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
     index_t threads = static_cast<index_t>(
         std::clamp<int64_t>(total / 32, 64, 8192));
-    sched_ = MergePathSchedule::build(a, threads);
+    sched_ = schedule_cache_->get_or_build(a, threads);
     sched_rows_ = a.rows();
     sched_nnz_ = a.nnz();
 }
@@ -208,13 +217,13 @@ GcnTrainer::predict(const CsrMatrix &a, const DenseMatrix &x,
     DenseMatrix xw1(a.rows(), w1_.cols());
     dense_gemm(x, w1_, xw1, pool);
     DenseMatrix h1(a.rows(), w1_.cols());
-    mergepath_spmm_parallel(a, xw1, h1, sched_, pool);
+    mergepath_spmm_parallel(a, xw1, h1, *sched_, pool);
     apply_activation(h1, Activation::kRelu);
 
     DenseMatrix hw2(a.rows(), w2_.cols());
     dense_gemm(h1, w2_, hw2, pool);
     DenseMatrix logits(a.rows(), w2_.cols());
-    mergepath_spmm_parallel(a, hw2, logits, sched_, pool);
+    mergepath_spmm_parallel(a, hw2, logits, *sched_, pool);
     return logits;
 }
 
@@ -239,13 +248,13 @@ GcnTrainer::step(const CsrMatrix &a, const DenseMatrix &x,
         ScopedSpan forward_span("train.forward", "train");
         DenseMatrix xw1(a.rows(), w1_.cols());
         dense_gemm(x, w1_, xw1, pool);
-        mergepath_spmm_parallel(a, xw1, z1, sched_, pool);
+        mergepath_spmm_parallel(a, xw1, z1, *sched_, pool);
         h1 = z1;
         apply_activation(h1, Activation::kRelu);
 
         DenseMatrix hw2(a.rows(), w2_.cols());
         dense_gemm(h1, w2_, hw2, pool);
-        mergepath_spmm_parallel(a, hw2, logits, sched_, pool);
+        mergepath_spmm_parallel(a, hw2, logits, *sched_, pool);
     }
 
     // ---- loss ----
@@ -260,7 +269,7 @@ GcnTrainer::step(const CsrMatrix &a, const DenseMatrix &x,
         // merge-path SpMM as the forward aggregation.
         ScopedSpan backward_span("train.backward", "train");
         DenseMatrix d_hw2(a.rows(), w2_.cols());
-        mergepath_spmm_parallel(a, g2, d_hw2, sched_, pool);
+        mergepath_spmm_parallel(a, g2, d_hw2, *sched_, pool);
 
         gemm_at_b(h1, d_hw2, d_w2, pool);
         DenseMatrix d_h1(a.rows(), w1_.cols());
@@ -279,7 +288,7 @@ GcnTrainer::step(const CsrMatrix &a, const DenseMatrix &x,
         }
 
         DenseMatrix d_xw1(a.rows(), w1_.cols());
-        mergepath_spmm_parallel(a, d_h1, d_xw1, sched_, pool);
+        mergepath_spmm_parallel(a, d_h1, d_xw1, *sched_, pool);
         gemm_at_b(x, d_xw1, d_w1, pool);
     }
 

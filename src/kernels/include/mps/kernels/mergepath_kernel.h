@@ -6,8 +6,11 @@
 #ifndef MPS_KERNELS_MERGEPATH_KERNEL_H
 #define MPS_KERNELS_MERGEPATH_KERNEL_H
 
+#include <memory>
+
 #include "mps/core/policy.h"
 #include "mps/core/schedule.h"
+#include "mps/core/schedule_cache.h"
 #include "mps/kernels/spmm_kernel.h"
 
 namespace mps {
@@ -32,8 +35,20 @@ class MergePathSpmm final : public SpmmKernel
     void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
              ThreadPool &pool) const override;
 
+    /**
+     * Reuse schedules through @p cache instead of building privately;
+     * nullptr reverts to a private schedule on the next prepare().
+     */
+    void set_schedule_cache(ScheduleCache *cache) override
+    {
+        cache_ = cache;
+    }
+
     /** Schedule built by prepare() (consumed by the SIMT codegen). */
-    const MergePathSchedule &schedule() const { return schedule_; }
+    const MergePathSchedule &schedule() const
+    {
+        return shared_schedule_ ? *shared_schedule_ : schedule_;
+    }
 
     /** Cost resolved by prepare(). */
     index_t cost() const { return prepared_cost_; }
@@ -43,6 +58,10 @@ class MergePathSpmm final : public SpmmKernel
     index_t min_threads_;
     index_t prepared_cost_ = 0;
     MergePathSchedule schedule_;
+    // When a cache is attached, prepare() stores its shared immutable
+    // schedule here and leaves schedule_ empty.
+    std::shared_ptr<const MergePathSchedule> shared_schedule_;
+    ScheduleCache *cache_ = nullptr;
 };
 
 } // namespace mps

@@ -26,6 +26,7 @@
 namespace mps {
 
 class ThreadPool;
+class ScheduleCache;
 
 /** Abstract SpMM kernel with a separate scheduling step. */
 class SpmmKernel
@@ -35,6 +36,14 @@ class SpmmKernel
 
     /** Stable kernel identifier (used by the registry and benches). */
     virtual std::string name() const = 0;
+
+    /**
+     * Offer a schedule cache for prepare() to reuse schedules across
+     * kernel instances (layers, epochs, serving requests). Kernels
+     * without cacheable schedule state ignore the offer; pass nullptr
+     * to revert to private schedules. Decorators must forward.
+     */
+    virtual void set_schedule_cache(ScheduleCache *cache) { (void)cache; }
 
     /**
      * Build input-dependent schedule state for matrix @p a at dense

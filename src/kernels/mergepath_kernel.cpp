@@ -10,8 +10,15 @@ void
 MergePathSpmm::prepare(const CsrMatrix &a, index_t dim)
 {
     prepared_cost_ = cost_ > 0 ? cost_ : default_merge_path_cost(dim);
-    schedule_ = MergePathSchedule::build_with_cost(a, prepared_cost_,
-                                                   min_threads_);
+    if (cache_ != nullptr) {
+        shared_schedule_ = cache_->get_or_build_with_cost(
+            a, prepared_cost_, min_threads_);
+        schedule_ = MergePathSchedule();
+    } else {
+        shared_schedule_.reset();
+        schedule_ = MergePathSchedule::build_with_cost(a, prepared_cost_,
+                                                       min_threads_);
+    }
 
     // Static schedule properties (Figure 5's write-distribution study),
     // published as gauges: they describe the prepared schedule, not an
@@ -19,7 +26,7 @@ MergePathSpmm::prepare(const CsrMatrix &a, index_t dim)
     // mergepath_spmm_parallel() cover the latter.
     MetricsRegistry &metrics = MetricsRegistry::global();
     if (metrics.enabled()) {
-        ScheduleCensus census = schedule_.census(a);
+        ScheduleCensus census = schedule().census(a);
         metrics.gauge_set("spmm.mergepath.split_rows",
                           static_cast<double>(census.split_rows));
         metrics.gauge_set("spmm.mergepath.atomic_write_fraction",
@@ -33,8 +40,9 @@ void
 MergePathSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
                    DenseMatrix &c, ThreadPool &pool) const
 {
-    MPS_CHECK(schedule_.num_threads() >= 1, "prepare() was not called");
-    mergepath_spmm_parallel(a, b, c, schedule_, pool);
+    const MergePathSchedule &sched = schedule();
+    MPS_CHECK(sched.num_threads() >= 1, "prepare() was not called");
+    mergepath_spmm_parallel(a, b, c, sched, pool);
 }
 
 } // namespace mps

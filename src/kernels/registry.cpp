@@ -58,6 +58,12 @@ class InstrumentedSpmmKernel final : public SpmmKernel
     std::string name() const override { return inner_->name(); }
 
     void
+    set_schedule_cache(ScheduleCache *cache) override
+    {
+        inner_->set_schedule_cache(cache);
+    }
+
+    void
     prepare(const CsrMatrix &a, index_t dim) override
     {
         ScopedSpan span(prepare_span_, "kernel");

@@ -1,0 +1,117 @@
+#include "mps/serve/batcher.h"
+
+#include <limits>
+#include <utility>
+
+#include "mps/util/log.h"
+
+namespace mps {
+namespace serve {
+
+Batcher::Batcher(BatchPolicy policy) : policy_(policy)
+{
+    MPS_CHECK(policy_.max_batch >= 1, "max_batch must be >= 1");
+    MPS_CHECK(policy_.max_delay_us >= 0, "max_delay_us must be >= 0");
+}
+
+void
+Batcher::add(RequestPtr request, int64_t now_us)
+{
+    request->arrival_us = now_us;
+    Group &g = groups_[request->graph_id];
+    if (g.requests.empty())
+        g.oldest_us = now_us;
+    g.requests.push_back(std::move(request));
+    ++pending_;
+}
+
+bool
+Batcher::group_ready(const Group &g, int64_t now_us) const
+{
+    if (g.requests.size() >= static_cast<size_t>(policy_.max_batch))
+        return true;
+    return now_us - g.oldest_us >= policy_.max_delay_us;
+}
+
+int64_t
+Batcher::next_deadline_us() const
+{
+    int64_t deadline = std::numeric_limits<int64_t>::max();
+    for (const auto &[id, g] : groups_) {
+        (void)id;
+        int64_t d =
+            g.requests.size() >= static_cast<size_t>(policy_.max_batch)
+                ? g.oldest_us
+                : g.oldest_us + policy_.max_delay_us;
+        deadline = std::min(deadline, d);
+    }
+    return deadline;
+}
+
+bool
+Batcher::has_ready(int64_t now_us) const
+{
+    for (const auto &[id, g] : groups_) {
+        (void)id;
+        if (group_ready(g, now_us))
+            return true;
+    }
+    return false;
+}
+
+std::vector<RequestPtr>
+Batcher::take_ready(int64_t now_us)
+{
+    auto best = groups_.end();
+    for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+        if (!group_ready(it->second, now_us))
+            continue;
+        if (best == groups_.end() ||
+            it->second.oldest_us < best->second.oldest_us)
+            best = it;
+    }
+    if (best == groups_.end())
+        return {};
+    return split_front(best);
+}
+
+std::vector<RequestPtr>
+Batcher::take_any()
+{
+    auto best = groups_.end();
+    for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+        if (best == groups_.end() ||
+            it->second.oldest_us < best->second.oldest_us)
+            best = it;
+    }
+    if (best == groups_.end())
+        return {};
+    return split_front(best);
+}
+
+std::vector<RequestPtr>
+Batcher::split_front(std::map<uint64_t, Group>::iterator it)
+{
+    Group &g = it->second;
+    const size_t take =
+        std::min(g.requests.size(), static_cast<size_t>(policy_.max_batch));
+    std::vector<RequestPtr> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i)
+        batch.push_back(std::move(g.requests[i]));
+    // A burst drain can pile more than max_batch into one group; the
+    // overflow stays behind as a fresh group aged from its own arrival.
+    if (take == g.requests.size()) {
+        groups_.erase(it);
+    } else {
+        g.requests.erase(g.requests.begin(),
+                         g.requests.begin() +
+                             static_cast<ptrdiff_t>(take));
+        g.oldest_us = g.requests.front()->arrival_us;
+    }
+    pending_ -= batch.size();
+    return batch;
+}
+
+} // namespace serve
+} // namespace mps

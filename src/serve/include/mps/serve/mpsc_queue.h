@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer/single-consumer queue: the ingress
+ * path of the serving subsystem. Client threads enqueue requests with
+ * two atomic operations and never take a lock; the dispatcher is the
+ * single consumer.
+ *
+ * The algorithm is a bounded ring of cells with per-cell sequence
+ * numbers (Vyukov's bounded queue, restricted here to one consumer).
+ * A cell's sequence tells each side whose turn it is:
+ *   seq == pos            -> cell free, a producer may claim slot pos
+ *   seq == pos + 1        -> cell full, the consumer may take slot pos
+ *   otherwise             -> the ring has wrapped: full (producer side)
+ *                            or empty (consumer side).
+ * Producers claim slots with one CAS on head_; the consumer advances
+ * tail_ with plain stores (it is the only writer). try_push/try_pop
+ * never block and never allocate, so backpressure is an explicit
+ * "false" the caller turns into reject-or-block policy.
+ */
+#ifndef MPS_SERVE_MPSC_QUEUE_H
+#define MPS_SERVE_MPSC_QUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+/**
+ * Bounded lock-free MPSC queue of movable, default-constructible
+ * values. Capacity is rounded up to a power of two. Per-producer FIFO:
+ * two pushes by the same thread dequeue in push order.
+ */
+template <typename T>
+class MpscQueue
+{
+  public:
+    /** @param capacity minimum slot count (>= 1); rounded to 2^k. */
+    explicit MpscQueue(size_t capacity)
+    {
+        MPS_CHECK(capacity >= 1, "queue capacity must be >= 1");
+        size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        cells_ = std::make_unique<Cell[]>(cap);
+        mask_ = cap - 1;
+        for (size_t i = 0; i < cap; ++i)
+            cells_[i].sequence.store(i, std::memory_order_relaxed);
+        head_.store(0, std::memory_order_relaxed);
+        tail_.store(0, std::memory_order_relaxed);
+    }
+
+    MpscQueue(const MpscQueue &) = delete;
+    MpscQueue &operator=(const MpscQueue &) = delete;
+
+    /** Slots in the ring (the power-of-two the capacity rounded to). */
+    size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Enqueue @p value. Returns false (value untouched apart from the
+     * move into the parameter) when the queue is full. Any thread.
+     */
+    bool
+    try_push(T &&value)
+    {
+        Cell *cell;
+        size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            size_t seq = cell->sequence.load(std::memory_order_acquire);
+            intptr_t dif = static_cast<intptr_t>(seq) -
+                           static_cast<intptr_t>(pos);
+            if (dif == 0) {
+                // Free cell: claim slot pos (the CAS is the only point
+                // of producer-producer contention).
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                return false; // ring wrapped: full
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+        cell->value = std::move(value);
+        cell->sequence.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Dequeue into @p out; false when empty. Must only ever be called
+     * from one thread at a time (the single consumer).
+     */
+    bool
+    try_pop(T &out)
+    {
+        size_t pos = tail_.load(std::memory_order_relaxed);
+        Cell *cell = &cells_[pos & mask_];
+        size_t seq = cell->sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) !=
+            0)
+            return false; // producer not done yet (or empty)
+        out = std::move(cell->value);
+        cell->value = T{}; // drop any resource the slot still owns
+        // Mark the cell free for the producer one lap ahead.
+        cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+        tail_.store(pos + 1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /**
+     * Instantaneous occupancy estimate (racy by nature; exact when no
+     * push is in flight). Used for the queue-depth gauge.
+     */
+    size_t
+    size_approx() const
+    {
+        size_t head = head_.load(std::memory_order_acquire);
+        size_t tail = tail_.load(std::memory_order_acquire);
+        return head >= tail ? head - tail : 0;
+    }
+
+    /** True when size_approx() == 0. */
+    bool empty_approx() const { return size_approx() == 0; }
+
+  private:
+    // One ring slot. The sequence is the synchronization point between
+    // the producer that fills the slot and the consumer that drains it.
+    struct Cell
+    {
+        std::atomic<size_t> sequence{0};
+        T value{};
+    };
+
+    static constexpr size_t kCacheLine = 64;
+
+    std::unique_ptr<Cell[]> cells_;
+    size_t mask_ = 0;
+    // Producers and the consumer touch disjoint lines.
+    alignas(kCacheLine) std::atomic<size_t> head_{0}; // producers
+    alignas(kCacheLine) std::atomic<size_t> tail_{0}; // consumer
+};
+
+} // namespace mps
+
+#endif // MPS_SERVE_MPSC_QUEUE_H

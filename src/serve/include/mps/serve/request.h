@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Request/response types of the serving subsystem. A request carries
+ * one node-feature matrix destined for a registered graph's GCN model;
+ * its future resolves with the model output or an explicit error — the
+ * server never drops a request silently.
+ */
+#ifndef MPS_SERVE_REQUEST_H
+#define MPS_SERVE_REQUEST_H
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "mps/sparse/dense_matrix.h"
+#include "mps/util/timer.h"
+
+namespace mps {
+namespace serve {
+
+/** Terminal state of one request. */
+enum class RequestStatus {
+    kOk,           ///< output holds the model result
+    kRejected,     ///< bounded queue full (backpressure, reject policy)
+    kTimeout,      ///< deadline expired before execution started
+    kShutdown,     ///< submitted after shutdown began
+    kUnknownGraph, ///< graph id was never registered
+    kBadRequest,   ///< feature shape does not match the graph/model
+};
+
+/** to_string for RequestStatus. */
+const char *request_status_name(RequestStatus status);
+
+/** What a request's future resolves with. */
+struct InferenceResult
+{
+    RequestStatus status = RequestStatus::kOk;
+    /** Model output (rows = graph nodes); empty unless status == kOk. */
+    DenseMatrix output;
+    /** Submit-to-completion wall time. */
+    double latency_ms = 0.0;
+    /** Requests coalesced into the batch that produced this result. */
+    int batch_size = 0;
+    /** Human-readable detail for non-kOk statuses. */
+    std::string message;
+
+    bool ok() const { return status == RequestStatus::kOk; }
+};
+
+/** One queued request (owned by the server once submitted). */
+struct PendingRequest
+{
+    uint64_t graph_id = 0;
+    DenseMatrix features;
+    std::promise<InferenceResult> promise;
+    /** Started at submit; measures queue wait + execution. */
+    Timer since_submit;
+    /** Deadline relative to submit; <= 0 means no deadline. */
+    double timeout_ms = 0.0;
+    /** Dispatcher clock at drain time (stamped by the Batcher's caller). */
+    int64_t arrival_us = 0;
+
+    bool
+    expired() const
+    {
+        return timeout_ms > 0.0 && since_submit.elapsed_ms() > timeout_ms;
+    }
+
+    /** Resolve the future with an error (no output). */
+    void
+    fail(RequestStatus status, std::string message)
+    {
+        InferenceResult r;
+        r.status = status;
+        r.latency_ms = since_submit.elapsed_ms();
+        r.message = std::move(message);
+        promise.set_value(std::move(r));
+    }
+};
+
+using RequestPtr = std::unique_ptr<PendingRequest>;
+
+} // namespace serve
+} // namespace mps
+
+#endif // MPS_SERVE_REQUEST_H

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Batched GCN inference server.
+ *
+ *   clients --> MpscQueue (lock-free, bounded) --> dispatcher thread
+ *            --> Batcher (coalesce per graph) --> worker pool
+ *            --> batched layer execution against cached schedules
+ *
+ * A registered graph owns its adjacency matrix, its GCN layer stack
+ * and (through the ScheduleCache) its merge-path schedules. Workers
+ * execute one batch as: per-request dense GEMM (X_j x W), column-wise
+ * concatenation into one wide matrix, a single MergePath-SpMM at
+ * effective dimension batch x d, then split + activation. The sparse
+ * traversal of A is thus paid once per batch instead of once per
+ * request, and the schedule for each (graph, effective d) pair is
+ * built exactly once.
+ *
+ * Guarantees:
+ *  - every accepted request's future resolves — with a result, or with
+ *    an explicit kTimeout / kShutdown / kBadRequest error;
+ *  - a full queue rejects (kRejected) or blocks, per OverflowPolicy;
+ *  - shutdown() drains: queued and batched requests still execute.
+ *
+ * Metrics (all through the PR 1 registry, no-ops while disabled):
+ *  serve.queue.depth (gauge), serve.batch.size (distribution),
+ *  serve.batch.exec_ms / serve.request.latency_ms /
+ *  serve.request.wait_ms (timers), serve.requests.{submitted,
+ *  completed,rejected,timed_out} + serve.batches (counters), and
+ *  serve.latency.p50_ms/.p95_ms/.p99_ms gauges published on shutdown.
+ */
+#ifndef MPS_SERVE_SERVER_H
+#define MPS_SERVE_SERVER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mps/core/schedule_cache.h"
+#include "mps/gcn/layer.h"
+#include "mps/serve/batcher.h"
+#include "mps/serve/mpsc_queue.h"
+#include "mps/serve/request.h"
+#include "mps/sparse/csr_matrix.h"
+#include "mps/util/stats.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+namespace serve {
+
+/** What a producer experiences when the bounded queue is full. */
+enum class OverflowPolicy {
+    kReject, ///< submit() resolves the future with kRejected
+    kBlock,  ///< submit() waits for space (or shutdown)
+};
+
+/** Server construction knobs. */
+struct ServeConfig
+{
+    /** Bounded ingress queue slots (rounded up to a power of two). */
+    size_t queue_capacity = 1024;
+    /** Worker threads executing batches. */
+    unsigned num_workers = 2;
+    /**
+     * ThreadPool workers per server worker for the GEMM/SpMM inside a
+     * batch; 0 divides the hardware threads evenly among workers.
+     */
+    unsigned pool_threads = 0;
+    /** Coalescing policy (max_batch, max_delay_us). */
+    BatchPolicy batch;
+    /** Backpressure behaviour when the ingress queue is full. */
+    OverflowPolicy overflow = OverflowPolicy::kReject;
+    /** Default per-request deadline; <= 0 means none. */
+    double default_timeout_ms = 0.0;
+    /**
+     * Start the dispatcher/workers in the constructor. Tests set this
+     * false to fill the queue deterministically, then call start().
+     */
+    bool autostart = true;
+};
+
+/** Queue/latency snapshot for reports. */
+struct ServerStats
+{
+    int64_t submitted = 0;
+    int64_t completed = 0;
+    int64_t rejected = 0;
+    int64_t timed_out = 0;
+    int64_t batches = 0;
+    double mean_batch_size = 0.0;
+    int64_t max_batch_size = 0;
+    PercentileSummary latency_ms; ///< completed requests only
+};
+
+/** Batched GCN inference server (one process-local instance). */
+class Server
+{
+  public:
+    /**
+     * @param config serving knobs
+     * @param cache  schedule store; nullptr gives the server a private
+     *        cache. An external cache can be shared across servers
+     *        (e.g. a benchmark sweep) so schedules build once.
+     */
+    explicit Server(ServeConfig config = {},
+                    ScheduleCache *cache = nullptr);
+
+    /** Graceful: equivalent to shutdown(). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Register a graph and its model layers; returns the graph id used
+     * by submit(). The adjacency matrix is expected GCN-normalized.
+     * Layer widths must chain; the first layer's in_features fixes the
+     * accepted feature width.
+     */
+    uint64_t register_graph(CsrMatrix adjacency,
+                            std::vector<GcnLayer> layers);
+
+    /**
+     * Enqueue one inference request. The returned future always
+     * resolves (see RequestStatus). @p timeout_ms < 0 selects the
+     * config default; 0 disables the deadline for this request.
+     */
+    std::future<InferenceResult> submit(uint64_t graph_id,
+                                        DenseMatrix features,
+                                        double timeout_ms = -1.0);
+
+    /** submit() + wait: convenience for examples and tools. */
+    InferenceResult infer(uint64_t graph_id, DenseMatrix features,
+                          double timeout_ms = -1.0);
+
+    /** Start the dispatcher and workers (idempotent). */
+    void start();
+
+    /**
+     * Stop accepting requests, drain the queue and batcher, execute
+     * everything in flight, publish latency-percentile gauges, join
+     * all threads. Idempotent.
+     */
+    void shutdown();
+
+    /** Aggregate counters + latency percentiles so far. */
+    ServerStats stats() const;
+
+    const ServeConfig &config() const { return config_; }
+
+    /** The schedule store this server resolves schedules from. */
+    ScheduleCache &schedule_cache() { return *cache_; }
+
+  private:
+    struct GraphContext
+    {
+        CsrMatrix adjacency;
+        std::vector<GcnLayer> layers;
+    };
+
+    struct Batch
+    {
+        GraphContext *graph = nullptr;
+        std::vector<RequestPtr> requests;
+    };
+
+    void dispatcher_loop();
+    void worker_loop(ThreadPool &pool);
+    void execute_batch(Batch batch, ThreadPool &pool);
+    void hand_to_workers(Batch batch);
+    void drain_queue_into_batcher(int64_t now_us);
+    void record_completion(double latency_ms);
+    int64_t now_us() const
+    {
+        return static_cast<int64_t>(epoch_.elapsed_us());
+    }
+
+    ServeConfig config_;
+    std::unique_ptr<ScheduleCache> owned_cache_;
+    ScheduleCache *cache_;
+
+    std::map<uint64_t, std::unique_ptr<GraphContext>> graphs_;
+    uint64_t next_graph_id_ = 1;
+    mutable std::mutex graphs_mutex_;
+
+    MpscQueue<RequestPtr> queue_;
+    Batcher batcher_; // dispatcher-only
+    Timer epoch_;
+
+    // Producer->dispatcher wakeup + block-mode backpressure. The data
+    // path stays lock-free: this mutex guards only sleeping/waking.
+    std::mutex wake_mutex_;
+    std::condition_variable work_cv_;  // dispatcher sleeps here
+    std::condition_variable space_cv_; // kBlock producers sleep here
+
+    // Dispatcher->worker handoff (small, rarely contended).
+    std::mutex batches_mutex_;
+    std::condition_variable batches_cv_;
+    std::deque<Batch> ready_batches_;
+    bool batches_closed_ = false;
+
+    std::thread dispatcher_;
+    std::vector<std::thread> workers_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> accepting_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> terminated_{false};
+
+    // Aggregate stats (guarded by stats_mutex_).
+    mutable std::mutex stats_mutex_;
+    int64_t submitted_ = 0;
+    int64_t completed_ = 0;
+    int64_t rejected_ = 0;
+    int64_t timed_out_ = 0;
+    int64_t batches_total_ = 0;
+    int64_t batch_requests_total_ = 0;
+    int64_t max_batch_size_ = 0;
+    std::vector<double> latency_samples_; // bounded reservoir
+};
+
+} // namespace serve
+} // namespace mps
+
+#endif // MPS_SERVE_SERVER_H

@@ -1,0 +1,27 @@
+#include "mps/serve/request.h"
+
+namespace mps {
+namespace serve {
+
+const char *
+request_status_name(RequestStatus status)
+{
+    switch (status) {
+    case RequestStatus::kOk:
+        return "ok";
+    case RequestStatus::kRejected:
+        return "rejected";
+    case RequestStatus::kTimeout:
+        return "timeout";
+    case RequestStatus::kShutdown:
+        return "shutdown";
+    case RequestStatus::kUnknownGraph:
+        return "unknown-graph";
+    case RequestStatus::kBadRequest:
+        return "bad-request";
+    }
+    return "invalid";
+}
+
+} // namespace serve
+} // namespace mps

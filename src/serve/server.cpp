@@ -1,0 +1,532 @@
+#include "mps/serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "mps/core/policy.h"
+#include "mps/core/spmm.h"
+#include "mps/gcn/activation.h"
+#include "mps/gcn/gemm.h"
+#include "mps/util/log.h"
+#include "mps/util/metrics.h"
+
+namespace mps {
+namespace serve {
+
+namespace {
+
+/**
+ * Merge-path cost for a batch SpMM at effective dimension @p dim. Start
+ * from the per-d tuned cost and raise it so the schedule never asks for
+ * more than 64x oversubscription of the executing pool — a server keeps
+ * many pools busy at once, so unbounded thread counts on huge graphs
+ * would only add scheduling overhead. Deterministic per (graph, dim,
+ * pool size), which keeps the ScheduleCache key space small.
+ */
+index_t
+serve_cost(const CsrMatrix &a, index_t dim, const ThreadPool &pool)
+{
+    const index_t total = a.rows() + a.nnz();
+    const index_t max_threads = static_cast<index_t>(pool.size()) * 64;
+    const index_t floor_cost = (total + max_threads - 1) / max_threads;
+    return std::max(default_merge_path_cost(dim), floor_cost);
+}
+
+/** Bound kept on completed-request latencies for percentile reports. */
+constexpr size_t kMaxLatencySamples = 65536;
+
+} // namespace
+
+Server::Server(ServeConfig config, ScheduleCache *cache)
+    : config_(config),
+      owned_cache_(cache == nullptr ? std::make_unique<ScheduleCache>()
+                                    : nullptr),
+      cache_(cache == nullptr ? owned_cache_.get() : cache),
+      queue_(config_.queue_capacity), batcher_(config_.batch)
+{
+    MPS_CHECK(config_.num_workers >= 1, "num_workers must be >= 1");
+    accepting_.store(true, std::memory_order_release);
+    if (config_.autostart)
+        start();
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+uint64_t
+Server::register_graph(CsrMatrix adjacency, std::vector<GcnLayer> layers)
+{
+    MPS_CHECK(adjacency.rows() == adjacency.cols(),
+              "adjacency must be square, got ", adjacency.rows(), "x",
+              adjacency.cols());
+    MPS_CHECK(!layers.empty(), "a graph needs at least one layer");
+    for (size_t l = 1; l < layers.size(); ++l) {
+        MPS_CHECK(layers[l].in_features() == layers[l - 1].out_features(),
+                  "layer ", l, " expects ", layers[l].in_features(),
+                  " input features but layer ", l - 1, " produces ",
+                  layers[l - 1].out_features());
+    }
+    auto ctx = std::make_unique<GraphContext>();
+    ctx->adjacency = std::move(adjacency);
+    ctx->layers = std::move(layers);
+
+    std::lock_guard<std::mutex> lk(graphs_mutex_);
+    const uint64_t id = next_graph_id_++;
+    graphs_.emplace(id, std::move(ctx));
+    return id;
+}
+
+std::future<InferenceResult>
+Server::submit(uint64_t graph_id, DenseMatrix features, double timeout_ms)
+{
+    auto &metrics = MetricsRegistry::global();
+    auto req = std::make_unique<PendingRequest>();
+    req->graph_id = graph_id;
+    req->features = std::move(features);
+    req->timeout_ms =
+        timeout_ms < 0.0 ? config_.default_timeout_ms : timeout_ms;
+    std::future<InferenceResult> fut = req->promise.get_future();
+
+    metrics.counter_add("serve.requests.submitted");
+    {
+        std::lock_guard<std::mutex> lk(stats_mutex_);
+        ++submitted_;
+    }
+
+    if (!accepting_.load(std::memory_order_acquire)) {
+        req->fail(RequestStatus::kShutdown, "server is shutting down");
+        return fut;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(graphs_mutex_);
+        auto it = graphs_.find(graph_id);
+        if (it == graphs_.end()) {
+            req->fail(RequestStatus::kUnknownGraph,
+                      "graph id was never registered");
+            return fut;
+        }
+        const GraphContext &g = *it->second;
+        if (req->features.rows() != g.adjacency.rows() ||
+            req->features.cols() != g.layers.front().in_features()) {
+            std::ostringstream os;
+            os << "feature shape " << req->features.rows() << "x"
+               << req->features.cols() << " does not match expected "
+               << g.adjacency.rows() << "x"
+               << g.layers.front().in_features();
+            req->fail(RequestStatus::kBadRequest, os.str());
+            return fut;
+        }
+    }
+
+    if (!queue_.try_push(std::move(req))) {
+        if (config_.overflow == OverflowPolicy::kReject) {
+            metrics.counter_add("serve.requests.rejected");
+            {
+                std::lock_guard<std::mutex> lk(stats_mutex_);
+                ++rejected_;
+            }
+            req->fail(RequestStatus::kRejected,
+                      "ingress queue full (reject policy)");
+            return fut;
+        }
+        // Block policy: wait for the dispatcher to free a slot. The
+        // periodic wakeup bounds the window of the full->empty race.
+        std::unique_lock<std::mutex> lk(wake_mutex_);
+        for (;;) {
+            if (stopping_.load(std::memory_order_acquire)) {
+                req->fail(RequestStatus::kShutdown,
+                          "server shut down while waiting for queue "
+                          "space");
+                return fut;
+            }
+            if (queue_.try_push(std::move(req)))
+                break;
+            space_cv_.wait_for(lk, std::chrono::milliseconds(1));
+        }
+    }
+
+    // Empty critical section: pairs with the dispatcher's checked wait
+    // so a push between its check and its sleep cannot lose the wakeup.
+    {
+        std::lock_guard<std::mutex> lk(wake_mutex_);
+    }
+    work_cv_.notify_one();
+    return fut;
+}
+
+InferenceResult
+Server::infer(uint64_t graph_id, DenseMatrix features, double timeout_ms)
+{
+    return submit(graph_id, std::move(features), timeout_ms).get();
+}
+
+void
+Server::start()
+{
+    bool expected = false;
+    if (!started_.compare_exchange_strong(expected, true))
+        return;
+
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 4;
+    const unsigned pool_threads =
+        config_.pool_threads != 0
+            ? config_.pool_threads
+            : std::max(2u, hw / std::max(1u, config_.num_workers));
+
+    dispatcher_ = std::thread(&Server::dispatcher_loop, this);
+    workers_.reserve(config_.num_workers);
+    for (unsigned i = 0; i < config_.num_workers; ++i) {
+        workers_.emplace_back([this, pool_threads] {
+            // Each worker owns its pool: parallel_for does not nest,
+            // and private pools keep batch executions independent.
+            ThreadPool pool(pool_threads);
+            worker_loop(pool);
+        });
+    }
+}
+
+void
+Server::worker_loop(ThreadPool &pool)
+{
+    for (;;) {
+        Batch batch;
+        {
+            std::unique_lock<std::mutex> lk(batches_mutex_);
+            batches_cv_.wait(lk, [this] {
+                return !ready_batches_.empty() || batches_closed_;
+            });
+            if (ready_batches_.empty())
+                return; // closed and drained
+            batch = std::move(ready_batches_.front());
+            ready_batches_.pop_front();
+        }
+        execute_batch(std::move(batch), pool);
+    }
+}
+
+void
+Server::drain_queue_into_batcher(int64_t now_us_val)
+{
+    auto &metrics = MetricsRegistry::global();
+    RequestPtr req;
+    bool popped = false;
+    while (queue_.try_pop(req)) {
+        popped = true;
+        if (req->expired()) {
+            metrics.counter_add("serve.requests.timed_out");
+            {
+                std::lock_guard<std::mutex> lk(stats_mutex_);
+                ++timed_out_;
+            }
+            req->fail(RequestStatus::kTimeout,
+                      "deadline expired while queued");
+            continue;
+        }
+        batcher_.add(std::move(req), now_us_val);
+    }
+    metrics.gauge_set("serve.queue.depth",
+                      static_cast<double>(queue_.size_approx()));
+    if (popped && config_.overflow == OverflowPolicy::kBlock) {
+        {
+            std::lock_guard<std::mutex> lk(wake_mutex_);
+        }
+        space_cv_.notify_all();
+    }
+}
+
+void
+Server::hand_to_workers(Batch batch)
+{
+    {
+        std::lock_guard<std::mutex> lk(batches_mutex_);
+        ready_batches_.push_back(std::move(batch));
+    }
+    batches_cv_.notify_one();
+}
+
+void
+Server::dispatcher_loop()
+{
+    for (;;) {
+        int64_t now = now_us();
+        drain_queue_into_batcher(now);
+
+        for (;;) {
+            std::vector<RequestPtr> ready = batcher_.take_ready(now);
+            if (ready.empty())
+                break;
+            Batch batch;
+            batch.requests = std::move(ready);
+            {
+                std::lock_guard<std::mutex> lk(graphs_mutex_);
+                auto it = graphs_.find(batch.requests.front()->graph_id);
+                MPS_CHECK(it != graphs_.end(),
+                          "batched request for unregistered graph");
+                batch.graph = it->second.get();
+            }
+            hand_to_workers(std::move(batch));
+        }
+
+        if (stopping_.load(std::memory_order_acquire)) {
+            drain_queue_into_batcher(now_us());
+            while (batcher_.pending() > 0) {
+                std::vector<RequestPtr> rest = batcher_.take_any();
+                if (rest.empty())
+                    break;
+                Batch batch;
+                batch.requests = std::move(rest);
+                {
+                    std::lock_guard<std::mutex> lk(graphs_mutex_);
+                    auto it =
+                        graphs_.find(batch.requests.front()->graph_id);
+                    MPS_CHECK(it != graphs_.end(),
+                              "batched request for unregistered graph");
+                    batch.graph = it->second.get();
+                }
+                hand_to_workers(std::move(batch));
+            }
+            if (queue_.empty_approx() && batcher_.pending() == 0)
+                break;
+            continue; // a racing push landed: loop once more
+        }
+
+        // Sleep until new work arrives or the earliest batching
+        // deadline. The check under wake_mutex_ pairs with submit()'s
+        // empty critical section so no wakeup is lost.
+        std::unique_lock<std::mutex> lk(wake_mutex_);
+        if (!queue_.empty_approx() ||
+            stopping_.load(std::memory_order_acquire))
+            continue;
+        if (batcher_.pending() == 0) {
+            work_cv_.wait_for(lk, std::chrono::milliseconds(10));
+        } else {
+            const int64_t deadline = batcher_.next_deadline_us();
+            const int64_t wait =
+                std::min<int64_t>(deadline - now_us(), 10000);
+            if (wait > 0)
+                work_cv_.wait_for(lk, std::chrono::microseconds(wait));
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(batches_mutex_);
+        batches_closed_ = true;
+    }
+    batches_cv_.notify_all();
+}
+
+void
+Server::execute_batch(Batch batch, ThreadPool &pool)
+{
+    auto &metrics = MetricsRegistry::global();
+
+    // Weed requests whose deadline passed while batched or handed off.
+    std::vector<RequestPtr> live;
+    live.reserve(batch.requests.size());
+    for (RequestPtr &req : batch.requests) {
+        if (req->expired()) {
+            metrics.counter_add("serve.requests.timed_out");
+            {
+                std::lock_guard<std::mutex> lk(stats_mutex_);
+                ++timed_out_;
+            }
+            req->fail(RequestStatus::kTimeout,
+                      "deadline expired before execution");
+            continue;
+        }
+        metrics.timer_record_ms("serve.request.wait_ms",
+                                req->since_submit.elapsed_ms());
+        live.push_back(std::move(req));
+    }
+    if (live.empty())
+        return;
+
+    const GraphContext &graph = *batch.graph;
+    const CsrMatrix &a = graph.adjacency;
+    const index_t n = a.rows();
+    const int k = static_cast<int>(live.size());
+
+    metrics.counter_add("serve.batches");
+    metrics.timer_record_ms("serve.batch.size", static_cast<double>(k));
+    {
+        std::lock_guard<std::mutex> lk(stats_mutex_);
+        ++batches_total_;
+        batch_requests_total_ += k;
+        max_batch_size_ = std::max<int64_t>(max_batch_size_, k);
+    }
+    MetricTimer exec_timer("serve.batch.exec_ms");
+
+    // Stack the batch's feature matrices vertically into one tall
+    // (k*n x f) matrix: rows [j*n, (j+1)*n) belong to request j. The
+    // tall form is the inter-layer representation — the combination
+    // GEMM of all k requests becomes ONE pool dispatch per layer, and
+    // request outputs split back off as contiguous row blocks.
+    const index_t f0 = graph.layers.front().in_features();
+    DenseMatrix tall(static_cast<index_t>(k) * n, f0);
+    for (int j = 0; j < k; ++j)
+        std::copy(live[static_cast<size_t>(j)]->features.data(),
+                  live[static_cast<size_t>(j)]->features.data() +
+                      static_cast<size_t>(n) * f0,
+                  tall.row(static_cast<index_t>(j) * n));
+
+    for (const GcnLayer &layer : graph.layers) {
+        const index_t h = layer.out_features();
+
+        // Combination: (X_1 W; ...; X_k W) = tall X * W, one GEMM.
+        DenseMatrix tall_xw(static_cast<index_t>(k) * n, h);
+        dense_gemm(tall, layer.weights(), tall_xw, pool);
+
+        if (k == 1) {
+            DenseMatrix out(n, h);
+            auto sched = cache_->get_or_build_with_cost(
+                a, serve_cost(a, h, pool), 0);
+            mergepath_spmm_parallel(a, tall_xw, out, *sched, pool);
+            apply_activation(out, layer.activation());
+            tall = std::move(out);
+            continue;
+        }
+
+        // Aggregation: fold tall (k*n x h) into wide (n x k*h) so one
+        // SpMM at effective dimension k*h pays the sparse traversal of
+        // A once for the whole batch, then unfold for the next layer.
+        const index_t wide_d = static_cast<index_t>(k) * h;
+        DenseMatrix wide_in(n, wide_d);
+        pool.parallel_for(
+            static_cast<uint64_t>(n),
+            [&](uint64_t r) {
+                const index_t row = static_cast<index_t>(r);
+                for (int j = 0; j < k; ++j)
+                    std::copy(
+                        tall_xw.row(static_cast<index_t>(j) * n + row),
+                        tall_xw.row(static_cast<index_t>(j) * n + row) +
+                            h,
+                        wide_in.row(row) + j * h);
+            },
+            64);
+
+        DenseMatrix wide_out(n, wide_d);
+        auto sched = cache_->get_or_build_with_cost(
+            a, serve_cost(a, wide_d, pool), 0);
+        mergepath_spmm_parallel(a, wide_in, wide_out, *sched, pool);
+        apply_activation(wide_out, layer.activation());
+
+        tall = DenseMatrix(static_cast<index_t>(k) * n, h);
+        pool.parallel_for(
+            static_cast<uint64_t>(n),
+            [&](uint64_t r) {
+                const index_t row = static_cast<index_t>(r);
+                for (int j = 0; j < k; ++j)
+                    std::copy(
+                        wide_out.row(row) + j * h,
+                        wide_out.row(row) + (j + 1) * h,
+                        tall.row(static_cast<index_t>(j) * n + row));
+            },
+            64);
+    }
+
+    const index_t h_out = graph.layers.back().out_features();
+    for (int j = 0; j < k; ++j) {
+        DenseMatrix out(n, h_out);
+        std::copy(tall.row(static_cast<index_t>(j) * n),
+                  tall.row(static_cast<index_t>(j) * n) +
+                      static_cast<size_t>(n) * h_out,
+                  out.data());
+        InferenceResult result;
+        result.status = RequestStatus::kOk;
+        result.output = std::move(out);
+        result.latency_ms =
+            live[static_cast<size_t>(j)]->since_submit.elapsed_ms();
+        result.batch_size = k;
+        metrics.timer_record_ms("serve.request.latency_ms",
+                                result.latency_ms);
+        metrics.counter_add("serve.requests.completed");
+        record_completion(result.latency_ms);
+        live[static_cast<size_t>(j)]->promise.set_value(
+            std::move(result));
+    }
+}
+
+void
+Server::record_completion(double latency_ms)
+{
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    ++completed_;
+    if (latency_samples_.size() < kMaxLatencySamples)
+        latency_samples_.push_back(latency_ms);
+    else
+        latency_samples_[static_cast<size_t>(completed_) %
+                         kMaxLatencySamples] = latency_ms;
+}
+
+void
+Server::shutdown()
+{
+    if (terminated_.exchange(true))
+        return;
+
+    accepting_.store(false, std::memory_order_release);
+    if (!started_.load(std::memory_order_acquire))
+        start(); // drain whatever tests queued before start()
+    stopping_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lk(wake_mutex_);
+    }
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    for (std::thread &w : workers_) {
+        if (w.joinable())
+            w.join();
+    }
+
+    // A producer that passed the accepting_ check concurrently with
+    // shutdown may have pushed after the dispatcher exited; no request
+    // goes unanswered.
+    RequestPtr straggler;
+    while (queue_.try_pop(straggler))
+        straggler->fail(RequestStatus::kShutdown,
+                        "server shut down before execution");
+
+    auto &metrics = MetricsRegistry::global();
+    PercentileSummary summary;
+    {
+        std::lock_guard<std::mutex> lk(stats_mutex_);
+        summary = summarize_percentiles(latency_samples_);
+    }
+    metrics.gauge_set("serve.latency.p50_ms", summary.p50);
+    metrics.gauge_set("serve.latency.p95_ms", summary.p95);
+    metrics.gauge_set("serve.latency.p99_ms", summary.p99);
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    ServerStats s;
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.rejected = rejected_;
+    s.timed_out = timed_out_;
+    s.batches = batches_total_;
+    s.mean_batch_size =
+        batches_total_ == 0
+            ? 0.0
+            : static_cast<double>(batch_requests_total_) /
+                  static_cast<double>(batches_total_);
+    s.max_batch_size = max_batch_size_;
+    s.latency_ms = summarize_percentiles(latency_samples_);
+    return s;
+}
+
+} // namespace serve
+} // namespace mps

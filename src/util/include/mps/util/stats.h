@@ -33,6 +33,26 @@ double coefficient_of_variation(const std::vector<double> &xs);
 double percentile(std::vector<double> xs, double p);
 
 /**
+ * The latency summary a serving report wants: count, mean, min/max and
+ * the p50/p95/p99 tail percentiles, all from one sort of the samples.
+ * All fields are 0 for an empty input (count == 0 marks it empty); a
+ * single sample yields that value for every percentile.
+ */
+struct PercentileSummary
+{
+    int64_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** Compute a PercentileSummary (input need not be sorted). */
+PercentileSummary summarize_percentiles(std::vector<double> xs);
+
+/**
  * Histogram with power-of-two bins: bin k counts values in [2^k, 2^(k+1)),
  * with a dedicated bin for zero. Used to show the heavy tail of graph
  * degree distributions.

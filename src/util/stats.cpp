@@ -68,6 +68,25 @@ percentile(std::vector<double> xs, double p)
     return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+PercentileSummary
+summarize_percentiles(std::vector<double> xs)
+{
+    PercentileSummary s;
+    if (xs.empty())
+        return s;
+    std::sort(xs.begin(), xs.end());
+    s.count = static_cast<int64_t>(xs.size());
+    s.mean = mean(xs);
+    s.min = xs.front();
+    s.max = xs.back();
+    // percentile() on pre-sorted data; the extra sorts are cheap
+    // relative to clarity, and exactness is covered by the tests.
+    s.p50 = percentile(xs, 50.0);
+    s.p95 = percentile(xs, 95.0);
+    s.p99 = percentile(xs, 99.0);
+    return s;
+}
+
 void
 Log2Histogram::add(uint64_t value)
 {

@@ -1,0 +1,172 @@
+/**
+ * Tests for the merge-path ScheduleCache: fingerprint separation,
+ * shared-pointer reuse, hit/miss accounting, the one-build-per-key
+ * invariant under concurrent first use (asserted through the
+ * schedule.builds metric), and the GcnModel / GcnTrainer routing that
+ * shares schedules across layers, inferences and epochs.
+ */
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mps/core/schedule_cache.h"
+#include "mps/gcn/model.h"
+#include "mps/gcn/training.h"
+#include "mps/sparse/generate.h"
+#include "mps/util/metrics.h"
+#include "mps/util/rng.h"
+#include "mps/util/thread_pool.h"
+
+namespace mps {
+namespace {
+
+CsrMatrix
+test_graph(uint64_t seed, index_t nodes = 128, index_t nnz = 1024)
+{
+    PowerLawParams p;
+    p.nodes = nodes;
+    p.target_nnz = nnz;
+    p.max_degree = 32;
+    p.seed = seed;
+    p.value_mode = ValueMode::kGcnNormalized;
+    return power_law_graph(p);
+}
+
+TEST(ScheduleCacheTest, FingerprintSeparatesStructureNotJustShape)
+{
+    CsrMatrix a = test_graph(1);
+    CsrMatrix b = test_graph(2, a.rows());
+    CsrMatrix a_copy = a;
+    EXPECT_EQ(csr_fingerprint(a), csr_fingerprint(a_copy));
+    EXPECT_NE(csr_fingerprint(a), csr_fingerprint(b));
+}
+
+TEST(ScheduleCacheTest, GetOrBuildSharesOneImmutableSchedule)
+{
+    CsrMatrix a = test_graph(3);
+    ScheduleCache cache;
+    auto s1 = cache.get_or_build(a, 4);
+    auto s2 = cache.get_or_build(a, 4);
+    EXPECT_EQ(s1.get(), s2.get()); // literally the same schedule
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.misses(), 1);
+    EXPECT_EQ(cache.hits(), 1);
+
+    auto s3 = cache.get_or_build(a, 8); // different thread count
+    EXPECT_NE(s1.get(), s3.get());
+    EXPECT_EQ(cache.size(), 2u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0);
+    EXPECT_EQ(s1->num_threads(), 4); // entries outlive the cache
+}
+
+TEST(ScheduleCacheTest, CostKeysResolveLikeBuildWithCost)
+{
+    CsrMatrix a = test_graph(4);
+    ScheduleCache cache;
+    auto coarse = cache.get_or_build_with_cost(a, 512);
+    auto fine = cache.get_or_build_with_cost(a, 64);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_GT(fine->num_threads(), coarse->num_threads());
+    // Same cost again: a hit, even via the other entry's neighbour.
+    auto again = cache.get_or_build_with_cost(a, 512);
+    EXPECT_EQ(again.get(), coarse.get());
+    EXPECT_EQ(cache.misses(), 2);
+    EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(ScheduleCacheTest, ConcurrentFirstUseBuildsExactlyOnce)
+{
+    CsrMatrix a = test_graph(5);
+    MetricsRegistry &m = MetricsRegistry::global();
+    m.reset();
+    m.set_enabled(true);
+    ScheduleCache cache;
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, &a] {
+            auto s = cache.get_or_build(a, 4);
+            ASSERT_NE(s, nullptr);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    m.set_enabled(false);
+    // One key -> one schedule construction, ever; the other seven
+    // lookups hit.
+    EXPECT_EQ(m.counter_value("schedule.builds"), 1);
+    EXPECT_EQ(m.counter_value("schedule.cache.misses"), 1);
+    EXPECT_EQ(m.counter_value("schedule.cache.hits"), kThreads - 1);
+    EXPECT_EQ(cache.size(), 1u);
+    m.reset();
+}
+
+TEST(ScheduleCacheTest, ModelBuildsOncePerGraphThreadsCost)
+{
+    CsrMatrix a = test_graph(6);
+    DenseMatrix x(a.rows(), 16);
+    Pcg32 rng(9);
+    x.fill_random(rng);
+    ThreadPool pool(2);
+
+    MetricsRegistry &m = MetricsRegistry::global();
+    m.reset();
+    m.set_enabled(true);
+
+    ScheduleCache cache;
+    // Online mode re-prepares on every inference — without the cache it
+    // would rebuild schedules each time.
+    GcnModel model = GcnModel::two_layer(16, 8, 4, 31, "mergepath",
+                                         ScheduleMode::kOnline);
+    model.set_schedule_cache(&cache);
+
+    model.infer(a, x, pool);
+    const int64_t builds_after_first = m.counter_value("schedule.builds");
+    EXPECT_GE(builds_after_first, 1);
+    EXPECT_EQ(builds_after_first, cache.misses());
+    EXPECT_EQ(static_cast<size_t>(builds_after_first), cache.size());
+
+    const int64_t hits_after_first = cache.hits();
+    model.infer(a, x, pool);
+    model.infer(a, x, pool);
+    // Re-preparation resolves from the cache: zero new builds.
+    EXPECT_EQ(m.counter_value("schedule.builds"), builds_after_first);
+    EXPECT_EQ(cache.misses(), builds_after_first);
+    EXPECT_GT(cache.hits(), hits_after_first);
+
+    m.set_enabled(false);
+    m.reset();
+}
+
+TEST(ScheduleCacheTest, TrainersShareSchedulesThroughOneCache)
+{
+    ClassificationProblem prob =
+        make_classification_problem(96, 3, 8, 6, 17);
+    ThreadPool pool(2);
+    ScheduleCache cache;
+
+    GcnTrainer trainer(8, 8, 3, 41);
+    trainer.set_schedule_cache(cache);
+    for (int i = 0; i < 3; ++i)
+        trainer.step(prob.graph, prob.features, prob.labels,
+                     prob.train_mask, pool);
+    // One graph at one thread count: exactly one entry, built once.
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.misses(), 1);
+
+    // A co-located trainer on the same graph reuses that schedule.
+    GcnTrainer other(8, 8, 3, 43);
+    other.set_schedule_cache(cache);
+    other.step(prob.graph, prob.features, prob.labels, prob.train_mask,
+               pool);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.misses(), 1);
+    EXPECT_GE(cache.hits(), 1);
+}
+
+} // namespace
+} // namespace mps

@@ -1,0 +1,317 @@
+/**
+ * Tests for the serving subsystem: Batcher coalescing policy (pure,
+ * clock-injected), Server request lifecycle (validation, backpressure,
+ * timeouts, graceful shutdown) and batched-execution correctness
+ * against the sequential reference kernels.
+ */
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "mps/core/spmm.h"
+#include "mps/gcn/activation.h"
+#include "mps/gcn/gemm.h"
+#include "mps/gcn/layer.h"
+#include "mps/serve/batcher.h"
+#include "mps/serve/server.h"
+#include "mps/sparse/generate.h"
+#include "mps/util/metrics.h"
+#include "mps/util/rng.h"
+
+namespace mps {
+namespace serve {
+namespace {
+
+RequestPtr
+make_request(uint64_t graph_id)
+{
+    auto r = std::make_unique<PendingRequest>();
+    r->graph_id = graph_id;
+    return r;
+}
+
+TEST(Batcher, FullGroupReadyImmediately)
+{
+    Batcher b({/*max_batch=*/3, /*max_delay_us=*/1000000});
+    b.add(make_request(1), 100);
+    b.add(make_request(1), 110);
+    EXPECT_FALSE(b.has_ready(120));
+    b.add(make_request(1), 120);
+    EXPECT_TRUE(b.has_ready(120));
+    std::vector<RequestPtr> batch = b.take_ready(120);
+    EXPECT_EQ(batch.size(), 3u);
+    EXPECT_EQ(b.pending(), 0u);
+}
+
+TEST(Batcher, DelayExpiryReleasesPartialGroup)
+{
+    Batcher b({/*max_batch=*/8, /*max_delay_us=*/200});
+    b.add(make_request(1), 1000);
+    EXPECT_FALSE(b.has_ready(1100));
+    EXPECT_EQ(b.next_deadline_us(), 1200);
+    EXPECT_TRUE(b.has_ready(1200));
+    std::vector<RequestPtr> batch = b.take_ready(1200);
+    EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(Batcher, SplitFrontCapsBatchAndKeepsOverflow)
+{
+    Batcher b({/*max_batch=*/4, /*max_delay_us=*/0});
+    for (int i = 0; i < 10; ++i)
+        b.add(make_request(1), 100 + i);
+    EXPECT_EQ(b.pending(), 10u);
+    EXPECT_EQ(b.take_ready(200).size(), 4u);
+    EXPECT_EQ(b.pending(), 6u);
+    EXPECT_EQ(b.take_ready(200).size(), 4u);
+    EXPECT_EQ(b.take_ready(200).size(), 2u);
+    EXPECT_EQ(b.pending(), 0u);
+    EXPECT_TRUE(b.take_ready(200).empty());
+}
+
+TEST(Batcher, GraphsGroupSeparately)
+{
+    Batcher b({/*max_batch=*/2, /*max_delay_us=*/1000000});
+    b.add(make_request(7), 10);
+    b.add(make_request(9), 20);
+    EXPECT_FALSE(b.has_ready(30)); // two singleton groups, neither full
+    b.add(make_request(7), 30);
+    std::vector<RequestPtr> batch = b.take_ready(30);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0]->graph_id, 7u);
+    EXPECT_EQ(batch[1]->graph_id, 7u);
+    EXPECT_EQ(b.pending(), 1u);
+}
+
+TEST(Batcher, TakeAnyFlushesRegardlessOfReadiness)
+{
+    Batcher b({/*max_batch=*/8, /*max_delay_us=*/1000000});
+    b.add(make_request(1), 50);
+    b.add(make_request(2), 10);
+    // take_any picks the oldest group first.
+    std::vector<RequestPtr> first = b.take_any();
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0]->graph_id, 2u);
+    EXPECT_EQ(b.take_any().size(), 1u);
+    EXPECT_TRUE(b.take_any().empty());
+}
+
+/** Small serving fixture: a power-law graph with a 2-layer model. */
+class ServerFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PowerLawParams p;
+        p.nodes = 64;
+        p.target_nnz = 512;
+        p.max_degree = 16;
+        p.seed = 5;
+        p.value_mode = ValueMode::kGcnNormalized;
+        graph_ = power_law_graph(p);
+        layers_.emplace_back(random_layer_weights(8, 6, 21),
+                             Activation::kRelu);
+        layers_.emplace_back(random_layer_weights(6, 4, 22),
+                             Activation::kNone);
+        Pcg32 rng(77);
+        features_ = DenseMatrix(graph_.rows(), 8);
+        features_.fill_random(rng);
+    }
+
+    /** out = act(A * (x * W)) per layer, all-sequential reference. */
+    DenseMatrix
+    reference_forward(const DenseMatrix &x) const
+    {
+        DenseMatrix cur = x;
+        for (const GcnLayer &layer : layers_) {
+            DenseMatrix xw(graph_.rows(), layer.out_features());
+            reference_gemm(cur, layer.weights(), xw);
+            DenseMatrix out(graph_.rows(), layer.out_features());
+            reference_spmm(graph_, xw, out);
+            apply_activation(out, layer.activation());
+            cur = std::move(out);
+        }
+        return cur;
+    }
+
+    CsrMatrix graph_;
+    std::vector<GcnLayer> layers_;
+    DenseMatrix features_;
+};
+
+TEST_F(ServerFixture, InferMatchesSequentialReference)
+{
+    Server server;
+    uint64_t gid = server.register_graph(graph_, layers_);
+    InferenceResult r = server.infer(gid, features_);
+    ASSERT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_TRUE(r.output.approx_equal(reference_forward(features_)));
+    EXPECT_GE(r.batch_size, 1);
+    EXPECT_GT(r.latency_ms, 0.0);
+}
+
+TEST_F(ServerFixture, BatchedExecutionMatchesPerRequestResults)
+{
+    ServeConfig cfg;
+    cfg.batch.max_batch = 4;
+    cfg.batch.max_delay_us = 1000000; // only dispatch full batches
+    cfg.autostart = false;
+    Server server(cfg);
+    uint64_t gid = server.register_graph(graph_, layers_);
+
+    // Distinct inputs so cross-request mixups would be caught.
+    Pcg32 rng(123);
+    std::vector<DenseMatrix> inputs;
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 4; ++i) {
+        DenseMatrix x(graph_.rows(), 8);
+        x.fill_random(rng);
+        inputs.push_back(x);
+        futures.push_back(server.submit(gid, std::move(x)));
+    }
+    server.start(); // burst-drains all 4 into one batch
+    for (int i = 0; i < 4; ++i) {
+        InferenceResult r = futures[static_cast<size_t>(i)].get();
+        ASSERT_EQ(r.status, RequestStatus::kOk) << r.message;
+        EXPECT_EQ(r.batch_size, 4);
+        EXPECT_TRUE(r.output.approx_equal(
+            reference_forward(inputs[static_cast<size_t>(i)])));
+    }
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, 4);
+    EXPECT_EQ(stats.batches, 1);
+    EXPECT_EQ(stats.max_batch_size, 4);
+}
+
+TEST_F(ServerFixture, ValidationFailsFast)
+{
+    Server server;
+    uint64_t gid = server.register_graph(graph_, layers_);
+
+    InferenceResult unknown = server.infer(gid + 100, features_);
+    EXPECT_EQ(unknown.status, RequestStatus::kUnknownGraph);
+
+    DenseMatrix wrong(graph_.rows(), 5); // model wants 8 features
+    InferenceResult bad = server.infer(gid, std::move(wrong));
+    EXPECT_EQ(bad.status, RequestStatus::kBadRequest);
+
+    // Valid requests still work afterwards.
+    EXPECT_EQ(server.infer(gid, features_).status, RequestStatus::kOk);
+}
+
+TEST_F(ServerFixture, RejectPolicyFailsFastWhenQueueFull)
+{
+    ServeConfig cfg;
+    cfg.queue_capacity = 2;
+    cfg.overflow = OverflowPolicy::kReject;
+    cfg.autostart = false; // no consumer: the queue must fill
+    Server server(cfg);
+    uint64_t gid = server.register_graph(graph_, layers_);
+
+    auto f1 = server.submit(gid, features_);
+    auto f2 = server.submit(gid, features_);
+    auto f3 = server.submit(gid, features_);
+    InferenceResult rejected = f3.get();
+    EXPECT_EQ(rejected.status, RequestStatus::kRejected);
+
+    server.shutdown(); // starts, drains, executes the two queued
+    EXPECT_EQ(f1.get().status, RequestStatus::kOk);
+    EXPECT_EQ(f2.get().status, RequestStatus::kOk);
+    EXPECT_EQ(server.stats().rejected, 1);
+}
+
+TEST_F(ServerFixture, ExpiredRequestTimesOutInsteadOfExecuting)
+{
+    ServeConfig cfg;
+    cfg.autostart = false;
+    Server server(cfg);
+    uint64_t gid = server.register_graph(graph_, layers_);
+    auto f = server.submit(gid, features_, /*timeout_ms=*/1.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.shutdown();
+    InferenceResult r = f.get();
+    EXPECT_EQ(r.status, RequestStatus::kTimeout);
+    EXPECT_EQ(server.stats().timed_out, 1);
+}
+
+TEST_F(ServerFixture, GracefulShutdownAnswersEveryQueuedRequest)
+{
+    ServeConfig cfg;
+    cfg.batch.max_batch = 3;
+    cfg.autostart = false;
+    Server server(cfg);
+    uint64_t gid = server.register_graph(graph_, layers_);
+
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 7; ++i)
+        futures.push_back(server.submit(gid, features_));
+    server.shutdown(); // must drain and execute all 7
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, RequestStatus::kOk);
+    EXPECT_EQ(server.stats().completed, 7);
+
+    // After shutdown new requests resolve immediately with kShutdown.
+    InferenceResult late = server.infer(gid, features_);
+    EXPECT_EQ(late.status, RequestStatus::kShutdown);
+}
+
+TEST_F(ServerFixture, ConcurrentClientsAllComplete)
+{
+    ServeConfig cfg;
+    cfg.batch.max_batch = 4;
+    cfg.batch.max_delay_us = 500;
+    Server server(cfg);
+    uint64_t gid = server.register_graph(graph_, layers_);
+
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 8;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&] {
+            for (int i = 0; i < kPerClient; ++i) {
+                DenseMatrix x = features_;
+                if (server.infer(gid, std::move(x)).status ==
+                    RequestStatus::kOk)
+                    ok.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(ok.load(), kClients * kPerClient);
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, kClients * kPerClient);
+    EXPECT_EQ(stats.latency_ms.count, kClients * kPerClient);
+    EXPECT_GT(stats.latency_ms.p99, 0.0);
+}
+
+TEST_F(ServerFixture, MetricsInstrumentTheServePath)
+{
+    MetricsRegistry &m = MetricsRegistry::global();
+    m.reset();
+    m.set_enabled(true);
+    {
+        Server server;
+        uint64_t gid = server.register_graph(graph_, layers_);
+        for (int i = 0; i < 3; ++i)
+            EXPECT_TRUE(server.infer(gid, features_).ok());
+        server.shutdown();
+    }
+    m.set_enabled(false);
+    EXPECT_EQ(m.counter_value("serve.requests.submitted"), 3);
+    EXPECT_EQ(m.counter_value("serve.requests.completed"), 3);
+    EXPECT_GE(m.counter_value("serve.batches"), 1);
+    EXPECT_GE(m.timer_value("serve.batch.size").count, 1);
+    EXPECT_GE(m.timer_value("serve.request.latency_ms").count, 3);
+    EXPECT_GT(m.gauge_value("serve.latency.p50_ms"), 0.0);
+    EXPECT_GE(m.gauge_value("serve.latency.p99_ms"),
+              m.gauge_value("serve.latency.p50_ms"));
+    m.reset();
+}
+
+} // namespace
+} // namespace serve
+} // namespace mps

@@ -54,6 +54,65 @@ TEST(Stats, Percentile)
     EXPECT_DOUBLE_EQ(percentile({42.0}, 73.0), 42.0);
 }
 
+TEST(Stats, PercentileInterpolatesBetweenRanks)
+{
+    // rank = p/100 * (n-1); p=10 over 5 samples -> rank 0.4, so the
+    // result interpolates 40% of the way from 1 to 3.
+    std::vector<double> xs{1.0, 3.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 10.0), 1.8);
+    EXPECT_DOUBLE_EQ(percentile(xs, 90.0), 8.2);
+    // Two samples: p50 is their midpoint.
+    EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 50.0), 15.0);
+    EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 75.0), 17.5);
+}
+
+TEST(Stats, PercentileWithTies)
+{
+    // Ties must not confuse rank selection; every percentile between
+    // tied ranks is the tied value.
+    std::vector<double> xs{4.0, 4.0, 4.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 99.0), 4.0);
+    std::vector<double> ys{1.0, 2.0, 2.0, 2.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentile(ys, 50.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(ys, 25.0), 2.0);
+}
+
+TEST(Stats, SummarizePercentilesKnownInputs)
+{
+    // 1..101 in scrambled order: p-th percentile is exactly p + 1.
+    std::vector<double> xs;
+    for (int i = 101; i >= 1; --i)
+        xs.push_back(static_cast<double>(i));
+    PercentileSummary s = summarize_percentiles(xs);
+    EXPECT_EQ(s.count, 101);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 101.0);
+    EXPECT_DOUBLE_EQ(s.mean, 51.0);
+    EXPECT_DOUBLE_EQ(s.p50, 51.0);
+    EXPECT_DOUBLE_EQ(s.p95, 96.0);
+    EXPECT_DOUBLE_EQ(s.p99, 100.0);
+}
+
+TEST(Stats, SummarizePercentilesSingleSampleAndEmpty)
+{
+    PercentileSummary one = summarize_percentiles({7.5});
+    EXPECT_EQ(one.count, 1);
+    EXPECT_DOUBLE_EQ(one.mean, 7.5);
+    EXPECT_DOUBLE_EQ(one.min, 7.5);
+    EXPECT_DOUBLE_EQ(one.max, 7.5);
+    EXPECT_DOUBLE_EQ(one.p50, 7.5);
+    EXPECT_DOUBLE_EQ(one.p95, 7.5);
+    EXPECT_DOUBLE_EQ(one.p99, 7.5);
+
+    PercentileSummary none = summarize_percentiles({});
+    EXPECT_EQ(none.count, 0);
+    EXPECT_DOUBLE_EQ(none.mean, 0.0);
+    EXPECT_DOUBLE_EQ(none.p50, 0.0);
+    EXPECT_DOUBLE_EQ(none.p99, 0.0);
+}
+
 TEST(Stats, Log2Histogram)
 {
     Log2Histogram h;

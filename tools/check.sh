@@ -1,7 +1,10 @@
 #!/bin/sh
-# Build and test the project twice: a plain Release configuration and
-# an ASan+UBSan one (-DMPS_SANITIZE=ON). Run from anywhere; build trees
-# land in build-release/ and build-asan/ next to the source tree.
+# Build and test the project three times: a plain Release configuration,
+# an ASan+UBSan one (-DMPS_SANITIZE=address) and a TSan one
+# (-DMPS_SANITIZE=thread) that runs the concurrency-heavy serve tests
+# (lock-free MPSC queue, server lifecycle, thread pool) under the race
+# detector. Run from anywhere; build trees land in build-release/,
+# build-asan/ and build-tsan/ next to the source tree.
 #
 #   tools/check.sh [extra ctest args...]
 set -eu
@@ -18,10 +21,21 @@ echo "==> ctest build-release"
 
 echo "==> configure build-asan"
 cmake -S "$root" -B "$root/build-asan" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=ON
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=address
 echo "==> build build-asan"
 cmake --build "$root/build-asan" -j "$jobs"
 echo "==> ctest build-asan"
 (cd "$root/build-asan" && ctest --output-on-failure -j "$jobs" "$@")
+
+echo "==> configure build-tsan"
+cmake -S "$root" -B "$root/build-tsan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=thread
+echo "==> build build-tsan (concurrency tests only)"
+cmake --build "$root/build-tsan" -j "$jobs" --target \
+    mps_serve_queue_test mps_serve_test mps_schedule_cache_test \
+    mps_metrics_test
+echo "==> ctest build-tsan"
+(cd "$root/build-tsan" && ctest --output-on-failure -j "$jobs" \
+    -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics' "$@")
 
 echo "==> all checks passed"

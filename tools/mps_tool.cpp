@@ -11,24 +11,32 @@
  *   mps_tool profile  --dataset=Cora,Pubmed --kernel=mergepath,row_split
  *                     --dim=16 [--out=report.json] [--trace-out=t.json]
  *   mps_tool reorder  --in=graph.bin --method=bfs --out=relabeled.bin
+ *   mps_tool serve-bench --clients=1,2,4,8 --max-batch=1,8
+ *                     [--out=report.json]
  *
  * Containers: .bin (this library's binary CSR), .mtx (MatrixMarket),
  * .el (edge list, read-only), or a Table II dataset name via
  * --dataset.
  */
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mps/core/policy.h"
+#include "mps/core/schedule_cache.h"
 #include "mps/core/serialize.h"
 #include "mps/core/spmm.h"
+#include "mps/gcn/layer.h"
 #include "mps/kernels/registry.h"
+#include "mps/serve/server.h"
 #include "mps/sparse/datasets.h"
 #include "mps/sparse/degree_stats.h"
+#include "mps/sparse/generate.h"
 #include "mps/sparse/io.h"
 #include "mps/sparse/reorder.h"
 #include "mps/util/cli.h"
@@ -462,18 +470,208 @@ cmd_reorder(int argc, char **argv)
     return 0;
 }
 
-void
-usage()
+/**
+ * Closed-loop serving load generator: sweep client count x batch limit
+ * over one graph/model and report throughput + latency percentiles as
+ * JSON. All sweep points share one ScheduleCache, so each
+ * (graph, threads, cost) schedule is built exactly once per run.
+ */
+int
+cmd_serve_bench(int argc, char **argv)
 {
-    std::printf(
+    FlagParser flags("serving load sweep (clients x max-batch) into one"
+                     " JSON report");
+    add_io_flags(flags);
+    flags.add_int("nodes", 4096,
+                  "synthetic power-law nodes (used without --in/--dataset)");
+    flags.add_int("avg-degree", 128, "synthetic average degree");
+    flags.add_int("max-degree", 512, "synthetic maximum row degree");
+    // Default dims put the unbatched SpMM in the traversal-bound regime
+    // batching exists for (see DESIGN.md on widening the effective d).
+    flags.add_int("feat", 8, "input feature dimension");
+    flags.add_int("hidden", 4, "hidden layer width");
+    flags.add_int("out-dim", 4, "output layer width");
+    flags.add_string("clients", "1,2,4,8", "comma-separated client counts");
+    flags.add_string("max-batch", "1,8",
+                     "comma-separated batch-size limits");
+    flags.add_int("max-delay-us", 2000, "batch window in microseconds");
+    flags.add_int("requests", 32, "requests per client per sweep point");
+    flags.add_int("workers", 2, "server worker threads");
+    flags.add_int("pool-threads", 0, "pool threads per worker (0 = auto)");
+    flags.add_string("out", "", "report path (default: stdout)");
+    flags.parse(argc, argv);
+
+    CsrMatrix m;
+    std::string input_name;
+    if (!flags.get_string("in").empty() ||
+        !flags.get_string("dataset").empty()) {
+        m = load_matrix(flags);
+        input_name = flags.get_string("in").empty()
+                         ? flags.get_string("dataset")
+                         : flags.get_string("in");
+    } else {
+        PowerLawParams p;
+        p.nodes = static_cast<index_t>(flags.get_int("nodes"));
+        p.target_nnz = p.nodes *
+                       static_cast<index_t>(flags.get_int("avg-degree"));
+        p.max_degree = static_cast<index_t>(flags.get_int("max-degree"));
+        p.seed = 7;
+        p.value_mode = ValueMode::kGcnNormalized;
+        m = power_law_graph(p);
+        input_name = "power-law";
+    }
+
+    const index_t feat = static_cast<index_t>(flags.get_int("feat"));
+    const index_t hidden = static_cast<index_t>(flags.get_int("hidden"));
+    const index_t out_dim = static_cast<index_t>(flags.get_int("out-dim"));
+    std::vector<GcnLayer> layers;
+    layers.emplace_back(random_layer_weights(feat, hidden, 11),
+                        Activation::kRelu);
+    layers.emplace_back(random_layer_weights(hidden, out_dim, 13),
+                        Activation::kNone);
+
+    std::vector<int> client_counts;
+    for (const std::string &s : split_list(flags.get_string("clients")))
+        client_counts.push_back(std::stoi(s));
+    std::vector<int> batch_limits;
+    for (const std::string &s : split_list(flags.get_string("max-batch")))
+        batch_limits.push_back(std::stoi(s));
+    if (client_counts.empty() || batch_limits.empty())
+        fatal("serve-bench needs non-empty --clients and --max-batch");
+    const int requests = static_cast<int>(flags.get_int("requests"));
+    const int64_t delay_us = flags.get_int("max-delay-us");
+
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.reset();
+    metrics.set_enabled(true);
+
+    DenseMatrix feature_template(m.rows(), feat);
+    Pcg32 rng(3);
+    feature_template.fill_random(rng);
+
+    // One cache across the whole sweep: every sweep point reuses the
+    // schedules the first one built.
+    ScheduleCache sweep_cache;
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("tool").value("mps_tool serve-bench");
+    w.key("input").value(input_name);
+    w.key("rows").value(static_cast<int64_t>(m.rows()));
+    w.key("nnz").value(static_cast<int64_t>(m.nnz()));
+    w.key("feat").value(static_cast<int64_t>(feat));
+    w.key("hidden").value(static_cast<int64_t>(hidden));
+    w.key("out_dim").value(static_cast<int64_t>(out_dim));
+    w.key("requests_per_client").value(int64_t{requests});
+    w.key("max_delay_us").value(delay_us);
+    w.key("workers").value(flags.get_int("workers"));
+    w.key("results").begin_array();
+
+    for (int max_batch : batch_limits) {
+        for (int clients : client_counts) {
+            serve::ServeConfig cfg;
+            cfg.queue_capacity = 4096;
+            cfg.num_workers =
+                static_cast<unsigned>(flags.get_int("workers"));
+            cfg.pool_threads =
+                static_cast<unsigned>(flags.get_int("pool-threads"));
+            cfg.batch.max_batch = max_batch;
+            cfg.batch.max_delay_us = delay_us;
+            cfg.overflow = serve::OverflowPolicy::kBlock;
+            serve::Server server(cfg, &sweep_cache);
+            const uint64_t gid = server.register_graph(m, layers);
+
+            // Warm up outside the timed window (first point also pays
+            // the schedule builds here, once for the whole sweep).
+            server.infer(gid, feature_template);
+
+            std::atomic<int64_t> ok{0};
+            Timer wall;
+            std::vector<std::thread> pumps;
+            pumps.reserve(static_cast<size_t>(clients));
+            for (int cl = 0; cl < clients; ++cl) {
+                pumps.emplace_back([&server, &feature_template, &ok,
+                                    requests, gid] {
+                    for (int i = 0; i < requests; ++i) {
+                        DenseMatrix x = feature_template;
+                        serve::InferenceResult r =
+                            server.infer(gid, std::move(x));
+                        if (r.ok())
+                            ok.fetch_add(1, std::memory_order_relaxed);
+                    }
+                });
+            }
+            for (std::thread &t : pumps)
+                t.join();
+            const double wall_ms = wall.elapsed_ms();
+            server.shutdown();
+            serve::ServerStats st = server.stats();
+
+            w.begin_object();
+            w.key("clients").value(int64_t{clients});
+            w.key("max_batch").value(int64_t{max_batch});
+            w.key("completed_ok").value(ok.load());
+            w.key("wall_ms").value(wall_ms);
+            w.key("throughput_rps")
+                .value(wall_ms <= 0.0
+                           ? 0.0
+                           : static_cast<double>(ok.load()) * 1e3 /
+                                 wall_ms);
+            w.key("batches").value(st.batches);
+            w.key("mean_batch_size").value(st.mean_batch_size);
+            w.key("max_batch_size").value(st.max_batch_size);
+            w.key("rejected").value(st.rejected);
+            w.key("timed_out").value(st.timed_out);
+            w.key("latency_ms").begin_object();
+            w.key("mean").value(st.latency_ms.mean);
+            w.key("p50").value(st.latency_ms.p50);
+            w.key("p95").value(st.latency_ms.p95);
+            w.key("p99").value(st.latency_ms.p99);
+            w.key("max").value(st.latency_ms.max);
+            w.end_object();
+            w.end_object();
+        }
+    }
+    w.end_array();
+
+    metrics.set_enabled(false);
+    w.key("schedule_cache").begin_object();
+    w.key("entries").value(static_cast<int64_t>(sweep_cache.size()));
+    w.key("hits").value(sweep_cache.hits());
+    w.key("misses").value(sweep_cache.misses());
+    w.key("builds").value(metrics.counter_value("schedule.builds"));
+    w.end_object();
+    w.key("metrics");
+    metrics.append_json_array(w);
+    w.end_object();
+
+    const std::string &out = flags.get_string("out");
+    if (out.empty()) {
+        std::printf("%s\n", w.str().c_str());
+    } else {
+        std::ofstream f(out);
+        if (!f)
+            fatal("cannot open for writing: " + out);
+        f << w.str() << '\n';
+        inform("wrote " + out);
+    }
+    return 0;
+}
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
         "mps_tool <command> [flags]   (each command supports --help)\n"
-        "  generate   materialize a Table II dataset\n"
-        "  convert    convert between .bin / .mtx / .el containers\n"
-        "  info       matrix statistics and degree histogram\n"
-        "  schedule   build + inspect + store a merge-path schedule\n"
-        "  spmm       run a kernel from the registry and time it\n"
-        "  profile    kernel x dataset sweep into one JSON report\n"
-        "  reorder    relabel a graph (bfs | degree | degree-asc)\n");
+        "  generate     materialize a Table II dataset\n"
+        "  convert      convert between .bin / .mtx / .el containers\n"
+        "  info         matrix statistics and degree histogram\n"
+        "  schedule     build + inspect + store a merge-path schedule\n"
+        "  spmm         run a kernel from the registry and time it\n"
+        "  profile      kernel x dataset sweep into one JSON report\n"
+        "  reorder      relabel a graph (bfs | degree | degree-asc)\n"
+        "  serve-bench  serving load sweep into one JSON report\n");
 }
 
 } // namespace
@@ -482,10 +680,14 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        usage();
+        usage(stderr);
         return 1;
     }
     std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "help") {
+        usage(stdout);
+        return 0;
+    }
     // Shift the subcommand out of the argument list.
     if (cmd == "generate")
         return cmd_generate(argc - 1, argv + 1);
@@ -501,6 +703,9 @@ main(int argc, char **argv)
         return cmd_profile(argc - 1, argv + 1);
     if (cmd == "reorder")
         return cmd_reorder(argc - 1, argv + 1);
-    usage();
-    return cmd == "--help" || cmd == "help" ? 0 : 1;
+    if (cmd == "serve-bench")
+        return cmd_serve_bench(argc - 1, argv + 1);
+    std::fprintf(stderr, "mps_tool: unknown command '%s'\n", cmd.c_str());
+    usage(stderr);
+    return 1;
 }

@@ -1,0 +1,60 @@
+# Smoke test for the mps_tool CLI contract, run as
+#   cmake -DMPS_TOOL=<binary> -P mps_tool_smoke.cmake
+#
+# Checks:
+#  - no arguments        -> non-zero exit, usage on stderr
+#  - unknown subcommand  -> non-zero exit, usage on stderr, stdout clean
+#  - unknown flag        -> non-zero exit
+#  - help / --help       -> zero exit, usage on stdout
+#  - a real command runs -> zero exit
+
+if(NOT DEFINED MPS_TOOL)
+    message(FATAL_ERROR "pass -DMPS_TOOL=<path to mps_tool>")
+endif()
+
+function(expect_failure_with_usage label pattern)
+    execute_process(COMMAND ${MPS_TOOL} ${ARGN}
+        RESULT_VARIABLE code
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(code EQUAL 0)
+        message(FATAL_ERROR "${label}: expected non-zero exit, got 0")
+    endif()
+    if(NOT err MATCHES "${pattern}")
+        message(FATAL_ERROR "${label}: expected '${pattern}' on stderr,"
+            " got: ${err}")
+    endif()
+    if(out MATCHES "mps_tool <command>")
+        message(FATAL_ERROR "${label}: usage leaked to stdout: ${out}")
+    endif()
+endfunction()
+
+expect_failure_with_usage("no arguments" "mps_tool <command>")
+expect_failure_with_usage("unknown subcommand" "mps_tool <command>"
+    no-such-command)
+expect_failure_with_usage("unknown flag" "usage:" info --no-such-flag=1)
+
+execute_process(COMMAND ${MPS_TOOL} --help
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+    message(FATAL_ERROR "--help: expected exit 0, got ${code}")
+endif()
+if(NOT out MATCHES "mps_tool <command>")
+    message(FATAL_ERROR "--help: expected usage on stdout, got: ${out}")
+endif()
+
+execute_process(COMMAND ${MPS_TOOL} info --dataset=Cora
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+    message(FATAL_ERROR "info --dataset=Cora: expected exit 0, got ${code}"
+        " (stderr: ${err})")
+endif()
+if(NOT out MATCHES "non-zeros")
+    message(FATAL_ERROR "info --dataset=Cora: unexpected output: ${out}")
+endif()
+
+message(STATUS "mps_tool smoke: all checks passed")
