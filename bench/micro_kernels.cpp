@@ -8,6 +8,9 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "mps/core/microkernel.h"
 #include "mps/core/schedule.h"
 #include "mps/core/spmm.h"
 #include "mps/gcn/model.h"
@@ -102,6 +105,66 @@ MPS_SPMM_BENCH(gnnadvisor);
 MPS_SPMM_BENCH(mergepath_serial);
 MPS_SPMM_BENCH(mergepath);
 MPS_SPMM_BENCH(adaptive);
+
+/**
+ * Scalar-vs-SIMD speedup of the row microkernel axpy (the SpMM hot
+ * loop) per feature dimension. Each run times BOTH paths on identical
+ * inputs and reports scalar_ns, simd_ns and speedup as counters, so
+ * `--benchmark_format=json` carries the per-dim speedup table the
+ * roadmap asks for. The timed loop itself runs the selected default
+ * path; the counters come from a fixed-duration side measurement.
+ */
+void
+BM_MicrokernelAxpy(benchmark::State &state)
+{
+    const index_t dim = static_cast<index_t>(state.range(0));
+    const index_t rows = 256; // cycle rows so data stays in L1/L2
+    DenseMatrix b = dense_input(rows, dim);
+    const RowKernels &scalar =
+        select_row_kernels(dim, MicrokernelPath::kScalar);
+    const RowKernels &simd =
+        microkernel_simd_compiled()
+            ? select_row_kernels(dim, MicrokernelPath::kSimd)
+            : scalar;
+    value_t *acc = microkernel_scratch(dim);
+    scalar.zero(acc, dim);
+
+    auto time_path = [&](const RowKernels &rk) {
+        // ~1e6 axpys per sample: long enough to swamp timer overhead.
+        const int reps = 1000000 / rows;
+        auto t0 = std::chrono::steady_clock::now();
+        for (int rep = 0; rep < reps; ++rep) {
+            for (index_t r = 0; r < rows; ++r)
+                rk.axpy(acc, 1.0009f, b.row(r), dim);
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(acc);
+        return std::chrono::duration<double, std::nano>(t1 - t0)
+                   .count() /
+               (static_cast<double>(reps) * rows);
+    };
+
+    for (auto _ : state) {
+        for (index_t r = 0; r < rows; ++r)
+            simd.axpy(acc, 1.0009f, b.row(r), dim);
+        benchmark::DoNotOptimize(acc);
+    }
+
+    const double scalar_ns = time_path(scalar);
+    const double simd_ns =
+        microkernel_simd_compiled() ? time_path(simd) : scalar_ns;
+    state.counters["scalar_ns"] = scalar_ns;
+    state.counters["simd_ns"] = simd_ns;
+    state.counters["speedup"] = scalar_ns / simd_ns;
+    state.SetItemsProcessed(state.iterations() * rows * dim);
+    state.SetLabel(simd.name);
+}
+BENCHMARK(BM_MicrokernelAxpy)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128);
 
 void
 BM_GcnTwoLayerInference(benchmark::State &state)

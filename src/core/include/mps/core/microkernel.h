@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Shared dense-row microkernel vocabulary for every SpMM/SpMV/GCN
+ * inner loop.
+ *
+ * The paper maps one warp lane per dense column (Section IV-C,
+ * Figure 7): the d-wide accumulation `acc[d] += a * brow[d]` is the
+ * unit of work every kernel repeats per non-zero. On a CPU the same
+ * mapping is a vector register per 8 (AVX2) or 4 (NEON) columns. This
+ * header centralizes that datapath so mergepath, the split baselines,
+ * the aggregators and the GCN training path all share one
+ * implementation instead of ~25 hand-rolled copies.
+ *
+ * Two code paths exist behind one dispatch table:
+ *   - scalar: portable reference, kept deliberately un-autovectorized
+ *     so cross-checking it against the SIMD path compares genuinely
+ *     different code.
+ *   - simd: AVX2(+FMA) or NEON, with fully unrolled fixed-dimension
+ *     variants for d in {16, 32, 64} — the feature widths GNN layers
+ *     actually use.
+ *
+ * Kernels call select_row_kernels(dim) once per prepare()/run() and
+ * hold the returned table; the env var MPS_MICROKERNEL=scalar|simd
+ * overrides the default path (tests use it to cross-check), and the
+ * cmake option MPS_FORCE_SCALAR compiles the SIMD path out entirely.
+ */
+#ifndef MPS_CORE_MICROKERNEL_H
+#define MPS_CORE_MICROKERNEL_H
+
+#include <atomic>
+
+#include "mps/sparse/types.h"
+
+#if !defined(MPS_FORCE_SCALAR) && defined(__AVX2__)
+#define MPS_MICROKERNEL_SIMD 1 /* AVX2 (8-wide), FMA when available */
+#elif !defined(MPS_FORCE_SCALAR) && defined(__ARM_NEON)
+#define MPS_MICROKERNEL_SIMD 2 /* NEON (4-wide) */
+#else
+#define MPS_MICROKERNEL_SIMD 0 /* scalar only */
+#endif
+
+namespace mps {
+
+/** Which implementation family a dispatch table uses. */
+enum class MicrokernelPath { kScalar, kSimd };
+
+/** True when a vectorized path was compiled into this binary. */
+constexpr bool
+microkernel_simd_compiled()
+{
+    return MPS_MICROKERNEL_SIMD != 0;
+}
+
+/** Vector lanes of the compiled SIMD path (1 when scalar-only). */
+constexpr index_t
+microkernel_vector_width()
+{
+#if MPS_MICROKERNEL_SIMD == 1
+    return 8;
+#elif MPS_MICROKERNEL_SIMD == 2
+    return 4;
+#else
+    return 1;
+#endif
+}
+
+/** "scalar" or "simd". */
+const char *microkernel_path_name(MicrokernelPath path);
+
+/**
+ * Process-wide default path: the SIMD path when compiled in, unless
+ * MPS_MICROKERNEL=scalar|simd overrides it. Resolved once on first
+ * call; also publishes the microkernel.* gauges.
+ */
+MicrokernelPath microkernel_default_path();
+
+// ---------------------------------------------------------------------
+// Atomic scalar primitives — the single shared definition (previously
+// copied into four kernels). fetch_add is used when the float
+// atomic_ref is lock-free; the CAS loop remains as the fallback.
+// ---------------------------------------------------------------------
+
+/** Atomic slot += v (relaxed; float adds commute). */
+inline void
+atomic_add(value_t &slot, value_t v)
+{
+    std::atomic_ref<value_t> ref(slot);
+    if constexpr (std::atomic_ref<value_t>::is_always_lock_free) {
+        ref.fetch_add(v, std::memory_order_relaxed);
+    } else {
+        value_t old = ref.load(std::memory_order_relaxed);
+        while (!ref.compare_exchange_weak(old, old + v,
+                                          std::memory_order_relaxed)) {
+        }
+    }
+}
+
+/** Atomic slot = max(slot, v) (relaxed). */
+inline void
+atomic_max(value_t &slot, value_t v)
+{
+    std::atomic_ref<value_t> ref(slot);
+    value_t old = ref.load(std::memory_order_relaxed);
+    while (old < v && !ref.compare_exchange_weak(
+                          old, v, std::memory_order_relaxed)) {
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch table
+// ---------------------------------------------------------------------
+
+/**
+ * One resolved set of row primitives. All pointers are non-null; dim
+ * is passed on every call and must match the dim the table was
+ * selected for only in the fixed-dimension tables (asserted there).
+ * Rows may alias only where the operation reads and writes the same
+ * pointer (e.g. scale); distinct arguments must not overlap.
+ */
+struct RowKernels
+{
+    /** row[0:dim) = 0. */
+    void (*zero)(value_t *row, index_t dim);
+    /** row[0:dim) = v. */
+    void (*fill)(value_t *row, value_t v, index_t dim);
+    /** dst[0:dim) = src[0:dim). */
+    void (*copy)(value_t *dst, const value_t *src, index_t dim);
+    /** acc += x. */
+    void (*add)(value_t *acc, const value_t *x, index_t dim);
+    /** acc += a * x — the SpMM hot loop. */
+    void (*axpy)(value_t *acc, value_t a, const value_t *x, index_t dim);
+    /** row *= a. */
+    void (*scale)(value_t *row, value_t a, index_t dim);
+    /** y = a * y + x. */
+    void (*scale_add)(value_t *y, value_t a, const value_t *x,
+                      index_t dim);
+    /** acc = max(acc, x) element-wise. */
+    void (*vmax)(value_t *acc, const value_t *x, index_t dim);
+    /** Sum of x[i] * y[i]. */
+    value_t (*dot)(const value_t *x, const value_t *y, index_t dim);
+    /** Sum of vals[k] * x[cols[k]] for k in [begin, end) — SpMV row. */
+    value_t (*gather_dot)(const value_t *vals, const index_t *cols,
+                          index_t begin, index_t end, const value_t *x);
+    /** dst += acc with plain stores (thread owns the row). */
+    void (*commit_plain)(value_t *dst, const value_t *acc, index_t dim);
+    /** dst += acc with one atomic_add per element (shared row). */
+    void (*commit_atomic)(value_t *dst, const value_t *acc, index_t dim);
+    /** dst = max(dst, acc) with one atomic_max per element. */
+    void (*commit_max_atomic)(value_t *dst, const value_t *acc,
+                              index_t dim);
+    /** dst += a * x with one atomic_add per element (column split). */
+    void (*axpy_atomic)(value_t *dst, value_t a, const value_t *x,
+                        index_t dim);
+
+    MicrokernelPath path;
+    /** Compile-time dimension of this table, 0 for the generic ones. */
+    index_t fixed_dim;
+    /** Short label: "scalar", "simd", "simd16", "simd32", "simd64". */
+    const char *name;
+};
+
+/**
+ * Resolve the table for @p dim on the process default path. Returns a
+ * fixed-dimension table for d in {16, 32, 64} on the SIMD path, the
+ * generic table otherwise. Cheap (a couple of branches), but callers
+ * with a prepare() step should still resolve once and keep the
+ * reference.
+ */
+const RowKernels &select_row_kernels(index_t dim);
+
+/** Same, forcing @p path (tests and the scalar-vs-simd bench). */
+const RowKernels &select_row_kernels(index_t dim, MicrokernelPath path);
+
+// ---------------------------------------------------------------------
+// Convenience free functions for single-shot call sites (activation,
+// SGD updates, ...). Each forwards through select_row_kernels(dim).
+// ---------------------------------------------------------------------
+
+void row_zero(value_t *row, index_t dim);
+void row_fill(value_t *row, value_t v, index_t dim);
+void row_copy(value_t *dst, const value_t *src, index_t dim);
+void row_add(value_t *acc, const value_t *x, index_t dim);
+void row_axpy(value_t *acc, value_t a, const value_t *x, index_t dim);
+void row_scale(value_t *row, value_t a, index_t dim);
+void row_scale_add(value_t *y, value_t a, const value_t *x, index_t dim);
+void row_max(value_t *acc, const value_t *x, index_t dim);
+value_t row_dot(const value_t *x, const value_t *y, index_t dim);
+value_t row_gather_dot(const value_t *vals, const index_t *cols,
+                       index_t begin, index_t end, const value_t *x);
+void row_commit_plain(value_t *dst, const value_t *acc, index_t dim);
+void row_commit_atomic(value_t *dst, const value_t *acc, index_t dim);
+
+/**
+ * Per-thread 64-byte-aligned accumulator scratch of at least @p dim
+ * elements (uninitialized; callers zero/fill it). Grows on demand and
+ * is reused across parallel_for tasks, so the pool kernels no longer
+ * allocate a std::vector per task. One buffer per thread: a caller
+ * must finish with it before invoking anything else that uses it.
+ */
+value_t *microkernel_scratch(index_t dim);
+
+} // namespace mps
+
+#endif // MPS_CORE_MICROKERNEL_H

@@ -1,9 +1,10 @@
 #include "mps/core/spmm.h"
 
 #include <algorithm>
-#include <atomic>
 #include <vector>
 
+#include "mps/core/microkernel.h"
+#include "mps/sparse/spgemm.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
 #include "mps/util/thread_pool.h"
@@ -13,47 +14,29 @@ namespace mps {
 
 namespace {
 
-/** Atomic a += v on a plain float slot (relaxed; adds commute). */
-inline void
-atomic_add(value_t &slot, value_t v)
-{
-    std::atomic_ref<value_t> ref(slot);
-    value_t old = ref.load(std::memory_order_relaxed);
-    while (!ref.compare_exchange_weak(old, old + v,
-                                      std::memory_order_relaxed)) {
-    }
-}
-
 /** Accumulate rows [begin, end) of A's nnz into the local buffer. */
 inline void
 accumulate_range(const CsrMatrix &a, const DenseMatrix &b, index_t nz_begin,
-                 index_t nz_end, value_t *acc, index_t dim)
+                 index_t nz_end, value_t *acc, index_t dim,
+                 const RowKernels &rk)
 {
     const index_t *cols = a.col_idx().data();
     const value_t *vals = a.values().data();
-    for (index_t d = 0; d < dim; ++d)
-        acc[d] = 0.0f;
-    for (index_t k = nz_begin; k < nz_end; ++k) {
-        const value_t av = vals[k];
-        const value_t *brow = b.row(cols[k]);
-        for (index_t d = 0; d < dim; ++d)
-            acc[d] += av * brow[d];
-    }
+    rk.zero(acc, dim);
+    for (index_t k = nz_begin; k < nz_end; ++k)
+        rk.axpy(acc, vals[k], b.row(cols[k]), dim);
 }
 
 /** Commit the local buffer to output row @p row, atomically or not. */
 inline void
 commit(DenseMatrix &c, index_t row, const value_t *acc, index_t dim,
-       bool atomic)
+       bool atomic, const RowKernels &rk)
 {
     value_t *crow = c.row(row);
-    if (atomic) {
-        for (index_t d = 0; d < dim; ++d)
-            atomic_add(crow[d], acc[d]);
-    } else {
-        for (index_t d = 0; d < dim; ++d)
-            crow[d] += acc[d];
-    }
+    if (atomic)
+        rk.commit_atomic(crow, acc, dim);
+    else
+        rk.commit_plain(crow, acc, dim);
 }
 
 /**
@@ -64,23 +47,25 @@ commit(DenseMatrix &c, index_t row, const value_t *acc, index_t dim,
  */
 void
 run_thread_work(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-                const MergePathSchedule &sched, index_t t, value_t *acc)
+                const MergePathSchedule &sched, index_t t, value_t *acc,
+                const RowKernels &rk)
 {
     const index_t dim = b.cols();
     ResolvedWork w = sched.resolve(t, a);
 
     if (w.has_head()) {
-        accumulate_range(a, b, w.head_begin, w.head_end, acc, dim);
-        commit(c, w.head_row, acc, dim, w.head_atomic);
+        accumulate_range(a, b, w.head_begin, w.head_end, acc, dim, rk);
+        commit(c, w.head_row, acc, dim, w.head_atomic, rk);
     }
     for (index_t row = w.first_complete_row; row < w.last_complete_row;
          ++row) {
-        accumulate_range(a, b, a.row_begin(row), a.row_end(row), acc, dim);
-        commit(c, row, acc, dim, /*atomic=*/false);
+        accumulate_range(a, b, a.row_begin(row), a.row_end(row), acc, dim,
+                         rk);
+        commit(c, row, acc, dim, /*atomic=*/false, rk);
     }
     if (w.has_tail()) {
-        accumulate_range(a, b, w.tail_begin, w.tail_end, acc, dim);
-        commit(c, w.tail_row, acc, dim, w.tail_atomic);
+        accumulate_range(a, b, w.tail_begin, w.tail_end, acc, dim, rk);
+        commit(c, w.tail_row, acc, dim, w.tail_atomic, rk);
     }
 
     // Per-thread write census (the runtime counterpart of Figure 5's
@@ -128,9 +113,10 @@ mergepath_spmm_sequential(const CsrMatrix &a, const DenseMatrix &b,
 {
     check_shapes(a, b, c);
     c.fill(0.0f);
-    std::vector<value_t> acc(static_cast<size_t>(b.cols()));
+    const RowKernels &rk = select_row_kernels(b.cols());
+    value_t *acc = microkernel_scratch(b.cols());
     for (index_t t = 0; t < sched.num_threads(); ++t)
-        run_thread_work(a, b, c, sched, t, acc.data());
+        run_thread_work(a, b, c, sched, t, acc, rk);
 }
 
 void
@@ -166,14 +152,15 @@ mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
     }
     c.fill(0.0f);
     const index_t dim = b.cols();
+    const RowKernels &rk = select_row_kernels(dim);
     pool.parallel_for(
         static_cast<uint64_t>(sched.num_threads()),
         [&](uint64_t t) {
-            // Small per-task scratch; allocation cost is irrelevant next
-            // to the row accumulations and keeps the task re-entrant.
-            std::vector<value_t> acc(static_cast<size_t>(dim));
-            run_thread_work(a, b, c, sched, static_cast<index_t>(t),
-                            acc.data());
+            // Per-worker aligned scratch, reused across tasks — the
+            // accumulator never hits the allocator on the hot path.
+            value_t *acc = microkernel_scratch(dim);
+            run_thread_work(a, b, c, sched, static_cast<index_t>(t), acc,
+                            rk);
         },
         /*grain=*/8);
 }
@@ -189,20 +176,44 @@ mergepath_spmm(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
 }
 
 void
+sparse_dense_matmul(const CsrMatrix &x, const DenseMatrix &w,
+                    DenseMatrix &out, ThreadPool &pool)
+{
+    MPS_CHECK(x.cols() == w.rows(), "inner dimensions differ: ", x.cols(),
+              " vs ", w.rows());
+    MPS_CHECK(out.rows() == x.rows() && out.cols() == w.cols(),
+              "output must be ", x.rows(), "x", w.cols());
+    const index_t dim = w.cols();
+    const RowKernels &rk = select_row_kernels(dim);
+    const index_t chunk_rows = 128;
+    const uint64_t chunks =
+        (static_cast<uint64_t>(x.rows()) + chunk_rows - 1) / chunk_rows;
+    pool.parallel_for(chunks, [&](uint64_t c) {
+        index_t begin = static_cast<index_t>(c) * chunk_rows;
+        index_t end = std::min<index_t>(begin + chunk_rows, x.rows());
+        for (index_t r = begin; r < end; ++r) {
+            value_t *orow = out.row(r);
+            rk.zero(orow, dim);
+            for (index_t k = x.row_begin(r); k < x.row_end(r); ++k)
+                rk.axpy(orow, x.values()[k], w.row(x.col_idx()[k]), dim);
+        }
+    });
+}
+
+void
 reference_spmm(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c)
 {
     check_shapes(a, b, c);
+    // The gold kernel pins the scalar path so tests comparing a SIMD
+    // kernel against it exercise two genuinely different datapaths.
+    const RowKernels &rk =
+        select_row_kernels(b.cols(), MicrokernelPath::kScalar);
     const index_t dim = b.cols();
     for (index_t r = 0; r < a.rows(); ++r) {
         value_t *crow = c.row(r);
-        for (index_t d = 0; d < dim; ++d)
-            crow[d] = 0.0f;
-        for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
-            const value_t av = a.values()[k];
-            const value_t *brow = b.row(a.col_idx()[k]);
-            for (index_t d = 0; d < dim; ++d)
-                crow[d] += av * brow[d];
-        }
+        rk.zero(crow, dim);
+        for (index_t k = a.row_begin(r); k < a.row_end(r); ++k)
+            rk.axpy(crow, a.values()[k], b.row(a.col_idx()[k]), dim);
     }
 }
 

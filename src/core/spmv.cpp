@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mps/core/microkernel.h"
 #include "mps/util/log.h"
 #include "mps/util/thread_pool.h"
 
@@ -14,11 +15,13 @@ reference_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
     MPS_CHECK(x.size() == static_cast<size_t>(a.cols()),
               "x length must equal A cols");
     y.assign(static_cast<size_t>(a.rows()), 0.0f);
+    // Pinned to the scalar path: this is the gold kernel the
+    // merge-path SpMV is checked against.
+    const RowKernels &rk = select_row_kernels(0, MicrokernelPath::kScalar);
     for (index_t r = 0; r < a.rows(); ++r) {
-        value_t sum = 0.0f;
-        for (index_t k = a.row_begin(r); k < a.row_end(r); ++k)
-            sum += a.values()[k] * x[static_cast<size_t>(a.col_idx()[k])];
-        y[static_cast<size_t>(r)] = sum;
+        y[static_cast<size_t>(r)] =
+            rk.gather_dot(a.values().data(), a.col_idx().data(),
+                          a.row_begin(r), a.row_end(r), x.data());
     }
 }
 
@@ -37,19 +40,15 @@ mergepath_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
     std::vector<value_t> carry_vals(static_cast<size_t>(threads) * 2,
                                     0.0f);
 
+    const value_t *vals = a.values().data();
+    const index_t *cols = a.col_idx().data();
+    const value_t *xp = x.data();
     pool.parallel_for(static_cast<uint64_t>(threads), [&](uint64_t ti) {
         index_t t = static_cast<index_t>(ti);
         ResolvedWork w = sched.resolve(t, a);
-        auto row_sum = [&](index_t begin, index_t end) {
-            value_t sum = 0.0f;
-            for (index_t k = begin; k < end; ++k) {
-                sum += a.values()[k] *
-                       x[static_cast<size_t>(a.col_idx()[k])];
-            }
-            return sum;
-        };
         if (w.has_head()) {
-            value_t sum = row_sum(w.head_begin, w.head_end);
+            value_t sum =
+                row_gather_dot(vals, cols, w.head_begin, w.head_end, xp);
             if (w.head_atomic) {
                 size_t slot = static_cast<size_t>(t) * 2;
                 carry_rows[slot] = w.head_row;
@@ -60,13 +59,14 @@ mergepath_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
         }
         for (index_t r = w.first_complete_row; r < w.last_complete_row;
              ++r) {
-            y[static_cast<size_t>(r)] =
-                row_sum(a.row_begin(r), a.row_end(r));
+            y[static_cast<size_t>(r)] = row_gather_dot(
+                vals, cols, a.row_begin(r), a.row_end(r), xp);
         }
         if (w.has_tail()) {
             size_t slot = static_cast<size_t>(t) * 2 + 1;
             carry_rows[slot] = w.tail_row;
-            carry_vals[slot] = row_sum(w.tail_begin, w.tail_end);
+            carry_vals[slot] =
+                row_gather_dot(vals, cols, w.tail_begin, w.tail_end, xp);
         }
     });
 

@@ -9,19 +9,25 @@ namespace mps {
 void
 apply_activation(DenseMatrix &m, Activation act)
 {
-    const size_t count =
-        static_cast<size_t>(m.rows()) * static_cast<size_t>(m.cols());
-    value_t *data = m.data();
+    // Row-wise: rows are padded to the cache-line stride, and the
+    // padding must not be touched.
+    const index_t cols = m.cols();
     switch (act) {
       case Activation::kNone:
         break;
       case Activation::kRelu:
-        for (size_t i = 0; i < count; ++i)
-            data[i] = data[i] > 0.0f ? data[i] : 0.0f;
+        for (index_t r = 0; r < m.rows(); ++r) {
+            value_t *row = m.row(r);
+            for (index_t c = 0; c < cols; ++c)
+                row[c] = row[c] > 0.0f ? row[c] : 0.0f;
+        }
         break;
       case Activation::kSigmoid:
-        for (size_t i = 0; i < count; ++i)
-            data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+        for (index_t r = 0; r < m.rows(); ++r) {
+            value_t *row = m.row(r);
+            for (index_t c = 0; c < cols; ++c)
+                row[c] = 1.0f / (1.0f + std::exp(-row[c]));
+        }
         break;
     }
 }

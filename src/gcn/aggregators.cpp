@@ -1,10 +1,9 @@
 #include "mps/gcn/aggregators.h"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
-#include <vector>
 
+#include "mps/core/microkernel.h"
 #include "mps/util/log.h"
 #include "mps/util/thread_pool.h"
 
@@ -22,28 +21,6 @@ check_shapes(const CsrMatrix &a, const DenseMatrix &h,
               "out must be nodes x h.cols()");
 }
 
-/** Atomic slot = slot + v. */
-inline void
-atomic_add(value_t &slot, value_t v)
-{
-    std::atomic_ref<value_t> ref(slot);
-    value_t old = ref.load(std::memory_order_relaxed);
-    while (!ref.compare_exchange_weak(old, old + v,
-                                      std::memory_order_relaxed)) {
-    }
-}
-
-/** Atomic slot = max(slot, v). */
-inline void
-atomic_max(value_t &slot, value_t v)
-{
-    std::atomic_ref<value_t> ref(slot);
-    value_t old = ref.load(std::memory_order_relaxed);
-    while (old < v && !ref.compare_exchange_weak(
-                          old, v, std::memory_order_relaxed)) {
-    }
-}
-
 /**
  * Generic merge-path aggregation skeleton: kMax reduces with max and
  * commits with atomic_max; kSum reduces with + and commits with
@@ -58,6 +35,7 @@ aggregate_generic(const CsrMatrix &a, const DenseMatrix &h,
 {
     check_shapes(a, h, out);
     const index_t dim = h.cols();
+    const RowKernels &rk = select_row_kernels(dim);
     const value_t identity =
         reduce == Reduce::kMax ? std::numeric_limits<value_t>::lowest()
                                : 0.0f;
@@ -68,38 +46,30 @@ aggregate_generic(const CsrMatrix &a, const DenseMatrix &h,
         [&](uint64_t ti) {
             index_t t = static_cast<index_t>(ti);
             ResolvedWork w = sched.resolve(t, a);
-            std::vector<value_t> acc(static_cast<size_t>(dim));
+            value_t *acc = microkernel_scratch(dim);
 
             auto accumulate = [&](index_t begin, index_t end) {
-                std::fill(acc.begin(), acc.end(), identity);
+                rk.fill(acc, identity, dim);
                 for (index_t k = begin; k < end; ++k) {
                     const value_t *hrow = h.row(a.col_idx()[k]);
-                    if (reduce == Reduce::kSum) {
-                        for (index_t d = 0; d < dim; ++d)
-                            acc[static_cast<size_t>(d)] += hrow[d];
-                    } else {
-                        for (index_t d = 0; d < dim; ++d) {
-                            acc[static_cast<size_t>(d)] = std::max(
-                                acc[static_cast<size_t>(d)], hrow[d]);
-                        }
-                    }
+                    if (reduce == Reduce::kSum)
+                        rk.add(acc, hrow, dim);
+                    else
+                        rk.vmax(acc, hrow, dim);
                 }
             };
             auto commit = [&](index_t row, bool atomic) {
                 value_t *orow = out.row(row);
-                for (index_t d = 0; d < dim; ++d) {
-                    value_t v = acc[static_cast<size_t>(d)];
-                    if (reduce == Reduce::kSum) {
-                        if (atomic)
-                            atomic_add(orow[d], v);
-                        else
-                            orow[d] += v;
-                    } else {
-                        if (atomic)
-                            atomic_max(orow[d], v);
-                        else
-                            orow[d] = std::max(orow[d], v);
-                    }
+                if (reduce == Reduce::kSum) {
+                    if (atomic)
+                        rk.commit_atomic(orow, acc, dim);
+                    else
+                        rk.commit_plain(orow, acc, dim);
+                } else {
+                    if (atomic)
+                        rk.commit_max_atomic(orow, acc, dim);
+                    else
+                        rk.vmax(orow, acc, dim);
                 }
             };
 
@@ -135,6 +105,7 @@ aggregate_mean(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
 {
     aggregate_sum(a, h, out, sched, pool);
     const index_t dim = h.cols();
+    const RowKernels &rk = select_row_kernels(dim);
     pool.parallel_for(
         static_cast<uint64_t>(a.rows()),
         [&](uint64_t r) {
@@ -142,9 +113,7 @@ aggregate_mean(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
             value_t inv =
                 1.0f / std::max<value_t>(
                            static_cast<value_t>(a.degree(row)), 1.0f);
-            value_t *orow = out.row(row);
-            for (index_t d = 0; d < dim; ++d)
-                orow[d] *= inv;
+            rk.scale(out.row(row), inv, dim);
         },
         /*grain=*/256);
 }
@@ -178,15 +147,13 @@ aggregate_gin(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
 {
     aggregate_sum(a, h, out, sched, pool);
     const index_t dim = h.cols();
+    const RowKernels &rk = select_row_kernels(dim);
     const value_t self = 1.0f + eps;
     pool.parallel_for(
         static_cast<uint64_t>(a.rows()),
         [&](uint64_t r) {
             index_t row = static_cast<index_t>(r);
-            value_t *orow = out.row(row);
-            const value_t *hrow = h.row(row);
-            for (index_t d = 0; d < dim; ++d)
-                orow[d] += self * hrow[d];
+            rk.axpy(out.row(row), self, h.row(row), dim);
         },
         /*grain=*/256);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "mps/core/microkernel.h"
 #include "mps/core/spmm.h"
 #include "mps/gcn/gemm.h"
 #include "mps/util/log.h"
@@ -78,13 +79,8 @@ GatLayer::forward(const CsrMatrix &a, const DenseMatrix &h,
         static_cast<uint64_t>(a.rows()),
         [&](uint64_t r) {
             const value_t *row = hw.row(static_cast<index_t>(r));
-            value_t src = 0.0f, dst = 0.0f;
-            for (index_t d = 0; d < out_features(); ++d) {
-                src += row[d] * a_src_[static_cast<size_t>(d)];
-                dst += row[d] * a_dst_[static_cast<size_t>(d)];
-            }
-            s_src[r] = src;
-            s_dst[r] = dst;
+            s_src[r] = row_dot(row, a_src_.data(), out_features());
+            s_dst[r] = row_dot(row, a_dst_.data(), out_features());
         },
         /*grain=*/256);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mps/core/microkernel.h"
 #include "mps/util/log.h"
 #include "mps/util/thread_pool.h"
 
@@ -26,18 +27,16 @@ gemm_rows(const DenseMatrix &x, const DenseMatrix &w, DenseMatrix &out,
 {
     const index_t f = x.cols();
     const index_t d = w.cols();
+    const RowKernels &rk = select_row_kernels(d);
     for (index_t i = row_begin; i < row_end; ++i) {
         value_t *orow = out.row(i);
-        for (index_t j = 0; j < d; ++j)
-            orow[j] = 0.0f;
+        rk.zero(orow, d);
         const value_t *xrow = x.row(i);
         for (index_t k = 0; k < f; ++k) {
             const value_t xv = xrow[k];
             if (xv == 0.0f)
                 continue; // feature matrices are moderately sparse
-            const value_t *wrow = w.row(k);
-            for (index_t j = 0; j < d; ++j)
-                orow[j] += xv * wrow[j];
+            rk.axpy(orow, xv, w.row(k), d);
         }
     }
 }

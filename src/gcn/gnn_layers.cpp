@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <utility>
 
+#include "mps/core/microkernel.h"
 #include "mps/gcn/aggregators.h"
 #include "mps/gcn/gemm.h"
 #include "mps/util/log.h"
@@ -36,13 +37,13 @@ SageLayer::forward(const CsrMatrix &a, const DenseMatrix &h,
     DenseMatrix neigh_part(a.rows(), out_features());
     dense_gemm(mean, w_neigh_, neigh_part, pool);
 
-    const size_t count = static_cast<size_t>(out.rows()) *
-                         static_cast<size_t>(out.cols());
-    value_t *o = out.data();
-    const value_t *s = self_part.data();
-    const value_t *n = neigh_part.data();
-    for (size_t i = 0; i < count; ++i)
-        o[i] = s[i] + n[i];
+    const index_t dim = out.cols();
+    const RowKernels &rk = select_row_kernels(dim);
+    for (index_t r = 0; r < out.rows(); ++r) {
+        value_t *orow = out.row(r);
+        rk.copy(orow, self_part.row(r), dim);
+        rk.add(orow, neigh_part.row(r), dim);
+    }
     apply_activation(out, act_);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "mps/core/microkernel.h"
 #include "mps/core/spmm.h"
 #include "mps/gcn/gemm.h"
 #include "mps/gcn/layer.h"
@@ -28,6 +29,7 @@ gemm_at_b(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &out,
     MPS_CHECK(out.rows() == a.cols() && out.cols() == b.cols(),
               "a^T b: bad output shape");
     const index_t n = a.rows(), k = a.cols(), m = b.cols();
+    const RowKernels &rk = select_row_kernels(m);
     const index_t chunk = 16;
     pool.parallel_for(
         (static_cast<uint64_t>(k) + chunk - 1) / chunk, [&](uint64_t c) {
@@ -35,15 +37,12 @@ gemm_at_b(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &out,
             index_t end = std::min<index_t>(begin + chunk, k);
             for (index_t kk = begin; kk < end; ++kk) {
                 value_t *orow = out.row(kk);
-                for (index_t j = 0; j < m; ++j)
-                    orow[j] = 0.0f;
+                rk.zero(orow, m);
                 for (index_t i = 0; i < n; ++i) {
                     const value_t av = a(i, kk);
                     if (av == 0.0f)
                         continue;
-                    const value_t *brow = b.row(i);
-                    for (index_t j = 0; j < m; ++j)
-                        orow[j] += av * brow[j];
+                    rk.axpy(orow, av, b.row(i), m);
                 }
             }
         });
@@ -58,6 +57,7 @@ gemm_a_bt(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &out,
     MPS_CHECK(out.rows() == a.rows() && out.cols() == b.rows(),
               "a b^T: bad output shape");
     const index_t m = a.cols(), k = b.rows();
+    const RowKernels &rk = select_row_kernels(m);
     const index_t chunk = 64;
     pool.parallel_for(
         (static_cast<uint64_t>(a.rows()) + chunk - 1) / chunk,
@@ -67,13 +67,8 @@ gemm_a_bt(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &out,
             for (index_t i = begin; i < end; ++i) {
                 const value_t *arow = a.row(i);
                 value_t *orow = out.row(i);
-                for (index_t j = 0; j < k; ++j) {
-                    const value_t *brow = b.row(j);
-                    value_t sum = 0.0f;
-                    for (index_t l = 0; l < m; ++l)
-                        sum += arow[l] * brow[l];
-                    orow[j] = sum;
-                }
+                for (index_t j = 0; j < k; ++j)
+                    orow[j] = rk.dot(arow, b.row(j), m);
             }
         });
 }
@@ -84,12 +79,9 @@ sgd_update(DenseMatrix &w, const DenseMatrix &grad, float lr)
 {
     MPS_CHECK(w.rows() == grad.rows() && w.cols() == grad.cols(),
               "gradient shape mismatch");
-    const size_t count =
-        static_cast<size_t>(w.rows()) * static_cast<size_t>(w.cols());
-    value_t *wd = w.data();
-    const value_t *gd = grad.data();
-    for (size_t i = 0; i < count; ++i)
-        wd[i] -= lr * gd[i];
+    const index_t cols = w.cols();
+    for (index_t r = 0; r < w.rows(); ++r)
+        row_axpy(w.row(r), -lr, grad.row(r), cols);
 }
 
 } // namespace
@@ -137,9 +129,7 @@ softmax_cross_entropy(const DenseMatrix &logits,
     for (index_t r = 0; r < grad.rows(); ++r) {
         if (!mask[static_cast<size_t>(r)])
             continue;
-        value_t *row = grad.row(r);
-        for (index_t j = 0; j < c; ++j)
-            row[j] *= inv;
+        row_scale(grad.row(r), inv, c);
     }
     return loss / static_cast<double>(counted);
 }
@@ -275,15 +265,16 @@ GcnTrainer::step(const CsrMatrix &a, const DenseMatrix &x,
         DenseMatrix d_h1(a.rows(), w1_.cols());
         gemm_a_bt(d_hw2, w2_, d_h1, pool);
 
-        // ReLU gate.
+        // ReLU gate (row-wise: stay clear of the stride padding).
         {
-            const size_t count = static_cast<size_t>(d_h1.rows()) *
-                                 static_cast<size_t>(d_h1.cols());
-            value_t *g = d_h1.data();
-            const value_t *z = z1.data();
-            for (size_t i = 0; i < count; ++i) {
-                if (z[i] <= 0.0f)
-                    g[i] = 0.0f;
+            const index_t cols = d_h1.cols();
+            for (index_t r = 0; r < d_h1.rows(); ++r) {
+                value_t *g = d_h1.row(r);
+                const value_t *z = z1.row(r);
+                for (index_t j = 0; j < cols; ++j) {
+                    if (z[j] <= 0.0f)
+                        g[j] = 0.0f;
+                }
             }
         }
 

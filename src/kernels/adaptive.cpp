@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mps/core/microkernel.h"
 #include "mps/core/spmm.h"
 #include "mps/sparse/degree_stats.h"
 #include "mps/util/log.h"
@@ -41,8 +42,9 @@ AdaptiveSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
         return;
     }
 
-    // Static row-splitting, vectorizable inner loops, coarse chunks.
+    // Static row-splitting, vectorized inner loops, coarse chunks.
     const index_t dim = b.cols();
+    const RowKernels &rk = select_row_kernels(dim);
     index_t chunks = std::min<index_t>(
         std::max<index_t>(a.rows(), 1),
         static_cast<index_t>(pool.size()) * 4);
@@ -52,14 +54,9 @@ AdaptiveSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
         index_t end = std::min<index_t>(begin + rows_per_chunk, a.rows());
         for (index_t r = begin; r < end; ++r) {
             value_t *crow = c.row(r);
-            for (index_t d = 0; d < dim; ++d)
-                crow[d] = 0.0f;
-            for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
-                const value_t av = a.values()[k];
-                const value_t *brow = b.row(a.col_idx()[k]);
-                for (index_t d = 0; d < dim; ++d)
-                    crow[d] += av * brow[d];
-            }
+            rk.zero(crow, dim);
+            for (index_t k = a.row_begin(r); k < a.row_end(r); ++k)
+                rk.axpy(crow, a.values()[k], b.row(a.col_idx()[k]), dim);
         }
     });
 }

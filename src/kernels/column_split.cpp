@@ -1,25 +1,10 @@
 #include "mps/kernels/column_split.h"
 
-#include <atomic>
-
+#include "mps/core/microkernel.h"
 #include "mps/util/log.h"
 #include "mps/util/thread_pool.h"
 
 namespace mps {
-
-namespace {
-
-inline void
-atomic_add(value_t &slot, value_t v)
-{
-    std::atomic_ref<value_t> ref(slot);
-    value_t old = ref.load(std::memory_order_relaxed);
-    while (!ref.compare_exchange_weak(old, old + v,
-                                      std::memory_order_relaxed)) {
-    }
-}
-
-} // namespace
 
 void
 ColumnSplitSpmm::prepare(const CsrMatrix &a, index_t dim)
@@ -45,6 +30,7 @@ ColumnSplitSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
 
     c.fill(0.0f);
     const index_t dim = b.cols();
+    const RowKernels &rk = select_row_kernels(dim);
     const CsrMatrix &at = a_transposed_;
     pool.parallel_for(
         static_cast<uint64_t>(at.rows()),
@@ -55,11 +41,10 @@ ColumnSplitSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
             const value_t *brow = b.row(col); // loaded once per column
             for (index_t k = at.row_begin(col); k < at.row_end(col);
                  ++k) {
-                index_t out_row = at.col_idx()[k];
-                const value_t av = at.values()[k];
-                value_t *crow = c.row(out_row);
-                for (index_t d = 0; d < dim; ++d)
-                    atomic_add(crow[d], av * brow[d]);
+                // Scatter along the column: every output row may be
+                // shared with other columns, so each add is atomic.
+                rk.axpy_atomic(c.row(at.col_idx()[k]), at.values()[k],
+                               brow, dim);
             }
         },
         /*grain=*/64);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "mps/core/microkernel.h"
 #include "mps/util/log.h"
 #include "mps/util/thread_pool.h"
 
@@ -33,6 +34,7 @@ MergePathSerialFixupSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
 
     c.fill(0.0f);
     const index_t dim = b.cols();
+    const RowKernels &rk = select_row_kernels(dim);
     const index_t threads = schedule_.num_threads();
 
     // Carry slots: up to two partial rows (head and tail) per thread.
@@ -43,15 +45,11 @@ MergePathSerialFixupSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
     pool.parallel_for(static_cast<uint64_t>(threads), [&](uint64_t ti) {
         index_t t = static_cast<index_t>(ti);
         ResolvedWork w = schedule_.resolve(t, a);
-        std::vector<value_t> acc(static_cast<size_t>(dim));
+        value_t *acc = microkernel_scratch(dim);
         auto accumulate = [&](index_t begin, index_t end) {
-            std::fill(acc.begin(), acc.end(), 0.0f);
-            for (index_t k = begin; k < end; ++k) {
-                const value_t av = a.values()[k];
-                const value_t *brow = b.row(a.col_idx()[k]);
-                for (index_t d = 0; d < dim; ++d)
-                    acc[static_cast<size_t>(d)] += av * brow[d];
-            }
+            rk.zero(acc, dim);
+            for (index_t k = begin; k < end; ++k)
+                rk.axpy(acc, a.values()[k], b.row(a.col_idx()[k]), dim);
         };
 
         // Partial rows go to carry slots instead of the output; they
@@ -61,28 +59,21 @@ MergePathSerialFixupSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
             if (w.head_atomic) {
                 size_t slot = static_cast<size_t>(t) * 2;
                 carry_rows[slot] = w.head_row;
-                std::copy(acc.begin(), acc.end(),
-                          carry_vals.begin() +
-                              static_cast<size_t>(slot) * dim);
+                rk.copy(carry_vals.data() + slot * dim, acc, dim);
             } else {
-                value_t *crow = c.row(w.head_row);
-                for (index_t d = 0; d < dim; ++d)
-                    crow[d] += acc[static_cast<size_t>(d)];
+                rk.commit_plain(c.row(w.head_row), acc, dim);
             }
         }
         for (index_t r = w.first_complete_row; r < w.last_complete_row;
              ++r) {
             accumulate(a.row_begin(r), a.row_end(r));
-            value_t *crow = c.row(r);
-            for (index_t d = 0; d < dim; ++d)
-                crow[d] += acc[static_cast<size_t>(d)];
+            rk.commit_plain(c.row(r), acc, dim);
         }
         if (w.has_tail()) {
             accumulate(w.tail_begin, w.tail_end);
             size_t slot = static_cast<size_t>(t) * 2 + 1;
             carry_rows[slot] = w.tail_row;
-            std::copy(acc.begin(), acc.end(),
-                      carry_vals.begin() + static_cast<size_t>(slot) * dim);
+            rk.copy(carry_vals.data() + slot * dim, acc, dim);
         }
     });
 
@@ -94,10 +85,7 @@ MergePathSerialFixupSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
         if (row < 0)
             continue;
         ++carries;
-        value_t *crow = c.row(row);
-        const value_t *acc = carry_vals.data() + slot * dim;
-        for (index_t d = 0; d < dim; ++d)
-            crow[d] += acc[d];
+        rk.commit_plain(c.row(row), carry_vals.data() + slot * dim, dim);
     }
     serial_carries_ = carries;
 }

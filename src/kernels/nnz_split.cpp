@@ -1,10 +1,10 @@
 #include "mps/kernels/nnz_split.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <vector>
 
+#include "mps/core/microkernel.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
 #include "mps/util/thread_pool.h"
@@ -44,21 +44,6 @@ NnzSplitSpmm::prepare(const CsrMatrix &a, index_t dim)
     groups_ = build_neighbor_groups(a, prepared_ng_size_);
 }
 
-namespace {
-
-/** Atomic a += v on a plain float slot. */
-inline void
-atomic_add(value_t &slot, value_t v)
-{
-    std::atomic_ref<value_t> ref(slot);
-    value_t old = ref.load(std::memory_order_relaxed);
-    while (!ref.compare_exchange_weak(old, old + v,
-                                      std::memory_order_relaxed)) {
-    }
-}
-
-} // namespace
-
 void
 NnzSplitSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
                   ThreadPool &pool) const
@@ -78,6 +63,7 @@ NnzSplitSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
 
     c.fill(0.0f);
     const index_t dim = b.cols();
+    const RowKernels &rk = select_row_kernels(dim);
     pool.parallel_for(
         groups_.size(),
         [&](uint64_t g) {
@@ -85,16 +71,11 @@ NnzSplitSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
             // Group-local accumulation, then one atomic commit per
             // element — the group never knows whether other groups share
             // its row, so the commit is always atomic.
-            std::vector<value_t> acc(static_cast<size_t>(dim), 0.0f);
-            for (index_t k = group.begin; k < group.end; ++k) {
-                const value_t av = a.values()[k];
-                const value_t *brow = b.row(a.col_idx()[k]);
-                for (index_t d = 0; d < dim; ++d)
-                    acc[static_cast<size_t>(d)] += av * brow[d];
-            }
-            value_t *crow = c.row(group.row);
-            for (index_t d = 0; d < dim; ++d)
-                atomic_add(crow[d], acc[static_cast<size_t>(d)]);
+            value_t *acc = microkernel_scratch(dim);
+            rk.zero(acc, dim);
+            for (index_t k = group.begin; k < group.end; ++k)
+                rk.axpy(acc, a.values()[k], b.row(a.col_idx()[k]), dim);
+            rk.commit_atomic(c.row(group.row), acc, dim);
         },
         /*grain=*/16);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mps/core/microkernel.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
 #include "mps/util/thread_pool.h"
@@ -38,20 +39,18 @@ RowSplitSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
         metrics.counter_add("spmm.row_split.plain_commits", a.rows());
 
     const index_t dim = b.cols();
+    const RowKernels &rk = select_row_kernels(dim);
     const index_t rows_per_chunk = (a.rows() + chunks - 1) / chunks;
     pool.parallel_for(static_cast<uint64_t>(chunks), [&](uint64_t chunk) {
         index_t begin = static_cast<index_t>(chunk) * rows_per_chunk;
         index_t end = std::min<index_t>(begin + rows_per_chunk, a.rows());
         for (index_t r = begin; r < end; ++r) {
+            // The chunk owns row r outright: accumulate straight into
+            // the output row, no scratch and no commit step.
             value_t *crow = c.row(r);
-            for (index_t d = 0; d < dim; ++d)
-                crow[d] = 0.0f;
-            for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
-                const value_t av = a.values()[k];
-                const value_t *brow = b.row(a.col_idx()[k]);
-                for (index_t d = 0; d < dim; ++d)
-                    crow[d] += av * brow[d];
-            }
+            rk.zero(crow, dim);
+            for (index_t k = a.row_begin(r); k < a.row_end(r); ++k)
+                rk.axpy(crow, a.values()[k], b.row(a.col_idx()[k]), dim);
         }
     });
 }

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "mps/core/microkernel.h"
 #include "mps/core/policy.h"
 #include "mps/core/spmm.h"
 #include "mps/gcn/activation.h"
@@ -371,11 +372,12 @@ Server::execute_batch(Batch batch, ThreadPool &pool)
     // request outputs split back off as contiguous row blocks.
     const index_t f0 = graph.layers.front().in_features();
     DenseMatrix tall(static_cast<index_t>(k) * n, f0);
-    for (int j = 0; j < k; ++j)
-        std::copy(live[static_cast<size_t>(j)]->features.data(),
-                  live[static_cast<size_t>(j)]->features.data() +
-                      static_cast<size_t>(n) * f0,
-                  tall.row(static_cast<index_t>(j) * n));
+    for (int j = 0; j < k; ++j) {
+        const DenseMatrix &feats = live[static_cast<size_t>(j)]->features;
+        for (index_t r = 0; r < n; ++r)
+            row_copy(tall.row(static_cast<index_t>(j) * n + r),
+                     feats.row(r), f0);
+    }
 
     for (const GcnLayer &layer : graph.layers) {
         const index_t h = layer.out_features();
@@ -435,10 +437,9 @@ Server::execute_batch(Batch batch, ThreadPool &pool)
     const index_t h_out = graph.layers.back().out_features();
     for (int j = 0; j < k; ++j) {
         DenseMatrix out(n, h_out);
-        std::copy(tall.row(static_cast<index_t>(j) * n),
-                  tall.row(static_cast<index_t>(j) * n) +
-                      static_cast<size_t>(n) * h_out,
-                  out.data());
+        for (index_t r = 0; r < n; ++r)
+            row_copy(out.row(r),
+                     tall.row(static_cast<index_t>(j) * n + r), h_out);
         InferenceResult result;
         result.status = RequestStatus::kOk;
         result.output = std::move(out);

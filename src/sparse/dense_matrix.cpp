@@ -9,8 +9,9 @@
 namespace mps {
 
 DenseMatrix::DenseMatrix(index_t rows, index_t cols)
-    : rows_(rows), cols_(cols),
-      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f)
+    : rows_(rows), cols_(cols), stride_(padded_row_length(cols)),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(stride_),
+            0.0f)
 {
     MPS_CHECK(rows >= 0 && cols >= 0, "negative matrix dimension");
 }
@@ -18,14 +19,21 @@ DenseMatrix::DenseMatrix(index_t rows, index_t cols)
 void
 DenseMatrix::fill(value_t v)
 {
-    std::fill(data_.begin(), data_.end(), v);
+    // Row-wise so the inter-row padding keeps its zero invariant.
+    for (index_t r = 0; r < rows_; ++r) {
+        value_t *p = row(r);
+        std::fill(p, p + cols_, v);
+    }
 }
 
 void
 DenseMatrix::fill_random(Pcg32 &rng, value_t lo, value_t hi)
 {
-    for (auto &x : data_)
-        x = rng.next_float(lo, hi);
+    for (index_t r = 0; r < rows_; ++r) {
+        value_t *p = row(r);
+        for (index_t c = 0; c < cols_; ++c)
+            p[c] = rng.next_float(lo, hi);
+    }
 }
 
 double
@@ -34,10 +42,14 @@ DenseMatrix::max_abs_diff(const DenseMatrix &other) const
     MPS_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
               "shape mismatch in max_abs_diff");
     double worst = 0.0;
-    for (size_t i = 0; i < data_.size(); ++i) {
-        worst = std::max(
-            worst, std::abs(static_cast<double>(data_[i]) -
-                            static_cast<double>(other.data_[i])));
+    for (index_t r = 0; r < rows_; ++r) {
+        const value_t *pa = row(r);
+        const value_t *pb = other.row(r);
+        for (index_t c = 0; c < cols_; ++c) {
+            worst = std::max(
+                worst, std::abs(static_cast<double>(pa[c]) -
+                                static_cast<double>(pb[c])));
+        }
     }
     return worst;
 }
@@ -48,13 +60,17 @@ DenseMatrix::approx_equal(const DenseMatrix &other, double abs_tol,
 {
     if (rows_ != other.rows_ || cols_ != other.cols_)
         return false;
-    for (size_t i = 0; i < data_.size(); ++i) {
-        double a = data_[i];
-        double b = other.data_[i];
-        double diff = std::abs(a - b);
-        double scale = std::max(std::abs(a), std::abs(b));
-        if (diff > abs_tol && diff > rel_tol * scale)
-            return false;
+    for (index_t r = 0; r < rows_; ++r) {
+        const value_t *pa = row(r);
+        const value_t *pb = other.row(r);
+        for (index_t c = 0; c < cols_; ++c) {
+            double a = pa[c];
+            double b = pb[c];
+            double diff = std::abs(a - b);
+            double scale = std::max(std::abs(a), std::abs(b));
+            if (diff > abs_tol && diff > rel_tol * scale)
+                return false;
+        }
     }
     return true;
 }

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * 64-byte-aligned allocation for dense rows and kernel scratch.
+ *
+ * The SIMD row microkernels (mps/core/microkernel.h) assume that every
+ * dense row starts on a cache-line boundary; DenseMatrix and the
+ * per-thread accumulator scratch both allocate through this allocator
+ * so the fixed-dimension vector paths never straddle a line.
+ */
+#ifndef MPS_SPARSE_ALIGNED_BUFFER_H
+#define MPS_SPARSE_ALIGNED_BUFFER_H
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "mps/sparse/types.h"
+
+namespace mps {
+
+/** Cache-line alignment (bytes) of dense-row storage. */
+inline constexpr std::size_t kRowAlignBytes = 64;
+
+/** Elements of value_t per cache line; rows are padded to this. */
+inline constexpr index_t kRowAlignElems =
+    static_cast<index_t>(kRowAlignBytes / sizeof(value_t));
+
+/** Round @p n up to a multiple of kRowAlignElems (0 stays 0). */
+constexpr index_t
+padded_row_length(index_t n)
+{
+    return ((n + kRowAlignElems - 1) / kRowAlignElems) * kRowAlignElems;
+}
+
+/** Minimal std::allocator replacement with a fixed alignment. */
+template <class T, std::size_t Align = kRowAlignBytes>
+struct AlignedAllocator
+{
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <class U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+
+    T *allocate(std::size_t n)
+    {
+        if (n == 0)
+            return nullptr;
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Align)));
+    }
+    void deallocate(T *p, std::size_t n) noexcept
+    {
+        ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+    }
+
+    template <class U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    friend bool operator==(const AlignedAllocator &,
+                           const AlignedAllocator &) noexcept
+    {
+        return true;
+    }
+};
+
+/** Cache-line-aligned vector of matrix values. */
+using AlignedVector = std::vector<value_t, AlignedAllocator<value_t>>;
+
+} // namespace mps
+
+#endif // MPS_SPARSE_ALIGNED_BUFFER_H

@@ -3,20 +3,28 @@
  * Row-major dense matrix used for the XW input and the C output of the
  * SpMM kernels, the weight matrices of the GCN layers, and the dense
  * reference results in the tests.
+ *
+ * Storage is 64-byte aligned and every row is padded to a cache-line
+ * multiple (padded_cols()), so the SIMD row microkernels can assume
+ * each row(r) pointer is aligned. The padding elements are storage
+ * only: they stay zero, are never part of the logical matrix, and no
+ * arithmetic result may be read from them. Code that walks raw memory
+ * must iterate row-by-row over cols() — element (r, c) lives at
+ * data()[r * padded_cols() + c], not data()[r * cols() + c].
  */
 #ifndef MPS_SPARSE_DENSE_MATRIX_H
 #define MPS_SPARSE_DENSE_MATRIX_H
 
 #include <cstddef>
-#include <vector>
 
+#include "mps/sparse/aligned_buffer.h"
 #include "mps/sparse/types.h"
 
 namespace mps {
 
 class Pcg32;
 
-/** Row-major dense matrix of value_t. */
+/** Row-major dense matrix of value_t with cache-line-aligned rows. */
 class DenseMatrix
 {
   public:
@@ -29,26 +37,32 @@ class DenseMatrix
     index_t rows() const { return rows_; }
     index_t cols() const { return cols_; }
 
+    /**
+     * Allocated row stride in elements: cols() rounded up to a
+     * cache-line multiple. The distance between row(r) and row(r + 1).
+     */
+    index_t padded_cols() const { return stride_; }
+
     /** Element access (no bounds check in release paths). */
     value_t &operator()(index_t r, index_t c) {
-        return data_[static_cast<size_t>(r) * cols_ + c];
+        return data_[static_cast<size_t>(r) * stride_ + c];
     }
     value_t operator()(index_t r, index_t c) const {
-        return data_[static_cast<size_t>(r) * cols_ + c];
+        return data_[static_cast<size_t>(r) * stride_ + c];
     }
 
-    /** Pointer to the first element of row r. */
+    /** Pointer to the first element of row r (64-byte aligned). */
     value_t *row(index_t r) {
-        return data_.data() + static_cast<size_t>(r) * cols_;
+        return data_.data() + static_cast<size_t>(r) * stride_;
     }
     const value_t *row(index_t r) const {
-        return data_.data() + static_cast<size_t>(r) * cols_;
+        return data_.data() + static_cast<size_t>(r) * stride_;
     }
 
     value_t *data() { return data_.data(); }
     const value_t *data() const { return data_.data(); }
 
-    /** Set every element to @p v. */
+    /** Set every logical element to @p v (padding stays zero). */
     void fill(value_t v);
 
     /** Fill with uniform values in [lo, hi) from @p rng. */
@@ -68,7 +82,8 @@ class DenseMatrix
   private:
     index_t rows_ = 0;
     index_t cols_ = 0;
-    std::vector<value_t> data_;
+    index_t stride_ = 0;
+    AlignedVector data_;
 };
 
 } // namespace mps

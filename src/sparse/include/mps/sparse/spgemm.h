@@ -41,6 +41,8 @@ CsrMatrix spgemm_parallel(const CsrMatrix &a, const CsrMatrix &b,
  * out = X * W with X sparse (n x f CSR) and W dense (f x d): the
  * combination kernel of a GCN layer when node features are kept
  * sparse. Row-parallel on @p pool, no synchronization needed.
+ * Defined in mps_core (spmm.cpp) so it can share the vectorized row
+ * microkernels; callers must link mps_core.
  */
 void sparse_dense_matmul(const CsrMatrix &x, const DenseMatrix &w,
                          DenseMatrix &out, ThreadPool &pool);

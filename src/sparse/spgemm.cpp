@@ -155,35 +155,6 @@ spgemm_parallel(const CsrMatrix &a, const CsrMatrix &b, ThreadPool &pool)
                     chunk_vals, chunk_first, chunk_last);
 }
 
-void
-sparse_dense_matmul(const CsrMatrix &x, const DenseMatrix &w,
-                    DenseMatrix &out, ThreadPool &pool)
-{
-    MPS_CHECK(x.cols() == w.rows(), "inner dimensions differ: ", x.cols(),
-              " vs ", w.rows());
-    MPS_CHECK(out.rows() == x.rows() && out.cols() == w.cols(),
-              "output must be ", x.rows(), "x", w.cols());
-    const index_t dim = w.cols();
-    const index_t chunk_rows = 128;
-    const uint64_t chunks =
-        (static_cast<uint64_t>(x.rows()) + chunk_rows - 1) / chunk_rows;
-    pool.parallel_for(chunks, [&](uint64_t c) {
-        index_t begin = static_cast<index_t>(c) * chunk_rows;
-        index_t end = std::min<index_t>(begin + chunk_rows, x.rows());
-        for (index_t r = begin; r < end; ++r) {
-            value_t *orow = out.row(r);
-            for (index_t d = 0; d < dim; ++d)
-                orow[d] = 0.0f;
-            for (index_t k = x.row_begin(r); k < x.row_end(r); ++k) {
-                const value_t xv = x.values()[k];
-                const value_t *wrow = w.row(x.col_idx()[k]);
-                for (index_t d = 0; d < dim; ++d)
-                    orow[d] += xv * wrow[d];
-            }
-        }
-    });
-}
-
 CsrMatrix
 prune(const CsrMatrix &m, value_t threshold)
 {

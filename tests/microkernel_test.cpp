@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Cross-checks of the dense-row microkernels: the scalar reference path
+ * against the SIMD path on awkward dimensions (vector-width remainders,
+ * unaligned bases), plus the atomic primitives and the per-thread
+ * scratch contract.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "mps/core/microkernel.h"
+#include "mps/sparse/aligned_buffer.h"
+#include "mps/sparse/dense_matrix.h"
+#include "mps/util/rng.h"
+
+namespace mps {
+namespace {
+
+constexpr value_t kTol = 1e-4f;
+
+// Odd dims straddle every vector-width boundary; the round ones hit
+// the fixed-dimension specializations (16/32/64) and their doubles.
+const index_t kDims[] = {1, 3, 8, 15, 16, 17, 31, 32, 33,
+                         63, 64, 65, 100, 128};
+
+std::vector<value_t>
+random_row(Pcg32 &rng, index_t dim, float lo = -2.0f, float hi = 2.0f)
+{
+    std::vector<value_t> v(static_cast<size_t>(dim));
+    for (auto &x : v)
+        x = rng.next_float(lo, hi);
+    return v;
+}
+
+void
+expect_rows_close(const std::vector<value_t> &a,
+                  const std::vector<value_t> &b, const char *what,
+                  index_t dim)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i], b[i], kTol)
+            << what << " diverges at lane " << i << " of dim " << dim;
+    }
+}
+
+TEST(MicrokernelTest, TableMetadata)
+{
+    const RowKernels &scalar =
+        select_row_kernels(32, MicrokernelPath::kScalar);
+    EXPECT_EQ(scalar.path, MicrokernelPath::kScalar);
+    EXPECT_STREQ(scalar.name, "scalar");
+    EXPECT_EQ(scalar.fixed_dim, 0);
+
+    if (!microkernel_simd_compiled())
+        GTEST_SKIP() << "scalar-only build";
+    const RowKernels &simd =
+        select_row_kernels(33, MicrokernelPath::kSimd);
+    EXPECT_EQ(simd.path, MicrokernelPath::kSimd);
+    EXPECT_EQ(simd.fixed_dim, 0);
+#if MPS_MICROKERNEL_SIMD == 1
+    // AVX2 builds carry fully unrolled tables for the GNN-typical dims.
+    for (index_t d : {16, 32, 64}) {
+        const RowKernels &fixed =
+            select_row_kernels(d, MicrokernelPath::kSimd);
+        EXPECT_EQ(fixed.fixed_dim, d) << "dim " << d;
+    }
+#endif
+}
+
+TEST(MicrokernelTest, ScalarVsSimdAllOps)
+{
+    if (!microkernel_simd_compiled())
+        GTEST_SKIP() << "scalar-only build";
+    Pcg32 rng(2024, 7);
+    for (index_t dim : kDims) {
+        const RowKernels &sc =
+            select_row_kernels(dim, MicrokernelPath::kScalar);
+        const RowKernels &sv =
+            select_row_kernels(dim, MicrokernelPath::kSimd);
+        const std::vector<value_t> x = random_row(rng, dim);
+        const std::vector<value_t> y = random_row(rng, dim);
+        const value_t a = rng.next_float(-3.0f, 3.0f);
+
+        auto run_both = [&](auto &&op, const char *what) {
+            std::vector<value_t> r1 = random_row(rng, dim);
+            std::vector<value_t> r2 = r1;
+            op(sc, r1.data());
+            op(sv, r2.data());
+            expect_rows_close(r1, r2, what, dim);
+        };
+
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.zero(row, dim);
+        }, "zero");
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.fill(row, a, dim);
+        }, "fill");
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.copy(row, x.data(), dim);
+        }, "copy");
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.add(row, x.data(), dim);
+        }, "add");
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.axpy(row, a, x.data(), dim);
+        }, "axpy");
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.scale(row, a, dim);
+        }, "scale");
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.scale_add(row, a, x.data(), dim);
+        }, "scale_add");
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.vmax(row, x.data(), dim);
+        }, "vmax");
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.commit_plain(row, x.data(), dim);
+        }, "commit_plain");
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.commit_atomic(row, x.data(), dim);
+        }, "commit_atomic");
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.commit_max_atomic(row, x.data(), dim);
+        }, "commit_max_atomic");
+        run_both([&](const RowKernels &rk, value_t *row) {
+            rk.axpy_atomic(row, a, x.data(), dim);
+        }, "axpy_atomic");
+
+        EXPECT_NEAR(sc.dot(x.data(), y.data(), dim),
+                    sv.dot(x.data(), y.data(), dim),
+                    kTol * static_cast<value_t>(dim))
+            << "dot at dim " << dim;
+    }
+}
+
+TEST(MicrokernelTest, GatherDotScalarVsSimd)
+{
+    if (!microkernel_simd_compiled())
+        GTEST_SKIP() << "scalar-only build";
+    Pcg32 rng(11, 13);
+    const index_t n = 200;
+    std::vector<value_t> x = random_row(rng, n);
+    for (index_t nnz : {0, 1, 3, 7, 8, 9, 40, 150}) {
+        std::vector<value_t> vals = random_row(rng, nnz);
+        std::vector<index_t> cols(static_cast<size_t>(nnz));
+        for (auto &c : cols)
+            c = static_cast<index_t>(
+                rng.next_below(static_cast<uint32_t>(n)));
+        const RowKernels &sc =
+            select_row_kernels(n, MicrokernelPath::kScalar);
+        const RowKernels &sv =
+            select_row_kernels(n, MicrokernelPath::kSimd);
+        EXPECT_NEAR(
+            sc.gather_dot(vals.data(), cols.data(), 0, nnz, x.data()),
+            sv.gather_dot(vals.data(), cols.data(), 0, nnz, x.data()),
+            kTol * static_cast<value_t>(std::max<index_t>(nnz, 1)))
+            << "gather_dot at nnz " << nnz;
+    }
+}
+
+TEST(MicrokernelTest, UnalignedBasesAgree)
+{
+    if (!microkernel_simd_compiled())
+        GTEST_SKIP() << "scalar-only build";
+    // SIMD paths use unaligned loads/stores by design: shifting every
+    // pointer one float off the 64-byte boundary must change nothing.
+    Pcg32 rng(5, 17);
+    for (index_t dim : {17, 33, 100}) {
+        AlignedVector xs(static_cast<size_t>(dim) + 1);
+        AlignedVector acc1(static_cast<size_t>(dim) + 1);
+        for (auto &v : xs)
+            v = rng.next_float(-1.0f, 1.0f);
+        for (auto &v : acc1)
+            v = rng.next_float(-1.0f, 1.0f);
+        AlignedVector acc2 = acc1;
+
+        const value_t *x = xs.data() + 1; // deliberately misaligned
+        const RowKernels &sc =
+            select_row_kernels(dim, MicrokernelPath::kScalar);
+        const RowKernels &sv =
+            select_row_kernels(dim, MicrokernelPath::kSimd);
+        sc.axpy(acc1.data() + 1, 1.5f, x, dim);
+        sv.axpy(acc2.data() + 1, 1.5f, x, dim);
+        for (index_t d = 0; d < dim; ++d)
+            EXPECT_NEAR(acc1[static_cast<size_t>(d) + 1],
+                        acc2[static_cast<size_t>(d) + 1], kTol)
+                << "unaligned axpy lane " << d << " dim " << dim;
+        EXPECT_NEAR(sc.dot(x, acc1.data() + 1, dim),
+                    sv.dot(x, acc2.data() + 1, dim),
+                    kTol * static_cast<value_t>(dim));
+    }
+}
+
+TEST(MicrokernelTest, NegativeAndNanPropagation)
+{
+    const value_t nan = std::numeric_limits<value_t>::quiet_NaN();
+    for (MicrokernelPath path :
+         {MicrokernelPath::kScalar, MicrokernelPath::kSimd}) {
+        if (path == MicrokernelPath::kSimd &&
+            !microkernel_simd_compiled())
+            continue;
+        const index_t dim = 19;
+        const RowKernels &rk = select_row_kernels(dim, path);
+
+        std::vector<value_t> acc(static_cast<size_t>(dim), -1.0f);
+        std::vector<value_t> x(static_cast<size_t>(dim), -2.0f);
+        x[4] = nan;
+        x[17] = nan; // one in the vector body, one in the tail
+        rk.axpy(acc.data(), -0.5f, x.data(), dim);
+        for (index_t d = 0; d < dim; ++d) {
+            if (d == 4 || d == 17)
+                EXPECT_TRUE(std::isnan(acc[static_cast<size_t>(d)]))
+                    << microkernel_path_name(path) << " lane " << d;
+            else
+                EXPECT_NEAR(acc[static_cast<size_t>(d)], 0.0f, kTol)
+                    << microkernel_path_name(path) << " lane " << d;
+        }
+
+        std::vector<value_t> s(static_cast<size_t>(dim), 3.0f);
+        s[2] = nan;
+        std::vector<value_t> t(static_cast<size_t>(dim), 1.0f);
+        rk.scale_add(s.data(), 2.0f, t.data(), dim);
+        EXPECT_TRUE(std::isnan(s[2]));
+        EXPECT_NEAR(s[0], 7.0f, kTol);
+
+        EXPECT_TRUE(std::isnan(rk.dot(x.data(), t.data(), dim)));
+    }
+}
+
+TEST(MicrokernelTest, AtomicAddConcurrent)
+{
+    // 4 threads x 4096 adds of 1.0 stays exactly representable in
+    // fp32, so a single lost update is visible in the total.
+    constexpr int kThreads = 4;
+    constexpr int kAdds = 4096;
+    value_t slot = 0.0f;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&slot] {
+            for (int i = 0; i < kAdds; ++i)
+                atomic_add(slot, 1.0f);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(slot, static_cast<value_t>(kThreads * kAdds));
+}
+
+TEST(MicrokernelTest, AtomicMaxConcurrent)
+{
+    value_t slot = std::numeric_limits<value_t>::lowest();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&slot, t] {
+            for (int i = 0; i < 2000; ++i)
+                atomic_max(slot, static_cast<value_t>(t * 2000 + i));
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(slot, 7999.0f);
+}
+
+TEST(MicrokernelTest, ScratchIsAlignedAndGrows)
+{
+    value_t *p = microkernel_scratch(5);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kRowAlignBytes, 0u);
+    row_fill(p, 1.0f, 5);
+    value_t *q = microkernel_scratch(1000);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % kRowAlignBytes, 0u);
+    row_zero(q, 1000);
+    EXPECT_EQ(q[999], 0.0f);
+}
+
+TEST(MicrokernelTest, DenseMatrixPaddedStride)
+{
+    DenseMatrix m(3, 17);
+    EXPECT_GE(m.padded_cols(), m.cols());
+    EXPECT_EQ(m.padded_cols() % kRowAlignElems, 0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % kRowAlignBytes,
+              0u);
+    m.fill(2.0f);
+    // Element (r, c) lives at data()[r * padded_cols() + c], and the
+    // padding tail of every row stays zero.
+    for (index_t r = 0; r < m.rows(); ++r) {
+        EXPECT_EQ(m.row(r), m.data() + r * m.padded_cols());
+        for (index_t c = m.cols(); c < m.padded_cols(); ++c)
+            EXPECT_EQ(m.data()[r * m.padded_cols() + c], 0.0f)
+                << "padding disturbed at row " << r << " slot " << c;
+    }
+    EXPECT_EQ(m(2, 16), 2.0f);
+}
+
+TEST(MicrokernelTest, DefaultPathAndNames)
+{
+    MicrokernelPath p = microkernel_default_path();
+    if (!microkernel_simd_compiled()) {
+        EXPECT_EQ(p, MicrokernelPath::kScalar);
+    }
+    EXPECT_STREQ(microkernel_path_name(MicrokernelPath::kScalar),
+                 "scalar");
+    EXPECT_STREQ(microkernel_path_name(MicrokernelPath::kSimd), "simd");
+    EXPECT_GE(microkernel_vector_width(), 1);
+}
+
+} // namespace
+} // namespace mps

@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <numeric>
 
 #include "mps/core/spmm.h"
@@ -56,13 +57,30 @@ class FuzzTest : public testing::TestWithParam<int>
 {
 };
 
+/**
+ * Feature dims for SpMM fuzzing: mostly small random widths, but
+ * regularly the microkernel specialization boundaries (16/32/64) and
+ * their off-by-one neighbours, which exercise the fixed-dimension SIMD
+ * tables and the generic path's vector tails.
+ */
+index_t
+fuzz_dim(Pcg32 &rng)
+{
+    static const index_t boundary[] = {15, 16, 17, 31, 32, 33,
+                                       63, 64, 65};
+    if (rng.next_below(2) == 0)
+        return boundary[rng.next_below(
+            static_cast<uint32_t>(std::size(boundary)))];
+    return 1 + static_cast<index_t>(rng.next_below(20));
+}
+
 TEST_P(FuzzTest, ScheduleAndSpmmAgainstReference)
 {
     Pcg32 rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
     ThreadPool pool(3);
     for (int iter = 0; iter < 8; ++iter) {
         CsrMatrix a = random_csr(rng);
-        index_t dim = 1 + static_cast<index_t>(rng.next_below(20));
+        index_t dim = fuzz_dim(rng);
         DenseMatrix b(a.cols(), dim);
         b.fill_random(rng);
         DenseMatrix expect(a.rows(), dim);

@@ -1,10 +1,12 @@
 #!/bin/sh
-# Build and test the project three times: a plain Release configuration,
-# an ASan+UBSan one (-DMPS_SANITIZE=address) and a TSan one
+# Build and test the project four times: a plain Release configuration,
+# an ASan+UBSan one (-DMPS_SANITIZE=address), a TSan one
 # (-DMPS_SANITIZE=thread) that runs the concurrency-heavy serve tests
 # (lock-free MPSC queue, server lifecycle, thread pool) under the race
-# detector. Run from anywhere; build trees land in build-release/,
-# build-asan/ and build-tsan/ next to the source tree.
+# detector, and a forced-scalar one (-DMPS_FORCE_SCALAR=ON) that proves
+# the kernel tests pass on the scalar microkernel reference path alone.
+# Run from anywhere; build trees land in build-release/, build-asan/,
+# build-tsan/ and build-scalar/ next to the source tree.
 #
 #   tools/check.sh [extra ctest args...]
 set -eu
@@ -37,5 +39,16 @@ cmake --build "$root/build-tsan" -j "$jobs" --target \
 echo "==> ctest build-tsan"
 (cd "$root/build-tsan" && ctest --output-on-failure -j "$jobs" \
     -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics' "$@")
+
+echo "==> configure build-scalar"
+cmake -S "$root" -B "$root/build-scalar" \
+    -DCMAKE_BUILD_TYPE=Release -DMPS_FORCE_SCALAR=ON
+echo "==> build build-scalar (kernel tests only)"
+cmake --build "$root/build-scalar" -j "$jobs" --target \
+    mps_microkernel_test mps_spmm_test mps_kernels_test \
+    mps_property_fuzz_test
+echo "==> ctest build-scalar"
+(cd "$root/build-scalar" && ctest --output-on-failure -j "$jobs" \
+    -R 'Microkernel|Spmm|Kernel|Fuzz' "$@")
 
 echo "==> all checks passed"
