@@ -18,7 +18,7 @@
 #include "mps/sparse/datasets.h"
 #include "mps/sparse/generate.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace {
 
@@ -76,7 +76,7 @@ BM_SpmmKernel(benchmark::State &state, const std::string &kernel_name,
     const index_t dim = 16;
     DenseMatrix b = dense_input(a.cols(), dim);
     DenseMatrix c(a.rows(), dim);
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     auto kernel = make_spmm_kernel(kernel_name);
     kernel->prepare(a, dim);
     for (auto _ : state) {
@@ -172,7 +172,7 @@ BM_GcnTwoLayerInference(benchmark::State &state)
     CsrMatrix a = make_dataset("Citeseer");
     a.normalize_gcn();
     DenseMatrix x = dense_input(a.rows(), 64);
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     GcnModel model = GcnModel::two_layer(64, 16, 8, 1, "mergepath");
     for (auto _ : state) {
         DenseMatrix out = model.infer(a, x, pool);

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Scheduler dispatch-overhead study: legacy mutex/condvar ThreadPool
+ * vs the WorkStealPool every kernel now dispatches through.
+ *
+ * Two measurements, reported as one JSON document on stdout:
+ *
+ *  - dispatch: per-parallel_for wall time for a near-empty body at
+ *    n == pool width (one tiny task per executor). This isolates the
+ *    fixed cost the scheduler charges every kernel launch — the term
+ *    that dominates the serving workload's many small batched SpMMs.
+ *  - scaling: per-call wall time over a sweep of small n, showing
+ *    where each pool stops serializing tiny jobs.
+ *
+ * Usage: pool_overhead [threads] [iters]   (defaults: 8, 20000)
+ */
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mps/util/json.h"
+#include "mps/util/thread_pool.h"
+#include "mps/util/timer.h"
+#include "mps/util/work_steal_pool.h"
+
+namespace {
+
+/**
+ * Mean nanoseconds per parallel_for of n near-empty tasks. The body
+ * writes one distinct cell per index so the loop cannot be elided yet
+ * stays tiny against the dispatch cost being measured.
+ */
+template <class Pool>
+double
+per_call_ns(Pool &pool, uint64_t n, int iters)
+{
+    std::vector<uint64_t> sink(static_cast<size_t>(n), 0);
+    for (int warm = 0; warm < iters / 10 + 1; ++warm)
+        pool.parallel_for(n, [&](uint64_t i) { sink[i] += i; });
+    mps::Timer timer;
+    for (int it = 0; it < iters; ++it)
+        pool.parallel_for(n, [&](uint64_t i) { sink[i] += i; });
+    volatile uint64_t guard = sink[0];
+    (void)guard;
+    return timer.elapsed_ns() / iters;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned threads =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
+    const int iters = argc > 2 ? std::atoi(argv[2]) : 20000;
+
+    mps::ThreadPool condvar_pool(threads);
+    mps::WorkStealPool steal_pool(threads);
+
+    mps::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("pool_overhead");
+    w.key("threads").value(static_cast<int64_t>(threads));
+    w.key("iters").value(static_cast<int64_t>(iters));
+
+    // Fixed dispatch cost: one tiny task per executor.
+    const double condvar_ns = per_call_ns(condvar_pool, threads, iters);
+    const double steal_ns = per_call_ns(steal_pool, threads, iters);
+    w.key("dispatch").begin_object();
+    w.key("n").value(static_cast<int64_t>(threads));
+    w.key("condvar_ns_per_call").value(condvar_ns);
+    w.key("worksteal_ns_per_call").value(steal_ns);
+    w.key("overhead_ratio")
+        .value(steal_ns > 0.0 ? condvar_ns / steal_ns : 0.0);
+    w.end_object();
+
+    // Small-n scaling: where does each pool stop serializing?
+    w.key("scaling").begin_array();
+    for (uint64_t n : {uint64_t{1}, uint64_t{8}, uint64_t{64},
+                       uint64_t{512}, uint64_t{4096}}) {
+        const int it = static_cast<int>(
+            std::max<uint64_t>(200, static_cast<uint64_t>(iters) /
+                                        (1 + n / 8)));
+        const double c = per_call_ns(condvar_pool, n, it);
+        const double s = per_call_ns(steal_pool, n, it);
+        w.begin_object();
+        w.key("n").value(static_cast<int64_t>(n));
+        w.key("condvar_ns_per_call").value(c);
+        w.key("worksteal_ns_per_call").value(s);
+        w.key("speedup").value(s > 0.0 ? c / s : 0.0);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::cout << w.str() << "\n";
+    return 0;
+}

@@ -15,7 +15,7 @@
 #include "mps/sparse/datasets.h"
 #include "mps/util/cli.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 using namespace mps;
 
@@ -42,7 +42,7 @@ main(int argc, char **argv)
     Pcg32 rng(3);
     x.fill_random(rng, 0.0f, 1.0f);
 
-    ThreadPool pool;
+    WorkStealPool pool;
     const int runs = static_cast<int>(flags.get_int("runs"));
     for (ScheduleMode mode : {ScheduleMode::kOffline,
                               ScheduleMode::kOnline}) {

@@ -20,7 +20,7 @@
 #include "mps/util/cli.h"
 #include "mps/util/rng.h"
 #include "mps/util/table.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 #include "mps/util/timer.h"
 
 using namespace mps;
@@ -78,7 +78,7 @@ main(int argc, char **argv)
     DenseMatrix gold(a.rows(), dim);
     reference_spmm(a, b, gold);
 
-    ThreadPool pool;
+    WorkStealPool pool;
     Table table({"kernel", "host_ms", "gpu_model_us", "correct"});
     for (const std::string &name : spmm_kernel_names()) {
         auto kernel = make_spmm_kernel(name);

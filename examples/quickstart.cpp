@@ -13,7 +13,7 @@
 #include "mps/sparse/generate.h"
 #include "mps/util/cli.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 using namespace mps;
 
@@ -59,7 +59,7 @@ main(int argc, char **argv)
                 static_cast<long long>(census.split_rows));
 
     // 4. Run the kernel and verify against the sequential reference.
-    ThreadPool pool;
+    WorkStealPool pool;
     DenseMatrix c(a.rows(), dim), gold(a.rows(), dim);
     mergepath_spmm_parallel(a, b, c, schedule, pool);
     reference_spmm(a, b, gold);

@@ -12,7 +12,7 @@
 
 #include "mps/gcn/training.h"
 #include "mps/util/cli.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 #include "mps/util/timer.h"
 
 using namespace mps;
@@ -41,7 +41,7 @@ main(int argc, char **argv)
                 prob.graph.rows(), prob.graph.nnz(),
                 static_cast<int>(prob.num_classes));
 
-    ThreadPool pool;
+    WorkStealPool pool;
     GcnTrainer trainer(static_cast<index_t>(flags.get_int("features")),
                        static_cast<index_t>(flags.get_int("hidden")),
                        prob.num_classes,

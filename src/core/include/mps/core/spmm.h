@@ -14,7 +14,7 @@
 
 namespace mps {
 
-class ThreadPool;
+class WorkStealPool;
 
 /**
  * Execute MergePath-SpMM single-threaded, processing the schedule's
@@ -39,7 +39,7 @@ void mergepath_spmm_sequential(const CsrMatrix &a, const DenseMatrix &b,
 void mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
                              DenseMatrix &c,
                              const MergePathSchedule &sched,
-                             ThreadPool &pool);
+                             WorkStealPool &pool);
 
 /**
  * Convenience: build a schedule with the tuned default cost for
@@ -47,7 +47,7 @@ void mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
  * per pool worker times 16 for dynamic balance) and run in parallel.
  */
 void mergepath_spmm(const CsrMatrix &a, const DenseMatrix &b,
-                    DenseMatrix &c, ThreadPool &pool);
+                    DenseMatrix &c, WorkStealPool &pool);
 
 /** Plain row-by-row sequential SpMM: the gold reference for tests. */
 void reference_spmm(const CsrMatrix &a, const DenseMatrix &b,

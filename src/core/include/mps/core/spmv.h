@@ -20,7 +20,7 @@
 
 namespace mps {
 
-class ThreadPool;
+class WorkStealPool;
 
 /** Sequential reference y = A * x. */
 void reference_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
@@ -35,7 +35,7 @@ void reference_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
  */
 void mergepath_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
                     std::vector<value_t> &y,
-                    const MergePathSchedule &sched, ThreadPool &pool);
+                    const MergePathSchedule &sched, WorkStealPool &pool);
 
 } // namespace mps
 

@@ -7,7 +7,7 @@
 #include "mps/sparse/spgemm.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 #include "mps/util/trace.h"
 
 namespace mps {
@@ -40,15 +40,50 @@ commit(DenseMatrix &c, index_t row, const value_t *acc, index_t dim,
 }
 
 /**
+ * Per-executor write census (the runtime counterpart of Figure 5's
+ * atomic-vs-plain write distribution). Each executor of a parallel_for
+ * owns one cacheline-aligned accumulator and bumps it with plain
+ * stores; the sums reach the metrics registry in one flush per SpMM
+ * instead of up to three contended counter_add calls per scheduled
+ * task.
+ */
+struct alignas(64) CommitCensus
+{
+    int64_t atomics = 0;
+    int64_t plains = 0;
+    int64_t nnz = 0;
+};
+
+void
+flush_census(MetricsRegistry &metrics, const CommitCensus *census,
+             size_t count)
+{
+    CommitCensus total;
+    for (size_t i = 0; i < count; ++i) {
+        total.atomics += census[i].atomics;
+        total.plains += census[i].plains;
+        total.nnz += census[i].nnz;
+    }
+    if (total.atomics > 0)
+        metrics.counter_add("spmm.mergepath.atomic_commits",
+                            total.atomics);
+    if (total.plains > 0)
+        metrics.counter_add("spmm.mergepath.plain_commits", total.plains);
+    if (total.nnz > 0)
+        metrics.counter_add("spmm.mergepath.nnz_processed", total.nnz);
+}
+
+/**
  * Execute one thread's share of Algorithm 2. @p acc is a caller-owned
  * scratch buffer of at least dim elements (the paper's T[0,:]/T[1,:]
  * thread-local storage; one buffer suffices because the commits are
- * sequential within a thread).
+ * sequential within a thread). @p census is the executing worker's
+ * write-census accumulator, or nullptr when metrics are disabled.
  */
 void
 run_thread_work(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
                 const MergePathSchedule &sched, index_t t, value_t *acc,
-                const RowKernels &rk)
+                const RowKernels &rk, CommitCensus *census)
 {
     const index_t dim = b.cols();
     ResolvedWork w = sched.resolve(t, a);
@@ -68,31 +103,20 @@ run_thread_work(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
         commit(c, w.tail_row, acc, dim, w.tail_atomic, rk);
     }
 
-    // Per-thread write census (the runtime counterpart of Figure 5's
-    // atomic-vs-plain write distribution). Costs one relaxed atomic
-    // load when metrics are disabled.
-    MetricsRegistry &metrics = MetricsRegistry::global();
-    if (metrics.enabled()) {
-        int64_t atomics = 0, plains = 0, nnz = 0;
+    if (census != nullptr) {
         if (w.has_head()) {
-            (w.head_atomic ? atomics : plains) += 1;
-            nnz += w.head_end - w.head_begin;
+            (w.head_atomic ? census->atomics : census->plains) += 1;
+            census->nnz += w.head_end - w.head_begin;
         }
         if (w.last_complete_row > w.first_complete_row) {
-            plains += w.last_complete_row - w.first_complete_row;
-            nnz += a.row_begin(w.last_complete_row) -
-                   a.row_begin(w.first_complete_row);
+            census->plains += w.last_complete_row - w.first_complete_row;
+            census->nnz += a.row_begin(w.last_complete_row) -
+                           a.row_begin(w.first_complete_row);
         }
         if (w.has_tail()) {
-            (w.tail_atomic ? atomics : plains) += 1;
-            nnz += w.tail_end - w.tail_begin;
+            (w.tail_atomic ? census->atomics : census->plains) += 1;
+            census->nnz += w.tail_end - w.tail_begin;
         }
-        if (atomics > 0)
-            metrics.counter_add("spmm.mergepath.atomic_commits", atomics);
-        if (plains > 0)
-            metrics.counter_add("spmm.mergepath.plain_commits", plains);
-        if (nnz > 0)
-            metrics.counter_add("spmm.mergepath.nnz_processed", nnz);
     }
 }
 
@@ -115,14 +139,20 @@ mergepath_spmm_sequential(const CsrMatrix &a, const DenseMatrix &b,
     c.fill(0.0f);
     const RowKernels &rk = select_row_kernels(b.cols());
     value_t *acc = microkernel_scratch(b.cols());
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const bool instrumented = metrics.enabled();
+    CommitCensus census;
     for (index_t t = 0; t < sched.num_threads(); ++t)
-        run_thread_work(a, b, c, sched, t, acc, rk);
+        run_thread_work(a, b, c, sched, t, acc, rk,
+                        instrumented ? &census : nullptr);
+    if (instrumented)
+        flush_census(metrics, &census, 1);
 }
 
 void
 mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
                         DenseMatrix &c, const MergePathSchedule &sched,
-                        ThreadPool &pool)
+                        WorkStealPool &pool)
 {
     check_shapes(a, b, c);
     ScopedSpan span("spmm.mergepath", "kernel");
@@ -153,21 +183,35 @@ mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
     c.fill(0.0f);
     const index_t dim = b.cols();
     const RowKernels &rk = select_row_kernels(dim);
+    const bool instrumented = metrics.enabled();
+    // One write-census accumulator per pool executor, merged into the
+    // registry once per parallel_for. Entries are cacheline-aligned
+    // and each is written only by its owning executor; the pool's
+    // completion acquire/release makes the final read race-free.
+    std::vector<CommitCensus> census;
+    if (instrumented)
+        census.resize(pool.max_concurrency());
+    // Grain is left to the pool: it derives the chunk size from the
+    // schedule's thread count and the pool width, so a tiny schedule
+    // still fans out while a huge one is not over-chunked (the old
+    // fixed grain=8 serialized any schedule of <= 8 threads).
     pool.parallel_for(
-        static_cast<uint64_t>(sched.num_threads()),
-        [&](uint64_t t) {
+        static_cast<uint64_t>(sched.num_threads()), [&](uint64_t t) {
             // Per-worker aligned scratch, reused across tasks — the
             // accumulator never hits the allocator on the hot path.
             value_t *acc = microkernel_scratch(dim);
+            CommitCensus *cs =
+                instrumented ? &census[pool.current_slot()] : nullptr;
             run_thread_work(a, b, c, sched, static_cast<index_t>(t), acc,
-                            rk);
-        },
-        /*grain=*/8);
+                            rk, cs);
+        });
+    if (instrumented)
+        flush_census(metrics, census.data(), census.size());
 }
 
 void
 mergepath_spmm(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-               ThreadPool &pool)
+               WorkStealPool &pool)
 {
     index_t threads = static_cast<index_t>(pool.size()) * 16;
     threads = std::max<index_t>(threads, 1);
@@ -177,7 +221,7 @@ mergepath_spmm(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
 
 void
 sparse_dense_matmul(const CsrMatrix &x, const DenseMatrix &w,
-                    DenseMatrix &out, ThreadPool &pool)
+                    DenseMatrix &out, WorkStealPool &pool)
 {
     MPS_CHECK(x.cols() == w.rows(), "inner dimensions differ: ", x.cols(),
               " vs ", w.rows());
@@ -185,19 +229,21 @@ sparse_dense_matmul(const CsrMatrix &x, const DenseMatrix &w,
               "output must be ", x.rows(), "x", w.cols());
     const index_t dim = w.cols();
     const RowKernels &rk = select_row_kernels(dim);
-    const index_t chunk_rows = 128;
-    const uint64_t chunks =
-        (static_cast<uint64_t>(x.rows()) + chunk_rows - 1) / chunk_rows;
-    pool.parallel_for(chunks, [&](uint64_t c) {
-        index_t begin = static_cast<index_t>(c) * chunk_rows;
-        index_t end = std::min<index_t>(begin + chunk_rows, x.rows());
-        for (index_t r = begin; r < end; ++r) {
-            value_t *orow = out.row(r);
-            rk.zero(orow, dim);
-            for (index_t k = x.row_begin(r); k < x.row_end(r); ++k)
-                rk.axpy(orow, x.values()[k], w.row(x.col_idx()[k]), dim);
-        }
-    });
+    // Row blocks are sized by the pool from (rows, width) — a
+    // ~100-row graph no longer collapses into one serial 128-row
+    // chunk, and a million-row one no longer pays thousands of chunk
+    // claims.
+    pool.parallel_for_ranges(
+        static_cast<uint64_t>(x.rows()), [&](uint64_t begin, uint64_t end) {
+            for (index_t r = static_cast<index_t>(begin);
+                 r < static_cast<index_t>(end); ++r) {
+                value_t *orow = out.row(r);
+                rk.zero(orow, dim);
+                for (index_t k = x.row_begin(r); k < x.row_end(r); ++k)
+                    rk.axpy(orow, x.values()[k], w.row(x.col_idx()[k]),
+                            dim);
+            }
+        });
 }
 
 void

@@ -4,7 +4,7 @@
 
 #include "mps/core/microkernel.h"
 #include "mps/util/log.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 
@@ -28,7 +28,7 @@ reference_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
 void
 mergepath_spmv(const CsrMatrix &a, const std::vector<value_t> &x,
                std::vector<value_t> &y, const MergePathSchedule &sched,
-               ThreadPool &pool)
+               WorkStealPool &pool)
 {
     MPS_CHECK(x.size() == static_cast<size_t>(a.cols()),
               "x length must equal A cols");

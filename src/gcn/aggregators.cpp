@@ -5,7 +5,7 @@
 
 #include "mps/core/microkernel.h"
 #include "mps/util/log.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 
@@ -31,7 +31,7 @@ enum class Reduce { kSum, kMax };
 void
 aggregate_generic(const CsrMatrix &a, const DenseMatrix &h,
                   DenseMatrix &out, const MergePathSchedule &sched,
-                  ThreadPool &pool, Reduce reduce)
+                  WorkStealPool &pool, Reduce reduce)
 {
     check_shapes(a, h, out);
     const index_t dim = h.cols();
@@ -94,14 +94,14 @@ aggregate_generic(const CsrMatrix &a, const DenseMatrix &h,
 
 void
 aggregate_sum(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
-              const MergePathSchedule &sched, ThreadPool &pool)
+              const MergePathSchedule &sched, WorkStealPool &pool)
 {
     aggregate_generic(a, h, out, sched, pool, Reduce::kSum);
 }
 
 void
 aggregate_mean(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
-               const MergePathSchedule &sched, ThreadPool &pool)
+               const MergePathSchedule &sched, WorkStealPool &pool)
 {
     aggregate_sum(a, h, out, sched, pool);
     const index_t dim = h.cols();
@@ -120,7 +120,7 @@ aggregate_mean(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
 
 void
 aggregate_max(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
-              const MergePathSchedule &sched, ThreadPool &pool)
+              const MergePathSchedule &sched, WorkStealPool &pool)
 {
     aggregate_generic(a, h, out, sched, pool, Reduce::kMax);
     // Isolated nodes have no neighbors: define their max as 0.
@@ -143,7 +143,7 @@ aggregate_max(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
 
 void
 aggregate_gin(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
-              const MergePathSchedule &sched, ThreadPool &pool, float eps)
+              const MergePathSchedule &sched, WorkStealPool &pool, float eps)
 {
     aggregate_sum(a, h, out, sched, pool);
     const index_t dim = h.cols();

@@ -8,13 +8,13 @@
 #include "mps/core/spmm.h"
 #include "mps/gcn/gemm.h"
 #include "mps/util/log.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 
 CsrMatrix
 edge_softmax(const CsrMatrix &structure,
-             const std::vector<value_t> &scores, ThreadPool &pool)
+             const std::vector<value_t> &scores, WorkStealPool &pool)
 {
     MPS_CHECK(scores.size() == static_cast<size_t>(structure.nnz()),
               "one score per edge required");
@@ -62,7 +62,7 @@ GatLayer::GatLayer(DenseMatrix w, std::vector<value_t> a_src,
 void
 GatLayer::forward(const CsrMatrix &a, const DenseMatrix &h,
                   const MergePathSchedule &sched, DenseMatrix &out,
-                  ThreadPool &pool) const
+                  WorkStealPool &pool) const
 {
     MPS_CHECK(h.cols() == in_features(), "feature width mismatch");
     MPS_CHECK(out.rows() == a.rows() && out.cols() == out_features(),

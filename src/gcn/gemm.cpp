@@ -4,7 +4,7 @@
 
 #include "mps/core/microkernel.h"
 #include "mps/util/log.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 
@@ -45,7 +45,7 @@ gemm_rows(const DenseMatrix &x, const DenseMatrix &w, DenseMatrix &out,
 
 void
 dense_gemm(const DenseMatrix &x, const DenseMatrix &w, DenseMatrix &out,
-           ThreadPool &pool)
+           WorkStealPool &pool)
 {
     check_gemm_shapes(x, w, out);
     if (x.rows() == 0)

@@ -7,7 +7,7 @@
 #include "mps/gcn/aggregators.h"
 #include "mps/gcn/gemm.h"
 #include "mps/util/log.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 
@@ -23,7 +23,7 @@ SageLayer::SageLayer(DenseMatrix w_self, DenseMatrix w_neigh,
 void
 SageLayer::forward(const CsrMatrix &a, const DenseMatrix &h,
                    const MergePathSchedule &sched, DenseMatrix &out,
-                   ThreadPool &pool) const
+                   WorkStealPool &pool) const
 {
     MPS_CHECK(h.cols() == in_features(), "feature width mismatch");
     MPS_CHECK(out.rows() == a.rows() && out.cols() == out_features(),
@@ -56,7 +56,7 @@ GinLayer::GinLayer(DenseMatrix w, float eps, Activation act)
 void
 GinLayer::forward(const CsrMatrix &a, const DenseMatrix &h,
                   const MergePathSchedule &sched, DenseMatrix &out,
-                  ThreadPool &pool) const
+                  WorkStealPool &pool) const
 {
     MPS_CHECK(h.cols() == in_features(), "feature width mismatch");
     MPS_CHECK(out.rows() == a.rows() && out.cols() == out_features(),

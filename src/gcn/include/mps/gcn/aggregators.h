@@ -22,7 +22,7 @@
 
 namespace mps {
 
-class ThreadPool;
+class WorkStealPool;
 
 /**
  * out[i] = sum of h rows over i's neighbors (adjacency values are
@@ -31,12 +31,12 @@ class ThreadPool;
  */
 void aggregate_sum(const CsrMatrix &a, const DenseMatrix &h,
                    DenseMatrix &out, const MergePathSchedule &sched,
-                   ThreadPool &pool);
+                   WorkStealPool &pool);
 
 /** Mean aggregation: sum / max(degree, 1) (GraphSAGE-mean). */
 void aggregate_mean(const CsrMatrix &a, const DenseMatrix &h,
                     DenseMatrix &out, const MergePathSchedule &sched,
-                    ThreadPool &pool);
+                    WorkStealPool &pool);
 
 /**
  * Element-wise max over neighbors (GraphSAGE-pool). Rows with no
@@ -45,14 +45,14 @@ void aggregate_mean(const CsrMatrix &a, const DenseMatrix &h,
  */
 void aggregate_max(const CsrMatrix &a, const DenseMatrix &h,
                    DenseMatrix &out, const MergePathSchedule &sched,
-                   ThreadPool &pool);
+                   WorkStealPool &pool);
 
 /**
  * GIN aggregation: out[i] = (1 + eps) * h[i] + sum over neighbors.
  */
 void aggregate_gin(const CsrMatrix &a, const DenseMatrix &h,
                    DenseMatrix &out, const MergePathSchedule &sched,
-                   ThreadPool &pool, float eps = 0.0f);
+                   WorkStealPool &pool, float eps = 0.0f);
 
 } // namespace mps
 

@@ -21,7 +21,7 @@
 
 namespace mps {
 
-class ThreadPool;
+class WorkStealPool;
 
 /**
  * Row-wise softmax over edge scores: for every row i of @p structure,
@@ -31,7 +31,7 @@ class ThreadPool;
  */
 CsrMatrix edge_softmax(const CsrMatrix &structure,
                        const std::vector<value_t> &scores,
-                       ThreadPool &pool);
+                       WorkStealPool &pool);
 
 /** Single-head GAT layer. */
 class GatLayer
@@ -57,7 +57,7 @@ class GatLayer
      */
     void forward(const CsrMatrix &a, const DenseMatrix &h,
                  const MergePathSchedule &sched, DenseMatrix &out,
-                 ThreadPool &pool) const;
+                 WorkStealPool &pool) const;
 
     /** The attention matrix from the last forward (for inspection). */
     const CsrMatrix &last_attention() const { return attention_; }

@@ -13,14 +13,14 @@
 
 namespace mps {
 
-class ThreadPool;
+class WorkStealPool;
 
 /**
  * out = x * w. Shapes: x is n x f, w is f x d, out must be n x d.
  * Row-parallel over @p pool with a cache-blocked inner loop.
  */
 void dense_gemm(const DenseMatrix &x, const DenseMatrix &w,
-                DenseMatrix &out, ThreadPool &pool);
+                DenseMatrix &out, WorkStealPool &pool);
 
 /** Sequential reference GEMM for tests. */
 void reference_gemm(const DenseMatrix &x, const DenseMatrix &w,

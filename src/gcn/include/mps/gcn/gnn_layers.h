@@ -15,7 +15,7 @@
 
 namespace mps {
 
-class ThreadPool;
+class WorkStealPool;
 
 /**
  * GraphSAGE layer (mean aggregator):
@@ -36,7 +36,7 @@ class SageLayer
      */
     void forward(const CsrMatrix &a, const DenseMatrix &h,
                  const MergePathSchedule &sched, DenseMatrix &out,
-                 ThreadPool &pool) const;
+                 WorkStealPool &pool) const;
 
   private:
     DenseMatrix w_self_;
@@ -60,7 +60,7 @@ class GinLayer
     /** Forward pass; @p out must be a.rows() x out_features(). */
     void forward(const CsrMatrix &a, const DenseMatrix &h,
                  const MergePathSchedule &sched, DenseMatrix &out,
-                 ThreadPool &pool) const;
+                 WorkStealPool &pool) const;
 
   private:
     DenseMatrix w_;

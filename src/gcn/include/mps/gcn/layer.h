@@ -17,7 +17,7 @@
 
 namespace mps {
 
-class ThreadPool;
+class WorkStealPool;
 
 /** A single GCN layer with its trained weights. */
 class GcnLayer
@@ -48,7 +48,7 @@ class GcnLayer
      */
     void forward(const CsrMatrix &a, const DenseMatrix &x,
                  const SpmmKernel &kernel, DenseMatrix &out,
-                 ThreadPool &pool) const;
+                 WorkStealPool &pool) const;
 
   private:
     DenseMatrix weights_;

@@ -86,7 +86,7 @@ class GcnModel
      * @param stats optional out-param receiving the timing breakdown
      */
     DenseMatrix infer(const CsrMatrix &a, const DenseMatrix &x,
-                      ThreadPool &pool, InferenceStats *stats = nullptr);
+                      WorkStealPool &pool, InferenceStats *stats = nullptr);
 
   private:
     void prepare_all(const CsrMatrix &a);

@@ -26,7 +26,7 @@
 
 namespace mps {
 
-class ThreadPool;
+class WorkStealPool;
 
 /**
  * Softmax cross-entropy over the masked rows.
@@ -74,11 +74,11 @@ class GcnTrainer
      */
     double step(const CsrMatrix &a, const DenseMatrix &x,
                 const std::vector<int32_t> &labels,
-                const std::vector<bool> &mask, ThreadPool &pool);
+                const std::vector<bool> &mask, WorkStealPool &pool);
 
     /** Forward pass only; returns the logits. */
     DenseMatrix predict(const CsrMatrix &a, const DenseMatrix &x,
-                        ThreadPool &pool);
+                        WorkStealPool &pool);
 
     const DenseMatrix &w1() const { return w1_; }
     const DenseMatrix &w2() const { return w2_; }

@@ -20,7 +20,7 @@ GcnLayer::GcnLayer(DenseMatrix weights, Activation act)
 void
 GcnLayer::forward(const CsrMatrix &a, const DenseMatrix &x,
                   const SpmmKernel &kernel, DenseMatrix &out,
-                  ThreadPool &pool) const
+                  WorkStealPool &pool) const
 {
     MPS_CHECK(a.rows() == a.cols(), "adjacency matrix must be square");
     MPS_CHECK(x.rows() == a.rows(), "feature rows must match graph nodes");

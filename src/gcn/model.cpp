@@ -68,7 +68,7 @@ GcnModel::prepare_all(const CsrMatrix &a)
 }
 
 DenseMatrix
-GcnModel::infer(const CsrMatrix &a, const DenseMatrix &x, ThreadPool &pool,
+GcnModel::infer(const CsrMatrix &a, const DenseMatrix &x, WorkStealPool &pool,
                 InferenceStats *stats)
 {
     MPS_CHECK(!layers_.empty(), "model has no layers");

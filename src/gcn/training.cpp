@@ -12,7 +12,7 @@
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 #include "mps/util/timer.h"
 #include "mps/util/trace.h"
 
@@ -23,7 +23,7 @@ namespace {
 /** out = a^T * b with a (n x k), b (n x m); out is k x m. */
 void
 gemm_at_b(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &out,
-          ThreadPool &pool)
+          WorkStealPool &pool)
 {
     MPS_CHECK(a.rows() == b.rows(), "a^T b: row counts differ");
     MPS_CHECK(out.rows() == a.cols() && out.cols() == b.cols(),
@@ -51,7 +51,7 @@ gemm_at_b(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &out,
 /** out = a * b^T with a (n x m), b (k x m); out is n x k. */
 void
 gemm_a_bt(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &out,
-          ThreadPool &pool)
+          WorkStealPool &pool)
 {
     MPS_CHECK(a.cols() == b.cols(), "a b^T: inner dims differ");
     MPS_CHECK(out.rows() == a.rows() && out.cols() == b.rows(),
@@ -199,7 +199,7 @@ GcnTrainer::ensure_schedule(const CsrMatrix &a)
 
 DenseMatrix
 GcnTrainer::predict(const CsrMatrix &a, const DenseMatrix &x,
-                    ThreadPool &pool)
+                    WorkStealPool &pool)
 {
     MPS_CHECK(x.cols() == w1_.rows(), "feature width mismatch");
     ensure_schedule(a);
@@ -220,7 +220,7 @@ GcnTrainer::predict(const CsrMatrix &a, const DenseMatrix &x,
 double
 GcnTrainer::step(const CsrMatrix &a, const DenseMatrix &x,
                  const std::vector<int32_t> &labels,
-                 const std::vector<bool> &mask, ThreadPool &pool)
+                 const std::vector<bool> &mask, WorkStealPool &pool)
 {
     MPS_CHECK(a.rows() == a.cols(),
               "training expects a square (normalized) adjacency");

@@ -6,7 +6,7 @@
 #include "mps/core/spmm.h"
 #include "mps/sparse/degree_stats.h"
 #include "mps/util/log.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 
@@ -32,7 +32,7 @@ AdaptiveSpmm::prepare(const CsrMatrix &a, index_t dim)
 
 void
 AdaptiveSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-                  ThreadPool &pool) const
+                  WorkStealPool &pool) const
 {
     MPS_CHECK(b.rows() == a.cols() && c.rows() == a.rows() &&
                   c.cols() == b.cols(),

@@ -43,7 +43,7 @@ class AdaptiveSpmm final : public SpmmKernel
     std::string name() const override { return "adaptive"; }
     void prepare(const CsrMatrix &a, index_t dim) override;
     void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-             ThreadPool &pool) const override;
+             WorkStealPool &pool) const override;
 
     /** Strategy selected by the last prepare(). */
     AdaptiveStrategy strategy() const { return strategy_; }

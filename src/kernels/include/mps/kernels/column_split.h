@@ -24,7 +24,7 @@ class ColumnSplitSpmm final : public SpmmKernel
     std::string name() const override { return "column_split"; }
     void prepare(const CsrMatrix &a, index_t dim) override;
     void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-             ThreadPool &pool) const override;
+             WorkStealPool &pool) const override;
 
   private:
     CsrMatrix a_transposed_; // CSC view of A: rows are A's columns

@@ -33,7 +33,7 @@ class MergePathSpmm final : public SpmmKernel
     std::string name() const override { return "mergepath"; }
     void prepare(const CsrMatrix &a, index_t dim) override;
     void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-             ThreadPool &pool) const override;
+             WorkStealPool &pool) const override;
 
     /**
      * Reuse schedules through @p cache instead of building privately;

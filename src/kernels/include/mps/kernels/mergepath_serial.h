@@ -34,7 +34,7 @@ class MergePathSerialFixupSpmm final : public SpmmKernel
     std::string name() const override { return "mergepath_serial"; }
     void prepare(const CsrMatrix &a, index_t dim) override;
     void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-             ThreadPool &pool) const override;
+             WorkStealPool &pool) const override;
 
     /** Schedule built by prepare() (consumed by the SIMT codegen). */
     const MergePathSchedule &schedule() const { return schedule_; }

@@ -49,7 +49,7 @@ class NnzSplitSpmm final : public SpmmKernel
     std::string name() const override { return "gnnadvisor"; }
     void prepare(const CsrMatrix &a, index_t dim) override;
     void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-             ThreadPool &pool) const override;
+             WorkStealPool &pool) const override;
 
     /** Groups built by prepare() (consumed by the SIMT warp codegen). */
     const std::vector<NeighborGroup> &groups() const { return groups_; }

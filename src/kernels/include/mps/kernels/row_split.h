@@ -29,7 +29,7 @@ class RowSplitSpmm final : public SpmmKernel
     std::string name() const override { return "row_split"; }
     void prepare(const CsrMatrix &a, index_t dim) override;
     void run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-             ThreadPool &pool) const override;
+             WorkStealPool &pool) const override;
 
     /** Chunk count used after prepare() (for models and tests). */
     index_t chunks() const { return prepared_chunks_; }

@@ -25,7 +25,7 @@
 
 namespace mps {
 
-class ThreadPool;
+class WorkStealPool;
 class ScheduleCache;
 
 /** Abstract SpMM kernel with a separate scheduling step. */
@@ -59,7 +59,7 @@ class SpmmKernel
      * @p c is fully overwritten.
      */
     virtual void run(const CsrMatrix &a, const DenseMatrix &b,
-                     DenseMatrix &c, ThreadPool &pool) const = 0;
+                     DenseMatrix &c, WorkStealPool &pool) const = 0;
 };
 
 } // namespace mps

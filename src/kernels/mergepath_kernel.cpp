@@ -38,7 +38,7 @@ MergePathSpmm::prepare(const CsrMatrix &a, index_t dim)
 
 void
 MergePathSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
-                   DenseMatrix &c, ThreadPool &pool) const
+                   DenseMatrix &c, WorkStealPool &pool) const
 {
     const MergePathSchedule &sched = schedule();
     MPS_CHECK(sched.num_threads() >= 1, "prepare() was not called");

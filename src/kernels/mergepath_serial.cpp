@@ -5,7 +5,7 @@
 
 #include "mps/core/microkernel.h"
 #include "mps/util/log.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 
@@ -25,7 +25,7 @@ MergePathSerialFixupSpmm::prepare(const CsrMatrix &a, index_t dim)
 
 void
 MergePathSerialFixupSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
-                              DenseMatrix &c, ThreadPool &pool) const
+                              DenseMatrix &c, WorkStealPool &pool) const
 {
     MPS_CHECK(b.rows() == a.cols() && c.rows() == a.rows() &&
                   c.cols() == b.cols(),

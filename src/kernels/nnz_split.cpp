@@ -7,7 +7,7 @@
 #include "mps/core/microkernel.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 
@@ -46,7 +46,7 @@ NnzSplitSpmm::prepare(const CsrMatrix &a, index_t dim)
 
 void
 NnzSplitSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-                  ThreadPool &pool) const
+                  WorkStealPool &pool) const
 {
     MPS_CHECK(b.rows() == a.cols() && c.rows() == a.rows() &&
                   c.cols() == b.cols(),

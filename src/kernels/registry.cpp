@@ -30,7 +30,7 @@ class ReferenceSpmmKernel final : public SpmmKernel
 
     void
     run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-        ThreadPool &pool) const override
+        WorkStealPool &pool) const override
     {
         (void)pool;
         reference_spmm(a, b, c);
@@ -73,7 +73,7 @@ class InstrumentedSpmmKernel final : public SpmmKernel
 
     void
     run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
-        ThreadPool &pool) const override
+        WorkStealPool &pool) const override
     {
         ScopedSpan span(run_span_, "kernel");
         MetricTimer timer(run_metric_);

@@ -48,7 +48,7 @@
 #include "mps/serve/request.h"
 #include "mps/sparse/csr_matrix.h"
 #include "mps/util/stats.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace serve {
@@ -67,8 +67,12 @@ struct ServeConfig
     /** Worker threads executing batches. */
     unsigned num_workers = 2;
     /**
-     * ThreadPool workers per server worker for the GEMM/SpMM inside a
-     * batch; 0 divides the hardware threads evenly among workers.
+     * Compute threads per server worker for the GEMM/SpMM inside a
+     * batch; 0 sizes the shared pool to the hardware threads. All
+     * workers submit concurrently into ONE WorkStealPool of
+     * pool_threads * num_workers threads — concurrent parallel_for is
+     * native to the steal pool, so batches share idle capacity
+     * instead of each worker hoarding a private condvar pool.
      */
     unsigned pool_threads = 0;
     /** Coalescing policy (max_batch, max_delay_us). */
@@ -170,8 +174,8 @@ class Server
     };
 
     void dispatcher_loop();
-    void worker_loop(ThreadPool &pool);
-    void execute_batch(Batch batch, ThreadPool &pool);
+    void worker_loop(WorkStealPool &pool);
+    void execute_batch(Batch batch, WorkStealPool &pool);
     void hand_to_workers(Batch batch);
     void drain_queue_into_batcher(int64_t now_us);
     void record_completion(double latency_ms);
@@ -191,6 +195,9 @@ class Server
     MpscQueue<RequestPtr> queue_;
     Batcher batcher_; // dispatcher-only
     Timer epoch_;
+
+    /** Shared compute pool; every worker submits into it concurrently. */
+    std::unique_ptr<WorkStealPool> pool_;
 
     // Producer->dispatcher wakeup + block-mode backpressure. The data
     // path stays lock-free: this mutex guards only sleeping/waking.

@@ -28,7 +28,7 @@ namespace {
  * pool size), which keeps the ScheduleCache key space small.
  */
 index_t
-serve_cost(const CsrMatrix &a, index_t dim, const ThreadPool &pool)
+serve_cost(const CsrMatrix &a, index_t dim, const WorkStealPool &pool)
 {
     const index_t total = a.rows() + a.nnz();
     const index_t max_threads = static_cast<index_t>(pool.size()) * 64;
@@ -179,23 +179,23 @@ Server::start()
         hw = 4;
     const unsigned pool_threads =
         config_.pool_threads != 0
-            ? config_.pool_threads
-            : std::max(2u, hw / std::max(1u, config_.num_workers));
+            ? config_.pool_threads * config_.num_workers
+            : std::max(2u, hw);
+
+    // One steal pool shared by every worker: the pool accepts
+    // concurrent parallel_for submissions, so a worker executing a
+    // small batch no longer strands the threads a private pool would
+    // have reserved for it.
+    pool_ = std::make_unique<WorkStealPool>(pool_threads);
 
     dispatcher_ = std::thread(&Server::dispatcher_loop, this);
     workers_.reserve(config_.num_workers);
-    for (unsigned i = 0; i < config_.num_workers; ++i) {
-        workers_.emplace_back([this, pool_threads] {
-            // Each worker owns its pool: parallel_for does not nest,
-            // and private pools keep batch executions independent.
-            ThreadPool pool(pool_threads);
-            worker_loop(pool);
-        });
-    }
+    for (unsigned i = 0; i < config_.num_workers; ++i)
+        workers_.emplace_back([this] { worker_loop(*pool_); });
 }
 
 void
-Server::worker_loop(ThreadPool &pool)
+Server::worker_loop(WorkStealPool &pool)
 {
     for (;;) {
         Batch batch;
@@ -325,7 +325,7 @@ Server::dispatcher_loop()
 }
 
 void
-Server::execute_batch(Batch batch, ThreadPool &pool)
+Server::execute_batch(Batch batch, WorkStealPool &pool)
 {
     auto &metrics = MetricsRegistry::global();
 

@@ -20,7 +20,7 @@
 
 namespace mps {
 
-class ThreadPool;
+class WorkStealPool;
 
 /**
  * C = A * B with both inputs sparse CSR (Gustavson row-wise: for each
@@ -35,7 +35,7 @@ CsrMatrix spgemm(const CsrMatrix &a, const CsrMatrix &b);
  * but inherits the same evil-row imbalance the paper studies).
  */
 CsrMatrix spgemm_parallel(const CsrMatrix &a, const CsrMatrix &b,
-                          ThreadPool &pool);
+                          WorkStealPool &pool);
 
 /**
  * out = X * W with X sparse (n x f CSR) and W dense (f x d): the
@@ -45,7 +45,7 @@ CsrMatrix spgemm_parallel(const CsrMatrix &a, const CsrMatrix &b,
  * microkernels; callers must link mps_core.
  */
 void sparse_dense_matmul(const CsrMatrix &x, const DenseMatrix &w,
-                         DenseMatrix &out, ThreadPool &pool);
+                         DenseMatrix &out, WorkStealPool &pool);
 
 /**
  * Drop explicit zeros and entries with |value| < @p threshold from

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "mps/util/log.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 
@@ -127,7 +127,7 @@ spgemm(const CsrMatrix &a, const CsrMatrix &b)
 }
 
 CsrMatrix
-spgemm_parallel(const CsrMatrix &a, const CsrMatrix &b, ThreadPool &pool)
+spgemm_parallel(const CsrMatrix &a, const CsrMatrix &b, WorkStealPool &pool)
 {
     MPS_CHECK(a.cols() == b.rows(), "SpGEMM inner dimensions differ: ",
               a.cols(), " vs ", b.rows());

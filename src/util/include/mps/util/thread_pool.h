@@ -1,12 +1,14 @@
 /**
  * @file
- * A fixed-size worker pool with a blocking parallel_for.
+ * LEGACY: a fixed-size worker pool with a blocking mutex/condvar
+ * parallel_for.
  *
- * The portable kernel implementations use this pool to exercise the exact
- * multithreaded code paths of the paper's algorithms (atomic commits for
- * split rows, plain stores for complete rows) regardless of how many
- * hardware threads the host machine has. The pool is also what the tests
- * use to provoke real interleavings of the atomic update paths.
+ * The kernels now dispatch through WorkStealPool (work_steal_pool.h),
+ * which removes this pool's per-call condvar broadcast, the shared
+ * next_index_ fetch_add cacheline and the full wake/sleep round-trip
+ * per job. This implementation is kept as the measured baseline for
+ * bench/pool_overhead and as a reference for the dispatch-overhead
+ * discussion in DESIGN.md §7b. Do not add new call sites.
  */
 #ifndef MPS_UTIL_THREAD_POOL_H
 #define MPS_UTIL_THREAD_POOL_H

@@ -63,7 +63,7 @@ MetricsRegistry::~MetricsRegistry() = default;
 MetricsRegistry &
 MetricsRegistry::global()
 {
-    // Intentionally leaked: worker threads (e.g. the global ThreadPool)
+    // Intentionally leaked: worker threads (e.g. the global WorkStealPool)
     // may record metrics during static destruction.
     static MetricsRegistry *registry = new MetricsRegistry();
     return *registry;

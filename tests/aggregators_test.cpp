@@ -11,7 +11,7 @@
 #include "mps/gcn/layer.h"
 #include "mps/sparse/generate.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace {
@@ -52,7 +52,7 @@ struct Fixture
     CsrMatrix a;
     DenseMatrix h;
     MergePathSchedule sched;
-    ThreadPool pool{4};
+    WorkStealPool pool{4};
 
     explicit Fixture(uint64_t seed = 3, index_t threads = 97)
     {
@@ -110,7 +110,7 @@ TEST(Aggregators, MaxHandlesEmptyRows)
     h(0, 0) = -5.0f;
     h(2, 1) = -1.0f;
     MergePathSchedule sched = MergePathSchedule::build(a, 2);
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
     DenseMatrix out(3, 2);
     aggregate_max(a, h, out, sched, pool);
     // Row 1 has no neighbors: defined as 0.
@@ -212,7 +212,7 @@ TEST(Spmv, MergePathMatchesReference)
     std::vector<value_t> expect;
     reference_spmv(a, x, expect);
 
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     for (index_t threads : {1, 13, 200, 1500}) {
         MergePathSchedule sched = MergePathSchedule::build(a, threads);
         std::vector<value_t> got;
@@ -228,7 +228,7 @@ TEST(Spmv, EmptyRowsYieldZero)
     CsrMatrix a(4, 4, {0, 0, 2, 2, 2}, {0, 3}, {2.0f, 3.0f});
     std::vector<value_t> x{1.0f, 1.0f, 1.0f, 1.0f};
     std::vector<value_t> y;
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
     MergePathSchedule sched = MergePathSchedule::build(a, 3);
     mergepath_spmv(a, x, y, sched, pool);
     EXPECT_FLOAT_EQ(y[0], 0.0f);

@@ -7,7 +7,7 @@
 #include "mps/gcn/gemm.h"
 #include "mps/sparse/generate.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace {
@@ -19,7 +19,7 @@ TEST(EdgeSoftmax, RowsSumToOne)
     Pcg32 rng(2);
     for (auto &s : scores)
         s = rng.next_float(-3.0f, 3.0f);
-    ThreadPool pool(3);
+    WorkStealPool pool(3);
     CsrMatrix att = edge_softmax(a, scores, pool);
 
     EXPECT_EQ(att.row_ptr(), a.row_ptr());
@@ -40,7 +40,7 @@ TEST(EdgeSoftmax, UniformScoresGiveUniformWeights)
 {
     CsrMatrix a = erdos_renyi_graph(40, 200, 4);
     std::vector<value_t> scores(static_cast<size_t>(a.nnz()), 0.7f);
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
     CsrMatrix att = edge_softmax(a, scores, pool);
     for (index_t r = 0; r < att.rows(); ++r) {
         index_t d = att.degree(r);
@@ -53,7 +53,7 @@ TEST(EdgeSoftmax, LargeScoresAreStable)
 {
     CsrMatrix a(1, 1, {0, 1}, {0}, {1.0f});
     std::vector<value_t> scores{500.0f}; // would overflow naive exp
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
     CsrMatrix att = edge_softmax(a, scores, pool);
     EXPECT_FLOAT_EQ(att.values()[0], 1.0f);
 }
@@ -81,7 +81,7 @@ TEST(GatLayer, MatchesNaiveDenseComputation)
     const float slope = 0.2f;
 
     GatLayer layer(w, a_src, a_dst, slope, Activation::kNone);
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     MergePathSchedule sched = MergePathSchedule::build(a, 37);
     DenseMatrix out(a.rows(), d);
     layer.forward(a, h, sched, out, pool);
@@ -136,7 +136,7 @@ TEST(GatLayer, AttentionMatrixExposedAndStochastic)
     w.fill_random(rng);
     GatLayer layer(w, {0.5f, -0.2f, 0.1f}, {0.3f, 0.3f, -0.4f}, 0.2f,
                    Activation::kRelu);
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
     MergePathSchedule sched = MergePathSchedule::build(a, 16);
     DenseMatrix out(a.rows(), 3);
     layer.forward(a, h, sched, out, pool);

@@ -11,7 +11,7 @@
 #include "mps/kernels/registry.h"
 #include "mps/sparse/generate.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace {
@@ -41,7 +41,7 @@ TEST(Gemm, HandExample)
 
 TEST(Gemm, ParallelMatchesReference)
 {
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     DenseMatrix x = random_dense(301, 47, 1);
     DenseMatrix w = random_dense(47, 19, 2);
     DenseMatrix expect(301, 19), got(301, 19);
@@ -53,7 +53,7 @@ TEST(Gemm, ParallelMatchesReference)
 TEST(Gemm, SkipsZeroFeatures)
 {
     // A zero X must give a zero product even with garbage in out.
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
     DenseMatrix x(10, 4); // zero-initialized
     DenseMatrix w = random_dense(4, 3, 3);
     DenseMatrix out(10, 3);
@@ -114,7 +114,7 @@ TEST(Activation, Parse)
 
 TEST(GcnLayer, ForwardMatchesManualPipeline)
 {
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     CsrMatrix a = erdos_renyi_graph(120, 600, 7);
     a.normalize_gcn();
     DenseMatrix x = random_dense(120, 32, 8);
@@ -148,7 +148,7 @@ TEST(GcnLayer, RandomWeightsDeterministicAndBounded)
 
 TEST(GcnModel, TwoLayerShapesAndDeterminism)
 {
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     CsrMatrix a = erdos_renyi_graph(200, 1200, 11);
     a.normalize_gcn();
     DenseMatrix x = random_dense(200, 48, 12);
@@ -166,7 +166,7 @@ TEST(GcnModel, TwoLayerShapesAndDeterminism)
 
 TEST(GcnModel, AllKernelsProduceSameInference)
 {
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     PowerLawParams p;
     p.nodes = 150;
     p.target_nnz = 900;
@@ -189,7 +189,7 @@ TEST(GcnModel, AllKernelsProduceSameInference)
 
 TEST(GcnModel, OfflineReusesScheduleOnlineRebuilds)
 {
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
     CsrMatrix a = erdos_renyi_graph(400, 2400, 15);
     DenseMatrix x = random_dense(400, 16, 16);
 
@@ -212,7 +212,7 @@ TEST(GcnModel, OfflineReusesScheduleOnlineRebuilds)
 
 TEST(GcnModel, NewGraphInvalidatesOfflineCache)
 {
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
     CsrMatrix a1 = erdos_renyi_graph(100, 500, 17);
     CsrMatrix a2 = erdos_renyi_graph(130, 700, 18);
     DenseMatrix x1 = random_dense(100, 8, 19);

@@ -15,7 +15,7 @@
 #include "mps/sparse/datasets.h"
 #include "mps/sparse/generate.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace {
@@ -152,7 +152,7 @@ TEST(Integration, DimensionPolicyRoundTrip)
     // The launch policy, schedule and kernel agree for every dimension
     // class (smaller / equal / larger than the SIMD width).
     CsrMatrix a = erdos_renyi_graph(500, 3000, 3);
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     Pcg32 rng(5);
     for (index_t dim : {2, 8, 16, 32, 64, 128}) {
         DenseMatrix b(a.cols(), dim);
@@ -177,7 +177,7 @@ TEST(Integration, GcnOnStructuredAndPowerLawAgree)
     // The same model weights on the same logical graph data must give
     // identical predictions regardless of aggregation kernel, even
     // when the adaptive kernel picks different strategies.
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     for (int family = 0; family < 2; ++family) {
         CsrMatrix a;
         if (family == 0) {

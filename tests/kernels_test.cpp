@@ -16,7 +16,7 @@
 #include "mps/sparse/generate.h"
 #include "mps/util/metrics.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace {
@@ -104,7 +104,7 @@ TEST(MergePathSerial, CountsCarries)
     CsrMatrix a = power_law_graph(p);
     DenseMatrix b = random_dense(a.cols(), 8, 1);
     DenseMatrix c(a.rows(), 8);
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
 
     MergePathSerialFixupSpmm kernel(64);
     kernel.prepare(a, 8);
@@ -189,7 +189,7 @@ TEST_P(KernelCorrectnessTest, MatchesReference)
     DenseMatrix expect(a.rows(), static_cast<index_t>(dim));
     reference_spmm(a, b, expect);
 
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     auto kernel = make_spmm_kernel(name);
     kernel->prepare(a, static_cast<index_t>(dim));
     DenseMatrix got(a.rows(), static_cast<index_t>(dim));
@@ -218,7 +218,7 @@ INSTANTIATE_TEST_SUITE_P(
 /** Kernels must be re-preparable for new inputs. */
 TEST(Kernels, RepreparedForNewMatrix)
 {
-    ThreadPool pool(3);
+    WorkStealPool pool(3);
     CsrMatrix a1 = erdos_renyi_graph(50, 200, 1);
     CsrMatrix a2 = erdos_renyi_graph(90, 500, 2);
     for (const auto &name : spmm_kernel_names()) {
@@ -247,7 +247,7 @@ TEST(Kernels, MergePathAtomicCounterZeroWithoutSplitRows)
     CsrMatrix a = erdos_renyi_graph(120, 600, 9);
     DenseMatrix b = random_dense(a.cols(), 8, 2);
     DenseMatrix c(a.rows(), 8);
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
 
     MetricsRegistry &metrics = MetricsRegistry::global();
     metrics.reset();
@@ -279,7 +279,7 @@ TEST(Kernels, EvilRowGraphAllKernelsAgree)
     DenseMatrix b = random_dense(a.cols(), 16, 5);
     DenseMatrix expect(a.rows(), 16);
     reference_spmm(a, b, expect);
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     for (const auto &name : spmm_kernel_names()) {
         auto kernel = make_spmm_kernel(name);
         kernel->prepare(a, 16);

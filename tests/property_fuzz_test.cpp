@@ -15,7 +15,7 @@
 #include "mps/sparse/reorder.h"
 #include "mps/sparse/spgemm.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace {
@@ -77,7 +77,7 @@ fuzz_dim(Pcg32 &rng)
 TEST_P(FuzzTest, ScheduleAndSpmmAgainstReference)
 {
     Pcg32 rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
-    ThreadPool pool(3);
+    WorkStealPool pool(3);
     for (int iter = 0; iter < 8; ++iter) {
         CsrMatrix a = random_csr(rng);
         index_t dim = fuzz_dim(rng);
@@ -106,7 +106,7 @@ TEST_P(FuzzTest, ScheduleAndSpmmAgainstReference)
 TEST_P(FuzzTest, SpmvAgainstReference)
 {
     Pcg32 rng(static_cast<uint64_t>(GetParam()) * 104729 + 3);
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
     for (int iter = 0; iter < 8; ++iter) {
         CsrMatrix a = random_csr(rng);
         std::vector<value_t> x(static_cast<size_t>(a.cols()));

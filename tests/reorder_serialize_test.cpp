@@ -12,7 +12,7 @@
 #include "mps/sparse/generate.h"
 #include "mps/sparse/reorder.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace {
@@ -186,7 +186,7 @@ TEST(BinarySchedule, RoundTripAndValidate)
     DenseMatrix b(a.cols(), 8);
     b.fill_random(rng);
     DenseMatrix c1(a.rows(), 8), c2(a.rows(), 8);
-    ThreadPool pool(3);
+    WorkStealPool pool(3);
     mergepath_spmm_parallel(a, b, c1, sched, pool);
     mergepath_spmm_parallel(a, b, c2, back, pool);
     EXPECT_TRUE(c1.approx_equal(c2, 1e-4, 1e-4));

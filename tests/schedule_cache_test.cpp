@@ -16,7 +16,7 @@
 #include "mps/sparse/generate.h"
 #include "mps/util/metrics.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace {
@@ -111,7 +111,7 @@ TEST(ScheduleCacheTest, ModelBuildsOncePerGraphThreadsCost)
     DenseMatrix x(a.rows(), 16);
     Pcg32 rng(9);
     x.fill_random(rng);
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
 
     MetricsRegistry &m = MetricsRegistry::global();
     m.reset();
@@ -146,7 +146,7 @@ TEST(ScheduleCacheTest, TrainersShareSchedulesThroughOneCache)
 {
     ClassificationProblem prob =
         make_classification_problem(96, 3, 8, 6, 17);
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
     ScheduleCache cache;
 
     GcnTrainer trainer(8, 8, 3, 41);

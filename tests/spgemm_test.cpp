@@ -5,7 +5,7 @@
 #include "mps/sparse/generate.h"
 #include "mps/sparse/spgemm.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace {
@@ -63,7 +63,7 @@ TEST(Spgemm, OutputColumnsSorted)
 
 TEST(Spgemm, ParallelMatchesSequential)
 {
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     PowerLawParams p;
     p.nodes = 700;
     p.target_nnz = 4000;
@@ -95,7 +95,7 @@ TEST(SpgemmDeathTest, DimensionMismatch)
 
 TEST(SparseDense, MatchesDenseGemm)
 {
-    ThreadPool pool(3);
+    WorkStealPool pool(3);
     Pcg32 rng(5);
     DenseMatrix dx(300, 40), w(40, 16);
     dx.fill_random(rng);

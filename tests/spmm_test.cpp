@@ -8,7 +8,7 @@
 #include "mps/sparse/datasets.h"
 #include "mps/sparse/generate.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace {
@@ -68,7 +68,7 @@ TEST(MergePathSpmm, ParallelMatchesReference)
     DenseMatrix expect(a.rows(), 16), got(a.rows(), 16);
     reference_spmm(a, b, expect);
 
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     MergePathSchedule s = MergePathSchedule::build(a, 512);
     mergepath_spmm_parallel(a, b, got, s, pool);
     EXPECT_TRUE(got.approx_equal(expect, 1e-3, 1e-4))
@@ -79,7 +79,7 @@ TEST(MergePathSpmm, ParallelRepeatable)
 {
     CsrMatrix a = erdos_renyi_graph(500, 5000, 8);
     DenseMatrix b = random_dense(a.cols(), 8, 9);
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     MergePathSchedule s = MergePathSchedule::build(a, 333);
 
     DenseMatrix first(a.rows(), 8);
@@ -99,7 +99,7 @@ TEST(MergePathSpmm, ConvenienceEntryPoint)
     DenseMatrix b = random_dense(a.cols(), 32, 5);
     DenseMatrix expect(a.rows(), 32), got(a.rows(), 32);
     reference_spmm(a, b, expect);
-    ThreadPool pool(3);
+    WorkStealPool pool(3);
     mergepath_spmm(a, b, got, pool);
     EXPECT_TRUE(got.approx_equal(expect, 1e-3, 1e-4));
 }
@@ -140,7 +140,7 @@ TEST(MergePathSpmm, SingleEvilRowHammeredByAllThreads)
     DenseMatrix expect(n, 16), got(n, 16);
     reference_spmm(a, b, expect);
 
-    ThreadPool pool(8);
+    WorkStealPool pool(8);
     MergePathSchedule s = MergePathSchedule::build(a, 128);
     ScheduleCensus census = s.census(a);
     EXPECT_GE(census.atomic_commits, 64); // genuinely hammered
@@ -200,7 +200,7 @@ TEST_P(SpmmPropertyTest, MatchesReference)
     ASSERT_TRUE(seq.approx_equal(expect, 1e-3, 1e-4))
         << "sequential diff=" << seq.max_abs_diff(expect);
 
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     DenseMatrix par(a.rows(), static_cast<index_t>(dim));
     mergepath_spmm_parallel(a, b, par, s, pool);
     ASSERT_TRUE(par.approx_equal(expect, 1e-3, 1e-4))

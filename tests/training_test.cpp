@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "mps/gcn/training.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace {
@@ -125,7 +125,7 @@ TEST(GcnTrainer, LossDecreasesAndLearns)
 {
     ClassificationProblem p =
         make_classification_problem(800, 4, 16, 10, 7);
-    ThreadPool pool(4);
+    WorkStealPool pool(4);
     GcnTrainer trainer(16, 16, 4, /*seed=*/1, /*lr=*/0.5f);
 
     DenseMatrix before_logits =
@@ -153,7 +153,7 @@ TEST(GcnTrainer, DeterministicAcrossRuns)
 {
     ClassificationProblem p =
         make_classification_problem(300, 3, 9, 6, 9);
-    ThreadPool pool(2);
+    WorkStealPool pool(2);
     GcnTrainer t1(9, 8, 3, 5, 0.2f), t2(9, 8, 3, 5, 0.2f);
     for (int epoch = 0; epoch < 5; ++epoch) {
         t1.step(p.graph, p.features, p.labels, p.train_mask, pool);

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * WorkStealPool semantics: exactly-once index execution under static
+ * partitioning + stealing, auto-derived grain, concurrent submission
+ * from multiple caller threads, re-entrant (nested) submission
+ * degrading to inline execution, and the scheduler observability
+ * counters. The concurrency cases run under -DMPS_SANITIZE=thread in
+ * tools/check.sh, so every claim/park/recycle path is TSan-checked.
+ */
+#include "mps/util/work_steal_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mps/util/metrics.h"
+
+namespace mps {
+namespace {
+
+TEST(WorkStealPool, RunsEveryIndexExactlyOnce)
+{
+    WorkStealPool pool(4);
+    const uint64_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](uint64_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (uint64_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkStealPool, ExplicitGrainCoversAll)
+{
+    WorkStealPool pool(3);
+    const uint64_t n = 1000;
+    std::atomic<uint64_t> sum{0};
+    pool.parallel_for(
+        n, [&](uint64_t i) { sum.fetch_add(i + 1); }, /*grain=*/7);
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+}
+
+TEST(WorkStealPool, AutoGrainCoversSmallAndAwkwardSizes)
+{
+    WorkStealPool pool(4);
+    for (uint64_t n : {uint64_t{1}, uint64_t{2}, uint64_t{13},
+                       uint64_t{257}, uint64_t{4096}}) {
+        std::atomic<uint64_t> count{0};
+        pool.parallel_for(n, [&](uint64_t) { count.fetch_add(1); });
+        EXPECT_EQ(count.load(), n) << "n=" << n;
+    }
+}
+
+TEST(WorkStealPool, ZeroTasksIsNoop)
+{
+    WorkStealPool pool(2);
+    bool ran = false;
+    pool.parallel_for(0, [&](uint64_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(WorkStealPool, Reusable)
+{
+    WorkStealPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 200; ++round)
+        pool.parallel_for(100, [&](uint64_t) { ++count; });
+    EXPECT_EQ(count.load(), 200 * 100);
+}
+
+TEST(WorkStealPool, RangesVariantCoversAllOnce)
+{
+    WorkStealPool pool(3);
+    const uint64_t n = 5000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for_ranges(n, [&](uint64_t begin, uint64_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, n);
+        for (uint64_t i = begin; i < end; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkStealPool, CurrentSlotStaysInBounds)
+{
+    WorkStealPool pool(3);
+    const unsigned slots = pool.max_concurrency();
+    EXPECT_EQ(slots, 4u);
+    std::vector<std::atomic<int64_t>> per_slot(slots);
+    const uint64_t n = 4096;
+    pool.parallel_for(n, [&](uint64_t) {
+        const unsigned slot = pool.current_slot();
+        ASSERT_LT(slot, slots);
+        per_slot[slot].fetch_add(1, std::memory_order_relaxed);
+    });
+    int64_t total = 0;
+    for (unsigned s = 0; s < slots; ++s)
+        total += per_slot[s].load();
+    EXPECT_EQ(total, static_cast<int64_t>(n));
+    // A non-executor thread reports the caller slot.
+    EXPECT_EQ(pool.current_slot(), pool.size());
+}
+
+// The serve worker-pool pattern: many threads submitting parallel_for
+// into ONE shared pool at the same time. Every submission must see
+// exactly-once execution of its own index space.
+TEST(WorkStealPool, ConcurrentSubmissionsFromManyCallers)
+{
+    WorkStealPool pool(3);
+    constexpr int kCallers = 4;
+    constexpr int kRounds = 25;
+    constexpr uint64_t kN = 513;
+
+    std::vector<std::thread> callers;
+    std::vector<std::atomic<int>> failures(kCallers);
+    for (int c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&, c] {
+            std::vector<std::atomic<int>> hits(kN);
+            for (int round = 0; round < kRounds; ++round) {
+                for (auto &h : hits)
+                    h.store(0, std::memory_order_relaxed);
+                pool.parallel_for(kN, [&](uint64_t i) {
+                    hits[i].fetch_add(1, std::memory_order_relaxed);
+                });
+                for (uint64_t i = 0; i < kN; ++i) {
+                    if (hits[i].load() != 1)
+                        failures[c].fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &t : callers)
+        t.join();
+    for (int c = 0; c < kCallers; ++c)
+        EXPECT_EQ(failures[c].load(), 0) << "caller " << c;
+}
+
+// A parallel_for body submitting to the same pool: worker-side calls
+// degrade to inline execution, caller-side participation submits a
+// second concurrent job. Either way, every inner index runs once and
+// nothing deadlocks.
+TEST(WorkStealPool, ReentrantSubmissionDegradesInline)
+{
+    WorkStealPool pool(2);
+    constexpr uint64_t kOuter = 16;
+    constexpr uint64_t kInner = 64;
+    std::atomic<int64_t> inner_total{0};
+    pool.parallel_for(kOuter, [&](uint64_t) {
+        pool.parallel_for(kInner, [&](uint64_t) {
+            inner_total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(inner_total.load(),
+              static_cast<int64_t>(kOuter * kInner));
+}
+
+TEST(WorkStealPool, DeeplyNestedStillCompletes)
+{
+    WorkStealPool pool(2);
+    std::atomic<int64_t> leaves{0};
+    pool.parallel_for(4, [&](uint64_t) {
+        pool.parallel_for(4, [&](uint64_t) {
+            pool.parallel_for(4, [&](uint64_t) {
+                leaves.fetch_add(1, std::memory_order_relaxed);
+            });
+        });
+    });
+    EXPECT_EQ(leaves.load(), 4 * 4 * 4);
+}
+
+TEST(WorkStealPool, PublishesSchedulerMetrics)
+{
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.reset();
+    metrics.set_enabled(true);
+    {
+        WorkStealPool pool(3);
+        // Large enough to fan out: the dispatch timer and job counter
+        // must tick; steals/parks depend on timing so only the
+        // counters' existence is asserted via non-negativity.
+        for (int round = 0; round < 8; ++round) {
+            pool.parallel_for(2048, [&](uint64_t i) { (void)i; });
+        }
+        EXPECT_GE(metrics.counter_value("pool.jobs"), 8);
+        EXPECT_GE(metrics.timer_value("pool.dispatch_ns").count, 8);
+        EXPECT_GE(metrics.counter_value("pool.steals"), 0);
+        EXPECT_GE(metrics.counter_value("pool.parks"), 0);
+        // A single-index job cannot fan out: it runs inline.
+        pool.parallel_for(1, [](uint64_t) {});
+        EXPECT_GE(metrics.counter_value("pool.inline_runs"), 1);
+    }
+    metrics.set_enabled(false);
+    metrics.reset();
+}
+
+TEST(WorkStealPool, GlobalPoolExists)
+{
+    EXPECT_GE(WorkStealPool::global().size(), 2u);
+    EXPECT_EQ(WorkStealPool::global().max_concurrency(),
+              WorkStealPool::global().size() + 1);
+}
+
+} // namespace
+} // namespace mps

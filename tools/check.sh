@@ -1,9 +1,11 @@
 #!/bin/sh
 # Build and test the project four times: a plain Release configuration,
-# an ASan+UBSan one (-DMPS_SANITIZE=address), a TSan one
-# (-DMPS_SANITIZE=thread) that runs the concurrency-heavy serve tests
-# (lock-free MPSC queue, server lifecycle, thread pool) under the race
-# detector, and a forced-scalar one (-DMPS_FORCE_SCALAR=ON) that proves
+# an ASan+UBSan one (-DMPS_SANITIZE=address) that runs the full suite
+# (including the work-steal pool tests), a TSan one
+# (-DMPS_SANITIZE=thread) that runs the concurrency-heavy tests
+# (lock-free MPSC queue, server lifecycle, work-steal pool submission/
+# stealing/parking, mergepath atomic commits) under the race detector,
+# and a forced-scalar one (-DMPS_FORCE_SCALAR=ON) that proves
 # the kernel tests pass on the scalar microkernel reference path alone.
 # Run from anywhere; build trees land in build-release/, build-asan/,
 # build-tsan/ and build-scalar/ next to the source tree.
@@ -35,10 +37,11 @@ cmake -S "$root" -B "$root/build-tsan" \
 echo "==> build build-tsan (concurrency tests only)"
 cmake --build "$root/build-tsan" -j "$jobs" --target \
     mps_serve_queue_test mps_serve_test mps_schedule_cache_test \
-    mps_metrics_test
+    mps_metrics_test mps_work_steal_pool_test
 echo "==> ctest build-tsan"
 (cd "$root/build-tsan" && ctest --output-on-failure -j "$jobs" \
-    -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics' "$@")
+    -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics|WorkStealPool' \
+    "$@")
 
 echo "==> configure build-scalar"
 cmake -S "$root" -B "$root/build-scalar" \

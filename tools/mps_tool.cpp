@@ -44,7 +44,7 @@
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
 #include "mps/util/rng.h"
-#include "mps/util/thread_pool.h"
+#include "mps/util/work_steal_pool.h"
 #include "mps/util/timer.h"
 #include "mps/util/trace.h"
 
@@ -260,7 +260,7 @@ cmd_spmm(int argc, char **argv)
     DenseMatrix b(m.cols(), dim);
     b.fill_random(rng);
     DenseMatrix c(m.rows(), dim);
-    ThreadPool pool;
+    WorkStealPool pool;
     auto kernel = make_spmm_kernel(flags.get_string("kernel"));
     Timer prep;
     kernel->prepare(m, dim);
@@ -352,7 +352,7 @@ cmd_profile(int argc, char **argv)
     if (!trace_out.empty())
         TraceSession::global().start();
 
-    ThreadPool pool;
+    WorkStealPool pool;
     MetricsRegistry &metrics = MetricsRegistry::global();
     Pcg32 rng(1);
 
