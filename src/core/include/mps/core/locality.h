@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Cache-locality layer under the merge-path decomposition.
+ *
+ * The SpMM hot loop gathers one full d-wide row of the dense operand B
+ * per non-zero through CSR column indices. Once the dense operand
+ * (n_cols x d x 4B) outgrows L2, every gather misses: the traversal is
+ * bound by irregular loads, not by balance (which the schedule solved)
+ * or by arithmetic (which the microkernels solved). This header is the
+ * CPU transplant of the GPU locality techniques of Accel-GCN
+ * (column-dimension tiling into shared memory, workload remapping) and
+ * GE-SpMM (coalesced row reuse):
+ *
+ *  - column tiling: run the merge-path traversal once per TILE_D-wide
+ *    panel of B/C so the gathered rows' working set stays L2-resident.
+ *    The schedule is reused across panels — one diagonal search,
+ *    d/TILE_D sweeps (MPS_TILE_D: auto from detected L2, integer
+ *    override, "inf"/"off" disables);
+ *  - software prefetch: issue prefetches for the B rows of upcoming
+ *    non-zeros inside the traversal loop, hiding the gather latency the
+ *    tiling cannot (MPS_PREFETCH: distance in non-zeros, 0 disables,
+ *    unset auto-derives from d);
+ *  - reorder-aware execution (MPS_REORDER + ReorderPlan in
+ *    mps/sparse/reorder.h): traverse a row-permuted matrix and scatter
+ *    output rows through the inverse permutation at commit time.
+ *
+ * All knobs are observable through locality.* metrics: tile width and
+ * sweep count, prefetch distance, permutation-plan cache hits/misses.
+ */
+#ifndef MPS_CORE_LOCALITY_H
+#define MPS_CORE_LOCALITY_H
+
+#include "mps/sparse/types.h"
+
+namespace mps {
+
+/**
+ * Per-call locality options of one merge-path SpMM execution. The
+ * default-constructed value means "exactly the pre-locality behavior":
+ * one full-width sweep, no prefetch, identity row mapping.
+ */
+struct SpmmLocality
+{
+    /**
+     * Column-panel width in elements; <= 0 or >= d runs one full-width
+     * sweep. Callers normally take the resolved value from
+     * default_spmm_locality().
+     */
+    index_t tile_d = 0;
+
+    /**
+     * Prefetch distance in non-zeros ahead of the traversal; <= 0
+     * disables.
+     */
+    index_t prefetch = 0;
+
+    /**
+     * Output-row scatter map of length a.rows(): the thread that
+     * finishes traversal row r commits to c.row(row_scatter[r]).
+     * nullptr = identity. Used by reorder-aware execution, where the
+     * traversal runs on a row-permuted matrix and row_scatter is the
+     * inverse permutation (new id -> old id).
+     */
+    const index_t *row_scatter = nullptr;
+
+    /** True when the panel loop will run more than one sweep. */
+    bool tiled(index_t dim) const {
+        return tile_d > 0 && tile_d < dim;
+    }
+};
+
+/**
+ * Detected per-core L2 capacity in bytes (sysconf / sysfs, cached;
+ * falls back to 1 MiB when the platform exposes nothing).
+ */
+int64_t detected_l2_bytes();
+
+/**
+ * Detected last-level (outermost) cache capacity in bytes: the L3 when
+ * the platform reports one, otherwise the L2. The auto tile width
+ * budgets panel residency against this level — on big-L3 parts an
+ * operand that merely exceeds L2 is still fully cache-resident and
+ * tiling would only add sweep overhead.
+ */
+int64_t detected_llc_bytes();
+
+/**
+ * Resolved MPS_TILE_D policy: kAuto sizes panels from detected_l2_bytes,
+ * kDisabled always runs full-width, kExplicit uses the given width.
+ */
+enum class TilePolicy { kAuto, kDisabled, kExplicit };
+
+/** Process-wide locality environment (parsed once from env vars). */
+struct LocalityEnv
+{
+    TilePolicy tile_policy = TilePolicy::kAuto;
+    index_t tile_d = 0;      ///< explicit width when kExplicit
+    bool prefetch_auto = true;
+    index_t prefetch = 0;    ///< explicit distance when !prefetch_auto
+};
+
+/** The cached MPS_TILE_D / MPS_PREFETCH parse. */
+const LocalityEnv &locality_env();
+
+/**
+ * Auto panel width for dense dimension @p dim, a multiple of 16 in
+ * [32, 256]. Tiles only in the full-residency regime: the widest panel
+ * such that a slice of EVERY operand row fits in half a trustworthy
+ * cache (the LLC, capped at 64 MiB — huge virtualized L3s measure
+ * DRAM-like for single-core gathers) — DRAM is then touched only on a
+ * row's first gather per sweep. Returns @p dim (no tiling) when the
+ * whole operand already fits in the LLC, when the operand has too many
+ * rows for full residency at any useful width (the streaming regime,
+ * where sweeps cost and prefetch is the right tool), or when dim is
+ * not larger than the computed width.
+ */
+index_t auto_tile_d(index_t n_cols, index_t dim);
+
+/**
+ * Auto prefetch distance for dense dimension @p dim: roughly one
+ * 4 KiB page of gathered data ahead, clamp(1024 / dim, 2, 8).
+ */
+index_t auto_prefetch_distance(index_t dim);
+
+/**
+ * Resolve the process-default locality options for a SpMM gathering
+ * from an n_cols-row dense operand at dimension @p dim, honoring the
+ * MPS_TILE_D / MPS_PREFETCH overrides. row_scatter is left nullptr —
+ * reordering is opt-in per kernel, not ambient. Publishes the
+ * locality.tile_d / locality.prefetch_distance gauges when metrics
+ * are enabled.
+ */
+SpmmLocality default_spmm_locality(index_t n_cols, index_t dim);
+
+/** Prefetch @p addr into all cache levels for reading (no-op if unsupported). */
+inline void
+locality_prefetch(const void *addr)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+    (void)addr;
+#endif
+}
+
+} // namespace mps
+
+#endif // MPS_CORE_LOCALITY_H

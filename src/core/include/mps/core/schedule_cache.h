@@ -25,6 +25,7 @@
 
 #include "mps/core/schedule.h"
 #include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/reorder.h"
 
 namespace mps {
 
@@ -67,8 +68,21 @@ class ScheduleCache
     get_or_build_with_cost(const CsrMatrix &a, index_t cost,
                            index_t min_threads = 0);
 
+    /**
+     * Reorder plan (row permutation + permuted matrix + inverse
+     * scatter map) for @p a of @p kind, built on first use and shared
+     * read-only afterwards — serving pays the permutation cost once
+     * per graph, not once per request. Publishes
+     * locality.permutation.hits / .misses. kind must not be kNone.
+     */
+    std::shared_ptr<const ReorderPlan>
+    get_or_build_reorder(const CsrMatrix &a, ReorderKind kind);
+
     /** Number of distinct (graph, threads, cost) entries held. */
     size_t size() const;
+
+    /** Number of distinct (graph, reorder kind) plans held. */
+    size_t reorder_size() const;
 
     /** Cache hits / misses since construction (or the last clear()). */
     int64_t hits() const;
@@ -79,12 +93,14 @@ class ScheduleCache
 
   private:
     using Key = std::tuple<uint64_t, index_t, index_t>;
+    using ReorderKey = std::pair<uint64_t, int>;
 
     std::shared_ptr<const MergePathSchedule>
     lookup(const CsrMatrix &a, const Key &key, index_t num_threads);
 
     mutable std::mutex mutex_;
     std::map<Key, std::shared_ptr<const MergePathSchedule>> entries_;
+    std::map<ReorderKey, std::shared_ptr<const ReorderPlan>> reorders_;
     int64_t hits_ = 0;
     int64_t misses_ = 0;
 };

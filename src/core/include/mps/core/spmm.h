@@ -8,6 +8,7 @@
 #ifndef MPS_CORE_SPMM_H
 #define MPS_CORE_SPMM_H
 
+#include "mps/core/locality.h"
 #include "mps/core/schedule.h"
 #include "mps/sparse/csr_matrix.h"
 #include "mps/sparse/dense_matrix.h"
@@ -32,14 +33,45 @@ void mergepath_spmm_sequential(const CsrMatrix &a, const DenseMatrix &b,
                                const MergePathSchedule &sched);
 
 /**
+ * Sequential execution with explicit locality options (column tiling,
+ * prefetch distance, output-row scatter). Per output element the
+ * accumulation order is independent of the tiling — the panel loop
+ * partitions columns, never the non-zero stream — so tiling is
+ * bit-identical to the untiled run on the same schedule whenever every
+ * panel boundary lands on a SIMD block boundary (tile_d a multiple of
+ * 16, which every auto-tuned width is). Arbitrary widths remain exact
+ * up to the usual FMA-vs-mul/add rounding in sub-block tails.
+ */
+void mergepath_spmm_sequential(const CsrMatrix &a, const DenseMatrix &b,
+                               DenseMatrix &c,
+                               const MergePathSchedule &sched,
+                               const SpmmLocality &loc);
+
+/**
  * Execute MergePath-SpMM on @p pool, one task per schedule thread.
  * Split-row commits use atomic floating-point adds; complete rows use
- * plain stores, exactly as in the paper.
+ * plain stores, exactly as in the paper. Locality options resolve from
+ * the process defaults (MPS_TILE_D / MPS_PREFETCH, auto-tuned from the
+ * detected L2 size) with an identity row mapping.
  */
 void mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
                              DenseMatrix &c,
                              const MergePathSchedule &sched,
                              WorkStealPool &pool);
+
+/**
+ * Parallel execution with explicit locality options. When loc.tile_d
+ * tiles b.cols(), the merge-path traversal runs once per column panel
+ * against the same schedule (one diagonal search, d/tile_d sweeps) and
+ * split rows still receive one atomic commit per contributing thread
+ * per panel. loc.row_scatter routes output rows through a permutation
+ * (reorder-aware execution; see mps/sparse/reorder.h).
+ */
+void mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
+                             DenseMatrix &c,
+                             const MergePathSchedule &sched,
+                             WorkStealPool &pool,
+                             const SpmmLocality &loc);
 
 /**
  * Convenience: build a schedule with the tuned default cost for

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "mps/core/locality.h"
 #include "mps/core/microkernel.h"
 #include "mps/sparse/spgemm.h"
 #include "mps/util/log.h"
@@ -14,29 +15,68 @@ namespace mps {
 
 namespace {
 
+/**
+ * One column panel of the gather/commit datapath: the traversal reads
+ * B columns [col_begin, col_begin + dim) and writes the same panel of
+ * C, with output rows indirected through @p scatter (nullptr =
+ * identity; reorder-aware execution passes the inverse permutation).
+ * @p prefetch > 0 prefetches the B row of the non-zero that many
+ * positions ahead of the read cursor — the panel start, plus a second
+ * cache line for wide panels; the hardware streamer follows on within
+ * the row.
+ */
+struct PanelContext
+{
+    index_t col_begin = 0;
+    index_t dim = 0; ///< panel width, b.cols() when untiled
+    index_t prefetch = 0;
+    const index_t *scatter = nullptr;
+
+    index_t out_row(index_t row) const {
+        return scatter != nullptr ? scatter[row] : row;
+    }
+};
+
 /** Accumulate rows [begin, end) of A's nnz into the local buffer. */
 inline void
 accumulate_range(const CsrMatrix &a, const DenseMatrix &b, index_t nz_begin,
-                 index_t nz_end, value_t *acc, index_t dim,
+                 index_t nz_end, value_t *acc, const PanelContext &panel,
                  const RowKernels &rk)
 {
     const index_t *cols = a.col_idx().data();
     const value_t *vals = a.values().data();
+    const index_t col0 = panel.col_begin;
+    const index_t dim = panel.dim;
+    const index_t pf = panel.prefetch;
+    // The lookahead crosses row boundaries: the merge traversal
+    // consumes the nnz stream in global order, so the gather pf
+    // positions ahead is a later row of the same thread (or, at a
+    // share boundary, a neighbor's first rows — a harmless extra
+    // line). Clamping to the current row instead would silence the
+    // prefetcher on every short power-law row.
+    const index_t pf_end = pf > 0 ? a.nnz() - pf : 0;
     rk.zero(acc, dim);
-    for (index_t k = nz_begin; k < nz_end; ++k)
-        rk.axpy(acc, vals[k], b.row(cols[k]), dim);
+    for (index_t k = nz_begin; k < nz_end; ++k) {
+        if (pf > 0 && k < pf_end) {
+            const value_t *next = b.row(cols[k + pf]) + col0;
+            locality_prefetch(next);
+            if (dim > 16)
+                locality_prefetch(next + 16);
+        }
+        rk.axpy(acc, vals[k], b.row(cols[k]) + col0, dim);
+    }
 }
 
 /** Commit the local buffer to output row @p row, atomically or not. */
 inline void
-commit(DenseMatrix &c, index_t row, const value_t *acc, index_t dim,
-       bool atomic, const RowKernels &rk)
+commit(DenseMatrix &c, index_t row, const value_t *acc,
+       const PanelContext &panel, bool atomic, const RowKernels &rk)
 {
-    value_t *crow = c.row(row);
+    value_t *crow = c.row(panel.out_row(row)) + panel.col_begin;
     if (atomic)
-        rk.commit_atomic(crow, acc, dim);
+        rk.commit_atomic(crow, acc, panel.dim);
     else
-        rk.commit_plain(crow, acc, dim);
+        rk.commit_plain(crow, acc, panel.dim);
 }
 
 /**
@@ -83,24 +123,24 @@ flush_census(MetricsRegistry &metrics, const CommitCensus *census,
 void
 run_thread_work(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
                 const MergePathSchedule &sched, index_t t, value_t *acc,
-                const RowKernels &rk, CommitCensus *census)
+                const PanelContext &panel, const RowKernels &rk,
+                CommitCensus *census)
 {
-    const index_t dim = b.cols();
     ResolvedWork w = sched.resolve(t, a);
 
     if (w.has_head()) {
-        accumulate_range(a, b, w.head_begin, w.head_end, acc, dim, rk);
-        commit(c, w.head_row, acc, dim, w.head_atomic, rk);
+        accumulate_range(a, b, w.head_begin, w.head_end, acc, panel, rk);
+        commit(c, w.head_row, acc, panel, w.head_atomic, rk);
     }
     for (index_t row = w.first_complete_row; row < w.last_complete_row;
          ++row) {
-        accumulate_range(a, b, a.row_begin(row), a.row_end(row), acc, dim,
-                         rk);
-        commit(c, row, acc, dim, /*atomic=*/false, rk);
+        accumulate_range(a, b, a.row_begin(row), a.row_end(row), acc,
+                         panel, rk);
+        commit(c, row, acc, panel, /*atomic=*/false, rk);
     }
     if (w.has_tail()) {
-        accumulate_range(a, b, w.tail_begin, w.tail_end, acc, dim, rk);
-        commit(c, w.tail_row, acc, dim, w.tail_atomic, rk);
+        accumulate_range(a, b, w.tail_begin, w.tail_end, acc, panel, rk);
+        commit(c, w.tail_row, acc, panel, w.tail_atomic, rk);
     }
 
     if (census != nullptr) {
@@ -133,26 +173,47 @@ check_shapes(const CsrMatrix &a, const DenseMatrix &b, const DenseMatrix &c)
 
 void
 mergepath_spmm_sequential(const CsrMatrix &a, const DenseMatrix &b,
-                          DenseMatrix &c, const MergePathSchedule &sched)
+                          DenseMatrix &c, const MergePathSchedule &sched,
+                          const SpmmLocality &loc)
 {
     check_shapes(a, b, c);
     c.fill(0.0f);
-    const RowKernels &rk = select_row_kernels(b.cols());
-    value_t *acc = microkernel_scratch(b.cols());
+    const index_t dim = b.cols();
+    const index_t tile = loc.tiled(dim) ? loc.tile_d : dim;
     MetricsRegistry &metrics = MetricsRegistry::global();
     const bool instrumented = metrics.enabled();
     CommitCensus census;
-    for (index_t t = 0; t < sched.num_threads(); ++t)
-        run_thread_work(a, b, c, sched, t, acc, rk,
-                        instrumented ? &census : nullptr);
-    if (instrumented)
+    int64_t sweeps = 0;
+    for (index_t col = 0; col < dim; col += tile) {
+        const PanelContext panel{col, std::min(tile, dim - col),
+                                 loc.prefetch, loc.row_scatter};
+        const RowKernels &rk = select_row_kernels(panel.dim);
+        value_t *acc = microkernel_scratch(panel.dim);
+        // The write census describes the schedule, not the sweep
+        // count: count it on the first panel only.
+        CommitCensus *cs =
+            instrumented && col == 0 ? &census : nullptr;
+        for (index_t t = 0; t < sched.num_threads(); ++t)
+            run_thread_work(a, b, c, sched, t, acc, panel, rk, cs);
+        ++sweeps;
+    }
+    if (instrumented) {
         flush_census(metrics, &census, 1);
+        metrics.counter_add("locality.tile_sweeps", sweeps);
+    }
+}
+
+void
+mergepath_spmm_sequential(const CsrMatrix &a, const DenseMatrix &b,
+                          DenseMatrix &c, const MergePathSchedule &sched)
+{
+    mergepath_spmm_sequential(a, b, c, sched, SpmmLocality{});
 }
 
 void
 mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
                         DenseMatrix &c, const MergePathSchedule &sched,
-                        WorkStealPool &pool)
+                        WorkStealPool &pool, const SpmmLocality &loc)
 {
     check_shapes(a, b, c);
     ScopedSpan span("spmm.mergepath", "kernel");
@@ -182,31 +243,54 @@ mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
     }
     c.fill(0.0f);
     const index_t dim = b.cols();
-    const RowKernels &rk = select_row_kernels(dim);
+    const index_t tile = loc.tiled(dim) ? loc.tile_d : dim;
     const bool instrumented = metrics.enabled();
     // One write-census accumulator per pool executor, merged into the
-    // registry once per parallel_for. Entries are cacheline-aligned
-    // and each is written only by its owning executor; the pool's
-    // completion acquire/release makes the final read race-free.
+    // registry once per SpMM (first panel only — the census describes
+    // the schedule's write structure, which every sweep repeats).
+    // Entries are cacheline-aligned and each is written only by its
+    // owning executor; the pool's completion acquire/release makes the
+    // final read race-free.
     std::vector<CommitCensus> census;
     if (instrumented)
         census.resize(pool.max_concurrency());
-    // Grain is left to the pool: it derives the chunk size from the
-    // schedule's thread count and the pool width, so a tiny schedule
-    // still fans out while a huge one is not over-chunked (the old
-    // fixed grain=8 serialized any schedule of <= 8 threads).
-    pool.parallel_for(
-        static_cast<uint64_t>(sched.num_threads()), [&](uint64_t t) {
-            // Per-worker aligned scratch, reused across tasks — the
-            // accumulator never hits the allocator on the hot path.
-            value_t *acc = microkernel_scratch(dim);
-            CommitCensus *cs =
-                instrumented ? &census[pool.current_slot()] : nullptr;
-            run_thread_work(a, b, c, sched, static_cast<index_t>(t), acc,
-                            rk, cs);
-        });
-    if (instrumented)
+    int64_t sweeps = 0;
+    for (index_t col = 0; col < dim; col += tile) {
+        const PanelContext panel{col, std::min(tile, dim - col),
+                                 loc.prefetch, loc.row_scatter};
+        const RowKernels &rk = select_row_kernels(panel.dim);
+        const bool count = instrumented && col == 0;
+        // Grain is left to the pool: it derives the chunk size from
+        // the schedule's thread count and the pool width, so a tiny
+        // schedule still fans out while a huge one is not over-chunked
+        // (the old fixed grain=8 serialized any schedule of <= 8
+        // threads).
+        pool.parallel_for(
+            static_cast<uint64_t>(sched.num_threads()), [&](uint64_t t) {
+                // Per-worker aligned scratch, reused across tasks —
+                // the accumulator never hits the allocator on the hot
+                // path.
+                value_t *acc = microkernel_scratch(panel.dim);
+                CommitCensus *cs =
+                    count ? &census[pool.current_slot()] : nullptr;
+                run_thread_work(a, b, c, sched, static_cast<index_t>(t),
+                                acc, panel, rk, cs);
+            });
+        ++sweeps;
+    }
+    if (instrumented) {
         flush_census(metrics, census.data(), census.size());
+        metrics.counter_add("locality.tile_sweeps", sweeps);
+    }
+}
+
+void
+mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
+                        DenseMatrix &c, const MergePathSchedule &sched,
+                        WorkStealPool &pool)
+{
+    mergepath_spmm_parallel(a, b, c, sched, pool,
+                            default_spmm_locality(b.rows(), b.cols()));
 }
 
 void

@@ -29,7 +29,18 @@ GcnModel::add_layer(GcnLayer layer)
     layers_.push_back(std::move(layer));
     kernels_.push_back(make_spmm_kernel(kernel_name_));
     kernels_.back()->set_schedule_cache(schedule_cache_);
+    kernels_.back()->set_reorder(reorder_);
     prepared_rows_ = -1; // invalidate the offline cache
+    prepared_nnz_ = -1;
+}
+
+void
+GcnModel::set_reorder(ReorderKind kind)
+{
+    reorder_ = kind;
+    for (auto &kernel : kernels_)
+        kernel->set_reorder(kind);
+    prepared_rows_ = -1; // plans must be re-resolved at next prepare
     prepared_nnz_ = -1;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mps/core/locality.h"
 #include "mps/core/microkernel.h"
 #include "mps/core/spmm.h"
 #include "mps/sparse/degree_stats.h"
@@ -13,16 +14,24 @@ namespace mps {
 void
 AdaptiveSpmm::prepare(const CsrMatrix &a, index_t dim)
 {
-    (void)dim;
     DegreeStats stats = compute_degree_stats(a);
     // Skew shows up either as degree variance or as an extreme maximum
     // relative to the average (evil rows in an otherwise flat graph).
     bool skewed = stats.degree_cv > cv_threshold_ ||
                   (stats.avg_degree > 0.0 &&
                    stats.max_degree > 15.0 * stats.avg_degree);
-    strategy_ = skewed ? AdaptiveStrategy::kMergePath
-                       : AdaptiveStrategy::kRowSplit;
-    if (strategy_ == AdaptiveStrategy::kMergePath) {
+    // Once the dense operand spills out of L2 (d wide, many columns),
+    // locality beats scheduling: the column-tiled merge-path variant
+    // keeps the gather working set panel-resident, which contiguous
+    // row-splitting cannot, so it wins even on uniform inputs. Below
+    // the tile width the untiled selection stands (and tiling would be
+    // a no-op anyway).
+    if (default_spmm_locality(a.cols(), dim).tiled(dim))
+        strategy_ = AdaptiveStrategy::kMergePathTiled;
+    else
+        strategy_ = skewed ? AdaptiveStrategy::kMergePath
+                           : AdaptiveStrategy::kRowSplit;
+    if (strategy_ != AdaptiveStrategy::kRowSplit) {
         int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
         index_t threads = static_cast<index_t>(
             std::max<int64_t>(1, std::min<int64_t>(total, 4096)));
@@ -37,7 +46,10 @@ AdaptiveSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
     MPS_CHECK(b.rows() == a.cols() && c.rows() == a.rows() &&
                   c.cols() == b.cols(),
               "shape mismatch in adaptive SpMM");
-    if (strategy_ == AdaptiveStrategy::kMergePath) {
+    if (strategy_ != AdaptiveStrategy::kRowSplit) {
+        // The parallel entry point resolves the process locality
+        // defaults itself, so kMergePath and kMergePathTiled share one
+        // call — the strategy split exists for observability and tests.
         mergepath_spmm_parallel(a, b, c, schedule_, pool);
         return;
     }

@@ -23,8 +23,9 @@ namespace mps {
 
 /** Strategy chosen by AdaptiveSpmm::prepare(). */
 enum class AdaptiveStrategy {
-    kRowSplit,  ///< uniform inputs: static contiguous rows
-    kMergePath, ///< skewed inputs: merge-path decomposition
+    kRowSplit,        ///< uniform inputs: static contiguous rows
+    kMergePath,       ///< skewed inputs: merge-path decomposition
+    kMergePathTiled,  ///< wide d: column-tiled merge-path (L2 panels)
 };
 
 /** Shape-driven kernel selection (cuSPARSE-like). */

@@ -22,6 +22,7 @@
 
 #include "mps/sparse/csr_matrix.h"
 #include "mps/sparse/dense_matrix.h"
+#include "mps/sparse/reorder.h"
 
 namespace mps {
 
@@ -44,6 +45,15 @@ class SpmmKernel
      * to revert to private schedules. Decorators must forward.
      */
     virtual void set_schedule_cache(ScheduleCache *cache) { (void)cache; }
+
+    /**
+     * Select a row reordering for locality-aware execution (takes
+     * effect at the next prepare()). Kernels without reorder-aware
+     * execution ignore the request; decorators must forward. The
+     * default for reorder-capable kernels is the MPS_REORDER env
+     * setting (kNone when unset).
+     */
+    virtual void set_reorder(ReorderKind kind) { (void)kind; }
 
     /**
      * Build input-dependent schedule state for matrix @p a at dense

@@ -1,5 +1,8 @@
 #include "mps/kernels/mergepath_kernel.h"
 
+#include <memory>
+
+#include "mps/core/locality.h"
 #include "mps/core/spmm.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
@@ -9,15 +12,28 @@ namespace mps {
 void
 MergePathSpmm::prepare(const CsrMatrix &a, index_t dim)
 {
+    // Resolve the reorder plan first: the schedule must describe the
+    // matrix the traversal will actually walk. Rectangular inputs run
+    // in identity order — a graph relabeling needs a square matrix.
+    if (reorder_ != ReorderKind::kNone && a.rows() == a.cols()) {
+        plan_ = cache_ != nullptr
+                    ? cache_->get_or_build_reorder(a, reorder_)
+                    : std::make_shared<const ReorderPlan>(
+                          build_reorder_plan(a, reorder_));
+    } else {
+        plan_.reset();
+    }
+    const CsrMatrix &exec = plan_ ? plan_->matrix : a;
+
     prepared_cost_ = cost_ > 0 ? cost_ : default_merge_path_cost(dim);
     if (cache_ != nullptr) {
         shared_schedule_ = cache_->get_or_build_with_cost(
-            a, prepared_cost_, min_threads_);
+            exec, prepared_cost_, min_threads_);
         schedule_ = MergePathSchedule();
     } else {
         shared_schedule_.reset();
-        schedule_ = MergePathSchedule::build_with_cost(a, prepared_cost_,
-                                                       min_threads_);
+        schedule_ = MergePathSchedule::build_with_cost(
+            exec, prepared_cost_, min_threads_);
     }
 
     // Static schedule properties (Figure 5's write-distribution study),
@@ -26,7 +42,7 @@ MergePathSpmm::prepare(const CsrMatrix &a, index_t dim)
     // mergepath_spmm_parallel() cover the latter.
     MetricsRegistry &metrics = MetricsRegistry::global();
     if (metrics.enabled()) {
-        ScheduleCensus census = schedule().census(a);
+        ScheduleCensus census = schedule().census(exec);
         metrics.gauge_set("spmm.mergepath.split_rows",
                           static_cast<double>(census.split_rows));
         metrics.gauge_set("spmm.mergepath.atomic_write_fraction",
@@ -42,7 +58,20 @@ MergePathSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
 {
     const MergePathSchedule &sched = schedule();
     MPS_CHECK(sched.num_threads() >= 1, "prepare() was not called");
-    mergepath_spmm_parallel(a, b, c, sched, pool);
+    if (plan_ == nullptr) {
+        mergepath_spmm_parallel(a, b, c, sched, pool);
+        return;
+    }
+    // Reorder-aware execution: traverse the row-permuted matrix, gather
+    // from B with the original column ids it retained, and scatter each
+    // output row through the inverse permutation at commit time — no
+    // post-pass copy of C, no permuted copy of B.
+    MPS_CHECK(a.rows() == plan_->matrix.rows() &&
+                  a.nnz() == plan_->matrix.nnz(),
+              "run() input does not match the prepared reorder plan");
+    SpmmLocality loc = default_spmm_locality(b.rows(), b.cols());
+    loc.row_scatter = plan_->inverse.data();
+    mergepath_spmm_parallel(plan_->matrix, b, c, sched, pool, loc);
 }
 
 } // namespace mps

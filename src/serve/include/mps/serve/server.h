@@ -79,6 +79,15 @@ struct ServeConfig
     BatchPolicy batch;
     /** Backpressure behaviour when the ingress queue is full. */
     OverflowPolicy overflow = OverflowPolicy::kReject;
+    /**
+     * Locality reordering applied to each registered graph: the
+     * adjacency is row-permuted once at register_graph() time (plan
+     * cached in the schedule cache) and every batched SpMM traverses
+     * the permuted matrix, scattering output rows back through the
+     * inverse permutation — request features and results stay in the
+     * client's node order. Defaults to MPS_REORDER (kNone unset).
+     */
+    ReorderKind reorder = default_reorder_kind();
     /** Default per-request deadline; <= 0 means none. */
     double default_timeout_ms = 0.0;
     /**
@@ -165,6 +174,8 @@ class Server
     {
         CsrMatrix adjacency;
         std::vector<GcnLayer> layers;
+        /** Reorder plan shared via the schedule cache; nullptr = identity. */
+        std::shared_ptr<const ReorderPlan> reorder;
     };
 
     struct Batch

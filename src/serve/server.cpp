@@ -75,6 +75,12 @@ Server::register_graph(CsrMatrix adjacency, std::vector<GcnLayer> layers)
     auto ctx = std::make_unique<GraphContext>();
     ctx->adjacency = std::move(adjacency);
     ctx->layers = std::move(layers);
+    // The permutation is paid once here, at registration: every batch
+    // against this graph then traverses the row-permuted matrix and
+    // scatters outputs back through the plan's inverse permutation.
+    if (config_.reorder != ReorderKind::kNone)
+        ctx->reorder =
+            cache_->get_or_build_reorder(ctx->adjacency, config_.reorder);
 
     std::lock_guard<std::mutex> lk(graphs_mutex_);
     const uint64_t id = next_graph_id_++;
@@ -352,6 +358,13 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
 
     const GraphContext &graph = *batch.graph;
     const CsrMatrix &a = graph.adjacency;
+    // Reorder-aware execution: when a plan is attached the SpMM walks
+    // the row-permuted matrix and scatters output rows back through
+    // the inverse permutation, so everything before and after the
+    // aggregation stays in the client's node order.
+    const CsrMatrix &exec = graph.reorder ? graph.reorder->matrix : a;
+    const index_t *scatter =
+        graph.reorder ? graph.reorder->inverse.data() : nullptr;
     const index_t n = a.rows();
     const int k = static_cast<int>(live.size());
 
@@ -389,8 +402,11 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
         if (k == 1) {
             DenseMatrix out(n, h);
             auto sched = cache_->get_or_build_with_cost(
-                a, serve_cost(a, h, pool), 0);
-            mergepath_spmm_parallel(a, tall_xw, out, *sched, pool);
+                exec, serve_cost(exec, h, pool), 0);
+            SpmmLocality loc = default_spmm_locality(exec.cols(), h);
+            loc.row_scatter = scatter;
+            mergepath_spmm_parallel(exec, tall_xw, out, *sched, pool,
+                                    loc);
             apply_activation(out, layer.activation());
             tall = std::move(out);
             continue;
@@ -416,8 +432,11 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
 
         DenseMatrix wide_out(n, wide_d);
         auto sched = cache_->get_or_build_with_cost(
-            a, serve_cost(a, wide_d, pool), 0);
-        mergepath_spmm_parallel(a, wide_in, wide_out, *sched, pool);
+            exec, serve_cost(exec, wide_d, pool), 0);
+        SpmmLocality loc = default_spmm_locality(exec.cols(), wide_d);
+        loc.row_scatter = scatter;
+        mergepath_spmm_parallel(exec, wide_in, wide_out, *sched, pool,
+                                loc);
         apply_activation(wide_out, layer.activation());
 
         tall = DenseMatrix(static_cast<index_t>(k) * n, h);

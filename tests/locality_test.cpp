@@ -1,0 +1,488 @@
+/**
+ * Tests for the cache-locality layer: column-tiled merge-path
+ * traversal, software prefetch on the gather path, and reorder-aware
+ * (row-permuted) execution with commit-time scatter.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "mps/core/locality.h"
+#include "mps/core/schedule_cache.h"
+#include "mps/core/spmm.h"
+#include "mps/kernels/adaptive.h"
+#include "mps/kernels/mergepath_kernel.h"
+#include "mps/sparse/generate.h"
+#include "mps/sparse/reorder.h"
+#include "mps/util/rng.h"
+#include "mps/util/work_steal_pool.h"
+
+namespace mps {
+namespace {
+
+DenseMatrix
+random_dense(index_t rows, index_t cols, uint64_t seed)
+{
+    DenseMatrix m(rows, cols);
+    Pcg32 rng(seed);
+    m.fill_random(rng);
+    return m;
+}
+
+CsrMatrix
+evil_graph(index_t nodes, index_t nnz, index_t max_degree, uint64_t seed)
+{
+    PowerLawParams p;
+    p.nodes = nodes;
+    p.target_nnz = nnz;
+    p.max_degree = max_degree;
+    p.seed = seed;
+    return power_law_graph(p);
+}
+
+testing::AssertionResult
+bit_identical(const DenseMatrix &got, const DenseMatrix &expect)
+{
+    if (got.rows() != expect.rows() || got.cols() != expect.cols())
+        return testing::AssertionFailure() << "shape mismatch";
+    for (index_t r = 0; r < got.rows(); ++r) {
+        for (index_t d = 0; d < got.cols(); ++d) {
+            if (got(r, d) != expect(r, d)) {
+                return testing::AssertionFailure()
+                       << "(" << r << ", " << d << "): got " << got(r, d)
+                       << " expect " << expect(r, d);
+            }
+        }
+    }
+    return testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------------
+// Auto-tuning math.
+// ---------------------------------------------------------------------
+
+TEST(LocalityConfig, L2DetectionYieldsPlausibleSize)
+{
+    int64_t l2 = detected_l2_bytes();
+    EXPECT_GE(l2, 64 << 10);  // nothing ships less than 64 KiB
+    EXPECT_LE(l2, 512 << 20); // or more than half a GiB per core
+    EXPECT_EQ(l2, detected_l2_bytes()); // cached, stable
+    EXPECT_GE(detected_llc_bytes(), l2); // outermost level dominates
+}
+
+TEST(LocalityConfig, SmallOperandIsNeverTiled)
+{
+    // 64 rows x 32 cols x 4 B = 8 KiB: fits any L2, so auto tiling
+    // must degenerate to one full-width sweep.
+    EXPECT_EQ(auto_tile_d(64, 32), 32);
+    SpmmLocality loc;
+    loc.tile_d = auto_tile_d(64, 32);
+    EXPECT_FALSE(loc.tiled(32));
+}
+
+TEST(LocalityConfig, AutoWidthIsFullWidthOrSimdAlignedPanel)
+{
+    // Whatever regime each shape lands in on this host, the result is
+    // either "don't tile" (== dim) or a SIMD-aligned width in
+    // [32, 256].
+    for (index_t n_cols : {1 << 10, 1 << 14, 1 << 17, 1 << 20}) {
+        for (index_t dim : {64, 256, 1024}) {
+            index_t w = auto_tile_d(n_cols, dim);
+            if (w != dim) {
+                EXPECT_GE(w, 32) << n_cols << "x" << dim;
+                EXPECT_LE(w, 256) << n_cols << "x" << dim;
+                EXPECT_EQ(w % 16, 0)
+                    << "panel width must stay SIMD-block aligned";
+                EXPECT_LT(w, dim);
+            }
+        }
+    }
+}
+
+TEST(LocalityConfig, FullResidencyRegimeTilesStreamingDoesNot)
+{
+    const int64_t budget =
+        std::min<int64_t>(detected_llc_bytes(), 64 << 20) / 2;
+    // 128k rows: a 64-element panel costs 32 MB — resident on hosts
+    // with a big LLC, streaming on small ones. The policy must tile
+    // exactly when residency is affordable and the operand overflows
+    // the LLC.
+    const index_t n_cols = 1 << 17, dim = 1024;
+    const int64_t operand = static_cast<int64_t>(n_cols) * dim * 4;
+    index_t w = auto_tile_d(n_cols, dim);
+    int64_t afford = budget / (static_cast<int64_t>(n_cols) * 4) / 16 * 16;
+    if (operand > detected_llc_bytes() && afford >= 32) {
+        EXPECT_EQ(w, std::min<int64_t>(afford, 256));
+    } else {
+        EXPECT_EQ(w, dim) << "outside full residency: never tile";
+    }
+    // 16M rows can never be panel-resident: streaming regime, no tile.
+    EXPECT_EQ(auto_tile_d(1 << 24, 1024), 1024);
+}
+
+TEST(LocalityConfig, TileNeverExceedsDimension)
+{
+    // Operand too big for L2 but a narrow dimension: no tiling.
+    index_t w = auto_tile_d(1 << 20, 16);
+    EXPECT_EQ(w, 16);
+    SpmmLocality loc;
+    loc.tile_d = w;
+    EXPECT_FALSE(loc.tiled(16));
+}
+
+TEST(LocalityConfig, PrefetchDistanceClampsToSaneWindow)
+{
+    EXPECT_EQ(auto_prefetch_distance(0), 0);
+    EXPECT_EQ(auto_prefetch_distance(1), 8); // 1024/1 clamped down
+    EXPECT_EQ(auto_prefetch_distance(128), 8);
+    EXPECT_EQ(auto_prefetch_distance(256), 4);
+    EXPECT_EQ(auto_prefetch_distance(4096), 2); // never below 2
+}
+
+TEST(LocalityConfig, TiledPredicate)
+{
+    SpmmLocality loc;
+    EXPECT_FALSE(loc.tiled(128)); // default = pre-locality behavior
+    loc.tile_d = 64;
+    EXPECT_TRUE(loc.tiled(128));
+    EXPECT_FALSE(loc.tiled(64)); // tile >= dim is one sweep
+    EXPECT_FALSE(loc.tiled(32));
+}
+
+// ---------------------------------------------------------------------
+// Column tiling: bit-identity and correctness.
+// ---------------------------------------------------------------------
+
+TEST(TiledSpmm, SequentialBitIdenticalToUntiledAcrossOddDims)
+{
+    CsrMatrix a = evil_graph(300, 2500, 250, 7);
+    for (index_t dim : {17, 33, 100}) {
+        DenseMatrix b = random_dense(a.cols(), dim, 11);
+        MergePathSchedule s = MergePathSchedule::build(a, 64);
+
+        DenseMatrix untiled(a.rows(), dim);
+        mergepath_spmm_sequential(a, b, untiled, s);
+
+        // SIMD-block-aligned widths must reproduce the untiled result
+        // bit for bit: the panel loop partitions columns, never the
+        // non-zero stream.
+        for (index_t tile : {16, 32, 48}) {
+            SpmmLocality loc;
+            loc.tile_d = tile;
+            DenseMatrix tiled(a.rows(), dim);
+            mergepath_spmm_sequential(a, b, tiled, s, loc);
+            EXPECT_TRUE(bit_identical(tiled, untiled))
+                << "dim=" << dim << " tile=" << tile;
+        }
+    }
+}
+
+TEST(TiledSpmm, UnalignedTileWidthStaysNumericallyExact)
+{
+    // A width that cuts SIMD blocks (7) exercises the scalar tails on
+    // every panel; correctness must hold even though FMA-vs-mul/add
+    // rounding may differ from the untiled run by ulps.
+    CsrMatrix a = evil_graph(200, 1500, 150, 9);
+    DenseMatrix b = random_dense(a.cols(), 33, 13);
+    DenseMatrix expect(a.rows(), 33), got(a.rows(), 33);
+    reference_spmm(a, b, expect);
+    MergePathSchedule s = MergePathSchedule::build(a, 37);
+    SpmmLocality loc;
+    loc.tile_d = 7;
+    mergepath_spmm_sequential(a, b, got, s, loc);
+    EXPECT_TRUE(got.approx_equal(expect, 1e-3, 1e-4))
+        << "diff=" << got.max_abs_diff(expect);
+}
+
+TEST(TiledSpmm, PrefetchNeverChangesBits)
+{
+    CsrMatrix a = evil_graph(300, 2500, 250, 7);
+    DenseMatrix b = random_dense(a.cols(), 100, 17);
+    MergePathSchedule s = MergePathSchedule::build(a, 64);
+
+    DenseMatrix plain(a.rows(), 100);
+    mergepath_spmm_sequential(a, b, plain, s);
+
+    SpmmLocality loc;
+    loc.tile_d = 32;
+    loc.prefetch = 8; // reads ahead of the cursor, ASan-checked
+    DenseMatrix prefetched(a.rows(), 100);
+    mergepath_spmm_sequential(a, b, prefetched, s, loc);
+    EXPECT_TRUE(bit_identical(prefetched, plain));
+}
+
+TEST(TiledSpmm, ParallelTiledMatchesReference)
+{
+    CsrMatrix a = evil_graph(500, 6000, 400, 21);
+    WorkStealPool pool(4);
+    for (index_t dim : {17, 33, 100}) {
+        DenseMatrix b = random_dense(a.cols(), dim, 23);
+        DenseMatrix expect(a.rows(), dim), got(a.rows(), dim);
+        reference_spmm(a, b, expect);
+        MergePathSchedule s = MergePathSchedule::build(a, 256);
+        SpmmLocality loc;
+        loc.tile_d = 16;
+        loc.prefetch = 4;
+        mergepath_spmm_parallel(a, b, got, s, pool, loc);
+        EXPECT_TRUE(got.approx_equal(expect, 1e-3, 1e-4))
+            << "dim=" << dim << " diff=" << got.max_abs_diff(expect);
+    }
+}
+
+TEST(TiledSpmm, DefaultEntryPointsStillMatchReference)
+{
+    // The legacy signatures now resolve MPS_TILE_D / MPS_PREFETCH
+    // internally; whatever they resolve to must stay correct.
+    CsrMatrix a = evil_graph(400, 4000, 300, 31);
+    DenseMatrix b = random_dense(a.cols(), 64, 37);
+    DenseMatrix expect(a.rows(), 64), got(a.rows(), 64);
+    reference_spmm(a, b, expect);
+    WorkStealPool pool(4);
+    mergepath_spmm(a, b, got, pool);
+    EXPECT_TRUE(got.approx_equal(expect, 1e-3, 1e-4));
+}
+
+// ---------------------------------------------------------------------
+// Reorder-aware execution: scatter at commit time.
+// ---------------------------------------------------------------------
+
+TEST(ReorderedSpmm, PermutedBitIdenticalToIdentityOnOneThread)
+{
+    // On a 1-thread schedule every row is owned by its thread (plain
+    // stores, no atomics), so the permuted traversal + inverse scatter
+    // must reproduce the identity-order run bit for bit: each output
+    // row sees the same non-zeros in the same order.
+    CsrMatrix a = evil_graph(250, 2000, 200, 41);
+    DenseMatrix b = random_dense(a.cols(), 33, 43);
+
+    DenseMatrix identity(a.rows(), 33);
+    MergePathSchedule s1 = MergePathSchedule::build(a, 1);
+    mergepath_spmm_sequential(a, b, identity, s1);
+
+    for (ReorderKind kind :
+         {ReorderKind::kDegree, ReorderKind::kBfs, ReorderKind::kRcm}) {
+        ReorderPlan plan = build_reorder_plan(a, kind);
+        MergePathSchedule sp = MergePathSchedule::build(plan.matrix, 1);
+        SpmmLocality loc;
+        loc.row_scatter = plan.inverse.data();
+        DenseMatrix scattered(a.rows(), 33);
+        mergepath_spmm_sequential(plan.matrix, b, scattered, sp, loc);
+        EXPECT_TRUE(bit_identical(scattered, identity))
+            << "kind=" << reorder_kind_name(kind);
+    }
+}
+
+TEST(ReorderedSpmm, TiledPermutedParallelMatchesReference)
+{
+    CsrMatrix a = evil_graph(500, 5000, 400, 47);
+    DenseMatrix b = random_dense(a.cols(), 64, 53);
+    DenseMatrix expect(a.rows(), 64), got(a.rows(), 64);
+    reference_spmm(a, b, expect);
+
+    ReorderPlan plan = build_reorder_plan(a, ReorderKind::kBfs);
+    MergePathSchedule s = MergePathSchedule::build(plan.matrix, 128);
+    SpmmLocality loc;
+    loc.tile_d = 16;
+    loc.prefetch = 4;
+    loc.row_scatter = plan.inverse.data();
+    WorkStealPool pool(4);
+    mergepath_spmm_parallel(plan.matrix, b, got, s, pool, loc);
+    EXPECT_TRUE(got.approx_equal(expect, 1e-3, 1e-4))
+        << "diff=" << got.max_abs_diff(expect);
+}
+
+TEST(ReorderedSpmm, KernelWithReorderMatchesKernelWithout)
+{
+    CsrMatrix a = evil_graph(400, 3500, 300, 59);
+    DenseMatrix b = random_dense(a.cols(), 32, 61);
+    WorkStealPool pool(4);
+
+    MergePathSpmm plain_kernel;
+    plain_kernel.set_reorder(ReorderKind::kNone);
+    plain_kernel.prepare(a, 32);
+    EXPECT_EQ(plain_kernel.reorder_plan(), nullptr);
+    DenseMatrix plain(a.rows(), 32);
+    plain_kernel.run(a, b, plain, pool);
+
+    for (ReorderKind kind :
+         {ReorderKind::kDegree, ReorderKind::kBfs, ReorderKind::kRcm}) {
+        MergePathSpmm kernel;
+        kernel.set_reorder(kind);
+        kernel.prepare(a, 32);
+        ASSERT_NE(kernel.reorder_plan(), nullptr);
+        EXPECT_EQ(kernel.reorder_plan()->kind, kind);
+        DenseMatrix got(a.rows(), 32);
+        kernel.run(a, b, got, pool);
+        EXPECT_TRUE(got.approx_equal(plain, 1e-3, 1e-4))
+            << "kind=" << reorder_kind_name(kind)
+            << " diff=" << got.max_abs_diff(plain);
+    }
+}
+
+TEST(ReorderedSpmm, RectangularInputFallsBackToIdentity)
+{
+    // Reorderings are graph relabelings; a rectangular matrix cannot be
+    // relabeled symmetrically, so prepare() must keep identity order.
+    CsrMatrix a(4, 8, {0, 2, 3, 5, 6}, {0, 7, 3, 1, 6, 2},
+                {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f});
+    MergePathSpmm kernel;
+    kernel.set_reorder(ReorderKind::kDegree);
+    kernel.prepare(a, 16);
+    EXPECT_EQ(kernel.reorder_plan(), nullptr);
+
+    DenseMatrix b = random_dense(8, 16, 67);
+    DenseMatrix expect(4, 16), got(4, 16);
+    reference_spmm(a, b, expect);
+    WorkStealPool pool(2);
+    kernel.run(a, b, got, pool);
+    EXPECT_TRUE(got.approx_equal(expect, 1e-4, 1e-5));
+}
+
+TEST(ReorderedSpmm, PlanCacheSharesAcrossKernels)
+{
+    ScheduleCache cache;
+    CsrMatrix a = evil_graph(300, 2500, 250, 71);
+    EXPECT_EQ(cache.reorder_size(), 0u);
+
+    MergePathSpmm first, second;
+    first.set_schedule_cache(&cache);
+    first.set_reorder(ReorderKind::kBfs);
+    first.prepare(a, 32);
+    EXPECT_EQ(cache.reorder_size(), 1u);
+
+    second.set_schedule_cache(&cache);
+    second.set_reorder(ReorderKind::kBfs);
+    second.prepare(a, 64);
+    EXPECT_EQ(cache.reorder_size(), 1u); // reused, not rebuilt
+    EXPECT_EQ(first.reorder_plan(), second.reorder_plan());
+
+    // A different kind is a different plan.
+    MergePathSpmm third;
+    third.set_schedule_cache(&cache);
+    third.set_reorder(ReorderKind::kDegree);
+    third.prepare(a, 32);
+    EXPECT_EQ(cache.reorder_size(), 2u);
+
+    cache.clear();
+    EXPECT_EQ(cache.reorder_size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Reorder plans and permutation round-trips.
+// ---------------------------------------------------------------------
+
+TEST(ReorderPlan, RoundTripsRowsThroughInverse)
+{
+    CsrMatrix a = evil_graph(200, 1500, 150, 73);
+    for (ReorderKind kind :
+         {ReorderKind::kDegree, ReorderKind::kBfs, ReorderKind::kRcm}) {
+        ReorderPlan plan = build_reorder_plan(a, kind);
+        validate_permutation(plan.perm, a.rows());
+        validate_permutation(plan.inverse, a.rows());
+        EXPECT_EQ(invert_permutation(plan.inverse), plan.perm);
+
+        // Traversal row r of the plan is original row inverse[r],
+        // contents preserved verbatim (columns untouched).
+        for (index_t r = 0; r < a.rows(); ++r) {
+            index_t old = plan.inverse[static_cast<size_t>(r)];
+            ASSERT_EQ(plan.matrix.degree(r), a.degree(old));
+            index_t pk = plan.matrix.row_begin(r);
+            for (index_t k = a.row_begin(old); k < a.row_end(old);
+                 ++k, ++pk) {
+                ASSERT_EQ(plan.matrix.col_idx()[pk], a.col_idx()[k]);
+                ASSERT_EQ(plan.matrix.values()[pk], a.values()[k]);
+            }
+        }
+    }
+}
+
+TEST(ReorderPlan, HandlesIsolatedVertices)
+{
+    // Rows 1, 3 and 5 have no out- or in-edges at all; BFS must still
+    // label them and the executed SpMM must still match the reference.
+    CsrMatrix a(6, 6, {0, 2, 2, 3, 3, 4, 4}, {2, 4, 0, 2},
+                {1.0f, 2.0f, 3.0f, 4.0f});
+    for (ReorderKind kind :
+         {ReorderKind::kDegree, ReorderKind::kBfs, ReorderKind::kRcm}) {
+        ReorderPlan plan = build_reorder_plan(a, kind);
+        validate_permutation(plan.perm, 6);
+
+        DenseMatrix b = random_dense(6, 8, 79);
+        DenseMatrix expect(6, 8), got(6, 8);
+        reference_spmm(a, b, expect);
+        MergePathSchedule s = MergePathSchedule::build(plan.matrix, 3);
+        SpmmLocality loc;
+        loc.row_scatter = plan.inverse.data();
+        mergepath_spmm_sequential(plan.matrix, b, got, s, loc);
+        EXPECT_TRUE(got.approx_equal(expect, 1e-4, 1e-5))
+            << "kind=" << reorder_kind_name(kind);
+    }
+}
+
+TEST(ReorderPlanDeathTest, RejectsNoneAndRectangular)
+{
+    CsrMatrix square = erdos_renyi_graph(10, 30, 83);
+    EXPECT_DEATH(build_reorder_plan(square, ReorderKind::kNone),
+                 "identity");
+    CsrMatrix rect(2, 3, {0, 1, 2}, {0, 2}, {1.0f, 1.0f});
+    EXPECT_DEATH(build_reorder_plan(rect, ReorderKind::kDegree),
+                 "square");
+}
+
+TEST(ReorderKindNames, ParseAndNameRoundTrip)
+{
+    for (ReorderKind kind :
+         {ReorderKind::kNone, ReorderKind::kDegree, ReorderKind::kBfs,
+          ReorderKind::kRcm}) {
+        EXPECT_EQ(parse_reorder_kind(reorder_kind_name(kind)), kind);
+    }
+    EXPECT_DEATH(parse_reorder_kind("zigzag"), "reorder");
+}
+
+// ---------------------------------------------------------------------
+// Adaptive strategy selection.
+// ---------------------------------------------------------------------
+
+TEST(AdaptiveTiling, WideDimensionSelectsTiledMergePath)
+{
+    // Skewed graph + a dimension the auto-tuner tiles on this machine
+    // -> the adaptive kernel must pick the tiled merge-path variant and
+    // still match the reference.
+    CsrMatrix a = evil_graph(3000, 30000, 2500, 89);
+    const index_t dim = 512;
+    AdaptiveSpmm kernel;
+    kernel.prepare(a, dim);
+    if (default_spmm_locality(a.cols(), dim).tiled(dim)) {
+        EXPECT_EQ(kernel.strategy(), AdaptiveStrategy::kMergePathTiled);
+    }
+
+    DenseMatrix b = random_dense(a.cols(), dim, 97);
+    DenseMatrix expect(a.rows(), dim), got(a.rows(), dim);
+    reference_spmm(a, b, expect);
+    WorkStealPool pool(4);
+    kernel.run(a, b, got, pool);
+    EXPECT_TRUE(got.approx_equal(expect, 1e-3, 1e-4))
+        << "diff=" << got.max_abs_diff(expect);
+}
+
+TEST(AdaptiveTiling, NarrowDimensionFallsBackUntiled)
+{
+    // d = 8 never tiles (tile floor is 32): selection must fall back to
+    // the skew heuristic, never kMergePathTiled.
+    CsrMatrix a = evil_graph(500, 5000, 400, 101);
+    AdaptiveSpmm kernel;
+    kernel.prepare(a, 8);
+    EXPECT_NE(kernel.strategy(), AdaptiveStrategy::kMergePathTiled);
+
+    DenseMatrix b = random_dense(a.cols(), 8, 103);
+    DenseMatrix expect(a.rows(), 8), got(a.rows(), 8);
+    reference_spmm(a, b, expect);
+    WorkStealPool pool(4);
+    kernel.run(a, b, got, pool);
+    EXPECT_TRUE(got.approx_equal(expect, 1e-3, 1e-4));
+}
+
+} // namespace
+} // namespace mps

@@ -7,6 +7,9 @@
 # stealing/parking, mergepath atomic commits) under the race detector,
 # and a forced-scalar one (-DMPS_FORCE_SCALAR=ON) that proves
 # the kernel tests pass on the scalar microkernel reference path alone.
+# A final no-tile stage reruns the release SpMM/locality tests with the
+# cache-locality layer disabled (MPS_TILE_D=inf MPS_PREFETCH=0),
+# proving column tiling and software prefetch are behavior-neutral.
 # Run from anywhere; build trees land in build-release/, build-asan/,
 # build-tsan/ and build-scalar/ next to the source tree.
 #
@@ -53,5 +56,10 @@ cmake --build "$root/build-scalar" -j "$jobs" --target \
 echo "==> ctest build-scalar"
 (cd "$root/build-scalar" && ctest --output-on-failure -j "$jobs" \
     -R 'Microkernel|Spmm|Kernel|Fuzz' "$@")
+
+echo "==> ctest build-notile (MPS_TILE_D=inf MPS_PREFETCH=0)"
+(cd "$root/build-release" && \
+    MPS_TILE_D=inf MPS_PREFETCH=0 ctest --output-on-failure -j "$jobs" \
+    -R 'Spmm|Locality|Tiled|Reordered|Adaptive|Gcn|Serve' "$@")
 
 echo "==> all checks passed"

@@ -235,6 +235,9 @@ cmd_spmm(int argc, char **argv)
     flags.add_string("kernel", "mergepath", "registry kernel name");
     flags.add_int("dim", 16, "dense dimension size");
     flags.add_int("repeat", 5, "timed repetitions");
+    flags.add_string("reorder", "",
+                     "locality row reordering: none|degree|bfs|rcm "
+                     "(default: MPS_REORDER)");
     flags.add_bool("check", false,
                    "verify against reference_spmm and report "
                    "max-abs-error");
@@ -262,6 +265,9 @@ cmd_spmm(int argc, char **argv)
     DenseMatrix c(m.rows(), dim);
     WorkStealPool pool;
     auto kernel = make_spmm_kernel(flags.get_string("kernel"));
+    if (!flags.get_string("reorder").empty())
+        kernel->set_reorder(
+            parse_reorder_kind(flags.get_string("reorder")));
     Timer prep;
     kernel->prepare(m, dim);
     double prep_ms = prep.elapsed_ms();
