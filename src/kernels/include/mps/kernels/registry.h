@@ -34,7 +34,9 @@ std::unique_ptr<SpmmKernel> make_spmm_kernel(const std::string &name,
 /**
  * Wrap an arbitrary kernel with the same instrumentation
  * make_spmm_kernel() applies: spans "prepare:<name>" / "run:<name>"
- * and metrics "kernel.<name>.prepare_ms" / ".run_ms" / ".runs".
+ * and metrics "kernel.<name>.prepare_ms" / ".run_ms" / ".runs", plus
+ * the "kernel.<name>.exec_ms" histogram (per-call latency quantiles;
+ * fed from the same clock read as .run_ms so the two never disagree).
  * name() forwards to the wrapped kernel, so the decorator is
  * invisible to registry users.
  */

@@ -51,6 +51,7 @@ class InstrumentedSpmmKernel final : public SpmmKernel
           run_span_("run:" + inner_->name()),
           prepare_metric_("kernel." + inner_->name() + ".prepare_ms"),
           run_metric_("kernel." + inner_->name() + ".run_ms"),
+          exec_hist_("kernel." + inner_->name() + ".exec_ms"),
           runs_counter_("kernel." + inner_->name() + ".runs")
     {
     }
@@ -82,17 +83,36 @@ class InstrumentedSpmmKernel final : public SpmmKernel
         WorkStealPool &pool) const override
     {
         ScopedSpan span(run_span_, "kernel");
-        MetricTimer timer(run_metric_);
-        MetricsRegistry::global().counter_add(runs_counter_);
+        MetricsRegistry &metrics = MetricsRegistry::global();
+        if (!metrics.enabled()) {
+            inner_->run(a, b, c, pool);
+            return;
+        }
+        metrics.counter_add(runs_counter_);
+        Timer wall;
         inner_->run(a, b, c, pool);
+        record_wall_ms(metrics, wall.elapsed_ms());
     }
 
   private:
+    /**
+     * One clock read feeds both the run_ms timer (mean/min/max summary)
+     * and the exec_ms histogram (quantiles). Reading the clock twice
+     * would let the two metrics disagree about the same call.
+     */
+    void
+    record_wall_ms(MetricsRegistry &metrics, double ms) const
+    {
+        metrics.timer_record_ms(run_metric_, ms);
+        metrics.histogram_record(exec_hist_, ms);
+    }
+
     std::unique_ptr<SpmmKernel> inner_;
     std::string prepare_span_;
     std::string run_span_;
     std::string prepare_metric_;
     std::string run_metric_;
+    std::string exec_hist_;
     std::string runs_counter_;
 };
 

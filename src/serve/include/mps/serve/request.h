@@ -32,6 +32,13 @@ enum class RequestStatus {
 /** to_string for RequestStatus. */
 const char *request_status_name(RequestStatus status);
 
+/**
+ * Process-unique request id (monotonic from 1). Stamped at submit and
+ * carried through batching into execution, where it binds the
+ * queue -> batch -> kernel trace flow events of one request together.
+ */
+uint64_t next_request_id();
+
 /** What a request's future resolves with. */
 struct InferenceResult
 {
@@ -52,6 +59,8 @@ struct InferenceResult
 struct PendingRequest
 {
     uint64_t graph_id = 0;
+    /** Flow id for tracing; see next_request_id(). */
+    uint64_t request_id = 0;
     DenseMatrix features;
     std::promise<InferenceResult> promise;
     /** Started at submit; measures queue wait + execution. */

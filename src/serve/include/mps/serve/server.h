@@ -23,10 +23,24 @@
  *
  * Metrics (all through the PR 1 registry, no-ops while disabled):
  *  serve.queue.depth (gauge), serve.batch.size (distribution),
- *  serve.batch.exec_ms / serve.request.latency_ms /
- *  serve.request.wait_ms (timers), serve.requests.{submitted,
- *  completed,rejected,timed_out} + serve.batches (counters), and
+ *  serve.batch.exec_ms / serve.request.wait_ms (timers),
+ *  serve.request.latency_ms (histogram; full latency distribution,
+ *  quantiles exported), serve.requests.{submitted,completed,rejected,
+ *  timed_out} + serve.batches (counters), and
  *  serve.latency.p50_ms/.p95_ms/.p99_ms gauges published on shutdown.
+ * The server additionally owns a private latency histogram so stats()
+ * reports exact counts and quantiles even while the registry is
+ * disabled.
+ *
+ * Telemetry endpoint: ServeConfig::telemetry_port >= 0 (or the
+ * MPS_TELEMETRY_PORT environment variable) starts a TelemetryServer
+ * on 127.0.0.1 whose GET /metrics renders the registry in OpenMetrics
+ * form; each scrape first runs publish_telemetry() so derived gauges
+ * (queue depth, pool imbalance) are fresh.
+ *
+ * Tracing: each request gets a process-unique id at submit; flow
+ * events named "serve.request" connect its submit -> batch -> execute
+ * path across threads in the exported Chrome trace.
  */
 #ifndef MPS_SERVE_SERVER_H
 #define MPS_SERVE_SERVER_H
@@ -46,12 +60,21 @@
 #include "mps/serve/batcher.h"
 #include "mps/serve/mpsc_queue.h"
 #include "mps/serve/request.h"
+#include "mps/serve/telemetry_server.h"
 #include "mps/sparse/csr_matrix.h"
+#include "mps/util/histogram.h"
 #include "mps/util/stats.h"
 #include "mps/util/work_steal_pool.h"
 
 namespace mps {
 namespace serve {
+
+/**
+ * Telemetry port selected by the MPS_TELEMETRY_PORT environment
+ * variable: the parsed port (0 = ephemeral) when set to a valid value,
+ * -1 (disabled) when unset or invalid.
+ */
+int default_telemetry_port();
 
 /** What a producer experiences when the bounded queue is full. */
 enum class OverflowPolicy {
@@ -90,6 +113,13 @@ struct ServeConfig
     ReorderKind reorder = default_reorder_kind();
     /** Default per-request deadline; <= 0 means none. */
     double default_timeout_ms = 0.0;
+    /**
+     * TCP port of the embedded /metrics endpoint: >= 0 starts a
+     * TelemetryServer on 127.0.0.1 at start() (0 = ephemeral, see
+     * telemetry_port()). Defaults from MPS_TELEMETRY_PORT; -1 when the
+     * variable is unset, i.e. no endpoint.
+     */
+    int telemetry_port = default_telemetry_port();
     /**
      * Start the dispatcher/workers in the constructor. Tests set this
      * false to fill the queue deterministically, then call start().
@@ -164,6 +194,22 @@ class Server
     /** Aggregate counters + latency percentiles so far. */
     ServerStats stats() const;
 
+    /**
+     * Publish the derived telemetry gauges (serve.queue.depth, the
+     * pool's imbalance gauges) into the global registry. Runs before
+     * every /metrics scrape; safe to call any time.
+     */
+    void publish_telemetry();
+
+    /**
+     * Bound port of the embedded /metrics endpoint, -1 when disabled
+     * or not (yet) started. Resolves ephemeral (port 0) bindings.
+     */
+    int telemetry_port() const
+    {
+        return telemetry_ != nullptr ? telemetry_->port() : -1;
+    }
+
     const ServeConfig &config() const { return config_; }
 
     /** The schedule store this server resolves schedules from. */
@@ -210,6 +256,9 @@ class Server
     /** Shared compute pool; every worker submits into it concurrently. */
     std::unique_ptr<WorkStealPool> pool_;
 
+    /** Embedded /metrics endpoint; nullptr when disabled. */
+    std::unique_ptr<TelemetryServer> telemetry_;
+
     // Producer->dispatcher wakeup + block-mode backpressure. The data
     // path stays lock-free: this mutex guards only sleeping/waking.
     std::mutex wake_mutex_;
@@ -238,7 +287,13 @@ class Server
     int64_t batches_total_ = 0;
     int64_t batch_requests_total_ = 0;
     int64_t max_batch_size_ = 0;
-    std::vector<double> latency_samples_; // bounded reservoir
+    /**
+     * Completed-request latency distribution. Thread-safe on its own
+     * (per-bucket atomics), records outside stats_mutex_; unlike the
+     * old bounded sample ring it never drops samples, so quantiles
+     * stay exact-to-bucket-resolution at any load.
+     */
+    LogHistogram latency_hist_;
 };
 
 } // namespace serve

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Embedded telemetry endpoint: a minimal HTTP/1.1 server exposing the
+ * metrics registry in OpenMetrics text form, so a Prometheus scraper
+ * (or `mps_tool top`) can watch a serving process live.
+ *
+ * Scope is deliberately tiny — one blocking accept thread, loopback
+ * binding, two routes:
+ *
+ *   GET /metrics  -> 200, `application/openmetrics-text`, the merged
+ *                    registry snapshot (after running the pre-scrape
+ *                    hook, which publishes derived gauges like
+ *                    pool.imbalance and serve.queue.depth);
+ *   GET /healthz  -> 200 `ok`;
+ *   anything else -> 404.
+ *
+ * Scrapes are served serially; a scrape walks per-thread metric shards
+ * but never blocks the threads recording into them (the registry's
+ * read path takes only the shard-registration mutex). Port 0 binds an
+ * ephemeral port, reported by port() — tests and tools/check.sh use
+ * this to avoid fixed-port collisions.
+ *
+ * Enabled in the server via ServeConfig::telemetry_port or the
+ * MPS_TELEMETRY_PORT environment variable; standalone use (benches)
+ * constructs one directly.
+ */
+#ifndef MPS_SERVE_TELEMETRY_SERVER_H
+#define MPS_SERVE_TELEMETRY_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace mps {
+
+class MetricsRegistry;
+
+namespace serve {
+
+/** Minimal blocking HTTP endpoint serving /metrics and /healthz. */
+class TelemetryServer
+{
+  public:
+    struct Options
+    {
+        /** TCP port to bind on 127.0.0.1; 0 picks an ephemeral port. */
+        int port = 0;
+        /**
+         * Registry to expose; nullptr means MetricsRegistry::global().
+         * The registry must outlive the server.
+         */
+        MetricsRegistry *registry = nullptr;
+        /**
+         * Run before every /metrics render — the place to publish
+         * derived gauges (queue depth, pool imbalance) so scrapes see
+         * fresh values. May be empty; must be thread-safe (it runs on
+         * the accept thread).
+         */
+        std::function<void()> pre_scrape;
+    };
+
+    TelemetryServer() : TelemetryServer(Options{}) {}
+    explicit TelemetryServer(Options options);
+
+    /** Stops and joins the accept thread. */
+    ~TelemetryServer();
+
+    TelemetryServer(const TelemetryServer &) = delete;
+    TelemetryServer &operator=(const TelemetryServer &) = delete;
+
+    /**
+     * Bind, listen and start the accept thread. Returns false (with a
+     * warn log) when the port cannot be bound; the process keeps
+     * running without telemetry. Idempotent while running.
+     */
+    bool start();
+
+    /** Stop accepting, close the socket, join the thread. Idempotent. */
+    void stop();
+
+    bool running() const { return running_.load(std::memory_order_acquire); }
+
+    /** Bound port (resolves port 0 bindings); -1 while not running. */
+    int port() const { return port_.load(std::memory_order_acquire); }
+
+    /** Number of completed GET /metrics responses so far. */
+    uint64_t scrape_count() const
+    {
+        return scrapes_.load(std::memory_order_acquire);
+    }
+
+  private:
+    void accept_loop();
+    std::string render_metrics();
+
+    Options options_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_{false};
+    std::atomic<int> port_{-1};
+    std::atomic<uint64_t> scrapes_{0};
+    int listen_fd_ = -1;
+    std::thread thread_;
+};
+
+/**
+ * Minimal HTTP/1.1 GET client for the telemetry endpoint (used by
+ * `mps_tool top --url`, the telemetry tests and tools/check.sh).
+ * On success returns true and fills @p body with the response body
+ * (headers stripped). Non-200 statuses and transport errors return
+ * false with a diagnostic in *error.
+ */
+bool http_get(const std::string &host, int port, const std::string &path,
+              std::string *body, std::string *error = nullptr);
+
+} // namespace serve
+} // namespace mps
+
+#endif // MPS_SERVE_TELEMETRY_SERVER_H

@@ -1,7 +1,16 @@
 #include "mps/serve/request.h"
 
+#include <atomic>
+
 namespace mps {
 namespace serve {
+
+uint64_t
+next_request_id()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 const char *
 request_status_name(RequestStatus status)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -13,6 +14,7 @@
 #include "mps/gcn/gemm.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
+#include "mps/util/trace.h"
 
 namespace mps {
 namespace serve {
@@ -36,10 +38,43 @@ serve_cost(const CsrMatrix &a, index_t dim, const WorkStealPool &pool)
     return std::max(default_merge_path_cost(dim), floor_cost);
 }
 
-/** Bound kept on completed-request latencies for percentile reports. */
-constexpr size_t kMaxLatencySamples = 65536;
+/** Flow-event name connecting one request's spans across threads. */
+constexpr const char *kRequestFlow = "serve.request";
+
+/** ServerStats percentile block from a latency histogram snapshot. */
+PercentileSummary
+summary_from_histogram(const HistogramSnapshot &h)
+{
+    PercentileSummary s;
+    s.count = static_cast<int64_t>(h.count);
+    if (h.count == 0)
+        return s;
+    s.mean = h.mean();
+    s.min = h.min;
+    s.max = h.max;
+    s.p50 = h.quantile(0.50);
+    s.p95 = h.quantile(0.95);
+    s.p99 = h.quantile(0.99);
+    return s;
+}
 
 } // namespace
+
+int
+default_telemetry_port()
+{
+    const char *v = std::getenv("MPS_TELEMETRY_PORT");
+    if (v == nullptr || *v == '\0')
+        return -1;
+    char *end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || parsed < 0 || parsed > 65535) {
+        warn("MPS_TELEMETRY_PORT='" + std::string(v) +
+             "' is not a port number; telemetry endpoint disabled");
+        return -1;
+    }
+    return static_cast<int>(parsed);
+}
 
 Server::Server(ServeConfig config, ScheduleCache *cache)
     : config_(config),
@@ -94,10 +129,18 @@ Server::submit(uint64_t graph_id, DenseMatrix features, double timeout_ms)
     auto &metrics = MetricsRegistry::global();
     auto req = std::make_unique<PendingRequest>();
     req->graph_id = graph_id;
+    req->request_id = next_request_id();
     req->features = std::move(features);
     req->timeout_ms =
         timeout_ms < 0.0 ? config_.default_timeout_ms : timeout_ms;
     std::future<InferenceResult> fut = req->promise.get_future();
+
+    // Flow start: the 's' point inside this span is the tail of the
+    // arrow chain that reappears at batch formation ('t') and batch
+    // execution ('f') on other threads.
+    ScopedSpan submit_span("serve.submit", "serve");
+    TraceSession::global().record_flow(kRequestFlow, "serve", 's',
+                                       req->request_id);
 
     metrics.counter_add("serve.requests.submitted");
     {
@@ -194,6 +237,15 @@ Server::start()
     // have reserved for it.
     pool_ = std::make_unique<WorkStealPool>(pool_threads);
 
+    if (config_.telemetry_port >= 0) {
+        TelemetryServer::Options opts;
+        opts.port = config_.telemetry_port;
+        opts.pre_scrape = [this] { publish_telemetry(); };
+        telemetry_ = std::make_unique<TelemetryServer>(std::move(opts));
+        if (!telemetry_->start())
+            telemetry_.reset(); // bind failure: serve without telemetry
+    }
+
     dispatcher_ = std::thread(&Server::dispatcher_loop, this);
     workers_.reserve(config_.num_workers);
     for (unsigned i = 0; i < config_.num_workers; ++i)
@@ -252,6 +304,15 @@ Server::drain_queue_into_batcher(int64_t now_us_val)
 void
 Server::hand_to_workers(Batch batch)
 {
+    TraceSession &trace = TraceSession::global();
+    if (trace.active()) {
+        // Flow step on the dispatcher thread: every member request's
+        // arrow passes through this batch-formation slice.
+        ScopedSpan span("serve.batch.form", "serve");
+        for (const RequestPtr &req : batch.requests)
+            trace.record_flow(kRequestFlow, "serve", 't',
+                              req->request_id);
+    }
     {
         std::lock_guard<std::mutex> lk(batches_mutex_);
         ready_batches_.push_back(std::move(batch));
@@ -376,6 +437,15 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
         batch_requests_total_ += k;
         max_batch_size_ = std::max<int64_t>(max_batch_size_, k);
     }
+    ScopedSpan exec_span("serve.batch.exec", "serve");
+    {
+        // Flow finish: close each request's arrow on the executing
+        // worker thread, inside the batch-exec slice.
+        TraceSession &trace = TraceSession::global();
+        for (const RequestPtr &req : live)
+            trace.record_flow(kRequestFlow, "serve", 'f',
+                              req->request_id);
+    }
     MetricTimer exec_timer("serve.batch.exec_ms");
 
     // Stack the batch's feature matrices vertically into one tall
@@ -465,8 +535,8 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
         result.latency_ms =
             live[static_cast<size_t>(j)]->since_submit.elapsed_ms();
         result.batch_size = k;
-        metrics.timer_record_ms("serve.request.latency_ms",
-                                result.latency_ms);
+        metrics.histogram_record("serve.request.latency_ms",
+                                 result.latency_ms);
         metrics.counter_add("serve.requests.completed");
         record_completion(result.latency_ms);
         live[static_cast<size_t>(j)]->promise.set_value(
@@ -477,13 +547,11 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
 void
 Server::record_completion(double latency_ms)
 {
+    // The histogram has its own per-bucket atomics; only the counter
+    // needs the stats mutex.
+    latency_hist_.record(latency_ms);
     std::lock_guard<std::mutex> lk(stats_mutex_);
     ++completed_;
-    if (latency_samples_.size() < kMaxLatencySamples)
-        latency_samples_.push_back(latency_ms);
-    else
-        latency_samples_[static_cast<size_t>(completed_) %
-                         kMaxLatencySamples] = latency_ms;
 }
 
 void
@@ -518,14 +586,14 @@ Server::shutdown()
                         "server shut down before execution");
 
     auto &metrics = MetricsRegistry::global();
-    PercentileSummary summary;
-    {
-        std::lock_guard<std::mutex> lk(stats_mutex_);
-        summary = summarize_percentiles(latency_samples_);
-    }
+    const PercentileSummary summary =
+        summary_from_histogram(latency_hist_.snapshot());
     metrics.gauge_set("serve.latency.p50_ms", summary.p50);
     metrics.gauge_set("serve.latency.p95_ms", summary.p95);
     metrics.gauge_set("serve.latency.p99_ms", summary.p99);
+
+    if (telemetry_ != nullptr)
+        telemetry_->stop();
 }
 
 ServerStats
@@ -544,8 +612,20 @@ Server::stats() const
             : static_cast<double>(batch_requests_total_) /
                   static_cast<double>(batches_total_);
     s.max_batch_size = max_batch_size_;
-    s.latency_ms = summarize_percentiles(latency_samples_);
+    s.latency_ms = summary_from_histogram(latency_hist_.snapshot());
     return s;
+}
+
+void
+Server::publish_telemetry()
+{
+    auto &metrics = MetricsRegistry::global();
+    if (!metrics.enabled())
+        return;
+    metrics.gauge_set("serve.queue.depth",
+                      static_cast<double>(queue_.size_approx()));
+    if (pool_ != nullptr)
+        pool_->publish_imbalance(metrics);
 }
 
 } // namespace serve

@@ -1,0 +1,260 @@
+#include "mps/serve/telemetry_server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mps/util/log.h"
+#include "mps/util/metrics.h"
+#include "mps/util/openmetrics.h"
+
+namespace mps {
+namespace serve {
+
+namespace {
+
+constexpr const char *kOpenMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/** Read until the header terminator, EOF or @p cap bytes. */
+std::string
+read_request(int fd, size_t cap = 8192)
+{
+    std::string data;
+    char buf[1024];
+    while (data.size() < cap) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        data.append(buf, static_cast<size_t>(n));
+        if (data.find("\r\n\r\n") != std::string::npos)
+            break;
+    }
+    return data;
+}
+
+void
+write_all(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        off += static_cast<size_t>(n);
+    }
+}
+
+std::string
+http_response(int status, const char *reason, const char *content_type,
+              const std::string &body)
+{
+    std::string r = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+    r += body;
+    return r;
+}
+
+/** The target of "GET <target> HTTP/1.x"; empty for anything else. */
+std::string
+parse_get_target(const std::string &request)
+{
+    if (request.rfind("GET ", 0) != 0)
+        return "";
+    const size_t end = request.find(' ', 4);
+    if (end == std::string::npos)
+        return "";
+    return request.substr(4, end - 4);
+}
+
+} // namespace
+
+TelemetryServer::TelemetryServer(Options options)
+    : options_(std::move(options))
+{
+}
+
+TelemetryServer::~TelemetryServer()
+{
+    stop();
+}
+
+bool
+TelemetryServer::start()
+{
+    if (running_.load(std::memory_order_acquire))
+        return true;
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        warn("telemetry: socket() failed: " +
+             std::string(std::strerror(errno)));
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+        warn("telemetry: cannot bind 127.0.0.1:" +
+             std::to_string(options_.port) + ": " +
+             std::string(std::strerror(errno)));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+
+    // Resolve the bound port (meaningful for ephemeral port 0).
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port_.store(static_cast<int>(ntohs(bound.sin_port)),
+                    std::memory_order_release);
+
+    stop_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread(&TelemetryServer::accept_loop, this);
+    return true;
+}
+
+void
+TelemetryServer::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    port_.store(-1, std::memory_order_release);
+}
+
+std::string
+TelemetryServer::render_metrics()
+{
+    if (options_.pre_scrape)
+        options_.pre_scrape();
+    const MetricsRegistry &registry = options_.registry != nullptr
+                                          ? *options_.registry
+                                          : MetricsRegistry::global();
+    return to_openmetrics(registry);
+}
+
+void
+TelemetryServer::accept_loop()
+{
+    while (!stop_.load(std::memory_order_acquire)) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        // The 100ms poll bounds how long stop() waits for the join.
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue;
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        timeval tv{};
+        tv.tv_sec = 2;
+        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+        const std::string target = parse_get_target(read_request(client));
+        if (target == "/metrics" || target.rfind("/metrics?", 0) == 0) {
+            write_all(client,
+                      http_response(200, "OK", kOpenMetricsContentType,
+                                    render_metrics()));
+            scrapes_.fetch_add(1, std::memory_order_acq_rel);
+        } else if (target == "/healthz") {
+            write_all(client,
+                      http_response(200, "OK", "text/plain", "ok\n"));
+        } else {
+            write_all(client, http_response(404, "Not Found",
+                                            "text/plain", "not found\n"));
+        }
+        ::close(client);
+    }
+}
+
+bool
+http_get(const std::string &host, int port, const std::string &path,
+         std::string *body, std::string *error)
+{
+    const auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return fail("socket() failed: " +
+                    std::string(std::strerror(errno)));
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return fail("not an IPv4 address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return fail("cannot connect to " + host + ":" +
+                    std::to_string(port) + ": " +
+                    std::string(std::strerror(errno)));
+    }
+
+    const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " +
+                                host + "\r\nConnection: close\r\n\r\n";
+    write_all(fd, request);
+
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+
+    const size_t line_end = response.find("\r\n");
+    if (line_end == std::string::npos)
+        return fail("malformed HTTP response");
+    const std::string status_line = response.substr(0, line_end);
+    if (status_line.find(" 200 ") == std::string::npos)
+        return fail("HTTP status: " + status_line);
+    const size_t header_end = response.find("\r\n\r\n");
+    if (header_end == std::string::npos)
+        return fail("missing header terminator");
+    if (body != nullptr)
+        *body = response.substr(header_end + 4);
+    return true;
+}
+
+} // namespace serve
+} // namespace mps

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Log-bucketed histogram for latency/duration distributions (the
+ * kHistogram metric kind and the serve path's latency accounting).
+ *
+ * Bucketing is HDR-style: the value's binary exponent selects an
+ * octave and the top kSubBucketBits mantissa bits a linear sub-bucket
+ * within it, so a bucket's width is a fixed fraction of its position.
+ * With 32 sub-buckets per octave a bucket spans at most 1/32 of its
+ * lower bound, and quoting the bucket midpoint bounds the relative
+ * error of any reconstructed sample (and hence of every quantile) at
+ * 1/64 ~ 1.6% — the "~2% relative error" the exporters document.
+ * Indexing is frexp + integer ops on the mantissa — no log() on the
+ * record path.
+ *
+ * LogHistogram is a fixed-size array of atomic counters. record() is a
+ * relaxed fetch_add on one bucket plus count/sum/min/max updates:
+ * lock-free always, and wait-free in the metrics registry's use where
+ * each thread owns its shard's histogram. merge_into() + quantile()
+ * reconstruct the distribution on the read side.
+ */
+#ifndef MPS_UTIL_HISTOGRAM_H
+#define MPS_UTIL_HISTOGRAM_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace mps {
+
+/** Static bucket layout shared by every LogHistogram. */
+struct HistogramLayout
+{
+    /** Sub-bucket resolution: 2^5 = 32 buckets per octave. */
+    static constexpr int kSubBucketBits = 5;
+    static constexpr int kSubBuckets = 1 << kSubBucketBits;
+    /**
+     * Smallest/largest distinguishable binary exponent. In the
+     * registry's millisecond unit this spans ~1 ns to ~12 days; values
+     * outside clamp into the edge buckets.
+     */
+    static constexpr int kMinExponent = -20;
+    static constexpr int kMaxExponent = 30;
+    static constexpr int kOctaves = kMaxExponent - kMinExponent + 1;
+    /** Bucket 0 holds zero and negative values. */
+    static constexpr int kNumBuckets = 1 + kOctaves * kSubBuckets;
+
+    /** Bucket index for @p value (clamped; <= 0 lands in bucket 0). */
+    static int bucket_index(double value);
+
+    /** Exclusive upper bound of bucket @p index (0 for bucket 0). */
+    static double bucket_upper(int index);
+
+    /**
+     * Representative value reported for samples in bucket @p index:
+     * the midpoint of the bucket's bounds, which is what bounds the
+     * relative quantile error at half the bucket width.
+     */
+    static double bucket_value(int index);
+};
+
+/** Read-side view of a histogram: merged counts plus the moments. */
+struct HistogramSnapshot
+{
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /** Per-bucket (non-cumulative) counts; empty when count == 0. */
+    std::vector<uint64_t> buckets;
+
+    /**
+     * Value at quantile @p q in [0, 1] by bucket interpolation,
+     * clamped into [min, max] so single-sample histograms report the
+     * exact sample. 0 when empty.
+     */
+    double quantile(double q) const;
+
+    double mean() const {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+
+    /** Merge another snapshot into this one (min/max/moments/buckets). */
+    void merge(const HistogramSnapshot &other);
+};
+
+/**
+ * The writable histogram. All mutators are lock-free (relaxed atomics);
+ * concurrent record() calls from many threads are safe, at the cost of
+ * cacheline traffic on shared buckets — the metrics registry avoids
+ * even that by giving each thread its own instance.
+ */
+class LogHistogram
+{
+  public:
+    LogHistogram();
+
+    LogHistogram(const LogHistogram &) = delete;
+    LogHistogram &operator=(const LogHistogram &) = delete;
+
+    /** Add one sample. Lock-free; safe from any thread. */
+    void record(double value);
+
+    /** Samples recorded so far (relaxed read). */
+    int64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Copy the current state out for reading/merging. */
+    HistogramSnapshot snapshot() const;
+
+    /** Accumulate this histogram into @p into (read-side merging). */
+    void merge_into(HistogramSnapshot &into) const;
+
+    /** Zero every bucket and the moments (not linearizable vs record). */
+    void reset();
+
+  private:
+    std::atomic<uint64_t> buckets_[HistogramLayout::kNumBuckets];
+    std::atomic<int64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{0.0};
+    std::atomic<double> max_{0.0};
+};
+
+} // namespace mps
+
+#endif // MPS_UTIL_HISTOGRAM_H

@@ -8,11 +8,12 @@
  *     relaxed atomic load and returns. Instrumentation can therefore be
  *     left compiled into release hot paths (the mps_tool spmm loop, the
  *     thread-pool worker loop) unconditionally.
- *  2. No cross-thread contention when enabled — counters and timing
- *     distributions live in per-thread shards. A thread's steady-state
- *     increment touches only its own cache-resident cells with relaxed
- *     atomics (wait-free); a shard's mutex is taken only to create a new
- *     cell or by a reader enumerating the shard.
+ *  2. No cross-thread contention when enabled — counters, timing
+ *     distributions and histograms live in per-thread shards. A
+ *     thread's steady-state increment touches only its own
+ *     cache-resident cells with relaxed atomics (wait-free); a shard's
+ *     mutex is taken only to create a new cell or by a reader
+ *     enumerating the shard.
  *  3. Machine-readable output — snapshot() merges the shards and the
  *     JSON/CSV exporters emit exactly what the mps_tool profile report
  *     and the bench trajectory files consume.
@@ -32,18 +33,20 @@
 #include <string>
 #include <vector>
 
+#include "mps/util/histogram.h"
 #include "mps/util/timer.h"
 
 namespace mps {
 
 /** What a named metric measures. */
 enum class MetricKind {
-    kCounter, ///< monotonically accumulated int64 (events, items)
-    kGauge,   ///< last-written double (ratios, sizes)
-    kTimer,   ///< distribution of millisecond durations
+    kCounter,   ///< monotonically accumulated int64 (events, items)
+    kGauge,     ///< last-written double (ratios, sizes)
+    kTimer,     ///< min/mean/max of millisecond durations
+    kHistogram, ///< log-bucketed distribution with quantiles
 };
 
-/** to_string for MetricKind ("counter" / "gauge" / "timer"). */
+/** to_string for MetricKind ("counter"/"gauge"/"timer"/"histogram"). */
 const char *metric_kind_name(MetricKind kind);
 
 /** One merged metric as returned by MetricsRegistry::snapshot(). */
@@ -51,15 +54,25 @@ struct MetricSnapshot
 {
     std::string name;
     MetricKind kind = MetricKind::kCounter;
-    /** Counter value, or number of timing samples. */
+    /** Counter value, or number of timing/histogram samples. */
     int64_t count = 0;
-    /** Gauge value, or total milliseconds across timing samples. */
+    /** Gauge value, or total across timing/histogram samples. */
     double sum = 0.0;
-    /** Smallest / largest timing sample in milliseconds. */
+    /** Smallest / largest timing or histogram sample. */
     double min = 0.0;
     double max = 0.0;
+    /** Histogram quantiles (~2% relative error); 0 for other kinds. */
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    /**
+     * Histogram-only: merged per-bucket counts in HistogramLayout
+     * order (used by the OpenMetrics exporter); empty otherwise.
+     */
+    std::vector<uint64_t> buckets;
 
-    /** Mean milliseconds per timing sample (0 when empty). */
+    /** Mean per sample (0 when empty). */
     double mean() const {
         return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
@@ -100,6 +113,14 @@ class MetricsRegistry
     /** Record one @p ms duration sample into timer @p name. */
     void timer_record_ms(const std::string &name, double ms);
 
+    /**
+     * Record one sample into log-bucketed histogram @p name (created
+     * on first use). Wait-free on steady state: the sample lands in
+     * this thread's shard with relaxed atomics, exactly like a
+     * counter increment.
+     */
+    void histogram_record(const std::string &name, double value);
+
     /** Merge all shards into one sorted-by-name snapshot. */
     std::vector<MetricSnapshot> snapshot() const;
 
@@ -111,6 +132,16 @@ class MetricsRegistry
 
     /** Merged view of one timer (zeroed snapshot when absent). */
     MetricSnapshot timer_value(const std::string &name) const;
+
+    /** Merged view of one histogram (zeroed snapshot when absent). */
+    MetricSnapshot histogram_value(const std::string &name) const;
+
+    /**
+     * Full merged bucket view of one histogram (for exporters and
+     * quantile math beyond the snapshot's fixed set).
+     */
+    HistogramSnapshot
+    histogram_snapshot(const std::string &name) const;
 
     /**
      * Zero every counter/timer cell and drop all gauges. Shards and
@@ -137,7 +168,8 @@ class MetricsRegistry
   private:
     friend struct MetricsTls;
 
-    /** One counter/timer slot; written only by the owning thread. */
+    /** One counter/timer/histogram slot; written only by the owning
+     *  thread. */
     struct Cell
     {
         MetricKind kind;
@@ -145,8 +177,14 @@ class MetricsRegistry
         std::atomic<double> sum{0.0};
         std::atomic<double> min{0.0};
         std::atomic<double> max{0.0};
+        /** Bucket storage, allocated only for kHistogram cells. */
+        std::unique_ptr<LogHistogram> hist;
 
-        explicit Cell(MetricKind k) : kind(k) {}
+        explicit Cell(MetricKind k) : kind(k)
+        {
+            if (kind == MetricKind::kHistogram)
+                hist = std::make_unique<LogHistogram>();
+        }
     };
 
     /** Per-thread cell table. The mutex guards only the map's shape. */

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * OpenMetrics / Prometheus text exposition for the metrics registry.
+ *
+ * to_openmetrics() renders a merged MetricsRegistry snapshot as the
+ * text format a Prometheus scraper ingests:
+ *
+ *   counters   -> `# TYPE f counter` + `f_total <v>`
+ *   gauges     -> `# TYPE f gauge` + `f <v>`
+ *   timers     -> `# TYPE f summary` + `f_count` / `f_sum`
+ *   histograms -> `# TYPE f histogram` + cumulative
+ *                 `f_bucket{le="..."}` lines + `f_sum` / `f_count`
+ *
+ * Registry names are dotted (`serve.request.latency`); family names
+ * replace every character outside [a-zA-Z0-9_:] with '_'. A registry
+ * name may carry pre-formatted labels inline — everything from the
+ * first '{' on is parsed as `key="value"` pairs and re-emitted escaped
+ * (`pool.worker.busy_seconds{worker="3"}` becomes one labelled sample
+ * of family `pool_worker_busy_seconds`), which is how flat registry
+ * names express per-worker / per-tenant dimensions.
+ *
+ * The module also ships the read side — parse_openmetrics() and
+ * validate_openmetrics() — used by `mps_tool top`, the format tests
+ * and the tools/check.sh telemetry stage, so the exporter and its
+ * validator cannot drift apart.
+ */
+#ifndef MPS_UTIL_OPENMETRICS_H
+#define MPS_UTIL_OPENMETRICS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mps/util/metrics.h"
+
+namespace mps {
+
+/** Family-name sanitization: anything outside [a-zA-Z0-9_:] -> '_'. */
+std::string openmetrics_name(const std::string &name);
+
+/** Escape a label value ('\\', '"' and newline, per the spec). */
+std::string openmetrics_label_escape(const std::string &value);
+
+/** Render @p snapshot as OpenMetrics text, terminated by `# EOF`. */
+std::string to_openmetrics(const std::vector<MetricSnapshot> &snapshot);
+
+/** Shorthand: render @p registry 's merged snapshot. */
+std::string to_openmetrics(const MetricsRegistry &registry);
+
+/** One parsed sample line. */
+struct OpenMetricsSample
+{
+    /** Full sample name (family + suffix), e.g. `f_bucket`. */
+    std::string name;
+    std::map<std::string, std::string> labels;
+    double value = 0.0;
+
+    /** The `le` label as a double (+inf for "+Inf"); NaN if absent. */
+    double le() const;
+};
+
+/** Parsed document: samples in file order plus the TYPE declarations. */
+struct OpenMetricsText
+{
+    std::vector<OpenMetricsSample> samples;
+    /** family -> declared type ("counter", "gauge", ...). */
+    std::map<std::string, std::string> types;
+
+    /** First sample with @p name (and @p labels if non-empty matched
+     *  as a subset); nullptr when absent. */
+    const OpenMetricsSample *
+    find(const std::string &name,
+         const std::map<std::string, std::string> &labels = {}) const;
+
+    /** find()'s value, or @p fallback when absent. */
+    double value_or(const std::string &name, double fallback = 0.0) const;
+
+    /**
+     * Quantile @p q in [0,1] of histogram family @p family,
+     * interpolated from its cumulative `_bucket` samples; 0 when the
+     * family is absent or empty.
+     */
+    double histogram_quantile(const std::string &family, double q) const;
+};
+
+/**
+ * Parse OpenMetrics text. On syntax errors, parsing stops, *error (if
+ * given) describes the first problem, and the samples parsed so far
+ * are returned.
+ */
+OpenMetricsText parse_openmetrics(const std::string &text,
+                                  std::string *error = nullptr);
+
+/**
+ * Strict format validation: every line must be a well-formed comment,
+ * TYPE/HELP declaration or sample; the document must end with `# EOF`;
+ * histogram `_bucket` series must be cumulative (non-decreasing in
+ * file order). Returns false with a diagnostic in *error otherwise.
+ */
+bool validate_openmetrics(const std::string &text,
+                          std::string *error = nullptr);
+
+} // namespace mps
+
+#endif // MPS_UTIL_OPENMETRICS_H

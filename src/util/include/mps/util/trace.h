@@ -26,7 +26,8 @@
 
 namespace mps {
 
-/** One completed span, timestamps in microseconds since start(). */
+/** One completed span or flow point, timestamps in microseconds since
+ *  start(). */
 struct TraceEvent
 {
     std::string name;
@@ -35,6 +36,15 @@ struct TraceEvent
     double dur_us = 0.0;
     /** Small dense thread id assigned in first-event order. */
     uint32_t tid = 0;
+    /**
+     * Chrome trace phase: 'X' (complete span) or the flow phases
+     * 's' (start), 't' (step), 'f' (finish). Flow events carry no
+     * duration; events sharing (name, category, flow_id) render as a
+     * connected arrow chain in Perfetto.
+     */
+    char phase = 'X';
+    /** Flow binding id (the serve path uses the request id). */
+    uint64_t flow_id = 0;
 };
 
 /**
@@ -73,6 +83,16 @@ class TraceSession
      */
     void record_complete(std::string name, std::string category,
                          double ts_us, double dur_us);
+
+    /**
+     * Record one flow point ('s' start / 't' step / 'f' finish) at the
+     * current time, bound to @p id. No-op while inactive. Emit each
+     * point from inside a span on its thread so the arrows have
+     * slices to attach to (Chrome binds a flow event to the slice
+     * enclosing its timestamp).
+     */
+    void record_flow(const char *name, const char *category, char phase,
+                     uint64_t id);
 
     /** All events so far, merged across threads, sorted by ts. */
     std::vector<TraceEvent> events() const;

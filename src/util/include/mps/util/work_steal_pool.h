@@ -38,6 +38,16 @@
  * Observability (all through the PR 1 registry, no-ops when disabled):
  * pool.dispatch_ns (timer; nanosecond samples of the submit path),
  * pool.steals / pool.parks / pool.jobs / pool.inline_runs (counters).
+ * Load-balance telemetry (the live analog of the paper's Fig. 8):
+ * per-executor busy and steal durations per job class go into the
+ * pool.worker.busy_ms.{small,medium,large} and .steal_ms.* histograms
+ * (jobs too small to rebalance — fewer than two chunks per range —
+ * are excluded so launch latency stays unperturbed), workers
+ * accumulate cumulative busy time per slot, and publish_imbalance()
+ * derives the pool.imbalance gauge (max/mean worker busy time) plus
+ * per-worker pool.worker.busy_seconds{worker="i"} gauges. Workers
+ * publish automatically before parking; scrape paths call it on
+ * demand.
  *
  * Environment: MPS_POOL_SPIN (spin budget, read at pool construction),
  * MPS_PIN_THREADS=1 (pin worker i to core i mod hardware cores).
@@ -81,8 +91,13 @@ class WorkStealPool
     WorkStealPool(const WorkStealPool &) = delete;
     WorkStealPool &operator=(const WorkStealPool &) = delete;
 
-    /** Number of worker threads in the pool. */
-    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+    /**
+     * Number of worker threads in the pool. Reads a count fixed before
+     * the first worker starts, not workers_.size() — workers touch it
+     * (via publish_imbalance) while the constructor is still emplacing
+     * their std::thread handles.
+     */
+    unsigned size() const { return num_workers_; }
 
     /**
      * Upper bound on threads that can execute tasks of one
@@ -139,6 +154,17 @@ class WorkStealPool
      *  before exit). */
     static WorkStealPool &global();
 
+    /**
+     * Publish the scheduler load-balance gauges derived from the
+     * cumulative per-worker busy time: pool.imbalance (max/mean busy
+     * across workers; 1.0 = perfectly even, 0 when idle) and one
+     * pool.worker.busy_seconds{worker="i"} gauge per worker. No-op
+     * while the registry is disabled. Called by workers before they
+     * park and by scrape hooks (the /metrics endpoint).
+     */
+    void publish_imbalance(class MetricsRegistry &registry) const;
+    void publish_imbalance() const;
+
   private:
     /** Concurrent in-flight jobs; further submissions run inline. */
     static constexpr unsigned kJobSlots = 8;
@@ -180,6 +206,12 @@ class WorkStealPool
         ChunkRange ranges[kMaxRanges];
     };
 
+    /** Per-executor cumulative busy time (own cacheline each). */
+    struct alignas(64) ExecutorStat
+    {
+        std::atomic<uint64_t> busy_ns{0};
+    };
+
     void run(uint64_t n, uint64_t grain, RangeFn invoke, const void *ctx);
     void worker_loop(unsigned id);
     bool scan_jobs(unsigned preferred_range, uint64_t &steals);
@@ -187,8 +219,11 @@ class WorkStealPool
     void wait_job_done(JobSlot &slot);
     void finish_chunk(JobSlot &slot);
 
+    unsigned num_workers_ = 0;
     std::vector<std::thread> workers_;
     std::unique_ptr<JobSlot[]> slots_;
+    /** size() + 1 entries; the last aggregates external callers. */
+    std::unique_ptr<ExecutorStat[]> executor_stats_;
 
     /** Bumped on every publish; idle workers spin on it. */
     std::atomic<uint64_t> epoch_{0};

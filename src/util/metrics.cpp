@@ -49,9 +49,10 @@ const char *
 metric_kind_name(MetricKind kind)
 {
     switch (kind) {
-      case MetricKind::kCounter: return "counter";
-      case MetricKind::kGauge:   return "gauge";
-      case MetricKind::kTimer:   return "timer";
+      case MetricKind::kCounter:   return "counter";
+      case MetricKind::kGauge:     return "gauge";
+      case MetricKind::kTimer:     return "timer";
+      case MetricKind::kHistogram: return "histogram";
     }
     return "?";
 }
@@ -152,10 +153,19 @@ MetricsRegistry::timer_record_ms(const std::string &name, double ms)
     c->count.store(n + 1, std::memory_order_relaxed);
 }
 
+void
+MetricsRegistry::histogram_record(const std::string &name, double value)
+{
+    if (!enabled())
+        return;
+    cell(name, MetricKind::kHistogram)->hist->record(value);
+}
+
 std::vector<MetricSnapshot>
 MetricsRegistry::snapshot() const
 {
     std::map<std::string, MetricSnapshot> merged;
+    std::map<std::string, HistogramSnapshot> hists;
 
     std::vector<Shard *> shards;
     {
@@ -167,14 +177,20 @@ MetricsRegistry::snapshot() const
     for (Shard *shard : shards) {
         std::lock_guard<std::mutex> lock(shard->mutex);
         for (const auto &[name, c] : shard->cells) {
-            int64_t n = c->count.load(std::memory_order_relaxed);
-            double sum = c->sum.load(std::memory_order_relaxed);
             auto [it, inserted] = merged.try_emplace(name);
             MetricSnapshot &snap = it->second;
             if (inserted) {
                 snap.name = name;
                 snap.kind = c->kind;
             }
+            if (c->kind == MetricKind::kHistogram) {
+                // Buckets and moments merge on the read side; the
+                // quantiles are extracted once, after all shards.
+                c->hist->merge_into(hists[name]);
+                continue;
+            }
+            int64_t n = c->count.load(std::memory_order_relaxed);
+            double sum = c->sum.load(std::memory_order_relaxed);
             if (c->kind == MetricKind::kTimer && n > 0) {
                 double lo = c->min.load(std::memory_order_relaxed);
                 double hi = c->max.load(std::memory_order_relaxed);
@@ -189,6 +205,18 @@ MetricsRegistry::snapshot() const
             snap.count += n;
             snap.sum += sum;
         }
+    }
+    for (auto &[name, h] : hists) {
+        MetricSnapshot &snap = merged[name];
+        snap.count = h.count;
+        snap.sum = h.sum;
+        snap.min = h.min;
+        snap.max = h.max;
+        snap.p50 = h.quantile(0.50);
+        snap.p90 = h.quantile(0.90);
+        snap.p99 = h.quantile(0.99);
+        snap.p999 = h.quantile(0.999);
+        snap.buckets = std::move(h.buckets);
     }
     {
         std::lock_guard<std::mutex> lock(gauges_mutex_);
@@ -240,6 +268,40 @@ MetricsRegistry::timer_value(const std::string &name) const
     return empty;
 }
 
+MetricSnapshot
+MetricsRegistry::histogram_value(const std::string &name) const
+{
+    for (MetricSnapshot &s : snapshot()) {
+        if (s.name == name && s.kind == MetricKind::kHistogram)
+            return std::move(s);
+    }
+    MetricSnapshot empty;
+    empty.name = name;
+    empty.kind = MetricKind::kHistogram;
+    return empty;
+}
+
+HistogramSnapshot
+MetricsRegistry::histogram_snapshot(const std::string &name) const
+{
+    HistogramSnapshot merged;
+    std::vector<Shard *> shards;
+    {
+        std::lock_guard<std::mutex> lock(shards_mutex_);
+        shards.reserve(shards_.size());
+        for (const auto &s : shards_)
+            shards.push_back(s.get());
+    }
+    for (Shard *shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        auto it = shard->cells.find(name);
+        if (it != shard->cells.end() &&
+            it->second->kind == MetricKind::kHistogram)
+            it->second->hist->merge_into(merged);
+    }
+    return merged;
+}
+
 void
 MetricsRegistry::reset()
 {
@@ -252,6 +314,8 @@ MetricsRegistry::reset()
             c->sum.store(0.0, std::memory_order_relaxed);
             c->min.store(0.0, std::memory_order_relaxed);
             c->max.store(0.0, std::memory_order_relaxed);
+            if (c->hist)
+                c->hist->reset();
         }
     }
     std::lock_guard<std::mutex> gauges_lock(gauges_mutex_);
@@ -280,6 +344,17 @@ MetricsRegistry::append_json_array(JsonWriter &w) const
             w.key("min_ms").value(s.min);
             w.key("max_ms").value(s.max);
             break;
+          case MetricKind::kHistogram:
+            w.key("count").value(s.count);
+            w.key("sum").value(s.sum);
+            w.key("mean").value(s.mean());
+            w.key("min").value(s.min);
+            w.key("max").value(s.max);
+            w.key("p50").value(s.p50);
+            w.key("p90").value(s.p90);
+            w.key("p99").value(s.p99);
+            w.key("p999").value(s.p999);
+            break;
         }
         w.end_object();
     }
@@ -299,14 +374,14 @@ MetricsRegistry::to_json() const
 std::string
 MetricsRegistry::to_csv() const
 {
-    std::string out = "name,kind,count,sum,min,max,mean\n";
-    char buf[160];
+    std::string out = "name,kind,count,sum,min,max,mean,p50,p90,p99,p999\n";
+    char buf[256];
     for (const MetricSnapshot &s : snapshot()) {
         std::snprintf(buf, sizeof(buf),
-                      ",%s,%lld,%.9g,%.9g,%.9g,%.9g\n",
+                      ",%s,%lld,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g\n",
                       metric_kind_name(s.kind),
                       static_cast<long long>(s.count), s.sum, s.min,
-                      s.max, s.mean());
+                      s.max, s.mean(), s.p50, s.p90, s.p99, s.p999);
         // Metric names contain no commas/quotes by convention, but
         // escape defensively anyway.
         std::string name = s.name;

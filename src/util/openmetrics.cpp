@@ -1,0 +1,455 @@
+#include "mps/util/openmetrics.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "mps/util/histogram.h"
+
+namespace mps {
+
+namespace {
+
+bool
+is_name_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+}
+
+/** Split a registry name into its family part and inline label part. */
+void
+split_name_labels(const std::string &raw, std::string &family,
+                  std::string &labels)
+{
+    const size_t brace = raw.find('{');
+    family = openmetrics_name(raw.substr(0, brace));
+    labels.clear();
+    if (brace == std::string::npos)
+        return;
+    // Inline labels are already `key="value"` formatted by the caller;
+    // re-escape the values so the output is always well formed.
+    size_t pos = brace + 1;
+    while (pos < raw.size() && raw[pos] != '}') {
+        const size_t eq = raw.find('=', pos);
+        if (eq == std::string::npos)
+            break;
+        std::string key = raw.substr(pos, eq - pos);
+        size_t vbegin = eq + 1;
+        if (vbegin < raw.size() && raw[vbegin] == '"')
+            ++vbegin;
+        size_t vend = vbegin;
+        while (vend < raw.size() && raw[vend] != '"')
+            ++vend;
+        if (!labels.empty())
+            labels += ',';
+        labels += openmetrics_name(key) + "=\"" +
+                  openmetrics_label_escape(
+                      raw.substr(vbegin, vend - vbegin)) +
+                  '"';
+        pos = raw.find(',', vend);
+        if (pos == std::string::npos)
+            break;
+        ++pos;
+    }
+}
+
+std::string
+fmt_double(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+void
+emit_header(std::string &out, const std::string &family,
+            const std::string &raw_name, const char *type)
+{
+    out += "# HELP " + family + " mps metric '" + raw_name + "'\n";
+    out += "# TYPE " + family + ' ' + type + '\n';
+}
+
+void
+emit_sample(std::string &out, const std::string &name,
+            const std::string &labels, double value)
+{
+    out += name;
+    if (!labels.empty())
+        out += '{' + labels + '}';
+    out += ' ' + fmt_double(value) + '\n';
+}
+
+/** labels plus one more `key="value"` pair. */
+std::string
+labels_with(const std::string &labels, const std::string &extra)
+{
+    return labels.empty() ? extra : labels + ',' + extra;
+}
+
+} // namespace
+
+std::string
+openmetrics_name(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name)
+        out += is_name_char(c) ? c : '_';
+    if (out.empty() ||
+        std::isdigit(static_cast<unsigned char>(out[0])))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+openmetrics_label_escape(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"':  out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default:   out += c; break;
+        }
+    }
+    return out;
+}
+
+std::string
+to_openmetrics(const std::vector<MetricSnapshot> &snapshot)
+{
+    std::string out;
+    std::string last_family;
+    for (const MetricSnapshot &s : snapshot) {
+        std::string family, labels;
+        split_name_labels(s.name, family, labels);
+        // Snapshot order is sorted by name, so the labelled samples of
+        // one family are adjacent and share one HELP/TYPE header.
+        const bool new_family = family != last_family;
+        last_family = family;
+        switch (s.kind) {
+          case MetricKind::kCounter:
+            if (new_family)
+                emit_header(out, family, s.name, "counter");
+            emit_sample(out, family + "_total", labels,
+                        static_cast<double>(s.count));
+            break;
+          case MetricKind::kGauge:
+            if (new_family)
+                emit_header(out, family, s.name, "gauge");
+            emit_sample(out, family, labels, s.sum);
+            break;
+          case MetricKind::kTimer:
+            if (new_family)
+                emit_header(out, family, s.name, "summary");
+            emit_sample(out, family + "_count", labels,
+                        static_cast<double>(s.count));
+            emit_sample(out, family + "_sum", labels, s.sum);
+            break;
+          case MetricKind::kHistogram: {
+            if (new_family)
+                emit_header(out, family, s.name, "histogram");
+            // Cumulative buckets, emitted only where the count grows
+            // (plus the mandatory +Inf) to keep scrapes compact.
+            uint64_t cum = 0;
+            for (size_t b = 0; b < s.buckets.size(); ++b) {
+                if (s.buckets[b] == 0)
+                    continue;
+                cum += s.buckets[b];
+                const double le = HistogramLayout::bucket_upper(
+                    static_cast<int>(b));
+                emit_sample(out, family + "_bucket",
+                            labels_with(labels, "le=\"" +
+                                                    fmt_double(le) +
+                                                    "\""),
+                            static_cast<double>(cum));
+            }
+            emit_sample(out, family + "_bucket",
+                        labels_with(labels, "le=\"+Inf\""),
+                        static_cast<double>(s.count));
+            emit_sample(out, family + "_sum", labels, s.sum);
+            emit_sample(out, family + "_count", labels,
+                        static_cast<double>(s.count));
+            break;
+          }
+        }
+    }
+    out += "# EOF\n";
+    return out;
+}
+
+std::string
+to_openmetrics(const MetricsRegistry &registry)
+{
+    return to_openmetrics(registry.snapshot());
+}
+
+double
+OpenMetricsSample::le() const
+{
+    auto it = labels.find("le");
+    if (it == labels.end())
+        return std::numeric_limits<double>::quiet_NaN();
+    if (it->second == "+Inf")
+        return std::numeric_limits<double>::infinity();
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+const OpenMetricsSample *
+OpenMetricsText::find(
+    const std::string &name,
+    const std::map<std::string, std::string> &want) const
+{
+    for (const OpenMetricsSample &s : samples) {
+        if (s.name != name)
+            continue;
+        bool match = true;
+        for (const auto &[k, v] : want) {
+            auto it = s.labels.find(k);
+            if (it == s.labels.end() || it->second != v) {
+                match = false;
+                break;
+            }
+        }
+        if (match)
+            return &s;
+    }
+    return nullptr;
+}
+
+double
+OpenMetricsText::value_or(const std::string &name, double fallback) const
+{
+    const OpenMetricsSample *s = find(name);
+    return s == nullptr ? fallback : s->value;
+}
+
+double
+OpenMetricsText::histogram_quantile(const std::string &family,
+                                    double q) const
+{
+    // Collect the cumulative (le, count) pairs in file order; the
+    // exporter (and the validator) guarantee they are non-decreasing.
+    std::vector<std::pair<double, double>> cum;
+    for (const OpenMetricsSample &s : samples) {
+        if (s.name == family + "_bucket")
+            cum.emplace_back(s.le(), s.value);
+    }
+    if (cum.empty() || cum.back().second <= 0.0)
+        return 0.0;
+    const double total = cum.back().second;
+    const double rank = std::max(1.0, std::ceil(q * total));
+    double prev_le = 0.0;
+    for (const auto &[le, count] : cum) {
+        if (count >= rank) {
+            if (std::isinf(le))
+                return prev_le;
+            // Midpoint of the covering bucket, mirroring
+            // HistogramSnapshot::quantile's error bound.
+            return (prev_le + le) / 2.0;
+        }
+        prev_le = le;
+    }
+    return prev_le;
+}
+
+namespace {
+
+/** Parse one `key="value",...}` label block; returns success. */
+bool
+parse_labels(const std::string &line, size_t &pos,
+             std::map<std::string, std::string> &labels)
+{
+    ++pos; // '{'
+    while (pos < line.size() && line[pos] != '}') {
+        size_t kbegin = pos;
+        while (pos < line.size() && is_name_char(line[pos]))
+            ++pos;
+        if (pos == kbegin || pos >= line.size() || line[pos] != '=')
+            return false;
+        std::string key = line.substr(kbegin, pos - kbegin);
+        ++pos;
+        if (pos >= line.size() || line[pos] != '"')
+            return false;
+        ++pos;
+        std::string value;
+        while (pos < line.size() && line[pos] != '"') {
+            char c = line[pos];
+            if (c == '\\') {
+                ++pos;
+                if (pos >= line.size())
+                    return false;
+                char esc = line[pos];
+                if (esc == 'n')
+                    c = '\n';
+                else if (esc == '\\' || esc == '"')
+                    c = esc;
+                else
+                    return false;
+            }
+            value += c;
+            ++pos;
+        }
+        if (pos >= line.size())
+            return false;
+        ++pos; // closing '"'
+        labels.emplace(std::move(key), std::move(value));
+        if (pos < line.size() && line[pos] == ',')
+            ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}')
+        return false;
+    ++pos;
+    return true;
+}
+
+bool
+parse_value(const std::string &text, double &value)
+{
+    if (text == "+Inf" || text == "Inf") {
+        value = std::numeric_limits<double>::infinity();
+        return true;
+    }
+    if (text == "-Inf") {
+        value = -std::numeric_limits<double>::infinity();
+        return true;
+    }
+    if (text == "NaN") {
+        value = std::numeric_limits<double>::quiet_NaN();
+        return true;
+    }
+    char *end = nullptr;
+    value = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0';
+}
+
+} // namespace
+
+OpenMetricsText
+parse_openmetrics(const std::string &text, std::string *error)
+{
+    OpenMetricsText out;
+    if (error != nullptr)
+        error->clear();
+    size_t line_no = 0;
+    size_t begin = 0;
+    bool saw_eof = false;
+    while (begin < text.size()) {
+        size_t end = text.find('\n', begin);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(begin, end - begin);
+        begin = end + 1;
+        ++line_no;
+        auto fail = [&](const std::string &why) {
+            if (error != nullptr && error->empty())
+                *error = "line " + std::to_string(line_no) + ": " + why +
+                         ": " + line;
+        };
+        if (line.empty())
+            continue;
+        if (saw_eof) {
+            fail("content after # EOF");
+            break;
+        }
+        if (line[0] == '#') {
+            if (line == "# EOF") {
+                saw_eof = true;
+                continue;
+            }
+            if (line.rfind("# TYPE ", 0) == 0) {
+                const size_t name_begin = 7;
+                const size_t sp = line.find(' ', name_begin);
+                if (sp == std::string::npos) {
+                    fail("malformed TYPE line");
+                    break;
+                }
+                out.types[line.substr(name_begin, sp - name_begin)] =
+                    line.substr(sp + 1);
+                continue;
+            }
+            if (line.rfind("# HELP ", 0) == 0)
+                continue;
+            // Other comments are legal in the Prometheus text format.
+            continue;
+        }
+        OpenMetricsSample sample;
+        size_t pos = 0;
+        while (pos < line.size() && is_name_char(line[pos]))
+            ++pos;
+        if (pos == 0) {
+            fail("sample does not start with a metric name");
+            break;
+        }
+        sample.name = line.substr(0, pos);
+        if (pos < line.size() && line[pos] == '{') {
+            if (!parse_labels(line, pos, sample.labels)) {
+                fail("malformed label block");
+                break;
+            }
+        }
+        if (pos >= line.size() || line[pos] != ' ') {
+            fail("missing value separator");
+            break;
+        }
+        ++pos;
+        // An optional timestamp may follow the value; take the first
+        // token as the value.
+        size_t vend = line.find(' ', pos);
+        if (vend == std::string::npos)
+            vend = line.size();
+        if (!parse_value(line.substr(pos, vend - pos), sample.value)) {
+            fail("malformed sample value");
+            break;
+        }
+        out.samples.push_back(std::move(sample));
+    }
+    if (!saw_eof && error != nullptr && error->empty())
+        *error = "missing # EOF terminator";
+    return out;
+}
+
+bool
+validate_openmetrics(const std::string &text, std::string *error)
+{
+    std::string err;
+    OpenMetricsText parsed = parse_openmetrics(text, &err);
+    if (!err.empty()) {
+        if (error != nullptr)
+            *error = err;
+        return false;
+    }
+    // Histogram buckets must be cumulative in file order per series.
+    std::map<std::string, double> last_bucket; // family+labels -> count
+    for (const OpenMetricsSample &s : parsed.samples) {
+        if (s.name.size() <= 7 ||
+            s.name.compare(s.name.size() - 7, 7, "_bucket") != 0)
+            continue;
+        std::string key = s.name;
+        for (const auto &[k, v] : s.labels) {
+            if (k != "le")
+                key += '|' + k + '=' + v;
+        }
+        auto [it, inserted] = last_bucket.try_emplace(key, s.value);
+        if (!inserted) {
+            if (s.value < it->second) {
+                if (error != nullptr)
+                    *error = "non-cumulative bucket series: " + key;
+                return false;
+            }
+            it->second = s.value;
+        }
+    }
+    return true;
+}
+
+} // namespace mps

@@ -109,6 +109,24 @@ TraceSession::record_complete(std::string name, std::string category,
     shard->events.push_back(std::move(ev));
 }
 
+void
+TraceSession::record_flow(const char *name, const char *category,
+                          char phase, uint64_t id)
+{
+    if (!active())
+        return;
+    Shard *shard = local_shard();
+    TraceEvent ev;
+    ev.name = name;
+    ev.category = category;
+    ev.ts_us = now_us();
+    ev.tid = shard->tid;
+    ev.phase = phase;
+    ev.flow_id = id;
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->events.push_back(std::move(ev));
+}
+
 std::vector<TraceEvent>
 TraceSession::events() const
 {
@@ -159,9 +177,16 @@ TraceSession::to_chrome_json() const
         w.begin_object();
         w.key("name").value(ev.name);
         w.key("cat").value(ev.category);
-        w.key("ph").value("X");
+        w.key("ph").value(std::string(1, ev.phase));
         w.key("ts").value(ev.ts_us);
-        w.key("dur").value(ev.dur_us);
+        if (ev.phase == 'X') {
+            w.key("dur").value(ev.dur_us);
+        } else {
+            w.key("id").value(static_cast<int64_t>(ev.flow_id));
+            if (ev.phase == 'f')
+                w.key("bp").value("e"); // bind the arrow to the
+                                        // enclosing slice's end
+        }
         w.key("pid").value(int64_t{1});
         w.key("tid").value(static_cast<int64_t>(ev.tid));
         w.end_object();

@@ -96,6 +96,29 @@ auto_grain(uint64_t n, unsigned width)
     return std::max<uint64_t>(1, (n + target_chunks - 1) / target_chunks);
 }
 
+/**
+ * Job class for the per-worker duration histograms, by index count.
+ * The bands separate launch-latency-bound jobs from traversal-bound
+ * kernels so one distribution does not drown the other.
+ */
+const std::string &
+busy_hist_name(uint64_t n)
+{
+    static const std::string small = "pool.worker.busy_ms.small";
+    static const std::string medium = "pool.worker.busy_ms.medium";
+    static const std::string large = "pool.worker.busy_ms.large";
+    return n < (1u << 12) ? small : n < (1u << 20) ? medium : large;
+}
+
+const std::string &
+steal_hist_name(uint64_t n)
+{
+    static const std::string small = "pool.worker.steal_ms.small";
+    static const std::string medium = "pool.worker.steal_ms.medium";
+    static const std::string large = "pool.worker.steal_ms.large";
+    return n < (1u << 12) ? small : n < (1u << 20) ? medium : large;
+}
+
 } // namespace
 
 WorkStealPool::WorkStealPool(unsigned num_threads)
@@ -105,6 +128,8 @@ WorkStealPool::WorkStealPool(unsigned num_threads)
 {
     if (num_threads == 0)
         num_threads = std::max(2u, std::thread::hardware_concurrency());
+    num_workers_ = num_threads;
+    executor_stats_.reset(new ExecutorStat[num_threads + 1]);
     workers_.reserve(num_threads);
     for (unsigned i = 0; i < num_threads; ++i)
         workers_.emplace_back([this, i] { worker_loop(i); });
@@ -134,9 +159,25 @@ WorkStealPool::current_slot() const
 bool
 WorkStealPool::work_on(JobSlot &slot, unsigned my_range, uint64_t &steals)
 {
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    // Balance telemetry costs three clock reads per participation, so
+    // it is taken only when enabled AND the job is big enough to
+    // rebalance at all (>= 2 chunks per range); launch-latency-bound
+    // jobs stay on the bare path.
+    const bool instrumented =
+        metrics.enabled() &&
+        slot.num_chunks >= 2 * static_cast<uint64_t>(slot.num_ranges);
+    std::optional<Timer> clock;
+    if (instrumented)
+        clock.emplace();
+    double own_ms = 0.0;
+
     bool did_work = false;
+    bool stole = false;
     const uint32_t nranges = slot.num_ranges;
     for (uint32_t offset = 0; offset < nranges; ++offset) {
+        if (instrumented && offset == 1)
+            own_ms = clock->elapsed_ms();
         const uint32_t r = (my_range + offset) % nranges;
         ChunkRange &range = slot.ranges[r];
         for (;;) {
@@ -153,10 +194,22 @@ WorkStealPool::work_on(JobSlot &slot, unsigned my_range, uint64_t &steals)
                 std::min(begin + slot.grain, slot.n);
             slot.invoke(slot.ctx, begin, end);
             did_work = true;
-            if (offset != 0)
+            if (offset != 0) {
                 ++steals;
+                stole = true;
+            }
             finish_chunk(slot);
         }
+    }
+    if (instrumented && did_work) {
+        const double total_ms = clock->elapsed_ms();
+        executor_stats_[current_slot()].busy_ns.fetch_add(
+            static_cast<uint64_t>(total_ms * 1e6),
+            std::memory_order_relaxed);
+        metrics.histogram_record(busy_hist_name(slot.n), total_ms);
+        if (stole)
+            metrics.histogram_record(steal_hist_name(slot.n),
+                                     total_ms - own_ms);
     }
     return did_work;
 }
@@ -249,8 +302,12 @@ WorkStealPool::worker_loop(unsigned id)
         if (advanced)
             continue;
 
-        if (metrics.enabled())
+        if (metrics.enabled()) {
             metrics.counter_add("pool.parks");
+            // Going idle is the natural point to refresh the balance
+            // gauges: the worker has just drained everything it could.
+            publish_imbalance(metrics);
+        }
         std::optional<Timer> idle;
         if (metrics.enabled())
             idle.emplace();
@@ -266,8 +323,11 @@ WorkStealPool::worker_loop(unsigned id)
             });
         }
         parked_.fetch_sub(1, std::memory_order_relaxed);
-        if (idle)
-            metrics.timer_record_ms("pool.idle_ms", idle->elapsed_ms());
+        if (idle) {
+            const double ms = idle->elapsed_ms();
+            metrics.timer_record_ms("pool.idle_ms", ms);
+            metrics.histogram_record("pool.worker.park_ms", ms);
+        }
     }
 }
 
@@ -402,6 +462,39 @@ WorkStealPool::wait_job_done(JobSlot &slot)
             return;
         done_cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
+}
+
+void
+WorkStealPool::publish_imbalance(MetricsRegistry &metrics) const
+{
+    if (!metrics.enabled())
+        return;
+    // Workers only; the external-caller aggregate (slot size()) mixes
+    // many threads and would distort the max/mean ratio.
+    const unsigned n = size();
+    uint64_t max_ns = 0;
+    uint64_t total_ns = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const uint64_t busy =
+            executor_stats_[i].busy_ns.load(std::memory_order_relaxed);
+        max_ns = std::max(max_ns, busy);
+        total_ns += busy;
+        metrics.gauge_set("pool.worker.busy_seconds{worker=\"" +
+                              std::to_string(i) + "\"}",
+                          static_cast<double>(busy) * 1e-9);
+    }
+    const double mean_ns =
+        n > 0 ? static_cast<double>(total_ns) / n : 0.0;
+    metrics.gauge_set("pool.imbalance",
+                      mean_ns > 0.0
+                          ? static_cast<double>(max_ns) / mean_ns
+                          : 0.0);
+}
+
+void
+WorkStealPool::publish_imbalance() const
+{
+    publish_imbalance(MetricsRegistry::global());
 }
 
 WorkStealPool &

@@ -389,5 +389,224 @@ TEST(Metrics, MetricTimerRecordsScope)
     EXPECT_EQ(reg.timer_value("scope_ms").count, 1);
 }
 
+// ---------------------------------------------------------------------------
+// HistogramLayout / LogHistogram
+
+TEST(Histogram, LayoutIndexIsMonotoneAndSelfConsistent)
+{
+    // Zero and negatives land in the dedicated bucket 0.
+    EXPECT_EQ(HistogramLayout::bucket_index(0.0), 0);
+    EXPECT_EQ(HistogramLayout::bucket_index(-3.5), 0);
+
+    int prev = 0;
+    for (double v = 1e-7; v < 1e7; v *= 1.03) {
+        const int idx = HistogramLayout::bucket_index(v);
+        EXPECT_GE(idx, prev) << "index not monotone at " << v;
+        EXPECT_LT(idx, HistogramLayout::kNumBuckets);
+        prev = idx;
+        // The value must fall inside its bucket's bounds.
+        EXPECT_LE(v, HistogramLayout::bucket_upper(idx));
+        if (idx > 1) {
+            EXPECT_GT(v, HistogramLayout::bucket_upper(idx - 1));
+        }
+    }
+
+    // Extremes clamp into the edge buckets instead of overflowing.
+    EXPECT_EQ(HistogramLayout::bucket_index(1e300),
+              HistogramLayout::kNumBuckets - 1);
+    EXPECT_EQ(HistogramLayout::bucket_index(1e-300), 1);
+}
+
+TEST(Histogram, BucketValueBoundsRelativeError)
+{
+    // The midpoint representative is within 1/64 of any sample in the
+    // bucket — the documented ~2% bound (skip the clamped edges).
+    for (double v = 1e-5; v < 1e5; v *= 1.017) {
+        const int idx = HistogramLayout::bucket_index(v);
+        if (idx <= 1 || idx >= HistogramLayout::kNumBuckets - 1)
+            continue;
+        const double rep = HistogramLayout::bucket_value(idx);
+        EXPECT_NEAR(rep, v, v / 32.0)
+            << "representative too far from " << v;
+    }
+}
+
+TEST(Histogram, MomentsAndSingleSampleQuantiles)
+{
+    LogHistogram h;
+    h.record(7.25);
+    HistogramSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 1);
+    EXPECT_DOUBLE_EQ(s.sum, 7.25);
+    EXPECT_DOUBLE_EQ(s.min, 7.25);
+    EXPECT_DOUBLE_EQ(s.max, 7.25);
+    // Quantiles clamp into [min, max]: one sample reports exactly.
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.25);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.25);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.25);
+}
+
+TEST(Histogram, QuantilesWithinBucketError)
+{
+    LogHistogram h;
+    // Uniform 1..1000: true quantile q is ~ 1000q.
+    for (int i = 1; i <= 1000; ++i)
+        h.record(static_cast<double>(i));
+    HistogramSnapshot s = h.snapshot();
+    ASSERT_EQ(s.count, 1000);
+    for (double q : {0.10, 0.50, 0.90, 0.99}) {
+        const double expect = 1000.0 * q;
+        EXPECT_NEAR(s.quantile(q), expect, expect * 0.04 + 1.0)
+            << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, SnapshotMergeMatchesCombinedRecording)
+{
+    LogHistogram a, b, combined;
+    for (int i = 1; i <= 100; ++i) {
+        a.record(i);
+        combined.record(i);
+    }
+    for (int i = 500; i <= 600; ++i) {
+        b.record(i);
+        combined.record(i);
+    }
+    HistogramSnapshot merged = a.snapshot();
+    b.merge_into(merged);
+    HistogramSnapshot direct = combined.snapshot();
+    EXPECT_EQ(merged.count, direct.count);
+    EXPECT_DOUBLE_EQ(merged.sum, direct.sum);
+    EXPECT_DOUBLE_EQ(merged.min, direct.min);
+    EXPECT_DOUBLE_EQ(merged.max, direct.max);
+    EXPECT_DOUBLE_EQ(merged.quantile(0.5), direct.quantile(0.5));
+}
+
+// ---------------------------------------------------------------------------
+// kHistogram in the registry
+
+TEST(Metrics, HistogramKindRecordsAndExports)
+{
+    MetricsRegistry reg;
+    reg.set_enabled(true);
+    for (int i = 1; i <= 100; ++i)
+        reg.histogram_record("lat_ms", static_cast<double>(i));
+
+    MetricSnapshot snap = reg.histogram_value("lat_ms");
+    EXPECT_EQ(snap.kind, MetricKind::kHistogram);
+    EXPECT_EQ(snap.count, 100);
+    EXPECT_DOUBLE_EQ(snap.min, 1.0);
+    EXPECT_DOUBLE_EQ(snap.max, 100.0);
+    EXPECT_NEAR(snap.p50, 50.0, 3.0);
+    EXPECT_NEAR(snap.p99, 99.0, 4.0);
+    EXPECT_GE(snap.p999, snap.p99);
+    EXPECT_FALSE(snap.buckets.empty());
+
+    std::string json = reg.to_json();
+    EXPECT_TRUE(JsonValidator(json).valid()) << json;
+    EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+    EXPECT_NE(json.find("\"p999\""), std::string::npos);
+
+    std::string csv = reg.to_csv();
+    EXPECT_NE(csv.find("name,kind,count,sum,min,max,mean,p50,p90,p99"),
+              std::string::npos);
+    EXPECT_NE(csv.find("lat_ms,histogram,100"), std::string::npos);
+}
+
+TEST(Metrics, HistogramResetZeroes)
+{
+    MetricsRegistry reg;
+    reg.set_enabled(true);
+    reg.histogram_record("lat_ms", 5.0);
+    reg.reset();
+    EXPECT_EQ(reg.histogram_value("lat_ms").count, 0);
+    reg.histogram_record("lat_ms", 2.0);
+    EXPECT_EQ(reg.histogram_value("lat_ms").count, 1);
+}
+
+TEST(Metrics, ConcurrentHistogramsMergeExactly)
+{
+    MetricsRegistry reg;
+    reg.set_enabled(true);
+    constexpr int kThreads = 8;
+    constexpr int kSamples = 5000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg, t] {
+            // Distinct per-thread ranges so min/max are known.
+            for (int i = 0; i < kSamples; ++i)
+                reg.histogram_record(
+                    "shared_hist",
+                    1.0 + t * 100.0 + (i % 100));
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    HistogramSnapshot s = reg.histogram_snapshot("shared_hist");
+    EXPECT_EQ(s.count, int64_t{kThreads} * kSamples);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 1.0 + (kThreads - 1) * 100.0 + 99.0);
+    // Merged quantiles stay within the documented bucket error: the
+    // true median of the union is ~ kThreads*100/2.
+    const double p50 = s.quantile(0.5);
+    EXPECT_NEAR(p50, kThreads * 100.0 / 2.0, kThreads * 100.0 * 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Flow events
+
+TEST(Trace, FlowEventsExportConnectedArrows)
+{
+    TraceSession &session = TraceSession::global();
+    session.start();
+    {
+        ScopedSpan producer("producer", "flowtest");
+        session.record_flow("req", "flowtest", 's', 42);
+    }
+    std::thread consumer([&session] {
+        ScopedSpan span("consumer", "flowtest");
+        session.record_flow("req", "flowtest", 't', 42);
+        session.record_flow("req", "flowtest", 'f', 42);
+    });
+    consumer.join();
+    session.stop();
+
+    int starts = 0, steps = 0, finishes = 0;
+    for (const TraceEvent &ev : session.events()) {
+        if (ev.name != "req")
+            continue;
+        EXPECT_EQ(ev.flow_id, 42u);
+        if (ev.phase == 's')
+            ++starts;
+        else if (ev.phase == 't')
+            ++steps;
+        else if (ev.phase == 'f')
+            ++finishes;
+    }
+    EXPECT_EQ(starts, 1);
+    EXPECT_EQ(steps, 1);
+    EXPECT_EQ(finishes, 1);
+
+    std::string json = session.to_chrome_json();
+    EXPECT_TRUE(JsonValidator(json).valid()) << json;
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+    session.clear();
+}
+
+TEST(Trace, FlowRecordingIsInactiveNoOp)
+{
+    TraceSession &session = TraceSession::global();
+    session.clear();
+    ASSERT_FALSE(session.active());
+    session.record_flow("req", "flowtest", 's', 7);
+    EXPECT_EQ(session.event_count(), 0u);
+}
+
 } // namespace
 } // namespace mps

@@ -1,0 +1,190 @@
+/**
+ * Tests for the OpenMetrics exposition module: golden output format,
+ * name/label escaping, inline-label registry names, the parser, the
+ * strict validator, and quantile reconstruction from bucket series.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "mps/util/metrics.h"
+#include "mps/util/openmetrics.h"
+
+namespace mps {
+namespace {
+
+TEST(OpenMetricsName, SanitizesOutsideCharset)
+{
+    EXPECT_EQ(openmetrics_name("serve.request.latency_ms"),
+              "serve_request_latency_ms");
+    EXPECT_EQ(openmetrics_name("pool.worker.busy-seconds"),
+              "pool_worker_busy_seconds");
+    EXPECT_EQ(openmetrics_name("a:b_c9"), "a:b_c9"); // already legal
+    EXPECT_EQ(openmetrics_name("9lives"), "_9lives"); // no leading digit
+}
+
+TEST(OpenMetricsName, LabelEscape)
+{
+    EXPECT_EQ(openmetrics_label_escape("plain"), "plain");
+    EXPECT_EQ(openmetrics_label_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(openmetrics_label_escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(openmetrics_label_escape("a\nb"), "a\\nb");
+}
+
+TEST(OpenMetrics, GoldenFormatForEveryKind)
+{
+    MetricsRegistry reg;
+    reg.set_enabled(true);
+    reg.counter_add("events", 4);
+    reg.gauge_set("queue.depth", 7.0);
+    reg.timer_record_ms("lap_ms", 2.0);
+    reg.timer_record_ms("lap_ms", 4.0);
+    reg.histogram_record("lat_ms", 1.0);
+    reg.histogram_record("lat_ms", 100.0);
+
+    const std::string text = to_openmetrics(reg);
+
+    // HELP/TYPE headers precede every family.
+    EXPECT_NE(text.find("# TYPE events counter"), std::string::npos);
+    EXPECT_NE(text.find("# HELP events "), std::string::npos);
+    EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE lap_ms summary"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE lat_ms histogram"), std::string::npos);
+
+    // Counter gets _total; timer gets _count/_sum; histogram gets
+    // cumulative _bucket plus the mandatory +Inf and _sum/_count.
+    EXPECT_NE(text.find("events_total 4"), std::string::npos);
+    EXPECT_NE(text.find("queue_depth 7"), std::string::npos);
+    EXPECT_NE(text.find("lap_ms_count 2"), std::string::npos);
+    EXPECT_NE(text.find("lap_ms_sum 6"), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_bucket{le=\""), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("lat_ms_sum 101"), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_count 2"), std::string::npos);
+
+    // Terminated by # EOF, and the strict validator accepts it.
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+    std::string error;
+    EXPECT_TRUE(validate_openmetrics(text, &error)) << error;
+}
+
+TEST(OpenMetrics, InlineLabelsSplitIntoFamilyAndLabels)
+{
+    MetricsRegistry reg;
+    reg.set_enabled(true);
+    reg.gauge_set("pool.worker.busy_seconds{worker=\"3\"}", 1.5);
+    reg.gauge_set("pool.worker.busy_seconds{worker=\"11\"}", 2.5);
+
+    const std::string text = to_openmetrics(reg);
+    std::string error;
+    ASSERT_TRUE(validate_openmetrics(text, &error)) << error;
+
+    OpenMetricsText doc = parse_openmetrics(text, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    const OpenMetricsSample *w3 =
+        doc.find("pool_worker_busy_seconds", {{"worker", "3"}});
+    ASSERT_NE(w3, nullptr);
+    EXPECT_DOUBLE_EQ(w3->value, 1.5);
+    const OpenMetricsSample *w11 =
+        doc.find("pool_worker_busy_seconds", {{"worker", "11"}});
+    ASSERT_NE(w11, nullptr);
+    EXPECT_DOUBLE_EQ(w11->value, 2.5);
+    // One shared family, declared once.
+    EXPECT_EQ(doc.types["pool_worker_busy_seconds"], "gauge");
+}
+
+TEST(OpenMetrics, LabelValuesRoundTripThroughEscaping)
+{
+    MetricsRegistry reg;
+    reg.set_enabled(true);
+    reg.gauge_set("g{tenant=\"a\\b\"}", 1.0);
+
+    const std::string text = to_openmetrics(reg);
+    // The backslash must be escaped on the wire...
+    EXPECT_NE(text.find("tenant=\"a\\\\b\""), std::string::npos) << text;
+    std::string error;
+    ASSERT_TRUE(validate_openmetrics(text, &error)) << text << error;
+    // ...and unescaped back by the parser.
+    OpenMetricsText doc = parse_openmetrics(text, &error);
+    const OpenMetricsSample *s = doc.find("g");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->labels.at("tenant"), "a\\b");
+}
+
+TEST(OpenMetrics, ParserHandlesTimestampsAndSpecialValues)
+{
+    const std::string text = "# TYPE x gauge\n"
+                             "x 1.5 1700000000\n"
+                             "y +Inf\n"
+                             "z NaN\n"
+                             "# EOF\n";
+    std::string error;
+    OpenMetricsText doc = parse_openmetrics(text, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    ASSERT_EQ(doc.samples.size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.samples[0].value, 1.5);
+    EXPECT_TRUE(std::isinf(doc.samples[1].value));
+    EXPECT_TRUE(std::isnan(doc.samples[2].value));
+}
+
+TEST(OpenMetrics, ValidatorRejectsMalformedDocuments)
+{
+    std::string error;
+    // Missing # EOF.
+    EXPECT_FALSE(validate_openmetrics("x 1\n", &error));
+    EXPECT_NE(error.find("EOF"), std::string::npos);
+    // Garbage sample line.
+    EXPECT_FALSE(validate_openmetrics("{oops} 1\n# EOF\n", &error));
+    // Unterminated label block.
+    EXPECT_FALSE(validate_openmetrics("x{a=\"b\" 1\n# EOF\n", &error));
+    // Missing value.
+    EXPECT_FALSE(validate_openmetrics("x\n# EOF\n", &error));
+    // Content after the terminator.
+    EXPECT_FALSE(validate_openmetrics("# EOF\nx 1\n", &error));
+}
+
+TEST(OpenMetrics, ValidatorRejectsNonCumulativeBuckets)
+{
+    const std::string bad = "h_bucket{le=\"1\"} 5\n"
+                            "h_bucket{le=\"2\"} 3\n"
+                            "h_bucket{le=\"+Inf\"} 5\n"
+                            "# EOF\n";
+    std::string error;
+    EXPECT_FALSE(validate_openmetrics(bad, &error));
+    EXPECT_NE(error.find("non-cumulative"), std::string::npos);
+
+    const std::string good = "h_bucket{le=\"1\"} 3\n"
+                             "h_bucket{le=\"2\"} 5\n"
+                             "h_bucket{le=\"+Inf\"} 5\n"
+                             "# EOF\n";
+    EXPECT_TRUE(validate_openmetrics(good, &error)) << error;
+}
+
+TEST(OpenMetrics, HistogramQuantileReconstruction)
+{
+    // Round-trip: record a known distribution, export, parse, and ask
+    // the parsed document for quantiles.
+    MetricsRegistry reg;
+    reg.set_enabled(true);
+    for (int i = 1; i <= 1000; ++i)
+        reg.histogram_record("lat_ms", static_cast<double>(i));
+
+    std::string error;
+    OpenMetricsText doc = parse_openmetrics(to_openmetrics(reg), &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_DOUBLE_EQ(doc.value_or("lat_ms_count"), 1000.0);
+    for (double q : {0.50, 0.90, 0.99}) {
+        const double expect = 1000.0 * q;
+        EXPECT_NEAR(doc.histogram_quantile("lat_ms", q), expect,
+                    expect * 0.05 + 1.0)
+            << "q=" << q;
+    }
+    // Absent family reports 0, not garbage.
+    EXPECT_DOUBLE_EQ(doc.histogram_quantile("nope", 0.5), 0.0);
+}
+
+} // namespace
+} // namespace mps

@@ -305,7 +305,11 @@ TEST_F(ServerFixture, MetricsInstrumentTheServePath)
     EXPECT_EQ(m.counter_value("serve.requests.completed"), 3);
     EXPECT_GE(m.counter_value("serve.batches"), 1);
     EXPECT_GE(m.timer_value("serve.batch.size").count, 1);
-    EXPECT_GE(m.timer_value("serve.request.latency_ms").count, 3);
+    const MetricSnapshot lat =
+        m.histogram_value("serve.request.latency_ms");
+    EXPECT_GE(lat.count, 3);
+    EXPECT_GT(lat.p99, 0.0);
+    EXPECT_GE(lat.p99, lat.p50);
     EXPECT_GT(m.gauge_value("serve.latency.p50_ms"), 0.0);
     EXPECT_GE(m.gauge_value("serve.latency.p99_ms"),
               m.gauge_value("serve.latency.p50_ms"));

@@ -1,0 +1,217 @@
+/**
+ * Tests for the live telemetry pipeline: the embedded /metrics HTTP
+ * endpoint (TelemetryServer + http_get), the serve path's request-flow
+ * trace events, and the server-integrated endpoint with its pre-scrape
+ * publication of derived gauges.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mps/gcn/activation.h"
+#include "mps/gcn/layer.h"
+#include "mps/serve/server.h"
+#include "mps/serve/telemetry_server.h"
+#include "mps/sparse/generate.h"
+#include "mps/util/metrics.h"
+#include "mps/util/openmetrics.h"
+#include "mps/util/rng.h"
+#include "mps/util/trace.h"
+
+namespace mps {
+namespace serve {
+namespace {
+
+TEST(TelemetryServer, ServesMetricsHealthAnd404)
+{
+    MetricsRegistry reg;
+    reg.set_enabled(true);
+    reg.counter_add("requests", 5);
+
+    TelemetryServer::Options opts;
+    opts.port = 0; // ephemeral
+    opts.registry = &reg;
+    TelemetryServer server(std::move(opts));
+    ASSERT_TRUE(server.start());
+    ASSERT_GT(server.port(), 0);
+
+    std::string body, error;
+    ASSERT_TRUE(
+        http_get("127.0.0.1", server.port(), "/metrics", &body, &error))
+        << error;
+    EXPECT_TRUE(validate_openmetrics(body, &error)) << error;
+    EXPECT_NE(body.find("requests_total 5"), std::string::npos);
+    EXPECT_EQ(server.scrape_count(), 1u);
+
+    ASSERT_TRUE(
+        http_get("127.0.0.1", server.port(), "/healthz", &body, &error))
+        << error;
+    EXPECT_EQ(body, "ok\n");
+
+    EXPECT_FALSE(
+        http_get("127.0.0.1", server.port(), "/nope", &body, &error));
+    EXPECT_NE(error.find("404"), std::string::npos);
+
+    server.stop();
+    server.stop(); // idempotent
+    EXPECT_EQ(server.port(), -1);
+}
+
+TEST(TelemetryServer, PreScrapeHookRunsBeforeEveryRender)
+{
+    MetricsRegistry reg;
+    reg.set_enabled(true);
+    int calls = 0;
+    TelemetryServer::Options opts;
+    opts.port = 0;
+    opts.registry = &reg;
+    opts.pre_scrape = [&reg, &calls] {
+        reg.gauge_set("derived", static_cast<double>(++calls));
+    };
+    TelemetryServer server(std::move(opts));
+    ASSERT_TRUE(server.start());
+
+    std::string body, error;
+    ASSERT_TRUE(
+        http_get("127.0.0.1", server.port(), "/metrics", &body, &error))
+        << error;
+    EXPECT_NE(body.find("derived 1"), std::string::npos);
+    ASSERT_TRUE(
+        http_get("127.0.0.1", server.port(), "/metrics", &body, &error))
+        << error;
+    EXPECT_NE(body.find("derived 2"), std::string::npos);
+    EXPECT_EQ(server.scrape_count(), 2u);
+}
+
+/** Small serving fixture shared by the flow/endpoint tests. */
+class TelemetryServeFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PowerLawParams p;
+        p.nodes = 64;
+        p.target_nnz = 512;
+        p.max_degree = 16;
+        p.seed = 5;
+        p.value_mode = ValueMode::kGcnNormalized;
+        graph_ = power_law_graph(p);
+        layers_.emplace_back(random_layer_weights(8, 6, 21),
+                             Activation::kRelu);
+        layers_.emplace_back(random_layer_weights(6, 4, 22),
+                             Activation::kNone);
+        Pcg32 rng(77);
+        features_ = DenseMatrix(graph_.rows(), 8);
+        features_.fill_random(rng);
+    }
+
+    CsrMatrix graph_;
+    std::vector<GcnLayer> layers_;
+    DenseMatrix features_;
+};
+
+TEST_F(TelemetryServeFixture, FlowEventsLinkSubmitBatchAndExecution)
+{
+    TraceSession &trace = TraceSession::global();
+    trace.start();
+    constexpr int kRequests = 3;
+    {
+        Server server;
+        const uint64_t gid = server.register_graph(graph_, layers_);
+        for (int i = 0; i < kRequests; ++i)
+            ASSERT_TRUE(server.infer(gid, features_).ok());
+        server.shutdown();
+    }
+    trace.stop();
+
+    // Every request's flow must appear as a complete s -> t -> f chain
+    // under one id, and the phases must sit inside spans (which is what
+    // makes Perfetto draw connected arrows between slices).
+    std::map<uint64_t, std::set<char>> phases;
+    std::set<std::string> span_names;
+    for (const TraceEvent &ev : trace.events()) {
+        if (ev.phase == 'X')
+            span_names.insert(ev.name);
+        else if (ev.name == "serve.request")
+            phases[ev.flow_id].insert(ev.phase);
+    }
+    int complete_chains = 0;
+    for (const auto &[id, seen] : phases) {
+        EXPECT_GT(id, 0u);
+        if (seen.count('s') && seen.count('t') && seen.count('f'))
+            ++complete_chains;
+    }
+    EXPECT_GE(complete_chains, kRequests);
+    EXPECT_TRUE(span_names.count("serve.submit"));
+    EXPECT_TRUE(span_names.count("serve.batch.form"));
+    EXPECT_TRUE(span_names.count("serve.batch.exec"));
+
+    // The Chrome export carries the flow phases and binding point.
+    const std::string json = trace.to_chrome_json();
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+    trace.clear();
+}
+
+TEST_F(TelemetryServeFixture, EmbeddedEndpointExposesServingTelemetry)
+{
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.reset();
+    metrics.set_enabled(true);
+
+    ServeConfig cfg;
+    cfg.telemetry_port = 0; // ephemeral
+    Server server(cfg);
+    const uint64_t gid = server.register_graph(graph_, layers_);
+    ASSERT_GT(server.telemetry_port(), 0);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(server.infer(gid, features_).ok());
+
+    std::string body, error;
+    ASSERT_TRUE(http_get("127.0.0.1", server.telemetry_port(),
+                         "/metrics", &body, &error))
+        << error;
+    ASSERT_TRUE(validate_openmetrics(body, &error)) << error;
+
+    OpenMetricsText doc = parse_openmetrics(body, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    // Live scrape mid-serving: the latency histogram has buckets, the
+    // pre-scrape hook published queue depth and pool imbalance.
+    EXPECT_GE(doc.value_or("serve_request_latency_ms_count"), 4.0);
+    EXPECT_NE(doc.find("serve_request_latency_ms_bucket"), nullptr);
+    EXPECT_GT(doc.histogram_quantile("serve_request_latency_ms", 0.5),
+              0.0);
+    EXPECT_NE(doc.find("serve_queue_depth"), nullptr);
+    EXPECT_NE(doc.find("pool_imbalance"), nullptr);
+
+    server.shutdown();
+    EXPECT_EQ(server.telemetry_port(), -1); // endpoint stops with it
+    metrics.set_enabled(false);
+    metrics.reset();
+}
+
+TEST(TelemetryConfig, EnvPortParsing)
+{
+    // Unset -> disabled.
+    ::unsetenv("MPS_TELEMETRY_PORT");
+    EXPECT_EQ(default_telemetry_port(), -1);
+    ::setenv("MPS_TELEMETRY_PORT", "9464", 1);
+    EXPECT_EQ(default_telemetry_port(), 9464);
+    ::setenv("MPS_TELEMETRY_PORT", "0", 1);
+    EXPECT_EQ(default_telemetry_port(), 0);
+    ::setenv("MPS_TELEMETRY_PORT", "bogus", 1);
+    EXPECT_EQ(default_telemetry_port(), -1);
+    ::setenv("MPS_TELEMETRY_PORT", "70000", 1);
+    EXPECT_EQ(default_telemetry_port(), -1);
+    ::unsetenv("MPS_TELEMETRY_PORT");
+}
+
+} // namespace
+} // namespace serve
+} // namespace mps

@@ -7,9 +7,12 @@
 # stealing/parking, mergepath atomic commits) under the race detector,
 # and a forced-scalar one (-DMPS_FORCE_SCALAR=ON) that proves
 # the kernel tests pass on the scalar microkernel reference path alone.
-# A final no-tile stage reruns the release SpMM/locality tests with the
+# A no-tile stage reruns the release SpMM/locality tests with the
 # cache-locality layer disabled (MPS_TILE_D=inf MPS_PREFETCH=0),
 # proving column tiling and software prefetch are behavior-neutral.
+# A final telemetry stage scrapes a live serve-bench run through the
+# embedded /metrics endpoint and validates the OpenMetrics exposition
+# with `mps_tool top --strict`.
 # Run from anywhere; build trees land in build-release/, build-asan/,
 # build-tsan/ and build-scalar/ next to the source tree.
 #
@@ -40,10 +43,10 @@ cmake -S "$root" -B "$root/build-tsan" \
 echo "==> build build-tsan (concurrency tests only)"
 cmake --build "$root/build-tsan" -j "$jobs" --target \
     mps_serve_queue_test mps_serve_test mps_schedule_cache_test \
-    mps_metrics_test mps_work_steal_pool_test
+    mps_metrics_test mps_work_steal_pool_test mps_telemetry_test
 echo "==> ctest build-tsan"
 (cd "$root/build-tsan" && ctest --output-on-failure -j "$jobs" \
-    -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics|WorkStealPool' \
+    -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics|Histogram|Trace|Telemetry|WorkStealPool' \
     "$@")
 
 echo "==> configure build-scalar"
@@ -61,5 +64,28 @@ echo "==> ctest build-notile (MPS_TILE_D=inf MPS_PREFETCH=0)"
 (cd "$root/build-release" && \
     MPS_TILE_D=inf MPS_PREFETCH=0 ctest --output-on-failure -j "$jobs" \
     -R 'Spmm|Locality|Tiled|Reordered|Adaptive|Gcn|Serve' "$@")
+
+echo "==> telemetry: live /metrics scrape during serve-bench"
+tool="$root/build-release/tools/mps_tool"
+portfile=$(mktemp)
+rm -f "$portfile"
+"$tool" serve-bench --nodes=2048 --avg-degree=16 --clients=4 \
+    --max-batch=4 --requests=300 --telemetry-port=0 \
+    --telemetry-port-file="$portfile" --telemetry-linger-ms=10000 &
+bench_pid=$!
+tries=0
+while [ ! -s "$portfile" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "telemetry: serve-bench never published its port" >&2
+        kill "$bench_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+port=$(cat "$portfile")
+"$tool" top --url="127.0.0.1:$port" --once --strict
+wait "$bench_pid"
+rm -f "$portfile"
 
 echo "==> all checks passed"

@@ -12,17 +12,22 @@
  *                     --dim=16 [--out=report.json] [--trace-out=t.json]
  *   mps_tool reorder  --in=graph.bin --method=bfs --out=relabeled.bin
  *   mps_tool serve-bench --clients=1,2,4,8 --max-batch=1,8
- *                     [--out=report.json]
+ *                     [--out=report.json] [--telemetry-port=0]
+ *   mps_tool top      --url=http://127.0.0.1:9464/metrics
+ *                     [--interval-ms=1000] [--once] [--strict]
  *
  * Containers: .bin (this library's binary CSR), .mtx (MatrixMarket),
  * .el (edge list, read-only), or a Table II dataset name via
  * --dataset.
  */
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +39,7 @@
 #include "mps/gcn/layer.h"
 #include "mps/kernels/registry.h"
 #include "mps/serve/server.h"
+#include "mps/serve/telemetry_server.h"
 #include "mps/sparse/datasets.h"
 #include "mps/sparse/degree_stats.h"
 #include "mps/sparse/generate.h"
@@ -43,6 +49,7 @@
 #include "mps/util/json.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
+#include "mps/util/openmetrics.h"
 #include "mps/util/rng.h"
 #include "mps/util/work_steal_pool.h"
 #include "mps/util/timer.h"
@@ -505,6 +512,14 @@ cmd_serve_bench(int argc, char **argv)
     flags.add_int("workers", 2, "server worker threads");
     flags.add_int("pool-threads", 0, "pool threads per worker (0 = auto)");
     flags.add_string("out", "", "report path (default: stdout)");
+    flags.add_int("telemetry-port", -1,
+                  "expose /metrics during the sweep (0 = ephemeral port,"
+                  " -1 = off)");
+    flags.add_string("telemetry-port-file", "",
+                     "write the bound telemetry port to this file");
+    flags.add_int("telemetry-linger-ms", 0,
+                  "after the sweep, keep /metrics up until a scrape"
+                  " lands (at most this long)");
     flags.parse(argc, argv);
 
     CsrMatrix m;
@@ -551,6 +566,35 @@ cmd_serve_bench(int argc, char **argv)
     metrics.reset();
     metrics.set_enabled(true);
 
+    // One endpoint for the whole sweep (per-point servers would fight
+    // over the port); the scrape hook follows the live sweep point.
+    std::mutex live_mutex;
+    serve::Server *live_server = nullptr;
+    std::unique_ptr<serve::TelemetryServer> telemetry;
+    if (flags.get_int("telemetry-port") >= 0) {
+        serve::TelemetryServer::Options opts;
+        opts.port = static_cast<int>(flags.get_int("telemetry-port"));
+        opts.pre_scrape = [&live_mutex, &live_server] {
+            std::lock_guard<std::mutex> lk(live_mutex);
+            if (live_server != nullptr)
+                live_server->publish_telemetry();
+        };
+        telemetry = std::make_unique<serve::TelemetryServer>(
+            std::move(opts));
+        if (telemetry->start()) {
+            inform("telemetry: /metrics on 127.0.0.1:" +
+                   std::to_string(telemetry->port()));
+            const std::string &port_file =
+                flags.get_string("telemetry-port-file");
+            if (!port_file.empty()) {
+                std::ofstream f(port_file);
+                f << telemetry->port() << '\n';
+            }
+        } else {
+            telemetry.reset();
+        }
+    }
+
     DenseMatrix feature_template(m.rows(), feat);
     Pcg32 rng(3);
     feature_template.fill_random(rng);
@@ -584,8 +628,15 @@ cmd_serve_bench(int argc, char **argv)
             cfg.batch.max_batch = max_batch;
             cfg.batch.max_delay_us = delay_us;
             cfg.overflow = serve::OverflowPolicy::kBlock;
+            // The bench owns the endpoint; keep per-point servers from
+            // racing it for MPS_TELEMETRY_PORT.
+            cfg.telemetry_port = -1;
             serve::Server server(cfg, &sweep_cache);
             const uint64_t gid = server.register_graph(m, layers);
+            {
+                std::lock_guard<std::mutex> lk(live_mutex);
+                live_server = &server;
+            }
 
             // Warm up outside the timed window (first point also pays
             // the schedule builds here, once for the whole sweep).
@@ -610,6 +661,10 @@ cmd_serve_bench(int argc, char **argv)
             for (std::thread &t : pumps)
                 t.join();
             const double wall_ms = wall.elapsed_ms();
+            {
+                std::lock_guard<std::mutex> lk(live_mutex);
+                live_server = nullptr;
+            }
             server.shutdown();
             serve::ServerStats st = server.stats();
 
@@ -640,6 +695,18 @@ cmd_serve_bench(int argc, char **argv)
     }
     w.end_array();
 
+    if (telemetry != nullptr) {
+        // Give a late scraper (tools/check.sh) a chance to observe the
+        // sweep's final state before the registry freezes.
+        const double linger_ms =
+            static_cast<double>(flags.get_int("telemetry-linger-ms"));
+        Timer linger;
+        while (telemetry->scrape_count() == 0 &&
+               linger.elapsed_ms() < linger_ms)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        telemetry->stop();
+    }
+
     metrics.set_enabled(false);
     w.key("schedule_cache").begin_object();
     w.key("entries").value(static_cast<int64_t>(sweep_cache.size()));
@@ -664,6 +731,169 @@ cmd_serve_bench(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Split --url into (host, port, path); accepts `host:port[/path]` with
+ * an optional `http://` scheme. The path defaults to /metrics.
+ */
+bool
+parse_scrape_url(std::string url, std::string *host, int *port,
+                 std::string *path)
+{
+    const std::string scheme = "http://";
+    if (url.rfind(scheme, 0) == 0)
+        url = url.substr(scheme.size());
+    const size_t slash = url.find('/');
+    *path = slash == std::string::npos ? "/metrics" : url.substr(slash);
+    const std::string authority =
+        slash == std::string::npos ? url : url.substr(0, slash);
+    const size_t colon = authority.rfind(':');
+    if (colon == std::string::npos)
+        return false;
+    *host = authority.substr(0, colon);
+    if (host->empty() || *host == "localhost")
+        *host = "127.0.0.1";
+    char *end = nullptr;
+    const std::string port_str = authority.substr(colon + 1);
+    const long parsed = std::strtol(port_str.c_str(), &end, 10);
+    if (end == port_str.c_str() || *end != '\0')
+        return false;
+    *port = static_cast<int>(parsed);
+    return *port > 0 && *port <= 65535;
+}
+
+/**
+ * Polling text dashboard over an OpenMetrics source: throughput from
+ * counter deltas, latency quantiles from the serve histogram, queue
+ * depth, scheduler imbalance and per-worker utilization from busy-time
+ * deltas. The source is a live /metrics endpoint (--url) or a file of
+ * scraped text (--file).
+ */
+int
+cmd_top(int argc, char **argv)
+{
+    FlagParser flags("live telemetry dashboard over an OpenMetrics"
+                     " source");
+    flags.add_string("url", "",
+                     "scrape endpoint ([http://]host:port[/metrics])");
+    flags.add_string("file", "",
+                     "read OpenMetrics text from a file instead");
+    flags.add_int("interval-ms", 1000, "refresh interval");
+    flags.add_int("iters", 0, "refresh count (0 = until interrupted)");
+    flags.add_bool("once", false,
+                   "one snapshot, plain output, no screen clearing");
+    flags.add_bool("strict", false,
+                   "validate the document; nonzero exit on format"
+                   " errors");
+    flags.parse(argc, argv);
+
+    const std::string &url = flags.get_string("url");
+    const std::string &file = flags.get_string("file");
+    if (url.empty() == file.empty())
+        fatal("top needs exactly one of --url or --file");
+
+    std::string host, path;
+    int port = 0;
+    if (!url.empty() && !parse_scrape_url(url, &host, &port, &path))
+        fatal("cannot parse --url '" + url +
+              "' (want [http://]host:port[/path])");
+
+    const bool once = flags.get_bool("once");
+    const bool strict = flags.get_bool("strict");
+    int64_t iters = flags.get_int("iters");
+    if (once)
+        iters = 1;
+    const int interval_ms =
+        std::max<int>(1, static_cast<int>(flags.get_int("interval-ms")));
+
+    std::map<std::string, double> prev_busy;
+    double prev_completed = -1.0;
+    double prev_t_ms = 0.0;
+    Timer wall;
+
+    for (int64_t i = 0; iters == 0 || i < iters; ++i) {
+        std::string text, err;
+        if (!url.empty()) {
+            if (!serve::http_get(host, port, path, &text, &err))
+                fatal("scrape failed: " + err);
+        } else {
+            std::ifstream f(file);
+            if (!f)
+                fatal("cannot open " + file);
+            std::ostringstream ss;
+            ss << f.rdbuf();
+            text = ss.str();
+        }
+        if (strict && !validate_openmetrics(text, &err)) {
+            std::fprintf(stderr,
+                         "mps_tool top: invalid OpenMetrics: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        OpenMetricsText doc = parse_openmetrics(text);
+
+        const double t_ms = wall.elapsed_ms();
+        const double dt_s = (t_ms - prev_t_ms) / 1e3;
+        const double completed =
+            doc.value_or("serve_requests_completed_total");
+        const double rate = prev_completed >= 0.0 && dt_s > 0.0
+                                ? (completed - prev_completed) / dt_s
+                                : 0.0;
+
+        if (!once)
+            std::printf("\x1b[2J\x1b[H"); // clear + home
+        std::printf("mps top — %s\n",
+                    !url.empty() ? url.c_str() : file.c_str());
+        std::printf("requests  submitted %.0f   completed %.0f   "
+                    "throughput %.1f req/s\n",
+                    doc.value_or("serve_requests_submitted_total"),
+                    completed, rate);
+        std::printf(
+            "latency   count %.0f   p50 %.3f ms   p90 %.3f ms   "
+            "p99 %.3f ms\n",
+            doc.value_or("serve_request_latency_ms_count"),
+            doc.histogram_quantile("serve_request_latency_ms", 0.50),
+            doc.histogram_quantile("serve_request_latency_ms", 0.90),
+            doc.histogram_quantile("serve_request_latency_ms", 0.99));
+        std::printf("queue     depth %.0f   batches %.0f\n",
+                    doc.value_or("serve_queue_depth"),
+                    doc.value_or("serve_batches_total"));
+        std::printf("pool      imbalance %.2f   steals %.0f   "
+                    "parks %.0f\n",
+                    doc.value_or("pool_imbalance"),
+                    doc.value_or("pool_steals_total"),
+                    doc.value_or("pool_parks_total"));
+
+        std::map<std::string, double> busy;
+        for (const OpenMetricsSample &s : doc.samples) {
+            if (s.name != "pool_worker_busy_seconds")
+                continue;
+            auto it = s.labels.find("worker");
+            if (it != s.labels.end())
+                busy[it->second] = s.value;
+        }
+        if (!busy.empty()) {
+            std::printf("workers  ");
+            for (const auto &[worker, seconds] : busy) {
+                double util = 0.0;
+                auto p = prev_busy.find(worker);
+                if (p != prev_busy.end() && dt_s > 0.0)
+                    util = std::max(0.0, (seconds - p->second) / dt_s) *
+                           100.0;
+                std::printf(" %s:%5.1f%%", worker.c_str(), util);
+            }
+            std::printf("   (busy %% of wall since last refresh)\n");
+        }
+
+        prev_busy = std::move(busy);
+        prev_completed = completed;
+        prev_t_ms = t_ms;
+        if (iters == 0 || i + 1 < iters)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+    }
+    return 0;
+}
+
 void
 usage(std::FILE *to)
 {
@@ -677,7 +907,8 @@ usage(std::FILE *to)
         "  spmm         run a kernel from the registry and time it\n"
         "  profile      kernel x dataset sweep into one JSON report\n"
         "  reorder      relabel a graph (bfs | degree | degree-asc)\n"
-        "  serve-bench  serving load sweep into one JSON report\n");
+        "  serve-bench  serving load sweep into one JSON report\n"
+        "  top          live telemetry dashboard (scrapes /metrics)\n");
 }
 
 } // namespace
@@ -711,6 +942,8 @@ main(int argc, char **argv)
         return cmd_reorder(argc - 1, argv + 1);
     if (cmd == "serve-bench")
         return cmd_serve_bench(argc - 1, argv + 1);
+    if (cmd == "top")
+        return cmd_top(argc - 1, argv + 1);
     std::fprintf(stderr, "mps_tool: unknown command '%s'\n", cmd.c_str());
     usage(stderr);
     return 1;
