@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Dynamic-graph churn benchmark, two parts:
+ *
+ * 1. Schedule maintenance: replay one update stream through both
+ *    policies and compare the schedule work each pays per update.
+ *    Incremental: the overlay absorbs updates and a repair_schedule()
+ *    + dirty-range re-census runs only at each lazy compaction.
+ *    Rebuild-every-update: each update materializes a new base, so
+ *    each one costs a fresh MergePathSchedule::build() + full census.
+ *    Churn follows the temporal-graph pattern (new edges concentrate
+ *    on the most recently added nodes, --hot-fraction of the tail), so
+ *    the merge-path prefix stays clean and repair touches only the
+ *    dirty suffix.
+ *
+ * 2. Serving under churn: closed-loop client throughput and latency
+ *    with an updater thread landing --churn-pct %% of the graph's
+ *    edges per second, comparing the incremental policy (overlay +
+ *    lazy compaction + schedule repair) against rebuild-per-update and
+ *    against the no-churn baseline.
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mps/core/schedule.h"
+#include "mps/core/schedule_cache.h"
+#include "mps/gcn/layer.h"
+#include "mps/serve/server.h"
+#include "mps/sparse/delta_csr.h"
+#include "mps/sparse/generate.h"
+#include "mps/util/cli.h"
+#include "mps/util/metrics.h"
+#include "mps/util/rng.h"
+#include "mps/util/table.h"
+#include "mps/util/timer.h"
+
+using namespace mps;
+
+namespace {
+
+/**
+ * Edge batch for one update: upserts with rows drawn from the hot
+ * tail [hot_begin, rows) and uniform random columns — mostly inserts,
+ * occasionally value changes when a (row, col) already exists.
+ */
+GraphDelta
+churn_delta(Pcg32 &rng, index_t rows, index_t cols, index_t hot_begin,
+            int edges)
+{
+    GraphDelta delta;
+    delta.upserts.reserve(static_cast<size_t>(edges));
+    const auto hot_span = static_cast<uint32_t>(rows - hot_begin);
+    for (int i = 0; i < edges; ++i) {
+        EdgeUpdate e;
+        e.row = hot_begin +
+                static_cast<index_t>(rng.next_below(hot_span));
+        e.col = static_cast<index_t>(
+            rng.next_below(static_cast<uint32_t>(cols)));
+        e.value = rng.next_float(0.01f, 1.0f);
+        delta.upserts.push_back(e);
+    }
+    return delta;
+}
+
+struct RepairBenchResult
+{
+    int updates = 0;
+    int compactions = 0; ///< lazy compactions on the incremental side
+    int fallbacks = 0;   ///< repairs that degenerated to a rebuild
+    /** Incremental policy: total repair + dirty-range census time. */
+    double repair_total_us = 0.0;
+    /** Rebuild policy: total fresh build + full census time (one per
+     *  update — every update swaps the base and invalidates the
+     *  fingerprint, so the next batch rebuilds). */
+    double rebuild_total_us = 0.0;
+
+    double repair_per_update_us() const
+    {
+        return repair_total_us / std::max(1, updates);
+    }
+    double rebuild_per_update_us() const
+    {
+        return rebuild_total_us / std::max(1, updates);
+    }
+    double repair_per_compaction_us() const
+    {
+        return repair_total_us / std::max(1, compactions);
+    }
+};
+
+/**
+ * Replay the same update stream through both policies and time ONLY
+ * the schedule maintenance each one pays. Incremental: overlay absorbs
+ * updates, a repair (+ dirty-range re-census) runs at each lazy
+ * compaction. Rebuild-every-update: each update materializes a new
+ * base, so each update costs a full schedule build + census.
+ */
+RepairBenchResult
+bench_schedule_repair(const CsrMatrix &graph, index_t threads,
+                      index_t hot_begin, int update_edges,
+                      int num_updates, double compact_ratio,
+                      uint64_t seed)
+{
+    Pcg32 rng(seed);
+    DeltaCsr dynamic(graph);
+    if (compact_ratio > 0.0)
+        dynamic.set_compact_ratio(compact_ratio);
+    DeltaCsr eager(graph);
+    MergePathSchedule sched = MergePathSchedule::build(graph, threads);
+    RepairBenchResult out;
+    out.updates = num_updates;
+    for (int u = 0; u < num_updates; ++u) {
+        GraphDelta delta = churn_delta(rng, graph.rows(), graph.cols(),
+                                       hot_begin, update_edges);
+        dynamic.apply(delta);
+        if (dynamic.needs_compaction()) {
+            DeltaCsr::CompactResult cr = dynamic.compact();
+            Timer repair_timer;
+            ScheduleRepair rep = repair_schedule(
+                sched, *cr.old_base, *cr.new_base, cr.first_dirty_row);
+            rep.schedule.census_part(*cr.new_base, rep.dirty_begin,
+                                     rep.dirty_end);
+            out.repair_total_us += repair_timer.elapsed_us();
+            ++out.compactions;
+            if (rep.rebuilt)
+                ++out.fallbacks;
+            sched = std::move(rep.schedule);
+        }
+
+        eager.apply(delta);
+        DeltaCsr::CompactResult cr = eager.compact();
+        Timer rebuild_timer;
+        MergePathSchedule fresh =
+            MergePathSchedule::build(*cr.new_base, threads);
+        fresh.census(*cr.new_base);
+        out.rebuild_total_us += rebuild_timer.elapsed_us();
+    }
+    return out;
+}
+
+struct ServePoint
+{
+    double rps = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    int64_t updates = 0;
+    int64_t compactions = 0;
+    int64_t sched_builds = 0;
+    int64_t sched_repairs = 0;
+};
+
+ServePoint
+run_serve_point(const CsrMatrix &graph,
+                const std::vector<GcnLayer> &layers,
+                const DenseMatrix &features,
+                serve::GraphUpdatePolicy policy, double churn_eps,
+                index_t hot_begin, int update_hz, int clients,
+                int requests, unsigned workers)
+{
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const int64_t builds_before =
+        metrics.counter_value("schedule.builds");
+    const int64_t repairs_before =
+        metrics.counter_value("schedule.repairs");
+
+    serve::ServeConfig cfg;
+    cfg.queue_capacity = 4096;
+    cfg.num_workers = workers;
+    cfg.batch.max_batch = 8;
+    cfg.batch.max_delay_us = 2000;
+    cfg.overflow = serve::OverflowPolicy::kBlock;
+    cfg.update_policy = policy;
+    serve::Server server(cfg);
+    const uint64_t gid = server.register_graph(graph, layers);
+    server.infer(gid, features); // warm-up + first schedule build
+
+    std::atomic<bool> stop{false};
+    std::thread updater;
+    if (churn_eps > 0.0) {
+        const int batch_edges = std::max(
+            1, static_cast<int>(churn_eps /
+                                std::max(1, update_hz)));
+        const auto interval = std::chrono::microseconds(
+            1000000 / std::max(1, update_hz));
+        updater = std::thread([&server, &stop, gid, batch_edges,
+                               interval, hot_begin, &graph] {
+            Pcg32 rng(1234);
+            while (!stop.load(std::memory_order_acquire)) {
+                server.update_graph(
+                    gid, churn_delta(rng, graph.rows(), graph.cols(),
+                                     hot_begin, batch_edges));
+                std::this_thread::sleep_for(interval);
+            }
+        });
+    }
+
+    std::atomic<int64_t> ok{0};
+    Timer wall;
+    std::vector<std::thread> pumps;
+    pumps.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+        pumps.emplace_back([&server, &features, &ok, requests, gid] {
+            for (int i = 0; i < requests; ++i) {
+                DenseMatrix x = features;
+                if (server.infer(gid, std::move(x)).ok())
+                    ok.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread &t : pumps)
+        t.join();
+    const double wall_ms = wall.elapsed_ms();
+    stop.store(true, std::memory_order_release);
+    if (updater.joinable())
+        updater.join();
+    server.shutdown();
+    serve::ServerStats st = server.stats();
+
+    ServePoint point;
+    point.rps = wall_ms <= 0.0 ? 0.0
+                               : static_cast<double>(ok.load()) * 1e3 /
+                                     wall_ms;
+    point.p50 = st.latency_ms.p50;
+    point.p99 = st.latency_ms.p99;
+    point.updates = st.graph_updates;
+    point.compactions = st.graph_compactions;
+    point.sched_builds =
+        metrics.counter_value("schedule.builds") - builds_before;
+    point.sched_repairs =
+        metrics.counter_value("schedule.repairs") - repairs_before;
+    return point;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("dynamic-graph churn: incremental schedule repair"
+                     " vs rebuild, and serving throughput under edge"
+                     " updates");
+    flags.add_int("nodes", 500000, "power-law graph nodes");
+    flags.add_int("avg-degree", 8, "average degree");
+    flags.add_int("max-degree", 1024, "maximum row degree");
+    flags.add_int("threads", 256, "merge-path threads per schedule");
+    flags.add_int("updates", 150,
+                  "repair-vs-rebuild update batches to replay");
+    flags.add_int("update-edges", 0,
+                  "edges per update batch (0 = churn-pct/update-hz"
+                  " share of nnz, matching the serve phase)");
+    flags.add_double("compact-ratio", 0.02,
+                     "delta fraction that triggers lazy compaction in"
+                     " part 1 (0 = library default)");
+    flags.add_double("hot-fraction", 0.05,
+                     "fraction of tail rows receiving churn");
+    flags.add_double("churn-pct", 1.0,
+                     "serve-phase churn: %% of nnz mutated per second");
+    flags.add_int("update-hz", 10, "update_graph batches per second");
+    flags.add_int("feat", 8, "input feature dimension");
+    flags.add_int("hidden", 4, "hidden layer width");
+    flags.add_int("clients", 4, "closed-loop client threads");
+    flags.add_int("requests", 24, "requests per client per point");
+    flags.add_int("workers", 2, "server worker threads");
+    flags.add_bool("csv", false, "emit CSV instead of aligned text");
+    flags.parse(argc, argv);
+
+    PowerLawParams p;
+    p.nodes = static_cast<index_t>(flags.get_int("nodes"));
+    p.target_nnz =
+        p.nodes * static_cast<index_t>(flags.get_int("avg-degree"));
+    p.max_degree = static_cast<index_t>(flags.get_int("max-degree"));
+    p.seed = 7;
+    p.value_mode = ValueMode::kGcnNormalized;
+    CsrMatrix graph = power_law_graph(p);
+    std::printf("# graph: %d nodes, %d nnz\n", graph.rows(),
+                graph.nnz());
+
+    const double hot_fraction =
+        std::clamp(flags.get_double("hot-fraction"), 1e-4, 1.0);
+    const index_t hot_begin = static_cast<index_t>(
+        static_cast<double>(graph.rows()) * (1.0 - hot_fraction));
+    const bool csv = flags.get_bool("csv");
+
+    // --- Part 1: schedule maintenance per update --------------------
+    const int update_hz = static_cast<int>(flags.get_int("update-hz"));
+    const double churn_eps = flags.get_double("churn-pct") / 100.0 *
+                             static_cast<double>(graph.nnz());
+    int update_edges = static_cast<int>(flags.get_int("update-edges"));
+    if (update_edges <= 0)
+        update_edges = std::max(
+            1, static_cast<int>(churn_eps / std::max(1, update_hz)));
+    const index_t threads =
+        static_cast<index_t>(flags.get_int("threads"));
+    RepairBenchResult rb = bench_schedule_repair(
+        graph, threads, hot_begin, update_edges,
+        static_cast<int>(flags.get_int("updates")),
+        flags.get_double("compact-ratio"), 99);
+
+    Table repair_table({"threads", "update_edges", "updates",
+                        "compactions", "repair_us_per_compaction",
+                        "rebuild_us_per_update", "per_update_speedup",
+                        "fallbacks"});
+    repair_table.new_row();
+    repair_table.add_int(threads);
+    repair_table.add_int(update_edges);
+    repair_table.add_int(rb.updates);
+    repair_table.add_int(rb.compactions);
+    repair_table.add(rb.repair_per_compaction_us(), 1);
+    repair_table.add(rb.rebuild_per_update_us(), 1);
+    repair_table.add(rb.rebuild_per_update_us() /
+                         std::max(1e-9, rb.repair_per_update_us()),
+                     1);
+    repair_table.add_int(rb.fallbacks);
+    repair_table.print(csv);
+
+    // --- Part 2: serving throughput under churn --------------------
+    const index_t feat = static_cast<index_t>(flags.get_int("feat"));
+    const index_t hidden =
+        static_cast<index_t>(flags.get_int("hidden"));
+    std::vector<GcnLayer> layers;
+    layers.emplace_back(random_layer_weights(feat, hidden, 11),
+                        Activation::kRelu);
+    layers.emplace_back(random_layer_weights(hidden, hidden, 13),
+                        Activation::kNone);
+    DenseMatrix features(graph.rows(), feat);
+    Pcg32 rng(3);
+    features.fill_random(rng);
+
+    MetricsRegistry::global().set_enabled(true);
+    const int clients = static_cast<int>(flags.get_int("clients"));
+    const int requests = static_cast<int>(flags.get_int("requests"));
+    const unsigned workers =
+        static_cast<unsigned>(flags.get_int("workers"));
+
+    ServePoint baseline = run_serve_point(
+        graph, layers, features, serve::GraphUpdatePolicy::kIncremental,
+        0.0, hot_begin, update_hz, clients, requests, workers);
+    ServePoint incremental = run_serve_point(
+        graph, layers, features, serve::GraphUpdatePolicy::kIncremental,
+        churn_eps, hot_begin, update_hz, clients, requests, workers);
+    ServePoint rebuild = run_serve_point(
+        graph, layers, features,
+        serve::GraphUpdatePolicy::kRebuildEveryUpdate, churn_eps,
+        hot_begin, update_hz, clients, requests, workers);
+    MetricsRegistry::global().set_enabled(false);
+
+    Table serve_table({"policy", "churn_eps", "rps", "p50_ms", "p99_ms",
+                       "updates", "compactions", "sched_builds",
+                       "sched_repairs"});
+    const auto add_row = [&serve_table, churn_eps](
+                             const char *name, const ServePoint &pt,
+                             bool churned) {
+        serve_table.new_row();
+        serve_table.add(std::string(name));
+        serve_table.add(churned ? churn_eps : 0.0, 0);
+        serve_table.add(pt.rps, 1);
+        serve_table.add(pt.p50, 3);
+        serve_table.add(pt.p99, 3);
+        serve_table.add_int(pt.updates);
+        serve_table.add_int(pt.compactions);
+        serve_table.add_int(pt.sched_builds);
+        serve_table.add_int(pt.sched_repairs);
+    };
+    add_row("no-churn", baseline, false);
+    add_row("incremental", incremental, true);
+    add_row("rebuild-every-update", rebuild, true);
+    serve_table.print(csv);
+
+    std::printf(
+        "# schedule maintenance: incremental repair %.1fx cheaper per"
+        " update than rebuild-every-update (%d compactions over %d"
+        " updates, %d fallbacks; %.1f us/compaction repair vs %.1f"
+        " us/update rebuild)\n",
+        rb.rebuild_per_update_us() /
+            std::max(1e-9, rb.repair_per_update_us()),
+        rb.compactions, rb.updates, rb.fallbacks,
+        rb.repair_per_compaction_us(), rb.rebuild_per_update_us());
+    std::printf(
+        "# serve under churn: incremental %.0f%% of no-churn baseline,"
+        " rebuild-every-update %.0f%%\n",
+        100.0 * incremental.rps / std::max(1e-9, baseline.rps),
+        100.0 * rebuild.rps / std::max(1e-9, baseline.rps));
+    return 0;
+}

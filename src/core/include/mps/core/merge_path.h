@@ -45,6 +45,19 @@ MergeCoordinate merge_path_search(int64_t diagonal,
                                   const index_t *row_end_offsets,
                                   index_t num_rows, index_t nnz);
 
+/**
+ * merge_path_search with the row range of the binary search restricted
+ * to [row_lo, row_hi]. The caller must guarantee the path's crossing of
+ * @p diagonal lies inside that window — schedule repair knows the
+ * crossing row is at least the last clean boundary's row, which shrinks
+ * the search to the dirty suffix. Identical result to the unwindowed
+ * search, in O(log(row_hi - row_lo)) comparisons.
+ */
+MergeCoordinate merge_path_search_window(int64_t diagonal,
+                                         const index_t *row_end_offsets,
+                                         index_t num_rows, index_t nnz,
+                                         index_t row_lo, index_t row_hi);
+
 } // namespace mps
 
 #endif // MPS_CORE_MERGE_PATH_H

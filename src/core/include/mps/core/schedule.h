@@ -93,6 +93,26 @@ struct ScheduleCensus
 };
 
 /**
+ * Census of a contiguous thread range, mergeable with an adjacent
+ * range's part. split_rows is the count of DISTINCT atomic rows inside
+ * the range (atomic rows are non-decreasing in thread order, so the
+ * range-local count needs no sorting); the first/last atomic rows let
+ * merge_census() subtract the seam row counted by both sides. This is
+ * what makes the census range-decomposable: after an incremental
+ * schedule repair, only the dirty thread range is re-counted and merged
+ * with the cached clean-prefix part.
+ */
+struct ScheduleCensusPart
+{
+    ScheduleCensus counts;
+    index_t first_atomic_row = -1; ///< -1: no atomic commit in range
+    index_t last_atomic_row = -1;
+
+    /** Combine with the part of the thread range directly after. */
+    ScheduleCensusPart merged(const ScheduleCensusPart &right) const;
+};
+
+/**
  * Load-balanced assignment of a CSR matrix's rows + non-zeros to a fixed
  * number of threads via the merge-path decomposition. Building a
  * schedule costs one O(log) diagonal search per thread and nothing else:
@@ -144,6 +164,14 @@ class MergePathSchedule
     ScheduleCensus census(const CsrMatrix &a) const;
 
     /**
+     * Census restricted to threads [t_begin, t_end). Parts of adjacent
+     * ranges combine exactly via ScheduleCensusPart::merged(), so a
+     * repair re-censuses only the dirty thread range.
+     */
+    ScheduleCensusPart census_part(const CsrMatrix &a, index_t t_begin,
+                                   index_t t_end) const;
+
+    /**
      * Panics unless the schedule is a partition: thread ranges are
      * contiguous, cover [0, rows + nnz) exactly, and every thread holds
      * at most items_per_thread() merge items.
@@ -154,6 +182,44 @@ class MergePathSchedule
     std::vector<ThreadWork> work_;
     int64_t items_per_thread_ = 0;
 };
+
+/**
+ * Result of repair_schedule(): the repaired (or rebuilt) schedule plus
+ * the thread range whose boundaries changed, so census and other
+ * per-thread caches can be refreshed incrementally.
+ */
+struct ScheduleRepair
+{
+    MergePathSchedule schedule;
+    /** Threads [dirty_begin, dirty_end) have new boundaries. */
+    index_t dirty_begin = 0;
+    index_t dirty_end = 0;
+    /** True when imbalance (or a leading dirty row) forced a rebuild. */
+    bool rebuilt = false;
+};
+
+/**
+ * Incrementally repair a schedule after a structural edge delta.
+ *
+ * @p old_sched was built for @p old_a; @p new_a agrees with @p old_a on
+ * every row before @p first_dirty_row (identical row_ptr prefix through
+ * that index, same rows()). Boundaries at diagonals <= first_dirty_row
+ * + row_ptr[first_dirty_row] lie on the unchanged merge-path prefix and
+ * are kept verbatim; the remaining boundaries are re-placed evenly over
+ * the dirty suffix with windowed diagonal searches — O(threads · log
+ * nnz) instead of a full rebuild's O(threads · log nnz) over the whole
+ * matrix PLUS the schedule-wide re-census, which is where the real
+ * rebuild cost lives. Falls back to a full build (rebuilt = true) when
+ * the delta starts at row 0 or the kept prefix would leave the suffix
+ * threads more than 2x over the balanced cost.
+ *
+ * Emits schedule.repairs / schedule.repair_ns (and
+ * schedule.repair_rebuilds on fallback).
+ */
+ScheduleRepair repair_schedule(const MergePathSchedule &old_sched,
+                               const CsrMatrix &old_a,
+                               const CsrMatrix &new_a,
+                               index_t first_dirty_row);
 
 } // namespace mps
 

@@ -16,6 +16,7 @@
 namespace mps {
 
 class WorkStealPool;
+class DeltaCsr;
 
 /**
  * Execute MergePath-SpMM single-threaded, processing the schedule's
@@ -84,6 +85,44 @@ void mergepath_spmm(const CsrMatrix &a, const DenseMatrix &b,
 /** Plain row-by-row sequential SpMM: the gold reference for tests. */
 void reference_spmm(const CsrMatrix &a, const DenseMatrix &b,
                     DenseMatrix &c);
+
+/**
+ * Overlay correction pass of the dynamic-graph datapath: for every
+ * dirty row r of @p dcsr, add sum_k corr_k * B[col_k] onto C's row for
+ * r (routed through loc.row_scatter like the base traversal). Run
+ * AFTER a base-matrix SpMM into @p c; base + correction equals SpMM
+ * over the materialized base ∪ overlay. Plain (non-atomic) adds — each
+ * dirty row is owned by exactly one executor. Cost is O(delta · d),
+ * independent of the base nnz: the hot gather loop never sees the
+ * overlay.
+ */
+void delta_correction_pass(const DeltaCsr &dcsr, const DenseMatrix &b,
+                           DenseMatrix &c, WorkStealPool &pool,
+                           const SpmmLocality &loc);
+
+/** Sequential correction pass (deterministic reference). */
+void delta_correction_pass(const DeltaCsr &dcsr, const DenseMatrix &b,
+                           DenseMatrix &c);
+
+/**
+ * C = (base ∪ overlay) * B: unmodified merge-path traversal of
+ * dcsr.base() under @p sched (which was built for the BASE matrix and
+ * stays valid across every DeltaCsr::apply()), then the correction
+ * pass. Exact in real arithmetic; bitwise equal to the rebuilt-CSR
+ * SpMM whenever row sums are order-independent.
+ */
+void dynamic_spmm_parallel(const DeltaCsr &dcsr, const DenseMatrix &b,
+                           DenseMatrix &c, const MergePathSchedule &sched,
+                           WorkStealPool &pool, const SpmmLocality &loc);
+
+void dynamic_spmm_parallel(const DeltaCsr &dcsr, const DenseMatrix &b,
+                           DenseMatrix &c, const MergePathSchedule &sched,
+                           WorkStealPool &pool);
+
+/** Sequential dynamic SpMM (deterministic reference for tests). */
+void dynamic_spmm_sequential(const DeltaCsr &dcsr, const DenseMatrix &b,
+                             DenseMatrix &c,
+                             const MergePathSchedule &sched);
 
 } // namespace mps
 

@@ -32,4 +32,30 @@ merge_path_search(int64_t diagonal, const index_t *row_end_offsets,
             static_cast<index_t>(diagonal - x_min)};
 }
 
+MergeCoordinate
+merge_path_search_window(int64_t diagonal, const index_t *row_end_offsets,
+                         index_t num_rows, index_t nnz, index_t row_lo,
+                         index_t row_hi)
+{
+    MPS_CHECK(diagonal >= 0 &&
+                  diagonal <= static_cast<int64_t>(num_rows) + nnz,
+              "diagonal out of range: ", diagonal);
+    MPS_CHECK(row_lo >= 0 && row_hi <= num_rows && row_lo <= row_hi,
+              "bad search window [", row_lo, ", ", row_hi, "]");
+
+    int64_t x_min = std::max<int64_t>(diagonal - nnz, row_lo);
+    int64_t x_max = std::min<int64_t>(diagonal, row_hi);
+    MPS_CHECK(x_min <= x_max, "path does not cross diagonal ", diagonal,
+              " within rows [", row_lo, ", ", row_hi, "]");
+    while (x_min < x_max) {
+        int64_t pivot = x_min + (x_max - x_min) / 2;
+        if (row_end_offsets[pivot] <= diagonal - pivot - 1)
+            x_min = pivot + 1;
+        else
+            x_max = pivot;
+    }
+    return {static_cast<index_t>(x_min),
+            static_cast<index_t>(diagonal - x_min)};
+}
+
 } // namespace mps

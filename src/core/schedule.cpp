@@ -137,14 +137,60 @@ MergePathSchedule::resolve(index_t t, const CsrMatrix &a) const
     return r;
 }
 
-ScheduleCensus
-MergePathSchedule::census(const CsrMatrix &a) const
+ScheduleCensusPart
+ScheduleCensusPart::merged(const ScheduleCensusPart &right) const
 {
-    ScheduleCensus c;
-    const auto &rp = a.row_ptr();
-    std::vector<index_t> atomic_rows;
+    ScheduleCensusPart m;
+    m.counts.empty_threads = counts.empty_threads +
+                             right.counts.empty_threads;
+    m.counts.atomic_commits = counts.atomic_commits +
+                              right.counts.atomic_commits;
+    m.counts.plain_row_writes = counts.plain_row_writes +
+                                right.counts.plain_row_writes;
+    m.counts.atomic_nnz = counts.atomic_nnz + right.counts.atomic_nnz;
+    m.counts.plain_nnz = counts.plain_nnz + right.counts.plain_nnz;
+    m.counts.max_nnz_per_thread = std::max(
+        counts.max_nnz_per_thread, right.counts.max_nnz_per_thread);
+    m.counts.max_items_per_thread = std::max(
+        counts.max_items_per_thread, right.counts.max_items_per_thread);
+    // Atomic rows are non-decreasing in thread order, so the only row
+    // both sides can count is the seam row shared by the last thread of
+    // the left range and the first of the right.
+    const int64_t seam = (last_atomic_row >= 0 &&
+                          last_atomic_row == right.first_atomic_row)
+                             ? 1
+                             : 0;
+    m.counts.split_rows =
+        counts.split_rows + right.counts.split_rows - seam;
+    m.first_atomic_row =
+        first_atomic_row >= 0 ? first_atomic_row : right.first_atomic_row;
+    m.last_atomic_row =
+        right.last_atomic_row >= 0 ? right.last_atomic_row
+                                   : last_atomic_row;
+    return m;
+}
 
-    for (index_t t = 0; t < num_threads(); ++t) {
+ScheduleCensusPart
+MergePathSchedule::census_part(const CsrMatrix &a, index_t t_begin,
+                               index_t t_end) const
+{
+    MPS_CHECK(t_begin >= 0 && t_end <= num_threads() && t_begin <= t_end,
+              "bad census thread range [", t_begin, ", ", t_end, ")");
+    ScheduleCensusPart part;
+    ScheduleCensus &c = part.counts;
+    const auto &rp = a.row_ptr();
+
+    const auto count_atomic_row = [&part, &c](index_t row) {
+        if (part.first_atomic_row < 0)
+            part.first_atomic_row = row;
+        // Non-decreasing in thread order: a new distinct row whenever
+        // it differs from the previous one.
+        if (row != part.last_atomic_row)
+            ++c.split_rows;
+        part.last_atomic_row = row;
+    };
+
+    for (index_t t = t_begin; t < t_end; ++t) {
         const ThreadWork &w = work_[static_cast<size_t>(t)];
         if (w.empty()) {
             ++c.empty_threads;
@@ -161,7 +207,7 @@ MergePathSchedule::census(const CsrMatrix &a) const
             if (r.head_atomic) {
                 ++c.atomic_commits;
                 c.atomic_nnz += len;
-                atomic_rows.push_back(r.head_row);
+                count_atomic_row(r.head_row);
             } else {
                 ++c.plain_row_writes;
                 c.plain_nnz += len;
@@ -176,15 +222,16 @@ MergePathSchedule::census(const CsrMatrix &a) const
         if (r.has_tail()) {
             ++c.atomic_commits;
             c.atomic_nnz += r.tail_end - r.tail_begin;
-            atomic_rows.push_back(r.tail_row);
+            count_atomic_row(r.tail_row);
         }
     }
+    return part;
+}
 
-    std::sort(atomic_rows.begin(), atomic_rows.end());
-    atomic_rows.erase(std::unique(atomic_rows.begin(), atomic_rows.end()),
-                      atomic_rows.end());
-    c.split_rows = static_cast<int64_t>(atomic_rows.size());
-    return c;
+ScheduleCensus
+MergePathSchedule::census(const CsrMatrix &a) const
+{
+    return census_part(a, 0, num_threads()).counts;
 }
 
 void
@@ -239,6 +286,129 @@ MergePathSchedule::validate(const CsrMatrix &a) const
                       "thread ", t, " end nz not within end row");
         }
     }
+}
+
+ScheduleRepair
+repair_schedule(const MergePathSchedule &old_sched, const CsrMatrix &old_a,
+                const CsrMatrix &new_a, index_t first_dirty_row)
+{
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const bool instrumented = metrics.enabled();
+    Timer timer;
+
+    const index_t num_threads = old_sched.num_threads();
+    const int64_t total_new =
+        static_cast<int64_t>(new_a.rows()) + new_a.nnz();
+    MPS_CHECK(new_a.rows() == old_a.rows(),
+              "repair requires an unchanged row count");
+    MPS_CHECK(first_dirty_row >= 0 && first_dirty_row <= new_a.rows(),
+              "first_dirty_row out of range: ", first_dirty_row);
+
+    const auto full_rebuild = [&]() {
+        ScheduleRepair r;
+        r.schedule = MergePathSchedule::build(new_a, num_threads);
+        r.dirty_begin = 0;
+        r.dirty_end = num_threads;
+        r.rebuilt = true;
+        if (instrumented) {
+            metrics.counter_add("schedule.repair_rebuilds");
+            metrics.counter_add(
+                "schedule.repair_ns",
+                static_cast<int64_t>(timer.elapsed_ns()));
+        }
+        return r;
+    };
+
+    if (first_dirty_row >= new_a.rows() && new_a.nnz() == old_a.nnz()) {
+        // Value-only delta: the schedule depends on structure alone.
+        ScheduleRepair r;
+        r.schedule = old_sched;
+        r.dirty_begin = r.dirty_end = num_threads;
+        if (instrumented)
+            metrics.counter_add("schedule.repairs");
+        return r;
+    }
+    if (first_dirty_row == 0 || num_threads <= 1)
+        return full_rebuild();
+
+    // Diagonals <= p cross the merge path inside the structurally
+    // unchanged prefix (the search predicate is identical below row
+    // first_dirty_row and false at it in both matrices), so every old
+    // boundary at such a diagonal is still on the new path.
+    const int64_t p =
+        static_cast<int64_t>(first_dirty_row) +
+        old_a.row_ptr()[first_dirty_row];
+
+    const auto &old_work = old_sched.work();
+    std::vector<MergeCoordinate> bounds(
+        static_cast<size_t>(num_threads) + 1);
+    bounds[0] = old_work[0].start;
+    index_t kept = 0; // largest boundary index kept verbatim
+    for (index_t t = 1; t < num_threads; ++t) {
+        const MergeCoordinate &b = old_work[static_cast<size_t>(t)].start;
+        if (static_cast<int64_t>(b.row) + b.nz > p)
+            break;
+        bounds[static_cast<size_t>(t)] = b;
+        kept = t;
+    }
+
+    // Re-place the remaining boundaries evenly over the dirty suffix;
+    // each search is windowed to rows >= the last kept boundary's row.
+    const int64_t kept_diag =
+        static_cast<int64_t>(bounds[static_cast<size_t>(kept)].row) +
+        bounds[static_cast<size_t>(kept)].nz;
+    const index_t remaining = num_threads - kept;
+    int64_t suffix_cost =
+        (total_new - kept_diag + remaining - 1) / remaining;
+    if (suffix_cost < 1)
+        suffix_cost = 1;
+    const index_t *row_ends =
+        new_a.rows() > 0 ? new_a.row_ptr().data() + 1 : nullptr;
+    for (index_t j = 1; j < remaining; ++j) {
+        const int64_t diagonal =
+            std::min(kept_diag + j * suffix_cost, total_new);
+        bounds[static_cast<size_t>(kept + j)] = merge_path_search_window(
+            diagonal, row_ends, new_a.rows(), new_a.nnz(),
+            bounds[static_cast<size_t>(kept)].row, new_a.rows());
+    }
+    bounds[static_cast<size_t>(num_threads)] = {new_a.rows(),
+                                                new_a.nnz()};
+
+    int64_t items_per_thread = 1;
+    for (index_t t = 0; t < num_threads; ++t) {
+        const int64_t d0 =
+            static_cast<int64_t>(bounds[static_cast<size_t>(t)].row) +
+            bounds[static_cast<size_t>(t)].nz;
+        const int64_t d1 =
+            static_cast<int64_t>(bounds[static_cast<size_t>(t) + 1].row) +
+            bounds[static_cast<size_t>(t) + 1].nz;
+        items_per_thread = std::max(items_per_thread, d1 - d0);
+    }
+    // Balance guard: the kept prefix pins old spacing, so a delta that
+    // grows the suffix a lot can overload suffix threads. Rebuilding
+    // restores even spacing.
+    const int64_t balanced =
+        (total_new + num_threads - 1) / num_threads;
+    if (items_per_thread > 2 * balanced)
+        return full_rebuild();
+
+    std::vector<ThreadWork> work(static_cast<size_t>(num_threads));
+    for (index_t t = 0; t < num_threads; ++t) {
+        work[static_cast<size_t>(t)] = {
+            bounds[static_cast<size_t>(t)],
+            bounds[static_cast<size_t>(t) + 1]};
+    }
+    ScheduleRepair r;
+    r.schedule =
+        MergePathSchedule::from_parts(std::move(work), items_per_thread);
+    r.dirty_begin = kept;
+    r.dirty_end = num_threads;
+    if (instrumented) {
+        metrics.counter_add("schedule.repairs");
+        metrics.counter_add("schedule.repair_ns",
+                            static_cast<int64_t>(timer.elapsed_ns()));
+    }
+    return r;
 }
 
 } // namespace mps

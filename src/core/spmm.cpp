@@ -5,6 +5,7 @@
 
 #include "mps/core/locality.h"
 #include "mps/core/microkernel.h"
+#include "mps/sparse/delta_csr.h"
 #include "mps/sparse/spgemm.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
@@ -328,6 +329,93 @@ sparse_dense_matmul(const CsrMatrix &x, const DenseMatrix &w,
                             dim);
             }
         });
+}
+
+namespace {
+
+/** Apply dirty row @p i's corrections onto C (full width, plain add). */
+inline void
+correct_dirty_row(const DeltaCsr &dcsr, index_t i, const DenseMatrix &b,
+                  DenseMatrix &c, const index_t *scatter, value_t *acc,
+                  const RowKernels &rk)
+{
+    const index_t dim = b.cols();
+    rk.zero(acc, dim);
+    dcsr.for_each_correction(
+        i, [&](index_t col, value_t corr, value_t, bool) {
+            rk.axpy(acc, corr, b.row(col), dim);
+        });
+    const index_t row = dcsr.dirty_row(i);
+    value_t *crow = c.row(scatter != nullptr ? scatter[row] : row);
+    rk.add(crow, acc, dim);
+}
+
+} // namespace
+
+void
+delta_correction_pass(const DeltaCsr &dcsr, const DenseMatrix &b,
+                      DenseMatrix &c, WorkStealPool &pool,
+                      const SpmmLocality &loc)
+{
+    const index_t dirty = dcsr.num_dirty_rows();
+    if (dirty == 0)
+        return;
+    check_shapes(dcsr.base(), b, c);
+    const RowKernels &rk = select_row_kernels(b.cols());
+    const index_t *scatter = loc.row_scatter;
+    pool.parallel_for_ranges(
+        static_cast<uint64_t>(dirty), [&](uint64_t begin, uint64_t end) {
+            value_t *acc = microkernel_scratch(b.cols());
+            for (index_t i = static_cast<index_t>(begin);
+                 i < static_cast<index_t>(end); ++i)
+                correct_dirty_row(dcsr, i, b, c, scatter, acc, rk);
+        });
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled()) {
+        metrics.counter_add("spmm.delta.corrected_rows", dirty);
+        metrics.counter_add("spmm.delta.correction_nnz",
+                            dcsr.delta_edges());
+    }
+}
+
+void
+delta_correction_pass(const DeltaCsr &dcsr, const DenseMatrix &b,
+                      DenseMatrix &c)
+{
+    const index_t dirty = dcsr.num_dirty_rows();
+    if (dirty == 0)
+        return;
+    check_shapes(dcsr.base(), b, c);
+    const RowKernels &rk = select_row_kernels(b.cols());
+    value_t *acc = microkernel_scratch(b.cols());
+    for (index_t i = 0; i < dirty; ++i)
+        correct_dirty_row(dcsr, i, b, c, nullptr, acc, rk);
+}
+
+void
+dynamic_spmm_parallel(const DeltaCsr &dcsr, const DenseMatrix &b,
+                      DenseMatrix &c, const MergePathSchedule &sched,
+                      WorkStealPool &pool, const SpmmLocality &loc)
+{
+    mergepath_spmm_parallel(dcsr.base(), b, c, sched, pool, loc);
+    delta_correction_pass(dcsr, b, c, pool, loc);
+}
+
+void
+dynamic_spmm_parallel(const DeltaCsr &dcsr, const DenseMatrix &b,
+                      DenseMatrix &c, const MergePathSchedule &sched,
+                      WorkStealPool &pool)
+{
+    dynamic_spmm_parallel(dcsr, b, c, sched, pool,
+                          default_spmm_locality(b.rows(), b.cols()));
+}
+
+void
+dynamic_spmm_sequential(const DeltaCsr &dcsr, const DenseMatrix &b,
+                        DenseMatrix &c, const MergePathSchedule &sched)
+{
+    mergepath_spmm_sequential(dcsr.base(), b, c, sched);
+    delta_correction_pass(dcsr, b, c);
 }
 
 void

@@ -19,7 +19,17 @@
  *  - every accepted request's future resolves — with a result, or with
  *    an explicit kTimeout / kShutdown / kBadRequest error;
  *  - a full queue rejects (kRejected) or blocks, per OverflowPolicy;
- *  - shutdown() drains: queued and batched requests still execute.
+ *  - shutdown() drains: queued and batched requests still execute;
+ *  - update_graph() swaps an immutable graph snapshot: batches formed
+ *    before the swap finish on the old graph, later ones see the new
+ *    one, and the dispatch path never blocks on delta integration.
+ *
+ * Dynamic graphs: each registered graph is a DeltaCsr — edge deltas
+ * accumulate in an overlay applied as a cheap correction pass after
+ * the (schedule-stable) base SpMM; compaction and incremental schedule
+ * repair happen lazily per GraphUpdatePolicy. Telemetry:
+ * graph.delta_fraction, serve.graph_updates, serve.graph_compactions,
+ * schedule.repairs / schedule.repair_ns (from repair_schedule).
  *
  * Metrics (all through the PR 1 registry, no-ops while disabled):
  *  serve.queue.depth (gauge), serve.batch.size (distribution),
@@ -62,6 +72,7 @@
 #include "mps/serve/request.h"
 #include "mps/serve/telemetry_server.h"
 #include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/delta_csr.h"
 #include "mps/util/histogram.h"
 #include "mps/util/stats.h"
 #include "mps/util/work_steal_pool.h"
@@ -80,6 +91,22 @@ int default_telemetry_port();
 enum class OverflowPolicy {
     kReject, ///< submit() resolves the future with kRejected
     kBlock,  ///< submit() waits for space (or shutdown)
+};
+
+/** How update_graph() integrates an edge delta. */
+enum class GraphUpdatePolicy {
+    /**
+     * Delta-CSR overlay + lazy compaction + incremental schedule
+     * repair: updates are O(delta), compactions amortized, cached
+     * schedules migrate via repair_schedule() instead of rebuilding.
+     */
+    kIncremental,
+    /**
+     * Materialize a fresh CSR on every update and let the next batch
+     * rebuild its schedules from scratch. The churn benchmark's
+     * baseline: the rebuild cost lands on the serving path.
+     */
+    kRebuildEveryUpdate,
 };
 
 /** Server construction knobs. */
@@ -113,6 +140,13 @@ struct ServeConfig
     ReorderKind reorder = default_reorder_kind();
     /** Default per-request deadline; <= 0 means none. */
     double default_timeout_ms = 0.0;
+    /** Edge-delta integration strategy for update_graph(). */
+    GraphUpdatePolicy update_policy = GraphUpdatePolicy::kIncremental;
+    /**
+     * Overlay compaction threshold (fraction of base nnz); <= 0 uses
+     * MPS_DELTA_COMPACT_RATIO (default 0.10).
+     */
+    double delta_compact_ratio = 0.0;
     /**
      * TCP port of the embedded /metrics endpoint: >= 0 starts a
      * TelemetryServer on 127.0.0.1 at start() (0 = ephemeral, see
@@ -137,6 +171,8 @@ struct ServerStats
     int64_t batches = 0;
     double mean_batch_size = 0.0;
     int64_t max_batch_size = 0;
+    int64_t graph_updates = 0;     ///< update_graph() calls applied
+    int64_t graph_compactions = 0; ///< updates that compacted the base
     PercentileSummary latency_ms; ///< completed requests only
 };
 
@@ -167,6 +203,32 @@ class Server
      */
     uint64_t register_graph(CsrMatrix adjacency,
                             std::vector<GcnLayer> layers);
+
+    /**
+     * Apply an edge delta to a registered graph with snapshot
+     * semantics: a fresh immutable GraphContext is built off the
+     * dispatch path and swapped in under the graphs lock in O(1) —
+     * in-flight batches finish against the snapshot they were formed
+     * on, new batches see the updated graph, and dispatch never stalls
+     * on delta integration. Updates to the same server serialize on an
+     * update mutex. Under the default kIncremental policy the delta
+     * lands in the DeltaCsr overlay; when the overlay passes the
+     * compaction ratio the base is rebuilt and every cached schedule
+     * is migrated via incremental repair. A graph registered with a
+     * locality reorder plan drops the plan on its first update
+     * (repairing a schedule across a row re-permutation is a rebuild
+     * by another name); execution continues in natural row order.
+     *
+     * @return false when @p graph_id was never registered or the
+     *         server is shutting down.
+     */
+    bool update_graph(uint64_t graph_id, const GraphDelta &delta);
+
+    /** Current overlay fraction of a graph (0.0 when clean/unknown). */
+    double graph_delta_fraction(uint64_t graph_id) const;
+
+    /** Logical nnz of a graph's base ∪ overlay (0 when unknown). */
+    index_t graph_nnz(uint64_t graph_id) const;
 
     /**
      * Enqueue one inference request. The returned future always
@@ -216,17 +278,29 @@ class Server
     ScheduleCache &schedule_cache() { return *cache_; }
 
   private:
+    /**
+     * One immutable graph snapshot. update_graph() never mutates a
+     * published context — it builds a successor and swaps the map
+     * entry, so a Batch's shared_ptr pins exactly the graph state its
+     * requests were validated against. The DeltaCsr base is shared
+     * across snapshots (shared_ptr inside), layers likewise; a
+     * snapshot copy is O(overlay), not O(graph).
+     */
     struct GraphContext
     {
-        CsrMatrix adjacency;
-        std::vector<GcnLayer> layers;
+        DeltaCsr dynamic;
+        std::shared_ptr<const std::vector<GcnLayer>> layers;
         /** Reorder plan shared via the schedule cache; nullptr = identity. */
         std::shared_ptr<const ReorderPlan> reorder;
+        /** Monotone update counter (0 at registration). */
+        uint64_t update_seq = 0;
+
+        const CsrMatrix &adjacency() const { return dynamic.base(); }
     };
 
     struct Batch
     {
-        GraphContext *graph = nullptr;
+        std::shared_ptr<const GraphContext> graph;
         std::vector<RequestPtr> requests;
     };
 
@@ -245,9 +319,15 @@ class Server
     std::unique_ptr<ScheduleCache> owned_cache_;
     ScheduleCache *cache_;
 
-    std::map<uint64_t, std::unique_ptr<GraphContext>> graphs_;
+    std::map<uint64_t, std::shared_ptr<const GraphContext>> graphs_;
     uint64_t next_graph_id_ = 1;
     mutable std::mutex graphs_mutex_;
+    /**
+     * Serializes update_graph() calls. Held while the successor
+     * snapshot is built (outside graphs_mutex_, so submit/dispatch
+     * never wait on delta integration).
+     */
+    std::mutex update_mutex_;
 
     MpscQueue<RequestPtr> queue_;
     Batcher batcher_; // dispatcher-only
@@ -287,6 +367,8 @@ class Server
     int64_t batches_total_ = 0;
     int64_t batch_requests_total_ = 0;
     int64_t max_batch_size_ = 0;
+    int64_t graph_updates_ = 0;
+    int64_t graph_compactions_ = 0;
     /**
      * Completed-request latency distribution. Thread-safe on its own
      * (per-bucket atomics), records outside stats_mutex_; unlike the

@@ -1,6 +1,7 @@
 #include "mps/serve/server.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdlib>
 #include <limits>
@@ -26,8 +27,13 @@ namespace {
  * from the per-d tuned cost and raise it so the schedule never asks for
  * more than 64x oversubscription of the executing pool — a server keeps
  * many pools busy at once, so unbounded thread counts on huge graphs
- * would only add scheduling overhead. Deterministic per (graph, dim,
- * pool size), which keeps the ScheduleCache key space small.
+ * would only add scheduling overhead. The oversubscription floor is
+ * rounded up to a power of two so the cost — and with it the schedule
+ * cache key — stays stable while edge churn drifts the nnz count;
+ * a compaction therefore lands on the schedule repair_for_update()
+ * migrated, instead of missing the cache over a one-edge cost change.
+ * Deterministic per (graph-size bucket, dim, pool size), which keeps
+ * the ScheduleCache key space small.
  */
 index_t
 serve_cost(const CsrMatrix &a, index_t dim, const WorkStealPool &pool)
@@ -35,7 +41,10 @@ serve_cost(const CsrMatrix &a, index_t dim, const WorkStealPool &pool)
     const index_t total = a.rows() + a.nnz();
     const index_t max_threads = static_cast<index_t>(pool.size()) * 64;
     const index_t floor_cost = (total + max_threads - 1) / max_threads;
-    return std::max(default_merge_path_cost(dim), floor_cost);
+    const index_t quantized = static_cast<index_t>(
+        std::bit_ceil(static_cast<uint64_t>(std::max<index_t>(
+            floor_cost, 1))));
+    return std::max(default_merge_path_cost(dim), quantized);
 }
 
 /** Flow-event name connecting one request's spans across threads. */
@@ -107,20 +116,110 @@ Server::register_graph(CsrMatrix adjacency, std::vector<GcnLayer> layers)
                   " input features but layer ", l - 1, " produces ",
                   layers[l - 1].out_features());
     }
-    auto ctx = std::make_unique<GraphContext>();
-    ctx->adjacency = std::move(adjacency);
-    ctx->layers = std::move(layers);
+    auto ctx = std::make_shared<GraphContext>();
+    ctx->dynamic = DeltaCsr(std::move(adjacency));
+    if (config_.delta_compact_ratio > 0.0)
+        ctx->dynamic.set_compact_ratio(config_.delta_compact_ratio);
+    ctx->layers = std::make_shared<const std::vector<GcnLayer>>(
+        std::move(layers));
     // The permutation is paid once here, at registration: every batch
     // against this graph then traverses the row-permuted matrix and
     // scatters outputs back through the plan's inverse permutation.
     if (config_.reorder != ReorderKind::kNone)
-        ctx->reorder =
-            cache_->get_or_build_reorder(ctx->adjacency, config_.reorder);
+        ctx->reorder = cache_->get_or_build_reorder(ctx->adjacency(),
+                                                    config_.reorder);
 
     std::lock_guard<std::mutex> lk(graphs_mutex_);
     const uint64_t id = next_graph_id_++;
     graphs_.emplace(id, std::move(ctx));
     return id;
+}
+
+bool
+Server::update_graph(uint64_t graph_id, const GraphDelta &delta)
+{
+    if (!accepting_.load(std::memory_order_acquire))
+        return false;
+    auto &metrics = MetricsRegistry::global();
+    Timer timer;
+    // One update at a time per server; the graphs lock is only taken
+    // for the O(1) map reads/swap, so submit() and the dispatcher keep
+    // running while the successor snapshot is built.
+    std::lock_guard<std::mutex> update_lk(update_mutex_);
+    std::shared_ptr<const GraphContext> old_ctx;
+    {
+        std::lock_guard<std::mutex> lk(graphs_mutex_);
+        auto it = graphs_.find(graph_id);
+        if (it == graphs_.end())
+            return false;
+        old_ctx = it->second;
+    }
+
+    auto ctx = std::make_shared<GraphContext>();
+    ctx->dynamic = old_ctx->dynamic; // shares the base, copies overlay
+    ctx->layers = old_ctx->layers;
+    ctx->update_seq = old_ctx->update_seq + 1;
+    if (old_ctx->reorder != nullptr) {
+        // Repairing schedules across a row re-permutation is a rebuild
+        // by another name (every row id changes), so the first update
+        // retires the plan; execution continues in natural row order.
+        inform("graph " + std::to_string(graph_id) +
+               ": dropping locality reorder plan on first update");
+        if (metrics.enabled())
+            metrics.counter_add("serve.reorder_dropped");
+    }
+    ctx->dynamic.apply(delta);
+
+    bool compacted = false;
+    if (config_.update_policy == GraphUpdatePolicy::kRebuildEveryUpdate) {
+        // Baseline: eager materialization; the next batch pays a full
+        // schedule build against the new fingerprint.
+        ctx->dynamic.compact();
+        compacted = true;
+    } else if (ctx->dynamic.needs_compaction()) {
+        DeltaCsr::CompactResult cr = ctx->dynamic.compact();
+        compacted = true;
+        cache_->repair_for_update(*cr.old_base, *cr.new_base,
+                                  cr.first_dirty_row);
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(graphs_mutex_);
+        graphs_[graph_id] = ctx; // O(1) snapshot swap
+    }
+    {
+        std::lock_guard<std::mutex> lk(stats_mutex_);
+        ++graph_updates_;
+        if (compacted)
+            ++graph_compactions_;
+    }
+    if (metrics.enabled()) {
+        metrics.counter_add("serve.graph_updates");
+        if (compacted)
+            metrics.counter_add("serve.graph_compactions");
+        metrics.gauge_set("graph.delta_fraction",
+                          ctx->dynamic.delta_fraction());
+        metrics.timer_record_ms("serve.graph_update_ms",
+                                timer.elapsed_ms());
+    }
+    return true;
+}
+
+double
+Server::graph_delta_fraction(uint64_t graph_id) const
+{
+    std::lock_guard<std::mutex> lk(graphs_mutex_);
+    auto it = graphs_.find(graph_id);
+    return it == graphs_.end() ? 0.0
+                               : it->second->dynamic.delta_fraction();
+}
+
+index_t
+Server::graph_nnz(uint64_t graph_id) const
+{
+    std::lock_guard<std::mutex> lk(graphs_mutex_);
+    auto it = graphs_.find(graph_id);
+    return it == graphs_.end() ? 0 : it->second->dynamic.nnz();
 }
 
 std::future<InferenceResult>
@@ -162,13 +261,13 @@ Server::submit(uint64_t graph_id, DenseMatrix features, double timeout_ms)
             return fut;
         }
         const GraphContext &g = *it->second;
-        if (req->features.rows() != g.adjacency.rows() ||
-            req->features.cols() != g.layers.front().in_features()) {
+        if (req->features.rows() != g.adjacency().rows() ||
+            req->features.cols() != g.layers->front().in_features()) {
             std::ostringstream os;
             os << "feature shape " << req->features.rows() << "x"
                << req->features.cols() << " does not match expected "
-               << g.adjacency.rows() << "x"
-               << g.layers.front().in_features();
+               << g.adjacency().rows() << "x"
+               << g.layers->front().in_features();
             req->fail(RequestStatus::kBadRequest, os.str());
             return fut;
         }
@@ -334,11 +433,14 @@ Server::dispatcher_loop()
             Batch batch;
             batch.requests = std::move(ready);
             {
+                // The snapshot the batch pins: a concurrent
+                // update_graph() swap after this point doesn't affect
+                // requests already batched.
                 std::lock_guard<std::mutex> lk(graphs_mutex_);
                 auto it = graphs_.find(batch.requests.front()->graph_id);
                 MPS_CHECK(it != graphs_.end(),
                           "batched request for unregistered graph");
-                batch.graph = it->second.get();
+                batch.graph = it->second;
             }
             hand_to_workers(std::move(batch));
         }
@@ -357,7 +459,7 @@ Server::dispatcher_loop()
                         graphs_.find(batch.requests.front()->graph_id);
                     MPS_CHECK(it != graphs_.end(),
                               "batched request for unregistered graph");
-                    batch.graph = it->second.get();
+                    batch.graph = it->second;
                 }
                 hand_to_workers(std::move(batch));
             }
@@ -418,14 +520,18 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
         return;
 
     const GraphContext &graph = *batch.graph;
-    const CsrMatrix &a = graph.adjacency;
+    const DeltaCsr &dyn = graph.dynamic;
+    const CsrMatrix &a = graph.adjacency();
     // Reorder-aware execution: when a plan is attached the SpMM walks
     // the row-permuted matrix and scatters output rows back through
     // the inverse permutation, so everything before and after the
-    // aggregation stays in the client's node order.
+    // aggregation stays in the client's node order. A dynamic graph
+    // retires its plan on the first update (see update_graph), so the
+    // correction pass below never coexists with a scatter map.
     const CsrMatrix &exec = graph.reorder ? graph.reorder->matrix : a;
     const index_t *scatter =
         graph.reorder ? graph.reorder->inverse.data() : nullptr;
+    const bool has_delta = dyn.num_dirty_rows() > 0;
     const index_t n = a.rows();
     const int k = static_cast<int>(live.size());
 
@@ -453,7 +559,7 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
     // tall form is the inter-layer representation — the combination
     // GEMM of all k requests becomes ONE pool dispatch per layer, and
     // request outputs split back off as contiguous row blocks.
-    const index_t f0 = graph.layers.front().in_features();
+    const index_t f0 = graph.layers->front().in_features();
     DenseMatrix tall(static_cast<index_t>(k) * n, f0);
     for (int j = 0; j < k; ++j) {
         const DenseMatrix &feats = live[static_cast<size_t>(j)]->features;
@@ -462,7 +568,7 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
                      feats.row(r), f0);
     }
 
-    for (const GcnLayer &layer : graph.layers) {
+    for (const GcnLayer &layer : *graph.layers) {
         const index_t h = layer.out_features();
 
         // Combination: (X_1 W; ...; X_k W) = tall X * W, one GEMM.
@@ -477,6 +583,10 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
             loc.row_scatter = scatter;
             mergepath_spmm_parallel(exec, tall_xw, out, *sched, pool,
                                     loc);
+            // Overlay correction: O(delta * h) on top of the
+            // schedule-stable base traversal.
+            if (has_delta)
+                delta_correction_pass(dyn, tall_xw, out, pool, loc);
             apply_activation(out, layer.activation());
             tall = std::move(out);
             continue;
@@ -507,6 +617,8 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
         loc.row_scatter = scatter;
         mergepath_spmm_parallel(exec, wide_in, wide_out, *sched, pool,
                                 loc);
+        if (has_delta)
+            delta_correction_pass(dyn, wide_in, wide_out, pool, loc);
         apply_activation(wide_out, layer.activation());
 
         tall = DenseMatrix(static_cast<index_t>(k) * n, h);
@@ -523,7 +635,7 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
             64);
     }
 
-    const index_t h_out = graph.layers.back().out_features();
+    const index_t h_out = graph.layers->back().out_features();
     for (int j = 0; j < k; ++j) {
         DenseMatrix out(n, h_out);
         for (index_t r = 0; r < n; ++r)
@@ -612,6 +724,8 @@ Server::stats() const
             : static_cast<double>(batch_requests_total_) /
                   static_cast<double>(batches_total_);
     s.max_batch_size = max_batch_size_;
+    s.graph_updates = graph_updates_;
+    s.graph_compactions = graph_compactions_;
     s.latency_ms = summary_from_histogram(latency_hist_.snapshot());
     return s;
 }
@@ -624,6 +738,16 @@ Server::publish_telemetry()
         return;
     metrics.gauge_set("serve.queue.depth",
                       static_cast<double>(queue_.size_approx()));
+    {
+        // Per-graph overlay pressure, labeled per OpenMetrics family
+        // conventions (split into family + labels by the exporter).
+        std::lock_guard<std::mutex> lk(graphs_mutex_);
+        for (const auto &[id, ctx] : graphs_) {
+            metrics.gauge_set("graph.delta_fraction{graph=\"" +
+                                  std::to_string(id) + "\"}",
+                              ctx->dynamic.delta_fraction());
+        }
+    }
     if (pool_ != nullptr)
         pool_->publish_imbalance(metrics);
 }

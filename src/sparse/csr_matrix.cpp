@@ -94,7 +94,7 @@ CsrMatrix::normalize_gcn()
 }
 
 void
-CsrMatrix::validate() const
+CsrMatrix::validate(CsrValidate level) const
 {
     MPS_CHECK(rows_ >= 0 && cols_ >= 0, "negative dimensions");
     MPS_CHECK(row_ptr_.size() == static_cast<size_t>(rows_) + 1,
@@ -110,6 +110,16 @@ CsrMatrix::validate() const
     }
     for (index_t c : col_idx_)
         MPS_CHECK(c >= 0 && c < cols_, "column index out of range: ", c);
+    if (level == CsrValidate::kStrict) {
+        for (index_t r = 0; r < rows_; ++r) {
+            for (index_t k = row_ptr_[r] + 1; k < row_ptr_[r + 1]; ++k) {
+                MPS_CHECK(col_idx_[k - 1] < col_idx_[k],
+                          "row ", r, " has unsorted or duplicate column ",
+                          "indices at nnz ", k, ": ", col_idx_[k - 1],
+                          " then ", col_idx_[k]);
+            }
+        }
+    }
 }
 
 } // namespace mps

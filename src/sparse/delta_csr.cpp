@@ -1,0 +1,351 @@
+#include "mps/sparse/delta_csr.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "mps/util/log.h"
+
+namespace mps {
+
+double
+default_delta_compact_ratio()
+{
+    const char *env = std::getenv("MPS_DELTA_COMPACT_RATIO");
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        double ratio = std::strtod(env, &end);
+        if (end != env && *end == '\0' && ratio > 0.0)
+            return ratio;
+        warn(detail::format_parts(
+            "ignoring invalid MPS_DELTA_COMPACT_RATIO=", env));
+    }
+    return 0.10;
+}
+
+DeltaCsr::DeltaCsr(CsrMatrix base)
+    : DeltaCsr(std::make_shared<const CsrMatrix>(std::move(base)))
+{
+}
+
+DeltaCsr::DeltaCsr(std::shared_ptr<const CsrMatrix> base)
+    : base_(std::move(base))
+{
+    MPS_CHECK(base_ != nullptr, "DeltaCsr needs a base matrix");
+    // The overlay merge and the per-row binary searches rely on sorted,
+    // duplicate-free rows.
+    base_->validate(CsrValidate::kStrict);
+    ovl_ptr_.assign(1, 0);
+}
+
+double
+DeltaCsr::delta_fraction() const
+{
+    const int64_t base_nnz = std::max<int64_t>(base_->nnz(), 1);
+    return static_cast<double>(delta_edges()) /
+           static_cast<double>(base_nnz);
+}
+
+void
+DeltaCsr::set_compact_ratio(double ratio)
+{
+    MPS_CHECK(ratio > 0.0, "compaction ratio must be positive");
+    compact_ratio_ = ratio;
+}
+
+index_t
+DeltaCsr::dirty_index(index_t r) const
+{
+    auto it = std::lower_bound(dirty_rows_.begin(), dirty_rows_.end(), r);
+    if (it == dirty_rows_.end() || *it != r)
+        return -1;
+    return static_cast<index_t>(it - dirty_rows_.begin());
+}
+
+namespace {
+
+struct Op
+{
+    index_t row;
+    index_t col;
+    value_t value;
+    bool remove;
+};
+
+} // namespace
+
+void
+DeltaCsr::apply(const GraphDelta &delta)
+{
+    if (delta.empty())
+        return;
+
+    // Flatten to one op stream: upserts first, removes after, so a
+    // remove of an edge upserted in the same batch wins (stable sort +
+    // keep-last below preserves that arrival order per (row, col)).
+    std::vector<Op> ops;
+    ops.reserve(delta.size());
+    for (const EdgeUpdate &e : delta.upserts) {
+        MPS_CHECK(e.row >= 0 && e.row < rows(),
+                  "upsert row out of range: ", e.row);
+        MPS_CHECK(e.col >= 0 && e.col < cols(),
+                  "upsert col out of range: ", e.col);
+        ops.push_back({e.row, e.col, e.value, false});
+    }
+    for (const EdgeUpdate &e : delta.removes) {
+        MPS_CHECK(e.row >= 0 && e.row < rows(),
+                  "remove row out of range: ", e.row);
+        MPS_CHECK(e.col >= 0 && e.col < cols(),
+                  "remove col out of range: ", e.col);
+        ops.push_back({e.row, e.col, 0.0f, true});
+    }
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const Op &a, const Op &b) {
+                         return a.row != b.row ? a.row < b.row
+                                               : a.col < b.col;
+                     });
+    // Last op wins per (row, col).
+    size_t w = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (w > 0 && ops[w - 1].row == ops[i].row &&
+            ops[w - 1].col == ops[i].col)
+            ops[w - 1] = ops[i];
+        else
+            ops[w++] = ops[i];
+    }
+    ops.resize(w);
+
+    // Rebuild the overlay: walk existing dirty rows and op rows in one
+    // ascending merge; rows with ops get a column-merge where the new
+    // op overrides any older overlay entry (corrections are always
+    // computed against the immutable base, never chained).
+    std::vector<index_t> n_dirty, n_ptr{0}, n_cols;
+    std::vector<value_t> n_val, n_corr;
+    std::vector<uint8_t> n_present, n_in_base;
+
+    const auto emit = [&](index_t col, value_t val, value_t corr,
+                          bool present, bool in_base) {
+        n_cols.push_back(col);
+        n_val.push_back(val);
+        n_corr.push_back(corr);
+        n_present.push_back(present ? 1 : 0);
+        n_in_base.push_back(in_base ? 1 : 0);
+    };
+    const auto close_row = [&](index_t row) {
+        if (static_cast<index_t>(n_cols.size()) == n_ptr.back())
+            return; // every entry of the row cancelled out
+        n_dirty.push_back(row);
+        n_ptr.push_back(static_cast<index_t>(n_cols.size()));
+    };
+    // Computes the overlay entry an op maps to; false = no entry (the
+    // edge ends up exactly in its base state).
+    const auto emit_op = [&](const Op &op) {
+        const auto &ci = base_->col_idx();
+        const index_t b0 = base_->row_begin(op.row);
+        const index_t b1 = base_->row_end(op.row);
+        auto it = std::lower_bound(ci.begin() + b0, ci.begin() + b1,
+                                   op.col);
+        const bool in_base = it != ci.begin() + b1 && *it == op.col;
+        const value_t bv =
+            in_base ? base_->values()[it - ci.begin()] : 0.0f;
+        if (op.remove) {
+            if (in_base)
+                emit(op.col, 0.0f, -bv, false, true);
+            // removing an absent edge (or cancelling a same-batch /
+            // earlier overlay insert): no entry
+        } else if (in_base && op.value == bv) {
+            // upsert back to the base value: row reverts to clean
+        } else {
+            emit(op.col, op.value, op.value - bv, true, in_base);
+        }
+    };
+
+    size_t di = 0;          // cursor over old dirty rows
+    size_t oi = 0;          // cursor over ops
+    const size_t dn = dirty_rows_.size();
+    while (di < dn || oi < ops.size()) {
+        const index_t drow =
+            di < dn ? dirty_rows_[di] : rows();
+        const index_t orow = oi < ops.size() ? ops[oi].row : rows();
+        const index_t row = std::min(drow, orow);
+        if (drow < orow) {
+            // untouched dirty row: copy verbatim
+            for (index_t k = ovl_ptr_[di]; k < ovl_ptr_[di + 1]; ++k)
+                emit(ovl_cols_[k], ovl_val_[k], ovl_corr_[k],
+                     ovl_present_[k] != 0, ovl_in_base_[k] != 0);
+            ++di;
+        } else if (orow < drow) {
+            // clean row receiving ops
+            while (oi < ops.size() && ops[oi].row == row)
+                emit_op(ops[oi++]);
+        } else {
+            // merge old overlay entries with new ops by column
+            index_t k = ovl_ptr_[di];
+            const index_t ke = ovl_ptr_[di + 1];
+            while (k < ke || (oi < ops.size() && ops[oi].row == row)) {
+                const bool have_op =
+                    oi < ops.size() && ops[oi].row == row;
+                if (!have_op || (k < ke && ovl_cols_[k] < ops[oi].col)) {
+                    emit(ovl_cols_[k], ovl_val_[k], ovl_corr_[k],
+                         ovl_present_[k] != 0, ovl_in_base_[k] != 0);
+                    ++k;
+                } else {
+                    if (k < ke && ovl_cols_[k] == ops[oi].col)
+                        ++k; // op overrides the older entry
+                    emit_op(ops[oi++]);
+                }
+            }
+            ++di;
+        }
+        close_row(row);
+    }
+
+    dirty_rows_ = std::move(n_dirty);
+    ovl_ptr_ = std::move(n_ptr);
+    ovl_cols_ = std::move(n_cols);
+    ovl_val_ = std::move(n_val);
+    ovl_corr_ = std::move(n_corr);
+    ovl_present_ = std::move(n_present);
+    ovl_in_base_ = std::move(n_in_base);
+
+    inserted_ = 0;
+    removed_ = 0;
+    for (size_t k = 0; k < ovl_cols_.size(); ++k) {
+        if (ovl_present_[k] != 0 && ovl_in_base_[k] == 0)
+            ++inserted_;
+        else if (ovl_present_[k] == 0)
+            ++removed_;
+    }
+}
+
+CsrMatrix
+DeltaCsr::materialize() const
+{
+    const index_t n = rows();
+    std::vector<index_t> row_ptr(static_cast<size_t>(n) + 1, 0);
+    for (index_t r = 0; r < n; ++r)
+        row_ptr[static_cast<size_t>(r) + 1] = base_->degree(r);
+    for (index_t i = 0; i < num_dirty_rows(); ++i) {
+        index_t &deg = row_ptr[static_cast<size_t>(dirty_rows_[i]) + 1];
+        for (index_t k = ovl_ptr_[i]; k < ovl_ptr_[i + 1]; ++k) {
+            if (ovl_present_[k] != 0 && ovl_in_base_[k] == 0)
+                ++deg;
+            else if (ovl_present_[k] == 0)
+                --deg;
+        }
+    }
+    for (size_t r = 1; r < row_ptr.size(); ++r)
+        row_ptr[r] += row_ptr[r - 1];
+
+    std::vector<index_t> col_idx(static_cast<size_t>(row_ptr.back()));
+    std::vector<value_t> values(col_idx.size());
+    size_t pos = 0;
+    for (index_t r = 0; r < n; ++r) {
+        for_each_in_row(r, [&](index_t col, value_t val) {
+            col_idx[pos] = col;
+            values[pos] = val;
+            ++pos;
+        });
+    }
+    MPS_CHECK(pos == col_idx.size(),
+              "materialize produced ", pos, " entries, expected ",
+              col_idx.size());
+    CsrMatrix out(n, cols(), std::move(row_ptr), std::move(col_idx),
+                  std::move(values));
+    out.validate(CsrValidate::kStrict);
+    return out;
+}
+
+DeltaCsr::CompactResult
+DeltaCsr::compact()
+{
+    CompactResult result;
+    result.old_base = base_;
+    // First row whose STRUCTURE changes: value-only corrections keep
+    // row_ptr intact, so they don't dirty the merge path at all.
+    result.first_dirty_row = rows();
+    for (index_t i = 0; i < num_dirty_rows(); ++i) {
+        bool structural = false;
+        for (index_t k = ovl_ptr_[i]; k < ovl_ptr_[i + 1] && !structural;
+             ++k)
+            structural = ovl_present_[k] == 0 || ovl_in_base_[k] == 0;
+        if (structural) {
+            result.first_dirty_row = dirty_rows_[i];
+            break;
+        }
+    }
+    result.new_base =
+        std::make_shared<const CsrMatrix>(materialize());
+    base_ = result.new_base;
+    dirty_rows_.clear();
+    ovl_ptr_.assign(1, 0);
+    ovl_cols_.clear();
+    ovl_val_.clear();
+    ovl_corr_.clear();
+    ovl_present_.clear();
+    ovl_in_base_.clear();
+    inserted_ = 0;
+    removed_ = 0;
+    return result;
+}
+
+void
+DeltaCsr::validate() const
+{
+    MPS_CHECK(base_ != nullptr, "DeltaCsr has no base");
+    MPS_CHECK(ovl_ptr_.size() == dirty_rows_.size() + 1,
+              "overlay pointer length mismatch");
+    MPS_CHECK(ovl_ptr_.front() == 0, "overlay pointers must start at 0");
+    MPS_CHECK(ovl_ptr_.back() ==
+                  static_cast<index_t>(ovl_cols_.size()),
+              "overlay pointers must end at the entry count");
+    index_t inserted = 0, removed = 0;
+    for (size_t i = 0; i < dirty_rows_.size(); ++i) {
+        const index_t r = dirty_rows_[i];
+        MPS_CHECK(r >= 0 && r < rows(), "dirty row out of range: ", r);
+        if (i > 0)
+            MPS_CHECK(dirty_rows_[i - 1] < r,
+                      "dirty rows must be strictly ascending");
+        MPS_CHECK(ovl_ptr_[i] < ovl_ptr_[i + 1],
+                  "dirty row ", r, " has no overlay entries");
+        const auto &ci = base_->col_idx();
+        for (index_t k = ovl_ptr_[i]; k < ovl_ptr_[i + 1]; ++k) {
+            const index_t c = ovl_cols_[k];
+            MPS_CHECK(c >= 0 && c < cols(),
+                      "overlay column out of range: ", c);
+            if (k > ovl_ptr_[i])
+                MPS_CHECK(ovl_cols_[k - 1] < c,
+                          "overlay columns must be strictly ascending ",
+                          "in row ", r);
+            auto it = std::lower_bound(
+                ci.begin() + base_->row_begin(r),
+                ci.begin() + base_->row_end(r), c);
+            const bool in_base =
+                it != ci.begin() + base_->row_end(r) && *it == c;
+            MPS_CHECK((ovl_in_base_[k] != 0) == in_base,
+                      "overlay in_base flag stale for row ", r,
+                      " col ", c);
+            const value_t bv =
+                in_base ? base_->values()[it - ci.begin()] : 0.0f;
+            if (ovl_present_[k] != 0) {
+                MPS_CHECK(ovl_corr_[k] == ovl_val_[k] - bv,
+                          "overlay correction stale for row ", r,
+                          " col ", c);
+                if (!in_base)
+                    ++inserted;
+            } else {
+                MPS_CHECK(in_base,
+                          "removed overlay entry not in base: row ", r,
+                          " col ", c);
+                MPS_CHECK(ovl_corr_[k] == -bv,
+                          "removal correction stale for row ", r,
+                          " col ", c);
+                ++removed;
+            }
+        }
+    }
+    MPS_CHECK(inserted == inserted_ && removed == removed_,
+              "overlay insert/remove counters stale");
+}
+
+} // namespace mps

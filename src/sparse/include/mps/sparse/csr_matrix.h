@@ -16,6 +16,23 @@ namespace mps {
 
 class CooMatrix;
 
+/**
+ * Validation strictness for CsrMatrix::validate().
+ *
+ * kStructural is what construction enforces: the row-pointer shape and
+ * column-range invariants every kernel relies on. kStrict additionally
+ * requires strictly ascending (hence duplicate-free) column indices in
+ * every row — the contract the delta-merge path needs so binary search
+ * within a row and the sorted merge of base ∪ overlay are well-defined.
+ * kStrict stays opt-in because parts of the test suite deliberately
+ * exercise kernels on unsorted/duplicated CSR inputs.
+ */
+enum class CsrValidate
+{
+    kStructural,
+    kStrict,
+};
+
 /** Sparse matrix in CSR format with value_t values. */
 class CsrMatrix
 {
@@ -66,8 +83,11 @@ class CsrMatrix
      */
     void normalize_gcn();
 
-    /** Panics if any CSR structural invariant is violated. */
-    void validate() const;
+    /**
+     * Panics if any CSR invariant of the requested level is violated;
+     * see CsrValidate. Construction runs the kStructural level.
+     */
+    void validate(CsrValidate level = CsrValidate::kStructural) const;
 
   private:
     index_t rows_ = 0;

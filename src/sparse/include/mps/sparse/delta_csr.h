@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Delta-CSR: a dynamic-graph overlay over an immutable CSR base.
+ *
+ * The base CsrMatrix is frozen and shared (shared_ptr) — in-flight
+ * consumers keep reading it while updates land. Edge churn accumulates
+ * in a compact per-row overlay; when the delta fraction exceeds a lazy
+ * merge threshold (MPS_DELTA_COMPACT_RATIO), compact() merges overlay
+ * and base into a fresh CSR in one linear pass and reports the first
+ * structurally dirty row so schedules can be repaired incrementally
+ * instead of rebuilt.
+ *
+ * Execution model (GE-SpMM's bandwidth argument: the hot gather loop
+ * must never pay for the overlay): SpMM runs UNMODIFIED over the base,
+ * then a correction pass adds, per dirty row r,
+ *
+ *     C[r] += sum_k corr_k * B[col_k]
+ *
+ * where corr_k = v - base_val (value change), v (inserted edge) or
+ * -base_val (removed edge). Because the base's structure is untouched
+ * between compactions, merge-path schedules built for the base stay
+ * valid across every apply() — repair cost is only paid at compaction.
+ * Equivalence is exact in real arithmetic and bit-exact whenever row
+ * sums are order-independent (e.g. integer-valued data).
+ */
+#ifndef MPS_SPARSE_DELTA_CSR_H
+#define MPS_SPARSE_DELTA_CSR_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/types.h"
+
+namespace mps {
+
+/**
+ * Compaction threshold from MPS_DELTA_COMPACT_RATIO (fraction of base
+ * nnz the overlay may reach before needs_compaction() fires). Unset or
+ * invalid values fall back to 0.10.
+ */
+double default_delta_compact_ratio();
+
+/** One edge mutation. @p value is ignored for removals. */
+struct EdgeUpdate
+{
+    index_t row = 0;
+    index_t col = 0;
+    value_t value = 0.0f;
+};
+
+/**
+ * A batch of graph mutations applied atomically by DeltaCsr::apply()
+ * (and Server::update_graph). Within one batch, later entries win over
+ * earlier ones for the same (row, col); removes of absent edges are
+ * no-ops.
+ */
+struct GraphDelta
+{
+    std::vector<EdgeUpdate> upserts; ///< insert new or replace existing
+    std::vector<EdgeUpdate> removes; ///< delete if present
+
+    bool empty() const { return upserts.empty() && removes.empty(); }
+    size_t size() const { return upserts.size() + removes.size(); }
+};
+
+/** CSR base + compact per-row correction overlay. */
+class DeltaCsr
+{
+  public:
+    DeltaCsr() = default;
+
+    /** Wrap a base matrix (validated kStrict: sorted, duplicate-free). */
+    explicit DeltaCsr(CsrMatrix base);
+    explicit DeltaCsr(std::shared_ptr<const CsrMatrix> base);
+
+    /** The frozen base every schedule and SpMM traversal runs over. */
+    const CsrMatrix &base() const { return *base_; }
+    std::shared_ptr<const CsrMatrix> base_ptr() const { return base_; }
+
+    index_t rows() const { return base_->rows(); }
+    index_t cols() const { return base_->cols(); }
+
+    /** Logical nnz of base ∪ overlay (inserts added, removals gone). */
+    index_t nnz() const
+    {
+        return base_->nnz() + inserted_ - removed_;
+    }
+
+    /** Overlay entries (edges whose effective value deviates from base). */
+    int64_t delta_edges() const
+    {
+        return static_cast<int64_t>(ovl_cols_.size());
+    }
+
+    /** delta_edges() over max(base nnz, 1). */
+    double delta_fraction() const;
+
+    /** Merge a batch of mutations into the overlay. O(delta log + merge). */
+    void apply(const GraphDelta &delta);
+
+    bool needs_compaction() const
+    {
+        return delta_fraction() > compact_ratio_;
+    }
+
+    double compact_ratio() const { return compact_ratio_; }
+    void set_compact_ratio(double ratio);
+
+    /** What compact() swapped, for incremental schedule repair. */
+    struct CompactResult
+    {
+        std::shared_ptr<const CsrMatrix> old_base;
+        std::shared_ptr<const CsrMatrix> new_base;
+        /**
+         * First row whose STRUCTURE changed: row_ptr of both bases
+         * agrees through this index (value-only corrections don't
+         * count — they leave every merge-path diagonal in place).
+         * Equals rows() when the overlay held no structural change.
+         */
+        index_t first_dirty_row = 0;
+    };
+
+    /**
+     * Merge base ∪ overlay into a fresh base (one linear pass, no
+     * sort), clear the overlay, and return old/new bases plus the first
+     * dirty row for schedule repair.
+     */
+    CompactResult compact();
+
+    /** Eager base ∪ overlay as a standalone CSR (base left untouched). */
+    CsrMatrix materialize() const;
+
+    // --- Overlay iteration (correction pass & tests) ---
+
+    index_t num_dirty_rows() const
+    {
+        return static_cast<index_t>(dirty_rows_.size());
+    }
+
+    /** i-th dirty row id, ascending. */
+    index_t dirty_row(index_t i) const
+    {
+        return dirty_rows_[static_cast<size_t>(i)];
+    }
+
+    /**
+     * Visit the corrections of the i-th dirty row:
+     * fn(col, corr, effective_value, present). Summing corr * B[col]
+     * onto the base SpMM's output row yields the effective output row.
+     */
+    template <typename Fn>
+    void for_each_correction(index_t i, Fn &&fn) const
+    {
+        for (index_t k = ovl_ptr_[i]; k < ovl_ptr_[i + 1]; ++k) {
+            fn(ovl_cols_[k], ovl_corr_[k], ovl_val_[k],
+               ovl_present_[k] != 0);
+        }
+    }
+
+    /**
+     * Visit the EFFECTIVE row r (base ∪ overlay merged on the fly), in
+     * ascending column order: fn(col, value). Matches materialize().
+     */
+    template <typename Fn>
+    void for_each_in_row(index_t r, Fn &&fn) const
+    {
+        const index_t d = dirty_index(r);
+        if (d < 0) {
+            const auto &ci = base_->col_idx();
+            const auto &v = base_->values();
+            for (index_t k = base_->row_begin(r); k < base_->row_end(r);
+                 ++k)
+                fn(ci[k], v[k]);
+            return;
+        }
+        merge_row(r, d, fn);
+    }
+
+    /** Panics unless every overlay invariant holds. Used by tests. */
+    void validate() const;
+
+  private:
+    /** Index into dirty_rows_ for row r, or -1 when r is clean. */
+    index_t dirty_index(index_t r) const;
+
+    template <typename Fn>
+    void merge_row(index_t r, index_t d, Fn &&fn) const
+    {
+        const auto &ci = base_->col_idx();
+        const auto &v = base_->values();
+        index_t b = base_->row_begin(r);
+        const index_t be = base_->row_end(r);
+        index_t o = ovl_ptr_[d];
+        const index_t oe = ovl_ptr_[d + 1];
+        while (b < be || o < oe) {
+            if (o >= oe || (b < be && ci[b] < ovl_cols_[o])) {
+                fn(ci[b], v[b]);
+                ++b;
+            } else {
+                const bool shadows_base = b < be && ci[b] == ovl_cols_[o];
+                if (ovl_present_[o] != 0)
+                    fn(ovl_cols_[o], ovl_val_[o]);
+                if (shadows_base)
+                    ++b;
+                ++o;
+            }
+        }
+    }
+
+    std::shared_ptr<const CsrMatrix> base_;
+    double compact_ratio_ = default_delta_compact_ratio();
+
+    // Overlay, SoA over dirty rows only. For dirty row dirty_rows_[i],
+    // entries [ovl_ptr_[i], ovl_ptr_[i+1]) hold ascending columns with
+    // the effective value (ovl_val_), the correction vs. the base
+    // (ovl_corr_ = effective - base contribution) and whether the edge
+    // exists at all after the overlay (ovl_present_; 0 = removed).
+    std::vector<index_t> dirty_rows_; ///< ascending
+    std::vector<index_t> ovl_ptr_;    ///< dirty_rows_.size() + 1
+    std::vector<index_t> ovl_cols_;
+    std::vector<value_t> ovl_val_;
+    std::vector<value_t> ovl_corr_;
+    std::vector<uint8_t> ovl_present_;
+    std::vector<uint8_t> ovl_in_base_; ///< edge exists in the base row
+
+    index_t inserted_ = 0; ///< present && !in_base overlay entries
+    index_t removed_ = 0;  ///< !present && in_base overlay entries
+};
+
+} // namespace mps
+
+#endif // MPS_SPARSE_DELTA_CSR_H

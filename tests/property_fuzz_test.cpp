@@ -7,11 +7,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <iterator>
 #include <numeric>
 
 #include "mps/core/spmm.h"
 #include "mps/core/spmv.h"
+#include "mps/sparse/delta_csr.h"
 #include "mps/sparse/reorder.h"
 #include "mps/sparse/spgemm.h"
 #include "mps/util/rng.h"
@@ -212,6 +214,166 @@ TEST_P(FuzzTest, PermutationInverseRoundTrip)
         CsrMatrix back = permute_symmetric(forth, inverse);
         ASSERT_EQ(back.row_ptr(), a.row_ptr());
         ASSERT_EQ(back.col_idx(), a.col_idx());
+    }
+}
+
+/**
+ * Random strictly-valid CSR (sorted, duplicate-free columns) with small
+ * INTEGER values: every SpMM partial sum is an integer well inside
+ * 2^24, so accumulation order cannot change the result and dynamic /
+ * repaired execution can be compared bit-for-bit against references.
+ */
+CsrMatrix
+random_strict_csr(Pcg32 &rng, index_t max_rows = 50,
+                  index_t max_cols = 50)
+{
+    index_t rows = 1 + static_cast<index_t>(
+                       rng.next_below(static_cast<uint32_t>(max_rows)));
+    index_t cols = 1 + static_cast<index_t>(
+                       rng.next_below(static_cast<uint32_t>(max_cols)));
+    std::vector<index_t> row_ptr(static_cast<size_t>(rows) + 1, 0);
+    std::vector<index_t> col_idx;
+    std::vector<value_t> values;
+    std::vector<uint8_t> used(static_cast<size_t>(cols));
+    for (index_t r = 0; r < rows; ++r) {
+        std::fill(used.begin(), used.end(), 0);
+        index_t degree = static_cast<index_t>(rng.next_below(
+            static_cast<uint32_t>(std::min<index_t>(cols, 8)) + 1));
+        for (index_t k = 0; k < degree; ++k)
+            used[rng.next_below(static_cast<uint32_t>(cols))] = 1;
+        for (index_t c = 0; c < cols; ++c) {
+            if (used[static_cast<size_t>(c)] == 0)
+                continue;
+            col_idx.push_back(c);
+            values.push_back(static_cast<value_t>(
+                static_cast<int32_t>(rng.next_below(7)) - 3));
+        }
+        row_ptr[static_cast<size_t>(r) + 1] =
+            static_cast<index_t>(col_idx.size());
+    }
+    return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
+}
+
+GraphDelta
+random_delta(Pcg32 &rng, index_t rows, index_t cols, int edges)
+{
+    GraphDelta delta;
+    for (int i = 0; i < edges; ++i) {
+        EdgeUpdate e;
+        e.row = static_cast<index_t>(
+            rng.next_below(static_cast<uint32_t>(rows)));
+        e.col = static_cast<index_t>(
+            rng.next_below(static_cast<uint32_t>(cols)));
+        e.value = static_cast<value_t>(
+            static_cast<int32_t>(rng.next_below(9)) - 4);
+        if (rng.next_below(4) == 0)
+            delta.removes.push_back(e);
+        else
+            delta.upserts.push_back(e);
+    }
+    return delta;
+}
+
+void
+fill_integer_dense(DenseMatrix &m, Pcg32 &rng)
+{
+    for (index_t r = 0; r < m.rows(); ++r)
+        for (index_t c = 0; c < m.cols(); ++c)
+            m(r, c) = static_cast<value_t>(
+                static_cast<int32_t>(rng.next_below(7)) - 3);
+}
+
+void
+expect_bitwise_equal(const DenseMatrix &got, const DenseMatrix &want,
+                     int seed, int iter, const char *what)
+{
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (index_t r = 0; r < got.rows(); ++r)
+        for (index_t c = 0; c < got.cols(); ++c)
+            ASSERT_EQ(got(r, c), want(r, c))
+                << what << " differs at (" << r << ", " << c
+                << "), seed " << seed << " iter " << iter;
+}
+
+/**
+ * Dynamic-graph equivalence: base-SpMM + correction pass over a
+ * DeltaCsr must be BIT-identical to plain SpMM over the eagerly
+ * rebuilt (materialized) CSR, batch after batch, and the incrementally
+ * repaired schedule must reproduce a fresh build's results after every
+ * compaction.
+ */
+TEST_P(FuzzTest, DynamicSpmmMatchesMaterializedCsr)
+{
+    Pcg32 rng(static_cast<uint64_t>(GetParam()) * 6151 + 11);
+    WorkStealPool pool(3);
+    for (int iter = 0; iter < 4; ++iter) {
+        CsrMatrix base = random_strict_csr(rng);
+        DeltaCsr dcsr(base);
+        index_t dim = fuzz_dim(rng);
+        DenseMatrix b(base.cols(), dim);
+        fill_integer_dense(b, rng);
+
+        index_t threads = 1 + static_cast<index_t>(rng.next_below(40));
+        MergePathSchedule sched = MergePathSchedule::build(base, threads);
+
+        for (int batch = 0; batch < 3; ++batch) {
+            dcsr.apply(random_delta(rng, dcsr.rows(), dcsr.cols(),
+                                    1 + static_cast<int>(
+                                            rng.next_below(10))));
+            dcsr.validate();
+            CsrMatrix rebuilt = dcsr.materialize();
+            rebuilt.validate(CsrValidate::kStrict);
+            ASSERT_EQ(rebuilt.nnz(), dcsr.nnz());
+            DenseMatrix expect(base.rows(), dim);
+            reference_spmm(rebuilt, b, expect);
+
+            // The schedule built for the ORIGINAL base stays valid
+            // across every apply(): only compaction swaps the base.
+            DenseMatrix seq(base.rows(), dim);
+            dynamic_spmm_sequential(dcsr, b, seq, sched);
+            expect_bitwise_equal(seq, expect, GetParam(), iter,
+                                 "dynamic sequential");
+            DenseMatrix par(base.rows(), dim);
+            dynamic_spmm_parallel(dcsr, b, par, sched, pool);
+            expect_bitwise_equal(par, expect, GetParam(), iter,
+                                 "dynamic parallel");
+        }
+
+        // Compact, repair the schedule, and check the repaired plan
+        // against a fresh build on the new base — bit-for-bit.
+        DeltaCsr::CompactResult cr = dcsr.compact();
+        EXPECT_EQ(dcsr.delta_edges(), 0);
+        ScheduleRepair rep = repair_schedule(
+            sched, *cr.old_base, *cr.new_base, cr.first_dirty_row);
+        const CsrMatrix &fresh_a = *cr.new_base;
+        rep.schedule.validate(fresh_a);
+        DenseMatrix expect(fresh_a.rows(), dim);
+        reference_spmm(fresh_a, b, expect);
+        DenseMatrix repaired(fresh_a.rows(), dim);
+        mergepath_spmm_parallel(fresh_a, b, repaired, rep.schedule,
+                                pool);
+        expect_bitwise_equal(repaired, expect, GetParam(), iter,
+                             "repaired schedule");
+        MergePathSchedule fresh_sched =
+            MergePathSchedule::build(fresh_a, threads);
+        DenseMatrix fresh(fresh_a.rows(), dim);
+        mergepath_spmm_parallel(fresh_a, b, fresh, fresh_sched, pool);
+        expect_bitwise_equal(fresh, repaired, GetParam(), iter,
+                             "fresh vs repaired");
+        // Census decomposability on the repaired schedule.
+        ScheduleCensusPart left = rep.schedule.census_part(
+            fresh_a, 0, rep.dirty_begin);
+        ScheduleCensusPart right = rep.schedule.census_part(
+            fresh_a, rep.dirty_begin, rep.schedule.num_threads());
+        ScheduleCensus full = rep.schedule.census(fresh_a);
+        ScheduleCensus merged = left.merged(right).counts;
+        EXPECT_EQ(merged.atomic_commits, full.atomic_commits);
+        EXPECT_EQ(merged.plain_row_writes, full.plain_row_writes);
+        EXPECT_EQ(merged.split_rows, full.split_rows);
+        EXPECT_EQ(merged.atomic_nnz, full.atomic_nnz);
+        EXPECT_EQ(merged.plain_nnz, full.plain_nnz);
     }
 }
 

@@ -10,6 +10,9 @@
 # A no-tile stage reruns the release SpMM/locality tests with the
 # cache-locality layer disabled (MPS_TILE_D=inf MPS_PREFETCH=0),
 # proving column tiling and software prefetch are behavior-neutral.
+# A churn stage reruns the dynamic-graph tests (delta-CSR overlay,
+# schedule repair, concurrent update_graph vs inference) under the
+# TSan build to shake out update/serve races.
 # A final telemetry stage scrapes a live serve-bench run through the
 # embedded /metrics endpoint and validates the OpenMetrics exposition
 # with `mps_tool top --strict`.
@@ -43,10 +46,16 @@ cmake -S "$root" -B "$root/build-tsan" \
 echo "==> build build-tsan (concurrency tests only)"
 cmake --build "$root/build-tsan" -j "$jobs" --target \
     mps_serve_queue_test mps_serve_test mps_schedule_cache_test \
-    mps_metrics_test mps_work_steal_pool_test mps_telemetry_test
+    mps_metrics_test mps_work_steal_pool_test mps_telemetry_test \
+    mps_dynamic_graph_test
 echo "==> ctest build-tsan"
 (cd "$root/build-tsan" && ctest --output-on-failure -j "$jobs" \
     -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics|Histogram|Trace|Telemetry|WorkStealPool' \
+    "$@")
+
+echo "==> churn: dynamic-graph update/inference races under TSan"
+(cd "$root/build-tsan" && ctest --output-on-failure -j "$jobs" \
+    -R 'DynamicServe|DeltaCsr|ScheduleRepair|ScheduleCensus|ScheduleCacheDynamic' \
     "$@")
 
 echo "==> configure build-scalar"

@@ -13,6 +13,8 @@
  *   mps_tool reorder  --in=graph.bin --method=bfs --out=relabeled.bin
  *   mps_tool serve-bench --clients=1,2,4,8 --max-batch=1,8
  *                     [--out=report.json] [--telemetry-port=0]
+ *   mps_tool churn-bench --update-edges=64,512,4096 --updates=80
+ *                     [--out=report.json]
  *   mps_tool top      --url=http://127.0.0.1:9464/metrics
  *                     [--interval-ms=1000] [--once] [--strict]
  *
@@ -20,6 +22,7 @@
  * .el (edge list, read-only), or a Table II dataset name via
  * --dataset.
  */
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -33,6 +36,7 @@
 #include <vector>
 
 #include "mps/core/policy.h"
+#include "mps/core/schedule.h"
 #include "mps/core/schedule_cache.h"
 #include "mps/core/serialize.h"
 #include "mps/core/spmm.h"
@@ -42,6 +46,7 @@
 #include "mps/serve/telemetry_server.h"
 #include "mps/sparse/datasets.h"
 #include "mps/sparse/degree_stats.h"
+#include "mps/sparse/delta_csr.h"
 #include "mps/sparse/generate.h"
 #include "mps/sparse/io.h"
 #include "mps/sparse/reorder.h"
@@ -731,6 +736,293 @@ cmd_serve_bench(int argc, char **argv)
     return 0;
 }
 
+/** Hot-tail edge batch for one dynamic-graph update. */
+GraphDelta
+churn_bench_delta(Pcg32 &rng, index_t rows, index_t cols,
+                  index_t hot_begin, int edges)
+{
+    GraphDelta delta;
+    delta.upserts.reserve(static_cast<size_t>(edges));
+    const auto hot_span = static_cast<uint32_t>(rows - hot_begin);
+    for (int i = 0; i < edges; ++i) {
+        EdgeUpdate e;
+        e.row =
+            hot_begin + static_cast<index_t>(rng.next_below(hot_span));
+        e.col = static_cast<index_t>(
+            rng.next_below(static_cast<uint32_t>(cols)));
+        e.value = rng.next_float(0.01f, 1.0f);
+        delta.upserts.push_back(e);
+    }
+    return delta;
+}
+
+/**
+ * Dynamic-graph churn sweep: replay an edge-update stream and compare
+ * the schedule maintenance each policy pays per update — incremental
+ * (overlay + lazy compaction + repair_schedule) against
+ * rebuild-every-update (fresh build + census per update) — then run a
+ * short serving comparison with a live update_graph() stream. Emits
+ * one JSON report.
+ */
+int
+cmd_churn_bench(int argc, char **argv)
+{
+    FlagParser flags("dynamic-graph churn sweep into one JSON report");
+    add_io_flags(flags);
+    flags.add_int("nodes", 20000,
+                  "synthetic power-law nodes (used without --in/--dataset)");
+    flags.add_int("avg-degree", 8, "synthetic average degree");
+    flags.add_int("max-degree", 256, "synthetic maximum row degree");
+    flags.add_int("threads", 64, "merge-path threads per schedule");
+    flags.add_int("updates", 80, "update batches per sweep point");
+    flags.add_string("update-edges", "0",
+                     "comma-separated edges per update batch"
+                     " (0 = 0.1%% of nnz)");
+    flags.add_double("compact-ratio", 0.02,
+                     "delta fraction that triggers lazy compaction"
+                     " (0 = library default)");
+    flags.add_double("hot-fraction", 0.05,
+                     "fraction of tail rows receiving churn");
+    flags.add_int("serve-clients", 2,
+                  "closed-loop clients for the serve phase"
+                  " (0 = skip the serve phase)");
+    flags.add_int("serve-requests", 12, "requests per client");
+    flags.add_int("update-hz", 20,
+                  "update_graph batches per second in the serve phase");
+    flags.add_int("feat", 8, "input feature dimension");
+    flags.add_int("hidden", 4, "hidden layer width");
+    flags.add_int("workers", 2, "server worker threads");
+    flags.add_string("out", "", "report path (default: stdout)");
+    flags.parse(argc, argv);
+
+    CsrMatrix m;
+    std::string input_name;
+    if (!flags.get_string("in").empty() ||
+        !flags.get_string("dataset").empty()) {
+        m = load_matrix(flags);
+        input_name = flags.get_string("in").empty()
+                         ? flags.get_string("dataset")
+                         : flags.get_string("in");
+    } else {
+        PowerLawParams p;
+        p.nodes = static_cast<index_t>(flags.get_int("nodes"));
+        p.target_nnz = p.nodes *
+                       static_cast<index_t>(flags.get_int("avg-degree"));
+        p.max_degree = static_cast<index_t>(flags.get_int("max-degree"));
+        p.seed = 7;
+        p.value_mode = ValueMode::kGcnNormalized;
+        m = power_law_graph(p);
+        input_name = "power-law";
+    }
+
+    const double hot_fraction =
+        std::clamp(flags.get_double("hot-fraction"), 1e-4, 1.0);
+    const index_t hot_begin = static_cast<index_t>(
+        static_cast<double>(m.rows()) * (1.0 - hot_fraction));
+    const index_t threads =
+        static_cast<index_t>(flags.get_int("threads"));
+    const int updates = static_cast<int>(flags.get_int("updates"));
+    const double compact_ratio = flags.get_double("compact-ratio");
+
+    std::vector<int> edge_points;
+    for (const std::string &s :
+         split_list(flags.get_string("update-edges"))) {
+        int v = std::stoi(s);
+        if (v <= 0)
+            v = std::max(1, m.nnz() / 1000);
+        edge_points.push_back(v);
+    }
+    if (edge_points.empty())
+        fatal("churn-bench needs a non-empty --update-edges list");
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("tool").value("mps_tool churn-bench");
+    w.key("input").value(input_name);
+    w.key("rows").value(static_cast<int64_t>(m.rows()));
+    w.key("nnz").value(static_cast<int64_t>(m.nnz()));
+    w.key("threads").value(static_cast<int64_t>(threads));
+    w.key("updates_per_point").value(int64_t{updates});
+    w.key("compact_ratio").value(compact_ratio);
+    w.key("hot_fraction").value(hot_fraction);
+    w.key("repair_sweep").begin_array();
+
+    for (int update_edges : edge_points) {
+        Pcg32 rng(99);
+        DeltaCsr dynamic(m);
+        if (compact_ratio > 0.0)
+            dynamic.set_compact_ratio(compact_ratio);
+        DeltaCsr eager(m);
+        MergePathSchedule sched = MergePathSchedule::build(m, threads);
+        int compactions = 0;
+        int fallbacks = 0;
+        double repair_total_us = 0.0;
+        double rebuild_total_us = 0.0;
+        for (int u = 0; u < updates; ++u) {
+            GraphDelta delta = churn_bench_delta(
+                rng, m.rows(), m.cols(), hot_begin, update_edges);
+            dynamic.apply(delta);
+            if (dynamic.needs_compaction()) {
+                DeltaCsr::CompactResult cr = dynamic.compact();
+                Timer repair_timer;
+                ScheduleRepair rep =
+                    repair_schedule(sched, *cr.old_base, *cr.new_base,
+                                    cr.first_dirty_row);
+                rep.schedule.census_part(*cr.new_base, rep.dirty_begin,
+                                        rep.dirty_end);
+                repair_total_us += repair_timer.elapsed_us();
+                ++compactions;
+                if (rep.rebuilt)
+                    ++fallbacks;
+                sched = std::move(rep.schedule);
+            }
+            eager.apply(delta);
+            DeltaCsr::CompactResult cr = eager.compact();
+            Timer rebuild_timer;
+            MergePathSchedule fresh =
+                MergePathSchedule::build(*cr.new_base, threads);
+            fresh.census(*cr.new_base);
+            rebuild_total_us += rebuild_timer.elapsed_us();
+        }
+        const double per_update_repair =
+            repair_total_us / std::max(1, updates);
+        const double per_update_rebuild =
+            rebuild_total_us / std::max(1, updates);
+        w.begin_object();
+        w.key("update_edges").value(int64_t{update_edges});
+        w.key("compactions").value(int64_t{compactions});
+        w.key("fallbacks").value(int64_t{fallbacks});
+        w.key("repair_us_per_compaction")
+            .value(repair_total_us / std::max(1, compactions));
+        w.key("repair_us_per_update").value(per_update_repair);
+        w.key("rebuild_us_per_update").value(per_update_rebuild);
+        w.key("per_update_speedup")
+            .value(per_update_rebuild /
+                   std::max(1e-9, per_update_repair));
+        w.end_object();
+    }
+    w.end_array();
+
+    const int serve_clients =
+        static_cast<int>(flags.get_int("serve-clients"));
+    if (serve_clients > 0) {
+        const index_t feat =
+            static_cast<index_t>(flags.get_int("feat"));
+        const index_t hidden =
+            static_cast<index_t>(flags.get_int("hidden"));
+        std::vector<GcnLayer> layers;
+        layers.emplace_back(random_layer_weights(feat, hidden, 11),
+                            Activation::kRelu);
+        layers.emplace_back(random_layer_weights(hidden, hidden, 13),
+                            Activation::kNone);
+        DenseMatrix features(m.rows(), feat);
+        Pcg32 frng(3);
+        features.fill_random(frng);
+        const int requests =
+            static_cast<int>(flags.get_int("serve-requests"));
+        const int update_hz =
+            static_cast<int>(flags.get_int("update-hz"));
+        const int batch_edges = edge_points.front();
+
+        const auto run_point = [&](serve::GraphUpdatePolicy policy,
+                                   bool churn) {
+            serve::ServeConfig cfg;
+            cfg.queue_capacity = 4096;
+            cfg.num_workers =
+                static_cast<unsigned>(flags.get_int("workers"));
+            cfg.batch.max_batch = 8;
+            cfg.batch.max_delay_us = 2000;
+            cfg.overflow = serve::OverflowPolicy::kBlock;
+            cfg.update_policy = policy;
+            cfg.telemetry_port = -1;
+            serve::Server server(cfg);
+            const uint64_t gid = server.register_graph(m, layers);
+            server.infer(gid, features);
+
+            std::atomic<bool> stop{false};
+            std::thread updater;
+            if (churn) {
+                const auto interval = std::chrono::microseconds(
+                    1000000 / std::max(1, update_hz));
+                updater = std::thread([&server, &stop, &m, gid,
+                                       batch_edges, interval,
+                                       hot_begin] {
+                    Pcg32 urng(1234);
+                    while (!stop.load(std::memory_order_acquire)) {
+                        server.update_graph(
+                            gid, churn_bench_delta(urng, m.rows(),
+                                                   m.cols(), hot_begin,
+                                                   batch_edges));
+                        std::this_thread::sleep_for(interval);
+                    }
+                });
+            }
+            std::atomic<int64_t> ok{0};
+            Timer wall;
+            std::vector<std::thread> pumps;
+            pumps.reserve(static_cast<size_t>(serve_clients));
+            for (int c = 0; c < serve_clients; ++c) {
+                pumps.emplace_back(
+                    [&server, &features, &ok, requests, gid] {
+                        for (int i = 0; i < requests; ++i) {
+                            DenseMatrix x = features;
+                            if (server.infer(gid, std::move(x)).ok())
+                                ok.fetch_add(
+                                    1, std::memory_order_relaxed);
+                        }
+                    });
+            }
+            for (std::thread &t : pumps)
+                t.join();
+            const double wall_ms = wall.elapsed_ms();
+            stop.store(true, std::memory_order_release);
+            if (updater.joinable())
+                updater.join();
+            server.shutdown();
+            serve::ServerStats st = server.stats();
+
+            w.begin_object();
+            w.key("completed_ok").value(ok.load());
+            w.key("throughput_rps")
+                .value(wall_ms <= 0.0
+                           ? 0.0
+                           : static_cast<double>(ok.load()) * 1e3 /
+                                 wall_ms);
+            w.key("p50_ms").value(st.latency_ms.p50);
+            w.key("p99_ms").value(st.latency_ms.p99);
+            w.key("graph_updates").value(st.graph_updates);
+            w.key("graph_compactions").value(st.graph_compactions);
+            w.end_object();
+        };
+
+        w.key("serve").begin_object();
+        w.key("clients").value(int64_t{serve_clients});
+        w.key("requests_per_client").value(int64_t{requests});
+        w.key("update_hz").value(int64_t{update_hz});
+        w.key("update_edges").value(int64_t{batch_edges});
+        w.key("no_churn");
+        run_point(serve::GraphUpdatePolicy::kIncremental, false);
+        w.key("incremental");
+        run_point(serve::GraphUpdatePolicy::kIncremental, true);
+        w.key("rebuild_every_update");
+        run_point(serve::GraphUpdatePolicy::kRebuildEveryUpdate, true);
+        w.end_object();
+    }
+    w.end_object();
+
+    const std::string &out = flags.get_string("out");
+    if (out.empty()) {
+        std::printf("%s\n", w.str().c_str());
+    } else {
+        std::ofstream f(out);
+        if (!f)
+            fatal("cannot open for writing: " + out);
+        f << w.str() << '\n';
+        inform("wrote " + out);
+    }
+    return 0;
+}
+
 /**
  * Split --url into (host, port, path); accepts `host:port[/path]` with
  * an optional `http://` scheme. The path defaults to /metrics.
@@ -908,6 +1200,7 @@ usage(std::FILE *to)
         "  profile      kernel x dataset sweep into one JSON report\n"
         "  reorder      relabel a graph (bfs | degree | degree-asc)\n"
         "  serve-bench  serving load sweep into one JSON report\n"
+        "  churn-bench  dynamic-graph churn sweep into one JSON report\n"
         "  top          live telemetry dashboard (scrapes /metrics)\n");
 }
 
@@ -942,6 +1235,8 @@ main(int argc, char **argv)
         return cmd_reorder(argc - 1, argv + 1);
     if (cmd == "serve-bench")
         return cmd_serve_bench(argc - 1, argv + 1);
+    if (cmd == "churn-bench")
+        return cmd_churn_bench(argc - 1, argv + 1);
     if (cmd == "top")
         return cmd_top(argc - 1, argv + 1);
     std::fprintf(stderr, "mps_tool: unknown command '%s'\n", cmd.c_str());
