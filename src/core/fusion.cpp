@@ -1,0 +1,169 @@
+#include "mps/core/fusion.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "mps/util/log.h"
+#include "mps/util/metrics.h"
+#include "mps/util/timer.h"
+#include "mps/util/trace.h"
+#include "mps/util/work_steal_pool.h"
+
+namespace mps {
+
+namespace {
+
+bool
+parse_fusion_env()
+{
+    const char *v = std::getenv("MPS_FUSE");
+    if (v == nullptr)
+        return true;
+    std::string s(v);
+    if (s == "0" || s == "off" || s == "false" || s == "no")
+        return false;
+    if (s == "1" || s == "on" || s == "true" || s == "yes" || s.empty())
+        return true;
+    warn("unrecognized MPS_FUSE value '" + s +
+         "' (want 0/1/on/off); fusion stays on");
+    return true;
+}
+
+} // namespace
+
+bool
+fusion_enabled()
+{
+    static const bool on = parse_fusion_env();
+    return on;
+}
+
+FusedLayerPlan::FusedLayerPlan(const CsrMatrix &a, index_t dim,
+                               std::shared_ptr<const MergePathSchedule> sched,
+                               SpmmLocality loc)
+    : a_(&a), dim_(dim), sched_(std::move(sched)), loc_(loc)
+{
+    MPS_CHECK(sched_ != nullptr, "fused plan needs a schedule");
+    MPS_CHECK(dim_ > 0, "fused plan needs a positive dimension");
+    tile_ = loc_.tiled(dim_) ? loc_.tile_d : dim_;
+    // run() materializes into a full-width C. When the auto tuner
+    // picked the width and the whole n x dim operand is LLC-resident,
+    // narrow panels cannot cut traffic there — each one only re-pays
+    // the merge traversal and commits through strided column stores —
+    // so run() widens to a single full-width panel. Streaming keeps
+    // the narrow width: its panels are the residency the pipeline is
+    // built on. Explicit widths are honored in both modes.
+    run_tile_ = tile_;
+    run_loc_ = loc_;
+    if (loc_.auto_width && tile_ < dim_) {
+        const int64_t padded = (dim_ + 15) / 16 * 16;
+        const int64_t operand_bytes = static_cast<int64_t>(a.cols()) *
+                                      padded *
+                                      static_cast<int64_t>(sizeof(value_t));
+        if (operand_bytes <= detected_llc_bytes()) {
+            run_tile_ = dim_;
+            run_loc_.tile_d = 0;
+            run_loc_.prefetch = auto_prefetch_distance(dim_);
+        }
+    }
+    // Split rows receive atomic commits from every contributing
+    // thread; the inline epilogue must skip them (the value is not
+    // final at any single commit), so resolve the schedule once and
+    // keep the sorted, deduplicated list for the post-barrier pass.
+    // resolve() marks any partial-row share atomic, so this list is
+    // exactly "rows the epilogue cannot fire on inline".
+    for (index_t t = 0; t < sched_->num_threads(); ++t) {
+        ResolvedWork w = sched_->resolve(t, a);
+        if (w.has_head() && w.head_atomic)
+            shared_rows_.push_back(w.head_row);
+        if (w.has_tail() && w.tail_atomic)
+            shared_rows_.push_back(w.tail_row);
+    }
+    std::sort(shared_rows_.begin(), shared_rows_.end());
+    shared_rows_.erase(
+        std::unique(shared_rows_.begin(), shared_rows_.end()),
+        shared_rows_.end());
+}
+
+void
+FusedLayerPlan::apply_shared_epilogue(DenseMatrix &c, index_t c_col0,
+                                      index_t width, PanelEpilogue epi,
+                                      const void *epi_ctx)
+{
+    if (epi == nullptr)
+        return;
+    const index_t *scatter = loc_.row_scatter;
+    for (index_t row : shared_rows_) {
+        const index_t out = scatter != nullptr ? scatter[row] : row;
+        epi(c.row(out) + c_col0, row, c_col0, width, epi_ctx);
+    }
+}
+
+void
+FusedLayerPlan::run(const PanelSourceFn &source, DenseMatrix &c,
+                    WorkStealPool &pool, PanelEpilogue epi,
+                    const void *epi_ctx, const PanelPostSweepFn &post_sweep)
+{
+    MPS_CHECK(c.rows() == a_->rows() && c.cols() == dim_,
+              "fused output must be ", a_->rows(), "x", dim_);
+    ScopedSpan span("spmm.fused", "kernel");
+    Timer wall;
+    c.fill(0.0f);
+    int64_t panels = 0;
+    for (index_t col = 0; col < dim_; col += run_tile_) {
+        const index_t width = std::min(run_tile_, dim_ - col);
+        const PanelSource src = source(col, width);
+        MPS_CHECK(src.b != nullptr, "panel source returned no operand");
+        mergepath_spmm_panel(*a_, *src.b, src.col_begin, c, col, width,
+                             *sched_, pool, run_loc_, epi, epi_ctx,
+                             /*count_census=*/col == 0);
+        apply_shared_epilogue(c, col, width, epi, epi_ctx);
+        if (post_sweep)
+            post_sweep(col, width, src);
+        ++panels;
+    }
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled()) {
+        metrics.counter_add("fusion.runs");
+        metrics.counter_add("fusion.panels", panels);
+        metrics.histogram_record("kernel.fused.exec_ms",
+                                 wall.elapsed_ms());
+    }
+}
+
+void
+FusedLayerPlan::run_streaming(const PanelSourceFn &source,
+                              const PanelConsumerFn &consume,
+                              WorkStealPool &pool, PanelEpilogue epi,
+                              const void *epi_ctx)
+{
+    ScopedSpan span("spmm.fused.stream", "kernel");
+    Timer wall;
+    if (out_panel_.rows() != a_->rows() || out_panel_.cols() != tile_)
+        out_panel_ = DenseMatrix(a_->rows(), tile_);
+    int64_t panels = 0;
+    for (index_t col = 0; col < dim_; col += tile_) {
+        const index_t width = std::min(tile_, dim_ - col);
+        const PanelSource src = source(col, width);
+        MPS_CHECK(src.b != nullptr, "panel source returned no operand");
+        out_panel_.fill(0.0f);
+        mergepath_spmm_panel(*a_, *src.b, src.col_begin, out_panel_,
+                             /*c_col0=*/0, width, *sched_, pool, loc_, epi,
+                             epi_ctx, /*count_census=*/col == 0);
+        apply_shared_epilogue(out_panel_, /*c_col0=*/0, width, epi,
+                              epi_ctx);
+        consume(col, width, out_panel_);
+        ++panels;
+    }
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled()) {
+        metrics.counter_add("fusion.runs");
+        metrics.counter_add("fusion.stream_runs");
+        metrics.counter_add("fusion.panels", panels);
+        metrics.histogram_record("kernel.fused.exec_ms",
+                                 wall.elapsed_ms());
+    }
+}
+
+} // namespace mps

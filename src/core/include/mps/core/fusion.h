@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Fused panel-streaming layer execution: C = act(A * (X * W)) without
+ * ever materializing the full `XW` temporary.
+ *
+ * The unfused GCN layer pays a complete n x d round trip to DRAM per
+ * layer: a tall GEMM writes XW, then the SpMM gathers it all back
+ * through CSR column indices (fig_locality shows that gather is the
+ * bandwidth ceiling). The fused pipeline instead produces XW
+ * panel-by-panel (TILE_D-wide, auto_fused_tile_d) into a shared
+ * hot-in-cache panel buffer and feeds each panel straight into the
+ * merge-path traversal, reusing ONE MergePathSchedule across panels
+ * exactly like the locality layer's sweep loop. The activation (and
+ * any bias) folds into the commit microkernel sweep: plain commits own
+ * their whole row, so the epilogue fires the moment the row is final;
+ * split (atomically committed) rows are finished in one pass over the
+ * precomputed shared-row list after each panel's barrier.
+ *
+ * Two execution modes:
+ *  - run():            materialize the layer output C (the common case);
+ *  - run_streaming():  hand each finalized OUTPUT panel to a consumer
+ *                      while still cache-resident. The multi-layer
+ *                      pipeline goes one granularity finer: its
+ *                      commit epilogue (RankUpdateEpilogue in the gcn
+ *                      library) rank-updates layer L+1's XW from each
+ *                      ROW the moment the sweep finalizes it — H_L is
+ *                      never materialized and the output panel is
+ *                      never even re-read; the consumer callback only
+ *                      advances the panel's weight-row origin.
+ *
+ * `MPS_FUSE=0` disables the fused routing at every call site and
+ * restores the exact pre-fusion execution (see fusion_enabled()).
+ * With a 1-thread schedule and panel widths that are multiples of 16,
+ * the fused output is bit-identical to the unfused path; multi-thread
+ * schedules differ only by the usual atomic-commit ordering.
+ */
+#ifndef MPS_CORE_FUSION_H
+#define MPS_CORE_FUSION_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mps/core/locality.h"
+#include "mps/core/schedule.h"
+#include "mps/core/spmm.h"
+#include "mps/sparse/csr_matrix.h"
+#include "mps/sparse/dense_matrix.h"
+
+namespace mps {
+
+class WorkStealPool;
+
+/**
+ * The cached MPS_FUSE parse: false for "0"/"off"/"false"/"no", true
+ * otherwise (fusion is on by default). Call sites that grew a fused
+ * branch keep the unfused one selectable through this gate.
+ */
+bool fusion_enabled();
+
+/**
+ * Where a panel's B operand actually lives: a source callback either
+ * fills the plan's panel buffer (and points b at it with col_begin 0)
+ * or returns a zero-copy view into an existing matrix (b = &xw,
+ * col_begin = col0). The sweep gathers b->row(k) + col_begin.
+ */
+struct PanelSource
+{
+    const DenseMatrix *b = nullptr;
+    index_t col_begin = 0;
+};
+
+/**
+ * Produce the B operand for output columns [col0, col0 + width).
+ * A GEMM-backed source fills its own reusable buffer (allocated once,
+ * at the width of the first — widest — panel) and returns {&buf, 0};
+ * a slice source returns a zero-copy view {&xw, col0} into an
+ * already-materialized matrix. The source owning the buffer keeps the
+ * plan from allocating an n x tile buffer that a slice source would
+ * never touch.
+ */
+using PanelSourceFn =
+    std::function<PanelSource(index_t col0, index_t width)>;
+
+/**
+ * Streaming-mode consumer: receives the finalized output panel for
+ * columns [col0, col0 + width) (epilogue already applied) while it is
+ * still cache-resident. The panel's data lives in columns [0, width)
+ * of @p out_panel and is overwritten by the next panel.
+ */
+using PanelConsumerFn = std::function<void(
+    index_t col0, index_t width, const DenseMatrix &out_panel)>;
+
+/**
+ * Post-sweep hook of run(): called after each panel's sweep and
+ * shared-row epilogue, with the panel's B source still valid. The
+ * serve path uses it for the dynamic-graph correction pass (which must
+ * see the panel operand before the buffer is rewritten) followed by
+ * the panel's activation.
+ */
+using PanelPostSweepFn = std::function<void(
+    index_t col0, index_t width, const PanelSource &src)>;
+
+/**
+ * One prepared fused execution: sparse matrix + output dimension +
+ * shared schedule + locality (fused tile width, prefetch, optional
+ * reorder scatter) + the precomputed list of split rows that need the
+ * epilogue applied out-of-band. Build once per (matrix, dim), run per
+ * layer call; panel buffers are lazily allocated and reused across
+ * runs. The plan borrows @p a, the schedule and any scatter array —
+ * it must not outlive them.
+ */
+class FusedLayerPlan
+{
+  public:
+    FusedLayerPlan(const CsrMatrix &a, index_t dim,
+                   std::shared_ptr<const MergePathSchedule> sched,
+                   SpmmLocality loc);
+
+    index_t dim() const { return dim_; }
+    /**
+     * Resolved STREAMING panel width (== dim when running one
+     * full-width panel): the width run_streaming() hands to its
+     * consumer, sized so source and output panels stay cache-hot.
+     */
+    index_t tile() const { return tile_; }
+    /**
+     * Resolved run() panel width. Equal to tile() except when the
+     * width was auto-derived and the whole n x dim operand fits the
+     * LLC: a resident temporary leaves nothing for narrow panels to
+     * save, and each extra panel re-pays the merge traversal plus
+     * strided column stores into the wide output — run() then executes
+     * one full-width panel. Explicit (MPS_TILE_D or caller-pinned)
+     * widths are honored in both modes.
+     */
+    index_t run_tile() const { return run_tile_; }
+    const CsrMatrix &matrix() const { return *a_; }
+    const MergePathSchedule &schedule() const { return *sched_; }
+    const SpmmLocality &locality() const { return loc_; }
+    /** Traversal rows committed atomically (split across threads). */
+    const std::vector<index_t> &shared_rows() const {
+        return shared_rows_;
+    }
+
+    /**
+     * Plan-owned scratch for a GEMM-backed panel source (see the
+     * gemm_panel_source overload taking a buffer). Sized by the source
+     * on first use and reused across panels AND across run() calls, so
+     * a kernel that caches its plan (MergePathSpmm::fused_plan) pays
+     * the n x tile allocation once per prepared layer, not per
+     * forward.
+     */
+    DenseMatrix &gemm_scratch() { return gemm_scratch_; }
+
+    /**
+     * Materialize C = epi(A * B) where B arrives panel-by-panel from
+     * @p source. C is zero-filled first (commits add). @p epi (if any)
+     * is applied exactly once to every output row of every panel: at
+     * plain commits inline, to shared rows in a pass after the panel
+     * barrier. @p post_sweep (if any) runs after that, per panel.
+     */
+    void run(const PanelSourceFn &source, DenseMatrix &c,
+             WorkStealPool &pool, PanelEpilogue epi = nullptr,
+             const void *epi_ctx = nullptr,
+             const PanelPostSweepFn &post_sweep = {});
+
+    /**
+     * Streaming mode: compute each output panel into an internal
+     * buffer and hand it to @p consume while hot. The epilogue sees
+     * panel-local column 0 (the buffer's origin), not the global col0;
+     * epilogues that need the global column take it via @p consume or
+     * their ctx. No full-size output is ever allocated.
+     */
+    void run_streaming(const PanelSourceFn &source,
+                       const PanelConsumerFn &consume, WorkStealPool &pool,
+                       PanelEpilogue epi = nullptr,
+                       const void *epi_ctx = nullptr);
+
+  private:
+    void apply_shared_epilogue(DenseMatrix &c, index_t c_col0,
+                               index_t width, PanelEpilogue epi,
+                               const void *epi_ctx);
+
+    const CsrMatrix *a_;
+    index_t dim_;
+    index_t tile_;     ///< streaming panel width
+    index_t run_tile_; ///< run() panel width (see run_tile())
+    std::shared_ptr<const MergePathSchedule> sched_;
+    SpmmLocality loc_;     ///< streaming-mode locality
+    SpmmLocality run_loc_; ///< run()-mode locality (re-derived prefetch)
+    std::vector<index_t> shared_rows_;
+    DenseMatrix out_panel_; ///< streaming output buffer (a.rows() x tile)
+    DenseMatrix gemm_scratch_; ///< panel-source buffer (see gemm_scratch())
+};
+
+/**
+ * Wrap a schedule the caller owns (a kernel member, a cache entry kept
+ * alive elsewhere) in the shared_ptr the plan wants, without taking
+ * ownership. The caller guarantees the schedule outlives the plan.
+ */
+inline std::shared_ptr<const MergePathSchedule>
+borrow_schedule(const MergePathSchedule &sched)
+{
+    return std::shared_ptr<const MergePathSchedule>(&sched,
+                                                    [](const auto *) {});
+}
+
+} // namespace mps
+
+#endif // MPS_CORE_FUSION_H

@@ -63,6 +63,14 @@ struct SpmmLocality
      */
     const index_t *row_scatter = nullptr;
 
+    /**
+     * True when tile_d came from the auto tuner rather than an
+     * explicit MPS_TILE_D override or a caller-pinned width. Executors
+     * with several dataflow modes (FusedLayerPlan) may then re-derive
+     * the width per mode; an explicit width is always honored as-is.
+     */
+    bool auto_width = false;
+
     /** True when the panel loop will run more than one sweep. */
     bool tiled(index_t dim) const {
         return tile_d > 0 && tile_d < dim;
@@ -121,6 +129,32 @@ index_t auto_tile_d(index_t n_cols, index_t dim);
  * 4 KiB page of gathered data ahead, clamp(1024 / dim, 2, 8).
  */
 index_t auto_prefetch_distance(index_t dim);
+
+/**
+ * Auto panel width for the FUSED pipeline (mps/core/fusion.h), where
+ * the panel is not a window onto a pre-materialized operand but the
+ * operand itself: the GEMM stage writes each n_rows x width panel
+ * immediately before the SpMM sweep gathers from it. Unlike
+ * auto_tile_d this never bails to full width in the streaming regime —
+ * a full-width panel would BE the materialized `XW` the fused path
+ * exists to avoid — so the width floors at 32 (clamped to [32, 256],
+ * multiple of 16, capped at dim). Narrower-than-resident panels still
+ * win here: the gather reads just-written lines instead of a cold
+ * n x d temporary. This is the STREAMING width; FusedLayerPlan::run()
+ * into a full-width output widens it when the whole temporary is
+ * LLC-resident (see fusion.h).
+ */
+index_t auto_fused_tile_d(index_t n_rows, index_t dim);
+
+/**
+ * Resolve locality options for a fused panel-streaming execution over
+ * an @p n_rows-row panel buffer at output dimension @p dim. Honors an
+ * explicit MPS_TILE_D width (kDisabled runs one full-width panel —
+ * useful for A/B measurement, it degenerates to the unfused dataflow
+ * plus a copy); kAuto uses auto_fused_tile_d. Publishes the
+ * fusion.tile_d gauge when metrics are enabled.
+ */
+SpmmLocality default_fused_locality(index_t n_rows, index_t dim);
 
 /**
  * Resolve the process-default locality options for a SpMM gathering

@@ -87,6 +87,48 @@ void reference_spmm(const CsrMatrix &a, const DenseMatrix &b,
                     DenseMatrix &c);
 
 /**
+ * Per-row output epilogue of the fused pipeline: invoked on
+ * @p crow = &C(out_row, c_col0) for a width-wide slice the moment the
+ * row's value is final. @p row is the TRAVERSAL row id (before any
+ * scatter) so structural epilogues can index side inputs. Folded into
+ * the plain-commit path of the sweep — a plain commit means the thread
+ * owns the entire row, so the value is final right there; atomically
+ * committed (split) rows must receive the epilogue in a separate pass
+ * after the sweep (FusedLayerPlan precomputes that shared-row list).
+ */
+using PanelEpilogue = void (*)(value_t *crow, index_t row, index_t c_col0,
+                               index_t width, const void *ctx);
+
+/**
+ * The "caller supplies the next B-panel" entry point: ONE merge-path
+ * sweep of @p sched computing
+ *   C[:, c_col0 : c_col0+width) += A * B[:, b_col0 : b_col0+width)
+ * where @p b is typically a freshly written panel buffer (b_col0 = 0)
+ * rather than a full-width operand. The caller owns the panel loop,
+ * zero-fills C's target columns beforehand (commits add), and reuses
+ * one schedule across panels exactly like the tiled kernels. @p epi,
+ * when non-null, runs on every plain commit (see PanelEpilogue for the
+ * split-row caveat). @p count_census folds this sweep into the
+ * spmm.mergepath.* write census — pass true on the first panel only.
+ * Bit-identical per element to the unfused full-width sweep whenever
+ * every panel boundary lands on a SIMD block boundary (width a
+ * multiple of 16 for all but the last panel).
+ */
+void mergepath_spmm_panel(const CsrMatrix &a, const DenseMatrix &b,
+                          index_t b_col0, DenseMatrix &c, index_t c_col0,
+                          index_t width, const MergePathSchedule &sched,
+                          WorkStealPool &pool, const SpmmLocality &loc,
+                          PanelEpilogue epi, const void *epi_ctx,
+                          bool count_census);
+
+/** Sequential panel sweep (deterministic reference for tests). */
+void mergepath_spmm_panel(const CsrMatrix &a, const DenseMatrix &b,
+                          index_t b_col0, DenseMatrix &c, index_t c_col0,
+                          index_t width, const MergePathSchedule &sched,
+                          const SpmmLocality &loc, PanelEpilogue epi,
+                          const void *epi_ctx, bool count_census);
+
+/**
  * Overlay correction pass of the dynamic-graph datapath: for every
  * dirty row r of @p dcsr, add sum_k corr_k * B[col_k] onto C's row for
  * r (routed through loc.row_scatter like the base traversal). Run
@@ -103,6 +145,20 @@ void delta_correction_pass(const DeltaCsr &dcsr, const DenseMatrix &b,
 /** Sequential correction pass (deterministic reference). */
 void delta_correction_pass(const DeltaCsr &dcsr, const DenseMatrix &b,
                            DenseMatrix &c);
+
+/**
+ * Panel-wise correction pass for the fused pipeline: like
+ * delta_correction_pass but restricted to output columns
+ * [c_col0, c_col0+width), gathering from @p b columns
+ * [b_col0, b_col0+width) — so it can run against the fused panel
+ * buffer right after each mergepath_spmm_panel sweep, before the
+ * buffer is overwritten. Must run BEFORE any activation of the panel
+ * (SpMM -> correction -> activation, same order as the unfused path).
+ */
+void delta_correction_panel(const DeltaCsr &dcsr, const DenseMatrix &b,
+                            index_t b_col0, DenseMatrix &c, index_t c_col0,
+                            index_t width, WorkStealPool &pool,
+                            const index_t *row_scatter);
 
 /**
  * C = (base ∪ overlay) * B: unmodified merge-path traversal of

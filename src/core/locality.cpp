@@ -184,6 +184,79 @@ auto_prefetch_distance(index_t dim)
     return std::clamp<index_t>(1024 / dim, 2, 8);
 }
 
+index_t
+auto_fused_tile_d(index_t n_rows, index_t dim)
+{
+    if (dim <= 32)
+        return dim;
+    const int64_t llc = detected_llc_bytes();
+    const int64_t padded_dim = (dim + 15) / 16 * 16;
+    const int64_t operand_bytes = static_cast<int64_t>(n_rows) *
+                                  padded_dim *
+                                  static_cast<int64_t>(sizeof(value_t));
+    // This is the STREAMING panel width: both the source buffer the
+    // GEMM fills and the output panel the consumer reads must stay
+    // hot, so budget half a trustworthy cache and floor at 32 instead
+    // of giving up — narrow dense panels keep the stores and gathers
+    // on contiguous 128-byte rows, and the schedule reuse amortizes
+    // the extra sweeps. run() into a full-width output re-derives its
+    // own width (FusedLayerPlan widens when the whole temporary is
+    // LLC-resident, where extra sweeps only add traversal cost and
+    // strided column stores).
+    //
+    // Flat-LLC regime: when the advertised LLC exceeds the residency
+    // bound (virtualized parts whose "L3" gathers at DRAM latency),
+    // no panel width can actually be held resident, so narrowing buys
+    // nothing — it only multiplies the per-panel costs: extra merge
+    // traversals and, in the pipelined chain, one full re-stream of
+    // the downstream rank-update accumulator per panel. The width is
+    // then chosen as wide as the advertised capacity allows, which
+    // both bounds the panel buffers on enormous graphs and minimizes
+    // the panel count everywhere else.
+    const int64_t budget = llc > kMaxResidencyBytes
+                               ? llc
+                               : std::min(llc, kMaxResidencyBytes) / 2;
+    if (operand_bytes <= budget)
+        return dim;
+    int64_t width = budget / (static_cast<int64_t>(n_rows) *
+                              static_cast<int64_t>(sizeof(value_t)));
+    width = width / 16 * 16;
+    width = std::clamp<int64_t>(width, 32, 256);
+    if (width >= dim)
+        return dim;
+    return static_cast<index_t>(width);
+}
+
+SpmmLocality
+default_fused_locality(index_t n_rows, index_t dim)
+{
+    const LocalityEnv &env = locality_env();
+    SpmmLocality loc;
+    switch (env.tile_policy) {
+    case TilePolicy::kDisabled:
+        loc.tile_d = 0;
+        break;
+    case TilePolicy::kExplicit:
+        loc.tile_d = std::min(env.tile_d, dim);
+        break;
+    case TilePolicy::kAuto:
+        loc.tile_d = auto_fused_tile_d(n_rows, dim);
+        loc.auto_width = true;
+        break;
+    }
+    // The fused gather reads panel-width rows, so the lookahead is
+    // derived from the effective panel width, not the full dimension.
+    const index_t effective = loc.tiled(dim) ? loc.tile_d : dim;
+    loc.prefetch = env.prefetch_auto ? auto_prefetch_distance(effective)
+                                     : env.prefetch;
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled())
+        metrics.gauge_set("fusion.tile_d",
+                          static_cast<double>(loc.tiled(dim) ? loc.tile_d
+                                                             : dim));
+    return loc;
+}
+
 SpmmLocality
 default_spmm_locality(index_t n_cols, index_t dim)
 {

@@ -18,20 +18,27 @@ namespace {
 
 /**
  * One column panel of the gather/commit datapath: the traversal reads
- * B columns [col_begin, col_begin + dim) and writes the same panel of
- * C, with output rows indirected through @p scatter (nullptr =
- * identity; reorder-aware execution passes the inverse permutation).
- * @p prefetch > 0 prefetches the B row of the non-zero that many
- * positions ahead of the read cursor — the panel start, plus a second
- * cache line for wide panels; the hardware streamer follows on within
- * the row.
+ * B columns [b_col, b_col + dim) and writes C columns
+ * [c_col, c_col + dim), with output rows indirected through @p scatter
+ * (nullptr = identity; reorder-aware execution passes the inverse
+ * permutation). The tiled kernels keep b_col == c_col; the fused
+ * pipeline gathers from a freshly written panel buffer (b_col = 0)
+ * while committing to the real output columns. @p prefetch > 0
+ * prefetches the B row of the non-zero that many positions ahead of
+ * the read cursor — the panel start, plus a second cache line for wide
+ * panels; the hardware streamer follows on within the row. @p epi,
+ * when non-null, runs on plain commits only (full row ownership, value
+ * final).
  */
 struct PanelContext
 {
-    index_t col_begin = 0;
+    index_t b_col = 0;
+    index_t c_col = 0;
     index_t dim = 0; ///< panel width, b.cols() when untiled
     index_t prefetch = 0;
     const index_t *scatter = nullptr;
+    PanelEpilogue epi = nullptr;
+    const void *epi_ctx = nullptr;
 
     index_t out_row(index_t row) const {
         return scatter != nullptr ? scatter[row] : row;
@@ -46,7 +53,7 @@ accumulate_range(const CsrMatrix &a, const DenseMatrix &b, index_t nz_begin,
 {
     const index_t *cols = a.col_idx().data();
     const value_t *vals = a.values().data();
-    const index_t col0 = panel.col_begin;
+    const index_t col0 = panel.b_col;
     const index_t dim = panel.dim;
     const index_t pf = panel.prefetch;
     // The lookahead crosses row boundaries: the merge traversal
@@ -73,11 +80,17 @@ inline void
 commit(DenseMatrix &c, index_t row, const value_t *acc,
        const PanelContext &panel, bool atomic, const RowKernels &rk)
 {
-    value_t *crow = c.row(panel.out_row(row)) + panel.col_begin;
-    if (atomic)
+    value_t *crow = c.row(panel.out_row(row)) + panel.c_col;
+    if (atomic) {
         rk.commit_atomic(crow, acc, panel.dim);
-    else
+    } else {
         rk.commit_plain(crow, acc, panel.dim);
+        // Plain commit == the thread owns the whole row (resolve marks
+        // any partial-row share atomic), so the value is final and the
+        // fused epilogue can fire right here, while the line is hot.
+        if (panel.epi != nullptr)
+            panel.epi(crow, row, panel.c_col, panel.dim, panel.epi_ctx);
+    }
 }
 
 /**
@@ -186,7 +199,7 @@ mergepath_spmm_sequential(const CsrMatrix &a, const DenseMatrix &b,
     CommitCensus census;
     int64_t sweeps = 0;
     for (index_t col = 0; col < dim; col += tile) {
-        const PanelContext panel{col, std::min(tile, dim - col),
+        const PanelContext panel{col, col, std::min(tile, dim - col),
                                  loc.prefetch, loc.row_scatter};
         const RowKernels &rk = select_row_kernels(panel.dim);
         value_t *acc = microkernel_scratch(panel.dim);
@@ -257,7 +270,7 @@ mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
         census.resize(pool.max_concurrency());
     int64_t sweeps = 0;
     for (index_t col = 0; col < dim; col += tile) {
-        const PanelContext panel{col, std::min(tile, dim - col),
+        const PanelContext panel{col, col, std::min(tile, dim - col),
                                  loc.prefetch, loc.row_scatter};
         const RowKernels &rk = select_row_kernels(panel.dim);
         const bool count = instrumented && col == 0;
@@ -302,6 +315,77 @@ mergepath_spmm(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
     threads = std::max<index_t>(threads, 1);
     MergePathSchedule sched = MergePathSchedule::build(a, threads);
     mergepath_spmm_parallel(a, b, c, sched, pool);
+}
+
+namespace {
+
+void
+check_panel_shapes(const CsrMatrix &a, const DenseMatrix &b, index_t b_col0,
+                   const DenseMatrix &c, index_t c_col0, index_t width)
+{
+    MPS_CHECK(b.rows() == a.cols(), "B rows (", b.rows(),
+              ") must equal A cols (", a.cols(), ")");
+    MPS_CHECK(c.rows() == a.rows(), "C rows (", c.rows(),
+              ") must equal A rows (", a.rows(), ")");
+    MPS_CHECK(width > 0 && b_col0 >= 0 && b_col0 + width <= b.cols(),
+              "B panel [", b_col0, ", ", b_col0 + width,
+              ") out of range for ", b.cols(), " cols");
+    MPS_CHECK(c_col0 >= 0 && c_col0 + width <= c.cols(), "C panel [",
+              c_col0, ", ", c_col0 + width, ") out of range for ",
+              c.cols(), " cols");
+}
+
+} // namespace
+
+void
+mergepath_spmm_panel(const CsrMatrix &a, const DenseMatrix &b,
+                     index_t b_col0, DenseMatrix &c, index_t c_col0,
+                     index_t width, const MergePathSchedule &sched,
+                     WorkStealPool &pool, const SpmmLocality &loc,
+                     PanelEpilogue epi, const void *epi_ctx,
+                     bool count_census)
+{
+    check_panel_shapes(a, b, b_col0, c, c_col0, width);
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const bool count = count_census && metrics.enabled();
+    std::vector<CommitCensus> census;
+    if (count)
+        census.resize(pool.max_concurrency());
+    const PanelContext panel{b_col0,       c_col0, width, loc.prefetch,
+                             loc.row_scatter, epi,  epi_ctx};
+    const RowKernels &rk = select_row_kernels(width);
+    pool.parallel_for(
+        static_cast<uint64_t>(sched.num_threads()), [&](uint64_t t) {
+            value_t *acc = microkernel_scratch(width);
+            CommitCensus *cs =
+                count ? &census[pool.current_slot()] : nullptr;
+            run_thread_work(a, b, c, sched, static_cast<index_t>(t), acc,
+                            panel, rk, cs);
+        });
+    if (count)
+        flush_census(metrics, census.data(), census.size());
+}
+
+void
+mergepath_spmm_panel(const CsrMatrix &a, const DenseMatrix &b,
+                     index_t b_col0, DenseMatrix &c, index_t c_col0,
+                     index_t width, const MergePathSchedule &sched,
+                     const SpmmLocality &loc, PanelEpilogue epi,
+                     const void *epi_ctx, bool count_census)
+{
+    check_panel_shapes(a, b, b_col0, c, c_col0, width);
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const bool count = count_census && metrics.enabled();
+    CommitCensus census;
+    const PanelContext panel{b_col0,       c_col0, width, loc.prefetch,
+                             loc.row_scatter, epi,  epi_ctx};
+    const RowKernels &rk = select_row_kernels(width);
+    value_t *acc = microkernel_scratch(width);
+    for (index_t t = 0; t < sched.num_threads(); ++t)
+        run_thread_work(a, b, c, sched, t, acc, panel, rk,
+                        count ? &census : nullptr);
+    if (count)
+        flush_census(metrics, &census, 1);
 }
 
 void
@@ -390,6 +474,43 @@ delta_correction_pass(const DeltaCsr &dcsr, const DenseMatrix &b,
     value_t *acc = microkernel_scratch(b.cols());
     for (index_t i = 0; i < dirty; ++i)
         correct_dirty_row(dcsr, i, b, c, nullptr, acc, rk);
+}
+
+void
+delta_correction_panel(const DeltaCsr &dcsr, const DenseMatrix &b,
+                       index_t b_col0, DenseMatrix &c, index_t c_col0,
+                       index_t width, WorkStealPool &pool,
+                       const index_t *row_scatter)
+{
+    const index_t dirty = dcsr.num_dirty_rows();
+    if (dirty == 0)
+        return;
+    check_panel_shapes(dcsr.base(), b, b_col0, c, c_col0, width);
+    const RowKernels &rk = select_row_kernels(width);
+    pool.parallel_for_ranges(
+        static_cast<uint64_t>(dirty), [&](uint64_t begin, uint64_t end) {
+            value_t *acc = microkernel_scratch(width);
+            for (index_t i = static_cast<index_t>(begin);
+                 i < static_cast<index_t>(end); ++i) {
+                rk.zero(acc, width);
+                dcsr.for_each_correction(
+                    i, [&](index_t col, value_t corr, value_t, bool) {
+                        rk.axpy(acc, corr, b.row(col) + b_col0, width);
+                    });
+                const index_t row = dcsr.dirty_row(i);
+                value_t *crow = c.row(row_scatter != nullptr
+                                          ? row_scatter[row]
+                                          : row) +
+                                c_col0;
+                rk.add(crow, acc, width);
+            }
+        });
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled()) {
+        metrics.counter_add("spmm.delta.corrected_rows", dirty);
+        metrics.counter_add("spmm.delta.correction_nnz",
+                            dcsr.delta_edges());
+    }
 }
 
 void

@@ -32,6 +32,66 @@ apply_activation(DenseMatrix &m, Activation act)
     }
 }
 
+void
+apply_activation_panel(DenseMatrix &m, Activation act, index_t col0,
+                       index_t width)
+{
+    switch (act) {
+      case Activation::kNone:
+        break;
+      case Activation::kRelu:
+        for (index_t r = 0; r < m.rows(); ++r) {
+            value_t *row = m.row(r) + col0;
+            for (index_t c = 0; c < width; ++c)
+                row[c] = row[c] > 0.0f ? row[c] : 0.0f;
+        }
+        break;
+      case Activation::kSigmoid:
+        for (index_t r = 0; r < m.rows(); ++r) {
+            value_t *row = m.row(r) + col0;
+            for (index_t c = 0; c < width; ++c)
+                row[c] = 1.0f / (1.0f + std::exp(-row[c]));
+        }
+        break;
+    }
+}
+
+namespace {
+
+// The epilogues repeat apply_activation's scalar expressions exactly:
+// the fused output must match the unfused activation bit-for-bit.
+
+void
+relu_epilogue(value_t *crow, index_t, index_t, index_t width, const void *)
+{
+    for (index_t c = 0; c < width; ++c)
+        crow[c] = crow[c] > 0.0f ? crow[c] : 0.0f;
+}
+
+void
+sigmoid_epilogue(value_t *crow, index_t, index_t, index_t width,
+                 const void *)
+{
+    for (index_t c = 0; c < width; ++c)
+        crow[c] = 1.0f / (1.0f + std::exp(-crow[c]));
+}
+
+} // namespace
+
+PanelEpilogue
+activation_epilogue(Activation act)
+{
+    switch (act) {
+      case Activation::kRelu:
+        return &relu_epilogue;
+      case Activation::kSigmoid:
+        return &sigmoid_epilogue;
+      case Activation::kNone:
+        break;
+    }
+    return nullptr;
+}
+
 Activation
 parse_activation(const std::string &name)
 {

@@ -142,6 +142,58 @@ aggregate_max(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
 }
 
 void
+aggregate_sum_panel(const CsrMatrix &a, const DenseMatrix &h,
+                    index_t col0, index_t width, DenseMatrix &panel,
+                    const MergePathSchedule &sched, WorkStealPool &pool)
+{
+    MPS_CHECK(a.rows() == a.cols(), "aggregation needs a square matrix");
+    MPS_CHECK(h.rows() == a.cols(), "h rows must equal graph nodes");
+    MPS_CHECK(col0 >= 0 && width > 0 && col0 + width <= h.cols(),
+              "h panel [", col0, ", ", col0 + width, ") out of range for ",
+              h.cols(), " cols");
+    MPS_CHECK(panel.rows() == a.rows() && panel.cols() >= width,
+              "panel must be nodes x >= width");
+    panel.fill(0.0f);
+
+    const RowKernels &rk = select_row_kernels(width);
+    pool.parallel_for(
+        static_cast<uint64_t>(sched.num_threads()),
+        [&](uint64_t ti) {
+            index_t t = static_cast<index_t>(ti);
+            ResolvedWork w = sched.resolve(t, a);
+            value_t *acc = microkernel_scratch(width);
+
+            auto accumulate = [&](index_t begin, index_t end) {
+                rk.zero(acc, width);
+                for (index_t k = begin; k < end; ++k)
+                    rk.add(acc, h.row(a.col_idx()[k]) + col0, width);
+            };
+            auto commit = [&](index_t row, bool atomic) {
+                value_t *prow = panel.row(row);
+                if (atomic)
+                    rk.commit_atomic(prow, acc, width);
+                else
+                    rk.commit_plain(prow, acc, width);
+            };
+
+            if (w.has_head()) {
+                accumulate(w.head_begin, w.head_end);
+                commit(w.head_row, w.head_atomic);
+            }
+            for (index_t r = w.first_complete_row;
+                 r < w.last_complete_row; ++r) {
+                accumulate(a.row_begin(r), a.row_end(r));
+                commit(r, false);
+            }
+            if (w.has_tail()) {
+                accumulate(w.tail_begin, w.tail_end);
+                commit(w.tail_row, w.tail_atomic);
+            }
+        },
+        /*grain=*/8);
+}
+
+void
 aggregate_gin(const CsrMatrix &a, const DenseMatrix &h, DenseMatrix &out,
               const MergePathSchedule &sched, WorkStealPool &pool, float eps)
 {

@@ -99,12 +99,19 @@ GatLayer::forward(const CsrMatrix &a, const DenseMatrix &h,
             }
         },
         /*grain=*/128);
-    attention_ = edge_softmax(a, scores, pool);
+    CsrMatrix attention = edge_softmax(a, scores, pool);
 
     // 4. Weighted aggregation: the merge-path SpMM on the attention
     //    matrix (same structure as A, so the schedule is reusable).
-    mergepath_spmm_parallel(attention_, hw, out, sched, pool);
+    mergepath_spmm_parallel(attention, hw, out, sched, pool);
     apply_activation(out, act_);
+
+    // Keep the coefficients only when asked: an nnz-sized copy per
+    // layer per graph is pure debugging payload on a serving path.
+    if (retain_attention_)
+        attention_ = std::move(attention);
+    else
+        release_attention();
 }
 
 } // namespace mps

@@ -1,6 +1,8 @@
 #include "mps/gcn/gemm.h"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 
 #include "mps/core/microkernel.h"
 #include "mps/util/log.h"
@@ -66,6 +68,175 @@ reference_gemm(const DenseMatrix &x, const DenseMatrix &w,
 {
     check_gemm_shapes(x, w, out);
     gemm_rows(x, w, out, 0, x.rows());
+}
+
+void
+dense_gemm_panel(const DenseMatrix &x, index_t x_row0, const DenseMatrix &w,
+                 index_t w_col0, index_t width, DenseMatrix &panel,
+                 index_t panel_col0, index_t rows, WorkStealPool &pool)
+{
+    MPS_CHECK(width > 0 && w_col0 >= 0 && w_col0 + width <= w.cols(),
+              "W panel [", w_col0, ", ", w_col0 + width,
+              ") out of range for ", w.cols(), " cols");
+    MPS_CHECK(panel_col0 >= 0 && panel_col0 + width <= panel.cols(),
+              "panel columns out of range");
+    MPS_CHECK(x_row0 >= 0 && x_row0 + rows <= x.rows(),
+              "X rows out of range");
+    MPS_CHECK(rows <= panel.rows(), "panel has too few rows");
+    if (rows == 0)
+        return;
+    const index_t f = x.cols();
+    const RowKernels &rk = select_row_kernels(width);
+    pool.parallel_for_ranges(
+        static_cast<uint64_t>(rows), [&](uint64_t begin, uint64_t end) {
+            for (index_t i = static_cast<index_t>(begin);
+                 i < static_cast<index_t>(end); ++i) {
+                value_t *prow = panel.row(i) + panel_col0;
+                rk.zero(prow, width);
+                const value_t *xrow = x.row(x_row0 + i);
+                for (index_t k = 0; k < f; ++k) {
+                    const value_t xv = xrow[k];
+                    if (xv == 0.0f)
+                        continue; // same skip as gemm_rows
+                    rk.axpy(prow, xv, w.row(k) + w_col0, width);
+                }
+            }
+        });
+}
+
+void
+dense_gemm_panel(const DenseMatrix &x, const DenseMatrix &w,
+                 index_t w_col0, index_t width, DenseMatrix &panel,
+                 WorkStealPool &pool)
+{
+    dense_gemm_panel(x, /*x_row0=*/0, w, w_col0, width, panel,
+                     /*panel_col0=*/0, x.rows(), pool);
+}
+
+void
+dense_gemm_rank_update(const DenseMatrix &h_panel, index_t width,
+                       const DenseMatrix &w, index_t w_row0,
+                       DenseMatrix &out, WorkStealPool &pool)
+{
+    MPS_CHECK(width > 0 && width <= h_panel.cols(),
+              "panel width out of range");
+    MPS_CHECK(w_row0 >= 0 && w_row0 + width <= w.rows(),
+              "W rows [", w_row0, ", ", w_row0 + width,
+              ") out of range for ", w.rows(), " rows");
+    MPS_CHECK(out.rows() == h_panel.rows() && out.cols() == w.cols(),
+              "rank-update output must be ", h_panel.rows(), "x",
+              w.cols());
+    const index_t d = w.cols();
+    const RowKernels &rk = select_row_kernels(d);
+    // The pipeline calls this right after the panel sweep, which
+    // committed rows in ascending traversal order — so the panel's
+    // TAIL is what is still cache-resident. Rows are independent and
+    // the per-row FLOP order is untouched, so walk the index space
+    // mirrored and consume the most recently committed rows first;
+    // on big panels this turns a cold DRAM re-read of the head into a
+    // hot re-read of the tail.
+    const index_t last = out.rows() - 1;
+    pool.parallel_for_ranges(
+        static_cast<uint64_t>(out.rows()),
+        [&](uint64_t begin, uint64_t end) {
+            for (uint64_t j = begin; j < end; ++j) {
+                const index_t i = last - static_cast<index_t>(j);
+                value_t *orow = out.row(i);
+                const value_t *hrow = h_panel.row(i);
+                for (index_t k = 0; k < width; ++k) {
+                    const value_t hv = hrow[k];
+                    if (hv == 0.0f)
+                        continue; // ReLU outputs are mostly zero
+                    rk.axpy(orow, hv, w.row(w_row0 + k), d);
+                }
+            }
+        });
+}
+
+void
+RankUpdateEpilogue::apply(value_t *crow, index_t row, index_t /*c_col0*/,
+                          index_t width, const void *ctx)
+{
+    const auto &e = *static_cast<const RankUpdateEpilogue *>(ctx);
+    // Same scalar expressions as activation_epilogue's variants — the
+    // bit-identity guarantee depends on it.
+    switch (e.act) {
+      case Activation::kRelu:
+        for (index_t c = 0; c < width; ++c)
+            crow[c] = crow[c] > 0.0f ? crow[c] : 0.0f;
+        break;
+      case Activation::kSigmoid:
+        for (index_t c = 0; c < width; ++c)
+            crow[c] = 1.0f / (1.0f + std::exp(-crow[c]));
+        break;
+      case Activation::kNone:
+        break;
+    }
+    const index_t out_row = e.scatter != nullptr ? e.scatter[row] : row;
+    value_t *orow = e.out->row(out_row);
+    const index_t d = e.out->cols();
+    // No zero-skip here, deliberately: post-ReLU rows are about half
+    // zeros in an unpredictable pattern, and the skip branch
+    // mispredicts its way to costing MORE than the axpys it saves
+    // (measured ~1.7x on the 500k-node bench's rank update). Adding
+    // hv * w with hv == 0 contributes ±0.0f, which leaves every
+    // accumulator value bit-unchanged except one already holding
+    // -0.0f — and these sums cannot produce -0.0f without a product
+    // underflowing, far outside the value ranges GNN features reach.
+    // The 1-thread bit gate verifies this empirically.
+    for (index_t k = 0; k < width; ++k)
+        e.rk->axpy(orow, crow[k], e.w->row(e.w_row0 + k), d);
+}
+
+RankUpdateEpilogue
+make_rank_update_epilogue(Activation act, const DenseMatrix &w,
+                          DenseMatrix &out, const index_t *scatter)
+{
+    MPS_CHECK(out.cols() == w.cols(), "rank-update accumulator must be n x ",
+              w.cols());
+    RankUpdateEpilogue e;
+    e.act = act;
+    e.w = &w;
+    e.out = &out;
+    e.scatter = scatter;
+    e.rk = &select_row_kernels(out.cols());
+    return e;
+}
+
+PanelSourceFn
+gemm_panel_source(const DenseMatrix &x, const DenseMatrix &w,
+                  WorkStealPool &pool)
+{
+    // The buffer is shared by every panel of the run (the first call
+    // sees the widest panel) and owned by the closure, so slice-backed
+    // plans never pay for it.
+    auto buf = std::make_shared<DenseMatrix>();
+    return [&x, &w, &pool, buf](index_t col0, index_t width) {
+        if (buf->rows() != x.rows() || buf->cols() < width)
+            *buf = DenseMatrix(x.rows(), width);
+        dense_gemm_panel(x, w, col0, width, *buf, pool);
+        return PanelSource{buf.get(), 0};
+    };
+}
+
+PanelSourceFn
+gemm_panel_source(const DenseMatrix &x, const DenseMatrix &w,
+                  WorkStealPool &pool, DenseMatrix &buf)
+{
+    return [&x, &w, &pool, &buf](index_t col0, index_t width) {
+        if (buf.rows() != x.rows() || buf.cols() < width)
+            buf = DenseMatrix(x.rows(), width);
+        dense_gemm_panel(x, w, col0, width, buf, pool);
+        return PanelSource{&buf, 0};
+    };
+}
+
+PanelSourceFn
+slice_panel_source(const DenseMatrix &xw)
+{
+    return [&xw](index_t col0, index_t) {
+        return PanelSource{&xw, col0};
+    };
 }
 
 } // namespace mps

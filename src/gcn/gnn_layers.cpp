@@ -1,15 +1,43 @@
 #include "mps/gcn/gnn_layers.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 
+#include "mps/core/fusion.h"
+#include "mps/core/locality.h"
 #include "mps/core/microkernel.h"
 #include "mps/gcn/aggregators.h"
 #include "mps/gcn/gemm.h"
 #include "mps/util/log.h"
+#include "mps/util/metrics.h"
+#include "mps/util/timer.h"
 #include "mps/util/work_steal_pool.h"
 
 namespace mps {
+
+namespace {
+
+/** Resolved fused panel width over the feature dimension @p f. */
+index_t
+fused_aggregate_tile(index_t n_rows, index_t f)
+{
+    SpmmLocality loc = default_fused_locality(n_rows, f);
+    return loc.tiled(f) ? loc.tile_d : f;
+}
+
+void
+record_fused_aggregate(double ms)
+{
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (!metrics.enabled())
+        return;
+    metrics.counter_add("fusion.runs");
+    metrics.counter_add("fusion.aggregate_runs");
+    metrics.histogram_record("kernel.fused.exec_ms", ms);
+}
+
+} // namespace
 
 SageLayer::SageLayer(DenseMatrix w_self, DenseMatrix w_neigh,
                      Activation act)
@@ -28,6 +56,49 @@ SageLayer::forward(const CsrMatrix &a, const DenseMatrix &h,
     MPS_CHECK(h.cols() == in_features(), "feature width mismatch");
     MPS_CHECK(out.rows() == a.rows() && out.cols() == out_features(),
               "out must be nodes x out_features");
+
+    if (fusion_enabled()) {
+        // Reverse fusion: the structural aggregation runs FIRST, so
+        // each mean panel rank-updates the neighbor combination while
+        // hot — neither the full mean matrix nor a separate
+        // neigh_part temporary is materialized. The self term goes
+        // straight into out; the final add replays the unfused
+        // copy+add element order exactly.
+        Timer wall;
+        const index_t f = h.cols();
+        const index_t dim = out.cols();
+        const index_t tile = fused_aggregate_tile(a.cols(), f);
+        DenseMatrix panel(a.rows(), tile);
+        DenseMatrix neigh(a.rows(), dim);
+        neigh.fill(0.0f);
+        const RowKernels &rk_panel = select_row_kernels(tile);
+        for (index_t col = 0; col < f; col += tile) {
+            const index_t width = std::min(tile, f - col);
+            aggregate_sum_panel(a, h, col, width, panel, sched, pool);
+            const RowKernels &rk =
+                width == tile ? rk_panel : select_row_kernels(width);
+            pool.parallel_for(
+                static_cast<uint64_t>(a.rows()),
+                [&](uint64_t r) {
+                    index_t row = static_cast<index_t>(r);
+                    value_t inv =
+                        1.0f /
+                        std::max<value_t>(
+                            static_cast<value_t>(a.degree(row)), 1.0f);
+                    rk.scale(panel.row(row), inv, width);
+                },
+                /*grain=*/256);
+            dense_gemm_rank_update(panel, width, w_neigh_, col, neigh,
+                                   pool);
+        }
+        dense_gemm(h, w_self_, out, pool);
+        const RowKernels &rk = select_row_kernels(dim);
+        for (index_t r = 0; r < out.rows(); ++r)
+            rk.add(out.row(r), neigh.row(r), dim);
+        apply_activation(out, act_);
+        record_fused_aggregate(wall.elapsed_ms());
+        return;
+    }
 
     DenseMatrix mean(a.rows(), h.cols());
     aggregate_mean(a, h, mean, sched, pool);
@@ -61,6 +132,37 @@ GinLayer::forward(const CsrMatrix &a, const DenseMatrix &h,
     MPS_CHECK(h.cols() == in_features(), "feature width mismatch");
     MPS_CHECK(out.rows() == a.rows() && out.cols() == out_features(),
               "out must be nodes x out_features");
+
+    if (fusion_enabled()) {
+        // Reverse fusion: each ((1+eps)*h + sum) panel rank-updates
+        // the combination GEMM while hot — the full aggregated matrix
+        // is never materialized. The self-term axpy aligns with the
+        // unfused full-width axpy whenever the panel width is a
+        // multiple of the SIMD block, which every auto width is.
+        Timer wall;
+        const index_t f = h.cols();
+        const index_t tile = fused_aggregate_tile(a.cols(), f);
+        DenseMatrix panel(a.rows(), tile);
+        out.fill(0.0f);
+        const value_t self = 1.0f + eps_;
+        for (index_t col = 0; col < f; col += tile) {
+            const index_t width = std::min(tile, f - col);
+            aggregate_sum_panel(a, h, col, width, panel, sched, pool);
+            const RowKernels &rk = select_row_kernels(width);
+            pool.parallel_for(
+                static_cast<uint64_t>(a.rows()),
+                [&](uint64_t r) {
+                    index_t row = static_cast<index_t>(r);
+                    rk.axpy(panel.row(row), self, h.row(row) + col,
+                            width);
+                },
+                /*grain=*/256);
+            dense_gemm_rank_update(panel, width, w_, col, out, pool);
+        }
+        apply_activation(out, act_);
+        record_fused_aggregate(wall.elapsed_ms());
+        return;
+    }
 
     DenseMatrix aggregated(a.rows(), h.cols());
     aggregate_gin(a, h, aggregated, sched, pool, eps_);

@@ -54,6 +54,22 @@ void aggregate_gin(const CsrMatrix &a, const DenseMatrix &h,
                    DenseMatrix &out, const MergePathSchedule &sched,
                    WorkStealPool &pool, float eps = 0.0f);
 
+/**
+ * Panel-wise structural sum for the fused SAGE/GIN pipeline:
+ *   panel[i, 0:width) = sum_{j in N(i)} h[j, col0 : col0+width).
+ * One merge-path sweep of @p sched; the caller owns the panel loop
+ * (the reverse of the GCN fusion: here the aggregation runs FIRST and
+ * its output panels rank-update the combination GEMM, so the full
+ * aggregated matrix is never materialized). Element sums accumulate in
+ * the same order as aggregate_sum, and elementwise adds carry no
+ * FMA/alignment sensitivity — the panel values are bit-identical to
+ * the corresponding aggregate_sum columns for ANY col0/width.
+ */
+void aggregate_sum_panel(const CsrMatrix &a, const DenseMatrix &h,
+                         index_t col0, index_t width, DenseMatrix &panel,
+                         const MergePathSchedule &sched,
+                         WorkStealPool &pool);
+
 } // namespace mps
 
 #endif // MPS_GCN_AGGREGATORS_H

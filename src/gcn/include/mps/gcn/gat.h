@@ -59,8 +59,23 @@ class GatLayer
                  const MergePathSchedule &sched, DenseMatrix &out,
                  WorkStealPool &pool) const;
 
-    /** The attention matrix from the last forward (for inspection). */
+    /**
+     * The attention matrix from the last forward (for inspection).
+     * Empty when retention is disabled or after release_attention().
+     */
     const CsrMatrix &last_attention() const { return attention_; }
+
+    /**
+     * Whether forward() keeps its attention matrix for inspection
+     * (default true). Serving paths turn this off: retention holds an
+     * extra nnz-sized value array per layer per graph indefinitely,
+     * purely for debugging.
+     */
+    void set_retain_attention(bool retain) { retain_attention_ = retain; }
+    bool retain_attention() const { return retain_attention_; }
+
+    /** Free the retained attention matrix now (idempotent). */
+    void release_attention() const { attention_ = CsrMatrix(); }
 
   private:
     DenseMatrix w_;
@@ -68,6 +83,7 @@ class GatLayer
     std::vector<value_t> a_dst_;
     float slope_;
     Activation act_;
+    bool retain_attention_ = true;
     mutable CsrMatrix attention_;
 };
 

@@ -9,11 +9,14 @@
 #ifndef MPS_GCN_GEMM_H
 #define MPS_GCN_GEMM_H
 
+#include "mps/core/fusion.h"
+#include "mps/gcn/activation.h"
 #include "mps/sparse/dense_matrix.h"
 
 namespace mps {
 
 class WorkStealPool;
+struct RowKernels;
 
 /**
  * out = x * w. Shapes: x is n x f, w is f x d, out must be n x d.
@@ -25,6 +28,131 @@ void dense_gemm(const DenseMatrix &x, const DenseMatrix &w,
 /** Sequential reference GEMM for tests. */
 void reference_gemm(const DenseMatrix &x, const DenseMatrix &w,
                     DenseMatrix &out);
+
+/**
+ * Panel-on-demand GEMM for the fused pipeline: compute one TILE-wide
+ * column slice of X * W,
+ *   panel[i, panel_col0 : panel_col0+width)
+ *     = x.row(x_row0 + i) * w[:, w_col0 : w_col0+width)
+ * for i in [0, rows). Same ikj loop, zero-skip and microkernel calls
+ * as dense_gemm restricted to W's column slice — bit-identical to the
+ * corresponding columns of the full GEMM when w_col0 and panel_col0
+ * are multiples of 16 (SIMD block alignment). The x_row0 offset lets
+ * the serve path read one request's block out of the stacked tall
+ * feature matrix.
+ */
+void dense_gemm_panel(const DenseMatrix &x, index_t x_row0,
+                      const DenseMatrix &w, index_t w_col0, index_t width,
+                      DenseMatrix &panel, index_t panel_col0, index_t rows,
+                      WorkStealPool &pool);
+
+/** Whole-X convenience: panel[:, 0:width) = x * w[:, w_col0:+width). */
+void dense_gemm_panel(const DenseMatrix &x, const DenseMatrix &w,
+                      index_t w_col0, index_t width, DenseMatrix &panel,
+                      WorkStealPool &pool);
+
+/**
+ * Rank-`width` update of the NEXT layer's combination from a streamed
+ * output panel: out += h_panel[:, 0:width) * w[w_row0 : w_row0+width, :).
+ * Accumulating panel-by-panel in ascending w_row0 order replays the
+ * exact axpy sequence (k ascending, zero-skip) of
+ * dense_gemm(h, w, out) — so the multi-layer pipeline that never
+ * materializes H reproduces the unfused combination bit-for-bit.
+ * @p out must be zero-filled before the first panel.
+ */
+void dense_gemm_rank_update(const DenseMatrix &h_panel, index_t width,
+                            const DenseMatrix &w, index_t w_row0,
+                            DenseMatrix &out, WorkStealPool &pool);
+
+/**
+ * Row-granular pipeline epilogue: the moment the merge-path sweep
+ * finalizes an output row, apply the layer activation to it and
+ * immediately rank-update the NEXT layer's XW accumulator from that
+ * row — while the row is still in L1. The consumer-based pipeline
+ * (run_streaming + dense_gemm_rank_update) re-reads the whole n x tile
+ * output panel from DRAM after each sweep; on graphs whose panels dwarf
+ * the cache that second trip is pure bandwidth, and folding the rank
+ * update into the commit removes it entirely.
+ *
+ * FLOP-for-FLOP identical to activation_epilogue followed by
+ * dense_gemm_rank_update: rows are independent and the within-row
+ * k-ascending axpy order is unchanged, so 1-thread fused output stays
+ * bit-identical to the unfused reference.
+ *
+ * Concurrency: the inline epilogue only fires on plain commits, whose
+ * rows are owned whole by one executor; split rows reach apply() in
+ * the single-threaded shared-row pass after the panel barrier. Rows of
+ * @p out are therefore never written concurrently.
+ *
+ * `w_row0` must track the global first column of the panel in flight.
+ * Panels stream in ascending order starting at 0, so start it at 0 and
+ * advance it from run_streaming's consumer callback (which fires after
+ * each panel's epilogues and before the next panel's sweep):
+ *
+ *   RankUpdateEpilogue rank = make_rank_update_epilogue(...);
+ *   plan.run_streaming(src,
+ *       [&](index_t col0, index_t width, const DenseMatrix &) {
+ *           rank.w_row0 = col0 + width;
+ *       },
+ *       pool, &RankUpdateEpilogue::apply, &rank);
+ */
+struct RankUpdateEpilogue
+{
+    Activation act = Activation::kNone;
+    const DenseMatrix *w = nullptr; ///< next layer's weights
+    DenseMatrix *out = nullptr;     ///< next layer's XW accumulator
+    /**
+     * The plan's SpmmLocality::row_scatter (or nullptr). The sweep
+     * hands the epilogue the traversal row id while the commit itself
+     * lands on the scattered row — the rank update must write the
+     * accumulator row the panel row was physically committed to, so
+     * slice-fed downstream layers see the same positional pairing as
+     * the consumer-based pipeline.
+     */
+    const index_t *scatter = nullptr;
+    const RowKernels *rk = nullptr; ///< kernels for out's width
+    index_t w_row0 = 0; ///< global col0 of the panel in flight
+
+    /** PanelEpilogue trampoline; @p ctx is the RankUpdateEpilogue. */
+    static void apply(value_t *crow, index_t row, index_t c_col0,
+                      index_t width, const void *ctx);
+};
+
+/**
+ * Build a RankUpdateEpilogue accumulating act(panel) * w into @p out
+ * (which must be zero-filled and outlive the run, like @p w and the
+ * scatter array).
+ */
+RankUpdateEpilogue make_rank_update_epilogue(Activation act,
+                                             const DenseMatrix &w,
+                                             DenseMatrix &out,
+                                             const index_t *scatter);
+
+/**
+ * Panel source computing X * W slices on demand into a closure-owned
+ * buffer (allocated on first call at the first — widest — panel
+ * width). Captures @p x, @p w and @p pool by reference: the returned
+ * callable must not outlive them.
+ */
+PanelSourceFn gemm_panel_source(const DenseMatrix &x, const DenseMatrix &w,
+                                WorkStealPool &pool);
+
+/**
+ * Same, but computing into @p buf owned by the caller — typically a
+ * plan's gemm_scratch(), so a cached FusedLayerPlan reuses one buffer
+ * across every forward instead of allocating per call. @p buf is
+ * (re)sized on first use; the callable additionally must not outlive
+ * @p buf.
+ */
+PanelSourceFn gemm_panel_source(const DenseMatrix &x, const DenseMatrix &w,
+                                WorkStealPool &pool, DenseMatrix &buf);
+
+/**
+ * Zero-copy panel source over an already-materialized combination
+ * (used by pipeline stages whose XW accumulated via rank updates).
+ * Captures @p xw by reference.
+ */
+PanelSourceFn slice_panel_source(const DenseMatrix &xw);
 
 } // namespace mps
 

@@ -100,6 +100,16 @@ class GcnModel
   private:
     void prepare_all(const CsrMatrix &a);
 
+    /**
+     * Fused multi-layer pipeline (MPS_FUSE, mps/core/fusion.h): layer
+     * i's streamed output panels rank-update layer i+1's combination
+     * while cache-resident. Returns false (leaving @p result untouched)
+     * when fusion is disabled or any layer's kernel lacks a fused plan;
+     * the caller then runs the classic layer-by-layer loop.
+     */
+    bool fused_infer(const CsrMatrix &a, const DenseMatrix &x,
+                     WorkStealPool &pool, DenseMatrix &result);
+
     std::vector<GcnLayer> layers_;
     // One kernel instance per layer (each layer has its own dimension,
     // hence its own schedule).

@@ -29,6 +29,19 @@ GcnLayer::forward(const CsrMatrix &a, const DenseMatrix &x,
               "output must be n x out_features");
 
     ScopedSpan span("gcn.layer.forward", "gcn");
+    if (fusion_enabled()) {
+        // Fused pipeline: XW is produced TILE-wide into a hot panel
+        // buffer and swept immediately, the activation folded into the
+        // commit epilogue — the n x d temporary never exists. Kernels
+        // without a fused plan (and MPS_FUSE=0) take the classic path.
+        if (FusedLayerPlan *plan = kernel.fused_plan(a, out_features())) {
+            ScopedSpan fused("gcn.layer.fused", "gcn");
+            plan->run(gemm_panel_source(x, weights_, pool,
+                                        plan->gemm_scratch()),
+                      out, pool, activation_epilogue(act_));
+            return;
+        }
+    }
     DenseMatrix xw(x.rows(), out_features());
     {
         ScopedSpan combine("gcn.layer.combine", "gcn");

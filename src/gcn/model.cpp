@@ -1,8 +1,11 @@
 #include "mps/gcn/model.h"
 
 #include <utility>
+#include <vector>
 
+#include "mps/core/fusion.h"
 #include "mps/core/schedule_cache.h"
+#include "mps/gcn/gemm.h"
 #include "mps/kernels/registry.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
@@ -78,6 +81,73 @@ GcnModel::prepare_all(const CsrMatrix &a)
     prepared_nnz_ = a.nnz();
 }
 
+bool
+GcnModel::fused_infer(const CsrMatrix &a, const DenseMatrix &x,
+                      WorkStealPool &pool, DenseMatrix &result)
+{
+    if (!fusion_enabled())
+        return false;
+    // Every layer must offer a fused plan, or the whole inference
+    // falls back — mixing fused and unfused layers would still
+    // materialize the intermediates the pipeline exists to avoid.
+    std::vector<FusedLayerPlan *> plans;
+    plans.reserve(layers_.size());
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        FusedLayerPlan *plan =
+            kernels_[i]->fused_plan(a, layers_[i].out_features());
+        if (plan == nullptr)
+            return false;
+        plans.push_back(plan);
+    }
+
+    // Multi-layer pipelining: layer i streams its finalized output
+    // panels (activation already applied in the commit epilogue)
+    // straight into rank updates of layer i+1's combination — the
+    // hidden matrix H_i is never materialized, only the next layer's
+    // narrow XW accumulator is. The final layer materializes the
+    // model output.
+    ScopedSpan span("gcn.infer.fused", "gcn");
+    const size_t last = layers_.size() - 1;
+    DenseMatrix xw_cur;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        ScopedSpan layer_span("gcn.layer" + std::to_string(i) + ".fused",
+                              "gcn");
+        const PanelSourceFn src =
+            i == 0 ? gemm_panel_source(x, layers_[0].weights(), pool,
+                                       plans[0]->gemm_scratch())
+                   : slice_panel_source(xw_cur);
+        const PanelEpilogue epi =
+            activation_epilogue(layers_[i].activation());
+        if (i < last) {
+            // Row-granular handoff: the commit epilogue applies the
+            // activation AND rank-updates the next layer's XW while
+            // the row is in L1 — the output panel itself is never
+            // re-read (see RankUpdateEpilogue).
+            const DenseMatrix &w_next = layers_[i + 1].weights();
+            DenseMatrix xw_next(a.rows(), layers_[i + 1].out_features());
+            xw_next.fill(0.0f);
+            RankUpdateEpilogue rank = make_rank_update_epilogue(
+                layers_[i].activation(), w_next, xw_next,
+                plans[i]->locality().row_scatter);
+            plans[i]->run_streaming(
+                src,
+                [&rank](index_t col0, index_t width, const DenseMatrix &) {
+                    rank.w_row0 = col0 + width;
+                },
+                pool, &RankUpdateEpilogue::apply, &rank);
+            xw_cur = std::move(xw_next);
+        } else {
+            result = DenseMatrix(a.rows(), layers_[i].out_features());
+            plans[i]->run(src, result, pool, epi);
+        }
+    }
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled() && layers_.size() > 1)
+        metrics.counter_add("fusion.pipelined_layers",
+                            static_cast<int64_t>(layers_.size() - 1));
+    return true;
+}
+
 DenseMatrix
 GcnModel::infer(const CsrMatrix &a, const DenseMatrix &x, WorkStealPool &pool,
                 InferenceStats *stats)
@@ -105,12 +175,15 @@ GcnModel::infer(const CsrMatrix &a, const DenseMatrix &x, WorkStealPool &pool,
     }
 
     Timer timer;
-    DenseMatrix current = x;
-    for (size_t i = 0; i < layers_.size(); ++i) {
-        ScopedSpan layer_span("gcn.layer" + std::to_string(i), "gcn");
-        DenseMatrix next(a.rows(), layers_[i].out_features());
-        layers_[i].forward(a, current, *kernels_[i], next, pool);
-        current = std::move(next);
+    DenseMatrix current;
+    if (!fused_infer(a, x, pool, current)) {
+        current = x;
+        for (size_t i = 0; i < layers_.size(); ++i) {
+            ScopedSpan layer_span("gcn.layer" + std::to_string(i), "gcn");
+            DenseMatrix next(a.rows(), layers_[i].out_features());
+            layers_[i].forward(a, current, *kernels_[i], next, pool);
+            current = std::move(next);
+        }
     }
     local.compute_seconds = timer.elapsed_seconds();
     if (metrics.enabled()) {

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <vector>
 
+#include "mps/core/fusion.h"
+#include "mps/core/locality.h"
 #include "mps/core/microkernel.h"
 #include "mps/core/spmm.h"
+#include "mps/gcn/activation.h"
 #include "mps/gcn/gemm.h"
 #include "mps/gcn/layer.h"
 #include "mps/sparse/coo_matrix.h"
@@ -204,6 +207,30 @@ GcnTrainer::predict(const CsrMatrix &a, const DenseMatrix &x,
     MPS_CHECK(x.cols() == w1_.rows(), "feature width mismatch");
     ensure_schedule(a);
 
+    DenseMatrix logits(a.rows(), w2_.cols());
+    if (fusion_enabled()) {
+        // Fused 2-layer pipeline: layer 1 streams its ReLU'd output
+        // panels straight into rank updates of H1 * W2, so neither XW1
+        // nor H1 is ever materialized; layer 2 then consumes the
+        // accumulated HW2 as zero-copy slices.
+        FusedLayerPlan plan1(a, w1_.cols(), sched_,
+                             default_fused_locality(a.cols(), w1_.cols()));
+        FusedLayerPlan plan2(a, w2_.cols(), sched_,
+                             default_fused_locality(a.cols(), w2_.cols()));
+        DenseMatrix hw2(a.rows(), w2_.cols());
+        hw2.fill(0.0f);
+        RankUpdateEpilogue rank = make_rank_update_epilogue(
+            Activation::kRelu, w2_, hw2, plan1.locality().row_scatter);
+        plan1.run_streaming(
+            gemm_panel_source(x, w1_, pool),
+            [&rank](index_t col0, index_t width, const DenseMatrix &) {
+                rank.w_row0 = col0 + width;
+            },
+            pool, &RankUpdateEpilogue::apply, &rank);
+        plan2.run(slice_panel_source(hw2), logits, pool);
+        return logits;
+    }
+
     DenseMatrix xw1(a.rows(), w1_.cols());
     dense_gemm(x, w1_, xw1, pool);
     DenseMatrix h1(a.rows(), w1_.cols());
@@ -212,7 +239,6 @@ GcnTrainer::predict(const CsrMatrix &a, const DenseMatrix &x,
 
     DenseMatrix hw2(a.rows(), w2_.cols());
     dense_gemm(h1, w2_, hw2, pool);
-    DenseMatrix logits(a.rows(), w2_.cols());
     mergepath_spmm_parallel(a, hw2, logits, *sched_, pool);
     return logits;
 }
@@ -236,15 +262,31 @@ GcnTrainer::step(const CsrMatrix &a, const DenseMatrix &x,
     {
         // ---- forward, keeping intermediates ----
         ScopedSpan forward_span("train.forward", "train");
-        DenseMatrix xw1(a.rows(), w1_.cols());
-        dense_gemm(x, w1_, xw1, pool);
-        mergepath_spmm_parallel(a, xw1, z1, *sched_, pool);
-        h1 = z1;
-        apply_activation(h1, Activation::kRelu);
+        if (fusion_enabled()) {
+            // The backward ReLU gate needs z1 pre-activation, so layer
+            // 1 runs without an epilogue; the XW temporaries still
+            // never touch DRAM.
+            FusedLayerPlan plan1(
+                a, w1_.cols(), sched_,
+                default_fused_locality(a.cols(), w1_.cols()));
+            FusedLayerPlan plan2(
+                a, w2_.cols(), sched_,
+                default_fused_locality(a.cols(), w2_.cols()));
+            plan1.run(gemm_panel_source(x, w1_, pool), z1, pool);
+            h1 = z1;
+            apply_activation(h1, Activation::kRelu);
+            plan2.run(gemm_panel_source(h1, w2_, pool), logits, pool);
+        } else {
+            DenseMatrix xw1(a.rows(), w1_.cols());
+            dense_gemm(x, w1_, xw1, pool);
+            mergepath_spmm_parallel(a, xw1, z1, *sched_, pool);
+            h1 = z1;
+            apply_activation(h1, Activation::kRelu);
 
-        DenseMatrix hw2(a.rows(), w2_.cols());
-        dense_gemm(h1, w2_, hw2, pool);
-        mergepath_spmm_parallel(a, hw2, logits, *sched_, pool);
+            DenseMatrix hw2(a.rows(), w2_.cols());
+            dense_gemm(h1, w2_, hw2, pool);
+            mergepath_spmm_parallel(a, hw2, logits, *sched_, pool);
+        }
     }
 
     // ---- loss ----

@@ -36,6 +36,17 @@ class MergePathSpmm final : public SpmmKernel
              WorkStealPool &pool) const override;
 
     /**
+     * Fused panel-streaming plan over the prepared schedule: same
+     * traversal, same reorder scatter, locality resolved through
+     * default_fused_locality(). Returns nullptr before prepare().
+     * Cached per (matrix, dim) — repeat calls for the same prepared
+     * layer return the same plan with its panel buffers intact;
+     * prepare() invalidates the cache.
+     */
+    FusedLayerPlan *fused_plan(const CsrMatrix &a,
+                               index_t dim) const override;
+
+    /**
      * Reuse schedules through @p cache instead of building privately;
      * nullptr reverts to a private schedule on the next prepare().
      */
@@ -80,6 +91,13 @@ class MergePathSpmm final : public SpmmKernel
     // describes the matrix actually traversed). nullptr = identity.
     std::shared_ptr<const ReorderPlan> plan_;
     ScheduleCache *cache_ = nullptr;
+    // fused_plan() cache: one plan per prepared layer, keyed by the
+    // executed matrix's address + dim, dropped by prepare(). Keeping
+    // it here (not rebuilt per call) is what lets the plan's panel
+    // buffers survive across forwards.
+    mutable std::unique_ptr<FusedLayerPlan> fused_cache_;
+    mutable const CsrMatrix *fused_cache_key_ = nullptr;
+    mutable index_t fused_cache_dim_ = 0;
 };
 
 } // namespace mps

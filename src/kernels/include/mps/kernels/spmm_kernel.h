@@ -18,8 +18,10 @@
 #ifndef MPS_KERNELS_SPMM_KERNEL_H
 #define MPS_KERNELS_SPMM_KERNEL_H
 
+#include <memory>
 #include <string>
 
+#include "mps/core/fusion.h"
 #include "mps/sparse/csr_matrix.h"
 #include "mps/sparse/dense_matrix.h"
 #include "mps/sparse/reorder.h"
@@ -70,6 +72,26 @@ class SpmmKernel
      */
     virtual void run(const CsrMatrix &a, const DenseMatrix &b,
                      DenseMatrix &c, WorkStealPool &pool) const = 0;
+
+    /**
+     * Fused panel-streaming execution plan for this kernel on matrix
+     * @p a at dense dimension @p dim (see mps/core/fusion.h), or
+     * nullptr when the kernel has no fused path — callers then fall
+     * back to the classic GEMM-into-temporary + run() pipeline.
+     * Requires a prior prepare(a, dim). The plan is owned and CACHED
+     * by the kernel (so its panel buffers are reused across forwards);
+     * it stays valid until the next prepare() or fused_plan() call on
+     * this kernel and borrows the kernel's schedule and reorder state.
+     * Like prepare(), not safe to call concurrently with itself or
+     * run(). Decorators must forward.
+     */
+    virtual FusedLayerPlan *
+    fused_plan(const CsrMatrix &a, index_t dim) const
+    {
+        (void)a;
+        (void)dim;
+        return nullptr;
+    }
 };
 
 } // namespace mps

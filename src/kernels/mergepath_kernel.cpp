@@ -12,6 +12,11 @@ namespace mps {
 void
 MergePathSpmm::prepare(const CsrMatrix &a, index_t dim)
 {
+    // A new schedule/reorder invalidates any cached fused plan (it
+    // borrows both).
+    fused_cache_.reset();
+    fused_cache_key_ = nullptr;
+    fused_cache_dim_ = 0;
     // Resolve the reorder plan first: the schedule must describe the
     // matrix the traversal will actually walk. Rectangular inputs run
     // in identity order — a graph relabeling needs a square matrix.
@@ -72,6 +77,37 @@ MergePathSpmm::run(const CsrMatrix &a, const DenseMatrix &b,
     SpmmLocality loc = default_spmm_locality(b.rows(), b.cols());
     loc.row_scatter = plan_->inverse.data();
     mergepath_spmm_parallel(plan_->matrix, b, c, sched, pool, loc);
+}
+
+FusedLayerPlan *
+MergePathSpmm::fused_plan(const CsrMatrix &a, index_t dim) const
+{
+    const MergePathSchedule &sched = schedule();
+    if (sched.num_threads() < 1)
+        return nullptr; // prepare() was not called
+    const CsrMatrix &exec = plan_ ? plan_->matrix : a;
+    if (plan_ != nullptr)
+        MPS_CHECK(a.rows() == plan_->matrix.rows() &&
+                      a.nnz() == plan_->matrix.nnz(),
+                  "fused_plan() input does not match the prepared "
+                  "reorder plan");
+    if (fused_cache_ != nullptr && fused_cache_key_ == &exec &&
+        fused_cache_dim_ == dim)
+        return fused_cache_.get();
+    SpmmLocality loc = default_fused_locality(exec.cols(), dim);
+    if (plan_ != nullptr)
+        loc.row_scatter = plan_->inverse.data();
+    // The plan borrows the schedule (shared when a cache is attached,
+    // the private member otherwise) and the reorder scatter; both live
+    // as long as this kernel, which callers already keep alive for
+    // run().
+    auto schedp = shared_schedule_ ? shared_schedule_
+                                   : borrow_schedule(schedule_);
+    fused_cache_ = std::make_unique<FusedLayerPlan>(
+        exec, dim, std::move(schedp), loc);
+    fused_cache_key_ = &exec;
+    fused_cache_dim_ = dim;
+    return fused_cache_.get();
 }
 
 } // namespace mps

@@ -94,6 +94,14 @@ class InstrumentedSpmmKernel final : public SpmmKernel
         record_wall_ms(metrics, wall.elapsed_ms());
     }
 
+    FusedLayerPlan *
+    fused_plan(const CsrMatrix &a, index_t dim) const override
+    {
+        // The fused executor records its own kernel.fused.exec_ms
+        // histogram; the decorator only needs to forward.
+        return inner_->fused_plan(a, dim);
+    }
+
   private:
     /**
      * One clock read feeds both the run_ms timer (mean/min/max summary)

@@ -215,9 +215,12 @@ class Server
      * lands in the DeltaCsr overlay; when the overlay passes the
      * compaction ratio the base is rebuilt and every cached schedule
      * is migrated via incremental repair. A graph registered with a
-     * locality reorder plan drops the plan on its first update
-     * (repairing a schedule across a row re-permutation is a rebuild
-     * by another name); execution continues in natural row order.
+     * locality reorder plan retires the plan on update (repairing a
+     * schedule across a row re-permutation is a rebuild by another
+     * name); execution continues in natural row order while the
+     * overlay is dirty, and the next batch that finds the graph clean
+     * rebuilds the plan lazily (reorder.plan_rebuilds counter) instead
+     * of losing the reordering forever.
      *
      * @return false when @p graph_id was never registered or the
      *         server is shutting down.
@@ -290,8 +293,20 @@ class Server
     {
         DeltaCsr dynamic;
         std::shared_ptr<const std::vector<GcnLayer>> layers;
-        /** Reorder plan shared via the schedule cache; nullptr = identity. */
-        std::shared_ptr<const ReorderPlan> reorder;
+        /**
+         * Reorder plan shared via the schedule cache; nullptr =
+         * identity. An update retires the plan (the permutation is only
+         * valid against the base it was built from), but instead of
+         * staying retired forever it is rebuilt lazily by the next
+         * batch that finds the overlay clean — see
+         * resolve_reorder_plan(). Mutable + mutex because the rebuild
+         * happens on worker threads against a published (otherwise
+         * immutable) snapshot.
+         */
+        mutable std::shared_ptr<const ReorderPlan> reorder;
+        mutable std::mutex reorder_mutex;
+        /** Reordering this graph wants; kNone = never build a plan. */
+        ReorderKind reorder_kind = ReorderKind::kNone;
         /** Monotone update counter (0 at registration). */
         uint64_t update_seq = 0;
 
@@ -307,6 +322,15 @@ class Server
     void dispatcher_loop();
     void worker_loop(WorkStealPool &pool);
     void execute_batch(Batch batch, WorkStealPool &pool);
+    /**
+     * The reorder plan a batch should execute with: the cached plan
+     * when present, nullptr while the overlay is dirty (correction
+     * uses base row ids, which must not coexist with a scatter map),
+     * and a lazily rebuilt plan — counted by reorder.plan_rebuilds —
+     * the first time a batch finds the graph clean again.
+     */
+    std::shared_ptr<const ReorderPlan>
+    resolve_reorder_plan(const GraphContext &graph);
     void hand_to_workers(Batch batch);
     void drain_queue_into_batcher(int64_t now_us);
     void record_completion(double latency_ms);

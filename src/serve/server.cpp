@@ -8,6 +8,8 @@
 #include <sstream>
 #include <utility>
 
+#include "mps/core/fusion.h"
+#include "mps/core/locality.h"
 #include "mps/core/microkernel.h"
 #include "mps/core/policy.h"
 #include "mps/core/spmm.h"
@@ -125,6 +127,7 @@ Server::register_graph(CsrMatrix adjacency, std::vector<GcnLayer> layers)
     // The permutation is paid once here, at registration: every batch
     // against this graph then traverses the row-permuted matrix and
     // scatters outputs back through the plan's inverse permutation.
+    ctx->reorder_kind = config_.reorder;
     if (config_.reorder != ReorderKind::kNone)
         ctx->reorder = cache_->get_or_build_reorder(ctx->adjacency(),
                                                     config_.reorder);
@@ -158,15 +161,23 @@ Server::update_graph(uint64_t graph_id, const GraphDelta &delta)
     auto ctx = std::make_shared<GraphContext>();
     ctx->dynamic = old_ctx->dynamic; // shares the base, copies overlay
     ctx->layers = old_ctx->layers;
+    ctx->reorder_kind = old_ctx->reorder_kind;
     ctx->update_seq = old_ctx->update_seq + 1;
-    if (old_ctx->reorder != nullptr) {
-        // Repairing schedules across a row re-permutation is a rebuild
-        // by another name (every row id changes), so the first update
-        // retires the plan; execution continues in natural row order.
-        inform("graph " + std::to_string(graph_id) +
-               ": dropping locality reorder plan on first update");
-        if (metrics.enabled())
-            metrics.counter_add("serve.reorder_dropped");
+    {
+        std::lock_guard<std::mutex> plan_lk(old_ctx->reorder_mutex);
+        if (old_ctx->reorder != nullptr) {
+            // Repairing schedules across a row re-permutation is a
+            // rebuild by another name (every row id changes), so an
+            // update retires the plan. The successor starts without
+            // one; the next batch that sees a clean overlay rebuilds
+            // it lazily (resolve_reorder_plan) instead of this path
+            // paying for a permutation the delta may invalidate again.
+            inform("graph " + std::to_string(graph_id) +
+                   ": retiring locality reorder plan (lazily rebuilt "
+                   "after the overlay settles)");
+            if (metrics.enabled())
+                metrics.counter_add("serve.reorder_dropped");
+        }
     }
     ctx->dynamic.apply(delta);
 
@@ -493,6 +504,27 @@ Server::dispatcher_loop()
     batches_cv_.notify_all();
 }
 
+std::shared_ptr<const ReorderPlan>
+Server::resolve_reorder_plan(const GraphContext &graph)
+{
+    if (graph.reorder_kind == ReorderKind::kNone)
+        return nullptr;
+    std::lock_guard<std::mutex> lk(graph.reorder_mutex);
+    if (graph.reorder == nullptr && graph.dynamic.num_dirty_rows() == 0) {
+        // Lazy rebuild: the plan retired by update_graph() comes back
+        // the first time a batch finds the overlay clean. While dirty
+        // the graph keeps executing in natural row order — the delta
+        // correction pass addresses base row ids and must never
+        // coexist with a scatter map.
+        graph.reorder = cache_->get_or_build_reorder(graph.adjacency(),
+                                                     graph.reorder_kind);
+        auto &metrics = MetricsRegistry::global();
+        if (metrics.enabled())
+            metrics.counter_add("reorder.plan_rebuilds");
+    }
+    return graph.reorder;
+}
+
 void
 Server::execute_batch(Batch batch, WorkStealPool &pool)
 {
@@ -526,11 +558,14 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
     // the row-permuted matrix and scatters output rows back through
     // the inverse permutation, so everything before and after the
     // aggregation stays in the client's node order. A dynamic graph
-    // retires its plan on the first update (see update_graph), so the
-    // correction pass below never coexists with a scatter map.
-    const CsrMatrix &exec = graph.reorder ? graph.reorder->matrix : a;
+    // retires its plan on update and resolve_reorder_plan() rebuilds
+    // it lazily once clean, so the correction pass below never
+    // coexists with a scatter map.
+    std::shared_ptr<const ReorderPlan> reorder =
+        resolve_reorder_plan(graph);
+    const CsrMatrix &exec = reorder ? reorder->matrix : a;
     const index_t *scatter =
-        graph.reorder ? graph.reorder->inverse.data() : nullptr;
+        reorder ? reorder->inverse.data() : nullptr;
     const bool has_delta = dyn.num_dirty_rows() > 0;
     const index_t n = a.rows();
     const int k = static_cast<int>(live.size());
@@ -568,58 +603,140 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
                      feats.row(r), f0);
     }
 
+    const bool fused = fusion_enabled();
     for (const GcnLayer &layer : *graph.layers) {
         const index_t h = layer.out_features();
-
-        // Combination: (X_1 W; ...; X_k W) = tall X * W, one GEMM.
-        DenseMatrix tall_xw(static_cast<index_t>(k) * n, h);
-        dense_gemm(tall, layer.weights(), tall_xw, pool);
+        const DenseMatrix &w = layer.weights();
 
         if (k == 1) {
             DenseMatrix out(n, h);
             auto sched = cache_->get_or_build_with_cost(
                 exec, serve_cost(exec, h, pool), 0);
-            SpmmLocality loc = default_spmm_locality(exec.cols(), h);
-            loc.row_scatter = scatter;
-            mergepath_spmm_parallel(exec, tall_xw, out, *sched, pool,
-                                    loc);
-            // Overlay correction: O(delta * h) on top of the
-            // schedule-stable base traversal.
-            if (has_delta)
-                delta_correction_pass(dyn, tall_xw, out, pool, loc);
-            apply_activation(out, layer.activation());
+            if (fused) {
+                // Fused: the combination GEMM streams XW panels
+                // straight into the traversal — tall_xw is never
+                // materialized. With a clean overlay the activation
+                // folds into the commit sweep; with a dirty one it
+                // must wait for the per-panel correction pass (which
+                // needs the raw, pre-activation sums).
+                SpmmLocality loc =
+                    default_fused_locality(exec.cols(), h);
+                loc.row_scatter = scatter;
+                FusedLayerPlan fplan(exec, h, sched, loc);
+                const PanelEpilogue epi =
+                    has_delta ? nullptr
+                              : activation_epilogue(layer.activation());
+                PanelPostSweepFn post;
+                if (has_delta) {
+                    post = [&](index_t col0, index_t width,
+                               const PanelSource &src) {
+                        delta_correction_panel(dyn, *src.b,
+                                               src.col_begin, out, col0,
+                                               width, pool, scatter);
+                        apply_activation_panel(out, layer.activation(),
+                                               col0, width);
+                    };
+                }
+                fplan.run(gemm_panel_source(tall, w, pool), out, pool,
+                          epi, nullptr, post);
+            } else {
+                DenseMatrix tall_xw(n, h);
+                dense_gemm(tall, w, tall_xw, pool);
+                SpmmLocality loc = default_spmm_locality(exec.cols(), h);
+                loc.row_scatter = scatter;
+                mergepath_spmm_parallel(exec, tall_xw, out, *sched,
+                                        pool, loc);
+                // Overlay correction: O(delta * h) on top of the
+                // schedule-stable base traversal.
+                if (has_delta)
+                    delta_correction_pass(dyn, tall_xw, out, pool, loc);
+                apply_activation(out, layer.activation());
+            }
             tall = std::move(out);
             continue;
         }
 
-        // Aggregation: fold tall (k*n x h) into wide (n x k*h) so one
-        // SpMM at effective dimension k*h pays the sparse traversal of
-        // A once for the whole batch, then unfold for the next layer.
+        // Aggregation at effective dimension k*h: one SpMM pays the
+        // sparse traversal of A once for the whole batch. Wide column
+        // j*h + c holds request j's layer column c.
         const index_t wide_d = static_cast<index_t>(k) * h;
-        DenseMatrix wide_in(n, wide_d);
-        pool.parallel_for(
-            static_cast<uint64_t>(n),
-            [&](uint64_t r) {
-                const index_t row = static_cast<index_t>(r);
-                for (int j = 0; j < k; ++j)
-                    std::copy(
-                        tall_xw.row(static_cast<index_t>(j) * n + row),
-                        tall_xw.row(static_cast<index_t>(j) * n + row) +
-                            h,
-                        wide_in.row(row) + j * h);
-            },
-            64);
-
-        DenseMatrix wide_out(n, wide_d);
         auto sched = cache_->get_or_build_with_cost(
             exec, serve_cost(exec, wide_d, pool), 0);
-        SpmmLocality loc = default_spmm_locality(exec.cols(), wide_d);
-        loc.row_scatter = scatter;
-        mergepath_spmm_parallel(exec, wide_in, wide_out, *sched, pool,
-                                loc);
-        if (has_delta)
-            delta_correction_pass(dyn, wide_in, wide_out, pool, loc);
-        apply_activation(wide_out, layer.activation());
+        DenseMatrix wide_out(n, wide_d);
+        if (fused) {
+            // Fused: each wide panel is produced on demand straight
+            // from the tall features — a panel spanning several
+            // requests' column blocks is assembled with one
+            // row-blocked GEMM per overlapping request. Neither the
+            // tall XW (k*n x h) nor the folded wide input (n x k*h)
+            // is ever materialized.
+            SpmmLocality loc =
+                default_fused_locality(exec.cols(), wide_d);
+            loc.row_scatter = scatter;
+            FusedLayerPlan fplan(exec, wide_d, sched, loc);
+            auto buf = std::make_shared<DenseMatrix>();
+            const PanelSourceFn src = [&, buf](index_t col0,
+                                               index_t width) {
+                if (buf->rows() != n || buf->cols() < width)
+                    *buf = DenseMatrix(n, width);
+                index_t off = 0;
+                while (off < width) {
+                    const index_t gcol = col0 + off;
+                    const index_t j = gcol / h;
+                    const index_t local = gcol % h;
+                    const index_t take =
+                        std::min(width - off, h - local);
+                    dense_gemm_panel(tall, j * n, w, local, take, *buf,
+                                     off, n, pool);
+                    off += take;
+                }
+                return PanelSource{buf.get(), 0};
+            };
+            const PanelEpilogue epi =
+                has_delta ? nullptr
+                          : activation_epilogue(layer.activation());
+            PanelPostSweepFn post;
+            if (has_delta) {
+                post = [&](index_t col0, index_t width,
+                           const PanelSource &psrc) {
+                    delta_correction_panel(dyn, *psrc.b, psrc.col_begin,
+                                           wide_out, col0, width, pool,
+                                           scatter);
+                    apply_activation_panel(wide_out, layer.activation(),
+                                           col0, width);
+                };
+            }
+            fplan.run(src, wide_out, pool, epi, nullptr, post);
+        } else {
+            // Combination: (X_1 W; ...; X_k W) = tall X * W, one GEMM,
+            // then fold tall (k*n x h) into wide (n x k*h).
+            DenseMatrix tall_xw(static_cast<index_t>(k) * n, h);
+            dense_gemm(tall, w, tall_xw, pool);
+            DenseMatrix wide_in(n, wide_d);
+            pool.parallel_for(
+                static_cast<uint64_t>(n),
+                [&](uint64_t r) {
+                    const index_t row = static_cast<index_t>(r);
+                    for (int j = 0; j < k; ++j)
+                        std::copy(
+                            tall_xw.row(static_cast<index_t>(j) * n +
+                                        row),
+                            tall_xw.row(static_cast<index_t>(j) * n +
+                                        row) +
+                                h,
+                            wide_in.row(row) + j * h);
+                },
+                64);
+
+            SpmmLocality loc =
+                default_spmm_locality(exec.cols(), wide_d);
+            loc.row_scatter = scatter;
+            mergepath_spmm_parallel(exec, wide_in, wide_out, *sched,
+                                    pool, loc);
+            if (has_delta)
+                delta_correction_pass(dyn, wide_in, wide_out, pool, loc);
+            apply_activation(wide_out, layer.activation());
+        }
 
         tall = DenseMatrix(static_cast<index_t>(k) * n, h);
         pool.parallel_for(

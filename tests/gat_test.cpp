@@ -152,6 +152,38 @@ TEST(GatLayer, AttentionMatrixExposedAndStochastic)
     }
 }
 
+TEST(GatLayer, AttentionRetentionOptOut)
+{
+    CsrMatrix a = erdos_renyi_graph(40, 200, 9);
+    Pcg32 rng(13);
+    DenseMatrix h(a.rows(), 5);
+    h.fill_random(rng);
+    DenseMatrix w(5, 3);
+    w.fill_random(rng);
+    GatLayer layer(w, {0.5f, -0.2f, 0.1f}, {0.3f, 0.3f, -0.4f}, 0.2f,
+                   Activation::kRelu);
+    WorkStealPool pool(2);
+    MergePathSchedule sched = MergePathSchedule::build(a, 8);
+    DenseMatrix retained(a.rows(), 3);
+
+    // Default: retained for inspection, releasable on demand.
+    EXPECT_TRUE(layer.retain_attention());
+    layer.forward(a, h, sched, retained, pool);
+    EXPECT_EQ(layer.last_attention().nnz(), a.nnz());
+    layer.release_attention();
+    EXPECT_EQ(layer.last_attention().nnz(), 0);
+    layer.release_attention(); // idempotent
+    EXPECT_EQ(layer.last_attention().nnz(), 0);
+
+    // Opted out (the serving setting): forward keeps nothing, and the
+    // output is unchanged.
+    layer.set_retain_attention(false);
+    DenseMatrix unretained(a.rows(), 3);
+    layer.forward(a, h, sched, unretained, pool);
+    EXPECT_EQ(layer.last_attention().nnz(), 0);
+    EXPECT_DOUBLE_EQ(unretained.max_abs_diff(retained), 0.0);
+}
+
 TEST(GatLayerDeathTest, BadAttentionVectorLength)
 {
     DenseMatrix w(4, 3);

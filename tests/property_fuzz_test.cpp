@@ -11,8 +11,11 @@
 #include <iterator>
 #include <numeric>
 
+#include "mps/core/fusion.h"
 #include "mps/core/spmm.h"
 #include "mps/core/spmv.h"
+#include "mps/gcn/activation.h"
+#include "mps/gcn/gemm.h"
 #include "mps/sparse/delta_csr.h"
 #include "mps/sparse/reorder.h"
 #include "mps/sparse/spgemm.h"
@@ -374,6 +377,59 @@ TEST_P(FuzzTest, DynamicSpmmMatchesMaterializedCsr)
         EXPECT_EQ(merged.split_rows, full.split_rows);
         EXPECT_EQ(merged.atomic_nnz, full.atomic_nnz);
         EXPECT_EQ(merged.plain_nnz, full.plain_nnz);
+    }
+}
+
+/**
+ * Fused-vs-unfused differential fuzz: random strict graphs, random
+ * panel widths (including misaligned ones), random thread counts.
+ * Integer-valued operands make every partial sum exact, so panel
+ * splits and atomic commit order cannot change the result — the fused
+ * pipeline must be BIT-identical to dense_gemm -> SpMM -> activation.
+ */
+TEST_P(FuzzTest, FusedForwardMatchesUnfused)
+{
+    Pcg32 rng(static_cast<uint64_t>(GetParam()) * 2017 + 29);
+    WorkStealPool pool(3);
+    for (int iter = 0; iter < 6; ++iter) {
+        CsrMatrix a = random_strict_csr(rng);
+        index_t f = 1 + static_cast<index_t>(rng.next_below(24));
+        index_t dim = fuzz_dim(rng);
+        DenseMatrix x(a.cols(), f), w(f, dim);
+        fill_integer_dense(x, rng);
+        fill_integer_dense(w, rng);
+
+        DenseMatrix xw(a.cols(), dim);
+        dense_gemm(x, w, xw, pool);
+        index_t threads = 1 + static_cast<index_t>(rng.next_below(60));
+        MergePathSchedule sched = MergePathSchedule::build(a, threads);
+        DenseMatrix expect(a.rows(), dim);
+        mergepath_spmm_parallel(a, xw, expect, sched, pool);
+        apply_activation(expect, Activation::kRelu);
+
+        SpmmLocality loc;
+        loc.tile_d = 1 + static_cast<index_t>(rng.next_below(
+                             static_cast<uint32_t>(dim) + 4));
+        FusedLayerPlan plan(a, dim, borrow_schedule(sched), loc);
+        DenseMatrix got(a.rows(), dim);
+        plan.run(gemm_panel_source(x, w, pool), got, pool,
+                 activation_epilogue(Activation::kRelu));
+        expect_bitwise_equal(got, expect, GetParam(), iter,
+                             "fused forward");
+
+        // Streaming mode re-derives the same panels.
+        DenseMatrix streamed(a.rows(), dim);
+        streamed.fill(-1.0f);
+        plan.run_streaming(
+            gemm_panel_source(x, w, pool),
+            [&](index_t col0, index_t width, const DenseMatrix &hp) {
+                for (index_t r = 0; r < a.rows(); ++r)
+                    for (index_t c = 0; c < width; ++c)
+                        streamed(r, col0 + c) = hp(r, c);
+            },
+            pool, activation_epilogue(Activation::kRelu));
+        expect_bitwise_equal(streamed, expect, GetParam(), iter,
+                             "fused streaming");
     }
 }
 

@@ -10,6 +10,9 @@
 # A no-tile stage reruns the release SpMM/locality tests with the
 # cache-locality layer disabled (MPS_TILE_D=inf MPS_PREFETCH=0),
 # proving column tiling and software prefetch are behavior-neutral.
+# A no-fuse stage reruns the GCN/fusion-routed tests with MPS_FUSE=0,
+# proving the fused panel-streaming pipeline is opt-out clean: the
+# classic GEMM -> XW -> SpMM execution still passes everything.
 # A churn stage reruns the dynamic-graph tests (delta-CSR overlay,
 # schedule repair, concurrent update_graph vs inference) under the
 # TSan build to shake out update/serve races.
@@ -47,11 +50,17 @@ echo "==> build build-tsan (concurrency tests only)"
 cmake --build "$root/build-tsan" -j "$jobs" --target \
     mps_serve_queue_test mps_serve_test mps_schedule_cache_test \
     mps_metrics_test mps_work_steal_pool_test mps_telemetry_test \
-    mps_dynamic_graph_test
+    mps_dynamic_graph_test mps_fusion_test fusion
 echo "==> ctest build-tsan"
 (cd "$root/build-tsan" && ctest --output-on-failure -j "$jobs" \
-    -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics|Histogram|Trace|Telemetry|WorkStealPool' \
+    -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics|Histogram|Trace|Telemetry|WorkStealPool|Fusion' \
     "$@")
+
+echo "==> fusion: panel-streaming smoke under TSan"
+# The fused pipeline fires its rank-update epilogue from worker
+# threads at plain commits; the smoke bench drives that multi-thread
+# path end to end so TSan can see any row-ownership violation.
+"$root/build-tsan/bench/fusion" --smoke > /dev/null
 
 echo "==> churn: dynamic-graph update/inference races under TSan"
 (cd "$root/build-tsan" && ctest --output-on-failure -j "$jobs" \
@@ -73,6 +82,11 @@ echo "==> ctest build-notile (MPS_TILE_D=inf MPS_PREFETCH=0)"
 (cd "$root/build-release" && \
     MPS_TILE_D=inf MPS_PREFETCH=0 ctest --output-on-failure -j "$jobs" \
     -R 'Spmm|Locality|Tiled|Reordered|Adaptive|Gcn|Serve' "$@")
+
+echo "==> ctest build-nofuse (MPS_FUSE=0)"
+(cd "$root/build-release" && \
+    MPS_FUSE=0 ctest --output-on-failure -j "$jobs" \
+    -R 'Gcn|Fusion|Train|Sage|Gin|Gat|Serve' "$@")
 
 echo "==> telemetry: live /metrics scrape during serve-bench"
 tool="$root/build-release/tools/mps_tool"

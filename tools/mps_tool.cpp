@@ -9,7 +9,8 @@
  *   mps_tool spmm     --in=graph.bin --kernel=mergepath --dim=16
  *                     [--check] [--metrics-out=m.json] [--trace-out=t.json]
  *   mps_tool profile  --dataset=Cora,Pubmed --kernel=mergepath,row_split
- *                     --dim=16 [--out=report.json] [--trace-out=t.json]
+ *                     --dim=16 [--fuse=on|off|both] [--out=report.json]
+ *                     [--trace-out=t.json]
  *   mps_tool reorder  --in=graph.bin --method=bfs --out=relabeled.bin
  *   mps_tool serve-bench --clients=1,2,4,8 --max-batch=1,8
  *                     [--out=report.json] [--telemetry-port=0]
@@ -35,8 +36,12 @@
 #include <thread>
 #include <vector>
 
+#include "mps/core/fusion.h"
+#include "mps/core/locality.h"
 #include "mps/core/policy.h"
 #include "mps/core/schedule.h"
+#include "mps/gcn/activation.h"
+#include "mps/gcn/gemm.h"
 #include "mps/core/schedule_cache.h"
 #include "mps/core/serialize.h"
 #include "mps/core/spmm.h"
@@ -324,6 +329,140 @@ cmd_spmm(int argc, char **argv)
 }
 
 /**
+ * Per-layer fusion study for `profile --fuse`: a 2-layer GCN forward
+ * (f = min(32, dim) -> dim ReLU -> dim identity) on @p m, each layer
+ * timed as it actually ships — the unfused side allocating and
+ * round-tripping its XW temporary per call (MPS_FUSE=0), the fused
+ * side building its FusedLayerPlan and streaming panels
+ * (mps/core/fusion.h). @p mode selects which sides run: "off" times
+ * unfused only, "on" fused only, "both" both plus the speedup column.
+ * Appends one JSON object per layer to @p w (inside an open array) and
+ * prints one human-readable table row per layer to stderr. Traffic
+ * columns are the bench/fusion n x d temporary-stream proxy.
+ */
+void
+profile_fusion(const std::string &input_name, const CsrMatrix &m,
+               index_t dim, int repeat, const std::string &mode,
+               WorkStealPool &pool, JsonWriter &w)
+{
+    if (m.rows() != m.cols()) {
+        warn("--fuse skips non-square input " + input_name +
+             " (a GCN layer needs an adjacency matrix)");
+        return;
+    }
+    const bool time_unfused = mode != "on";
+    const bool time_fused = mode != "off";
+    const index_t n = m.rows();
+    const index_t f = std::min<index_t>(32, dim);
+
+    Pcg32 rng(3);
+    DenseMatrix x(n, f), w1(f, dim), w2(dim, dim);
+    x.fill_random(rng);
+    w1.fill_random(rng);
+    w2.fill_random(rng);
+
+    MergePathSchedule sched = MergePathSchedule::build(
+        m, static_cast<index_t>(pool.size()) * 16);
+    auto shared = borrow_schedule(sched);
+    SpmmLocality loc;
+    loc.tile_d = auto_tile_d(m.cols(), dim);
+    loc.prefetch = auto_prefetch_distance(dim);
+
+    // Layer-2 input, produced once outside the timed loops.
+    DenseMatrix h1(n, dim);
+    {
+        DenseMatrix xw(n, dim);
+        dense_gemm(x, w1, xw, pool);
+        mergepath_spmm_parallel(m, xw, h1, sched, pool, loc);
+        apply_activation(h1, Activation::kRelu);
+    }
+
+    auto avg_ms = [&](auto &&fn) {
+        fn(); // warm-up
+        Timer t;
+        for (int i = 0; i < repeat; ++i)
+            fn();
+        return t.elapsed_ms() / repeat;
+    };
+
+    for (int layer = 1; layer <= 2; ++layer) {
+        const DenseMatrix &in = layer == 1 ? x : h1;
+        const DenseMatrix &wt = layer == 1 ? w1 : w2;
+        const Activation act =
+            layer == 1 ? Activation::kRelu : Activation::kNone;
+
+        double unfused_ms = 0.0, fused_ms = 0.0;
+        index_t run_tile = dim, stream_tile = dim;
+        if (time_unfused) {
+            unfused_ms = avg_ms([&] {
+                DenseMatrix xw(n, dim), out(n, dim);
+                dense_gemm(in, wt, xw, pool);
+                mergepath_spmm_parallel(m, xw, out, sched, pool, loc);
+                apply_activation(out, act);
+            });
+        }
+        if (time_fused) {
+            fused_ms = avg_ms([&] {
+                FusedLayerPlan plan(m, dim, shared,
+                                    default_fused_locality(m.cols(), dim));
+                run_tile = plan.run_tile();
+                stream_tile = plan.tile();
+                DenseMatrix out(n, dim);
+                plan.run(gemm_panel_source(in, wt, pool), out, pool,
+                         activation_epilogue(act));
+            });
+        }
+
+        // bench/fusion traffic proxy: one trip = n * dim * 4 bytes.
+        const double trip =
+            static_cast<double>(n) * dim * sizeof(value_t) / 1e9;
+        const double unfused_gb =
+            (5.0 + (act != Activation::kNone ? 2.0 : 0.0)) * trip;
+        const double fused_gb = (run_tile >= dim ? 3.0 : 0.0) * trip +
+                                2.0 * trip;
+
+        w.begin_object();
+        w.key("input").value(input_name);
+        w.key("layer").value(int64_t{layer});
+        w.key("dim").value(static_cast<int64_t>(dim));
+        w.key("fused_tile").value(static_cast<int64_t>(stream_tile));
+        w.key("fused_run_tile").value(static_cast<int64_t>(run_tile));
+        if (time_unfused) {
+            w.key("unfused_ms").value(unfused_ms);
+            w.key("unfused_traffic_gb").value(unfused_gb);
+        }
+        if (time_fused) {
+            w.key("fused_ms").value(fused_ms);
+            w.key("fused_traffic_gb").value(fused_gb);
+        }
+        if (time_unfused && time_fused && fused_ms > 0.0)
+            w.key("speedup").value(unfused_ms / fused_ms);
+        w.end_object();
+
+        std::string row = "  " + input_name + "  layer " +
+                          std::to_string(layer) + "  d=" +
+                          std::to_string(dim);
+        char buf[160];
+        if (time_unfused) {
+            std::snprintf(buf, sizeof(buf), "  unfused %8.3f ms %6.3f GB",
+                          unfused_ms, unfused_gb);
+            row += buf;
+        }
+        if (time_fused) {
+            std::snprintf(buf, sizeof(buf), "  fused %8.3f ms %6.3f GB",
+                          fused_ms, fused_gb);
+            row += buf;
+        }
+        if (time_unfused && time_fused && fused_ms > 0.0) {
+            std::snprintf(buf, sizeof(buf), "  speedup %5.2fx",
+                          unfused_ms / fused_ms);
+            row += buf;
+        }
+        std::fprintf(stderr, "%s\n", row.c_str());
+    }
+}
+
+/**
  * Profile a kernel x dataset sweep into one machine-readable JSON
  * report (the format the BENCH_*.json trajectory entries consume).
  */
@@ -343,8 +482,13 @@ cmd_profile(int argc, char **argv)
     flags.add_string("out", "", "report path (default: stdout)");
     flags.add_string("trace-out", "",
                      "also record spans and write Chrome trace JSON");
+    flags.add_string("fuse", "",
+                     "per-layer fused-vs-unfused study: on | off | both");
     flags.parse(argc, argv);
 
+    const std::string &fuse = flags.get_string("fuse");
+    if (!fuse.empty() && fuse != "on" && fuse != "off" && fuse != "both")
+        fatal("--fuse wants on, off or both (got '" + fuse + "')");
     const index_t dim = static_cast<index_t>(flags.get_int("dim"));
     const int repeat =
         std::max(1, static_cast<int>(flags.get_int("repeat")));
@@ -444,7 +588,18 @@ cmd_profile(int argc, char **argv)
             w.end_object();
         }
     }
-    w.end_array().end_object();
+    w.end_array();
+
+    if (!fuse.empty()) {
+        std::fprintf(stderr,
+                     "fusion study (dim=%lld, repeat=%d, mode=%s):\n",
+                     static_cast<long long>(dim), repeat, fuse.c_str());
+        w.key("fusion").begin_array();
+        for (const auto &[input_name, m] : inputs)
+            profile_fusion(input_name, m, dim, repeat, fuse, pool, w);
+        w.end_array();
+    }
+    w.end_object();
 
     const std::string &out = flags.get_string("out");
     if (out.empty()) {
