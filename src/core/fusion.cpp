@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "mps/core/hybrid.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
 #include "mps/util/timer.h"
@@ -39,13 +40,9 @@ fusion_enabled()
     return on;
 }
 
-FusedLayerPlan::FusedLayerPlan(const CsrMatrix &a, index_t dim,
-                               std::shared_ptr<const MergePathSchedule> sched,
-                               SpmmLocality loc)
-    : a_(&a), dim_(dim), sched_(std::move(sched)), loc_(loc)
+void
+FusedLayerPlan::derive_tiles()
 {
-    MPS_CHECK(sched_ != nullptr, "fused plan needs a schedule");
-    MPS_CHECK(dim_ > 0, "fused plan needs a positive dimension");
     tile_ = loc_.tiled(dim_) ? loc_.tile_d : dim_;
     // run() materializes into a full-width C. When the auto tuner
     // picked the width and the whole n x dim operand is LLC-resident,
@@ -58,7 +55,7 @@ FusedLayerPlan::FusedLayerPlan(const CsrMatrix &a, index_t dim,
     run_loc_ = loc_;
     if (loc_.auto_width && tile_ < dim_) {
         const int64_t padded = (dim_ + 15) / 16 * 16;
-        const int64_t operand_bytes = static_cast<int64_t>(a.cols()) *
+        const int64_t operand_bytes = static_cast<int64_t>(a_->cols()) *
                                       padded *
                                       static_cast<int64_t>(sizeof(value_t));
         if (operand_bytes <= detected_llc_bytes()) {
@@ -67,6 +64,16 @@ FusedLayerPlan::FusedLayerPlan(const CsrMatrix &a, index_t dim,
             run_loc_.prefetch = auto_prefetch_distance(dim_);
         }
     }
+}
+
+FusedLayerPlan::FusedLayerPlan(const CsrMatrix &a, index_t dim,
+                               std::shared_ptr<const MergePathSchedule> sched,
+                               SpmmLocality loc)
+    : a_(&a), dim_(dim), sched_(std::move(sched)), loc_(loc)
+{
+    MPS_CHECK(sched_ != nullptr, "fused plan needs a schedule");
+    MPS_CHECK(dim_ > 0, "fused plan needs a positive dimension");
+    derive_tiles();
     // Split rows receive atomic commits from every contributing
     // thread; the inline epilogue must skip them (the value is not
     // final at any single commit), so resolve the schedule once and
@@ -84,6 +91,58 @@ FusedLayerPlan::FusedLayerPlan(const CsrMatrix &a, index_t dim,
     shared_rows_.erase(
         std::unique(shared_rows_.begin(), shared_rows_.end()),
         shared_rows_.end());
+}
+
+FusedLayerPlan::FusedLayerPlan(const CsrMatrix &a, index_t dim,
+                               std::shared_ptr<const HybridSchedule> hybrid,
+                               SpmmLocality loc)
+    : a_(&a), dim_(dim), hybrid_(std::move(hybrid)), loc_(loc)
+{
+    MPS_CHECK(hybrid_ != nullptr, "fused plan needs a schedule");
+    MPS_CHECK(dim_ > 0, "fused plan needs a positive dimension");
+    derive_tiles();
+    // Only tail rows can be split across executors; dense-band rows
+    // are owned by exactly one dense chunk and epilogue inline. Map
+    // the tail schedule's atomic rows back to base ids for the
+    // post-barrier pass.
+    if (hybrid_->has_tail()) {
+        const CsrMatrix &tm =
+            hybrid_->tail_is_base() ? a : hybrid_->tail();
+        const MergePathSchedule &ts = hybrid_->tail_schedule();
+        const auto to_base = [&](index_t trow) {
+            return hybrid_->tail_is_base() ? trow
+                                           : hybrid_->tail_rows()[trow];
+        };
+        for (index_t t = 0; t < ts.num_threads(); ++t) {
+            ResolvedWork w = ts.resolve(t, tm);
+            if (w.has_head() && w.head_atomic)
+                shared_rows_.push_back(to_base(w.head_row));
+            if (w.has_tail() && w.tail_atomic)
+                shared_rows_.push_back(to_base(w.tail_row));
+        }
+        std::sort(shared_rows_.begin(), shared_rows_.end());
+        shared_rows_.erase(
+            std::unique(shared_rows_.begin(), shared_rows_.end()),
+            shared_rows_.end());
+    }
+}
+
+void
+FusedLayerPlan::sweep_panel(const PanelSource &src, DenseMatrix &c,
+                            index_t c_col0, index_t width,
+                            WorkStealPool &pool, const SpmmLocality &loc,
+                            PanelEpilogue epi, const void *epi_ctx,
+                            bool count_census)
+{
+    if (hybrid_ != nullptr) {
+        hybrid_spmm_panel(*a_, *hybrid_, *src.b, src.col_begin, c,
+                          c_col0, width, pool, loc, epi, epi_ctx,
+                          count_census);
+    } else {
+        mergepath_spmm_panel(*a_, *src.b, src.col_begin, c, c_col0,
+                             width, *sched_, pool, loc, epi, epi_ctx,
+                             count_census);
+    }
 }
 
 void
@@ -115,9 +174,8 @@ FusedLayerPlan::run(const PanelSourceFn &source, DenseMatrix &c,
         const index_t width = std::min(run_tile_, dim_ - col);
         const PanelSource src = source(col, width);
         MPS_CHECK(src.b != nullptr, "panel source returned no operand");
-        mergepath_spmm_panel(*a_, *src.b, src.col_begin, c, col, width,
-                             *sched_, pool, run_loc_, epi, epi_ctx,
-                             /*count_census=*/col == 0);
+        sweep_panel(src, c, col, width, pool, run_loc_, epi, epi_ctx,
+                    /*count_census=*/col == 0);
         apply_shared_epilogue(c, col, width, epi, epi_ctx);
         if (post_sweep)
             post_sweep(col, width, src);
@@ -148,9 +206,8 @@ FusedLayerPlan::run_streaming(const PanelSourceFn &source,
         const PanelSource src = source(col, width);
         MPS_CHECK(src.b != nullptr, "panel source returned no operand");
         out_panel_.fill(0.0f);
-        mergepath_spmm_panel(*a_, *src.b, src.col_begin, out_panel_,
-                             /*c_col0=*/0, width, *sched_, pool, loc_, epi,
-                             epi_ctx, /*count_census=*/col == 0);
+        sweep_panel(src, out_panel_, /*c_col0=*/0, width, pool, loc_,
+                    epi, epi_ctx, /*count_census=*/col == 0);
         apply_shared_epilogue(out_panel_, /*c_col0=*/0, width, epi,
                               epi_ctx);
         consume(col, width, out_panel_);

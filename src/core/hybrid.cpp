@@ -1,0 +1,757 @@
+#include "mps/core/hybrid.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "mps/core/microkernel.h"
+#include "mps/util/log.h"
+#include "mps/util/metrics.h"
+#include "mps/util/timer.h"
+#include "mps/util/trace.h"
+#include "mps/util/work_steal_pool.h"
+
+namespace mps {
+
+namespace {
+
+bool
+parse_hybrid_env()
+{
+    const char *v = std::getenv("MPS_HYBRID");
+    if (v == nullptr)
+        return true;
+    std::string s(v);
+    if (s == "0" || s == "off" || s == "false" || s == "no")
+        return false;
+    if (s == "1" || s == "on" || s == "true" || s == "yes" || s.empty())
+        return true;
+    warn("unrecognized MPS_HYBRID value '" + s +
+         "' (want 0/1/on/off); hybrid dispatch stays on");
+    return true;
+}
+
+int64_t
+env_int64(const char *name, int64_t fallback, int64_t lo)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    long long parsed = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0' || parsed < lo) {
+        warn(detail::format_parts("ignoring invalid ", name, "=", v));
+        return fallback;
+    }
+    return static_cast<int64_t>(parsed);
+}
+
+double
+env_double(const char *name, double fallback, double lo)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0' || parsed < lo) {
+        warn(detail::format_parts("ignoring invalid ", name, "=", v));
+        return fallback;
+    }
+    return parsed;
+}
+
+} // namespace
+
+bool
+hybrid_enabled()
+{
+    static const bool on = parse_hybrid_env();
+    return on;
+}
+
+HybridParams
+resolve_hybrid_params()
+{
+    HybridParams p;
+    p.min_degree = static_cast<index_t>(
+        env_int64("MPS_HYBRID_MIN_DEGREE", p.min_degree, 1));
+    p.span_ratio = env_double("MPS_HYBRID_SPAN_RATIO", p.span_ratio, 1.0);
+    p.min_span = static_cast<index_t>(
+        env_int64("MPS_HYBRID_MIN_SPAN", p.min_span, 1));
+    p.long_degree = static_cast<index_t>(
+        env_int64("MPS_HYBRID_LONG_DEGREE", p.long_degree, 0));
+    p.min_band_nnz = env_int64("MPS_HYBRID_MIN_BAND_NNZ", p.min_band_nnz, 1);
+    return p;
+}
+
+RowClassPartition
+classify_rows(const CsrMatrix &a, const HybridParams &p, index_t cost)
+{
+    RowClassPartition part;
+    if (!hybrid_enabled())
+        return part; // everything stays on the merge path
+    const index_t long_deg =
+        p.long_degree > 0 ? p.long_degree
+                          : std::max<index_t>(cost, 32);
+    const index_t *cols = a.col_idx().data();
+    const auto dense_class = [&](index_t r) {
+        const index_t begin = a.row_begin(r);
+        const index_t end = a.row_end(r);
+        const index_t deg = end - begin;
+        if (deg == 0)
+            return false; // empty rows cost the tail nothing
+        // Long rows would span merge-path shares and pay one atomic
+        // vector commit per contributing thread; the row-GEMM phase
+        // processes them in one owned pass.
+        if (deg >= long_deg)
+            return true;
+        if (deg < p.min_degree)
+            return false;
+        // Clustered rows: column span within the per-row budget. A
+        // scan (not col[end-1] - col[begin]) because CSR inputs are not
+        // required to keep rows sorted; the scan only runs on rows that
+        // already passed the degree gates.
+        index_t lo = cols[begin], hi = cols[begin];
+        for (index_t k = begin + 1; k < end; ++k) {
+            lo = std::min(lo, cols[k]);
+            hi = std::max(hi, cols[k]);
+        }
+        const double span = static_cast<double>(hi - lo + 1);
+        const double budget = std::max(p.span_ratio *
+                                           static_cast<double>(deg),
+                                       static_cast<double>(p.min_span));
+        return span <= budget;
+    };
+
+    index_t r = 0;
+    while (r < a.rows()) {
+        if (!dense_class(r)) {
+            ++r;
+            continue;
+        }
+        index_t end = r + 1;
+        while (end < a.rows() && dense_class(end))
+            ++end;
+        const int64_t run_nnz = static_cast<int64_t>(a.row_begin(end)) -
+                                a.row_begin(r);
+        // Runs too small to amortize a dispatch unit stay on the merge
+        // path, which aggregates short rows into shares for free.
+        if (run_nnz >= p.min_band_nnz) {
+            part.bands.push_back({r, end});
+            part.dense_rows += end - r;
+            part.dense_nnz += run_nnz;
+        }
+        r = end;
+    }
+    return part;
+}
+
+namespace {
+
+/**
+ * Cut the dense bands into row chunks of roughly chunk-target merge
+ * items so dense chunks and tail shares are comparable steal units. A
+ * single long row always forms at least one chunk (rows are the
+ * indivisible unit of the dense phase).
+ */
+std::vector<RowBand>
+build_dense_chunks(const CsrMatrix &a, const RowClassPartition &part,
+                   index_t cost)
+{
+    std::vector<RowBand> chunks;
+    const int64_t target =
+        std::max<int64_t>(static_cast<int64_t>(cost) * 4, 512);
+    for (const RowBand &band : part.bands) {
+        index_t begin = band.begin;
+        int64_t items = 0;
+        for (index_t r = band.begin; r < band.end; ++r) {
+            items += 1 + (a.row_end(r) - a.row_begin(r));
+            if (items >= target) {
+                chunks.push_back({begin, r + 1});
+                begin = r + 1;
+                items = 0;
+            }
+        }
+        if (begin < band.end)
+            chunks.push_back({begin, band.end});
+    }
+    return chunks;
+}
+
+/** Rows of @p a outside every band, in row order. */
+std::vector<index_t>
+collect_tail_rows(const CsrMatrix &a, const RowClassPartition &part)
+{
+    std::vector<index_t> tail_rows;
+    tail_rows.reserve(
+        static_cast<size_t>(a.rows() - part.dense_rows));
+    size_t band = 0;
+    for (index_t r = 0; r < a.rows(); ++r) {
+        while (band < part.bands.size() && part.bands[band].end <= r)
+            ++band;
+        if (band < part.bands.size() && part.bands[band].begin <= r &&
+            r < part.bands[band].end)
+            continue;
+        tail_rows.push_back(r);
+    }
+    return tail_rows;
+}
+
+/** Compacted copy of @p a restricted to @p tail_rows. */
+CsrMatrix
+compact_tail(const CsrMatrix &a, const std::vector<index_t> &tail_rows)
+{
+    std::vector<index_t> row_ptr(tail_rows.size() + 1, 0);
+    int64_t nnz = 0;
+    for (size_t i = 0; i < tail_rows.size(); ++i) {
+        nnz += a.row_end(tail_rows[i]) - a.row_begin(tail_rows[i]);
+        row_ptr[i + 1] = static_cast<index_t>(nnz);
+    }
+    std::vector<index_t> col_idx(static_cast<size_t>(nnz));
+    std::vector<value_t> values(static_cast<size_t>(nnz));
+    index_t out = 0;
+    for (index_t row : tail_rows) {
+        for (index_t k = a.row_begin(row); k < a.row_end(row); ++k) {
+            col_idx[static_cast<size_t>(out)] = a.col_idx()[k];
+            values[static_cast<size_t>(out)] = a.values()[k];
+            ++out;
+        }
+    }
+    return CsrMatrix(static_cast<index_t>(tail_rows.size()), a.cols(),
+                     std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
+}
+
+} // namespace
+
+HybridSchedule
+HybridSchedule::build(const CsrMatrix &a, index_t cost, index_t min_threads)
+{
+    return build(a, cost, min_threads, resolve_hybrid_params());
+}
+
+HybridSchedule
+HybridSchedule::build(const CsrMatrix &a, index_t cost, index_t min_threads,
+                      const HybridParams &params)
+{
+    MPS_CHECK(cost >= 1, "hybrid merge-path cost must be >= 1");
+    HybridSchedule hs;
+    hs.rows_ = a.rows();
+    hs.cols_ = a.cols();
+    hs.nnz_ = a.nnz();
+    hs.cost_ = cost;
+    hs.min_threads_ = min_threads;
+    hs.params_ = params;
+    hs.partition_ = classify_rows(a, params, cost);
+    hs.dense_chunks_ = build_dense_chunks(a, hs.partition_, cost);
+
+    if (!hs.partition_.has_bands()) {
+        // All-tail: traverse the base matrix directly, no copy.
+        hs.tail_is_base_ = true;
+        hs.tail_nnz_items_ = static_cast<int64_t>(a.rows()) + a.nnz();
+        hs.tail_sched_ =
+            MergePathSchedule::build_with_cost(a, cost, min_threads);
+    } else if (hs.partition_.all_dense(a.rows())) {
+        hs.tail_is_base_ = false;
+        hs.tail_nnz_items_ = 0;
+    } else {
+        hs.tail_rows_ = collect_tail_rows(a, hs.partition_);
+        hs.tail_ = compact_tail(a, hs.tail_rows_);
+        hs.tail_is_base_ = false;
+        hs.tail_nnz_items_ =
+            static_cast<int64_t>(hs.tail_.rows()) + hs.tail_.nnz();
+        hs.tail_sched_ = MergePathSchedule::build_with_cost(
+            hs.tail_, cost, min_threads);
+    }
+    return hs;
+}
+
+HybridSchedule
+repair_hybrid_schedule(const HybridSchedule &old_hs, const CsrMatrix &old_a,
+                       const CsrMatrix &new_a, index_t first_dirty_row)
+{
+    MPS_CHECK(new_a.rows() == old_hs.rows_,
+              "hybrid repair requires an unchanged row count");
+    MetricsRegistry &metrics = MetricsRegistry::global();
+
+    HybridSchedule hs;
+    hs.rows_ = new_a.rows();
+    hs.cols_ = new_a.cols();
+    hs.nnz_ = new_a.nnz();
+    hs.cost_ = old_hs.cost_;
+    hs.min_threads_ = old_hs.min_threads_;
+    hs.params_ = old_hs.params_;
+    // Reclassify with the schedule's own thresholds: rows before
+    // first_dirty_row are structurally unchanged, so their class (and
+    // thus the partition prefix) migrates verbatim; only the dirty
+    // suffix can change bands.
+    hs.partition_ = classify_rows(new_a, hs.params_, hs.cost_);
+    hs.dense_chunks_ = build_dense_chunks(new_a, hs.partition_, hs.cost_);
+
+    bool rebuilt_tail = false;
+    if (!hs.partition_.has_bands()) {
+        hs.tail_is_base_ = true;
+        hs.tail_nnz_items_ =
+            static_cast<int64_t>(new_a.rows()) + new_a.nnz();
+        if (old_hs.tail_is_base_ && old_hs.has_tail()) {
+            ScheduleRepair r = repair_schedule(old_hs.tail_sched_, old_a,
+                                               new_a, first_dirty_row);
+            rebuilt_tail = r.rebuilt;
+            hs.tail_sched_ = std::move(r.schedule);
+        } else {
+            rebuilt_tail = true;
+            hs.tail_sched_ = MergePathSchedule::build_with_cost(
+                new_a, hs.cost_, hs.min_threads_);
+        }
+    } else if (hs.partition_.all_dense(new_a.rows())) {
+        hs.tail_is_base_ = false;
+        hs.tail_nnz_items_ = 0;
+    } else {
+        hs.tail_rows_ = collect_tail_rows(new_a, hs.partition_);
+        hs.tail_ = compact_tail(new_a, hs.tail_rows_);
+        hs.tail_is_base_ = false;
+        hs.tail_nnz_items_ =
+            static_cast<int64_t>(hs.tail_.rows()) + hs.tail_.nnz();
+        // The tail schedule can be repaired instead of rebuilt exactly
+        // when the old tail exists over the same row count and the tail
+        // row SET is unchanged before the first dirty base row — then
+        // the tail matrices share an identical prefix and the
+        // repair_schedule() contract holds for the compacted pair.
+        const auto dirty_it =
+            std::lower_bound(hs.tail_rows_.begin(), hs.tail_rows_.end(),
+                             first_dirty_row);
+        const index_t dirty_tail = static_cast<index_t>(
+            dirty_it - hs.tail_rows_.begin());
+        const bool prefix_ok =
+            !old_hs.tail_is_base_ && old_hs.has_tail() &&
+            old_hs.tail_.rows() == hs.tail_.rows() &&
+            static_cast<index_t>(old_hs.tail_rows_.size()) >=
+                dirty_tail &&
+            std::equal(hs.tail_rows_.begin(), dirty_it,
+                       old_hs.tail_rows_.begin());
+        if (prefix_ok) {
+            ScheduleRepair r = repair_schedule(
+                old_hs.tail_sched_, old_hs.tail_, hs.tail_, dirty_tail);
+            rebuilt_tail = r.rebuilt;
+            hs.tail_sched_ = std::move(r.schedule);
+        } else {
+            rebuilt_tail = true;
+            hs.tail_sched_ = MergePathSchedule::build_with_cost(
+                hs.tail_, hs.cost_, hs.min_threads_);
+        }
+    }
+
+    if (metrics.enabled()) {
+        metrics.counter_add("hybrid.repairs");
+        if (rebuilt_tail)
+            metrics.counter_add("hybrid.repair_rebuilds");
+    }
+    return hs;
+}
+
+namespace {
+
+/**
+ * Per-executor phase accumulator: commit census (tail) + dense row
+ * counts + per-phase wall time. Cacheline-aligned, written only by the
+ * owning executor; the pool's completion barrier makes the final
+ * aggregation race-free.
+ */
+struct alignas(64) PhaseSlot
+{
+    int64_t tail_ns = 0;
+    int64_t dense_ns = 0;
+    int64_t atomics = 0;
+    int64_t plains = 0;
+    int64_t nnz = 0;
+    int64_t dense_rows = 0;
+    int64_t dense_nnz = 0;
+};
+
+/** One panel's immutable execution context for both phases. */
+struct HybridPanel
+{
+    const CsrMatrix *a = nullptr;
+    const HybridSchedule *hs = nullptr;
+    const DenseMatrix *b = nullptr;
+    DenseMatrix *c = nullptr;
+    index_t b_col = 0;
+    index_t c_col = 0;
+    index_t width = 0;
+    index_t prefetch = 0;
+    const index_t *scatter = nullptr;
+    PanelEpilogue epi = nullptr;
+    const void *epi_ctx = nullptr;
+    const RowKernels *rk = nullptr;
+
+    index_t out_row(index_t base_row) const {
+        return scatter != nullptr ? scatter[base_row] : base_row;
+    }
+};
+
+/** Accumulate nnz [begin, end) of @p m into @p acc (tail phase). */
+inline void
+tail_accumulate(const CsrMatrix &m, const HybridPanel &p, index_t nz_begin,
+                index_t nz_end, value_t *acc)
+{
+    const index_t *cols = m.col_idx().data();
+    const value_t *vals = m.values().data();
+    const index_t pf = p.prefetch;
+    const index_t pf_end = pf > 0 ? m.nnz() - pf : 0;
+    p.rk->zero(acc, p.width);
+    for (index_t k = nz_begin; k < nz_end; ++k) {
+        if (pf > 0 && k < pf_end) {
+            const value_t *next = p.b->row(cols[k + pf]) + p.b_col;
+            locality_prefetch(next);
+            if (p.width > 16)
+                locality_prefetch(next + 16);
+        }
+        p.rk->axpy(acc, vals[k], p.b->row(cols[k]) + p.b_col, p.width);
+    }
+}
+
+/** Commit @p acc to the base row behind tail-matrix row @p trow. */
+inline void
+tail_commit(const HybridPanel &p, const index_t *tail_rows, index_t trow,
+            const value_t *acc, bool atomic)
+{
+    const index_t base_row =
+        tail_rows != nullptr ? tail_rows[trow] : trow;
+    value_t *crow = p.c->row(p.out_row(base_row)) + p.c_col;
+    if (atomic) {
+        p.rk->commit_atomic(crow, acc, p.width);
+    } else {
+        p.rk->commit_plain(crow, acc, p.width);
+        // Plain commit == full row ownership, value final: the fused
+        // epilogue fires here with the BASE row id so structural
+        // epilogues index side inputs of the executed matrix, not the
+        // compacted tail.
+        if (p.epi != nullptr)
+            p.epi(crow, base_row, p.c_col, p.width, p.epi_ctx);
+    }
+}
+
+/** Execute tail share @p t (one merge-path thread of the tail). */
+void
+run_tail_share(const HybridPanel &p, index_t t, PhaseSlot *slot)
+{
+    const HybridSchedule &hs = *p.hs;
+    const CsrMatrix &tm = hs.tail_is_base() ? *p.a : hs.tail();
+    const index_t *tail_rows =
+        hs.tail_is_base() ? nullptr : hs.tail_rows().data();
+    value_t *acc = microkernel_scratch(p.width);
+    ResolvedWork w = hs.tail_schedule().resolve(t, tm);
+
+    if (w.has_head()) {
+        tail_accumulate(tm, p, w.head_begin, w.head_end, acc);
+        tail_commit(p, tail_rows, w.head_row, acc, w.head_atomic);
+    }
+    for (index_t row = w.first_complete_row; row < w.last_complete_row;
+         ++row) {
+        tail_accumulate(tm, p, tm.row_begin(row), tm.row_end(row), acc);
+        tail_commit(p, tail_rows, row, acc, /*atomic=*/false);
+    }
+    if (w.has_tail()) {
+        tail_accumulate(tm, p, w.tail_begin, w.tail_end, acc);
+        tail_commit(p, tail_rows, w.tail_row, acc, w.tail_atomic);
+    }
+
+    if (slot != nullptr) {
+        if (w.has_head()) {
+            (w.head_atomic ? slot->atomics : slot->plains) += 1;
+            slot->nnz += w.head_end - w.head_begin;
+        }
+        if (w.last_complete_row > w.first_complete_row) {
+            slot->plains += w.last_complete_row - w.first_complete_row;
+            slot->nnz += tm.row_begin(w.last_complete_row) -
+                         tm.row_begin(w.first_complete_row);
+        }
+        if (w.has_tail()) {
+            (w.tail_atomic ? slot->atomics : slot->plains) += 1;
+            slot->nnz += w.tail_end - w.tail_begin;
+        }
+    }
+}
+
+/**
+ * Execute dense chunk @p idx: per-row microkernel row-GEMM, direct
+ * accumulation into the (zero-filled) output row — no scratch round
+ * trip, no atomics; every band row is owned by exactly one chunk.
+ */
+void
+run_dense_chunk(const HybridPanel &p, size_t idx, PhaseSlot *slot)
+{
+    const CsrMatrix &a = *p.a;
+    const RowBand chunk = p.hs->dense_chunks()[idx];
+    const index_t *cols = a.col_idx().data();
+    const value_t *vals = a.values().data();
+    const index_t pf = p.prefetch;
+    const index_t pf_end = pf > 0 ? a.nnz() - pf : 0;
+    for (index_t r = chunk.begin; r < chunk.end; ++r) {
+        value_t *crow = p.c->row(p.out_row(r)) + p.c_col;
+        const index_t row_end = a.row_end(r);
+        for (index_t k = a.row_begin(r); k < row_end; ++k) {
+            if (pf > 0 && k < pf_end) {
+                const value_t *next = p.b->row(cols[k + pf]) + p.b_col;
+                locality_prefetch(next);
+                if (p.width > 16)
+                    locality_prefetch(next + 16);
+            }
+            p.rk->axpy(crow, vals[k], p.b->row(cols[k]) + p.b_col,
+                       p.width);
+        }
+        if (p.epi != nullptr)
+            p.epi(crow, r, p.c_col, p.width, p.epi_ctx);
+    }
+    if (slot != nullptr) {
+        slot->dense_rows += chunk.end - chunk.begin;
+        slot->dense_nnz +=
+            a.row_begin(chunk.end) - a.row_begin(chunk.begin);
+    }
+}
+
+void
+check_hybrid_shapes(const CsrMatrix &a, const HybridSchedule &hs,
+                    const DenseMatrix &b, index_t b_col0,
+                    const DenseMatrix &c, index_t c_col0, index_t width)
+{
+    MPS_CHECK(a.rows() == hs.rows() && a.nnz() == hs.nnz(),
+              "matrix does not match the prepared hybrid schedule (",
+              a.rows(), "x", a.nnz(), " vs ", hs.rows(), "x", hs.nnz(),
+              ")");
+    MPS_CHECK(b.rows() == a.cols(), "B rows (", b.rows(),
+              ") must equal A cols (", a.cols(), ")");
+    MPS_CHECK(c.rows() == a.rows(), "C rows (", c.rows(),
+              ") must equal A rows (", a.rows(), ")");
+    MPS_CHECK(width > 0 && b_col0 >= 0 && b_col0 + width <= b.cols(),
+              "B panel [", b_col0, ", ", b_col0 + width,
+              ") out of range for ", b.cols(), " cols");
+    MPS_CHECK(c_col0 >= 0 && c_col0 + width <= c.cols(), "C panel [",
+              c_col0, ", ", c_col0 + width, ") out of range for ",
+              c.cols(), " cols");
+}
+
+void
+flush_phase_counters(MetricsRegistry &metrics, const PhaseSlot *slots,
+                     size_t count)
+{
+    PhaseSlot total;
+    for (size_t i = 0; i < count; ++i) {
+        total.atomics += slots[i].atomics;
+        total.plains += slots[i].plains;
+        total.nnz += slots[i].nnz;
+        total.dense_rows += slots[i].dense_rows;
+        total.dense_nnz += slots[i].dense_nnz;
+    }
+    if (total.atomics > 0)
+        metrics.counter_add("spmm.hybrid.atomic_commits", total.atomics);
+    if (total.plains > 0)
+        metrics.counter_add("spmm.hybrid.plain_commits", total.plains);
+    if (total.nnz > 0)
+        metrics.counter_add("spmm.hybrid.tail_nnz_processed", total.nnz);
+    if (total.dense_rows > 0)
+        metrics.counter_add("spmm.hybrid.dense_rows_written",
+                            total.dense_rows);
+    if (total.dense_nnz > 0)
+        metrics.counter_add("spmm.hybrid.dense_nnz_processed",
+                            total.dense_nnz);
+}
+
+/**
+ * One two-phase panel sweep. Tail shares and dense chunks are sibling
+ * indices of ONE parallel_for, so the pool's stealing rebalances
+ * stragglers across the phases. @p slots (when non-null) receives the
+ * census; @p timed additionally charges per-item wall time to the
+ * owning phase.
+ */
+void
+run_hybrid_panel(const HybridPanel &p, WorkStealPool &pool,
+                 PhaseSlot *slots, bool timed)
+{
+    const HybridSchedule &hs = *p.hs;
+    const uint64_t tail_shares =
+        hs.has_tail()
+            ? static_cast<uint64_t>(hs.tail_schedule().num_threads())
+            : 0;
+    const uint64_t items =
+        tail_shares + static_cast<uint64_t>(hs.dense_chunks().size());
+    if (items == 0)
+        return;
+    pool.parallel_for(items, [&](uint64_t i) {
+        PhaseSlot *slot =
+            slots != nullptr ? &slots[pool.current_slot()] : nullptr;
+        Timer wall;
+        if (i < tail_shares) {
+            run_tail_share(p, static_cast<index_t>(i), slot);
+            if (timed && slot != nullptr)
+                slot->tail_ns += static_cast<int64_t>(wall.elapsed_ns());
+        } else {
+            run_dense_chunk(p, static_cast<size_t>(i - tail_shares),
+                            slot);
+            if (timed && slot != nullptr)
+                slot->dense_ns +=
+                    static_cast<int64_t>(wall.elapsed_ns());
+        }
+    });
+}
+
+/** Sequential counterpart of run_hybrid_panel (deterministic order). */
+void
+run_hybrid_panel_sequential(const HybridPanel &p, PhaseSlot *slot)
+{
+    const HybridSchedule &hs = *p.hs;
+    if (hs.has_tail()) {
+        const index_t threads = hs.tail_schedule().num_threads();
+        for (index_t t = 0; t < threads; ++t)
+            run_tail_share(p, t, slot);
+    }
+    for (size_t i = 0; i < hs.dense_chunks().size(); ++i)
+        run_dense_chunk(p, i, slot);
+}
+
+HybridPanel
+make_panel(const CsrMatrix &a, const HybridSchedule &hs,
+           const DenseMatrix &b, index_t b_col0, DenseMatrix &c,
+           index_t c_col0, index_t width, const SpmmLocality &loc,
+           PanelEpilogue epi, const void *epi_ctx, const RowKernels &rk)
+{
+    HybridPanel p;
+    p.a = &a;
+    p.hs = &hs;
+    p.b = &b;
+    p.c = &c;
+    p.b_col = b_col0;
+    p.c_col = c_col0;
+    p.width = width;
+    p.prefetch = loc.prefetch;
+    p.scatter = loc.row_scatter;
+    p.epi = epi;
+    p.epi_ctx = epi_ctx;
+    p.rk = &rk;
+    return p;
+}
+
+} // namespace
+
+void
+hybrid_spmm_panel(const CsrMatrix &a, const HybridSchedule &hs,
+                  const DenseMatrix &b, index_t b_col0, DenseMatrix &c,
+                  index_t c_col0, index_t width, WorkStealPool &pool,
+                  const SpmmLocality &loc, PanelEpilogue epi,
+                  const void *epi_ctx, bool count_census)
+{
+    check_hybrid_shapes(a, hs, b, b_col0, c, c_col0, width);
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const bool count = count_census && metrics.enabled();
+    std::vector<PhaseSlot> slots;
+    if (count)
+        slots.resize(pool.max_concurrency());
+    const RowKernels &rk = select_row_kernels(width);
+    const HybridPanel p = make_panel(a, hs, b, b_col0, c, c_col0, width,
+                                     loc, epi, epi_ctx, rk);
+    run_hybrid_panel(p, pool, count ? slots.data() : nullptr,
+                     /*timed=*/false);
+    if (count)
+        flush_phase_counters(metrics, slots.data(), slots.size());
+}
+
+void
+hybrid_spmm_panel(const CsrMatrix &a, const HybridSchedule &hs,
+                  const DenseMatrix &b, index_t b_col0, DenseMatrix &c,
+                  index_t c_col0, index_t width, const SpmmLocality &loc,
+                  PanelEpilogue epi, const void *epi_ctx,
+                  bool count_census)
+{
+    check_hybrid_shapes(a, hs, b, b_col0, c, c_col0, width);
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const bool count = count_census && metrics.enabled();
+    PhaseSlot slot;
+    const RowKernels &rk = select_row_kernels(width);
+    const HybridPanel p = make_panel(a, hs, b, b_col0, c, c_col0, width,
+                                     loc, epi, epi_ctx, rk);
+    run_hybrid_panel_sequential(p, count ? &slot : nullptr);
+    if (count)
+        flush_phase_counters(metrics, &slot, 1);
+}
+
+void
+hybrid_spmm_parallel(const CsrMatrix &a, const HybridSchedule &hs,
+                     const DenseMatrix &b, DenseMatrix &c,
+                     WorkStealPool &pool, const SpmmLocality &loc)
+{
+    check_hybrid_shapes(a, hs, b, 0, c, 0, b.cols());
+    MPS_CHECK(c.cols() == b.cols(), "C must be A.rows x B.cols");
+    ScopedSpan span("spmm.hybrid", "kernel");
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const bool instrumented = metrics.enabled();
+    c.fill(0.0f);
+    const index_t dim = b.cols();
+    const index_t tile = loc.tiled(dim) ? loc.tile_d : dim;
+    std::vector<PhaseSlot> slots;
+    if (instrumented)
+        slots.resize(pool.max_concurrency());
+    int64_t sweeps = 0;
+    for (index_t col = 0; col < dim; col += tile) {
+        const index_t width = std::min(tile, dim - col);
+        const RowKernels &rk = select_row_kernels(width);
+        const HybridPanel p = make_panel(a, hs, b, col, c, col, width,
+                                         loc, nullptr, nullptr, rk);
+        // Census on the first panel only (it describes the schedule);
+        // phase timing accumulates across all panels.
+        PhaseSlot *s = instrumented ? slots.data() : nullptr;
+        if (instrumented && col > 0) {
+            for (PhaseSlot &slot : slots) {
+                slot.atomics = slot.plains = slot.nnz = 0;
+                slot.dense_rows = slot.dense_nnz = 0;
+            }
+        }
+        run_hybrid_panel(p, pool, s, /*timed=*/instrumented);
+        if (instrumented && col == 0)
+            flush_phase_counters(metrics, slots.data(), slots.size());
+        ++sweeps;
+    }
+    if (instrumented) {
+        int64_t dense_ns = 0, tail_ns = 0;
+        for (const PhaseSlot &slot : slots) {
+            dense_ns += slot.dense_ns;
+            tail_ns += slot.tail_ns;
+        }
+        metrics.counter_add("spmm.hybrid.runs");
+        metrics.counter_add("locality.tile_sweeps", sweeps);
+        metrics.histogram_record("kernel.hybrid.dense_ms",
+                                 static_cast<double>(dense_ns) / 1e6);
+        metrics.histogram_record("kernel.hybrid.tail_ms",
+                                 static_cast<double>(tail_ns) / 1e6);
+    }
+}
+
+void
+hybrid_spmm_parallel(const CsrMatrix &a, const HybridSchedule &hs,
+                     const DenseMatrix &b, DenseMatrix &c,
+                     WorkStealPool &pool)
+{
+    hybrid_spmm_parallel(a, hs, b, c, pool,
+                         default_spmm_locality(b.rows(), b.cols()));
+}
+
+void
+hybrid_spmm_sequential(const CsrMatrix &a, const HybridSchedule &hs,
+                       const DenseMatrix &b, DenseMatrix &c,
+                       const SpmmLocality &loc)
+{
+    check_hybrid_shapes(a, hs, b, 0, c, 0, b.cols());
+    MPS_CHECK(c.cols() == b.cols(), "C must be A.rows x B.cols");
+    c.fill(0.0f);
+    const index_t dim = b.cols();
+    const index_t tile = loc.tiled(dim) ? loc.tile_d : dim;
+    for (index_t col = 0; col < dim; col += tile) {
+        const index_t width = std::min(tile, dim - col);
+        const RowKernels &rk = select_row_kernels(width);
+        const HybridPanel p = make_panel(a, hs, b, col, c, col, width,
+                                         loc, nullptr, nullptr, rk);
+        run_hybrid_panel_sequential(p, nullptr);
+    }
+}
+
+} // namespace mps

@@ -49,6 +49,7 @@
 
 namespace mps {
 
+class HybridSchedule;
 class WorkStealPool;
 
 /**
@@ -117,6 +118,18 @@ class FusedLayerPlan
                    std::shared_ptr<const MergePathSchedule> sched,
                    SpmmLocality loc);
 
+    /**
+     * Hybrid-dispatch plan: every panel sweep routes through
+     * hybrid_spmm_panel() (dense-band row-GEMM + merge-path tail, see
+     * mps/core/hybrid.h) instead of the plain merge path. The shared
+     * (out-of-band epilogue) rows are the tail schedule's atomically
+     * committed rows mapped back to base row ids; dense-band rows are
+     * always epilogued inline since exactly one executor owns them.
+     */
+    FusedLayerPlan(const CsrMatrix &a, index_t dim,
+                   std::shared_ptr<const HybridSchedule> hybrid,
+                   SpmmLocality loc);
+
     index_t dim() const { return dim_; }
     /**
      * Resolved STREAMING panel width (== dim when running one
@@ -135,7 +148,12 @@ class FusedLayerPlan
      */
     index_t run_tile() const { return run_tile_; }
     const CsrMatrix &matrix() const { return *a_; }
+    /** Merge-path schedule; only valid when !uses_hybrid(). */
     const MergePathSchedule &schedule() const { return *sched_; }
+    /** True when panels route through hybrid_spmm_panel(). */
+    bool uses_hybrid() const { return hybrid_ != nullptr; }
+    /** Hybrid schedule (nullptr unless uses_hybrid()). */
+    const HybridSchedule *hybrid() const { return hybrid_.get(); }
     const SpmmLocality &locality() const { return loc_; }
     /** Traversal rows committed atomically (split across threads). */
     const std::vector<index_t> &shared_rows() const {
@@ -177,6 +195,11 @@ class FusedLayerPlan
                        const void *epi_ctx = nullptr);
 
   private:
+    void derive_tiles();
+    void sweep_panel(const PanelSource &src, DenseMatrix &c,
+                     index_t c_col0, index_t width, WorkStealPool &pool,
+                     const SpmmLocality &loc, PanelEpilogue epi,
+                     const void *epi_ctx, bool count_census);
     void apply_shared_epilogue(DenseMatrix &c, index_t c_col0,
                                index_t width, PanelEpilogue epi,
                                const void *epi_ctx);
@@ -186,6 +209,7 @@ class FusedLayerPlan
     index_t tile_;     ///< streaming panel width
     index_t run_tile_; ///< run() panel width (see run_tile())
     std::shared_ptr<const MergePathSchedule> sched_;
+    std::shared_ptr<const HybridSchedule> hybrid_;
     SpmmLocality loc_;     ///< streaming-mode locality
     SpmmLocality run_loc_; ///< run()-mode locality (re-derived prefetch)
     std::vector<index_t> shared_rows_;
@@ -203,6 +227,14 @@ borrow_schedule(const MergePathSchedule &sched)
 {
     return std::shared_ptr<const MergePathSchedule>(&sched,
                                                     [](const auto *) {});
+}
+
+/** borrow_schedule() analog for a caller-owned hybrid schedule. */
+inline std::shared_ptr<const HybridSchedule>
+borrow_hybrid_schedule(const HybridSchedule &hs)
+{
+    return std::shared_ptr<const HybridSchedule>(&hs,
+                                                 [](const auto *) {});
 }
 
 } // namespace mps

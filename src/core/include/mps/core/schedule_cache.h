@@ -41,6 +41,8 @@
 
 namespace mps {
 
+class HybridSchedule;
+
 /**
  * Cheap structural fingerprint of a CSR matrix: mixes shape, nnz and a
  * bounded sample of row offsets / column indices. Two matrices with the
@@ -117,6 +119,31 @@ class ScheduleCache
                                index_t min_threads = 0) const;
 
     /**
+     * Two-phase hybrid schedule (dense bands + merge-path tail, see
+     * mps/core/hybrid.h) for @p a at merge-path cost @p cost, built on
+     * first use with the env-resolved classification params and shared
+     * read-only afterwards. Hybrid entries live beside the merge-path
+     * ones: same fingerprint keying, same hit/miss counters, same LRU
+     * cap (the total across both kinds is bounded), and
+     * repair_for_update() migrates them through
+     * repair_hybrid_schedule().
+     */
+    std::shared_ptr<const HybridSchedule>
+    get_or_build_hybrid(const CsrMatrix &a, index_t cost,
+                        index_t min_threads = 0);
+
+    /**
+     * Plan version of the cached hybrid entry a get_or_build_hybrid(a,
+     * cost, min_threads) lookup would hit: 1 on first build, +1 per
+     * repair_for_update migration. 0 when not cached.
+     */
+    uint64_t hybrid_version_with_cost(const CsrMatrix &a, index_t cost,
+                                      index_t min_threads = 0) const;
+
+    /** Number of distinct (graph, cost, min_threads) hybrid entries. */
+    size_t hybrid_size() const;
+
+    /**
      * Reorder plan (row permutation + permuted matrix + inverse
      * scatter map) for @p a of @p kind, built on first use and shared
      * read-only afterwards — serving pays the permutation cost once
@@ -167,6 +194,15 @@ class ScheduleCache
         std::vector<ScheduleCensusPart> census_chunks;
     };
 
+    struct HybridEntry
+    {
+        std::shared_ptr<const HybridSchedule> schedule;
+        index_t cost = 0;
+        index_t min_threads = 0;
+        uint64_t version = 1;
+        uint64_t last_used = 0; ///< LRU tick (shared with Entry)
+    };
+
     static constexpr index_t kCensusChunk = 64;
 
     std::shared_ptr<const MergePathSchedule>
@@ -180,6 +216,7 @@ class ScheduleCache
 
     mutable std::mutex mutex_;
     std::map<Key, Entry> entries_;
+    std::map<Key, HybridEntry> hybrids_;
     std::map<ReorderKey, std::shared_ptr<const ReorderPlan>> reorders_;
     size_t max_entries_ = default_schedule_cache_max();
     uint64_t lru_tick_ = 0;

@@ -1,15 +1,62 @@
 #include "mps/kernels/adaptive.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "mps/core/locality.h"
 #include "mps/core/microkernel.h"
+#include "mps/core/policy.h"
 #include "mps/core/spmm.h"
 #include "mps/sparse/degree_stats.h"
 #include "mps/util/log.h"
+#include "mps/util/metrics.h"
 #include "mps/util/work_steal_pool.h"
 
 namespace mps {
+
+namespace {
+
+double
+adaptive_env_double(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0' || parsed <= 0.0) {
+        warn(detail::format_parts("ignoring invalid ", name, "=", v));
+        return fallback;
+    }
+    return parsed;
+}
+
+index_t
+adaptive_env_threads(const char *name, index_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    long long parsed = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0' || parsed < 1) {
+        warn(detail::format_parts("ignoring invalid ", name, "=", v));
+        return fallback;
+    }
+    return static_cast<index_t>(parsed);
+}
+
+} // namespace
+
+AdaptiveSpmm::AdaptiveSpmm(double cv_threshold, bool enable_hybrid)
+    : cv_threshold_(cv_threshold), enable_hybrid_(enable_hybrid),
+      // Parsed per instance (not static-cached) so tests and serving
+      // tenants can retune without restarting the process.
+      evil_factor_(adaptive_env_double("MPS_ADAPTIVE_EVIL_FACTOR", 15.0)),
+      max_threads_(
+          adaptive_env_threads("MPS_ADAPTIVE_MAX_THREADS", 4096))
+{
+}
 
 void
 AdaptiveSpmm::prepare(const CsrMatrix &a, index_t dim)
@@ -19,23 +66,53 @@ AdaptiveSpmm::prepare(const CsrMatrix &a, index_t dim)
     // relative to the average (evil rows in an otherwise flat graph).
     bool skewed = stats.degree_cv > cv_threshold_ ||
                   (stats.avg_degree > 0.0 &&
-                   stats.max_degree > 15.0 * stats.avg_degree);
+                   stats.max_degree > evil_factor_ * stats.avg_degree);
     // Once the dense operand spills out of L2 (d wide, many columns),
     // locality beats scheduling: the column-tiled merge-path variant
     // keeps the gather working set panel-resident, which contiguous
     // row-splitting cannot, so it wins even on uniform inputs. Below
     // the tile width the untiled selection stands (and tiling would be
     // a no-op anyway).
-    if (default_spmm_locality(a.cols(), dim).tiled(dim))
+    if (default_spmm_locality(a.cols(), dim).tiled(dim)) {
         strategy_ = AdaptiveStrategy::kMergePathTiled;
-    else
+    } else if (skewed && enable_hybrid_ && hybrid_enabled()) {
+        // Skewed graphs are the hybrid dispatch's home turf when the
+        // long/clustered rows carry a real share of the nnz; with only
+        // scattered short rows the classification yields no bands and
+        // the plain merge path is the same thing without the detour.
+        HybridSchedule hs = HybridSchedule::build(
+            a, default_merge_path_cost(dim), /*min_threads=*/0);
+        if (hs.dense_fraction() >= kHybridDenseFractionMin) {
+            strategy_ = AdaptiveStrategy::kHybrid;
+            hybrid_ = std::move(hs);
+        } else {
+            strategy_ = AdaptiveStrategy::kMergePath;
+        }
+    } else {
         strategy_ = skewed ? AdaptiveStrategy::kMergePath
                            : AdaptiveStrategy::kRowSplit;
-    if (strategy_ != AdaptiveStrategy::kRowSplit) {
+    }
+    if (strategy_ == AdaptiveStrategy::kMergePath ||
+        strategy_ == AdaptiveStrategy::kMergePathTiled) {
         int64_t total = static_cast<int64_t>(a.rows()) + a.nnz();
-        index_t threads = static_cast<index_t>(
-            std::max<int64_t>(1, std::min<int64_t>(total, 4096)));
+        index_t threads = static_cast<index_t>(std::max<int64_t>(
+            1, std::min<int64_t>(total, max_threads_)));
         schedule_ = MergePathSchedule::build(a, threads);
+    }
+
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled()) {
+        metrics.gauge_set("adaptive.strategy",
+                          static_cast<double>(strategy_));
+        metrics.gauge_set("adaptive.cv_threshold", cv_threshold_);
+        metrics.gauge_set("adaptive.evil_factor", evil_factor_);
+        metrics.gauge_set("adaptive.max_threads",
+                          static_cast<double>(max_threads_));
+        metrics.gauge_set("adaptive.degree_cv", stats.degree_cv);
+        metrics.gauge_set("adaptive.dense_fraction",
+                          strategy_ == AdaptiveStrategy::kHybrid
+                              ? hybrid_.dense_fraction()
+                              : 0.0);
     }
 }
 
@@ -46,6 +123,10 @@ AdaptiveSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
     MPS_CHECK(b.rows() == a.cols() && c.rows() == a.rows() &&
                   c.cols() == b.cols(),
               "shape mismatch in adaptive SpMM");
+    if (strategy_ == AdaptiveStrategy::kHybrid) {
+        hybrid_spmm_parallel(a, hybrid_, b, c, pool);
+        return;
+    }
     if (strategy_ != AdaptiveStrategy::kRowSplit) {
         // The parallel entry point resolves the process locality
         // defaults itself, so kMergePath and kMergePathTiled share one

@@ -11,11 +11,20 @@
  *    chunks: minimal scheduling overhead and good locality, the regime
  *    where cuSPARSE beats the load-balancing kernels (Type II graphs);
  *  - skewed degrees (high CV)       -> merge-path decomposition, the
- *    load-balanced fallback (where cuSPARSE merely stays competitive).
+ *    load-balanced fallback (where cuSPARSE merely stays competitive);
+ *  - skewed with a substantial dense-band nnz share -> the two-phase
+ *    hybrid dispatch (mps/core/hybrid.h), which routes the long rows
+ *    that dominate nnz to the atomics-free row-GEMM phase.
+ *
+ * The selection thresholds are env-tunable: MPS_ADAPTIVE_EVIL_FACTOR
+ * (max/avg degree ratio that marks a graph skewed, default 15) and
+ * MPS_ADAPTIVE_MAX_THREADS (merge-path thread clamp, default 4096),
+ * both parsed per kernel instance at construction.
  */
 #ifndef MPS_KERNELS_ADAPTIVE_H
 #define MPS_KERNELS_ADAPTIVE_H
 
+#include "mps/core/hybrid.h"
 #include "mps/core/schedule.h"
 #include "mps/kernels/spmm_kernel.h"
 
@@ -26,6 +35,7 @@ enum class AdaptiveStrategy {
     kRowSplit,        ///< uniform inputs: static contiguous rows
     kMergePath,       ///< skewed inputs: merge-path decomposition
     kMergePathTiled,  ///< wide d: column-tiled merge-path (L2 panels)
+    kHybrid,          ///< skewed + dense bands: two-phase dispatch
 };
 
 /** Shape-driven kernel selection (cuSPARSE-like). */
@@ -35,11 +45,13 @@ class AdaptiveSpmm final : public SpmmKernel
     /**
      * @param cv_threshold row-degree coefficient-of-variation above
      *        which the input is treated as skewed.
+     * @param enable_hybrid let prepare() pick the hybrid dispatch for
+     *        skewed inputs with enough dense-band nnz; false restores
+     *        the pre-hybrid selection (bench baselines use this). The
+     *        MPS_HYBRID=0 opt-out disables it regardless.
      */
-    explicit AdaptiveSpmm(double cv_threshold = 0.7)
-        : cv_threshold_(cv_threshold)
-    {
-    }
+    explicit AdaptiveSpmm(double cv_threshold = 0.7,
+                          bool enable_hybrid = true);
 
     std::string name() const override { return "adaptive"; }
     void prepare(const CsrMatrix &a, index_t dim) override;
@@ -49,10 +61,26 @@ class AdaptiveSpmm final : public SpmmKernel
     /** Strategy selected by the last prepare(). */
     AdaptiveStrategy strategy() const { return strategy_; }
 
+    /** Evil-row factor in effect (MPS_ADAPTIVE_EVIL_FACTOR). */
+    double evil_factor() const { return evil_factor_; }
+
+    /** Merge-path thread clamp in effect (MPS_ADAPTIVE_MAX_THREADS). */
+    index_t max_threads() const { return max_threads_; }
+
+    /**
+     * Dense-band nnz fraction below which a skewed input stays on the
+     * plain merge path instead of the hybrid dispatch.
+     */
+    static constexpr double kHybridDenseFractionMin = 0.25;
+
   private:
     double cv_threshold_;
+    bool enable_hybrid_;
+    double evil_factor_;
+    index_t max_threads_;
     AdaptiveStrategy strategy_ = AdaptiveStrategy::kRowSplit;
-    MergePathSchedule schedule_; // only built for kMergePath
+    MergePathSchedule schedule_;  // kMergePath / kMergePathTiled
+    HybridSchedule hybrid_;       // kHybrid only
 };
 
 } // namespace mps

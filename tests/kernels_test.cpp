@@ -80,7 +80,7 @@ TEST(NeighborGroups, DefaultSizeIsAverageDegree)
 TEST(Registry, ListsAllKernels)
 {
     auto names = spmm_kernel_names();
-    EXPECT_EQ(names.size(), 7u);
+    EXPECT_EQ(names.size(), 8u);
     for (const auto &n : names) {
         auto k = make_spmm_kernel(n);
         ASSERT_NE(k, nullptr);
@@ -136,9 +136,19 @@ TEST(Adaptive, PicksMergePathForPowerLaw)
     p.max_degree = 700;
     p.seed = 4;
     CsrMatrix a = power_law_graph(p);
+    // With the hybrid path disabled, skew still routes to merge-path.
+    AdaptiveSpmm baseline(0.7, /*enable_hybrid=*/false);
+    baseline.prepare(a, 16);
+    EXPECT_EQ(baseline.strategy(), AdaptiveStrategy::kMergePath);
+    // The default kernel upgrades to hybrid when the evil rows carry
+    // enough of the nnz to be worth an atomics-free dense phase.
     AdaptiveSpmm kernel;
     kernel.prepare(a, 16);
-    EXPECT_EQ(kernel.strategy(), AdaptiveStrategy::kMergePath);
+    if (hybrid_enabled()) {
+        EXPECT_EQ(kernel.strategy(), AdaptiveStrategy::kHybrid);
+    } else {
+        EXPECT_EQ(kernel.strategy(), AdaptiveStrategy::kMergePath);
+    }
 }
 
 TEST(RowSplit, ChunkCountClampedToRows)
@@ -202,10 +212,10 @@ TEST_P(KernelCorrectnessTest, MatchesReference)
 
 INSTANTIATE_TEST_SUITE_P(
     AllKernels, KernelCorrectnessTest,
-    testing::Combine(testing::Values("mergepath", "gnnadvisor",
-                                     "row_split", "column_split",
-                                     "adaptive", "mergepath_serial",
-                                     "reference"),
+    testing::Combine(testing::Values("mergepath", "hybrid",
+                                     "gnnadvisor", "row_split",
+                                     "column_split", "adaptive",
+                                     "mergepath_serial", "reference"),
                      testing::Values(0, 1, 2),
                      testing::Values(1, 16, 33)),
     [](const testing::TestParamInfo<std::tuple<std::string, int, int>>

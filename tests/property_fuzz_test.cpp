@@ -12,6 +12,7 @@
 #include <numeric>
 
 #include "mps/core/fusion.h"
+#include "mps/core/hybrid.h"
 #include "mps/core/spmm.h"
 #include "mps/core/spmv.h"
 #include "mps/gcn/activation.h"
@@ -103,6 +104,61 @@ TEST_P(FuzzTest, ScheduleAndSpmmAgainstReference)
         ASSERT_TRUE(seq.approx_equal(expect, 1e-3, 1e-3))
             << "seed " << GetParam() << " iter " << iter;
         mergepath_spmm_parallel(a, b, par, sched, pool);
+        ASSERT_TRUE(par.approx_equal(expect, 1e-3, 1e-3))
+            << "seed " << GetParam() << " iter " << iter;
+    }
+}
+
+/**
+ * Hybrid-dispatch parity across random degree mixes: the two-phase
+ * schedule (dense bands + compacted tail) must agree with the
+ * reference on arbitrary shapes, including empty rows, evil rows and
+ * unsorted columns. Runs under MPS_HYBRID=0 too, where the schedule
+ * degenerates to plain merge-path — parity must hold either way.
+ */
+TEST_P(FuzzTest, HybridSpmmAgainstReference)
+{
+    Pcg32 rng(static_cast<uint64_t>(GetParam()) * 4099 + 7);
+    WorkStealPool pool(3);
+    for (int iter = 0; iter < 8; ++iter) {
+        CsrMatrix a = random_csr(rng);
+        index_t dim = fuzz_dim(rng);
+        DenseMatrix b(a.cols(), dim);
+        b.fill_random(rng);
+        DenseMatrix expect(a.rows(), dim);
+        reference_spmm(a, b, expect);
+
+        // Random costs push rows across the long-row threshold and
+        // vary the tail share count.
+        index_t cost = 1 + static_cast<index_t>(rng.next_below(60));
+        HybridSchedule hs = HybridSchedule::build(a, cost);
+
+        // Partition invariants: bands sorted, disjoint, counts add up.
+        index_t band_rows = 0;
+        int64_t band_nnz = 0;
+        index_t prev_end = 0;
+        for (const RowBand &band : hs.partition().bands) {
+            ASSERT_LE(prev_end, band.begin);
+            ASSERT_LT(band.begin, band.end);
+            ASSERT_LE(band.end, a.rows());
+            band_rows += band.end - band.begin;
+            band_nnz += a.row_begin(band.end) - a.row_begin(band.begin);
+            prev_end = band.end;
+        }
+        ASSERT_EQ(band_rows, hs.partition().dense_rows);
+        ASSERT_EQ(band_nnz, hs.partition().dense_nnz);
+        if (hs.has_tail() && !hs.tail_is_base()) {
+            ASSERT_EQ(hs.tail().rows() + hs.partition().dense_rows,
+                      a.rows());
+            ASSERT_EQ(hs.tail().nnz() + hs.partition().dense_nnz,
+                      a.nnz());
+        }
+
+        DenseMatrix seq(a.rows(), dim), par(a.rows(), dim);
+        hybrid_spmm_sequential(a, hs, b, seq);
+        ASSERT_TRUE(seq.approx_equal(expect, 1e-3, 1e-3))
+            << "seed " << GetParam() << " iter " << iter;
+        hybrid_spmm_parallel(a, hs, b, par, pool);
         ASSERT_TRUE(par.approx_equal(expect, 1e-3, 1e-3))
             << "seed " << GetParam() << " iter " << iter;
     }

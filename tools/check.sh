@@ -16,6 +16,9 @@
 # A churn stage reruns the dynamic-graph tests (delta-CSR overlay,
 # schedule repair, concurrent update_graph vs inference) under the
 # TSan build to shake out update/serve races.
+# A no-hybrid stage reruns the kernel-facing tests with MPS_HYBRID=0,
+# proving the per-row-class hybrid dispatch is opt-out clean: every
+# matrix degenerates to the plain merge-path tail and still passes.
 # A final telemetry stage scrapes a live serve-bench run through the
 # embedded /metrics endpoint and validates the OpenMetrics exposition
 # with `mps_tool top --strict`.
@@ -50,10 +53,10 @@ echo "==> build build-tsan (concurrency tests only)"
 cmake --build "$root/build-tsan" -j "$jobs" --target \
     mps_serve_queue_test mps_serve_test mps_schedule_cache_test \
     mps_metrics_test mps_work_steal_pool_test mps_telemetry_test \
-    mps_dynamic_graph_test mps_fusion_test fusion
+    mps_dynamic_graph_test mps_fusion_test mps_hybrid_test fusion
 echo "==> ctest build-tsan"
 (cd "$root/build-tsan" && ctest --output-on-failure -j "$jobs" \
-    -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics|Histogram|Trace|Telemetry|WorkStealPool|Fusion' \
+    -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics|Histogram|Trace|Telemetry|WorkStealPool|Fusion|Hybrid' \
     "$@")
 
 echo "==> fusion: panel-streaming smoke under TSan"
@@ -82,6 +85,11 @@ echo "==> ctest build-notile (MPS_TILE_D=inf MPS_PREFETCH=0)"
 (cd "$root/build-release" && \
     MPS_TILE_D=inf MPS_PREFETCH=0 ctest --output-on-failure -j "$jobs" \
     -R 'Spmm|Locality|Tiled|Reordered|Adaptive|Gcn|Serve' "$@")
+
+echo "==> ctest build-nohybrid (MPS_HYBRID=0)"
+(cd "$root/build-release" && \
+    MPS_HYBRID=0 ctest --output-on-failure -j "$jobs" \
+    -R 'Hybrid|Kernel|Spmm|Adaptive|Fuzz' "$@")
 
 echo "==> ctest build-nofuse (MPS_FUSE=0)"
 (cd "$root/build-release" && \

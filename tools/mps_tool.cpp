@@ -304,6 +304,19 @@ cmd_spmm(int argc, char **argv)
                 kernel->name().c_str(), prep_ms, ms, repeat,
                 2.0 * m.nnz() * dim / (ms * 1e6), checksum);
 
+    if (kernel->name() == "hybrid" && metrics.enabled()) {
+        // The classifier publishes its split at prepare() time; echo
+        // it so --kernel=hybrid runs explain where the nnz went.
+        std::printf("dispatch: %.0f dense rows / %.0f tail rows, "
+                    "%.0f dense nnz in %.0f bands (%.1f%% of nnz)\n",
+                    metrics.gauge_value("dispatch.dense_rows"),
+                    metrics.gauge_value("dispatch.tail_rows"),
+                    metrics.gauge_value("dispatch.dense_nnz"),
+                    metrics.gauge_value("dispatch.bands"),
+                    100.0 *
+                        metrics.gauge_value("dispatch.dense_fraction"));
+    }
+
     int status = 0;
     if (flags.get_bool("check")) {
         // A checksum can mask compensating errors; compare every
