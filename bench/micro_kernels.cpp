@@ -166,6 +166,74 @@ BENCHMARK(BM_MicrokernelAxpy)
     ->Arg(64)
     ->Arg(128);
 
+/**
+ * Mixed-precision axpy: the SpMM hot loop reading its operand row at
+ * each storage width (f32 / bf16 / int8, fp32 accumulate throughout).
+ * Args are {dim, StorageMode}. Counters carry the JSON row the roadmap
+ * asks for: bytes_moved per axpy (operand row only — the bandwidth the
+ * narrow storage actually cuts), GB/s of operand traffic at the
+ * measured rate, and speedup_vs_f32 from a fixed-work side measurement
+ * against the f32 kernel on the same data.
+ */
+void
+BM_MicrokernelAxpyPrecision(benchmark::State &state)
+{
+    const index_t dim = static_cast<index_t>(state.range(0));
+    const auto mode = static_cast<StorageMode>(state.range(1));
+    const index_t rows = 256;
+    DenseMatrix b = dense_input(rows, dim);
+    b.quantize(mode);
+    const RowKernels &rk = select_row_kernels(dim);
+    value_t *acc = microkernel_scratch(dim);
+    rk.zero(acc, dim);
+
+    auto axpy_row = [&](StorageMode m, index_t r) {
+        switch (m) {
+        case StorageMode::kBf16:
+            rk.axpy_bf16(acc, 1.0009f, b.row_bf16(r), dim);
+            break;
+        case StorageMode::kInt8:
+            rk.axpy_int8(acc, 1.0009f, b.row_int8(r), b.quant_scale(r),
+                         b.quant_zero(r), dim);
+            break;
+        case StorageMode::kF32:
+            rk.axpy(acc, 1.0009f, b.row(r), dim);
+            break;
+        }
+    };
+    auto time_mode = [&](StorageMode m) {
+        const int reps = 1000000 / rows;
+        auto t0 = std::chrono::steady_clock::now();
+        for (int rep = 0; rep < reps; ++rep)
+            for (index_t r = 0; r < rows; ++r)
+                axpy_row(m, r);
+        auto t1 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(acc);
+        return std::chrono::duration<double, std::nano>(t1 - t0)
+                   .count() /
+               (static_cast<double>(reps) * rows);
+    };
+
+    for (auto _ : state) {
+        for (index_t r = 0; r < rows; ++r)
+            axpy_row(mode, r);
+        benchmark::DoNotOptimize(acc);
+    }
+
+    const double f32_ns = time_mode(StorageMode::kF32);
+    const double mode_ns =
+        mode == StorageMode::kF32 ? f32_ns : time_mode(mode);
+    const double bytes_moved =
+        static_cast<double>(dim) * storage_elem_bytes(mode);
+    state.counters["bytes_moved"] = bytes_moved;
+    state.counters["GB/s"] = bytes_moved / mode_ns; // ns -> GB/s exactly
+    state.counters["speedup_vs_f32"] = f32_ns / mode_ns;
+    state.SetItemsProcessed(state.iterations() * rows * dim);
+    state.SetLabel(storage_mode_name(mode));
+}
+BENCHMARK(BM_MicrokernelAxpyPrecision)
+    ->ArgsProduct({{32, 64, 128, 256}, {0, 1, 2}});
+
 void
 BM_GcnTwoLayerInference(benchmark::State &state)
 {

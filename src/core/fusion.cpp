@@ -5,6 +5,7 @@
 #include <string>
 
 #include "mps/core/hybrid.h"
+#include "mps/core/precision.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
 #include "mps/util/timer.h"
@@ -53,15 +54,15 @@ FusedLayerPlan::derive_tiles()
     // built on. Explicit widths are honored in both modes.
     run_tile_ = tile_;
     run_loc_ = loc_;
+    const index_t eb = storage_elem_bytes(precision_);
     if (loc_.auto_width && tile_ < dim_) {
         const int64_t padded = (dim_ + 15) / 16 * 16;
         const int64_t operand_bytes = static_cast<int64_t>(a_->cols()) *
-                                      padded *
-                                      static_cast<int64_t>(sizeof(value_t));
+                                      padded * static_cast<int64_t>(eb);
         if (operand_bytes <= detected_llc_bytes()) {
             run_tile_ = dim_;
             run_loc_.tile_d = 0;
-            run_loc_.prefetch = auto_prefetch_distance(dim_);
+            run_loc_.prefetch = auto_prefetch_distance(dim_, eb);
         }
     }
 }
@@ -128,6 +129,21 @@ FusedLayerPlan::FusedLayerPlan(const CsrMatrix &a, index_t dim,
 }
 
 void
+FusedLayerPlan::quantize_source(const PanelSource &src, index_t width,
+                                WorkStealPool &pool)
+{
+    if (precision_ == StorageMode::kF32 || src.quantizable == nullptr)
+        return;
+    // Fresh (GEMM-filled) buffers are re-encoded every panel, but only
+    // the panel's columns: int8 per-row scale/zero must not see stale
+    // trailing columns from a wider earlier panel. Slice sources are
+    // encoded once, full-width, then reused across panels and runs.
+    if (src.fresh || src.quantizable->storage() != precision_)
+        quantize_dense(*src.quantizable, precision_, &pool,
+                       src.fresh ? width : index_t(-1));
+}
+
+void
 FusedLayerPlan::sweep_panel(const PanelSource &src, DenseMatrix &c,
                             index_t c_col0, index_t width,
                             WorkStealPool &pool, const SpmmLocality &loc,
@@ -174,6 +190,7 @@ FusedLayerPlan::run(const PanelSourceFn &source, DenseMatrix &c,
         const index_t width = std::min(run_tile_, dim_ - col);
         const PanelSource src = source(col, width);
         MPS_CHECK(src.b != nullptr, "panel source returned no operand");
+        quantize_source(src, width, pool);
         sweep_panel(src, c, col, width, pool, run_loc_, epi, epi_ctx,
                     /*count_census=*/col == 0);
         apply_shared_epilogue(c, col, width, epi, epi_ctx);
@@ -205,6 +222,7 @@ FusedLayerPlan::run_streaming(const PanelSourceFn &source,
         const index_t width = std::min(tile_, dim_ - col);
         const PanelSource src = source(col, width);
         MPS_CHECK(src.b != nullptr, "panel source returned no operand");
+        quantize_source(src, width, pool);
         out_panel_.fill(0.0f);
         sweep_panel(src, out_panel_, /*c_col0=*/0, width, pool, loc_,
                     epi, epi_ctx, /*count_census=*/col == 0);

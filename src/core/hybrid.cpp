@@ -384,6 +384,8 @@ struct HybridPanel
     PanelEpilogue epi = nullptr;
     const void *epi_ctx = nullptr;
     const RowKernels *rk = nullptr;
+    /** B's storage mode; both phases read the shadow rows when set. */
+    StorageMode bmode = StorageMode::kF32;
 
     index_t out_row(index_t base_row) const {
         return scatter != nullptr ? scatter[base_row] : base_row;
@@ -400,6 +402,32 @@ tail_accumulate(const CsrMatrix &m, const HybridPanel &p, index_t nz_begin,
     const index_t pf = p.prefetch;
     const index_t pf_end = pf > 0 ? m.nnz() - pf : 0;
     p.rk->zero(acc, p.width);
+    switch (p.bmode) {
+    case StorageMode::kBf16:
+        for (index_t k = nz_begin; k < nz_end; ++k) {
+            if (pf > 0 && k < pf_end) {
+                const bf16_t *next = p.b->row_bf16(cols[k + pf]) + p.b_col;
+                locality_prefetch(next);
+                if (p.width > 32)
+                    locality_prefetch(next + 32);
+            }
+            p.rk->axpy_bf16(acc, vals[k], p.b->row_bf16(cols[k]) + p.b_col,
+                            p.width);
+        }
+        return;
+    case StorageMode::kInt8:
+        for (index_t k = nz_begin; k < nz_end; ++k) {
+            if (pf > 0 && k < pf_end)
+                locality_prefetch(p.b->row_int8(cols[k + pf]) + p.b_col);
+            const index_t src = cols[k];
+            p.rk->axpy_int8(acc, vals[k], p.b->row_int8(src) + p.b_col,
+                            p.b->quant_scale(src), p.b->quant_zero(src),
+                            p.width);
+        }
+        return;
+    case StorageMode::kF32:
+        break;
+    }
     for (index_t k = nz_begin; k < nz_end; ++k) {
         if (pf > 0 && k < pf_end) {
             const value_t *next = p.b->row(cols[k + pf]) + p.b_col;
@@ -491,15 +519,42 @@ run_dense_chunk(const HybridPanel &p, size_t idx, PhaseSlot *slot)
     for (index_t r = chunk.begin; r < chunk.end; ++r) {
         value_t *crow = p.c->row(p.out_row(r)) + p.c_col;
         const index_t row_end = a.row_end(r);
-        for (index_t k = a.row_begin(r); k < row_end; ++k) {
-            if (pf > 0 && k < pf_end) {
-                const value_t *next = p.b->row(cols[k + pf]) + p.b_col;
-                locality_prefetch(next);
-                if (p.width > 16)
-                    locality_prefetch(next + 16);
+        switch (p.bmode) {
+        case StorageMode::kBf16:
+            for (index_t k = a.row_begin(r); k < row_end; ++k) {
+                if (pf > 0 && k < pf_end)
+                    locality_prefetch(p.b->row_bf16(cols[k + pf]) +
+                                      p.b_col);
+                p.rk->axpy_bf16(crow, vals[k],
+                                p.b->row_bf16(cols[k]) + p.b_col,
+                                p.width);
             }
-            p.rk->axpy(crow, vals[k], p.b->row(cols[k]) + p.b_col,
-                       p.width);
+            break;
+        case StorageMode::kInt8:
+            for (index_t k = a.row_begin(r); k < row_end; ++k) {
+                if (pf > 0 && k < pf_end)
+                    locality_prefetch(p.b->row_int8(cols[k + pf]) +
+                                      p.b_col);
+                const index_t src = cols[k];
+                p.rk->axpy_int8(crow, vals[k],
+                                p.b->row_int8(src) + p.b_col,
+                                p.b->quant_scale(src),
+                                p.b->quant_zero(src), p.width);
+            }
+            break;
+        case StorageMode::kF32:
+            for (index_t k = a.row_begin(r); k < row_end; ++k) {
+                if (pf > 0 && k < pf_end) {
+                    const value_t *next =
+                        p.b->row(cols[k + pf]) + p.b_col;
+                    locality_prefetch(next);
+                    if (p.width > 16)
+                        locality_prefetch(next + 16);
+                }
+                p.rk->axpy(crow, vals[k], p.b->row(cols[k]) + p.b_col,
+                           p.width);
+            }
+            break;
         }
         if (p.epi != nullptr)
             p.epi(crow, r, p.c_col, p.width, p.epi_ctx);
@@ -629,6 +684,7 @@ make_panel(const CsrMatrix &a, const HybridSchedule &hs,
     p.epi = epi;
     p.epi_ctx = epi_ctx;
     p.rk = &rk;
+    p.bmode = b.storage();
     return p;
 }
 
@@ -731,8 +787,10 @@ hybrid_spmm_parallel(const CsrMatrix &a, const HybridSchedule &hs,
                      const DenseMatrix &b, DenseMatrix &c,
                      WorkStealPool &pool)
 {
-    hybrid_spmm_parallel(a, hs, b, c, pool,
-                         default_spmm_locality(b.rows(), b.cols()));
+    hybrid_spmm_parallel(
+        a, hs, b, c, pool,
+        default_spmm_locality(b.rows(), b.cols(),
+                              storage_elem_bytes(b.storage())));
 }
 
 void

@@ -69,6 +69,23 @@ struct PanelSource
 {
     const DenseMatrix *b = nullptr;
     index_t col_begin = 0;
+    /**
+     * Non-const alias of the operand when the source permits the plan
+     * to quantize it in place (see FusedLayerPlan::set_precision).
+     * nullptr = read-only source, the sweep gathers f32 regardless of
+     * the plan's precision. The f32 master rows stay valid either way
+     * — quantization fills shadow buffers, it never destroys the f32
+     * data (delta-correction and epilogues keep reading them).
+     */
+    DenseMatrix *quantizable = nullptr;
+    /**
+     * True when the operand buffer was freshly (re)written for THIS
+     * panel (a GEMM-backed source). The plan then re-encodes the shadow
+     * buffers every panel, restricted to the panel's columns so stale
+     * trailing columns cannot pollute int8 per-row ranges. False for
+     * slice sources, which are encoded once, full-width.
+     */
+    bool fresh = false;
 };
 
 /**
@@ -155,6 +172,23 @@ class FusedLayerPlan
     /** Hybrid schedule (nullptr unless uses_hybrid()). */
     const HybridSchedule *hybrid() const { return hybrid_.get(); }
     const SpmmLocality &locality() const { return loc_; }
+
+    /**
+     * Operand storage precision of the panel sweeps. kF32 (the default)
+     * is the exact pre-existing execution. kBf16/kInt8 make the plan
+     * encode each panel operand's shadow buffer (when the source marks
+     * it quantizable) before the sweep, so the gather loop reads 2 or 1
+     * bytes per element instead of 4; accumulation and the commit
+     * protocol stay fp32. Re-derives the panel widths: quantized
+     * operands fit more columns per cache level.
+     */
+    void set_precision(StorageMode p) {
+        if (p == precision_)
+            return;
+        precision_ = p;
+        derive_tiles();
+    }
+    StorageMode precision() const { return precision_; }
     /** Traversal rows committed atomically (split across threads). */
     const std::vector<index_t> &shared_rows() const {
         return shared_rows_;
@@ -196,6 +230,8 @@ class FusedLayerPlan
 
   private:
     void derive_tiles();
+    void quantize_source(const PanelSource &src, index_t width,
+                         WorkStealPool &pool);
     void sweep_panel(const PanelSource &src, DenseMatrix &c,
                      index_t c_col0, index_t width, WorkStealPool &pool,
                      const SpmmLocality &loc, PanelEpilogue epi,
@@ -212,6 +248,7 @@ class FusedLayerPlan
     std::shared_ptr<const HybridSchedule> hybrid_;
     SpmmLocality loc_;     ///< streaming-mode locality
     SpmmLocality run_loc_; ///< run()-mode locality (re-derived prefetch)
+    StorageMode precision_ = StorageMode::kF32;
     std::vector<index_t> shared_rows_;
     DenseMatrix out_panel_; ///< streaming output buffer (a.rows() x tile)
     DenseMatrix gemm_scratch_; ///< panel-source buffer (see gemm_scratch())

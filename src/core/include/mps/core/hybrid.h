@@ -70,6 +70,15 @@ class WorkStealPool;
  */
 bool hybrid_enabled();
 
+/**
+ * Minimum dense_fraction() at which executors prefer a hybrid schedule
+ * over plain merge-path: below this the dense phase is too small to
+ * amortize its dispatch units. AdaptiveSpmm and the serve batch
+ * executor share this threshold (it lives here, not in kernels/, so
+ * serve can consult it without linking the kernel registry).
+ */
+inline constexpr double kHybridDenseFractionMin = 0.25;
+
 /** Row-classification thresholds (see the file comment). */
 struct HybridParams
 {

@@ -121,14 +121,24 @@ const LocalityEnv &locality_env();
  * rows for full residency at any useful width (the streaming regime,
  * where sweeps cost and prefetch is the right tool), or when dim is
  * not larger than the computed width.
+ *
+ * @p elem_bytes is the stored width of one operand element (see
+ * storage_elem_bytes in mps/sparse/quant.h): quantized operands fit
+ * more columns per cache and tile proportionally wider. The default
+ * (sizeof(value_t)) keeps every existing f32 call site bit-identical.
  */
-index_t auto_tile_d(index_t n_cols, index_t dim);
+index_t auto_tile_d(index_t n_cols, index_t dim,
+                    index_t elem_bytes = sizeof(value_t));
 
 /**
  * Auto prefetch distance for dense dimension @p dim: roughly one
- * 4 KiB page of gathered data ahead, clamp(1024 / dim, 2, 8).
+ * 4 KiB page of gathered data ahead,
+ * clamp(4096 / (dim * elem_bytes), 2, 8) — for f32 this is the
+ * historical clamp(1024 / dim, 2, 8). Narrow storage packs more
+ * elements per page, so the lookahead grows.
  */
-index_t auto_prefetch_distance(index_t dim);
+index_t auto_prefetch_distance(index_t dim,
+                               index_t elem_bytes = sizeof(value_t));
 
 /**
  * Auto panel width for the FUSED pipeline (mps/core/fusion.h), where
@@ -144,7 +154,8 @@ index_t auto_prefetch_distance(index_t dim);
  * into a full-width output widens it when the whole temporary is
  * LLC-resident (see fusion.h).
  */
-index_t auto_fused_tile_d(index_t n_rows, index_t dim);
+index_t auto_fused_tile_d(index_t n_rows, index_t dim,
+                          index_t elem_bytes = sizeof(value_t));
 
 /**
  * Resolve locality options for a fused panel-streaming execution over
@@ -154,7 +165,8 @@ index_t auto_fused_tile_d(index_t n_rows, index_t dim);
  * plus a copy); kAuto uses auto_fused_tile_d. Publishes the
  * fusion.tile_d gauge when metrics are enabled.
  */
-SpmmLocality default_fused_locality(index_t n_rows, index_t dim);
+SpmmLocality default_fused_locality(index_t n_rows, index_t dim,
+                                    index_t elem_bytes = sizeof(value_t));
 
 /**
  * Resolve the process-default locality options for a SpMM gathering
@@ -164,7 +176,8 @@ SpmmLocality default_fused_locality(index_t n_rows, index_t dim);
  * locality.tile_d / locality.prefetch_distance gauges when metrics
  * are enabled.
  */
-SpmmLocality default_spmm_locality(index_t n_cols, index_t dim);
+SpmmLocality default_spmm_locality(index_t n_cols, index_t dim,
+                                   index_t elem_bytes = sizeof(value_t));
 
 /** Prefetch @p addr into all cache levels for reading (no-op if unsupported). */
 inline void

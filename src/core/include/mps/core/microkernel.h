@@ -152,6 +152,46 @@ struct RowKernels
     void (*axpy_atomic)(value_t *dst, value_t a, const value_t *x,
                         index_t dim);
 
+    // -----------------------------------------------------------------
+    // Mixed precision (mps/sparse/quant.h): B-operand rows stored at
+    // bf16 or int8 width, widened to fp32 in registers. Accumulators
+    // and destinations are always fp32, so the commit_* protocol above
+    // is reused unchanged — only the load side narrows. The encode_*
+    // kernels are the quantizing stores that build the shadow rows;
+    // they are bit-identical to the scalar quant.h primitives.
+    // -----------------------------------------------------------------
+
+    /** acc += a * widen(x) — bf16 operand, fp32 accumulate. */
+    void (*axpy_bf16)(value_t *acc, value_t a, const bf16_t *x,
+                      index_t dim);
+    /** Sum of x[i] * widen(y[i]) — fp32 times bf16 row. */
+    value_t (*dot_bf16)(const value_t *x, const bf16_t *y, index_t dim);
+    /** gather_dot over a bf16 x vector. */
+    value_t (*gather_dot_bf16)(const value_t *vals, const index_t *cols,
+                               index_t begin, index_t end,
+                               const bf16_t *x);
+    /** dst[0:dim) = bf16(src[0:dim)) (round-to-nearest-even). */
+    void (*encode_bf16)(bf16_t *dst, const value_t *src, index_t dim);
+    /** dst[0:dim) = widen(src[0:dim)). */
+    void (*decode_bf16)(value_t *dst, const bf16_t *src, index_t dim);
+    /** acc += a * (scale * x + zero) — int8 operand, fp32 accumulate. */
+    void (*axpy_int8)(value_t *acc, value_t a, const int8_t *x,
+                      value_t scale, value_t zero, index_t dim);
+    /** Sum of x[i] * (scale * y[i] + zero). */
+    value_t (*dot_int8)(const value_t *x, const int8_t *y, value_t scale,
+                        value_t zero, index_t dim);
+    /** gather_dot over an int8 x vector under (scale, zero). */
+    value_t (*gather_dot_int8)(const value_t *vals, const index_t *cols,
+                               index_t begin, index_t end,
+                               const int8_t *x, value_t scale,
+                               value_t zero);
+    /** dst[0:dim) = int8 code of src under (scale, zero), saturating. */
+    void (*encode_int8)(int8_t *dst, const value_t *src, value_t scale,
+                        value_t zero, index_t dim);
+    /** dst[0:dim) = scale * src + zero. */
+    void (*decode_int8)(value_t *dst, const int8_t *src, value_t scale,
+                        value_t zero, index_t dim);
+
     MicrokernelPath path;
     /** Compile-time dimension of this table, 0 for the generic ones. */
     index_t fixed_dim;

@@ -140,17 +140,19 @@ locality_env()
 }
 
 index_t
-auto_tile_d(index_t n_cols, index_t dim)
+auto_tile_d(index_t n_cols, index_t dim, index_t elem_bytes)
 {
     const int64_t llc = detected_llc_bytes();
     // Whole dense operand resident in the outermost cache -> tiling
     // buys nothing: the hierarchy already captures every re-gather and
     // prefetch hides the remaining latency. The operand rows are
-    // cache-line padded, so budget with the padded stride.
+    // cache-line padded, so budget with the padded stride. elem_bytes
+    // is the STORED element width — quantized operands hold more
+    // columns per byte and tile proportionally wider.
     const int64_t padded_dim = (dim + 15) / 16 * 16;
     const int64_t operand_bytes = static_cast<int64_t>(n_cols) *
                                   padded_dim *
-                                  static_cast<int64_t>(sizeof(value_t));
+                                  static_cast<int64_t>(elem_bytes);
     if (operand_bytes <= llc)
         return dim;
     // Full-residency regime: the widest panel such that a slice of
@@ -162,7 +164,7 @@ auto_tile_d(index_t n_cols, index_t dim)
     // without cutting DRAM traffic, and loses to plain prefetch.
     const int64_t budget = std::min(llc, kMaxResidencyBytes) / 2;
     int64_t width = budget / (static_cast<int64_t>(n_cols) *
-                              static_cast<int64_t>(sizeof(value_t)));
+                              static_cast<int64_t>(elem_bytes));
     width = width / 16 * 16;
     if (width < 32)
         return dim; // streaming regime: prefetch, not panels
@@ -173,19 +175,21 @@ auto_tile_d(index_t n_cols, index_t dim)
 }
 
 index_t
-auto_prefetch_distance(index_t dim)
+auto_prefetch_distance(index_t dim, index_t elem_bytes)
 {
     if (dim <= 0)
         return 0;
     // Wider rows take longer to consume, so the lookahead shrinks:
-    // ~one 4 KiB page of gathered elements ahead of the read cursor.
-    // The cap of 8 measured best for narrow rows — past that the
-    // prefetched lines start being evicted before use.
-    return std::clamp<index_t>(1024 / dim, 2, 8);
+    // ~one 4 KiB page of gathered BYTES ahead of the read cursor
+    // (quantized rows pack more elements per page, so the distance
+    // grows). The cap of 8 measured best for narrow rows — past that
+    // the prefetched lines start being evicted before use.
+    return std::clamp<index_t>(
+        4096 / (dim * std::max<index_t>(elem_bytes, 1)), 2, 8);
 }
 
 index_t
-auto_fused_tile_d(index_t n_rows, index_t dim)
+auto_fused_tile_d(index_t n_rows, index_t dim, index_t elem_bytes)
 {
     if (dim <= 32)
         return dim;
@@ -193,7 +197,7 @@ auto_fused_tile_d(index_t n_rows, index_t dim)
     const int64_t padded_dim = (dim + 15) / 16 * 16;
     const int64_t operand_bytes = static_cast<int64_t>(n_rows) *
                                   padded_dim *
-                                  static_cast<int64_t>(sizeof(value_t));
+                                  static_cast<int64_t>(elem_bytes);
     // This is the STREAMING panel width: both the source buffer the
     // GEMM fills and the output panel the consumer reads must stay
     // hot, so budget half a trustworthy cache and floor at 32 instead
@@ -219,7 +223,7 @@ auto_fused_tile_d(index_t n_rows, index_t dim)
     if (operand_bytes <= budget)
         return dim;
     int64_t width = budget / (static_cast<int64_t>(n_rows) *
-                              static_cast<int64_t>(sizeof(value_t)));
+                              static_cast<int64_t>(elem_bytes));
     width = width / 16 * 16;
     width = std::clamp<int64_t>(width, 32, 256);
     if (width >= dim)
@@ -228,7 +232,7 @@ auto_fused_tile_d(index_t n_rows, index_t dim)
 }
 
 SpmmLocality
-default_fused_locality(index_t n_rows, index_t dim)
+default_fused_locality(index_t n_rows, index_t dim, index_t elem_bytes)
 {
     const LocalityEnv &env = locality_env();
     SpmmLocality loc;
@@ -240,15 +244,16 @@ default_fused_locality(index_t n_rows, index_t dim)
         loc.tile_d = std::min(env.tile_d, dim);
         break;
     case TilePolicy::kAuto:
-        loc.tile_d = auto_fused_tile_d(n_rows, dim);
+        loc.tile_d = auto_fused_tile_d(n_rows, dim, elem_bytes);
         loc.auto_width = true;
         break;
     }
     // The fused gather reads panel-width rows, so the lookahead is
     // derived from the effective panel width, not the full dimension.
     const index_t effective = loc.tiled(dim) ? loc.tile_d : dim;
-    loc.prefetch = env.prefetch_auto ? auto_prefetch_distance(effective)
-                                     : env.prefetch;
+    loc.prefetch = env.prefetch_auto
+                       ? auto_prefetch_distance(effective, elem_bytes)
+                       : env.prefetch;
     MetricsRegistry &metrics = MetricsRegistry::global();
     if (metrics.enabled())
         metrics.gauge_set("fusion.tile_d",
@@ -258,7 +263,7 @@ default_fused_locality(index_t n_rows, index_t dim)
 }
 
 SpmmLocality
-default_spmm_locality(index_t n_cols, index_t dim)
+default_spmm_locality(index_t n_cols, index_t dim, index_t elem_bytes)
 {
     const LocalityEnv &env = locality_env();
     SpmmLocality loc;
@@ -270,11 +275,12 @@ default_spmm_locality(index_t n_cols, index_t dim)
         loc.tile_d = std::min(env.tile_d, dim);
         break;
     case TilePolicy::kAuto:
-        loc.tile_d = auto_tile_d(n_cols, dim);
+        loc.tile_d = auto_tile_d(n_cols, dim, elem_bytes);
         break;
     }
-    loc.prefetch = env.prefetch_auto ? auto_prefetch_distance(dim)
-                                     : env.prefetch;
+    loc.prefetch = env.prefetch_auto
+                       ? auto_prefetch_distance(dim, elem_bytes)
+                       : env.prefetch;
     MetricsRegistry &metrics = MetricsRegistry::global();
     if (metrics.enabled()) {
         metrics.gauge_set("locality.tile_d",

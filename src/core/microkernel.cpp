@@ -4,6 +4,7 @@
 #include <string>
 
 #include "mps/sparse/aligned_buffer.h"
+#include "mps/sparse/quant.h"
 #include "mps/util/log.h"
 #include "mps/util/metrics.h"
 
@@ -115,6 +116,101 @@ commit_plain(value_t *dst, const value_t *acc, index_t dim)
         dst[d] += acc[d];
 }
 
+// Mixed-precision reference kernels: the quant.h scalar primitives in
+// the un-autovectorized loop shape. These define the semantics the
+// SIMD variants must reproduce bit-for-bit.
+
+MPS_SCALAR_KERNEL void
+axpy_bf16(value_t *acc, value_t a, const bf16_t *x, index_t dim)
+{
+    for (index_t d = 0; d < dim; ++d)
+        acc[d] += a * bf16_decode(x[d]);
+}
+
+MPS_SCALAR_KERNEL value_t
+dot_bf16(const value_t *x, const bf16_t *y, index_t dim)
+{
+    value_t sum = 0.0f;
+    for (index_t d = 0; d < dim; ++d)
+        sum += x[d] * bf16_decode(y[d]);
+    return sum;
+}
+
+MPS_SCALAR_KERNEL value_t
+gather_dot_bf16(const value_t *vals, const index_t *cols, index_t begin,
+                index_t end, const bf16_t *x)
+{
+    value_t sum = 0.0f;
+    for (index_t k = begin; k < end; ++k)
+        sum += vals[k] * bf16_decode(x[cols[k]]);
+    return sum;
+}
+
+MPS_SCALAR_KERNEL void
+encode_bf16(bf16_t *dst, const value_t *src, index_t dim)
+{
+    for (index_t d = 0; d < dim; ++d)
+        dst[d] = bf16_encode(src[d]);
+}
+
+MPS_SCALAR_KERNEL void
+decode_bf16(value_t *dst, const bf16_t *src, index_t dim)
+{
+    for (index_t d = 0; d < dim; ++d)
+        dst[d] = bf16_decode(src[d]);
+}
+
+MPS_SCALAR_KERNEL void
+axpy_int8(value_t *acc, value_t a, const int8_t *x, value_t scale,
+          value_t zero, index_t dim)
+{
+    // acc += a * (scale*q + zero) as (acc + a*zero) + (a*scale)*q:
+    // two row-invariant products hoist out and the loop is one fma
+    // per element — the SIMD path uses the same association.
+    const value_t as = a * scale;
+    const value_t az = a * zero;
+    for (index_t d = 0; d < dim; ++d)
+        acc[d] = (acc[d] + az) + as * static_cast<value_t>(x[d]);
+}
+
+MPS_SCALAR_KERNEL value_t
+dot_int8(const value_t *x, const int8_t *y, value_t scale, value_t zero,
+         index_t dim)
+{
+    value_t sum = 0.0f;
+    for (index_t d = 0; d < dim; ++d)
+        sum += x[d] * (scale * static_cast<value_t>(y[d]) + zero);
+    return sum;
+}
+
+MPS_SCALAR_KERNEL value_t
+gather_dot_int8(const value_t *vals, const index_t *cols, index_t begin,
+                index_t end, const int8_t *x, value_t scale,
+                value_t zero)
+{
+    value_t sum = 0.0f;
+    for (index_t k = begin; k < end; ++k)
+        sum += vals[k] *
+               (scale * static_cast<value_t>(x[cols[k]]) + zero);
+    return sum;
+}
+
+MPS_SCALAR_KERNEL void
+encode_int8(int8_t *dst, const value_t *src, value_t scale, value_t zero,
+            index_t dim)
+{
+    for (index_t d = 0; d < dim; ++d)
+        dst[d] = int8_encode(src[d], scale, zero);
+}
+
+MPS_SCALAR_KERNEL void
+decode_int8(value_t *dst, const int8_t *src, value_t scale, value_t zero,
+            index_t dim)
+{
+    for (index_t d = 0; d < dim; ++d)
+        dst[d] = int8_decode(src[d], scale, zero);
+}
+
 } // namespace scalar
 
 // Atomic commits cannot vectorize; both paths share these.
@@ -147,6 +243,12 @@ constexpr RowKernels kScalarTable = {
     scalar::dot,          scalar::gather_dot,
     scalar::commit_plain, commit_atomic_impl,
     commit_max_atomic_impl, axpy_atomic_impl,
+    scalar::axpy_bf16,    scalar::dot_bf16,
+    scalar::gather_dot_bf16,
+    scalar::encode_bf16,  scalar::decode_bf16,
+    scalar::axpy_int8,    scalar::dot_int8,
+    scalar::gather_dot_int8,
+    scalar::encode_int8,  scalar::decode_int8,
     MicrokernelPath::kScalar,
     /*fixed_dim=*/0,
     "scalar",
@@ -324,6 +426,217 @@ commit_plain(value_t *dst, const value_t *acc, index_t dim)
     add(dst, acc, dim);
 }
 
+// ---------------------------------------------------------------------
+// Mixed-precision variants: the operand widens to fp32 IN REGISTERS
+// (bf16: zero-extend 16-bit halves and shift into the high mantissa;
+// int8: sign-extend bytes, convert, and fold the affine (scale, zero)
+// into the axpy coefficient), accumulators stay fp32.
+// ---------------------------------------------------------------------
+
+/** Widen 8 bf16 values at @p p to an fp32 vector. */
+inline __m256
+load_bf16x8(const bf16_t *p)
+{
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+    return _mm256_castsi256_ps(
+        _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16));
+}
+
+/** Widen 8 int8 codes at @p p to an fp32 vector (no scale applied). */
+inline __m256
+load_int8x8(const int8_t *p)
+{
+    const __m128i b =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p));
+    return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+}
+
+void
+axpy_bf16(value_t *acc, value_t a, const bf16_t *x, index_t dim)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    index_t d = 0;
+    for (; d + 16 <= dim; d += 16) {
+        _mm256_storeu_ps(acc + d, fmadd(va, load_bf16x8(x + d),
+                                        _mm256_loadu_ps(acc + d)));
+        _mm256_storeu_ps(acc + d + 8,
+                         fmadd(va, load_bf16x8(x + d + 8),
+                               _mm256_loadu_ps(acc + d + 8)));
+    }
+    for (; d + 8 <= dim; d += 8) {
+        _mm256_storeu_ps(acc + d, fmadd(va, load_bf16x8(x + d),
+                                        _mm256_loadu_ps(acc + d)));
+    }
+    for (; d < dim; ++d)
+        acc[d] += a * bf16_decode(x[d]);
+}
+
+value_t
+dot_bf16(const value_t *x, const bf16_t *y, index_t dim)
+{
+    __m256 acc = _mm256_setzero_ps();
+    index_t d = 0;
+    for (; d + 8 <= dim; d += 8)
+        acc = fmadd(_mm256_loadu_ps(x + d), load_bf16x8(y + d), acc);
+    value_t sum = hsum(acc);
+    for (; d < dim; ++d)
+        sum += x[d] * bf16_decode(y[d]);
+    return sum;
+}
+
+value_t
+gather_dot_bf16(const value_t *vals, const index_t *cols, index_t begin,
+                index_t end, const bf16_t *x)
+{
+    // AVX2 gathers are 32-bit granular: gathering 16-bit elements
+    // would read past the buffer for the last column. Scalar decode
+    // keeps the loads exact-width (same reasoning as the NEON
+    // gather); the bandwidth win is already in the halved buffer.
+    value_t sum = 0.0f;
+    for (index_t k = begin; k < end; ++k)
+        sum += vals[k] * bf16_decode(x[cols[k]]);
+    return sum;
+}
+
+void
+encode_bf16(bf16_t *dst, const value_t *src, index_t dim)
+{
+    const __m256i bias = _mm256_set1_epi32(0x7fff);
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i quiet = _mm256_set1_epi32(0x0040);
+    index_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+        const __m256 f = _mm256_loadu_ps(src + d);
+        const __m256i u = _mm256_castps_si256(f);
+        // Round-to-nearest-even: u += 0x7fff + lsb(u >> 16).
+        const __m256i lsb =
+            _mm256_and_si256(_mm256_srli_epi32(u, 16), one);
+        const __m256i rounded = _mm256_srli_epi32(
+            _mm256_add_epi32(u, _mm256_add_epi32(bias, lsb)), 16);
+        // NaN lanes skip rounding (it could carry into the exponent
+        // and produce inf) and force a quiet bit instead.
+        const __m256i nan = _mm256_or_si256(_mm256_srli_epi32(u, 16),
+                                            quiet);
+        const __m256i unord = _mm256_castps_si256(
+            _mm256_cmp_ps(f, f, _CMP_UNORD_Q));
+        const __m256i h32 = _mm256_blendv_epi8(rounded, nan, unord);
+        // 8 x u32 (each <= 0xffff) -> 8 contiguous u16.
+        const __m256i packed =
+            _mm256_packus_epi32(h32, _mm256_setzero_si256());
+        const __m256i lanes = _mm256_permute4x64_epi64(packed, 0x08);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + d),
+                         _mm256_castsi256_si128(lanes));
+    }
+    for (; d < dim; ++d)
+        dst[d] = bf16_encode(src[d]);
+}
+
+void
+decode_bf16(value_t *dst, const bf16_t *src, index_t dim)
+{
+    index_t d = 0;
+    for (; d + 8 <= dim; d += 8)
+        _mm256_storeu_ps(dst + d, load_bf16x8(src + d));
+    for (; d < dim; ++d)
+        dst[d] = bf16_decode(src[d]);
+}
+
+void
+axpy_int8(value_t *acc, value_t a, const int8_t *x, value_t scale,
+          value_t zero, index_t dim)
+{
+    // acc = (acc + a*zero) + (a*scale) * q — same association as the
+    // scalar reference.
+    const __m256 vas = _mm256_set1_ps(a * scale);
+    const __m256 vaz = _mm256_set1_ps(a * zero);
+    index_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+        const __m256 base =
+            _mm256_add_ps(_mm256_loadu_ps(acc + d), vaz);
+        _mm256_storeu_ps(acc + d, fmadd(vas, load_int8x8(x + d), base));
+    }
+    const value_t as = a * scale;
+    const value_t az = a * zero;
+    for (; d < dim; ++d)
+        acc[d] = (acc[d] + az) + as * static_cast<value_t>(x[d]);
+}
+
+value_t
+dot_int8(const value_t *x, const int8_t *y, value_t scale, value_t zero,
+         index_t dim)
+{
+    const __m256 vs = _mm256_set1_ps(scale);
+    const __m256 vz = _mm256_set1_ps(zero);
+    __m256 acc = _mm256_setzero_ps();
+    index_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+        const __m256 yv = fmadd(vs, load_int8x8(y + d), vz);
+        acc = fmadd(_mm256_loadu_ps(x + d), yv, acc);
+    }
+    value_t sum = hsum(acc);
+    for (; d < dim; ++d)
+        sum += x[d] * (scale * static_cast<value_t>(y[d]) + zero);
+    return sum;
+}
+
+value_t
+gather_dot_int8(const value_t *vals, const index_t *cols, index_t begin,
+                index_t end, const int8_t *x, value_t scale,
+                value_t zero)
+{
+    // Same exact-width-load argument as gather_dot_bf16.
+    value_t sum = 0.0f;
+    for (index_t k = begin; k < end; ++k)
+        sum += vals[k] *
+               (scale * static_cast<value_t>(x[cols[k]]) + zero);
+    return sum;
+}
+
+void
+encode_int8(int8_t *dst, const value_t *src, value_t scale, value_t zero,
+            index_t dim)
+{
+    const __m256 vs = _mm256_set1_ps(scale);
+    const __m256 vz = _mm256_set1_ps(zero);
+    const __m256 lo = _mm256_set1_ps(-127.0f);
+    const __m256 hi = _mm256_set1_ps(127.0f);
+    index_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+        // True division (not reciprocal multiply) and explicit RNE
+        // rounding: bit-parity with the scalar nearbyintf reference.
+        const __m256 q = _mm256_round_ps(
+            _mm256_div_ps(
+                _mm256_sub_ps(_mm256_loadu_ps(src + d), vz), vs),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        // max_ps propagates the second operand on NaN, so NaN lanes
+        // saturate to -127 exactly like the scalar std::max order.
+        const __m256 c = _mm256_min_ps(_mm256_max_ps(q, lo), hi);
+        const __m256i i32 = _mm256_cvtps_epi32(c);
+        const __m256i i16 =
+            _mm256_packs_epi32(i32, _mm256_setzero_si256());
+        const __m128i lanes = _mm256_castsi256_si128(
+            _mm256_permute4x64_epi64(i16, 0x08));
+        const __m128i i8 = _mm_packs_epi16(lanes, _mm_setzero_si128());
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + d), i8);
+    }
+    for (; d < dim; ++d)
+        dst[d] = int8_encode(src[d], scale, zero);
+}
+
+void
+decode_int8(value_t *dst, const int8_t *src, value_t scale, value_t zero,
+            index_t dim)
+{
+    const __m256 vs = _mm256_set1_ps(scale);
+    const __m256 vz = _mm256_set1_ps(zero);
+    index_t d = 0;
+    for (; d + 8 <= dim; d += 8)
+        _mm256_storeu_ps(dst + d, fmadd(vs, load_int8x8(src + d), vz));
+    for (; d < dim; ++d)
+        dst[d] = int8_decode(src[d], scale, zero);
+}
+
 // Fully unrolled fixed-dimension variants of the inner-loop hot set.
 // DIM must be a multiple of 8; the selector only hands these out for
 // d in {16, 32, 64}, where the trip count is a compile-time constant
@@ -368,6 +681,32 @@ commit_plain_fixed(value_t *dst, const value_t *acc, index_t /*dim*/)
     add_fixed<DIM>(dst, acc, DIM);
 }
 
+template <index_t DIM>
+void
+axpy_bf16_fixed(value_t *acc, value_t a, const bf16_t *x,
+                index_t /*dim*/)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    for (index_t d = 0; d < DIM; d += 8) {
+        _mm256_storeu_ps(acc + d, fmadd(va, load_bf16x8(x + d),
+                                        _mm256_loadu_ps(acc + d)));
+    }
+}
+
+template <index_t DIM>
+void
+axpy_int8_fixed(value_t *acc, value_t a, const int8_t *x, value_t scale,
+                value_t zero, index_t /*dim*/)
+{
+    const __m256 vas = _mm256_set1_ps(a * scale);
+    const __m256 vaz = _mm256_set1_ps(a * zero);
+    for (index_t d = 0; d < DIM; d += 8) {
+        const __m256 base =
+            _mm256_add_ps(_mm256_loadu_ps(acc + d), vaz);
+        _mm256_storeu_ps(acc + d, fmadd(vas, load_int8x8(x + d), base));
+    }
+}
+
 } // namespace simd
 
 constexpr RowKernels kSimdGeneric = {
@@ -378,6 +717,12 @@ constexpr RowKernels kSimdGeneric = {
     simd::dot,          simd::gather_dot,
     simd::commit_plain, commit_atomic_impl,
     commit_max_atomic_impl, axpy_atomic_impl,
+    simd::axpy_bf16,    simd::dot_bf16,
+    simd::gather_dot_bf16,
+    simd::encode_bf16,  simd::decode_bf16,
+    simd::axpy_int8,    simd::dot_int8,
+    simd::gather_dot_int8,
+    simd::encode_int8,  simd::decode_int8,
     MicrokernelPath::kSimd,
     /*fixed_dim=*/0,
     "simd",
@@ -392,6 +737,8 @@ make_fixed_table(const char *table_name)
     t.add = simd::add_fixed<DIM>;
     t.axpy = simd::axpy_fixed<DIM>;
     t.commit_plain = simd::commit_plain_fixed<DIM>;
+    t.axpy_bf16 = simd::axpy_bf16_fixed<DIM>;
+    t.axpy_int8 = simd::axpy_int8_fixed<DIM>;
     t.fixed_dim = DIM;
     t.name = table_name;
     return t;
@@ -537,6 +884,9 @@ commit_plain(value_t *dst, const value_t *acc, index_t dim)
 
 } // namespace simd
 
+// The mixed-precision fields fall back to the scalar reference on
+// NEON: 4-lane widening loops don't beat the scalar fma chain, and
+// the bandwidth saving comes from the narrow buffers either way.
 constexpr RowKernels kSimdGeneric = {
     simd::zero,         simd::fill,
     simd::copy,         simd::add,
@@ -545,6 +895,12 @@ constexpr RowKernels kSimdGeneric = {
     simd::dot,          simd::gather_dot,
     simd::commit_plain, commit_atomic_impl,
     commit_max_atomic_impl, axpy_atomic_impl,
+    scalar::axpy_bf16,    scalar::dot_bf16,
+    scalar::gather_dot_bf16,
+    scalar::encode_bf16,  scalar::decode_bf16,
+    scalar::axpy_int8,    scalar::dot_int8,
+    scalar::gather_dot_int8,
+    scalar::encode_int8,  scalar::decode_int8,
     MicrokernelPath::kSimd,
     /*fixed_dim=*/0,
     "simd",

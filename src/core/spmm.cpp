@@ -39,6 +39,12 @@ struct PanelContext
     const index_t *scatter = nullptr;
     PanelEpilogue epi = nullptr;
     const void *epi_ctx = nullptr;
+    /**
+     * B's storage mode: the gather loop reads the reduced-width shadow
+     * rows when the operand is quantized and widens in registers. The
+     * accumulator/commit side is fp32 in every mode.
+     */
+    StorageMode bmode = StorageMode::kF32;
 
     index_t out_row(index_t row) const {
         return scatter != nullptr ? scatter[row] : row;
@@ -64,6 +70,30 @@ accumulate_range(const CsrMatrix &a, const DenseMatrix &b, index_t nz_begin,
     // prefetcher on every short power-law row.
     const index_t pf_end = pf > 0 ? a.nnz() - pf : 0;
     rk.zero(acc, dim);
+    switch (panel.bmode) {
+    case StorageMode::kBf16:
+        for (index_t k = nz_begin; k < nz_end; ++k) {
+            if (pf > 0 && k < pf_end) {
+                const bf16_t *next = b.row_bf16(cols[k + pf]) + col0;
+                locality_prefetch(next);
+                if (dim > 32)
+                    locality_prefetch(next + 32);
+            }
+            rk.axpy_bf16(acc, vals[k], b.row_bf16(cols[k]) + col0, dim);
+        }
+        return;
+    case StorageMode::kInt8:
+        for (index_t k = nz_begin; k < nz_end; ++k) {
+            if (pf > 0 && k < pf_end)
+                locality_prefetch(b.row_int8(cols[k + pf]) + col0);
+            const index_t src = cols[k];
+            rk.axpy_int8(acc, vals[k], b.row_int8(src) + col0,
+                         b.quant_scale(src), b.quant_zero(src), dim);
+        }
+        return;
+    case StorageMode::kF32:
+        break;
+    }
     for (index_t k = nz_begin; k < nz_end; ++k) {
         if (pf > 0 && k < pf_end) {
             const value_t *next = b.row(cols[k + pf]) + col0;
@@ -199,8 +229,9 @@ mergepath_spmm_sequential(const CsrMatrix &a, const DenseMatrix &b,
     CommitCensus census;
     int64_t sweeps = 0;
     for (index_t col = 0; col < dim; col += tile) {
-        const PanelContext panel{col, col, std::min(tile, dim - col),
-                                 loc.prefetch, loc.row_scatter};
+        PanelContext panel{col, col, std::min(tile, dim - col),
+                           loc.prefetch, loc.row_scatter};
+        panel.bmode = b.storage();
         const RowKernels &rk = select_row_kernels(panel.dim);
         value_t *acc = microkernel_scratch(panel.dim);
         // The write census describes the schedule, not the sweep
@@ -270,8 +301,9 @@ mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
         census.resize(pool.max_concurrency());
     int64_t sweeps = 0;
     for (index_t col = 0; col < dim; col += tile) {
-        const PanelContext panel{col, col, std::min(tile, dim - col),
-                                 loc.prefetch, loc.row_scatter};
+        PanelContext panel{col, col, std::min(tile, dim - col),
+                           loc.prefetch, loc.row_scatter};
+        panel.bmode = b.storage();
         const RowKernels &rk = select_row_kernels(panel.dim);
         const bool count = instrumented && col == 0;
         // Grain is left to the pool: it derives the chunk size from
@@ -303,8 +335,10 @@ mergepath_spmm_parallel(const CsrMatrix &a, const DenseMatrix &b,
                         DenseMatrix &c, const MergePathSchedule &sched,
                         WorkStealPool &pool)
 {
-    mergepath_spmm_parallel(a, b, c, sched, pool,
-                            default_spmm_locality(b.rows(), b.cols()));
+    mergepath_spmm_parallel(
+        a, b, c, sched, pool,
+        default_spmm_locality(b.rows(), b.cols(),
+                              storage_elem_bytes(b.storage())));
 }
 
 void
@@ -351,8 +385,9 @@ mergepath_spmm_panel(const CsrMatrix &a, const DenseMatrix &b,
     std::vector<CommitCensus> census;
     if (count)
         census.resize(pool.max_concurrency());
-    const PanelContext panel{b_col0,       c_col0, width, loc.prefetch,
-                             loc.row_scatter, epi,  epi_ctx};
+    PanelContext panel{b_col0,       c_col0, width, loc.prefetch,
+                       loc.row_scatter, epi,  epi_ctx};
+    panel.bmode = b.storage();
     const RowKernels &rk = select_row_kernels(width);
     pool.parallel_for(
         static_cast<uint64_t>(sched.num_threads()), [&](uint64_t t) {
@@ -377,8 +412,9 @@ mergepath_spmm_panel(const CsrMatrix &a, const DenseMatrix &b,
     MetricsRegistry &metrics = MetricsRegistry::global();
     const bool count = count_census && metrics.enabled();
     CommitCensus census;
-    const PanelContext panel{b_col0,       c_col0, width, loc.prefetch,
-                             loc.row_scatter, epi,  epi_ctx};
+    PanelContext panel{b_col0,       c_col0, width, loc.prefetch,
+                       loc.row_scatter, epi,  epi_ctx};
+    panel.bmode = b.storage();
     const RowKernels &rk = select_row_kernels(width);
     value_t *acc = microkernel_scratch(width);
     for (index_t t = 0; t < sched.num_threads(); ++t)
@@ -527,8 +563,10 @@ dynamic_spmm_parallel(const DeltaCsr &dcsr, const DenseMatrix &b,
                       DenseMatrix &c, const MergePathSchedule &sched,
                       WorkStealPool &pool)
 {
-    dynamic_spmm_parallel(dcsr, b, c, sched, pool,
-                          default_spmm_locality(b.rows(), b.cols()));
+    dynamic_spmm_parallel(
+        dcsr, b, c, sched, pool,
+        default_spmm_locality(b.rows(), b.cols(),
+                              storage_elem_bytes(b.storage())));
 }
 
 void

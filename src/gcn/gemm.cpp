@@ -215,7 +215,9 @@ gemm_panel_source(const DenseMatrix &x, const DenseMatrix &w,
         if (buf->rows() != x.rows() || buf->cols() < width)
             *buf = DenseMatrix(x.rows(), width);
         dense_gemm_panel(x, w, col0, width, *buf, pool);
-        return PanelSource{buf.get(), 0};
+        // fresh: the buffer was just rewritten for this panel, so a
+        // quantizing plan must re-encode it (panel columns only).
+        return PanelSource{buf.get(), 0, buf.get(), /*fresh=*/true};
     };
 }
 
@@ -227,7 +229,7 @@ gemm_panel_source(const DenseMatrix &x, const DenseMatrix &w,
         if (buf.rows() != x.rows() || buf.cols() < width)
             buf = DenseMatrix(x.rows(), width);
         dense_gemm_panel(x, w, col0, width, buf, pool);
-        return PanelSource{&buf, 0};
+        return PanelSource{&buf, 0, &buf, /*fresh=*/true};
     };
 }
 
@@ -236,6 +238,16 @@ slice_panel_source(const DenseMatrix &xw)
 {
     return [&xw](index_t col0, index_t) {
         return PanelSource{&xw, col0};
+    };
+}
+
+PanelSourceFn
+slice_panel_source(DenseMatrix &xw)
+{
+    // Mutable overload: the plan may quantize the matrix in place (the
+    // shadow encode happens once, on the first panel, full-width).
+    return [&xw](index_t col0, index_t) {
+        return PanelSource{&xw, col0, &xw, /*fresh=*/false};
     };
 }
 

@@ -45,10 +45,16 @@ class GcnLayer
      * @param kernel prepared aggregation kernel
      * @param out    n x out_features() output (overwritten)
      * @param pool   worker pool for GEMM + SpMM
+     * @param precision aggregation operand storage: kF32 is the exact
+     *        historical execution; kBf16/kInt8 store XW reduced-width
+     *        for the SpMM gather (fp32 accumulate throughout). Only the
+     *        merge-path/hybrid aggregation honors it — other registry
+     *        kernels keep reading the f32 master, which stays valid.
      */
     void forward(const CsrMatrix &a, const DenseMatrix &x,
                  const SpmmKernel &kernel, DenseMatrix &out,
-                 WorkStealPool &pool) const;
+                 WorkStealPool &pool,
+                 StorageMode precision = StorageMode::kF32) const;
 
   private:
     DenseMatrix weights_;

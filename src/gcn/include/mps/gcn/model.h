@@ -70,6 +70,16 @@ class GcnModel
     ScheduleMode mode() const { return mode_; }
 
     /**
+     * Aggregation operand precision for inference (training always
+     * runs f32). Defaults to default_precision() — the cached
+     * MPS_PRECISION parse — so deployments opt whole processes in via
+     * the environment; call this to pin a model programmatically.
+     * Accumulation stays fp32 in every mode (see DESIGN.md §12).
+     */
+    void set_precision(StorageMode p) { precision_ = p; }
+    StorageMode precision() const { return precision_; }
+
+    /**
      * Share merge-path schedules through @p cache (default: the
      * process-wide ScheduleCache). Layers with the same tuned cost then
      * reuse one schedule, and online-mode re-preparation stops paying
@@ -118,6 +128,7 @@ class GcnModel
     ScheduleMode mode_;
     ScheduleCache *schedule_cache_; // nullptr = private per-kernel schedules
     ReorderKind reorder_ = default_reorder_kind();
+    StorageMode precision_ = default_precision();
     // Offline-cache identity of the last prepared graph.
     index_t prepared_rows_ = -1;
     index_t prepared_nnz_ = -1;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "mps/core/precision.h"
 #include "mps/gcn/gemm.h"
 #include "mps/util/log.h"
 #include "mps/util/rng.h"
@@ -20,7 +21,7 @@ GcnLayer::GcnLayer(DenseMatrix weights, Activation act)
 void
 GcnLayer::forward(const CsrMatrix &a, const DenseMatrix &x,
                   const SpmmKernel &kernel, DenseMatrix &out,
-                  WorkStealPool &pool) const
+                  WorkStealPool &pool, StorageMode precision) const
 {
     MPS_CHECK(a.rows() == a.cols(), "adjacency matrix must be square");
     MPS_CHECK(x.rows() == a.rows(), "feature rows must match graph nodes");
@@ -36,6 +37,7 @@ GcnLayer::forward(const CsrMatrix &a, const DenseMatrix &x,
         // without a fused plan (and MPS_FUSE=0) take the classic path.
         if (FusedLayerPlan *plan = kernel.fused_plan(a, out_features())) {
             ScopedSpan fused("gcn.layer.fused", "gcn");
+            plan->set_precision(precision);
             plan->run(gemm_panel_source(x, weights_, pool,
                                         plan->gemm_scratch()),
                       out, pool, activation_epilogue(act_));
@@ -49,6 +51,11 @@ GcnLayer::forward(const CsrMatrix &a, const DenseMatrix &x,
     }
     {
         ScopedSpan aggregate("gcn.layer.aggregate", "gcn");
+        // Encode the reduced-width shadow before the aggregation: the
+        // merge-path and hybrid kernels gather from b.storage(); every
+        // other kernel reads the untouched f32 master rows.
+        if (precision != StorageMode::kF32)
+            quantize_dense(xw, precision, &pool);
         kernel.run(a, xw, out, pool);
     }
     apply_activation(out, act_);

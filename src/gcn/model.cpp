@@ -97,6 +97,7 @@ GcnModel::fused_infer(const CsrMatrix &a, const DenseMatrix &x,
             kernels_[i]->fused_plan(a, layers_[i].out_features());
         if (plan == nullptr)
             return false;
+        plan->set_precision(precision_);
         plans.push_back(plan);
     }
 
@@ -181,7 +182,8 @@ GcnModel::infer(const CsrMatrix &a, const DenseMatrix &x, WorkStealPool &pool,
         for (size_t i = 0; i < layers_.size(); ++i) {
             ScopedSpan layer_span("gcn.layer" + std::to_string(i), "gcn");
             DenseMatrix next(a.rows(), layers_[i].out_features());
-            layers_[i].forward(a, current, *kernels_[i], next, pool);
+            layers_[i].forward(a, current, *kernels_[i], next, pool,
+                               precision_);
             current = std::move(next);
         }
     }

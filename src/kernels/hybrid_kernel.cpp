@@ -82,7 +82,8 @@ HybridSpmm::run(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c,
     MPS_CHECK(a.rows() == plan_->matrix.rows() &&
                   a.nnz() == plan_->matrix.nnz(),
               "run() input does not match the prepared reorder plan");
-    SpmmLocality loc = default_spmm_locality(b.rows(), b.cols());
+    SpmmLocality loc = default_spmm_locality(
+        b.rows(), b.cols(), storage_elem_bytes(b.storage()));
     loc.row_scatter = plan_->inverse.data();
     hybrid_spmm_parallel(plan_->matrix, hs, b, c, pool, loc);
 }

@@ -69,9 +69,12 @@ class AdaptiveSpmm final : public SpmmKernel
 
     /**
      * Dense-band nnz fraction below which a skewed input stays on the
-     * plain merge path instead of the hybrid dispatch.
+     * plain merge path instead of the hybrid dispatch. Aliases the
+     * shared executor threshold in mps/core/hybrid.h so serve and the
+     * adaptive kernel can never disagree.
      */
-    static constexpr double kHybridDenseFractionMin = 0.25;
+    static constexpr double kHybridDenseFractionMin =
+        mps::kHybridDenseFractionMin;
 
   private:
     double cv_threshold_;

@@ -140,6 +140,16 @@ struct ServeConfig
     ReorderKind reorder = default_reorder_kind();
     /** Default per-request deadline; <= 0 means none. */
     double default_timeout_ms = 0.0;
+    /**
+     * Aggregation operand precision of every batch this server
+     * executes: kBf16/kInt8 store each batch's XW (or panel buffer)
+     * reduced-width for the SpMM gather, cutting the gather's DRAM
+     * traffic 2x/4x; accumulation and the atomic commit protocol stay
+     * fp32, and the delta-correction pass keeps reading the f32 master
+     * rows. Defaults to the cached MPS_PRECISION parse (f32 unset), so
+     * serving tenants opt in per process or per ServeConfig.
+     */
+    StorageMode precision = default_precision();
     /** Edge-delta integration strategy for update_graph(). */
     GraphUpdatePolicy update_policy = GraphUpdatePolicy::kIncremental;
     /**

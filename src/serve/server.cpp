@@ -9,8 +9,10 @@
 #include <utility>
 
 #include "mps/core/fusion.h"
+#include "mps/core/hybrid.h"
 #include "mps/core/locality.h"
 #include "mps/core/microkernel.h"
+#include "mps/core/precision.h"
 #include "mps/core/policy.h"
 #include "mps/core/spmm.h"
 #include "mps/gcn/activation.h"
@@ -51,6 +53,26 @@ serve_cost(const CsrMatrix &a, index_t dim, const WorkStealPool &pool)
 
 /** Flow-event name connecting one request's spans across threads. */
 constexpr const char *kRequestFlow = "serve.request";
+
+/**
+ * The batch executor prefers the two-phase hybrid schedule whenever
+ * the cached row classification routes at least kHybridDenseFractionMin
+ * of the nnz to dense bands — the same adaptive threshold AdaptiveSpmm
+ * applies (mps/core/hybrid.h). Returns nullptr when hybrid dispatch is
+ * off or the graph is not skewed enough; the caller then executes the
+ * plain merge path. The hybrid entry shares the ScheduleCache with the
+ * merge-path ones, so the classification is paid once per (graph, d).
+ */
+std::shared_ptr<const HybridSchedule>
+preferred_hybrid(ScheduleCache &cache, const CsrMatrix &a, index_t cost)
+{
+    if (!hybrid_enabled())
+        return nullptr;
+    auto hs = cache.get_or_build_hybrid(a, cost, 0);
+    if (hs != nullptr && hs->dense_fraction() >= kHybridDenseFractionMin)
+        return hs;
+    return nullptr;
+}
 
 /** ServerStats percentile block from a latency histogram snapshot. */
 PercentileSummary
@@ -610,8 +632,11 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
 
         if (k == 1) {
             DenseMatrix out(n, h);
-            auto sched = cache_->get_or_build_with_cost(
-                exec, serve_cost(exec, h, pool), 0);
+            const index_t cost = serve_cost(exec, h, pool);
+            auto hsched = preferred_hybrid(*cache_, exec, cost);
+            std::shared_ptr<const MergePathSchedule> sched;
+            if (hsched == nullptr)
+                sched = cache_->get_or_build_with_cost(exec, cost, 0);
             if (fused) {
                 // Fused: the combination GEMM streams XW panels
                 // straight into the traversal — tall_xw is never
@@ -619,10 +644,15 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
                 // folds into the commit sweep; with a dirty one it
                 // must wait for the per-panel correction pass (which
                 // needs the raw, pre-activation sums).
-                SpmmLocality loc =
-                    default_fused_locality(exec.cols(), h);
+                SpmmLocality loc = default_fused_locality(
+                    exec.cols(), h,
+                    storage_elem_bytes(config_.precision));
                 loc.row_scatter = scatter;
-                FusedLayerPlan fplan(exec, h, sched, loc);
+                FusedLayerPlan fplan =
+                    hsched != nullptr
+                        ? FusedLayerPlan(exec, h, hsched, loc)
+                        : FusedLayerPlan(exec, h, sched, loc);
+                fplan.set_precision(config_.precision);
                 const PanelEpilogue epi =
                     has_delta ? nullptr
                               : activation_epilogue(layer.activation());
@@ -642,10 +672,21 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
             } else {
                 DenseMatrix tall_xw(n, h);
                 dense_gemm(tall, w, tall_xw, pool);
-                SpmmLocality loc = default_spmm_locality(exec.cols(), h);
+                SpmmLocality loc = default_spmm_locality(
+                    exec.cols(), h,
+                    storage_elem_bytes(config_.precision));
                 loc.row_scatter = scatter;
-                mergepath_spmm_parallel(exec, tall_xw, out, *sched,
-                                        pool, loc);
+                // The reduced-width shadow serves the aggregation
+                // gather only; delta correction below keeps reading
+                // the f32 master rows.
+                if (config_.precision != StorageMode::kF32)
+                    quantize_dense(tall_xw, config_.precision, &pool);
+                if (hsched != nullptr)
+                    hybrid_spmm_parallel(exec, *hsched, tall_xw, out,
+                                         pool, loc);
+                else
+                    mergepath_spmm_parallel(exec, tall_xw, out, *sched,
+                                            pool, loc);
                 // Overlay correction: O(delta * h) on top of the
                 // schedule-stable base traversal.
                 if (has_delta)
@@ -660,8 +701,11 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
         // sparse traversal of A once for the whole batch. Wide column
         // j*h + c holds request j's layer column c.
         const index_t wide_d = static_cast<index_t>(k) * h;
-        auto sched = cache_->get_or_build_with_cost(
-            exec, serve_cost(exec, wide_d, pool), 0);
+        const index_t wide_cost = serve_cost(exec, wide_d, pool);
+        auto hsched = preferred_hybrid(*cache_, exec, wide_cost);
+        std::shared_ptr<const MergePathSchedule> sched;
+        if (hsched == nullptr)
+            sched = cache_->get_or_build_with_cost(exec, wide_cost, 0);
         DenseMatrix wide_out(n, wide_d);
         if (fused) {
             // Fused: each wide panel is produced on demand straight
@@ -670,10 +714,15 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
             // row-blocked GEMM per overlapping request. Neither the
             // tall XW (k*n x h) nor the folded wide input (n x k*h)
             // is ever materialized.
-            SpmmLocality loc =
-                default_fused_locality(exec.cols(), wide_d);
+            SpmmLocality loc = default_fused_locality(
+                exec.cols(), wide_d,
+                storage_elem_bytes(config_.precision));
             loc.row_scatter = scatter;
-            FusedLayerPlan fplan(exec, wide_d, sched, loc);
+            FusedLayerPlan fplan =
+                hsched != nullptr
+                    ? FusedLayerPlan(exec, wide_d, hsched, loc)
+                    : FusedLayerPlan(exec, wide_d, sched, loc);
+            fplan.set_precision(config_.precision);
             auto buf = std::make_shared<DenseMatrix>();
             const PanelSourceFn src = [&, buf](index_t col0,
                                                index_t width) {
@@ -690,7 +739,10 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
                                      off, n, pool);
                     off += take;
                 }
-                return PanelSource{buf.get(), 0};
+                // fresh: the assembled panel is rewritten per call, so
+                // a quantizing plan re-encodes its panel columns.
+                return PanelSource{buf.get(), 0, buf.get(),
+                                   /*fresh=*/true};
             };
             const PanelEpilogue epi =
                 has_delta ? nullptr
@@ -728,11 +780,18 @@ Server::execute_batch(Batch batch, WorkStealPool &pool)
                 },
                 64);
 
-            SpmmLocality loc =
-                default_spmm_locality(exec.cols(), wide_d);
+            SpmmLocality loc = default_spmm_locality(
+                exec.cols(), wide_d,
+                storage_elem_bytes(config_.precision));
             loc.row_scatter = scatter;
-            mergepath_spmm_parallel(exec, wide_in, wide_out, *sched,
-                                    pool, loc);
+            if (config_.precision != StorageMode::kF32)
+                quantize_dense(wide_in, config_.precision, &pool);
+            if (hsched != nullptr)
+                hybrid_spmm_parallel(exec, *hsched, wide_in, wide_out,
+                                     pool, loc);
+            else
+                mergepath_spmm_parallel(exec, wide_in, wide_out, *sched,
+                                        pool, loc);
             if (has_delta)
                 delta_correction_pass(dyn, wide_in, wide_out, pool, loc);
             apply_activation(wide_out, layer.activation());

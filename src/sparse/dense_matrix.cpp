@@ -16,6 +16,70 @@ DenseMatrix::DenseMatrix(index_t rows, index_t cols)
     MPS_CHECK(rows >= 0 && cols >= 0, "negative matrix dimension");
 }
 
+DenseMatrix::DenseMatrix(index_t rows, index_t cols, StorageMode mode)
+    : DenseMatrix(rows, cols)
+{
+    if (mode != StorageMode::kF32)
+        set_storage(mode);
+}
+
+void
+DenseMatrix::set_storage(StorageMode mode, index_t qcols)
+{
+    (void)qcols; // only bounds what the caller encodes; sizing is full
+    mode_ = mode;
+    const size_t elems =
+        static_cast<size_t>(rows_) * static_cast<size_t>(stride_);
+    switch (mode) {
+    case StorageMode::kF32:
+        qb16_.clear();
+        qb16_.shrink_to_fit();
+        q8_.clear();
+        q8_.shrink_to_fit();
+        qscale_.clear();
+        qscale_.shrink_to_fit();
+        qzero_.clear();
+        qzero_.shrink_to_fit();
+        break;
+    case StorageMode::kBf16:
+        if (qb16_.size() != elems)
+            qb16_.assign(elems, 0);
+        break;
+    case StorageMode::kInt8:
+        if (q8_.size() != elems)
+            q8_.assign(elems, 0);
+        if (qscale_.size() != static_cast<size_t>(rows_)) {
+            qscale_.assign(static_cast<size_t>(rows_), 1.0f);
+            qzero_.assign(static_cast<size_t>(rows_), 0.0f);
+        }
+        break;
+    }
+}
+
+void
+DenseMatrix::quantize(StorageMode mode, index_t ncols)
+{
+    set_storage(mode, ncols);
+    if (mode == StorageMode::kF32)
+        return;
+    const index_t qcols = ncols >= 0 ? std::min(ncols, cols_) : cols_;
+    for (index_t r = 0; r < rows_; ++r) {
+        const value_t *src = row(r);
+        if (mode == StorageMode::kBf16) {
+            bf16_t *dst = row_bf16_mut(r);
+            for (index_t c = 0; c < qcols; ++c)
+                dst[c] = bf16_encode(src[c]);
+        } else {
+            value_t scale, zero;
+            int8_row_params(src, qcols, &scale, &zero);
+            set_quant_params(r, scale, zero);
+            int8_t *dst = row_int8_mut(r);
+            for (index_t c = 0; c < qcols; ++c)
+                dst[c] = int8_encode(src[c], scale, zero);
+        }
+    }
+}
+
 void
 DenseMatrix::fill(value_t v)
 {

@@ -18,13 +18,25 @@
 #include <cstddef>
 
 #include "mps/sparse/aligned_buffer.h"
+#include "mps/sparse/quant.h"
 #include "mps/sparse/types.h"
 
 namespace mps {
 
 class Pcg32;
 
-/** Row-major dense matrix of value_t with cache-line-aligned rows. */
+/**
+ * Row-major dense matrix of value_t with cache-line-aligned rows.
+ *
+ * Mixed precision: a matrix can additionally carry reduced-width
+ * shadow rows (bf16 or int8 + per-row scale/zero, see
+ * mps/sparse/quant.h) selected by quantize() / set_storage(). The fp32
+ * rows remain the master copy — they are always allocated, always
+ * written first, and every path that needs exact values (delta
+ * correction, reference kernels, GEMM inputs) keeps reading them. The
+ * shadow rows share the element stride padded_cols(), so row_bf16(r)
+ * and row_int8(r) are cache-line aligned exactly like row(r).
+ */
 class DenseMatrix
 {
   public:
@@ -33,6 +45,13 @@ class DenseMatrix
 
     /** rows x cols matrix, zero-initialized. */
     DenseMatrix(index_t rows, index_t cols);
+
+    /**
+     * Convert-on-construct: zero-initialized like the two-arg ctor,
+     * then quantized shadow storage is allocated up front so later
+     * quantize(mode) calls never reallocate.
+     */
+    DenseMatrix(index_t rows, index_t cols, StorageMode mode);
 
     index_t rows() const { return rows_; }
     index_t cols() const { return cols_; }
@@ -62,6 +81,54 @@ class DenseMatrix
     value_t *data() { return data_.data(); }
     const value_t *data() const { return data_.data(); }
 
+    /** Active reduced-precision shadow storage (kF32 = none). */
+    StorageMode storage() const { return mode_; }
+
+    /**
+     * (Re)build the shadow rows for @p mode from the current fp32
+     * rows. This is the sequential scalar reference conversion (the
+     * quant.h primitives, row by row); hot paths use the SIMD
+     * quantize_dense() in mps/core/precision.h instead, which is
+     * bit-identical. Only the first @p ncols columns are encoded
+     * (and, for int8, ranged) when ncols >= 0 — panel sources use
+     * that to keep a narrower final panel from reading stale columns.
+     * kF32 releases the shadow storage.
+     */
+    void quantize(StorageMode mode, index_t ncols = -1);
+
+    /**
+     * Allocate (zeroed) shadow storage for @p mode and mark it
+     * active WITHOUT converting — the caller fills the shadow rows
+     * itself via the encode microkernels (quantize_dense does this).
+     * @p qcols bounds the columns the caller will encode; it only
+     * gates the "already sized" fast path.
+     */
+    void set_storage(StorageMode mode, index_t qcols = -1);
+
+    /** bf16 shadow row r (valid when storage() == kBf16). */
+    const bf16_t *row_bf16(index_t r) const {
+        return qb16_.data() + static_cast<size_t>(r) * stride_;
+    }
+    bf16_t *row_bf16_mut(index_t r) {
+        return qb16_.data() + static_cast<size_t>(r) * stride_;
+    }
+
+    /** int8 shadow row r (valid when storage() == kInt8). */
+    const int8_t *row_int8(index_t r) const {
+        return q8_.data() + static_cast<size_t>(r) * stride_;
+    }
+    int8_t *row_int8_mut(index_t r) {
+        return q8_.data() + static_cast<size_t>(r) * stride_;
+    }
+
+    /** Per-row affine params of the int8 shadow (value = s*q + z). */
+    value_t quant_scale(index_t r) const { return qscale_[static_cast<size_t>(r)]; }
+    value_t quant_zero(index_t r) const { return qzero_[static_cast<size_t>(r)]; }
+    void set_quant_params(index_t r, value_t scale, value_t zero) {
+        qscale_[static_cast<size_t>(r)] = scale;
+        qzero_[static_cast<size_t>(r)] = zero;
+    }
+
     /** Set every logical element to @p v (padding stays zero). */
     void fill(value_t v);
 
@@ -83,7 +150,12 @@ class DenseMatrix
     index_t rows_ = 0;
     index_t cols_ = 0;
     index_t stride_ = 0;
+    StorageMode mode_ = StorageMode::kF32;
     AlignedVector data_;
+    AlignedVectorB16 qb16_; ///< bf16 shadow rows (stride_ elems/row)
+    AlignedVectorI8 q8_;    ///< int8 shadow rows (stride_ elems/row)
+    AlignedVector qscale_;  ///< per-row int8 scale
+    AlignedVector qzero_;   ///< per-row int8 zero point
 };
 
 } // namespace mps

@@ -19,6 +19,14 @@ using index_t = int32_t;
 /** Value type of matrix elements. */
 using value_t = float;
 
+/**
+ * Storage type of a bfloat16 element: the top 16 bits of an IEEE-754
+ * binary32. Held as a plain uint16_t — all arithmetic happens after
+ * widening back to value_t (see mps/sparse/quant.h), so no operator
+ * overloads are wanted here.
+ */
+using bf16_t = std::uint16_t;
+
 } // namespace mps
 
 #endif // MPS_SPARSE_TYPES_H

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
 #include <numeric>
 
@@ -486,6 +487,104 @@ TEST_P(FuzzTest, FusedForwardMatchesUnfused)
             pool, activation_epilogue(Activation::kRelu));
         expect_bitwise_equal(streamed, expect, GetParam(), iter,
                              "fused streaming");
+    }
+}
+
+/**
+ * Quantized SpMM stays within the analytically derived bound: for
+ * output element (r, c), |c_f32 - c_quant| <= sum over the row's
+ * non-zeros of |a_rk| * |b(col_k, c) - decode(encode(b(col_k, c)))|.
+ * The per-element quantization error is computed exactly from the
+ * shadow storage, so the only slack needed is fp32 accumulation-order
+ * noise. Exercises the full mergepath pipeline at bf16 and int8 on
+ * random (degenerate-shape) graphs.
+ */
+TEST_P(FuzzTest, QuantizedSpmmWithinBound)
+{
+    Pcg32 rng(static_cast<uint64_t>(GetParam()) * 911 + 13);
+    WorkStealPool pool(3);
+    for (int iter = 0; iter < 5; ++iter) {
+        CsrMatrix a = random_csr(rng);
+        index_t dim = fuzz_dim(rng);
+        DenseMatrix b(a.cols(), dim);
+        b.fill_random(rng);
+        DenseMatrix expect(a.rows(), dim);
+        reference_spmm(a, b, expect);
+
+        index_t threads = 1 + static_cast<index_t>(rng.next_below(60));
+        MergePathSchedule sched = MergePathSchedule::build(a, threads);
+
+        for (StorageMode mode :
+             {StorageMode::kBf16, StorageMode::kInt8}) {
+            b.quantize(mode);
+            // Exact per-element quantization error of the B operand.
+            DenseMatrix qerr(b.rows(), dim);
+            for (index_t r = 0; r < b.rows(); ++r) {
+                for (index_t c = 0; c < dim; ++c) {
+                    const value_t decoded =
+                        mode == StorageMode::kBf16
+                            ? bf16_decode(b.row_bf16(r)[c])
+                            : int8_decode(b.row_int8(r)[c],
+                                          b.quant_scale(r),
+                                          b.quant_zero(r));
+                    qerr(r, c) = std::fabs(b(r, c) - decoded);
+                }
+            }
+            DenseMatrix got(a.rows(), dim);
+            mergepath_spmm_parallel(a, b, got, sched, pool);
+            for (index_t r = 0; r < a.rows(); ++r) {
+                for (index_t c = 0; c < dim; ++c) {
+                    value_t bound = 0.0f;
+                    for (index_t k = a.row_begin(r); k < a.row_end(r);
+                         ++k)
+                        bound += std::fabs(a.values()[k]) *
+                                 qerr(a.col_idx()[k], c);
+                    const value_t slack =
+                        1e-3f + 1e-3f * std::fabs(expect(r, c));
+                    ASSERT_LE(std::fabs(got(r, c) - expect(r, c)),
+                              bound + slack)
+                        << storage_mode_name(mode) << " at (" << r
+                        << ", " << c << "), seed " << GetParam()
+                        << " iter " << iter;
+                }
+            }
+        }
+        b.quantize(StorageMode::kF32);
+    }
+}
+
+/**
+ * fp32 bit-identity: attaching and releasing narrow shadow storage
+ * must leave the fp32 master — and therefore every f32-mode kernel
+ * output — BIT-identical to a matrix that was never quantized. This
+ * pins the acceptance criterion that the default path's numerics are
+ * untouched by the mixed-precision machinery.
+ */
+TEST_P(FuzzTest, QuantizeRoundTripKeepsF32BitIdentity)
+{
+    Pcg32 rng(static_cast<uint64_t>(GetParam()) * 977 + 5);
+    WorkStealPool pool(3);
+    for (int iter = 0; iter < 5; ++iter) {
+        CsrMatrix a = random_csr(rng);
+        index_t dim = fuzz_dim(rng);
+        DenseMatrix b(a.cols(), dim);
+        b.fill_random(rng);
+
+        index_t threads = 1 + static_cast<index_t>(rng.next_below(60));
+        MergePathSchedule sched = MergePathSchedule::build(a, threads);
+        DenseMatrix before(a.rows(), dim);
+        mergepath_spmm_parallel(a, b, before, sched, pool);
+
+        // Round-trip through both narrow modes back to f32.
+        b.quantize(StorageMode::kBf16);
+        b.quantize(StorageMode::kInt8);
+        b.quantize(StorageMode::kF32);
+        EXPECT_EQ(b.storage(), StorageMode::kF32);
+
+        DenseMatrix after(a.rows(), dim);
+        mergepath_spmm_parallel(a, b, after, sched, pool);
+        expect_bitwise_equal(after, before, GetParam(), iter,
+                             "f32 after quantize round-trip");
     }
 }
 

@@ -19,6 +19,12 @@
 # A no-hybrid stage reruns the kernel-facing tests with MPS_HYBRID=0,
 # proving the per-row-class hybrid dispatch is opt-out clean: every
 # matrix degenerates to the plain merge-path tail and still passes.
+# A bf16 stage reruns the kernel/GCN-facing tests with
+# MPS_PRECISION=bf16, driving the narrow-operand storage through every
+# inference path whose assertions hold at reduced precision. The serve
+# suites are deliberately excluded there: they pin fp32-exact parity
+# against sequential references (abs_tol 1e-4), which bf16 storage is
+# *supposed* to perturb.
 # A final telemetry stage scrapes a live serve-bench run through the
 # embedded /metrics endpoint and validates the OpenMetrics exposition
 # with `mps_tool top --strict`.
@@ -53,10 +59,11 @@ echo "==> build build-tsan (concurrency tests only)"
 cmake --build "$root/build-tsan" -j "$jobs" --target \
     mps_serve_queue_test mps_serve_test mps_schedule_cache_test \
     mps_metrics_test mps_work_steal_pool_test mps_telemetry_test \
-    mps_dynamic_graph_test mps_fusion_test mps_hybrid_test fusion
+    mps_dynamic_graph_test mps_fusion_test mps_hybrid_test \
+    mps_microkernel_test mps_property_fuzz_test fusion
 echo "==> ctest build-tsan"
 (cd "$root/build-tsan" && ctest --output-on-failure -j "$jobs" \
-    -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics|Histogram|Trace|Telemetry|WorkStealPool|Fusion|Hybrid' \
+    -R 'MpscQueue|Batcher|ServerFixture|ScheduleCacheTest|Metrics|Histogram|Trace|Telemetry|WorkStealPool|Fusion|Hybrid|Quantiz|MixedPrecision|Atomic' \
     "$@")
 
 echo "==> fusion: panel-streaming smoke under TSan"
@@ -90,6 +97,11 @@ echo "==> ctest build-nohybrid (MPS_HYBRID=0)"
 (cd "$root/build-release" && \
     MPS_HYBRID=0 ctest --output-on-failure -j "$jobs" \
     -R 'Hybrid|Kernel|Spmm|Adaptive|Fuzz' "$@")
+
+echo "==> ctest build-bf16 (MPS_PRECISION=bf16)"
+(cd "$root/build-release" && \
+    MPS_PRECISION=bf16 ctest --output-on-failure -j "$jobs" \
+    -R 'Gcn|Microkernel|Spmm|Fuzz|Hybrid|Fusion' "$@")
 
 echo "==> ctest build-nofuse (MPS_FUSE=0)"
 (cd "$root/build-release" && \
